@@ -1,0 +1,70 @@
+//! Bench E-P4 (Problem 4): all-pairs 32-relation detection over a set
+//! `𝒜` — cached vs uncached summaries (Key Idea 1 ablation) and
+//! sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use synchrel_core::Detector;
+use synchrel_sim::workload::{self, RandomConfig};
+
+fn bench_problem4(c: &mut Criterion) {
+    let w = workload::random_with_events(
+        &RandomConfig {
+            processes: 12,
+            events_per_process: 40,
+            message_prob: 0.3,
+            seed: 5,
+        },
+        16,
+        4,
+        3,
+    );
+
+    let mut g = c.benchmark_group("problem4_all_pairs");
+    g.sample_size(20);
+    g.bench_function("cached", |b| {
+        b.iter(|| {
+            let d = Detector::new(&w.exec, w.events.clone());
+            black_box(d.all_pairs())
+        })
+    });
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            let d = Detector::without_cache(&w.exec, w.events.clone());
+            black_box(d.all_pairs())
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let d = Detector::new(&w.exec, w.events.clone());
+                    black_box(d.all_pairs_parallel(threads))
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Steady-state queries against a warm detector.
+    let d = Detector::new(&w.exec, w.events.clone());
+    d.warm_up();
+    let mut g2 = c.benchmark_group("problem4_warm_pair");
+    g2.sample_size(60);
+    g2.bench_function("pair_all32", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let x = k % w.events.len();
+            let y = (k + 1) % w.events.len();
+            k += 1;
+            black_box(d.pair(x, y).unwrap())
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_problem4);
+criterion_main!(benches);

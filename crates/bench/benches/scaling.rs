@@ -1,0 +1,81 @@
+//! Bench: end-to-end scaling of relation evaluation with system size —
+//! linear conditions vs the naive quantifier evaluation, over growing
+//! process counts. The crossover shape (linear stays linear, naive grows
+//! quadratically) is the paper's practical claim.
+//!
+//! Two workload shapes per size:
+//!
+//! * `ordered` — barrier phases, `R1(phase0, phase1)` **holds**, so the
+//!   naive `∀∀` evaluation cannot short-circuit and must check all
+//!   `|X|·|Y|` pairs, while the linear condition spends `min(|N_X|,
+//!   |N_Y|)` comparisons;
+//! * `unordered` — random disjoint events where R1 fails, showing the
+//!   naive early-exit best case for fairness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synchrel_core::{naive_relation, Evaluator, Relation};
+use synchrel_sim::workload::{disjoint_pair, phases, random, RandomConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_r1");
+    g.sample_size(20);
+    for &n in &[4usize, 8, 16, 32, 64] {
+        // ---- ordered: R1 holds, naive pays the full |X|·|Y| ----------
+        let w = phases(n, 2, 5);
+        let x = w.events[0].clone();
+        let y = w.events[1].clone();
+        let ev = Evaluator::new(&w.exec);
+        assert!(naive_relation(&w.exec, Relation::R1, &x, &y));
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        g.bench_with_input(BenchmarkId::new("ordered_linear", n), &(), |b, _| {
+            b.iter(|| ev.eval_counted(Relation::R1, black_box(&sx), black_box(&sy)))
+        });
+        g.bench_with_input(BenchmarkId::new("ordered_naive", n), &(), |b, _| {
+            b.iter(|| {
+                naive_relation(black_box(&w.exec), Relation::R1, black_box(&x), black_box(&y))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ordered_summarize+eval", n), &(), |b, _| {
+            b.iter(|| {
+                let sx = ev.summarize(&x);
+                let sy = ev.summarize(&y);
+                ev.eval_counted(Relation::R1, black_box(&sx), black_box(&sy))
+            })
+        });
+
+        // ---- unordered: R1 fails, naive may early-exit ---------------
+        let w2 = random(&RandomConfig {
+            processes: n,
+            events_per_process: 20,
+            message_prob: 0.3,
+            seed: 5,
+        });
+        let ev2 = Evaluator::new(&w2.exec);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let (x2, y2) = disjoint_pair(&w2.exec, &mut rng, n, 5);
+        let sx2 = ev2.summarize(&x2);
+        let sy2 = ev2.summarize(&y2);
+        g.bench_with_input(BenchmarkId::new("unordered_linear", n), &(), |b, _| {
+            b.iter(|| ev2.eval_counted(Relation::R1, black_box(&sx2), black_box(&sy2)))
+        });
+        g.bench_with_input(BenchmarkId::new("unordered_naive", n), &(), |b, _| {
+            b.iter(|| {
+                naive_relation(
+                    black_box(&w2.exec),
+                    Relation::R1,
+                    black_box(&x2),
+                    black_box(&y2),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

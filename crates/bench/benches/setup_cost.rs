@@ -1,0 +1,48 @@
+//! Bench E-Setup (§2.3): the one-time costs — establishing the
+//! timestamp structure of a trace and building event summaries — vs the
+//! per-query cost they enable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use synchrel_core::{Evaluator, Execution};
+use synchrel_sim::workload::{self, RandomConfig};
+
+fn bench_setup(c: &mut Criterion) {
+    for &n in &[8usize, 32] {
+        let cfg = RandomConfig {
+            processes: n,
+            events_per_process: 50,
+            message_prob: 0.3,
+            seed: 5,
+        };
+        let w = workload::random_with_events(&cfg, 16, (n / 2).max(1), 3);
+        let (np, steps) = w.exec.to_skeleton();
+
+        let mut g = c.benchmark_group(format!("setup_n{n}"));
+        g.sample_size(20);
+        g.bench_function("establish_timestamps", |b| {
+            b.iter(|| {
+                black_box(Execution::from_skeleton(np, black_box(&steps)).unwrap())
+            })
+        });
+        let ev = Evaluator::new(&w.exec);
+        g.bench_with_input(BenchmarkId::new("summarize_event", 0), &(), |b, _| {
+            b.iter(|| black_box(ev.summarize_proxies(&w.events[0])))
+        });
+        let sums: Vec<_> = w.events.iter().map(|e| ev.summarize_proxies(e)).collect();
+        g.bench_function("query_all32", |b| {
+            let mut k = 0usize;
+            b.iter(|| {
+                let x = k % sums.len();
+                let y = (k + 3) % sums.len();
+                k += 1;
+                black_box(ev.eval_all_proxy(&sums[x], &sums[y]))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_setup);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench E-T1 (Table 1): per-relation evaluation cost of the three
+//! strategies — naive quantifiers, `|N_X|×|N_Y|` proxy baseline, and the
+//! paper's linear conditions — on a fixed mid-size pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synchrel_core::{naive_relation, proxy_baseline, Evaluator, Relation};
+use synchrel_sim::workload::{disjoint_pair, random, RandomConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let w = random(&RandomConfig {
+        processes: 16,
+        events_per_process: 64,
+        message_prob: 0.3,
+        seed: 42,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let (x, y) = disjoint_pair(&w.exec, &mut rng, 8, 8);
+    let ev = Evaluator::new(&w.exec);
+    let sx = ev.summarize(&x);
+    let sy = ev.summarize(&y);
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(40);
+    for rel in Relation::ALL {
+        g.bench_with_input(BenchmarkId::new("naive", rel.name()), &rel, |b, &rel| {
+            b.iter(|| naive_relation(black_box(&w.exec), rel, black_box(&x), black_box(&y)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("proxy_baseline", rel.name()),
+            &rel,
+            |b, &rel| {
+                b.iter(|| proxy_baseline(black_box(&w.exec), rel, black_box(&x), black_box(&y)))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("linear", rel.name()), &rel, |b, &rel| {
+            b.iter(|| ev.eval_counted(rel, black_box(&sx), black_box(&sy)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench E-T2 (Table 2): building the condensation cuts C1–C4 via the
+//! timestamp formulas vs the extensional set algebra, and `↓e` / `e⇑`
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synchrel_core::pastfuture::condensation_extensional;
+use synchrel_core::{causal_past, ccf, condensation, CondensationKind, EventId};
+use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
+
+fn bench_cuts(c: &mut Criterion) {
+    let w = random(&RandomConfig {
+        processes: 12,
+        events_per_process: 40,
+        message_prob: 0.3,
+        seed: 11,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let x = random_nonatomic(&w.exec, &mut rng, 6, 6);
+    let e = EventId::new(4, 7);
+
+    let mut g = c.benchmark_group("table2_cuts");
+    g.sample_size(40);
+    g.bench_function("causal_past", |b| {
+        b.iter(|| causal_past(black_box(&w.exec), black_box(e)))
+    });
+    g.bench_function("ccf", |b| b.iter(|| ccf(black_box(&w.exec), black_box(e))));
+    for kind in CondensationKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("timestamp", kind.label()),
+            &kind,
+            |b, &kind| b.iter(|| condensation(black_box(&w.exec), black_box(&x), kind)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("extensional", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| condensation_extensional(black_box(&w.exec), black_box(&x), kind))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cuts);
+criterion_main!(benches);

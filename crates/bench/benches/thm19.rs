@@ -1,0 +1,49 @@
+//! Bench E-Thm19: the `≪̸(↓Y, X⇑)` test (the R4 instance) as a function
+//! of `|N_X|` and `|N_Y|` — time should track `min(|N_X|, |N_Y|)`, not
+//! the product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synchrel_core::{Evaluator, Relation};
+use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
+use synchrel_core::NonatomicEvent;
+
+fn bench_thm19(c: &mut Criterion) {
+    let processes = 64;
+    let w = random(&RandomConfig {
+        processes,
+        events_per_process: 16,
+        message_prob: 0.3,
+        seed: 5,
+    });
+    let ev = Evaluator::new(&w.exec);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+
+    let mut g = c.benchmark_group("thm19_ll_test");
+    g.sample_size(40);
+    for &(nx, ny) in &[(2usize, 32usize), (8, 32), (32, 32), (32, 8), (32, 2)] {
+        let x: NonatomicEvent = random_nonatomic(&w.exec, &mut rng, nx, 2);
+        let mut y = random_nonatomic(&w.exec, &mut rng, ny, 2);
+        let mut tries = 0;
+        while x.overlaps(&y) && tries < 1000 {
+            y = random_nonatomic(&w.exec, &mut rng, ny, 2);
+            tries += 1;
+        }
+        assert!(!x.overlaps(&y), "could not draw disjoint pair");
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        g.throughput(Throughput::Elements(nx.min(ny) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("nx{nx}_ny{ny}")),
+            &(),
+            |b, _| b.iter(|| ev.eval_counted(Relation::R4, black_box(&sx), black_box(&sy))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thm19);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench E-Thm20: per-relation linear evaluation vs the `|N_X|×|N_Y|`
+//! proxy baseline as node counts grow — the headline complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synchrel_core::{proxy_baseline, Evaluator, Relation};
+use synchrel_sim::workload::{disjoint_pair, random, RandomConfig};
+
+fn bench_thm20(c: &mut Criterion) {
+    for &n in &[4usize, 16, 64] {
+        let w = random(&RandomConfig {
+            processes: n,
+            events_per_process: 12,
+            message_prob: 0.3,
+            seed: 5,
+        });
+        let ev = Evaluator::new(&w.exec);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let (x, y) = disjoint_pair(&w.exec, &mut rng, n, 2);
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+
+        let mut g = c.benchmark_group(format!("thm20_n{n}"));
+        g.sample_size(30);
+        for rel in [Relation::R1, Relation::R2, Relation::R2p, Relation::R3] {
+            g.bench_with_input(BenchmarkId::new("linear", rel.name()), &rel, |b, &rel| {
+                b.iter(|| ev.eval_counted(rel, black_box(&sx), black_box(&sy)))
+            });
+            g.bench_with_input(
+                BenchmarkId::new("baseline", rel.name()),
+                &rel,
+                |b, &rel| {
+                    b.iter(|| proxy_baseline(black_box(&w.exec), rel, black_box(&x), black_box(&y)))
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_thm20);
+criterion_main!(benches);

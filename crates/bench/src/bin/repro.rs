@@ -1,0 +1,41 @@
+//! Paper-reproduction driver: regenerates every table and figure of the
+//! IPPS'98 paper as text.
+//!
+//! ```text
+//! cargo run -p synchrel-bench --bin repro            # everything
+//! cargo run -p synchrel-bench --bin repro -- table1  # one artifact
+//! ```
+
+use std::io::Write;
+
+use synchrel_bench::experiments;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|scaling|profiles|setup]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let out = match which {
+        "all" => experiments::run_all(),
+        "table1" => experiments::table1::run(0xC0FFEE, 200),
+        "table2" => experiments::table2::run(),
+        "fig1" => experiments::figures::fig1(),
+        "fig2" => experiments::figures::fig2(),
+        "fig3" => experiments::figures::fig3(),
+        "thm19" => experiments::thm19::run(0xC0FFEE),
+        "thm20" => experiments::thm20::run(0xC0FFEE, 200),
+        "problem4" => experiments::problem4::run(0xC0FFEE),
+        "scaling" => experiments::scaling::run(0xC0FFEE),
+        "profiles" => experiments::profiles::run(0xC0FFEE, 150),
+        "setup" => experiments::setup::run(0xC0FFEE),
+        _ => usage(),
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    lock.write_all(out.as_bytes()).expect("stdout");
+}

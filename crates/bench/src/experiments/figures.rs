@@ -1,0 +1,134 @@
+//! E-F1/2/3 — Figures 1–3, rendered as ASCII space-time diagrams.
+//!
+//! * Figure 1: poset events `X`, `Y` and their proxies `L`/`U` under
+//!   both proxy definitions.
+//! * Figure 2: the four cuts `C1(X)–C4(X)` of an 8-event poset on 4
+//!   nodes, surfaces marked.
+//! * Figure 3: the four cuts of each proxy `L_X` and `U_X` of the same
+//!   poset.
+
+use synchrel_core::{
+    condensation, CondensationKind, Diagram, NonatomicEvent, ProxyDefinition,
+};
+
+use crate::fig_exec::{fig1_setup, fig2_setup};
+
+fn list(ev: &NonatomicEvent) -> String {
+    ev.events()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Figure 1: `X`, `Y`, and their proxies.
+pub fn fig1() -> String {
+    let (exec, x, y, labels) = fig1_setup();
+    let mut d = Diagram::new(&exec);
+    for (e, l) in &labels {
+        d.label(*e, *l);
+    }
+    let mut out = d.render();
+    out.push('\n');
+    for (name, ev) in [("X", &x), ("Y", &y)] {
+        let l2 = ev.proxy_lower(&exec, ProxyDefinition::PerNode).expect("exists");
+        let u2 = ev.proxy_upper(&exec, ProxyDefinition::PerNode).expect("exists");
+        out.push_str(&format!(
+            "{name} = {{{}}}\n  L_{name} (Defn 2) = {{{}}}\n  U_{name} (Defn 2) = {{{}}}\n",
+            list(ev),
+            list(&l2),
+            list(&u2),
+        ));
+        let l3 = ev.proxy_lower(&exec, ProxyDefinition::Global);
+        let u3 = ev.proxy_upper(&exec, ProxyDefinition::Global);
+        out.push_str(&format!(
+            "  L_{name} (Defn 3) = {}\n  U_{name} (Defn 3) = {}\n",
+            l3.map(|e| format!("{{{}}}", list(&e)))
+                .unwrap_or_else(|_| "∅ (no global minimum)".into()),
+            u3.map(|e| format!("{{{}}}", list(&e)))
+                .unwrap_or_else(|_| "∅ (no global maximum)".into()),
+        ));
+    }
+    out
+}
+
+/// Figure 2: the four cuts of the 8-event poset `X`.
+pub fn fig2() -> String {
+    let (exec, x, labels) = fig2_setup();
+    let mut d = Diagram::new(&exec);
+    for (e, l) in &labels {
+        d.label(*e, *l);
+    }
+    for (marker, kind) in [
+        ('1', CondensationKind::IntersectPast),
+        ('2', CondensationKind::UnionPast),
+        ('3', CondensationKind::IntersectFuture),
+        ('4', CondensationKind::UnionFuture),
+    ] {
+        d.cut(marker, &condensation(&exec, &x, kind));
+    }
+    let mut out = String::from(
+        "Poset X = {x1..x8} on 4 nodes; surfaces of C1(∩⇓X), C2(∪⇓X), \
+         C3(∩⇑X), C4(∪⇑X) marked |1..|4:\n\n",
+    );
+    out.push_str(&d.render());
+    out
+}
+
+/// Figure 3: the four cuts of each proxy of the same poset.
+pub fn fig3() -> String {
+    let (exec, x, labels) = fig2_setup();
+    let mut out = String::new();
+    for (pname, def) in [("L_X", true), ("U_X", false)] {
+        let proxy = if def {
+            x.proxy_lower(&exec, ProxyDefinition::PerNode).expect("exists")
+        } else {
+            x.proxy_upper(&exec, ProxyDefinition::PerNode).expect("exists")
+        };
+        let mut d = Diagram::new(&exec);
+        for (e, l) in &labels {
+            d.label(*e, *l);
+        }
+        for (marker, kind) in [
+            ('1', CondensationKind::IntersectPast),
+            ('2', CondensationKind::UnionPast),
+            ('3', CondensationKind::IntersectFuture),
+            ('4', CondensationKind::UnionFuture),
+        ] {
+            d.cut(marker, &condensation(&exec, &proxy, kind));
+        }
+        out.push_str(&format!(
+            "{pname} = {{{}}}; cuts C1–C4({pname}) marked |1..|4:\n\n{}\n",
+            list(&proxy),
+            d.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shows_proxies() {
+        let s = fig1();
+        assert!(s.contains("L_X (Defn 2)"), "{s}");
+        assert!(s.contains("no global"), "{s}"); // Y has no global extreme
+    }
+
+    #[test]
+    fn fig2_marks_four_cuts() {
+        let s = fig2();
+        for m in ["|1", "|2", "|3", "|4"] {
+            assert!(s.contains(m), "missing {m} in\n{s}");
+        }
+        assert!(s.contains("x8"), "{s}");
+    }
+
+    #[test]
+    fn fig3_covers_both_proxies() {
+        let s = fig3();
+        assert!(s.contains("L_X ="), "{s}");
+        assert!(s.contains("U_X ="), "{s}");
+    }
+}

@@ -1,0 +1,46 @@
+//! One module per reproduced paper artifact.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — the 8 relations and their evaluation conditions |
+//! | [`table2`] | Table 2 — cuts C1–C4 and their timestamps |
+//! | [`figures`] | Figures 1–3 — proxies and cuts, rendered as ASCII |
+//! | [`thm19`] | Theorem 19 — `≪̸` in `min(|N_X|, |N_Y|)` comparisons |
+//! | [`thm20`] | Theorem 20 — per-relation comparison complexity |
+//! | [`problem4`] | Problem 4 — one/all relation detection over `𝒜` |
+//! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
+//! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
+//! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
+
+pub mod figures;
+pub mod problem4;
+pub mod profiles;
+pub mod scaling;
+pub mod setup;
+pub mod table1;
+pub mod table2;
+pub mod thm19;
+pub mod thm20;
+
+/// Run every experiment with default parameters, concatenated — the
+/// `repro -- all` output.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    for (title, body) in [
+        ("E-T1: Table 1", table1::run(0xC0FFEE, 200)),
+        ("E-T2: Table 2", table2::run()),
+        ("E-F1: Figure 1", figures::fig1()),
+        ("E-F2: Figure 2", figures::fig2()),
+        ("E-F3: Figure 3", figures::fig3()),
+        ("E-Thm19: Theorem 19", thm19::run(0xC0FFEE)),
+        ("E-Thm20: Theorem 20", thm20::run(0xC0FFEE, 200)),
+        ("E-P4: Problem 4", problem4::run(0xC0FFEE)),
+        ("E-Scaling: linear vs quadratic", scaling::run(0xC0FFEE)),
+        ("E-Profiles: the filled-in hierarchy", profiles::run(0xC0FFEE, 150)),
+        ("E-Setup: one-time cost", setup::run(0xC0FFEE)),
+    ] {
+        out.push_str(&format!("\n=== {title} ===\n\n"));
+        out.push_str(&body);
+    }
+    out
+}

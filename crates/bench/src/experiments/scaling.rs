@@ -1,0 +1,153 @@
+//! E-Scaling — wall-clock scaling of the three evaluation strategies
+//! with system size (the practical consequence of Theorem 20).
+//!
+//! For growing process counts `|P|` (events spanning all nodes), measure
+//! per-query time of: naive quantifier evaluation (`O(|X|·|Y|)`), the
+//! `|N_X|×|N_Y|` proxy baseline, and the linear conditions over
+//! precomputed summaries. The *shape* expected from the paper: linear
+//! evaluation is flat-ish in `|N|`, the baseline grows quadratically,
+//! naive grows fastest; the gap widens with size.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use synchrel_core::{naive_relation, proxy_baseline, Evaluator, Relation};
+use synchrel_sim::workload::{disjoint_pair, random, RandomConfig};
+
+use crate::table::Table;
+
+/// One measurement row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Number of processes (and of event nodes).
+    pub n: usize,
+    /// Nanoseconds per naive evaluation.
+    pub naive_ns: f64,
+    /// Nanoseconds per proxy-baseline evaluation.
+    pub baseline_ns: f64,
+    /// Nanoseconds per linear evaluation (summaries precomputed).
+    pub linear_ns: f64,
+}
+
+fn time_per<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Measure one size.
+pub fn measure(n: usize, seed: u64) -> Row {
+    let w = random(&RandomConfig {
+        processes: n,
+        events_per_process: 12,
+        message_prob: 0.3,
+        seed,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ n as u64);
+    let (x, y) = disjoint_pair(&w.exec, &mut rng, n, 4);
+    let ev = Evaluator::new(&w.exec);
+    let sx = ev.summarize(&x);
+    let sy = ev.summarize(&y);
+    let reps = (20_000 / n).max(50);
+    // Rotate through the 8 relations so no single code path dominates.
+    let mut k = 0usize;
+    let mut next = || {
+        let r = Relation::ALL[k % 8];
+        k += 1;
+        r
+    };
+    let naive_ns = time_per(
+        || {
+            std::hint::black_box(naive_relation(&w.exec, next(), &x, &y));
+        },
+        reps,
+    );
+    let mut k2 = 0usize;
+    let mut next2 = || {
+        let r = Relation::ALL[k2 % 8];
+        k2 += 1;
+        r
+    };
+    let baseline_ns = time_per(
+        || {
+            std::hint::black_box(proxy_baseline(&w.exec, next2(), &x, &y));
+        },
+        reps,
+    );
+    let mut k3 = 0usize;
+    let mut next3 = || {
+        let r = Relation::ALL[k3 % 8];
+        k3 += 1;
+        r
+    };
+    let linear_ns = time_per(
+        || {
+            std::hint::black_box(ev.eval_counted(next3(), &sx, &sy));
+        },
+        reps,
+    );
+    Row {
+        n,
+        naive_ns,
+        baseline_ns,
+        linear_ns,
+    }
+}
+
+/// Regenerate the scaling report.
+pub fn run(seed: u64) -> String {
+    let mut t = Table::new([
+        "|P| = |N_X| = |N_Y|",
+        "naive ns/query",
+        "baseline ns/query",
+        "linear ns/query",
+        "baseline/linear",
+    ]);
+    let mut rows = Vec::new();
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let r = measure(n, seed);
+        t.row([
+            r.n.to_string(),
+            format!("{:.0}", r.naive_ns),
+            format!("{:.0}", r.baseline_ns),
+            format!("{:.0}", r.linear_ns),
+            format!("{:.1}x", r.baseline_ns / r.linear_ns.max(1.0)),
+        ]);
+        rows.push(r);
+    }
+    let small = &rows[0];
+    let large = &rows[rows.len() - 1];
+    format!(
+        "{}\nshape check: baseline/linear gap grew from {:.1}x (|P|={}) to \
+         {:.1}x (|P|={}) — the paper's linear-vs-quadratic claim.\n\
+         (wall-clock; see the Criterion bench `scaling` for rigorous numbers)\n",
+        t.render(),
+        small.baseline_ns / small.linear_ns.max(1.0),
+        small.n,
+        large.baseline_ns / large.linear_ns.max(1.0),
+        large.n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_positive_times() {
+        let r = measure(4, 3);
+        assert!(r.naive_ns > 0.0 && r.baseline_ns > 0.0 && r.linear_ns > 0.0);
+    }
+
+    #[test]
+    fn report_has_all_sizes() {
+        let s = run(3);
+        for n in ["4", "8", "16", "32", "64"] {
+            assert!(s.lines().any(|l| l.starts_with(n)), "{s}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! E-Thm19 — Theorem 19: testing `≪̸(↓Y, X⇑)` in `min(|N_X|, |N_Y|)`
+//! integer comparisons.
+//!
+//! We sweep `|N_X| × |N_Y|` over random executions and test the
+//! `∪⇓Y ≪̸ ∩⇑X` instance (the single test behind R4, for which **both**
+//! node-restricted scans are sound). For every pair we verify that the
+//! `N_X` scan, the `N_Y` scan, and the unrestricted `|P|` scan agree,
+//! and that the Auto scan spends exactly `min(|N_X|, |N_Y|)`
+//! comparisons — reproducing the theorem's bound.
+//!
+//! The companion experiment `thm20` documents where the blanket claim
+//! fails (R2'/R3 pairs).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use synchrel_core::{Evaluator, Relation, ScanSet};
+use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
+
+use crate::table::Table;
+
+/// One sweep cell.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// `|N_X|`.
+    pub nx: usize,
+    /// `|N_Y|`.
+    pub ny: usize,
+    /// Trials in this cell.
+    pub trials: usize,
+    /// Trials where all three scans agreed.
+    pub scans_agree: usize,
+    /// Trials where the Auto comparison count equalled `min(nx, ny)`.
+    pub count_is_min: usize,
+    /// Mean Auto comparisons.
+    pub mean_cmp: f64,
+}
+
+/// Run the sweep over a grid of node-set sizes.
+pub fn sweep(seed: u64, sizes: &[usize], trials_per_cell: usize) -> Vec<Cell> {
+    let processes = *sizes.iter().max().expect("non-empty sizes") * 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cells = Vec::new();
+    for &nx in sizes {
+        for &ny in sizes {
+            let mut cell = Cell {
+                nx,
+                ny,
+                trials: 0,
+                scans_agree: 0,
+                count_is_min: 0,
+                mean_cmp: 0.0,
+            };
+            let mut total_cmp = 0u64;
+            for t in 0..trials_per_cell {
+                let w = random(&RandomConfig {
+                    processes,
+                    events_per_process: 10,
+                    message_prob: 0.35,
+                    seed: seed ^ ((nx as u64) << 32) ^ ((ny as u64) << 16) ^ t as u64,
+                });
+                let x = random_nonatomic(&w.exec, &mut rng, nx, 2);
+                let mut y = random_nonatomic(&w.exec, &mut rng, ny, 2);
+                let mut guard = 0;
+                while x.overlaps(&y) && guard < 50 {
+                    y = random_nonatomic(&w.exec, &mut rng, ny, 2);
+                    guard += 1;
+                }
+                if x.overlaps(&y) {
+                    continue;
+                }
+                let ev = Evaluator::new(&w.exec);
+                let sx = ev.summarize(&x);
+                let sy = ev.summarize(&y);
+                let a = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfX).unwrap();
+                let b = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfY).unwrap();
+                let f = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::FullP).unwrap();
+                let auto = ev.eval_counted(Relation::R4, &sx, &sy);
+                cell.trials += 1;
+                if a.holds == b.holds && b.holds == f.holds && f.holds == auto.holds {
+                    cell.scans_agree += 1;
+                }
+                if auto.comparisons == nx.min(ny) as u64 {
+                    cell.count_is_min += 1;
+                }
+                total_cmp += auto.comparisons;
+            }
+            cell.mean_cmp = total_cmp as f64 / cell.trials.max(1) as f64;
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Regenerate the Theorem-19 report.
+pub fn run(seed: u64) -> String {
+    let cells = sweep(seed, &[1, 2, 4, 8], 25);
+    let mut t = Table::new([
+        "|N_X|",
+        "|N_Y|",
+        "trials",
+        "scans agree",
+        "cmp = min(|N_X|,|N_Y|)",
+        "mean cmp",
+    ]);
+    let mut all_ok = true;
+    for c in &cells {
+        all_ok &= c.scans_agree == c.trials && c.count_is_min == c.trials;
+        t.row([
+            c.nx.to_string(),
+            c.ny.to_string(),
+            c.trials.to_string(),
+            format!("{}/{}", c.scans_agree, c.trials),
+            format!("{}/{}", c.count_is_min, c.trials),
+            format!("{:.1}", c.mean_cmp),
+        ]);
+    }
+    format!(
+        "{}\nTheorem 19 reproduced on ∪⇓Y ≪̸ ∩⇑X (the R4 test): {}\n",
+        t.render(),
+        if all_ok { "YES" } else { "NO (BUG)" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_bound_holds_everywhere() {
+        for c in sweep(11, &[1, 3, 5], 8) {
+            assert_eq!(c.scans_agree, c.trials, "{c:?}");
+            assert_eq!(c.count_is_min, c.trials, "{c:?}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # synchrel-bench
+//!
+//! The paper-reproduction harness: one experiment module per table,
+//! figure, and theorem of the IPPS'98 paper, plus shared utilities.
+//! Each experiment exposes a `run(...) -> String` that regenerates the
+//! artifact as text; the `repro` binary prints them, integration tests
+//! smoke them, and the Criterion benches in `benches/` measure the same
+//! code paths rigorously.
+//!
+//! See `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
+//! (paper-vs-measured record).
+
+pub mod experiments;
+pub mod fig_exec;
+pub mod table;
+
+pub use fig_exec::{fig1_setup, fig2_setup};
+pub use table::Table;

@@ -1,0 +1,124 @@
+//! Tiny flag parser: `--key value` options plus positional arguments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments after the subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug)]
+pub enum ArgError {
+    /// `--flag` given without a value.
+    MissingValue(String),
+    /// A required positional argument is absent.
+    MissingPositional(&'static str),
+    /// An option value failed to parse.
+    BadValue(String, String),
+    /// An unknown subcommand or flag.
+    Unknown(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::MissingPositional(what) => write!(f, "missing argument: {what}"),
+            ArgError::BadValue(k, v) => write!(f, "bad value for --{k}: {v:?}"),
+            ArgError::Unknown(what) => write!(f, "unknown: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `--key value` pairs and positionals. `-o` is an alias for
+    /// `--out`.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut a = Args::default();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if tok == "-o" || tok == "--out" {
+                let v = it.next().ok_or_else(|| ArgError::MissingValue("out".into()))?;
+                a.options.insert("out".into(), v.clone());
+            } else if let Some(key) = tok.strip_prefix("--") {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                a.options.insert(key.to_string(), v.clone());
+            } else {
+                a.positional.push(tok.clone());
+            }
+        }
+        Ok(a)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn pos(&self, i: usize, what: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(what))
+    }
+
+    /// An optional positional argument.
+    pub fn pos_opt(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// A string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(key.to_string(), v.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed() {
+        let a = Args::parse(&sv(&["trace.json", "--processes", "8", "-o", "x.json"])).unwrap();
+        assert_eq!(a.pos(0, "trace").unwrap(), "trace.json");
+        assert_eq!(a.num::<usize>("processes", 0).unwrap(), 8);
+        assert_eq!(a.opt("out"), Some("x.json"));
+        assert!(a.pos_opt(1).is_none());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(&sv(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let a = Args::parse(&sv(&["--seed", "banana"])).unwrap();
+        assert!(a.num::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&sv(&[])).unwrap();
+        assert_eq!(a.num::<u64>("seed", 42).unwrap(), 42);
+        assert!(a.pos(0, "trace").is_err());
+    }
+}

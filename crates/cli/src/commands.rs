@@ -1,0 +1,334 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use synchrel_core::{
+    strongest, Detector, Diagram, Evaluator, Execution, NonatomicEvent, Proxy, ProxyRelation,
+    Relation,
+};
+use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
+use synchrel_monitor::{Checker, Spec};
+use synchrel_sim::format::TraceFile;
+use synchrel_sim::workload;
+use synchrel_sim::TraceStats;
+
+use crate::args::{ArgError, Args};
+
+type AnyError = Box<dyn Error>;
+
+const USAGE: &str = "\
+usage: synchrel <command> [args]
+
+commands:
+  gen <random|ring|client-server|broadcast|pipeline|phases> [--processes N]
+      [--events N] [--rounds N] [--clients N] [--requests N] [--stages N]
+      [--items N] [--phases N] [--prob P] [--seed S] [--intervals K]
+      [--nodes N] -o trace.json
+                         generate a workload trace with named events
+  stats <trace.json>     print trace statistics
+  render <trace.json>    ASCII space-time diagram
+  query <trace.json> <X> <Y> [REL]
+                         evaluate one or all Table-1 relations
+  analyze <trace.json>   strongest relation for every event pair
+  check <trace.json> <spec.json>
+                         check a synchronization spec (exit 1 on violation)
+  overlap <trace.json> <A> <B> [C...]
+                         could the named events all be in progress
+                         simultaneously? (exit 1 if impossible)
+  relations              list the eight relations and their conditions
+";
+
+/// Dispatch a full argument vector.
+pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let rest = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "gen" => gen(&rest),
+        "stats" => stats(&rest),
+        "render" => render(&rest),
+        "query" => query(&rest),
+        "analyze" => analyze(&rest),
+        "check" => check(&rest),
+        "overlap" => overlap(&rest),
+        "relations" => {
+            relations_table();
+            Ok(ExitCode::SUCCESS)
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(Box::new(ArgError::Unknown(format!("command '{other}'")))),
+    }
+}
+
+fn load(path: &str) -> Result<(Execution, Vec<(String, NonatomicEvent)>), AnyError> {
+    Ok(TraceFile::load(path)?.restore()?)
+}
+
+fn gen(a: &Args) -> Result<ExitCode, AnyError> {
+    let kind = a.pos(0, "workload kind")?;
+    let processes: usize = a.num("processes", 6)?;
+    let seed: u64 = a.num("seed", 42)?;
+    let w = match kind {
+        "random" => workload::random_with_events(
+            &workload::RandomConfig {
+                processes,
+                events_per_process: a.num("events", 30)?,
+                message_prob: a.num("prob", 0.3)?,
+                seed,
+            },
+            a.num("intervals", 8)?,
+            a.num("nodes", (processes / 2).max(1))?,
+            3,
+        ),
+        "ring" => workload::ring(processes, a.num("rounds", 4)?),
+        "client-server" => workload::client_server(a.num("clients", 4)?, a.num("requests", 4)?),
+        "broadcast" => workload::broadcast(processes, a.num("rounds", 4)?),
+        "pipeline" => workload::pipeline(a.num("stages", 4)?, a.num("items", 6)?),
+        "phases" => workload::phases(processes, a.num("phases", 4)?, a.num("events", 3)?),
+        other => return Err(Box::new(ArgError::Unknown(format!("workload '{other}'")))),
+    };
+    let tf = TraceFile::capture(
+        &w.exec,
+        w.labels.iter().cloned().zip(w.events.iter().cloned()),
+    );
+    match a.opt("out") {
+        Some(path) => {
+            tf.save(path)?;
+            eprintln!(
+                "wrote {} ({} events, {} named intervals) to {path}",
+                w.name,
+                w.exec.total_app_len(),
+                w.events.len()
+            );
+        }
+        None => println!("{}", tf.to_json()?),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn stats(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let st = if exec.total_app_len() <= 2000 {
+        TraceStats::compute_with_concurrency(&exec)
+    } else {
+        TraceStats::compute(&exec)
+    };
+    println!("{st}");
+    println!("named events: {}", intervals.len());
+    for (name, ev) in &intervals {
+        println!(
+            "  {:<16} |N| = {:<3} events = {:<4} nodes = {:?}",
+            name,
+            ev.node_count(),
+            ev.len(),
+            ev.node_set()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn render(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let mut d = Diagram::new(&exec);
+    for (name, ev) in &intervals {
+        let short: String = name.chars().take(3).collect();
+        d.label_event(ev, &short);
+    }
+    print!("{}", d.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn find<'a>(
+    intervals: &'a [(String, NonatomicEvent)],
+    name: &str,
+) -> Result<&'a NonatomicEvent, AnyError> {
+    intervals
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, e)| e)
+        .ok_or_else(|| Box::new(ArgError::Unknown(format!("event '{name}'"))) as AnyError)
+}
+
+fn parse_relation(s: &str) -> Result<Relation, AnyError> {
+    Relation::ALL
+        .into_iter()
+        .find(|r| r.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| Box::new(ArgError::Unknown(format!("relation '{s}'"))) as AnyError)
+}
+
+fn query(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let x = find(&intervals, a.pos(1, "event X")?)?;
+    let y = find(&intervals, a.pos(2, "event Y")?)?;
+    if x.overlaps(y) {
+        eprintln!("warning: X and Y share atomic events; relations assume disjoint operands");
+    }
+    let ev = Evaluator::new(&exec);
+    let sx = ev.summarize(x);
+    let sy = ev.summarize(y);
+    match a.pos_opt(3) {
+        Some(rel_name) => {
+            let rel = parse_relation(rel_name)?;
+            let c = ev.eval_counted(rel, &sx, &sy);
+            println!(
+                "{} ({}): {} [{} comparisons]",
+                rel.name(),
+                rel.quantifier_expr(),
+                c.holds,
+                c.comparisons
+            );
+            Ok(if c.holds { ExitCode::SUCCESS } else { ExitCode::from(1) })
+        }
+        None => {
+            println!("relation  holds  comparisons");
+            let mut held = Vec::new();
+            for rel in Relation::ALL {
+                let c = ev.eval_counted(rel, &sx, &sy);
+                println!("{:<9} {:<6} {}", rel.name(), c.holds, c.comparisons);
+                if c.holds {
+                    held.push(rel);
+                }
+            }
+            let s = strongest(&held);
+            println!(
+                "strongest: {}",
+                if s.is_empty() {
+                    "(none hold)".to_string()
+                } else {
+                    s.iter().map(|r| r.name()).collect::<Vec<_>>().join(", ")
+                }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let names: Vec<String> = intervals.iter().map(|(n, _)| n.clone()).collect();
+    let events: Vec<NonatomicEvent> = intervals.into_iter().map(|(_, e)| e).collect();
+    let d = Detector::new(&exec, events);
+    let reports = d.all_pairs_parallel(4);
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(6) + 2;
+    print!("{:>width$}", "");
+    for n in &names {
+        print!("{n:>width$}");
+    }
+    println!();
+    for (i, n) in names.iter().enumerate() {
+        print!("{n:>width$}");
+        for j in 0..names.len() {
+            if i == j {
+                print!("{:>width$}", "—");
+                continue;
+            }
+            let rep = reports
+                .iter()
+                .find(|r| r.x == i && r.y == j)
+                .expect("full matrix");
+            let held: Vec<Relation> = Relation::ALL
+                .into_iter()
+                .filter(|&rel| {
+                    let (xp, yp) = canonical_proxies(rel);
+                    rep.relations.contains(ProxyRelation::new(rel, xp, yp))
+                })
+                .collect();
+            let s = strongest(&held);
+            let cell = if s.is_empty() {
+                "·".to_string()
+            } else {
+                s.iter().map(|r| r.name()).collect::<Vec<_>>().join(",")
+            };
+            print!("{cell:>width$}");
+        }
+        println!();
+    }
+    let cmp: u64 = reports.iter().map(|r| r.comparisons).sum();
+    println!("\n{} pairs × 32 relations, {} comparisons", reports.len(), cmp);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The Definition-2 proxy pair under which the proxy relation equals
+/// the base relation on `(X, Y)`.
+fn canonical_proxies(rel: Relation) -> (Proxy, Proxy) {
+    match rel {
+        Relation::R1 | Relation::R1p => (Proxy::U, Proxy::L),
+        Relation::R2 | Relation::R2p => (Proxy::U, Proxy::U),
+        Relation::R3 | Relation::R3p => (Proxy::L, Proxy::L),
+        Relation::R4 | Relation::R4p => (Proxy::L, Proxy::U),
+    }
+}
+
+fn check(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let spec_text = std::fs::read_to_string(a.pos(1, "spec file")?)?;
+    let spec: Spec = serde_json::from_str(&spec_text)?;
+    let checker = Checker::new(&exec, intervals);
+    let report = checker.check(&spec);
+    print!("{report}");
+    Ok(if report.all_hold() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn overlap(a: &Args) -> Result<ExitCode, AnyError> {
+    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let mut names = Vec::new();
+    let mut locals: Vec<LocalInterval> = Vec::new();
+    let mut k = 1;
+    while let Some(name) = a.pos_opt(k) {
+        let ev = find(&intervals, name)?;
+        for &i in ev.node_set() {
+            let first = ev.earliest_at(i).expect("node in N");
+            let last = ev.latest_at(i).expect("node in N");
+            locals.push(LocalInterval::new(first, last).expect("same process, ordered"));
+        }
+        names.push(name.to_string());
+        k += 1;
+    }
+    if names.len() < 2 {
+        return Err(Box::new(ArgError::MissingPositional("two or more event names")));
+    }
+    let rep = possibly_overlap(&exec, &locals);
+    if rep.possible {
+        println!(
+            "events {names:?} could all be in progress simultaneously; \
+             witness global state: {}",
+            rep.witness.expect("possible implies witness")
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        let (j, i) = rep.blocking.expect("impossible implies blocking pair");
+        println!(
+            "events {names:?} can never all be in progress at once \
+             (interval {j} starts causally after interval {i} ends)"
+        );
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn relations_table() {
+    println!("relation  expression                 evaluation condition     complexity");
+    for rel in Relation::ALL {
+        let bound = match rel {
+            Relation::R2 | Relation::R3 => "|N_X|",
+            Relation::R2p | Relation::R3p => "|N_Y|",
+            _ => "min(|N_X|,|N_Y|)",
+        };
+        println!(
+            "{:<9} {:<26} {:<24} {}",
+            rel.name(),
+            rel.quantifier_expr(),
+            rel.evaluation_condition(),
+            bound
+        );
+    }
+}

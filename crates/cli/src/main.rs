@@ -1,0 +1,28 @@
+//! `synchrel` — generate, inspect, and check synchronization relations
+//! on distributed execution traces.
+//!
+//! ```text
+//! synchrel gen random --processes 8 --events 40 --seed 7 -o trace.json
+//! synchrel gen ring --processes 6 --rounds 4 -o trace.json
+//! synchrel stats trace.json
+//! synchrel render trace.json
+//! synchrel query trace.json round0 round2 [R1|R2|...]
+//! synchrel analyze trace.json
+//! synchrel check trace.json spec.json
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("synchrel: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

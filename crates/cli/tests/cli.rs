@@ -1,0 +1,247 @@
+//! End-to-end tests of the `synchrel` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_synchrel"))
+}
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("synchrel_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let o = run(&[]);
+    assert!(!o.status.success());
+    assert!(stdout(&o).contains("usage: synchrel"));
+}
+
+#[test]
+fn relations_lists_all_eight() {
+    let o = run(&["relations"]);
+    assert!(o.status.success());
+    let s = stdout(&o);
+    for name in ["R1", "R1'", "R2", "R2'", "R3", "R3'", "R4", "R4'"] {
+        assert!(s.contains(name), "{s}");
+    }
+}
+
+#[test]
+fn gen_stats_render_roundtrip() {
+    let dir = tmpdir();
+    let trace = dir.join("ring.json");
+    let o = run(&[
+        "gen",
+        "ring",
+        "--processes",
+        "4",
+        "--rounds",
+        "3",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{:?}", o);
+    assert!(trace.exists());
+
+    let o = run(&["stats", trace.to_str().unwrap()]);
+    assert!(o.status.success());
+    let s = stdout(&o);
+    assert!(s.contains("4 processes"), "{s}");
+    assert!(s.contains("round0"), "{s}");
+
+    let o = run(&["render", trace.to_str().unwrap()]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("P0"), "{}", stdout(&o));
+}
+
+#[test]
+fn query_exit_codes() {
+    let dir = tmpdir();
+    let trace = dir.join("phases.json");
+    assert!(run(&[
+        "gen",
+        "phases",
+        "--processes",
+        "3",
+        "--phases",
+        "3",
+        "-o",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    // phase0 wholly precedes phase1.
+    let o = run(&["query", trace.to_str().unwrap(), "phase0", "phase1", "R1"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("true"));
+
+    // the reverse fails with exit code 1.
+    let o = run(&["query", trace.to_str().unwrap(), "phase1", "phase0", "R1"]);
+    assert_eq!(o.status.code(), Some(1));
+
+    // no relation argument: table of all eight.
+    let o = run(&["query", trace.to_str().unwrap(), "phase0", "phase2"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("strongest: R1"), "{}", stdout(&o));
+}
+
+#[test]
+fn analyze_shows_matrix() {
+    let dir = tmpdir();
+    let trace = dir.join("cs.json");
+    assert!(run(&[
+        "gen",
+        "client-server",
+        "--clients",
+        "2",
+        "--requests",
+        "2",
+        "-o",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let o = run(&["analyze", trace.to_str().unwrap()]);
+    assert!(o.status.success());
+    let s = stdout(&o);
+    assert!(s.contains("txn_c1_r0"), "{s}");
+    assert!(s.contains("comparisons"), "{s}");
+}
+
+#[test]
+fn check_spec_pass_and_fail() {
+    let dir = tmpdir();
+    let trace = dir.join("ph.json");
+    assert!(run(&[
+        "gen",
+        "phases",
+        "--processes",
+        "3",
+        "--phases",
+        "2",
+        "-o",
+        trace.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let good = dir.join("good.json");
+    std::fs::write(
+        &good,
+        r#"{"name":"ok","requirements":[
+            {"name":"order","condition":
+              {"kind":"rel","rel":"R1","x":"phase0","y":"phase1"}}]}"#,
+    )
+    .unwrap();
+    let o = run(&["check", trace.to_str().unwrap(), good.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stdout(&o));
+
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &bad,
+        r#"{"name":"bad","requirements":[
+            {"name":"backwards","condition":
+              {"kind":"rel","rel":"R4","x":"phase1","y":"phase0"}}]}"#,
+    )
+    .unwrap();
+    let o = run(&["check", trace.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stdout(&o).contains("FAIL"), "{}", stdout(&o));
+}
+
+#[test]
+fn overlap_detects_possibility() {
+    use synchrel_core::{ExecutionBuilder, NonatomicEvent};
+    use synchrel_sim::format::TraceFile;
+
+    let dir = tmpdir();
+    // Hand-built trace: A on P0 and B on P1 are unsynchronized, so they
+    // can be in progress simultaneously.
+    let trace = dir.join("conc.json");
+    let mut b = ExecutionBuilder::new(2);
+    let a1 = b.internal(0);
+    let a2 = b.internal(0);
+    let b1 = b.internal(1);
+    let b2 = b.internal(1);
+    let exec = b.build().unwrap();
+    TraceFile::capture(
+        &exec,
+        [
+            (
+                "A".to_string(),
+                NonatomicEvent::new(&exec, [a1, a2]).unwrap(),
+            ),
+            (
+                "B".to_string(),
+                NonatomicEvent::new(&exec, [b1, b2]).unwrap(),
+            ),
+        ],
+    )
+    .save(&trace)
+    .unwrap();
+    let o = run(&["overlap", trace.to_str().unwrap(), "A", "B"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("simultaneously"), "{}", stdout(&o));
+
+    // Barrier-separated phases can never overlap.
+    let trace2 = dir.join("ph2.json");
+    assert!(run(&[
+        "gen",
+        "phases",
+        "--processes",
+        "3",
+        "--phases",
+        "2",
+        "-o",
+        trace2.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let o = run(&["overlap", trace2.to_str().unwrap(), "phase0", "phase1"]);
+    assert_eq!(o.status.code(), Some(1), "{}", stdout(&o));
+    assert!(stdout(&o).contains("never"), "{}", stdout(&o));
+
+    // Pipelined items share stage nodes, so they also can never be
+    // simultaneously active everywhere.
+    let trace3 = dir.join("pipe.json");
+    assert!(run(&[
+        "gen",
+        "pipeline",
+        "--stages",
+        "3",
+        "--items",
+        "2",
+        "-o",
+        trace3.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let o = run(&["overlap", trace3.to_str().unwrap(), "item0", "item1"]);
+    assert_eq!(o.status.code(), Some(1), "{}", stdout(&o));
+}
+
+#[test]
+fn unknown_command_errors() {
+    let o = run(&["frobnicate"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn gen_to_stdout() {
+    let o = run(&["gen", "broadcast", "--processes", "3", "--rounds", "1"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("\"steps\""), "{}", stdout(&o));
+}

@@ -1,0 +1,690 @@
+//! Cuts of an execution and the `≪` relation between them (paper §2.1).
+//!
+//! A **cut** (Definition 5) is the union of a downward-closed subset of
+//! each per-process chain `E_i`, always containing every dummy initial
+//! event `⊥ᵢ`:
+//!
+//! ```text
+//! C ⊆ E  ∧  E^⊥ ⊆ C  ∧  (e_i ∈ C ⟹ ∀e'_i ≺ e_i : e'_i ∈ C)
+//! ```
+//!
+//! Note that closure is only required *within* each partition — cuts here
+//! are per-process prefixes, **not** necessarily consistent global states
+//! (indeed `e⇑` of Definition 9 is a cut but is not downward-closed in
+//! `(E, ≺)`).
+//!
+//! Because each `C ∩ E_i` is a non-empty prefix, a cut is fully described
+//! by the per-process prefix lengths, which by Definition 15 are exactly
+//! the components of the cut's timestamp `T(C)`. [`Cut`] stores these
+//! counts; [`EventSet`] is the extensional representation used for
+//! ground-truth set algebra in tests and validation.
+//!
+//! The **surface** `S(C)` (Definition 6) is the set of latest events of
+//! `C` at each node. The `≪` relation (Definition 7) strengthens proper
+//! containment: `≪(C, C')` requires every non-`⊥` surface event of `C` to
+//! lie strictly inside `C'`. Its violation `≪̸(C, C')` — some surface
+//! event of `C` equals or happens causally after some surface event of
+//! `C'` — is the workhorse predicate behind every relation evaluation
+//! condition in Table 1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::execution::{EventId, Execution, ProcessId};
+use crate::vclock::VectorClock;
+
+/// Extensional set of events of a fixed execution, with per-process
+/// membership bitmaps. Ground truth for the count-based [`Cut`] algebra.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventSet {
+    incl: Vec<Vec<bool>>,
+}
+
+impl EventSet {
+    /// The empty set, shaped for `exec`.
+    pub fn empty(exec: &Execution) -> Self {
+        EventSet {
+            incl: (0..exec.num_processes())
+                .map(|p| vec![false; exec.len(ProcessId(p as u32)) as usize])
+                .collect(),
+        }
+    }
+
+    /// Build from an iterator of events.
+    pub fn from_events<I: IntoIterator<Item = EventId>>(exec: &Execution, events: I) -> Self {
+        let mut s = EventSet::empty(exec);
+        for e in events {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Insert an event.
+    pub fn insert(&mut self, e: EventId) {
+        self.incl[e.process.idx()][e.index as usize] = true;
+    }
+
+    /// Remove an event.
+    pub fn remove(&mut self, e: EventId) {
+        self.incl[e.process.idx()][e.index as usize] = false;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EventId) -> bool {
+        self.incl
+            .get(e.process.idx())
+            .and_then(|v| v.get(e.index as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.incl
+            .iter()
+            .map(|v| v.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.incl.iter().all(|v| v.iter().all(|&b| !b))
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &EventSet) {
+        for (a, b) in self.incl.iter_mut().zip(&other.incl) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= *y;
+            }
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &EventSet) {
+        for (a, b) in self.incl.iter_mut().zip(&other.incl) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x &= *y;
+            }
+        }
+    }
+
+    /// Subset test `self ⊆ other`.
+    pub fn is_subset(&self, other: &EventSet) -> bool {
+        self.incl
+            .iter()
+            .zip(&other.incl)
+            .all(|(a, b)| a.iter().zip(b).all(|(&x, &y)| !x || y))
+    }
+
+    /// All member events, in `(process, index)` order.
+    pub fn events(&self) -> Vec<EventId> {
+        let mut out = Vec::new();
+        for (p, v) in self.incl.iter().enumerate() {
+            for (i, &b) in v.iter().enumerate() {
+                if b {
+                    out.push(EventId::new(p as u32, i as u32));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A cut (Definition 5), stored as per-process prefix lengths.
+///
+/// `counts[i] ∈ 1..=|E_i|` is the number of events of `E_i` in the cut;
+/// `counts[i] ≥ 1` because `⊥ᵢ ∈ C` always. By Definition 15 these counts
+/// are exactly the components of the cut's timestamp `T(C)`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cut {
+    counts: Vec<u32>,
+}
+
+impl Cut {
+    /// The bottom cut `E^⊥` (only the dummy initial events).
+    pub fn bottom(exec: &Execution) -> Self {
+        Cut {
+            counts: vec![1; exec.num_processes()],
+        }
+    }
+
+    /// The full cut `E` (every event, dummies included).
+    pub fn full(exec: &Execution) -> Self {
+        Cut {
+            counts: (0..exec.num_processes())
+                .map(|p| exec.len(ProcessId(p as u32)))
+                .collect(),
+        }
+    }
+
+    /// Construct from per-process prefix lengths, validating the
+    /// Definition-5 bounds against `exec`.
+    pub fn from_counts(exec: &Execution, counts: Vec<u32>) -> Result<Self> {
+        if counts.len() != exec.num_processes() {
+            return Err(Error::NotACut);
+        }
+        for (p, &c) in counts.iter().enumerate() {
+            if c < 1 || c > exec.len(ProcessId(p as u32)) {
+                return Err(Error::NotACut);
+            }
+        }
+        Ok(Cut { counts })
+    }
+
+    /// Construct without validation. The caller asserts Definition 5.
+    pub fn from_counts_unchecked(counts: Vec<u32>) -> Self {
+        Cut { counts }
+    }
+
+    /// Validate an extensional event set as a cut (Definition 5) and
+    /// convert it: every `⊥ᵢ` present and every `C ∩ E_i` a prefix.
+    pub fn from_event_set(exec: &Execution, set: &EventSet) -> Result<Self> {
+        let mut counts = Vec::with_capacity(exec.num_processes());
+        for p in 0..exec.num_processes() {
+            let pid = ProcessId(p as u32);
+            if !set.contains(exec.bottom(pid)) {
+                return Err(Error::NotACut);
+            }
+            let len = exec.len(pid);
+            let mut c = 0;
+            let mut ended = false;
+            for i in 0..len {
+                let inside = set.contains(EventId { process: pid, index: i });
+                if inside {
+                    if ended {
+                        return Err(Error::NotACut); // gap: not a prefix
+                    }
+                    c = i + 1;
+                } else {
+                    ended = true;
+                }
+            }
+            counts.push(c);
+        }
+        Ok(Cut { counts })
+    }
+
+    /// Expand to the extensional representation.
+    pub fn to_event_set(&self, exec: &Execution) -> EventSet {
+        let mut s = EventSet::empty(exec);
+        for (p, &c) in self.counts.iter().enumerate() {
+            for i in 0..c {
+                s.insert(EventId::new(p as u32, i));
+            }
+        }
+        s
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The prefix length (= timestamp component, Definition 15) at node `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u32 {
+        self.counts[i]
+    }
+
+    /// All prefix lengths.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: EventId) -> bool {
+        e.index < self.counts[e.process.idx()]
+    }
+
+    /// The surface event `[S(C)]_i`: the latest cut event at node `i`
+    /// (Definition 6). Always exists because `⊥ᵢ ∈ C`.
+    #[inline]
+    pub fn surface_at(&self, i: usize) -> EventId {
+        EventId::new(i as u32, self.counts[i] - 1)
+    }
+
+    /// The full surface `S(C)` (Definition 6).
+    pub fn surface(&self) -> Vec<EventId> {
+        (0..self.counts.len()).map(|i| self.surface_at(i)).collect()
+    }
+
+    /// Is this the bottom cut `E^⊥`?
+    pub fn is_bottom(&self) -> bool {
+        self.counts.iter().all(|&c| c == 1)
+    }
+
+    /// The cut's timestamp `T(C)` as a vector clock (Definition 15).
+    ///
+    /// `T(C)[i]` equals the prefix length at node `i` — the own component
+    /// of the timestamp of the latest cut event at `i`.
+    pub fn timestamp(&self) -> VectorClock {
+        VectorClock::from_components(self.counts.clone())
+    }
+
+    /// Definition 15 computed extensionally — the max over the cut's
+    /// events at node `i` of `T(x)[i]` — for validating [`Cut::timestamp`].
+    pub fn timestamp_extensional(&self, exec: &Execution) -> VectorClock {
+        let mut comps = vec![0u32; self.counts.len()];
+        for (i, comp) in comps.iter_mut().enumerate() {
+            for idx in 0..self.counts[i] {
+                let e = EventId::new(i as u32, idx);
+                *comp = (*comp).max(exec.clock(e)[i]);
+            }
+        }
+        VectorClock::from_components(comps)
+    }
+
+    /// Node set `N_C` of the cut per Definition 1: nodes where the cut
+    /// contains a non-dummy event.
+    pub fn node_set(&self, exec: &Execution) -> Vec<usize> {
+        (0..self.counts.len())
+            .filter(|&i| self.counts[i] >= 2 && exec.len(ProcessId(i as u32)) > 2)
+            .collect()
+    }
+
+    /// Lattice join: the union cut (Lemma 16, max of timestamps).
+    pub fn union(&self, other: &Cut) -> Cut {
+        Cut {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Lattice meet: the intersection cut (Lemma 16, min of timestamps).
+    pub fn intersection(&self, other: &Cut) -> Cut {
+        Cut {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Containment `self ⊆ other`.
+    pub fn is_subset(&self, other: &Cut) -> bool {
+        self.counts.iter().zip(&other.counts).all(|(&a, &b)| a <= b)
+    }
+
+    /// Strict containment `self ⊂ other`.
+    pub fn is_proper_subset(&self, other: &Cut) -> bool {
+        self.is_subset(other) && self != other
+    }
+}
+
+impl fmt::Debug for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cut{:?}", self.counts)
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (k, c) in self.counts.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// The four (equivalent) forms of Definition 7 of the `≪` relation,
+/// implemented literally and independently for cross-validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlForm {
+    /// `≪(C,C') iff (∀z ∈ S(C)∖E^⊥ : z ∉ S(C') ∧ z ∈ C') ∧ C' ≠ E^⊥`
+    Form1,
+    /// The complement form: `≪̸(C,C') iff (∃z ∈ S(C)∖E^⊥ : z ∈ S(C') ∨ z ∉ C') ∨ C' = E^⊥`
+    Form2,
+    /// `≪(C,C') iff (∀z ∈ S(C')∖E^⊥ : z ∉ C) ∧ C' ≠ E^⊥ ∧ N_C ⊆ N_{C'}`
+    Form3,
+    /// The complement form: `≪̸(C,C') iff (∃z ∈ S(C')∖E^⊥ : z ∈ C) ∨ C' = E^⊥ ∨ N_C ⊄ N_{C'}`
+    Form4,
+}
+
+/// Evaluate `≪(c, cp)` extensionally per the chosen form of Definition 7.
+///
+/// Forms 1/2 and 3/4 are provably pairwise complementary; all four agree
+/// whenever every process has at least one application event. (On
+/// executions with application-empty processes, Forms 1 and 3 can diverge
+/// when `C` contains such a process's `⊤ᵢ` — see the `form_divergence`
+/// test and `EXPERIMENTS.md`.)
+pub fn ll_extensional(exec: &Execution, c: &Cut, cp: &Cut, form: LlForm) -> bool {
+    let cset = c.to_event_set(exec);
+    let cpset = cp.to_event_set(exec);
+    let surf_c: Vec<EventId> = c.surface().into_iter().filter(|z| z.index >= 1).collect();
+    let surf_cp: Vec<EventId> = cp.surface().into_iter().filter(|z| z.index >= 1).collect();
+    let in_surface = |surf: &[EventId], z: EventId| surf.contains(&z);
+    match form {
+        LlForm::Form1 => {
+            surf_c
+                .iter()
+                .all(|&z| !in_surface(&cp.surface(), z) && cpset.contains(z))
+                && !cp.is_bottom()
+        }
+        LlForm::Form2 => {
+            let not_ll = surf_c
+                .iter()
+                .any(|&z| in_surface(&cp.surface(), z) || !cpset.contains(z))
+                || cp.is_bottom();
+            !not_ll
+        }
+        LlForm::Form3 => {
+            let nc = c.node_set(exec);
+            let ncp = cp.node_set(exec);
+            surf_cp.iter().all(|&z| !cset.contains(z))
+                && !cp.is_bottom()
+                && nc.iter().all(|i| ncp.contains(i))
+        }
+        LlForm::Form4 => {
+            let nc = c.node_set(exec);
+            let ncp = cp.node_set(exec);
+            let not_ll = surf_cp.iter().any(|&z| cset.contains(z))
+                || cp.is_bottom()
+                || !nc.iter().all(|i| ncp.contains(i));
+            !not_ll
+        }
+    }
+}
+
+/// Fast `≪(c, cp)` in `O(|P|)` integer comparisons over the count
+/// representation (equivalent to Form 1):
+///
+/// `≪(C,C') ⟺ [∀i : T(C)[i] ≥ 2 ⟹ T(C)[i] < T(C')[i]] ∧ C' ≠ E^⊥`.
+pub fn ll(c: &Cut, cp: &Cut) -> bool {
+    debug_assert_eq!(c.width(), cp.width());
+    let mut cp_nonbottom = false;
+    for i in 0..c.width() {
+        let (a, b) = (c.counts[i], cp.counts[i]);
+        if b >= 2 {
+            cp_nonbottom = true;
+        }
+        if a >= 2 && a >= b {
+            return false;
+        }
+    }
+    cp_nonbottom
+}
+
+/// Fast `≪̸(c, cp)` — the violation of `≪`, the predicate used by every
+/// evaluation condition in Table 1. When it holds, some event in `S(C)`
+/// equals or happens causally after some event in `S(C')`.
+#[inline]
+pub fn not_ll(c: &Cut, cp: &Cut) -> bool {
+    !ll(c, cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+
+    fn sample_exec() -> Execution {
+        // p0: ⊥ a s ⊤ ; p1: ⊥ r b ⊤ ; p2: ⊥ c ⊤
+        let mut b = ExecutionBuilder::new(3);
+        b.internal(0);
+        let (_, m) = b.send(0);
+        b.recv(1, m).unwrap();
+        b.internal(1);
+        b.internal(2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bottom_and_full() {
+        let e = sample_exec();
+        let bot = Cut::bottom(&e);
+        let full = Cut::full(&e);
+        assert!(bot.is_bottom());
+        assert!(!full.is_bottom());
+        assert_eq!(bot.counts(), &[1, 1, 1]);
+        assert_eq!(full.counts(), &[4, 4, 3]);
+        assert!(bot.is_proper_subset(&full));
+    }
+
+    #[test]
+    fn from_counts_validation() {
+        let e = sample_exec();
+        assert!(Cut::from_counts(&e, vec![1, 2, 3]).is_ok());
+        assert!(Cut::from_counts(&e, vec![0, 2, 3]).is_err()); // below 1
+        assert!(Cut::from_counts(&e, vec![1, 2, 4]).is_err()); // above |E_2|
+        assert!(Cut::from_counts(&e, vec![1, 2]).is_err()); // wrong width
+    }
+
+    #[test]
+    fn membership_and_surface() {
+        let e = sample_exec();
+        let c = Cut::from_counts(&e, vec![3, 2, 1]).unwrap();
+        assert!(c.contains(EventId::new(0, 0)));
+        assert!(c.contains(EventId::new(0, 2)));
+        assert!(!c.contains(EventId::new(0, 3)));
+        assert!(c.contains(EventId::new(1, 1)));
+        assert!(!c.contains(EventId::new(1, 2)));
+        assert_eq!(
+            c.surface(),
+            vec![EventId::new(0, 2), EventId::new(1, 1), EventId::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn event_set_roundtrip() {
+        let e = sample_exec();
+        let c = Cut::from_counts(&e, vec![2, 3, 1]).unwrap();
+        let s = c.to_event_set(&e);
+        assert_eq!(s.len(), 6);
+        let c2 = Cut::from_event_set(&e, &s).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn event_set_cut_validation() {
+        let e = sample_exec();
+        // Missing ⊥₂ — not a cut.
+        let mut s = Cut::from_counts(&e, vec![2, 2, 1]).unwrap().to_event_set(&e);
+        s.remove(EventId::new(2, 0));
+        assert_eq!(Cut::from_event_set(&e, &s), Err(Error::NotACut));
+        // Gap in the prefix — not a cut.
+        let mut s = Cut::from_counts(&e, vec![3, 1, 1]).unwrap().to_event_set(&e);
+        s.remove(EventId::new(0, 1));
+        assert_eq!(Cut::from_event_set(&e, &s), Err(Error::NotACut));
+    }
+
+    #[test]
+    fn event_set_algebra() {
+        let e = sample_exec();
+        let a = EventSet::from_events(&e, [EventId::new(0, 0), EventId::new(0, 1)]);
+        let b = EventSet::from_events(&e, [EventId::new(0, 1), EventId::new(1, 1)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.events(), vec![EventId::new(0, 1)]);
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(EventSet::empty(&e).is_empty());
+    }
+
+    #[test]
+    fn timestamp_matches_definition_15() {
+        let e = sample_exec();
+        for c0 in 1..=4u32 {
+            for c1 in 1..=4u32 {
+                for c2 in 1..=3u32 {
+                    let c = Cut::from_counts(&e, vec![c0, c1, c2]).unwrap();
+                    assert_eq!(
+                        c.timestamp(),
+                        c.timestamp_extensional(&e),
+                        "Definition 15 disagreement on {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_laws() {
+        let e = sample_exec();
+        let a = Cut::from_counts(&e, vec![3, 1, 2]).unwrap();
+        let b = Cut::from_counts(&e, vec![2, 4, 1]).unwrap();
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        assert_eq!(u.counts(), &[3, 4, 2]);
+        assert_eq!(i.counts(), &[2, 1, 1]);
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(a.is_subset(&u) && b.is_subset(&u));
+        // Lemma 16: union/intersection of cuts is max/min of timestamps.
+        assert_eq!(u.timestamp(), a.timestamp().join(&b.timestamp()));
+        assert_eq!(i.timestamp(), a.timestamp().meet(&b.timestamp()));
+        // extensional agreement
+        let mut us = a.to_event_set(&e);
+        us.union_with(&b.to_event_set(&e));
+        assert_eq!(Cut::from_event_set(&e, &us).unwrap(), u);
+        let mut is = a.to_event_set(&e);
+        is.intersect_with(&b.to_event_set(&e));
+        assert_eq!(Cut::from_event_set(&e, &is).unwrap(), i);
+    }
+
+    #[test]
+    fn node_set_excludes_dummy_only() {
+        let e = sample_exec();
+        let c = Cut::from_counts(&e, vec![2, 1, 3]).unwrap();
+        // node 0: contains app event a ✓; node 1: only ⊥ ✗;
+        // node 2: contains c (and ⊤₂) ✓.
+        assert_eq!(c.node_set(&e), vec![0, 2]);
+        // An app-empty process never enters a node set.
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(0);
+        let e2 = b.build().unwrap();
+        let full = Cut::full(&e2);
+        assert_eq!(full.node_set(&e2), vec![0]);
+    }
+
+    /// Enumerate all cuts of the sample execution.
+    fn all_cuts(e: &Execution) -> Vec<Cut> {
+        let mut out = Vec::new();
+        for c0 in 1..=e.len(ProcessId(0)) {
+            for c1 in 1..=e.len(ProcessId(1)) {
+                for c2 in 1..=e.len(ProcessId(2)) {
+                    out.push(Cut::from_counts(e, vec![c0, c1, c2]).unwrap());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ll_forms_agree_and_match_fast() {
+        let e = sample_exec();
+        let cuts = all_cuts(&e);
+        for c in &cuts {
+            for cp in &cuts {
+                let f1 = ll_extensional(&e, c, cp, LlForm::Form1);
+                let f2 = ll_extensional(&e, c, cp, LlForm::Form2);
+                let f3 = ll_extensional(&e, c, cp, LlForm::Form3);
+                let f4 = ll_extensional(&e, c, cp, LlForm::Form4);
+                assert_eq!(f1, f2, "form1 vs form2 on ({c}, {cp})");
+                assert_eq!(f3, f4, "form3 vs form4 on ({c}, {cp})");
+                assert_eq!(f1, f3, "form1 vs form3 on ({c}, {cp})");
+                assert_eq!(f1, ll(c, cp), "fast ll on ({c}, {cp})");
+                assert_eq!(!f1, not_ll(c, cp));
+            }
+        }
+    }
+
+    #[test]
+    fn ll_implies_proper_containment() {
+        // ≪(C,C') implies C ⊂ C' and per-node proper containment where C
+        // has non-⊥ events.
+        let e = sample_exec();
+        let cuts = all_cuts(&e);
+        for c in &cuts {
+            for cp in &cuts {
+                if ll(c, cp) {
+                    for i in 0..3 {
+                        if c.count(i) >= 2 {
+                            assert!(c.count(i) < cp.count(i));
+                        }
+                    }
+                    assert!(!cp.is_bottom());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ll_is_irreflexive_and_transitive() {
+        let e = sample_exec();
+        let cuts = all_cuts(&e);
+        for c in &cuts {
+            if !c.is_bottom() {
+                assert!(!ll(c, c), "≪ must be irreflexive on {c}");
+            }
+        }
+        for a in &cuts {
+            for b in &cuts {
+                if !ll(a, b) {
+                    continue;
+                }
+                for c in &cuts {
+                    if ll(b, c) {
+                        assert!(ll(a, c), "≪ must be transitive: {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ll_bottom_cases() {
+        let e = sample_exec();
+        let bot = Cut::bottom(&e);
+        let full = Cut::full(&e);
+        // Bottom ≪ anything non-bottom (its surface has no non-⊥ events).
+        assert!(ll(&bot, &full));
+        // Nothing ≪ bottom (robustness term C' ≠ E^⊥).
+        assert!(!ll(&full, &bot));
+        assert!(!ll(&bot, &bot));
+    }
+
+    #[test]
+    fn form_divergence_on_app_empty_process() {
+        // Documented edge case: process 1 has no application events.
+        // C contains ⊤₁ while C' does not reach past ⊥₁; Form 1 rejects
+        // (the surface event ⊤₁ cannot be strictly inside C'), Form 3
+        // accepts (⊤₁ is invisible to node sets and to S(C')).
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(0);
+        b.internal(0);
+        let e = b.build().unwrap();
+        let c = Cut::from_counts(&e, vec![1, 2]).unwrap(); // {⊥₀, ⊥₁, ⊤₁}
+        let cp = Cut::from_counts(&e, vec![3, 1]).unwrap(); // {⊥₀,a,b, ⊥₁}
+        let f1 = ll_extensional(&e, &c, &cp, LlForm::Form1);
+        let f3 = ll_extensional(&e, &c, &cp, LlForm::Form3);
+        assert!(!f1, "Form 1 rejects: surface ⊤₁ ∉ C'");
+        assert!(f3, "Form 3 accepts: S(C') has no event at node 1");
+        assert_ne!(f1, f3, "the documented divergence");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let e = sample_exec();
+        let c = Cut::from_counts(&e, vec![1, 2, 3]).unwrap();
+        assert_eq!(c.to_string(), "⟨1,2,3⟩");
+        assert_eq!(format!("{c:?}"), "Cut[1, 2, 3]");
+    }
+}

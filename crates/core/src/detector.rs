@@ -1,0 +1,286 @@
+//! Problem 4: relation detection over a set `𝒜` of nonatomic events.
+//!
+//! Given a recorded trace `(E, ≺)` and nonatomic events `𝒜`, the
+//! application needs to know (i) whether a specific `r(X, Y)` holds for
+//! `r ∈ ℛ`, and (ii) all relations that hold between each pair.
+//!
+//! The [`Detector`] owns the event set and implements Key Idea 1: each
+//! event's proxy summaries (node sets, extremal positions, condensation
+//! cuts) are computed **once** and cached; every subsequent query against
+//! any other event is answered in a linear number of integer comparisons
+//! (Theorem 20). Construct with [`Detector::without_cache`] to measure
+//! the ablation.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::execution::Execution;
+use crate::linear::Evaluator;
+use crate::nonatomic::NonatomicEvent;
+use crate::proxy_relations::{ProxyRelation, ProxySummary, RelationSet};
+
+/// The relations holding between one ordered pair of nonatomic events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairReport {
+    /// Index of `X` in the detector's event list.
+    pub x: usize,
+    /// Index of `Y` in the detector's event list.
+    pub y: usize,
+    /// The subset of `ℛ` that holds for `(X, Y)`.
+    pub relations: RelationSet,
+    /// Integer comparisons spent answering this pair (excluding the
+    /// amortized one-time summary cost).
+    pub comparisons: u64,
+}
+
+/// Relation detector over a fixed execution and event set (Problem 4).
+pub struct Detector<'a> {
+    exec: &'a Execution,
+    events: Vec<NonatomicEvent>,
+    cache: RwLock<Vec<Option<Arc<ProxySummary>>>>,
+    caching: bool,
+}
+
+impl<'a> Detector<'a> {
+    /// Create a detector with summary caching enabled (Key Idea 1).
+    pub fn new(exec: &'a Execution, events: Vec<NonatomicEvent>) -> Self {
+        let n = events.len();
+        Detector {
+            exec,
+            events,
+            cache: RwLock::new(vec![None; n]),
+            caching: true,
+        }
+    }
+
+    /// Create a detector that recomputes summaries on every query
+    /// (the Key-Idea-1 ablation baseline).
+    pub fn without_cache(exec: &'a Execution, events: Vec<NonatomicEvent>) -> Self {
+        let mut d = Detector::new(exec, events);
+        d.caching = false;
+        d
+    }
+
+    /// Number of registered nonatomic events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the event set empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The registered events.
+    pub fn events(&self) -> &[NonatomicEvent] {
+        &self.events
+    }
+
+    /// The event at `i`.
+    pub fn event(&self, i: usize) -> Option<&NonatomicEvent> {
+        self.events.get(i)
+    }
+
+    fn summary(&self, i: usize) -> Arc<ProxySummary> {
+        if self.caching {
+            if let Some(s) = &self.cache.read()[i] {
+                return Arc::clone(s);
+            }
+        }
+        let ev = Evaluator::new(self.exec);
+        let s = Arc::new(ev.summarize_proxies(&self.events[i]));
+        if self.caching {
+            let mut w = self.cache.write();
+            if let Some(existing) = &w[i] {
+                return Arc::clone(existing);
+            }
+            w[i] = Some(Arc::clone(&s));
+        }
+        s
+    }
+
+    /// Force all summaries to be computed now (the "one-time cost" of
+    /// §2.3, measured by the setup benchmark).
+    pub fn warm_up(&self) {
+        for i in 0..self.events.len() {
+            let _ = self.summary(i);
+        }
+    }
+
+    /// Problem 4(i): does the specific relation `pr` hold for the pair
+    /// `(events[xi], events[yi])`?
+    pub fn holds(&self, pr: ProxyRelation, xi: usize, yi: usize) -> Result<bool> {
+        self.check_index(xi)?;
+        self.check_index(yi)?;
+        let ev = Evaluator::new(self.exec);
+        let sx = self.summary(xi);
+        let sy = self.summary(yi);
+        Ok(ev.eval_proxy(pr, &sx, &sy).holds)
+    }
+
+    /// Problem 4(ii) for one pair: all relations of `ℛ` that hold.
+    pub fn pair(&self, xi: usize, yi: usize) -> Result<PairReport> {
+        self.check_index(xi)?;
+        self.check_index(yi)?;
+        let ev = Evaluator::new(self.exec);
+        let sx = self.summary(xi);
+        let sy = self.summary(yi);
+        let (relations, comparisons) = ev.eval_all_proxy(&sx, &sy);
+        Ok(PairReport {
+            x: xi,
+            y: yi,
+            relations,
+            comparisons,
+        })
+    }
+
+    /// Problem 4(ii): reports for every ordered pair `X ≠ Y`.
+    pub fn all_pairs(&self) -> Vec<PairReport> {
+        let n = self.events.len();
+        let mut out = Vec::with_capacity(n.saturating_sub(1) * n);
+        for x in 0..n {
+            for y in 0..n {
+                if x != y {
+                    out.push(self.pair(x, y).expect("indices in range"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parallel [`Detector::all_pairs`]: summaries are warmed up first,
+    /// then the pair matrix is evaluated on `threads` worker threads.
+    pub fn all_pairs_parallel(&self, threads: usize) -> Vec<PairReport> {
+        let n = self.events.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        self.warm_up();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|x| (0..n).filter(move |&y| y != x).map(move |y| (x, y)))
+            .collect();
+        let threads = threads.max(1).min(pairs.len());
+        let chunk = pairs.len().div_ceil(threads);
+        let mut out: Vec<Option<PairReport>> = vec![None; pairs.len()];
+        std::thread::scope(|scope| {
+            for (slot_chunk, pair_chunk) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, &(x, y)) in slot_chunk.iter_mut().zip(pair_chunk) {
+                        *slot = Some(self.pair(x, y).expect("indices in range"));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    fn check_index(&self, i: usize) -> Result<()> {
+        if i >= self.events.len() {
+            return Err(Error::UnknownEventIndex(i));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+    use crate::proxy_relations::Proxy;
+    use crate::relations::Relation;
+
+    fn setup() -> (Execution, Vec<NonatomicEvent>) {
+        // Three phases chained by messages: X fully precedes Y, which
+        // fully precedes Z.
+        let mut b = ExecutionBuilder::new(3);
+        let x1 = b.internal(0);
+        let (x2, m1) = b.send(0);
+        let y1 = b.recv(1, m1).unwrap();
+        let (y2, m2) = b.send(1);
+        let z1 = b.recv(2, m2).unwrap();
+        let z2 = b.internal(2);
+        let e = b.build().unwrap();
+        let xs = vec![
+            NonatomicEvent::new(&e, [x1, x2]).unwrap(),
+            NonatomicEvent::new(&e, [y1, y2]).unwrap(),
+            NonatomicEvent::new(&e, [z1, z2]).unwrap(),
+        ];
+        (e, xs)
+    }
+
+    #[test]
+    fn specific_relation_query() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let r1 = ProxyRelation::new(Relation::R1, Proxy::U, Proxy::L);
+        assert!(d.holds(r1, 0, 1).unwrap());
+        assert!(d.holds(r1, 1, 2).unwrap());
+        assert!(d.holds(r1, 0, 2).unwrap());
+        assert!(!d.holds(r1, 2, 0).unwrap());
+    }
+
+    #[test]
+    fn pair_reports_all_relations_for_ordered_phases() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let rep = d.pair(0, 1).unwrap();
+        // X wholly precedes Y: every one of the 32 relations holds.
+        assert_eq!(rep.relations.len(), 32);
+        let rev = d.pair(1, 0).unwrap();
+        assert!(rev.relations.is_empty());
+    }
+
+    #[test]
+    fn all_pairs_covers_matrix() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let reports = d.all_pairs();
+        assert_eq!(reports.len(), 6);
+        for rep in &reports {
+            if rep.x < rep.y {
+                assert_eq!(rep.relations.len(), 32, "({}, {})", rep.x, rep.y);
+            } else {
+                assert!(rep.relations.is_empty(), "({}, {})", rep.x, rep.y);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let seq = d.all_pairs();
+        for threads in [1, 2, 4, 16] {
+            let par = d.all_pairs_parallel(threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cache_ablation_same_answers() {
+        let (e, evs) = setup();
+        let cached = Detector::new(&e, evs.clone());
+        let uncached = Detector::without_cache(&e, evs);
+        assert_eq!(cached.all_pairs(), uncached.all_pairs());
+    }
+
+    #[test]
+    fn index_errors() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let r = ProxyRelation::new(Relation::R4, Proxy::L, Proxy::U);
+        assert!(d.holds(r, 0, 7).is_err());
+        assert!(d.pair(9, 0).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let (e, _) = setup();
+        let d = Detector::new(&e, vec![]);
+        assert!(d.is_empty());
+        assert!(d.all_pairs().is_empty());
+        assert!(d.all_pairs_parallel(4).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! ASCII space-time diagrams of executions, events, and cuts.
+//!
+//! Used to regenerate the paper's figures (Figures 1–3) in text form and
+//! by examples for human-readable output. Each application event occupies
+//! one column (its position in the construction linearization); process
+//! chains are rows; cut surfaces are drawn as a marker after the surface
+//! event of each row.
+//!
+//! ```text
+//! P0 ⊥ --a---s1>0------------------|1 ⊤
+//! P1 ⊥ ------<0-----b---s2>1-------|1 ⊤
+//! P2 ⊥ -----------------<1----c----|1 ⊤
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::cut::Cut;
+use crate::execution::{EventId, EventKind, Execution};
+use crate::nonatomic::NonatomicEvent;
+
+/// Builder for an ASCII space-time diagram of one execution.
+pub struct Diagram<'a> {
+    exec: &'a Execution,
+    labels: BTreeMap<EventId, String>,
+    cuts: Vec<(char, Cut)>,
+}
+
+impl<'a> Diagram<'a> {
+    /// Start a diagram of `exec`.
+    pub fn new(exec: &'a Execution) -> Self {
+        Diagram {
+            exec,
+            labels: BTreeMap::new(),
+            cuts: Vec::new(),
+        }
+    }
+
+    /// Attach a label to an event (defaults: `s<msg>`/`r<msg>` for
+    /// send/receive, `.` for internal events).
+    pub fn label(&mut self, e: EventId, text: impl Into<String>) -> &mut Self {
+        self.labels.insert(e, text.into());
+        self
+    }
+
+    /// Label every member of a nonatomic event with `prefix` plus a
+    /// running number (`x1`, `x2`, …, in `(process, index)` order).
+    pub fn label_event(&mut self, x: &NonatomicEvent, prefix: &str) -> &mut Self {
+        for (k, e) in x.events().enumerate() {
+            self.labels.insert(e, format!("{prefix}{}", k + 1));
+        }
+        self
+    }
+
+    /// Draw a cut: `marker` is printed after the surface event on each
+    /// process row.
+    pub fn cut(&mut self, marker: char, cut: &Cut) -> &mut Self {
+        self.cuts.push((marker, cut.clone()));
+        self
+    }
+
+    fn cell_text(&self, e: EventId) -> String {
+        if let Some(l) = self.labels.get(&e) {
+            return l.clone();
+        }
+        match self.exec.kind(e) {
+            EventKind::Initial => "⊥".to_string(),
+            EventKind::Final => "⊤".to_string(),
+            EventKind::Internal => ".".to_string(),
+            EventKind::Send { msg } => format!("s{msg}"),
+            EventKind::Recv { msg } => format!("r{msg}"),
+        }
+    }
+
+    /// Render the diagram.
+    pub fn render(&self) -> String {
+        let exec = self.exec;
+        let p_count = exec.num_processes();
+        // Column assignment: ⊥ = 0, app events by linearization order,
+        // ⊤ = last.
+        let mut col: BTreeMap<EventId, usize> = BTreeMap::new();
+        for p in 0..p_count {
+            col.insert(EventId::new(p as u32, 0), 0);
+        }
+        for (k, &e) in exec.app_order().iter().enumerate() {
+            col.insert(e, k + 1);
+        }
+        let last_col = exec.app_order().len() + 1;
+        for p in 0..p_count {
+            col.insert(
+                EventId::new(p as u32, exec.len(crate::execution::ProcessId(p as u32)) - 1),
+                last_col,
+            );
+        }
+        // Column widths: label + optional cut markers.
+        let mut width = vec![1usize; last_col + 1];
+        let mut cell: BTreeMap<(usize, usize), String> = BTreeMap::new();
+        for e in exec.all_events() {
+            let c = col[&e];
+            let mut text = self.cell_text(e);
+            for (marker, cut) in &self.cuts {
+                if cut.surface_at(e.process.idx()) == e {
+                    text.push('|');
+                    text.push(*marker);
+                }
+            }
+            width[c] = width[c].max(text.chars().count());
+            cell.insert((e.process.idx(), c), text);
+        }
+        // Render rows.
+        let mut out = String::new();
+        for p in 0..p_count {
+            out.push_str(&format!("P{p} "));
+            for (c, w) in width.iter().enumerate() {
+                let text = cell.get(&(p, c)).cloned().unwrap_or_default();
+                let pad = w + 2 - text.chars().count();
+                out.push_str(&text);
+                for _ in 0..pad {
+                    out.push('-');
+                }
+            }
+            // Trim trailing dashes for tidiness.
+            while out.ends_with('-') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        if !self.cuts.is_empty() {
+            out.push_str("cuts:");
+            for (marker, cut) in &self.cuts {
+                out.push_str(&format!(" |{marker}={cut}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+
+    #[test]
+    fn renders_processes_and_events() {
+        let mut b = ExecutionBuilder::new(2);
+        let a = b.internal(0);
+        let (s, m) = b.send(0);
+        b.recv(1, m).unwrap();
+        let e = b.build().unwrap();
+        let mut d = Diagram::new(&e);
+        d.label(a, "a");
+        let out = d.render();
+        assert!(out.contains("P0"), "{out}");
+        assert!(out.contains("P1"), "{out}");
+        assert!(out.contains('a'), "{out}");
+        assert!(out.contains("s0"), "{out}");
+        assert!(out.contains("r0"), "{out}");
+        assert!(out.contains('⊥'), "{out}");
+        assert!(out.contains('⊤'), "{out}");
+        let _ = s;
+    }
+
+    #[test]
+    fn renders_cut_markers() {
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(0);
+        b.internal(1);
+        let e = b.build().unwrap();
+        let cut = Cut::from_counts(&e, vec![2, 1]).unwrap();
+        let mut d = Diagram::new(&e);
+        d.cut('1', &cut);
+        let out = d.render();
+        assert!(out.contains("|1"), "{out}");
+        assert!(out.contains("cuts:"), "{out}");
+    }
+
+    #[test]
+    fn labels_nonatomic_events() {
+        let mut b = ExecutionBuilder::new(2);
+        let a = b.internal(0);
+        let c = b.internal(1);
+        let e = b.build().unwrap();
+        let x = NonatomicEvent::new(&e, [a, c]).unwrap();
+        let mut d = Diagram::new(&e);
+        d.label_event(&x, "x");
+        let out = d.render();
+        assert!(out.contains("x1"), "{out}");
+        assert!(out.contains("x2"), "{out}");
+    }
+
+    #[test]
+    fn rows_align() {
+        let mut b = ExecutionBuilder::new(3);
+        b.internal(0);
+        b.message(0, 1);
+        b.internal(2);
+        let e = b.build().unwrap();
+        let out = Diagram::new(&e).render();
+        let lens: Vec<usize> = out
+            .lines()
+            .filter(|l| l.starts_with('P'))
+            .map(|l| l.trim_end_matches('-').len())
+            .collect();
+        assert_eq!(lens.len(), 3);
+    }
+}

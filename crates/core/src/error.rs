@@ -1,0 +1,88 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+use crate::execution::{EventId, ProcessId};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing executions, cuts, or nonatomic events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A process id referenced a process outside the execution.
+    UnknownProcess(ProcessId),
+    /// An event id referenced an event outside the execution.
+    UnknownEvent(EventId),
+    /// A message token was consumed twice or never produced.
+    BadMessageToken(u64),
+    /// The local orders plus message edges contain a causal cycle.
+    CausalCycle,
+    /// An index into a detector's event list was out of range.
+    UnknownEventIndex(usize),
+    /// A nonatomic event must contain at least one application event.
+    EmptyNonatomicEvent,
+    /// Nonatomic events may not contain the dummy `⊥ᵢ` / `⊤ᵢ` events.
+    DummyInNonatomicEvent(EventId),
+    /// A cut must contain `⊥ᵢ` for every process and be per-process
+    /// downward-closed (Definition 5).
+    NotACut,
+    /// A Definition-3 proxy is empty (no global minimum/maximum exists).
+    EmptyProxy,
+    /// The operation requires executions of identical shape.
+    ExecutionMismatch,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            Error::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            Error::UnknownEventIndex(i) => write!(f, "unknown nonatomic event index {i}"),
+            Error::BadMessageToken(t) => write!(f, "bad message token {t}"),
+            Error::CausalCycle => write!(f, "message edges induce a causal cycle"),
+            Error::EmptyNonatomicEvent => {
+                write!(f, "a nonatomic event must contain at least one event")
+            }
+            Error::DummyInNonatomicEvent(e) => {
+                write!(f, "nonatomic event contains dummy event {e}")
+            }
+            Error::NotACut => write!(f, "event set is not a cut (Definition 5)"),
+            Error::EmptyProxy => write!(f, "Definition-3 proxy is empty"),
+            Error::ExecutionMismatch => write!(f, "executions have different shapes"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::EventId;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownProcess(ProcessId(3)), "P3"),
+            (Error::UnknownEvent(EventId::new(1, 2)), "p1:2"),
+            (Error::UnknownEventIndex(9), "index 9"),
+            (Error::BadMessageToken(7), "token 7"),
+            (Error::CausalCycle, "cycle"),
+            (Error::EmptyNonatomicEvent, "at least one"),
+            (
+                Error::DummyInNonatomicEvent(EventId::new(0, 0)),
+                "dummy event p0:0",
+            ),
+            (Error::NotACut, "Definition 5"),
+            (Error::EmptyProxy, "proxy"),
+            (Error::ExecutionMismatch, "different shapes"),
+        ];
+        for (e, needle) in cases {
+            let text = e.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+            // std::error::Error is implemented.
+            let _: &dyn std::error::Error = &e;
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The implication hierarchy among the Table-1 relations.
+//!
+//! For non-empty `X` and `Y` the eight relations form a lattice-shaped
+//! hierarchy (the one the paper's relations "fill in" between the
+//! hierarchies of Lamport and of Kshemkalyani's earlier work):
+//!
+//! ```text
+//!            R1 ≡ R1'
+//!           /        \
+//!         R2'         R3
+//!          |           |
+//!         R2          R3'
+//!           \        /
+//!            R4 ≡ R4'
+//! ```
+//!
+//! Every edge is a strict implication (`R2' ⟹ R2` because an `∃y∀x`
+//! witness serves every `x`; `R3 ⟹ R3'` dually; `R1` implies everything
+//! because both universals specialize; everything implies `R4` by
+//! instantiating existentials — using non-emptiness of `X` and `Y`).
+
+use crate::relations::Relation;
+
+fn idx(r: Relation) -> usize {
+    Relation::ALL.iter().position(|&x| x == r).expect("in ALL")
+}
+
+/// `IMPLIES[a][b]` ⟺ `a(X,Y) ⟹ b(X,Y)` for all non-empty `X`, `Y`.
+/// Rows/columns in `Relation::ALL` order: R1 R1' R2 R2' R3 R3' R4 R4'.
+const IMPLIES: [[bool; 8]; 8] = {
+    let t = true;
+    let f = false;
+    [
+        // R1 implies everything.
+        [t, t, t, t, t, t, t, t],
+        // R1' ≡ R1.
+        [t, t, t, t, t, t, t, t],
+        // R2 ⟹ R4.
+        [f, f, t, f, f, f, t, t],
+        // R2' ⟹ R2 ⟹ R4.
+        [f, f, t, t, f, f, t, t],
+        // R3 ⟹ R3' ⟹ R4.
+        [f, f, f, f, t, t, t, t],
+        // R3' ⟹ R4.
+        [f, f, f, f, f, t, t, t],
+        // R4 ≡ R4'.
+        [f, f, f, f, f, f, t, t],
+        [f, f, f, f, f, f, t, t],
+    ]
+};
+
+/// Does `a(X, Y)` imply `b(X, Y)` for every pair of non-empty nonatomic
+/// events?
+pub fn implies(a: Relation, b: Relation) -> bool {
+    IMPLIES[idx(a)][idx(b)]
+}
+
+/// All relations implied by `a` (including `a` itself).
+pub fn implied_by(a: Relation) -> impl Iterator<Item = Relation> {
+    Relation::ALL.into_iter().filter(move |&b| implies(a, b))
+}
+
+/// The strongest relations of a set: members not implied by any other
+/// member (useful for reporting a pair's relation profile compactly).
+pub fn strongest(set: &[Relation]) -> Vec<Relation> {
+    set.iter()
+        .copied()
+        .filter(|&a| {
+            !set.iter()
+                .any(|&b| b != a && implies(b, a) && !implies(a, b))
+        })
+        .collect()
+}
+
+/// Composition calculus: the strongest relation guaranteed between
+/// `(X, Z)` given `a(X, Y)` and `b(Y, Z)`, or `None` when nothing at
+/// all follows (the paper's companion axiom system — its ref.\[13\] —
+/// studies exactly such derivation rules).
+///
+/// The table below is derived by chaining quantifier witnesses through
+/// the shared non-empty `Y`; every entry is sound (property-tested
+/// against the naive semantics) and entries are `None` precisely when
+/// the two quantifier patterns bind *different* members of `Y` with no
+/// event relating them. Twins (R1', R4') behave as their partners.
+///
+/// | a \ b | R1 | R2 | R2' | R3 | R3' | R4 |
+/// |-------|----|----|-----|----|-----|----|
+/// | R1    | R1 | R2'| R2' | R1 | R1  | R2'|
+/// | R2    | R1 | R2 | R2' | —  | —   | —  |
+/// | R2'   | R1 | R2'| R2' | —  | —   | —  |
+/// | R3    | R3 | R4 | R4  | R3 | R3  | R4 |
+/// | R3'   | R3 | R4 | R4  | R3 | R3' | R4 |
+/// | R4    | R3 | R4 | R4  | —  | —   | —  |
+pub fn compose(a: Relation, b: Relation) -> Option<Relation> {
+    use Relation as R;
+    // Map the predicate twins onto their canonical partner.
+    let canon = |r: Relation| match r {
+        R::R1p => R::R1,
+        R::R4p => R::R4,
+        other => other,
+    };
+    let (a, b) = (canon(a), canon(b));
+    Some(match (a, b) {
+        (R::R1, R::R1) => R::R1,
+        (R::R1, R::R2) | (R::R1, R::R2p) | (R::R1, R::R4) => R::R2p,
+        (R::R1, R::R3) | (R::R1, R::R3p) => R::R1,
+        (R::R2, R::R1) => R::R1,
+        (R::R2, R::R2) => R::R2,
+        (R::R2, R::R2p) => R::R2p,
+        (R::R2p, R::R1) => R::R1,
+        (R::R2p, R::R2) | (R::R2p, R::R2p) => R::R2p,
+        (R::R3, R::R1) | (R::R3, R::R3) | (R::R3, R::R3p) => R::R3,
+        (R::R3, R::R2) | (R::R3, R::R2p) | (R::R3, R::R4) => R::R4,
+        (R::R3p, R::R1) | (R::R3p, R::R3) => R::R3,
+        (R::R3p, R::R3p) => R::R3p,
+        (R::R3p, R::R2) | (R::R3p, R::R2p) | (R::R3p, R::R4) => R::R4,
+        (R::R4, R::R1) => R::R3,
+        (R::R4, R::R2) | (R::R4, R::R2p) => R::R4,
+        // The quantifier patterns bind different members of Y:
+        (R::R2, R::R3) | (R::R2, R::R3p) | (R::R2, R::R4) => return None,
+        (R::R2p, R::R3) | (R::R2p, R::R3p) | (R::R2p, R::R4) => return None,
+        (R::R4, R::R3) | (R::R4, R::R3p) | (R::R4, R::R4) => return None,
+        // All twin cases were canonicalized away.
+        _ => unreachable!("twins canonicalized"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{EventId, ExecutionBuilder};
+    use crate::nonatomic::NonatomicEvent;
+    use crate::relations::naive;
+
+    #[test]
+    fn reflexive() {
+        for r in Relation::ALL {
+            assert!(implies(r, r));
+        }
+    }
+
+    #[test]
+    fn transitive() {
+        for a in Relation::ALL {
+            for b in Relation::ALL {
+                for c in Relation::ALL {
+                    if implies(a, b) && implies(b, c) {
+                        assert!(implies(a, c), "{a} ⟹ {b} ⟹ {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twins_are_equivalent() {
+        assert!(implies(Relation::R1, Relation::R1p));
+        assert!(implies(Relation::R1p, Relation::R1));
+        assert!(implies(Relation::R4, Relation::R4p));
+        assert!(implies(Relation::R4p, Relation::R4));
+    }
+
+    #[test]
+    fn known_non_implications() {
+        assert!(!implies(Relation::R2, Relation::R2p));
+        assert!(!implies(Relation::R3p, Relation::R3));
+        assert!(!implies(Relation::R2, Relation::R3p));
+        assert!(!implies(Relation::R3, Relation::R2));
+        assert!(!implies(Relation::R4, Relation::R1));
+    }
+
+    #[test]
+    fn table_sound_on_exhaustive_pool() {
+        // No claimed implication may be violated by any concrete pair.
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        let e = bld.build().unwrap();
+        let pool = [a, s1, r1, s2, r2, c];
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                for ra in Relation::ALL {
+                    if !naive(&e, ra, &x, &y) {
+                        continue;
+                    }
+                    for rb in Relation::ALL {
+                        if implies(ra, rb) {
+                            assert!(
+                                naive(&e, rb, &x, &y),
+                                "{ra} holds but {rb} does not (X={xm:b}, Y={ym:b})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compose_twins_canonicalized() {
+        assert_eq!(
+            compose(Relation::R1p, Relation::R4p),
+            compose(Relation::R1, Relation::R4)
+        );
+        assert_eq!(
+            compose(Relation::R4p, Relation::R1p),
+            compose(Relation::R4, Relation::R1)
+        );
+    }
+
+    #[test]
+    fn compose_sound_on_exhaustive_pool() {
+        // Whenever a(X,Y) and b(Y,Z) hold, compose(a,b) must hold on
+        // (X,Z) — exhaustively over small disjoint triples.
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        let e = bld.build().unwrap();
+        let pool = [a, s1, r1, s2, r2, c];
+        let subsets: Vec<(u32, NonatomicEvent)> = (1u32..1 << pool.len())
+            .map(|m| {
+                let evs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| m & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                (m, NonatomicEvent::new(&e, evs).unwrap())
+            })
+            .collect();
+        for (xm, x) in subsets.iter().take(20) {
+            for (ym, y) in subsets.iter().take(20) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                for (zm, z) in subsets.iter().take(20) {
+                    if zm & ym != 0 || zm & xm != 0 {
+                        continue;
+                    }
+                    for ra in Relation::ALL {
+                        if !naive(&e, ra, x, y) {
+                            continue;
+                        }
+                        for rb in Relation::ALL {
+                            if !naive(&e, rb, y, z) {
+                                continue;
+                            }
+                            if let Some(rc) = compose(ra, rb) {
+                                assert!(
+                                    naive(&e, rc, x, z),
+                                    "{ra}∘{rb}⟹{rc} fails on X={xm:b} Y={ym:b} Z={zm:b}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compose_none_entries_are_necessary() {
+        // Witness triple where R2(X,Y) ∧ R3(Y,Z) hold but nothing at all
+        // holds between X and Z (not even R4): x ≺ y₂ only; y₁ ≺ z only.
+        let mut bld = ExecutionBuilder::new(4);
+        let (y1, m1) = bld.send(1); // y₁ ≺ z
+        let (x, m0) = bld.send(0); // x ≺ y₂
+        let y2 = bld.recv(2, m0).unwrap();
+        let z = bld.recv(3, m1).unwrap();
+        let e = bld.build().unwrap();
+        let xx = NonatomicEvent::new(&e, [x]).unwrap();
+        let yy = NonatomicEvent::new(&e, [y1, y2]).unwrap();
+        let zz = NonatomicEvent::new(&e, [z]).unwrap();
+        assert!(naive(&e, Relation::R2, &xx, &yy));
+        assert!(naive(&e, Relation::R3, &yy, &zz));
+        for rc in Relation::ALL {
+            assert!(
+                !naive(&e, rc, &xx, &zz),
+                "{rc} should not hold between X and Z"
+            );
+        }
+        assert_eq!(compose(Relation::R2, Relation::R3), None);
+    }
+
+    #[test]
+    fn compose_spot_values() {
+        assert_eq!(compose(Relation::R1, Relation::R1), Some(Relation::R1));
+        assert_eq!(compose(Relation::R1, Relation::R4), Some(Relation::R2p));
+        assert_eq!(compose(Relation::R4, Relation::R1), Some(Relation::R3));
+        assert_eq!(compose(Relation::R3, Relation::R3p), Some(Relation::R3));
+        assert_eq!(compose(Relation::R3p, Relation::R3p), Some(Relation::R3p));
+        assert_eq!(compose(Relation::R4, Relation::R4), None);
+    }
+
+    #[test]
+    fn strongest_filters_dominated() {
+        let set = [Relation::R2, Relation::R4, Relation::R3p];
+        let s = strongest(&set);
+        assert!(s.contains(&Relation::R2));
+        assert!(s.contains(&Relation::R3p));
+        assert!(!s.contains(&Relation::R4));
+    }
+}

@@ -1,0 +1,861 @@
+//! Linear-time evaluation of the Table-1 relations (paper §2.4–2.5,
+//! Theorems 19 and 20) with exact comparison counting.
+//!
+//! ## How the conditions work
+//!
+//! Every relation reduces to tests of `≪̸(↓Y, X⇑)` between a past cut of
+//! `Y` and a future cut of `X` (third column of Table 1). In the count
+//! representation of [`crate::cut`], `≪̸(D, F) ⟺ ∃i : D[i] ≥ 2 ∧
+//! D[i] ≥ F[i]`; and because future-cut components are never 1 for
+//! application events, the `≥ 2` guard is subsumed and each node costs
+//! exactly **one** integer comparison.
+//!
+//! Key Idea 2 restricts the existential scan from all of `P` to a node
+//! set of one of the operands. Per-relation, the sound restricted scans
+//! (each verified here by exhaustive and property tests, and each
+//! provable from the chain structure of process histories) are:
+//!
+//! | relation | condition per node | sound scans | Auto cost |
+//! |----------|--------------------|-------------|-----------|
+//! | R1, R1' | `∀i∈N_X: ∩⇓Y[i] ≥ hi_X[i]`  /  `∀i∈N_Y: lo_Y[i] ≥ ∪⇑X[i]` | N_X, N_Y | `min(|N_X|,|N_Y|)` |
+//! | R2      | `∀i∈N_X: ∪⇓Y[i] ≥ hi_X[i]` | N_X | `|N_X|` |
+//! | R2'     | `∃i: ∪⇓Y[i] ≥ ∪⇑X[i]` | N_Y (N_X is **unsound**) | `|N_Y|` |
+//! | R3      | `∃i: ∩⇓Y[i] ≥ ∩⇑X[i]` | N_X (N_Y is **unsound**) | `|N_X|` |
+//! | R3'     | `∀i∈N_Y: lo_Y[i] ≥ ∩⇑X[i]` | N_Y | `|N_Y|` |
+//! | R4, R4' | `∃i: ∪⇓Y[i] ≥ ∩⇑X[i]` | N_X, N_Y | `min(|N_X|,|N_Y|)` |
+//!
+//! **Reproduction note.** Theorem 20 of the paper claims
+//! `min(|N_X|, |N_Y|)` for R2' and R3 as well. We could not reproduce
+//! that bound: the `N_X`-restricted scan for R2' and the `N_Y`-restricted
+//! scan for R3 return wrong answers on concrete executions (see the
+//! `thm19_*_scan_unsound` tests below, and a stronger information-
+//! theoretic counterexample pair in `tests/linear_discrepancy.rs`),
+//! so [`ScanSet::Auto`] uses the sound side — `|N_Y|` for R2' and
+//! `|N_X|` for R3. All other Theorem-20 bounds reproduce exactly; see
+//! `EXPERIMENTS.md`.
+//!
+//! Comparisons are **not** short-circuited, so the returned counts are
+//! deterministic and equal the worst-case bounds — what the paper's
+//! complexity statements measure.
+
+use crate::cut::Cut;
+use crate::execution::Execution;
+use crate::nonatomic::NonatomicEvent;
+use crate::pastfuture::{condensation, CondensationKind};
+use crate::relations::Relation;
+
+/// Precomputed per-nonatomic-event data for linear-time evaluation:
+/// the node set, the per-node extremal positions, and the four
+/// condensation-cut timestamps (Key Idea 1's one-time cost).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventSummary {
+    node_list: Vec<usize>,
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    c1: Cut,
+    c2: Cut,
+    c3: Cut,
+    c4: Cut,
+}
+
+impl EventSummary {
+    /// Build the summary: `O(|N_X| · |P|)` time, `O(|P|)` space.
+    pub fn new(exec: &Execution, x: &NonatomicEvent) -> Self {
+        let width = exec.num_processes();
+        let mut lo = vec![0u32; width];
+        let mut hi = vec![0u32; width];
+        for &i in x.node_set() {
+            lo[i] = x.lo(i);
+            hi[i] = x.hi(i);
+        }
+        EventSummary {
+            node_list: x.node_set().to_vec(),
+            lo,
+            hi,
+            c1: condensation(exec, x, CondensationKind::IntersectPast),
+            c2: condensation(exec, x, CondensationKind::UnionPast),
+            c3: condensation(exec, x, CondensationKind::IntersectFuture),
+            c4: condensation(exec, x, CondensationKind::UnionFuture),
+        }
+    }
+
+    /// The node set `N_X`, ascending.
+    #[inline]
+    pub fn node_set(&self) -> &[usize] {
+        &self.node_list
+    }
+
+    /// `|N_X|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_list.len()
+    }
+
+    /// Earliest member position at node `i` (1-indexed; 0 when absent).
+    #[inline]
+    pub fn lo(&self, i: usize) -> u32 {
+        self.lo[i]
+    }
+
+    /// Latest member position at node `i` (1-indexed; 0 when absent).
+    #[inline]
+    pub fn hi(&self, i: usize) -> u32 {
+        self.hi[i]
+    }
+
+    /// `C1(X) = ∩⇓X`.
+    #[inline]
+    pub fn c1(&self) -> &Cut {
+        &self.c1
+    }
+
+    /// `C2(X) = ∪⇓X`.
+    #[inline]
+    pub fn c2(&self) -> &Cut {
+        &self.c2
+    }
+
+    /// `C3(X) = ∩⇑X`.
+    #[inline]
+    pub fn c3(&self) -> &Cut {
+        &self.c3
+    }
+
+    /// `C4(X) = ∪⇑X`.
+    #[inline]
+    pub fn c4(&self) -> &Cut {
+        &self.c4
+    }
+}
+
+/// Which node set drives the scan of an evaluation condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScanSet {
+    /// The provably sound scan with the fewest comparisons (the default).
+    Auto,
+    /// Scan the nodes of `X`.
+    NodesOfX,
+    /// Scan the nodes of `Y`.
+    NodesOfY,
+    /// Scan every node (`|P|` comparisons) — the unrestricted baseline
+    /// before Key Idea 2.
+    FullP,
+}
+
+/// Result of a counted evaluation: the verdict and the number of integer
+/// comparisons performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComparisonCount {
+    /// Whether the relation holds.
+    pub holds: bool,
+    /// Integer comparisons performed (deterministic; no short-circuit).
+    pub comparisons: u64,
+}
+
+/// The paper's Theorem-20 comparison bound for a relation.
+pub fn theorem20_bound(rel: Relation, nx: usize, ny: usize) -> u64 {
+    match rel {
+        Relation::R1 | Relation::R1p | Relation::R2p | Relation::R3 | Relation::R4
+        | Relation::R4p => nx.min(ny) as u64,
+        Relation::R2 => nx as u64,
+        Relation::R3p => ny as u64,
+    }
+}
+
+/// The comparison bound we could actually prove sound (differs from
+/// [`theorem20_bound`] for R2' and R3 — see the module docs).
+pub fn sound_bound(rel: Relation, nx: usize, ny: usize) -> u64 {
+    match rel {
+        Relation::R1 | Relation::R1p | Relation::R4 | Relation::R4p => nx.min(ny) as u64,
+        Relation::R2 | Relation::R3 => nx as u64,
+        Relation::R2p | Relation::R3p => ny as u64,
+    }
+}
+
+/// Linear-time relation evaluator over a fixed execution.
+#[derive(Clone, Copy, Debug)]
+pub struct Evaluator<'a> {
+    exec: &'a Execution,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator for `exec`.
+    pub fn new(exec: &'a Execution) -> Self {
+        Evaluator { exec }
+    }
+
+    /// The underlying execution.
+    pub fn execution(&self) -> &'a Execution {
+        self.exec
+    }
+
+    /// Precompute the summary of a nonatomic event (Key Idea 1).
+    pub fn summarize(&self, x: &NonatomicEvent) -> EventSummary {
+        EventSummary::new(self.exec, x)
+    }
+
+    /// One-shot convenience: summarize both operands and evaluate.
+    ///
+    /// For repeated queries over the same events, build the summaries
+    /// once with [`Evaluator::summarize`] and use [`Evaluator::eval`].
+    pub fn holds(&self, rel: Relation, x: &NonatomicEvent, y: &NonatomicEvent) -> bool {
+        let sx = self.summarize(x);
+        let sy = self.summarize(y);
+        self.eval(rel, &sx, &sy)
+    }
+
+    /// Evaluate `rel(X, Y)` from precomputed summaries with the Auto scan.
+    pub fn eval(&self, rel: Relation, sx: &EventSummary, sy: &EventSummary) -> bool {
+        self.eval_counted(rel, sx, sy).holds
+    }
+
+    /// Evaluate with the Auto scan, returning the comparison count.
+    pub fn eval_counted(
+        &self,
+        rel: Relation,
+        sx: &EventSummary,
+        sy: &EventSummary,
+    ) -> ComparisonCount {
+        let scan = match rel {
+            Relation::R1 | Relation::R1p | Relation::R4 | Relation::R4p => {
+                if sx.node_count() <= sy.node_count() {
+                    ScanSet::NodesOfX
+                } else {
+                    ScanSet::NodesOfY
+                }
+            }
+            Relation::R2 | Relation::R3 => ScanSet::NodesOfX,
+            Relation::R2p | Relation::R3p => ScanSet::NodesOfY,
+        };
+        self.eval_scanned(rel, sx, sy, scan)
+            .expect("Auto always picks a supported scan")
+    }
+
+    /// Produce a human-actionable witness for the verdict of
+    /// `rel(X, Y)`:
+    ///
+    /// * if the relation **holds** and is existential (R2', R3, R4,
+    ///   R4'), a pair `(x, y)` with `x ≺ y` realizing it;
+    /// * if the relation **fails** and is universal (R1, R1', R2, R3'),
+    ///   a pair `(x, y)` with `¬(x ≺ y)` violating it;
+    /// * `None` otherwise (a holding universal / failing existential has
+    ///   no single-pair certificate).
+    ///
+    /// Runs on the per-node extremal events only — `O(|N_X| · |N_Y|)`
+    /// causality checks at worst, never an `|X| × |Y|` scan. (Chain
+    /// structure makes extremes sufficient: if any pair realizes or
+    /// violates a relation, an extremal pair does.)
+    pub fn witness(
+        &self,
+        rel: Relation,
+        x: &NonatomicEvent,
+        y: &NonatomicEvent,
+    ) -> Option<(crate::execution::EventId, crate::execution::EventId)> {
+        let exec = self.exec;
+        let holds = self.holds(rel, x, y);
+        match (rel, holds) {
+            // ∃-relations that hold: exhibit a realizing pair.
+            (Relation::R4 | Relation::R4p, true) => {
+                // Some x precedes some y; check per-node earliest x
+                // against per-node latest y.
+                for &i in x.node_set() {
+                    let xe = x.earliest_at(i).expect("node in N_X");
+                    for &j in y.node_set() {
+                        let ye = y.latest_at(j).expect("node in N_Y");
+                        if exec.precedes(xe, ye) {
+                            return Some((xe, ye));
+                        }
+                    }
+                }
+                None
+            }
+            (Relation::R3, true) => {
+                // A witness x preceding all y: some per-node earliest x
+                // (checked against per-node earliest y — the hardest).
+                x.node_set()
+                    .iter()
+                    .map(|&i| x.earliest_at(i).expect("node in N_X"))
+                    .find(|&xe| {
+                        y.node_set()
+                            .iter()
+                            .all(|&j| exec.precedes(xe, y.earliest_at(j).expect("in N_Y")))
+                    })
+                    .map(|xe| {
+                        let ye = y.events().next().expect("non-empty");
+                        (xe, ye)
+                    })
+            }
+            (Relation::R2p, true) => {
+                // A witness y following all x: some per-node latest y
+                // (checked against per-node latest x — the hardest).
+                y.node_set()
+                    .iter()
+                    .map(|&j| y.latest_at(j).expect("node in N_Y"))
+                    .find(|&ye| {
+                        x.node_set()
+                            .iter()
+                            .all(|&i| exec.precedes(x.latest_at(i).expect("in N_X"), ye))
+                    })
+                    .map(|ye| {
+                        let xe = x.events().next().expect("non-empty");
+                        (xe, ye)
+                    })
+            }
+            // ∀-relations that fail: exhibit a violating pair. If any
+            // (x, y) has ¬(x ≺ y), then so does (latest x at x's node,
+            // earliest y at y's node) — so extremes suffice.
+            (Relation::R1 | Relation::R1p, false) => {
+                for &i in x.node_set() {
+                    let xe = x.latest_at(i).expect("node in N_X");
+                    for &j in y.node_set() {
+                        let ye = y.earliest_at(j).expect("node in N_Y");
+                        if !exec.precedes(xe, ye) {
+                            return Some((xe, ye));
+                        }
+                    }
+                }
+                None
+            }
+            (Relation::R2, false) => {
+                // An x with no y after it: some per-node latest x,
+                // checked against per-node latest y (the easiest
+                // targets).
+                x.node_set()
+                    .iter()
+                    .map(|&i| x.latest_at(i).expect("node in N_X"))
+                    .find(|&xe| {
+                        y.node_set()
+                            .iter()
+                            .all(|&j| !exec.precedes(xe, y.latest_at(j).expect("in N_Y")))
+                    })
+                    .map(|xe| {
+                        let ye = y.events().next().expect("non-empty");
+                        (xe, ye)
+                    })
+            }
+            (Relation::R3p, false) => {
+                // A y with no x before it: some per-node earliest y,
+                // checked against per-node earliest x.
+                y.node_set()
+                    .iter()
+                    .map(|&j| y.earliest_at(j).expect("node in N_Y"))
+                    .find(|&ye| {
+                        x.node_set()
+                            .iter()
+                            .all(|&i| !exec.precedes(x.earliest_at(i).expect("in N_X"), ye))
+                    })
+                    .map(|ye| {
+                        let xe = x.events().next().expect("non-empty");
+                        (xe, ye)
+                    })
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate with an explicit scan set, for ablation.
+    ///
+    /// Returns `None` when the relation has no formula over the requested
+    /// node set (R2 over `N_Y`, R3' over `N_X`). **Beware**: the `N_X`
+    /// scan for R2' and the `N_Y` scan for R3 are implemented because the
+    /// paper claims them, but they are unsound — they can return the
+    /// wrong verdict (see the module docs).
+    pub fn eval_scanned(
+        &self,
+        rel: Relation,
+        sx: &EventSummary,
+        sy: &EventSummary,
+        scan: ScanSet,
+    ) -> Option<ComparisonCount> {
+        let width = self.exec.num_processes();
+        let full: Vec<usize> = (0..width).collect();
+        // ∀-style conditions driven by X's nodes: vacuous where hi_X = 0.
+        let forall_x = |cond: &dyn Fn(usize) -> bool, nodes: &[usize]| {
+            let mut ok = true;
+            for &i in nodes {
+                if sx.hi[i] != 0 && !cond(i) {
+                    ok = false;
+                }
+            }
+            ComparisonCount {
+                holds: ok,
+                comparisons: nodes.len() as u64,
+            }
+        };
+        // ∀-style conditions driven by Y's nodes: vacuous where lo_Y = 0.
+        let forall_y = |cond: &dyn Fn(usize) -> bool, nodes: &[usize]| {
+            let mut ok = true;
+            for &i in nodes {
+                if sy.lo[i] != 0 && !cond(i) {
+                    ok = false;
+                }
+            }
+            ComparisonCount {
+                holds: ok,
+                comparisons: nodes.len() as u64,
+            }
+        };
+        // ∃-style single-test scans (≪̸ between two cuts).
+        let exists = |d: &Cut, f: &Cut, nodes: &[usize]| {
+            let mut any = false;
+            for &i in nodes {
+                if d.count(i) >= f.count(i) {
+                    any = true;
+                }
+            }
+            ComparisonCount {
+                holds: any,
+                comparisons: nodes.len() as u64,
+            }
+        };
+
+        Some(match (rel, scan) {
+            // ---- R1 / R1': ∀x∀y --------------------------------------
+            (Relation::R1 | Relation::R1p, ScanSet::NodesOfX) => {
+                forall_x(&|i| sy.c1.count(i) >= sx.hi[i], &sx.node_list)
+            }
+            (Relation::R1 | Relation::R1p, ScanSet::NodesOfY) => {
+                forall_y(&|i| sy.lo[i] >= sx.c4.count(i), &sy.node_list)
+            }
+            (Relation::R1 | Relation::R1p, ScanSet::FullP) => {
+                forall_x(&|i| sy.c1.count(i) >= sx.hi[i], &full)
+            }
+            (Relation::R1 | Relation::R1p, ScanSet::Auto) => {
+                return self.eval_scanned(
+                    rel,
+                    sx,
+                    sy,
+                    if sx.node_count() <= sy.node_count() {
+                        ScanSet::NodesOfX
+                    } else {
+                        ScanSet::NodesOfY
+                    },
+                )
+            }
+
+            // ---- R2: ∀x∃y ---------------------------------------------
+            (Relation::R2, ScanSet::NodesOfX | ScanSet::Auto) => {
+                forall_x(&|i| sy.c2.count(i) >= sx.hi[i], &sx.node_list)
+            }
+            (Relation::R2, ScanSet::FullP) => {
+                forall_x(&|i| sy.c2.count(i) >= sx.hi[i], &full)
+            }
+            (Relation::R2, ScanSet::NodesOfY) => return None,
+
+            // ---- R2': ∃y∀x — single test ∪⇓Y ≪̸ ∪⇑X -------------------
+            (Relation::R2p, ScanSet::NodesOfY | ScanSet::Auto) => {
+                exists(&sy.c2, &sx.c4, &sy.node_list)
+            }
+            (Relation::R2p, ScanSet::NodesOfX) => {
+                // Paper's claimed scan; unsound (see module docs).
+                exists(&sy.c2, &sx.c4, &sx.node_list)
+            }
+            (Relation::R2p, ScanSet::FullP) => exists(&sy.c2, &sx.c4, &full),
+
+            // ---- R3: ∃x∀y — single test ∩⇓Y ≪̸ ∩⇑X ---------------------
+            (Relation::R3, ScanSet::NodesOfX | ScanSet::Auto) => {
+                exists(&sy.c1, &sx.c3, &sx.node_list)
+            }
+            (Relation::R3, ScanSet::NodesOfY) => {
+                // Paper's claimed scan; unsound (see module docs).
+                exists(&sy.c1, &sx.c3, &sy.node_list)
+            }
+            (Relation::R3, ScanSet::FullP) => exists(&sy.c1, &sx.c3, &full),
+
+            // ---- R3': ∀y∃x ---------------------------------------------
+            (Relation::R3p, ScanSet::NodesOfY | ScanSet::Auto) => {
+                forall_y(&|i| sy.lo[i] >= sx.c3.count(i), &sy.node_list)
+            }
+            (Relation::R3p, ScanSet::FullP) => {
+                forall_y(&|i| sy.lo[i] >= sx.c3.count(i), &full)
+            }
+            (Relation::R3p, ScanSet::NodesOfX) => return None,
+
+            // ---- R4 / R4': ∃x∃y — single test ∪⇓Y ≪̸ ∩⇑X ---------------
+            (Relation::R4 | Relation::R4p, ScanSet::NodesOfX) => {
+                exists(&sy.c2, &sx.c3, &sx.node_list)
+            }
+            (Relation::R4 | Relation::R4p, ScanSet::NodesOfY) => {
+                exists(&sy.c2, &sx.c3, &sy.node_list)
+            }
+            (Relation::R4 | Relation::R4p, ScanSet::FullP) => {
+                exists(&sy.c2, &sx.c3, &full)
+            }
+            (Relation::R4 | Relation::R4p, ScanSet::Auto) => {
+                return self.eval_scanned(
+                    rel,
+                    sx,
+                    sy,
+                    if sx.node_count() <= sy.node_count() {
+                        ScanSet::NodesOfX
+                    } else {
+                        ScanSet::NodesOfY
+                    },
+                )
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{EventId, ExecutionBuilder};
+    use crate::relations::naive;
+
+    /// Build every nonempty subset pair (disjoint) from a pool and check
+    /// the Auto evaluation against the naive ground truth.
+    fn check_exhaustive(e: &Execution, pool: &[EventId]) {
+        let ev = Evaluator::new(e);
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(e, xs).unwrap();
+                let y = NonatomicEvent::new(e, ys).unwrap();
+                let sx = ev.summarize(&x);
+                let sy = ev.summarize(&y);
+                for rel in Relation::ALL {
+                    let got = ev.eval_counted(rel, &sx, &sy);
+                    let want = naive(e, rel, &x, &y);
+                    assert_eq!(
+                        got.holds, want,
+                        "{rel} on X={xm:b} Y={ym:b}: linear={} naive={want}",
+                        got.holds
+                    );
+                    assert_eq!(
+                        got.comparisons,
+                        sound_bound(rel, x.node_count(), y.node_count()),
+                        "{rel} comparison count"
+                    );
+                    // FullP scan must agree with Auto.
+                    let full = ev.eval_scanned(rel, &sx, &sy, ScanSet::FullP).unwrap();
+                    assert_eq!(full.holds, want, "{rel} FullP on X={xm:b} Y={ym:b}");
+                    assert_eq!(full.comparisons, e.num_processes() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_chain() {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let b = bld.internal(1);
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let e = bld.build().unwrap();
+        check_exhaustive(&e, &[a, s1, r1, b, s2, r2]);
+    }
+
+    #[test]
+    fn exhaustive_diamond() {
+        // p0 fans out to p1 and p2, which join at p3.
+        let mut bld = ExecutionBuilder::new(4);
+        let (s1, m1) = bld.send(0);
+        let (s2, m2) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let r2 = bld.recv(2, m2).unwrap();
+        let (s3, m3) = bld.send(1);
+        let (s4, m4) = bld.send(2);
+        let r3 = bld.recv(3, m3).unwrap();
+        let r4 = bld.recv(3, m4).unwrap();
+        let e = bld.build().unwrap();
+        let _ = (s2, r1, r2, s4);
+        check_exhaustive(&e, &[s1, s3, r3, r4, s2, r2]);
+    }
+
+    #[test]
+    fn exhaustive_concurrent() {
+        // Three mostly-independent processes with one late message.
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let b = bld.internal(1);
+        let c = bld.internal(2);
+        let d = bld.internal(0);
+        let (s, m) = bld.send(1);
+        let r = bld.recv(2, m).unwrap();
+        let e = bld.build().unwrap();
+        check_exhaustive(&e, &[a, b, c, d, s, r]);
+    }
+
+    #[test]
+    fn thm19_r3_ny_scan_unsound() {
+        // X = {s1@p0}; Y = {y1@p1, y2@p2}; s1 precedes both y's, so
+        // R3 = ∃x∀y holds — but neither y knows anything of the other's
+        // node, so no violation of ≪(∩⇓Y, ∩⇑X) is visible at N_Y.
+        let mut bld = ExecutionBuilder::new(3);
+        let (s1, m1) = bld.send(0);
+        let (s2, m2) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let r2 = bld.recv(2, m2).unwrap();
+        let y1 = bld.internal(1);
+        let y2 = bld.internal(2);
+        let e = bld.build().unwrap();
+        let _ = (r1, r2, s2);
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [s1]).unwrap();
+        let y = NonatomicEvent::new(&e, [y1, y2]).unwrap();
+        assert!(naive(&e, Relation::R3, &x, &y));
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        assert!(ev.eval(Relation::R3, &sx, &sy), "Auto (N_X) scan is sound");
+        let ny = ev
+            .eval_scanned(Relation::R3, &sx, &sy, ScanSet::NodesOfY)
+            .unwrap();
+        assert!(
+            !ny.holds,
+            "the paper's N_Y scan misses the violation — Theorem 19/20 \
+             discrepancy documented in EXPERIMENTS.md"
+        );
+    }
+
+    #[test]
+    fn thm19_r2p_nx_scan_unsound() {
+        // X = {x1@p0, x2@p1}; y*@p2 hears from both, so R2' = ∃y∀x holds —
+        // but no event at an X node ever hears of an event following all
+        // of X, so no violation is visible at N_X.
+        let mut bld = ExecutionBuilder::new(3);
+        let (x1, m1) = bld.send(0);
+        let (x2, m2) = bld.send(1);
+        bld.recv(2, m1).unwrap();
+        bld.recv(2, m2).unwrap();
+        let ystar = bld.internal(2);
+        let e = bld.build().unwrap();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [x1, x2]).unwrap();
+        let y = NonatomicEvent::new(&e, [ystar]).unwrap();
+        assert!(naive(&e, Relation::R2p, &x, &y));
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        assert!(ev.eval(Relation::R2p, &sx, &sy), "Auto (N_Y) scan is sound");
+        let nx = ev
+            .eval_scanned(Relation::R2p, &sx, &sy, ScanSet::NodesOfX)
+            .unwrap();
+        assert!(
+            !nx.holds,
+            "the paper's N_X scan misses the violation — Theorem 19/20 \
+             discrepancy documented in EXPERIMENTS.md"
+        );
+    }
+
+    #[test]
+    fn both_scans_sound_for_r1_r4() {
+        // For R1/R1'/R4/R4' both restricted scans must agree with naive
+        // on an exhaustive pool.
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        let e = bld.build().unwrap();
+        let pool = [a, s1, r1, s2, r2, c];
+        let ev = Evaluator::new(&e);
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                let sx = ev.summarize(&x);
+                let sy = ev.summarize(&y);
+                for rel in [Relation::R1, Relation::R1p, Relation::R4, Relation::R4p] {
+                    let want = naive(&e, rel, &x, &y);
+                    for scan in [ScanSet::NodesOfX, ScanSet::NodesOfY, ScanSet::FullP] {
+                        let got = ev.eval_scanned(rel, &sx, &sy, scan).unwrap();
+                        assert_eq!(got.holds, want, "{rel} {scan:?} X={xm:b} Y={ym:b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_scans_return_none() {
+        let mut bld = ExecutionBuilder::new(2);
+        let a = bld.internal(0);
+        let b = bld.internal(1);
+        let e = bld.build().unwrap();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [a]).unwrap();
+        let y = NonatomicEvent::new(&e, [b]).unwrap();
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        assert!(ev.eval_scanned(Relation::R2, &sx, &sy, ScanSet::NodesOfY).is_none());
+        assert!(ev.eval_scanned(Relation::R3p, &sx, &sy, ScanSet::NodesOfX).is_none());
+    }
+
+    #[test]
+    fn comparison_counts_match_bounds() {
+        // On a wide execution the Auto counts must equal sound_bound and,
+        // for the reproducible relations, theorem20_bound.
+        let mut bld = ExecutionBuilder::new(6);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for p in 0..4 {
+            xs.push(bld.internal(p));
+        }
+        // Chain every X node into both Y nodes so relations are nontrivial.
+        for p in 0..4 {
+            let (_, m) = bld.send(p);
+            ys.push(bld.recv(4, m).unwrap());
+            let (_, m2) = bld.send(p);
+            ys.push(bld.recv(5, m2).unwrap());
+        }
+        let e = bld.build().unwrap();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, xs).unwrap();
+        let y = NonatomicEvent::new(&e, ys).unwrap();
+        let (nx, ny) = (x.node_count(), y.node_count());
+        assert_eq!((nx, ny), (4, 2));
+        let sx = ev.summarize(&x);
+        let sy = ev.summarize(&y);
+        for rel in Relation::ALL {
+            let got = ev.eval_counted(rel, &sx, &sy);
+            assert_eq!(got.comparisons, sound_bound(rel, nx, ny), "{rel}");
+        }
+        // Theorem 20 bounds reproduce for all but R3 (here |N_Y| < |N_X|,
+        // and R3 soundly needs |N_X|).
+        for rel in [
+            Relation::R1,
+            Relation::R1p,
+            Relation::R2,
+            Relation::R2p,
+            Relation::R3p,
+            Relation::R4,
+            Relation::R4p,
+        ] {
+            assert_eq!(
+                sound_bound(rel, nx, ny),
+                theorem20_bound(rel, nx, ny),
+                "{rel}"
+            );
+        }
+        assert!(sound_bound(Relation::R3, nx, ny) > theorem20_bound(Relation::R3, nx, ny));
+    }
+
+    #[test]
+    fn witnesses_are_valid() {
+        // Exhaustive pool: every produced witness must certify what the
+        // docs promise, and a witness must exist exactly when promised.
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        let e = bld.build().unwrap();
+        let pool = [a, s1, r1, s2, r2, c];
+        let ev = Evaluator::new(&e);
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                for rel in Relation::ALL {
+                    let holds = naive(&e, rel, &x, &y);
+                    let w = ev.witness(rel, &x, &y);
+                    let expected = matches!(
+                        (rel, holds),
+                        (Relation::R4 | Relation::R4p | Relation::R3 | Relation::R2p, true)
+                            | (
+                                Relation::R1
+                                    | Relation::R1p
+                                    | Relation::R2
+                                    | Relation::R3p,
+                                false
+                            )
+                    );
+                    assert_eq!(
+                        w.is_some(),
+                        expected,
+                        "witness existence for {rel} holds={holds} X={xm:b} Y={ym:b}"
+                    );
+                    if let Some((we, wf)) = w {
+                        assert!(x.contains(we), "witness x-side member");
+                        assert!(y.contains(wf), "witness y-side member");
+                        match (rel, holds) {
+                            (Relation::R4 | Relation::R4p, true) => {
+                                assert!(e.precedes(we, wf));
+                            }
+                            (Relation::R3, true) => {
+                                assert!(y.events().all(|ye| e.precedes(we, ye)));
+                            }
+                            (Relation::R2p, true) => {
+                                assert!(x.events().all(|xe| e.precedes(xe, wf)));
+                            }
+                            (Relation::R1 | Relation::R1p, false) => {
+                                assert!(!e.precedes(we, wf));
+                            }
+                            (Relation::R2, false) => {
+                                assert!(y.events().all(|ye| !e.precedes(we, ye)));
+                            }
+                            (Relation::R3p, false) => {
+                                assert!(x.events().all(|xe| !e.precedes(xe, wf)));
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holds_convenience() {
+        let mut bld = ExecutionBuilder::new(2);
+        let (s, m) = bld.send(0);
+        let r = bld.recv(1, m).unwrap();
+        let e = bld.build().unwrap();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [s]).unwrap();
+        let y = NonatomicEvent::new(&e, [r]).unwrap();
+        assert!(ev.holds(Relation::R1, &x, &y));
+        assert!(!ev.holds(Relation::R1, &y, &x));
+    }
+}

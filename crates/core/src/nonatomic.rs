@@ -1,0 +1,371 @@
+//! Nonatomic poset events and their proxies (paper §1).
+//!
+//! A **nonatomic event** is a non-empty set `X ⊆ E` of application
+//! (non-dummy) atomic events — a higher-level action of interest to the
+//! application, possibly spanning several processes and several events per
+//! process. Its **node set** (Definition 1) is
+//! `N_X = { i | E_i ∩ X ⊄ {⊥ᵢ, ⊤ᵢ} }`.
+//!
+//! The begin/end **proxies** `L_X` / `U_X` condense a nonatomic event to
+//! its extremal events, under either of two definitions:
+//!
+//! * **Definition 2** (per-node extremes):
+//!   `L_X = {e_i ∈ X | ∀e'_i ∈ X : e_i ≼ e'_i}` — the earliest `X` event
+//!   on each node of `N_X` (and dually for `U_X`);
+//! * **Definition 3** (global extremes):
+//!   `L_X = {e ∈ X | ∀e' ∈ X : e ≼ e'}` — the event preceding all of `X`,
+//!   if one exists (at most one can, by antisymmetry).
+
+use std::collections::BTreeSet;
+
+use crate::error::{Error, Result};
+use crate::execution::{EventId, Execution, ProcessId};
+
+/// Which proxy definition to use (Definition 2 vs Definition 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProxyDefinition {
+    /// Definition 2: per-node minimal/maximal events of `X`.
+    PerNode,
+    /// Definition 3: the global minimum/maximum of `X` (may not exist).
+    Global,
+}
+
+/// A nonatomic poset event: a non-empty set of application events.
+///
+/// Construction validates that all members exist in the execution and that
+/// none is a dummy `⊥ᵢ`/`⊤ᵢ`. Per-node extremes and the node set are
+/// precomputed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonatomicEvent {
+    events: BTreeSet<EventId>,
+    /// `N_X`, ascending.
+    node_list: Vec<usize>,
+    /// 1-indexed position of the earliest member per process (`0` = none).
+    lo: Vec<u32>,
+    /// 1-indexed position of the latest member per process (`0` = none).
+    hi: Vec<u32>,
+}
+
+impl NonatomicEvent {
+    /// Build a nonatomic event from its member atomic events.
+    pub fn new<I: IntoIterator<Item = EventId>>(exec: &Execution, events: I) -> Result<Self> {
+        let events: BTreeSet<EventId> = events.into_iter().collect();
+        if events.is_empty() {
+            return Err(Error::EmptyNonatomicEvent);
+        }
+        let mut lo = vec![0u32; exec.num_processes()];
+        let mut hi = vec![0u32; exec.num_processes()];
+        for &e in &events {
+            if !exec.contains(e) {
+                return Err(Error::UnknownEvent(e));
+            }
+            if exec.is_dummy(e) {
+                return Err(Error::DummyInNonatomicEvent(e));
+            }
+            let p = e.process.idx();
+            let pc = e.pos_count();
+            if lo[p] == 0 || pc < lo[p] {
+                lo[p] = pc;
+            }
+            if pc > hi[p] {
+                hi[p] = pc;
+            }
+        }
+        let node_list = (0..exec.num_processes()).filter(|&p| lo[p] != 0).collect();
+        Ok(NonatomicEvent {
+            events,
+            node_list,
+            lo,
+            hi,
+        })
+    }
+
+    /// The member atomic events, ascending by `(process, index)`.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Number of member atomic events `|X|`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Nonatomic events are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EventId) -> bool {
+        self.events.contains(&e)
+    }
+
+    /// Do the two events share any atomic event?
+    ///
+    /// The relation evaluators assume disjoint operands (the paper's
+    /// strict-`≺` relations are trivially false on shared events, while
+    /// the cut conditions test `≼`; see `EXPERIMENTS.md`).
+    pub fn overlaps(&self, other: &NonatomicEvent) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.events().any(|e| large.contains(e))
+    }
+
+    /// The node set `N_X` (Definition 1), ascending.
+    #[inline]
+    pub fn node_set(&self) -> &[usize] {
+        &self.node_list
+    }
+
+    /// `|N_X|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_list.len()
+    }
+
+    /// 1-indexed position of the earliest member at process `i`
+    /// (`0` when `i ∉ N_X`).
+    #[inline]
+    pub fn lo(&self, i: usize) -> u32 {
+        self.lo[i]
+    }
+
+    /// 1-indexed position of the latest member at process `i`
+    /// (`0` when `i ∉ N_X`).
+    #[inline]
+    pub fn hi(&self, i: usize) -> u32 {
+        self.hi[i]
+    }
+
+    /// The earliest member event at process `i`, if any.
+    pub fn earliest_at(&self, i: usize) -> Option<EventId> {
+        (self.lo[i] != 0).then(|| EventId::new(i as u32, self.lo[i] - 1))
+    }
+
+    /// The latest member event at process `i`, if any.
+    pub fn latest_at(&self, i: usize) -> Option<EventId> {
+        (self.hi[i] != 0).then(|| EventId::new(i as u32, self.hi[i] - 1))
+    }
+
+    /// The begin proxy `L_X`.
+    ///
+    /// Under [`ProxyDefinition::PerNode`] (Definition 2) this always
+    /// exists; under [`ProxyDefinition::Global`] (Definition 3) it is the
+    /// at-most-one event `≼` all of `X`, and [`Error::EmptyProxy`] is
+    /// returned when no such event exists.
+    pub fn proxy_lower(&self, exec: &Execution, def: ProxyDefinition) -> Result<NonatomicEvent> {
+        match def {
+            ProxyDefinition::PerNode => {
+                let evs: Vec<EventId> = self
+                    .node_list
+                    .iter()
+                    .map(|&i| self.earliest_at(i).expect("node in N_X"))
+                    .collect();
+                NonatomicEvent::new(exec, evs)
+            }
+            ProxyDefinition::Global => {
+                // A global minimum must be a per-node earliest event that
+                // precedes-or-equals every other per-node earliest event.
+                let candidates: Vec<EventId> = self
+                    .node_list
+                    .iter()
+                    .map(|&i| self.earliest_at(i).expect("node in N_X"))
+                    .collect();
+                let min = candidates
+                    .iter()
+                    .find(|&&c| candidates.iter().all(|&o| exec.precedes_eq(c, o)))
+                    .copied()
+                    .ok_or(Error::EmptyProxy)?;
+                NonatomicEvent::new(exec, [min])
+            }
+        }
+    }
+
+    /// The end proxy `U_X` (dual of [`NonatomicEvent::proxy_lower`]).
+    pub fn proxy_upper(&self, exec: &Execution, def: ProxyDefinition) -> Result<NonatomicEvent> {
+        match def {
+            ProxyDefinition::PerNode => {
+                let evs: Vec<EventId> = self
+                    .node_list
+                    .iter()
+                    .map(|&i| self.latest_at(i).expect("node in N_X"))
+                    .collect();
+                NonatomicEvent::new(exec, evs)
+            }
+            ProxyDefinition::Global => {
+                let candidates: Vec<EventId> = self
+                    .node_list
+                    .iter()
+                    .map(|&i| self.latest_at(i).expect("node in N_X"))
+                    .collect();
+                let max = candidates
+                    .iter()
+                    .find(|&&c| candidates.iter().all(|&o| exec.precedes_eq(o, c)))
+                    .copied()
+                    .ok_or(Error::EmptyProxy)?;
+                NonatomicEvent::new(exec, [max])
+            }
+        }
+    }
+
+    /// All application events of process `p` between the event's earliest
+    /// and latest member there (used by interval-style constructions).
+    pub fn span_at(&self, exec: &Execution, p: ProcessId) -> Vec<EventId> {
+        let i = p.idx();
+        if self.lo[i] == 0 {
+            return Vec::new();
+        }
+        let _ = exec;
+        (self.lo[i] - 1..self.hi[i])
+            .map(|idx| EventId { process: p, index: idx })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+
+    /// p0: a s1 ; p1: r1 b ; p2: c — with message s1 -> r1.
+    fn exec3() -> (Execution, [EventId; 5]) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let b = bld.internal(1);
+        let c = bld.internal(2);
+        (bld.build().unwrap(), [a, s1, r1, b, c])
+    }
+
+    #[test]
+    fn construction_and_node_set() {
+        let (e, [a, s1, _, b, c]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1, b, c]).unwrap();
+        assert_eq!(x.len(), 4);
+        assert_eq!(x.node_set(), &[0, 1, 2]);
+        assert_eq!(x.node_count(), 3);
+        let y = NonatomicEvent::new(&e, [a]).unwrap();
+        assert_eq!(y.node_set(), &[0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_dummies() {
+        let (e, [a, ..]) = exec3();
+        assert_eq!(
+            NonatomicEvent::new(&e, std::iter::empty()),
+            Err(Error::EmptyNonatomicEvent)
+        );
+        let bot = e.bottom(ProcessId(0));
+        assert_eq!(
+            NonatomicEvent::new(&e, [a, bot]),
+            Err(Error::DummyInNonatomicEvent(bot))
+        );
+        let top = e.top(ProcessId(2));
+        assert_eq!(
+            NonatomicEvent::new(&e, [top]),
+            Err(Error::DummyInNonatomicEvent(top))
+        );
+        let ghost = EventId::new(7, 1);
+        assert_eq!(NonatomicEvent::new(&e, [ghost]), Err(Error::UnknownEvent(ghost)));
+    }
+
+    #[test]
+    fn extremes_per_node() {
+        let (e, [a, s1, r1, b, _]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1, r1, b]).unwrap();
+        assert_eq!(x.earliest_at(0), Some(a));
+        assert_eq!(x.latest_at(0), Some(s1));
+        assert_eq!(x.earliest_at(1), Some(r1));
+        assert_eq!(x.latest_at(1), Some(b));
+        assert_eq!(x.earliest_at(2), None);
+        assert_eq!(x.lo(0), a.pos_count());
+        assert_eq!(x.hi(0), s1.pos_count());
+        assert_eq!(x.lo(2), 0);
+    }
+
+    #[test]
+    fn per_node_proxies() {
+        let (e, [a, s1, r1, b, c]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1, r1, b, c]).unwrap();
+        let l = x.proxy_lower(&e, ProxyDefinition::PerNode).unwrap();
+        let u = x.proxy_upper(&e, ProxyDefinition::PerNode).unwrap();
+        assert_eq!(l.events().collect::<Vec<_>>(), vec![a, r1, c]);
+        assert_eq!(u.events().collect::<Vec<_>>(), vec![s1, b, c]);
+        // Proxies keep the node set (Definition 2 picks one event per node).
+        assert_eq!(l.node_set(), x.node_set());
+        assert_eq!(u.node_set(), x.node_set());
+    }
+
+    #[test]
+    fn per_node_proxies_idempotent() {
+        let (e, [a, s1, r1, b, c]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1, r1, b, c]).unwrap();
+        let l = x.proxy_lower(&e, ProxyDefinition::PerNode).unwrap();
+        let ll = l.proxy_lower(&e, ProxyDefinition::PerNode).unwrap();
+        assert_eq!(l, ll);
+        let u = x.proxy_upper(&e, ProxyDefinition::PerNode).unwrap();
+        let uu = u.proxy_upper(&e, ProxyDefinition::PerNode).unwrap();
+        assert_eq!(u, uu);
+    }
+
+    #[test]
+    fn global_proxies() {
+        let (e, [a, s1, r1, b, c]) = exec3();
+        // a ≺ s1 ≺ r1 ≺ b, c concurrent with all.
+        let x = NonatomicEvent::new(&e, [a, s1, r1, b]).unwrap();
+        let l = x.proxy_lower(&e, ProxyDefinition::Global).unwrap();
+        let u = x.proxy_upper(&e, ProxyDefinition::Global).unwrap();
+        assert_eq!(l.events().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(u.events().collect::<Vec<_>>(), vec![b]);
+        // With the concurrent event c, no global minimum or maximum exists.
+        let x2 = NonatomicEvent::new(&e, [a, s1, c]).unwrap();
+        assert_eq!(
+            x2.proxy_lower(&e, ProxyDefinition::Global),
+            Err(Error::EmptyProxy)
+        );
+        assert_eq!(
+            x2.proxy_upper(&e, ProxyDefinition::Global),
+            Err(Error::EmptyProxy)
+        );
+    }
+
+    #[test]
+    fn global_proxy_of_singleton() {
+        let (e, [a, ..]) = exec3();
+        let x = NonatomicEvent::new(&e, [a]).unwrap();
+        let l = x.proxy_lower(&e, ProxyDefinition::Global).unwrap();
+        let u = x.proxy_upper(&e, ProxyDefinition::Global).unwrap();
+        assert_eq!(l, x);
+        assert_eq!(u, x);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let (e, [a, s1, r1, b, _]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1]).unwrap();
+        let y = NonatomicEvent::new(&e, [s1, r1]).unwrap();
+        let z = NonatomicEvent::new(&e, [r1, b]).unwrap();
+        assert!(x.overlaps(&y));
+        assert!(y.overlaps(&x));
+        assert!(!x.overlaps(&z));
+    }
+
+    #[test]
+    fn span_at_fills_gaps() {
+        let (e, [a, s1, ..]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, s1]).unwrap();
+        assert_eq!(x.span_at(&e, ProcessId(0)), vec![a, s1]);
+        assert_eq!(x.span_at(&e, ProcessId(2)), vec![]);
+    }
+
+    #[test]
+    fn dedup_on_construction() {
+        let (e, [a, ..]) = exec3();
+        let x = NonatomicEvent::new(&e, [a, a, a]).unwrap();
+        assert_eq!(x.len(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! Past and future cuts of atomic and nonatomic poset events
+//! (paper §2.2, Definitions 8–10, Table 2).
+//!
+//! For an atomic event `e`:
+//!
+//! * `↓e` (Definition 8) is the **causal past** cut: the maximal set of
+//!   events that happen before or equal `e`;
+//! * `e⇑` (Definition 9) is the **complement of the causal future** cut:
+//!   at each node, the prefix up to and including the *first* event that
+//!   happens at-or-after `e` (i.e. the execution prefix up to the
+//!   beginning of `e`'s causal future at each node).
+//!
+//! For a nonatomic event `X`, Definition 10 / Table 2 condenses the set of
+//! per-member cuts into four cuts that aggregate causal information about
+//! all of `X`:
+//!
+//! | label | set definition | timestamp (Table 2, col. 3) |
+//! |-------|----------------|------------------------------|
+//! | `C1(X) = ∩⇓X` | `∩_{x∈X} ↓x` | `T[i] = min_x T(↓x)[i]` |
+//! | `C2(X) = ∪⇓X` | `∪_{x∈X} ↓x` | `T[i] = max_x T(↓x)[i]` |
+//! | `C3(X) = ∩⇑X` | `∩_{x∈X} x⇑` | `T[i] = min_x T(x⇑)[i]` |
+//! | `C4(X) = ∪⇑X` | `∪_{x∈X} x⇑` | `T[i] = max_x T(x⇑)[i]` |
+//!
+//! All four are cuts (Lemma 11). `∩⇓X` is the maximal prefix known to
+//! *every* `x`; `∪⇓X` the maximal prefix known to `X` *collectively*;
+//! `S(∩⇑X)` holds the earliest per-node events causally after *some* `x`;
+//! `S(∪⇑X)` the earliest per-node events after *every* `x` (Lemma 12).
+//!
+//! Per §2.3, components of the condensation-cut timestamps are min/max
+//! folds over only the per-node extremal members of `X`, so building each
+//! cut costs `O(|N_X| · |P|)` — a one-time cost per nonatomic event,
+//! amortized across all relation evaluations (Key Idea 1).
+
+use crate::cut::{Cut, EventSet};
+use crate::execution::{EventId, Execution, ProcessId};
+use crate::nonatomic::NonatomicEvent;
+
+/// The four condensation cuts of Definition 10 / Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondensationKind {
+    /// `C1(X) = ∩⇓X`: intersection of causal pasts.
+    IntersectPast,
+    /// `C2(X) = ∪⇓X`: union of causal pasts.
+    UnionPast,
+    /// `C3(X) = ∩⇑X`: intersection of causal-future complements.
+    IntersectFuture,
+    /// `C4(X) = ∪⇑X`: union of causal-future complements.
+    UnionFuture,
+}
+
+impl CondensationKind {
+    /// All four kinds, in Table-2 order.
+    pub const ALL: [CondensationKind; 4] = [
+        CondensationKind::IntersectPast,
+        CondensationKind::UnionPast,
+        CondensationKind::IntersectFuture,
+        CondensationKind::UnionFuture,
+    ];
+
+    /// Paper notation for the cut.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CondensationKind::IntersectPast => "∩⇓X",
+            CondensationKind::UnionPast => "∪⇓X",
+            CondensationKind::IntersectFuture => "∩⇑X",
+            CondensationKind::UnionFuture => "∪⇑X",
+        }
+    }
+
+    /// Table-2 label C1–C4.
+    pub fn label(self) -> &'static str {
+        match self {
+            CondensationKind::IntersectPast => "C1",
+            CondensationKind::UnionPast => "C2",
+            CondensationKind::IntersectFuture => "C3",
+            CondensationKind::UnionFuture => "C4",
+        }
+    }
+}
+
+/// `↓e` (Definition 8) via timestamps: the prefix length at node `i` is
+/// `T(e)[i]`, the number of events at `i` that precede-or-equal `e`.
+pub fn causal_past(exec: &Execution, e: EventId) -> Cut {
+    Cut::from_counts_unchecked(exec.clock(e).components().to_vec())
+}
+
+/// `e⇑` (Definition 9) via reverse timestamps:
+/// `T(e⇑)[i] = |E_i| − Tᴿ(e)[i] + 1` — the 1-indexed position of the
+/// first event at node `i` that happens at-or-after `e`.
+///
+/// (The paper prints this expression as `|E_i| − Tᴿ(x)[i] − 1`, counting
+/// positions relative to a convention that drops the two dummies; with
+/// our uniform Definition-13/15 counting — `⊥ᵢ` included everywhere — the
+/// `+1` form is the one that satisfies Definition 9 extensionally, which
+/// the `ccf_matches_definition_9` test verifies. See `EXPERIMENTS.md`.)
+pub fn ccf(exec: &Execution, e: EventId) -> Cut {
+    let counts = (0..exec.num_processes())
+        .map(|i| exec.len(ProcessId(i as u32)) - exec.rclock(e)[i] + 1)
+        .collect();
+    Cut::from_counts_unchecked(counts)
+}
+
+/// `↓e` computed extensionally from the ground-truth causality relation.
+pub fn causal_past_extensional(exec: &Execution, e: EventId) -> EventSet {
+    EventSet::from_events(
+        exec,
+        exec.all_events().filter(|&f| exec.precedes_eq(f, e)),
+    )
+}
+
+/// `e⇑` computed extensionally, literally per Definition 9:
+/// `{e' | e' ⋡ e} ∪ {eᵢ | eᵢ ≽ e ∧ (∀e'ᵢ ≺ eᵢ : e'ᵢ ⋡ e)}`.
+pub fn ccf_extensional(exec: &Execution, e: EventId) -> EventSet {
+    let mut s = EventSet::from_events(
+        exec,
+        exec.all_events().filter(|&f| !exec.precedes_eq(e, f)),
+    );
+    // The earliest event at each node that is ≽ e.
+    for p in 0..exec.num_processes() {
+        let pid = ProcessId(p as u32);
+        for idx in 0..exec.len(pid) {
+            let f = EventId { process: pid, index: idx };
+            if exec.precedes_eq(e, f) {
+                s.insert(f);
+                break;
+            }
+        }
+    }
+    s
+}
+
+/// A condensation cut of `X` via the Table-2 timestamp formulas, folding
+/// only over the per-node extremal members (§2.3): the earliest member
+/// per node for `C1`/`C3`, the latest for `C2`/`C4`.
+pub fn condensation(exec: &Execution, x: &NonatomicEvent, kind: CondensationKind) -> Cut {
+    let width = exec.num_processes();
+    let mut counts = match kind {
+        CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
+            vec![u32::MAX; width]
+        }
+        CondensationKind::UnionPast | CondensationKind::UnionFuture => vec![0u32; width],
+    };
+    for &n in x.node_set() {
+        let member = match kind {
+            CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
+                x.earliest_at(n).expect("node in N_X")
+            }
+            CondensationKind::UnionPast | CondensationKind::UnionFuture => {
+                x.latest_at(n).expect("node in N_X")
+            }
+        };
+        let member_cut = match kind {
+            CondensationKind::IntersectPast | CondensationKind::UnionPast => {
+                causal_past(exec, member)
+            }
+            CondensationKind::IntersectFuture | CondensationKind::UnionFuture => {
+                ccf(exec, member)
+            }
+        };
+        for (i, slot) in counts.iter_mut().enumerate() {
+            let c = member_cut.count(i);
+            *slot = match kind {
+                CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
+                    (*slot).min(c)
+                }
+                CondensationKind::UnionPast | CondensationKind::UnionFuture => (*slot).max(c),
+            };
+        }
+    }
+    Cut::from_counts_unchecked(counts)
+}
+
+/// A condensation cut computed extensionally, literally per the set
+/// definitions in Table 2 column 2 (folding over **all** members of `X`).
+/// Ground truth for [`condensation`].
+pub fn condensation_extensional(
+    exec: &Execution,
+    x: &NonatomicEvent,
+    kind: CondensationKind,
+) -> EventSet {
+    let mut acc: Option<EventSet> = None;
+    for member in x.events() {
+        let cut_set = match kind {
+            CondensationKind::IntersectPast | CondensationKind::UnionPast => {
+                causal_past_extensional(exec, member)
+            }
+            CondensationKind::IntersectFuture | CondensationKind::UnionFuture => {
+                ccf_extensional(exec, member)
+            }
+        };
+        acc = Some(match acc {
+            None => cut_set,
+            Some(mut a) => {
+                match kind {
+                    CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
+                        a.intersect_with(&cut_set)
+                    }
+                    CondensationKind::UnionPast | CondensationKind::UnionFuture => {
+                        a.union_with(&cut_set)
+                    }
+                }
+                a
+            }
+        });
+    }
+    acc.expect("nonatomic events are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+
+    /// A 3-process execution with enough structure to exercise pasts and
+    /// futures: p0: a s1 r3 ; p1: r1 b s2 ; p2: s3 r2 c
+    /// messages: s1->r1, s2->r2, s3->r3.
+    fn exec3() -> (Execution, Vec<EventId>) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s3, m3) = bld.send(2);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let r3 = bld.recv(0, m3).unwrap();
+        let b = bld.internal(1);
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        let e = bld.build().unwrap();
+        (e, vec![a, s1, r3, r1, b, s2, s3, r2, c])
+    }
+
+    #[test]
+    fn causal_past_matches_extensional() {
+        let (e, evs) = exec3();
+        for &x in &evs {
+            let fast = causal_past(&e, x);
+            let slow = causal_past_extensional(&e, x);
+            assert_eq!(
+                Cut::from_event_set(&e, &slow).unwrap(),
+                fast,
+                "↓{x} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn ccf_matches_definition_9() {
+        let (e, evs) = exec3();
+        for &x in &evs {
+            let fast = ccf(&e, x);
+            let slow = ccf_extensional(&e, x);
+            assert_eq!(
+                Cut::from_event_set(&e, &slow).unwrap(),
+                fast,
+                "{x}⇑ mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn past_cut_has_unique_maximal_event() {
+        // ↓y has a unique maximal event: y itself (§2.2).
+        let (e, evs) = exec3();
+        for &y in &evs {
+            let c = causal_past(&e, y);
+            let surface = c.surface();
+            let maximal: Vec<EventId> = surface
+                .iter()
+                .copied()
+                .filter(|&z| surface.iter().all(|&w| !e.precedes(z, w)))
+                .collect();
+            assert_eq!(maximal, vec![y], "unique maximal of ↓{y}");
+        }
+    }
+
+    #[test]
+    fn ccf_cut_has_unique_minimal_surface_event() {
+        // x⇑ has a unique minimal event among its surface: x itself.
+        let (e, evs) = exec3();
+        for &x in &evs {
+            let c = ccf(&e, x);
+            let surface = c.surface();
+            let minimal: Vec<EventId> = surface
+                .iter()
+                .copied()
+                .filter(|&z| surface.iter().all(|&w| !e.precedes(w, z)))
+                .collect();
+            assert_eq!(minimal, vec![x], "unique minimal of S({x}⇑)");
+        }
+    }
+
+    #[test]
+    fn past_is_downward_closed_ccf_is_not_necessarily() {
+        let (e, evs) = exec3();
+        // ↓e is downward-closed in (E, ≺).
+        for &x in &evs {
+            let set = causal_past(&e, x).to_event_set(&e);
+            for ev in set.events() {
+                for w in e.all_events() {
+                    if e.precedes(w, ev) {
+                        assert!(set.contains(w), "↓{x} must contain {w} ≺ {ev}");
+                    }
+                }
+            }
+        }
+        // e⇑ is generally not: find a witness in this execution.
+        let mut witness = false;
+        for &x in &evs {
+            let set = ccf(&e, x).to_event_set(&e);
+            'outer: for ev in set.events() {
+                for w in e.all_events() {
+                    if e.precedes(w, ev) && !set.contains(w) {
+                        witness = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(witness, "some x⇑ should fail global downward closure");
+    }
+
+    #[test]
+    fn condensation_cuts_are_cuts_lemma_11() {
+        let (e, evs) = exec3();
+        let x = NonatomicEvent::new(&e, [evs[0], evs[4], evs[8]]).unwrap();
+        for kind in CondensationKind::ALL {
+            let ext = condensation_extensional(&e, &x, kind);
+            // Lemma 11: the set is a cut (per-process prefix incl. ⊥).
+            let as_cut = Cut::from_event_set(&e, &ext)
+                .unwrap_or_else(|_| panic!("{} is not a cut", kind.symbol()));
+            // And the timestamp construction agrees (Corollary 17).
+            assert_eq!(as_cut, condensation(&e, &x, kind), "{}", kind.symbol());
+        }
+    }
+
+    #[test]
+    fn condensation_on_many_shapes() {
+        // Compare fast vs extensional across every nonempty subset of a
+        // pool of 6 application events.
+        let (e, evs) = exec3();
+        let pool: Vec<EventId> = evs.iter().copied().take(6).collect();
+        for mask in 1u32..(1 << pool.len()) {
+            let members: Vec<EventId> = pool
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| mask & (1 << k) != 0)
+                .map(|(_, &ev)| ev)
+                .collect();
+            let x = NonatomicEvent::new(&e, members).unwrap();
+            for kind in CondensationKind::ALL {
+                let ext = condensation_extensional(&e, &x, kind);
+                let fast = condensation(&e, &x, kind);
+                assert_eq!(
+                    Cut::from_event_set(&e, &ext).unwrap(),
+                    fast,
+                    "{} on mask {mask:b}",
+                    kind.symbol()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_12_surface_properties() {
+        let (e, evs) = exec3();
+        let x = NonatomicEvent::new(&e, [evs[1], evs[4], evs[8]]).unwrap();
+        let members: Vec<EventId> = x.events().collect();
+
+        // 12.1 ∀e' ∈ S(∩⇓X) ∀x ∈ X : e' ≼ x
+        let c1 = condensation(&e, &x, CondensationKind::IntersectPast);
+        for z in c1.surface() {
+            if z.index == 0 {
+                continue; // ⊥ surface events precede everything anyway
+            }
+            for &m in &members {
+                assert!(e.precedes_eq(z, m), "12.1: {z} ≼ {m}");
+            }
+        }
+        // 12.2 ∀e' ∈ S(∪⇓X) ∃x ∈ X : e' ≼ x
+        let c2 = condensation(&e, &x, CondensationKind::UnionPast);
+        for z in c2.surface() {
+            if z.index == 0 {
+                continue;
+            }
+            assert!(
+                members.iter().any(|&m| e.precedes_eq(z, m)),
+                "12.2: {z} ≼ some x"
+            );
+        }
+        // 12.3 ∀e' ∈ S(∩⇑X) ∃x ∈ X : x ≼ e'
+        let c3 = condensation(&e, &x, CondensationKind::IntersectFuture);
+        for z in c3.surface() {
+            assert!(
+                members.iter().any(|&m| e.precedes_eq(m, z)),
+                "12.3: some x ≼ {z}"
+            );
+        }
+        // 12.4 ∀e' ∈ S(∪⇑X) ∀x ∈ X : x ≼ e'
+        let c4 = condensation(&e, &x, CondensationKind::UnionFuture);
+        for z in c4.surface() {
+            for &m in &members {
+                assert!(e.precedes_eq(m, z), "12.4: {m} ≼ {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn future_components_always_past_bottom() {
+        // Components of C3/C4 are always ≥ 2 for application events
+        // (no first-event-≽-x can be a ⊥). This is what makes the
+        // linear-time scans guard-free (see crate::linear).
+        let (e, evs) = exec3();
+        let x = NonatomicEvent::new(&e, [evs[0], evs[6]]).unwrap();
+        for kind in [CondensationKind::IntersectFuture, CondensationKind::UnionFuture] {
+            let c = condensation(&e, &x, kind);
+            for i in 0..e.num_processes() {
+                assert!(c.count(i) >= 2, "{}[{i}] ≥ 2", kind.symbol());
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_condensations_are_the_event_cuts() {
+        let (e, evs) = exec3();
+        for &ev in &evs {
+            let x = NonatomicEvent::new(&e, [ev]).unwrap();
+            assert_eq!(
+                condensation(&e, &x, CondensationKind::IntersectPast),
+                causal_past(&e, ev)
+            );
+            assert_eq!(
+                condensation(&e, &x, CondensationKind::UnionPast),
+                causal_past(&e, ev)
+            );
+            assert_eq!(
+                condensation(&e, &x, CondensationKind::IntersectFuture),
+                ccf(&e, ev)
+            );
+            assert_eq!(
+                condensation(&e, &x, CondensationKind::UnionFuture),
+                ccf(&e, ev)
+            );
+        }
+    }
+
+    #[test]
+    fn c1_subset_c2_and_c3_subset_c4() {
+        let (e, evs) = exec3();
+        let x = NonatomicEvent::new(&e, [evs[0], evs[3], evs[8]]).unwrap();
+        let c1 = condensation(&e, &x, CondensationKind::IntersectPast);
+        let c2 = condensation(&e, &x, CondensationKind::UnionPast);
+        let c3 = condensation(&e, &x, CondensationKind::IntersectFuture);
+        let c4 = condensation(&e, &x, CondensationKind::UnionFuture);
+        assert!(c1.is_subset(&c2));
+        assert!(c3.is_subset(&c4));
+    }
+}

@@ -1,0 +1,465 @@
+//! The 32-relation family `ℛ` between nonatomic poset events.
+//!
+//! Causality relations between nonatomic events are specified between
+//! their **proxies**: the begin proxy `L_X` and the end proxy `U_X`
+//! (paper §1). With 2 proxy choices for `X`, 2 for `Y`, and the 8
+//! relations of Table 1, this yields the 32 relations
+//! `r(X, Y) ≡ R(X̂, Ŷ)` of `ℛ`.
+//!
+//! Because proxies are themselves nonatomic poset events (with at most
+//! one event per node), each of the 32 relations is evaluated by the same
+//! linear-time machinery of [`crate::linear`], applied to proxy
+//! summaries. [`ProxySummary`] precomputes the two Definition-2 proxy
+//! summaries of an event once (Key Idea 1); every subsequent relation
+//! query is then linear in the node counts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::execution::Execution;
+use crate::linear::{ComparisonCount, Evaluator, EventSummary};
+use crate::nonatomic::{NonatomicEvent, ProxyDefinition};
+use crate::relations::{naive, Relation};
+
+/// A proxy choice: the beginning (`L`) or the end (`U`) of a nonatomic
+/// event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Proxy {
+    /// The begin proxy `L_X`.
+    L,
+    /// The end proxy `U_X`.
+    U,
+}
+
+impl Proxy {
+    /// Both proxies.
+    pub const ALL: [Proxy; 2] = [Proxy::L, Proxy::U];
+}
+
+impl fmt::Display for Proxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Proxy::L => "L",
+            Proxy::U => "U",
+        })
+    }
+}
+
+/// One of the 32 relations of `ℛ`: `R(X̂, Ŷ)` for a Table-1 relation `R`
+/// and proxy choices `X̂ ∈ {L_X, U_X}`, `Ŷ ∈ {L_Y, U_Y}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProxyRelation {
+    /// Proxy chosen for `X`.
+    pub x_proxy: Proxy,
+    /// Proxy chosen for `Y`.
+    pub y_proxy: Proxy,
+    /// The Table-1 relation applied to the proxies.
+    pub rel: Relation,
+}
+
+impl ProxyRelation {
+    /// Number of relations in `ℛ`.
+    pub const COUNT: usize = 32;
+
+    /// Construct.
+    pub fn new(rel: Relation, x_proxy: Proxy, y_proxy: Proxy) -> Self {
+        ProxyRelation {
+            x_proxy,
+            y_proxy,
+            rel,
+        }
+    }
+
+    /// All 32 relations, ordered by `(x_proxy, y_proxy, relation)`.
+    pub fn all() -> impl Iterator<Item = ProxyRelation> {
+        Proxy::ALL.into_iter().flat_map(|xp| {
+            Proxy::ALL.into_iter().flat_map(move |yp| {
+                Relation::ALL
+                    .into_iter()
+                    .map(move |rel| ProxyRelation::new(rel, xp, yp))
+            })
+        })
+    }
+
+    /// Stable index in `0..32`, matching the bit layout of
+    /// [`RelationSet`].
+    pub fn index(self) -> usize {
+        let xp = match self.x_proxy {
+            Proxy::L => 0,
+            Proxy::U => 1,
+        };
+        let yp = match self.y_proxy {
+            Proxy::L => 0,
+            Proxy::U => 1,
+        };
+        let r = Relation::ALL
+            .iter()
+            .position(|&x| x == self.rel)
+            .expect("relation in ALL");
+        (xp * 2 + yp) * 8 + r
+    }
+
+    /// Inverse of [`ProxyRelation::index`].
+    pub fn from_index(i: usize) -> ProxyRelation {
+        assert!(i < Self::COUNT);
+        let r = Relation::ALL[i % 8];
+        let combo = i / 8;
+        let xp = if combo / 2 == 0 { Proxy::L } else { Proxy::U };
+        let yp = if combo.is_multiple_of(2) { Proxy::L } else { Proxy::U };
+        ProxyRelation::new(r, xp, yp)
+    }
+}
+
+impl fmt::Display for ProxyRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}_X, {}_Y)",
+            self.rel.name(),
+            self.x_proxy,
+            self.y_proxy
+        )
+    }
+}
+
+/// A set of relations from `ℛ`, as a 32-bit mask indexed by
+/// [`ProxyRelation::index`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationSet(pub u32);
+
+impl RelationSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        RelationSet(0)
+    }
+
+    /// Insert a relation.
+    pub fn insert(&mut self, r: ProxyRelation) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: ProxyRelation) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over the member relations.
+    pub fn iter(self) -> impl Iterator<Item = ProxyRelation> {
+        (0..ProxyRelation::COUNT)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(ProxyRelation::from_index)
+    }
+}
+
+impl fmt::Debug for RelationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelationSet({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for RelationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, r) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The precomputed summaries of both Definition-2 proxies of a nonatomic
+/// event: everything needed to answer any of the 32 relation queries in
+/// linear time.
+#[derive(Clone, Debug)]
+pub struct ProxySummary {
+    l: EventSummary,
+    u: EventSummary,
+}
+
+impl ProxySummary {
+    /// Summary of the requested proxy.
+    pub fn get(&self, p: Proxy) -> &EventSummary {
+        match p {
+            Proxy::L => &self.l,
+            Proxy::U => &self.u,
+        }
+    }
+
+    /// Summary of `L_X`.
+    pub fn lower(&self) -> &EventSummary {
+        &self.l
+    }
+
+    /// Summary of `U_X`.
+    pub fn upper(&self) -> &EventSummary {
+        &self.u
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Precompute the proxy summaries of `x` (Definition-2 proxies).
+    pub fn summarize_proxies(&self, x: &NonatomicEvent) -> ProxySummary {
+        self.summarize_proxies_with(x, ProxyDefinition::PerNode)
+            .expect("per-node proxies always exist")
+    }
+
+    /// Precompute proxy summaries under an explicit proxy definition.
+    ///
+    /// With [`ProxyDefinition::Global`] (Definition 3) the proxies are
+    /// the global minimum/maximum of `x`, which may not exist —
+    /// [`crate::error::Error::EmptyProxy`] is returned in that case.
+    pub fn summarize_proxies_with(
+        &self,
+        x: &NonatomicEvent,
+        def: ProxyDefinition,
+    ) -> Result<ProxySummary> {
+        let exec = self.execution();
+        let l = x.proxy_lower(exec, def)?;
+        let u = x.proxy_upper(exec, def)?;
+        Ok(ProxySummary {
+            l: self.summarize(&l),
+            u: self.summarize(&u),
+        })
+    }
+
+    /// Evaluate one relation of `ℛ` from proxy summaries, with its
+    /// comparison count (Theorem 20 applied to the proxies).
+    pub fn eval_proxy(
+        &self,
+        pr: ProxyRelation,
+        sx: &ProxySummary,
+        sy: &ProxySummary,
+    ) -> ComparisonCount {
+        self.eval_counted(pr.rel, sx.get(pr.x_proxy), sy.get(pr.y_proxy))
+    }
+
+    /// Evaluate all 32 relations; returns the set that holds and the
+    /// total comparison count (Problem 4(ii) for one pair).
+    pub fn eval_all_proxy(
+        &self,
+        sx: &ProxySummary,
+        sy: &ProxySummary,
+    ) -> (RelationSet, u64) {
+        let mut set = RelationSet::empty();
+        let mut comparisons = 0;
+        for pr in ProxyRelation::all() {
+            let c = self.eval_proxy(pr, sx, sy);
+            if c.holds {
+                set.insert(pr);
+            }
+            comparisons += c.comparisons;
+        }
+        (set, comparisons)
+    }
+}
+
+/// Ground truth for a relation of `ℛ`: materialize the proxies under
+/// `def` and evaluate the quantifier expression naively.
+///
+/// With [`ProxyDefinition::Global`] the proxy may not exist
+/// ([`crate::error::Error::EmptyProxy`]).
+pub fn naive_proxy(
+    exec: &Execution,
+    pr: ProxyRelation,
+    x: &NonatomicEvent,
+    y: &NonatomicEvent,
+    def: ProxyDefinition,
+) -> Result<bool> {
+    let xh = match pr.x_proxy {
+        Proxy::L => x.proxy_lower(exec, def)?,
+        Proxy::U => x.proxy_upper(exec, def)?,
+    };
+    let yh = match pr.y_proxy {
+        Proxy::L => y.proxy_lower(exec, def)?,
+        Proxy::U => y.proxy_upper(exec, def)?,
+    };
+    Ok(naive(exec, pr.rel, &xh, &yh))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{EventId, ExecutionBuilder};
+
+    #[test]
+    fn index_roundtrip() {
+        for (k, pr) in ProxyRelation::all().enumerate() {
+            assert_eq!(pr.index(), k);
+            assert_eq!(ProxyRelation::from_index(k), pr);
+        }
+        assert_eq!(ProxyRelation::all().count(), 32);
+    }
+
+    #[test]
+    fn relation_set_ops() {
+        let mut s = RelationSet::empty();
+        assert!(s.is_empty());
+        let r = ProxyRelation::new(Relation::R3, Proxy::U, Proxy::L);
+        s.insert(r);
+        assert!(s.contains(r));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![r]);
+        assert!(!s.contains(ProxyRelation::new(Relation::R3, Proxy::L, Proxy::L)));
+    }
+
+    #[test]
+    fn display() {
+        let r = ProxyRelation::new(Relation::R2p, Proxy::U, Proxy::L);
+        assert_eq!(r.to_string(), "R2'(U_X, L_Y)");
+    }
+
+    fn pool_exec() -> (Execution, Vec<EventId>) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let b = bld.internal(1);
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        (bld.build().unwrap(), vec![a, s1, r1, b, s2, r2])
+    }
+
+    #[test]
+    fn linear_matches_naive_proxy_exhaustive() {
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                let sx = ev.summarize_proxies(&x);
+                let sy = ev.summarize_proxies(&y);
+                let (set, _) = ev.eval_all_proxy(&sx, &sy);
+                for pr in ProxyRelation::all() {
+                    let want =
+                        naive_proxy(&e, pr, &x, &y, ProxyDefinition::PerNode).unwrap();
+                    assert_eq!(
+                        set.contains(pr),
+                        want,
+                        "{pr} on X={xm:b} Y={ym:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_proxy_summaries_match_naive() {
+        // Where Definition-3 proxies exist, the linear evaluation over
+        // their summaries equals the naive evaluation over the
+        // materialized singleton proxies.
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        // a ≺ s1 ≺ r1 ≺ b ≺ s2 ≺ r2 is a chain: global proxies exist for
+        // any sub-chain.
+        let x = NonatomicEvent::new(&e, [pool[0], pool[1]]).unwrap();
+        let y = NonatomicEvent::new(&e, [pool[2], pool[3], pool[4]]).unwrap();
+        let sx = ev
+            .summarize_proxies_with(&x, ProxyDefinition::Global)
+            .unwrap();
+        let sy = ev
+            .summarize_proxies_with(&y, ProxyDefinition::Global)
+            .unwrap();
+        for pr in ProxyRelation::all() {
+            let want = naive_proxy(&e, pr, &x, &y, ProxyDefinition::Global).unwrap();
+            assert_eq!(ev.eval_proxy(pr, &sx, &sy).holds, want, "{pr}");
+        }
+    }
+
+    #[test]
+    fn global_proxy_summaries_fail_without_extremum() {
+        let mut b = ExecutionBuilder::new(2);
+        let a = b.internal(0);
+        let c = b.internal(1);
+        let e = b.build().unwrap();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [a, c]).unwrap();
+        assert!(ev
+            .summarize_proxies_with(&x, ProxyDefinition::Global)
+            .is_err());
+    }
+
+    #[test]
+    fn proxies_may_overlap_between_x_and_y_only_if_events_do() {
+        // Sanity: for disjoint X and Y the proxies are also disjoint.
+        let (e, pool) = pool_exec();
+        let x = NonatomicEvent::new(&e, [pool[0], pool[1]]).unwrap();
+        let y = NonatomicEvent::new(&e, [pool[2], pool[3]]).unwrap();
+        let lx = x.proxy_lower(&e, ProxyDefinition::PerNode).unwrap();
+        let uy = y.proxy_upper(&e, ProxyDefinition::PerNode).unwrap();
+        assert!(!lx.overlaps(&uy));
+    }
+
+    #[test]
+    fn base_relations_equal_specific_proxy_relations() {
+        // R1(X,Y) ≡ R1(U_X, L_Y); R4(X,Y) ≡ R4(L_X, U_Y);
+        // R2(X,Y) ≡ R2(U_X, U_Y); R3(X,Y) ≡ R3(L_X, L_Y).
+        let (e, pool) = pool_exec();
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                for (rel, xp, yp) in [
+                    (Relation::R1, Proxy::U, Proxy::L),
+                    (Relation::R2, Proxy::U, Proxy::U),
+                    (Relation::R2p, Proxy::U, Proxy::U),
+                    (Relation::R3, Proxy::L, Proxy::L),
+                    (Relation::R3p, Proxy::L, Proxy::L),
+                    (Relation::R4, Proxy::L, Proxy::U),
+                ] {
+                    let pr = ProxyRelation::new(rel, xp, yp);
+                    assert_eq!(
+                        naive(&e, rel, &x, &y),
+                        naive_proxy(&e, pr, &x, &y, ProxyDefinition::PerNode).unwrap(),
+                        "{pr}"
+                    );
+                }
+            }
+        }
+    }
+}

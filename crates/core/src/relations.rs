@@ -1,0 +1,352 @@
+//! The eight causality relations of Table 1 and their reference
+//! (non-linear) evaluations.
+//!
+//! For nonatomic events `X`, `Y` the relations are first-order quantifier
+//! combinations over the atomic causality `≺`:
+//!
+//! | relation | expression |
+//! |----------|------------|
+//! | R1  | `∀x ∈ X ∀y ∈ Y : x ≺ y` |
+//! | R1' | `∀y ∈ Y ∀x ∈ X : x ≺ y` (≡ R1) |
+//! | R2  | `∀x ∈ X ∃y ∈ Y : x ≺ y` |
+//! | R2' | `∃y ∈ Y ∀x ∈ X : x ≺ y` |
+//! | R3  | `∃x ∈ X ∀y ∈ Y : x ≺ y` |
+//! | R3' | `∀y ∈ Y ∃x ∈ X : x ≺ y` |
+//! | R4  | `∃x ∈ X ∃y ∈ Y : x ≺ y` |
+//! | R4' | `∃y ∈ Y ∃x ∈ X : x ≺ y` (≡ R4) |
+//!
+//! R1/R1' and R4/R4' coincide as predicates (swapping like quantifiers);
+//! R2 vs R2' and R3 vs R3' differ on posets. The paper keeps all eight
+//! names because the evaluation complexities differ.
+//!
+//! This module provides two reference evaluators used as baselines and
+//! ground truth for the linear-time conditions in [`crate::linear`]:
+//!
+//! * [`naive`] — direct quantifier evaluation over `X × Y`
+//!   (`O(|X|·|Y|)` causality checks);
+//! * [`proxy_baseline`] — the evaluation the paper starts from: quantify
+//!   over the per-node extremal events only, which is exactly evaluating
+//!   `R(X̂, Ŷ)` over Definition-2 proxies (`|N_X| × |N_Y|` causality
+//!   checks). Returns the comparison count actually performed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::execution::Execution;
+use crate::nonatomic::NonatomicEvent;
+
+/// One of the eight Table-1 relations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Relation {
+    /// `∀x∀y : x ≺ y`
+    R1,
+    /// `∀y∀x : x ≺ y` (same predicate as R1)
+    R1p,
+    /// `∀x∃y : x ≺ y`
+    R2,
+    /// `∃y∀x : x ≺ y`
+    R2p,
+    /// `∃x∀y : x ≺ y`
+    R3,
+    /// `∀y∃x : x ≺ y`
+    R3p,
+    /// `∃x∃y : x ≺ y`
+    R4,
+    /// `∃y∃x : x ≺ y` (same predicate as R4)
+    R4p,
+}
+
+impl Relation {
+    /// All eight relations in Table-1 order.
+    pub const ALL: [Relation; 8] = [
+        Relation::R1,
+        Relation::R1p,
+        Relation::R2,
+        Relation::R2p,
+        Relation::R3,
+        Relation::R3p,
+        Relation::R4,
+        Relation::R4p,
+    ];
+
+    /// The paper's name for the relation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relation::R1 => "R1",
+            Relation::R1p => "R1'",
+            Relation::R2 => "R2",
+            Relation::R2p => "R2'",
+            Relation::R3 => "R3",
+            Relation::R3p => "R3'",
+            Relation::R4 => "R4",
+            Relation::R4p => "R4'",
+        }
+    }
+
+    /// The quantifier expression from Table 1.
+    pub fn quantifier_expr(self) -> &'static str {
+        match self {
+            Relation::R1 => "∀x∈X ∀y∈Y, x ≺ y",
+            Relation::R1p => "∀y∈Y ∀x∈X, x ≺ y",
+            Relation::R2 => "∀x∈X ∃y∈Y, x ≺ y",
+            Relation::R2p => "∃y∈Y ∀x∈X, x ≺ y",
+            Relation::R3 => "∃x∈X ∀y∈Y, x ≺ y",
+            Relation::R3p => "∀y∈Y ∃x∈X, x ≺ y",
+            Relation::R4 => "∃x∈X ∃y∈Y, x ≺ y",
+            Relation::R4p => "∃y∈Y ∃x∈X, x ≺ y",
+        }
+    }
+
+    /// The paper's evaluation condition from Table 1, column 3.
+    pub fn evaluation_condition(self) -> &'static str {
+        match self {
+            Relation::R1 => "∏_{x∈X} [∩⇓Y ≪̸ x⇑]",
+            Relation::R1p => "∏_{y∈Y} [↓y ≪̸ ∪⇑X]",
+            Relation::R2 => "∏_{x∈X} [∪⇓Y ≪̸ x⇑]",
+            Relation::R2p => "∪⇓Y ≪̸ ∪⇑X",
+            Relation::R3 => "∩⇓Y ≪̸ ∩⇑X",
+            Relation::R3p => "∏_{y∈Y} [↓y ≪̸ ∩⇑X]",
+            Relation::R4 | Relation::R4p => "∪⇓Y ≪̸ ∩⇑X",
+        }
+    }
+
+    /// The predicate-equal partner, if any (R1≡R1', R4≡R4').
+    pub fn predicate_twin(self) -> Option<Relation> {
+        match self {
+            Relation::R1 => Some(Relation::R1p),
+            Relation::R1p => Some(Relation::R1),
+            Relation::R4 => Some(Relation::R4p),
+            Relation::R4p => Some(Relation::R4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ground-truth evaluation: the literal quantifier expression over all
+/// member pairs, using the O(1) causality test. `O(|X| · |Y|)` checks.
+pub fn naive(exec: &Execution, rel: Relation, x: &NonatomicEvent, y: &NonatomicEvent) -> bool {
+    match rel {
+        Relation::R1 | Relation::R1p => x
+            .events()
+            .all(|xe| y.events().all(|ye| exec.precedes(xe, ye))),
+        Relation::R2 => x
+            .events()
+            .all(|xe| y.events().any(|ye| exec.precedes(xe, ye))),
+        Relation::R2p => y
+            .events()
+            .any(|ye| x.events().all(|xe| exec.precedes(xe, ye))),
+        Relation::R3 => x
+            .events()
+            .any(|xe| y.events().all(|ye| exec.precedes(xe, ye))),
+        Relation::R3p => y
+            .events()
+            .all(|ye| x.events().any(|xe| exec.precedes(xe, ye))),
+        Relation::R4 | Relation::R4p => x
+            .events()
+            .any(|xe| y.events().any(|ye| exec.precedes(xe, ye))),
+    }
+}
+
+/// The `|N_X| × |N_Y|` baseline: quantify over per-node extremal events
+/// only. This is exactly evaluating `R(X̂, Ŷ)` with the Definition-2
+/// proxies that make each relation equivalent to its `(X, Y)` form:
+///
+/// * R1 over `(U_X, L_Y)` — latest per `X`-node vs earliest per `Y`-node;
+/// * R2, R2' over `(U_X, U_Y)`;
+/// * R3, R3' over `(L_X, L_Y)`;
+/// * R4 over `(L_X, U_Y)`.
+///
+/// Returns `(holds, causality_checks_performed)`. The count is reported
+/// without short-circuiting (the full `|N_X| × |N_Y|` worst case) so that
+/// benchmark tables show the paper's baseline complexity; the boolean is
+/// still computed exactly.
+pub fn proxy_baseline(
+    exec: &Execution,
+    rel: Relation,
+    x: &NonatomicEvent,
+    y: &NonatomicEvent,
+) -> (bool, u64) {
+    let checks = (x.node_count() as u64) * (y.node_count() as u64);
+    let xe_hi = || x.node_set().iter().map(|&i| x.latest_at(i).unwrap());
+    let xe_lo = || x.node_set().iter().map(|&i| x.earliest_at(i).unwrap());
+    let ye_hi = || y.node_set().iter().map(|&j| y.latest_at(j).unwrap());
+    let ye_lo = || y.node_set().iter().map(|&j| y.earliest_at(j).unwrap());
+    let holds = match rel {
+        Relation::R1 | Relation::R1p => {
+            xe_hi().all(|xe| ye_lo().all(|ye| exec.precedes(xe, ye)))
+        }
+        Relation::R2 => xe_hi().all(|xe| ye_hi().any(|ye| exec.precedes(xe, ye))),
+        Relation::R2p => ye_hi().any(|ye| xe_hi().all(|xe| exec.precedes(xe, ye))),
+        Relation::R3 => xe_lo().any(|xe| ye_lo().all(|ye| exec.precedes(xe, ye))),
+        Relation::R3p => ye_lo().all(|ye| xe_lo().any(|xe| exec.precedes(xe, ye))),
+        Relation::R4 | Relation::R4p => {
+            xe_lo().any(|xe| ye_hi().any(|ye| exec.precedes(xe, ye)))
+        }
+    };
+    (holds, checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{EventId, ExecutionBuilder};
+
+    /// p0: a s1 ; p1: r1 b s2 ; p2: r2 c — fully chained via messages.
+    fn chained() -> (Execution, [EventId; 7]) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let b = bld.internal(1);
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        let c = bld.internal(2);
+        (bld.build().unwrap(), [a, s1, r1, b, s2, r2, c])
+    }
+
+    #[test]
+    fn fully_ordered_pair_satisfies_all() {
+        let (e, [a, s1, r1, b, ..]) = chained();
+        let x = NonatomicEvent::new(&e, [a, s1]).unwrap();
+        let y = NonatomicEvent::new(&e, [r1, b]).unwrap();
+        for rel in Relation::ALL {
+            assert!(naive(&e, rel, &x, &y), "{rel} should hold");
+        }
+    }
+
+    #[test]
+    fn reversed_pair_satisfies_none() {
+        let (e, [a, s1, r1, b, ..]) = chained();
+        let x = NonatomicEvent::new(&e, [r1, b]).unwrap();
+        let y = NonatomicEvent::new(&e, [a, s1]).unwrap();
+        for rel in Relation::ALL {
+            assert!(!naive(&e, rel, &x, &y), "{rel} should fail");
+        }
+    }
+
+    #[test]
+    fn partially_ordered_pair_distinguishes_relations() {
+        // X = {s1 (p0), c (p2)}, Y = {r1, b (p1)}: s1 ≺ both of Y,
+        // c precedes nothing in Y.
+        let (e, [_, s1, r1, b, _, _, c]) = chained();
+        let x = NonatomicEvent::new(&e, [s1, c]).unwrap();
+        let y = NonatomicEvent::new(&e, [r1, b]).unwrap();
+        assert!(!naive(&e, Relation::R1, &x, &y));
+        assert!(!naive(&e, Relation::R2, &x, &y)); // c precedes no y
+        assert!(!naive(&e, Relation::R2p, &x, &y));
+        assert!(naive(&e, Relation::R3, &x, &y)); // s1 precedes all y
+        assert!(naive(&e, Relation::R3p, &x, &y));
+        assert!(naive(&e, Relation::R4, &x, &y));
+    }
+
+    #[test]
+    fn r2_vs_r2p_differ_on_posets() {
+        // X = {a}, Y = {y1 (p1), y2 (p2)} where a ≺ y1 and a ≺ y2 but no
+        // single structure needed — here R2 holds and R2' holds. Make R2
+        // hold while R2' fails: X = {x1, x2} each preceding a *different*
+        // y with no y after both.
+        let mut bld = ExecutionBuilder::new(4);
+        let (s1, m1) = bld.send(0);
+        let (s2, m2) = bld.send(1);
+        let r1 = bld.recv(2, m1).unwrap();
+        let r2 = bld.recv(3, m2).unwrap();
+        let e = bld.build().unwrap();
+        let x = NonatomicEvent::new(&e, [s1, s2]).unwrap();
+        let y = NonatomicEvent::new(&e, [r1, r2]).unwrap();
+        assert!(naive(&e, Relation::R2, &x, &y), "each x precedes its recv");
+        assert!(
+            !naive(&e, Relation::R2p, &x, &y),
+            "no single y follows both x"
+        );
+    }
+
+    #[test]
+    fn r3_vs_r3p_differ_on_posets() {
+        // Each y is preceded by some x, but no single x precedes all y.
+        let mut bld = ExecutionBuilder::new(4);
+        let (s1, m1) = bld.send(0);
+        let (s2, m2) = bld.send(1);
+        let r1 = bld.recv(2, m1).unwrap();
+        let r2 = bld.recv(3, m2).unwrap();
+        let e = bld.build().unwrap();
+        let x = NonatomicEvent::new(&e, [s1, s2]).unwrap();
+        let y = NonatomicEvent::new(&e, [r1, r2]).unwrap();
+        assert!(naive(&e, Relation::R3p, &x, &y));
+        assert!(!naive(&e, Relation::R3, &x, &y));
+    }
+
+    #[test]
+    fn twins_always_agree() {
+        let (e, evs) = chained();
+        // all 2-subsets as X and Y
+        for i in 0..evs.len() {
+            for j in 0..evs.len() {
+                if i == j {
+                    continue;
+                }
+                let x = NonatomicEvent::new(&e, [evs[i]]).unwrap();
+                let y = NonatomicEvent::new(&e, [evs[j]]).unwrap();
+                assert_eq!(
+                    naive(&e, Relation::R1, &x, &y),
+                    naive(&e, Relation::R1p, &x, &y)
+                );
+                assert_eq!(
+                    naive(&e, Relation::R4, &x, &y),
+                    naive(&e, Relation::R4p, &x, &y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proxy_baseline_matches_naive() {
+        // Exhaustive over subsets of a pool, disjoint X/Y pairs.
+        let (e, evs) = chained();
+        let pool = &evs[..5];
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue; // evaluators assume disjoint operands
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &ev)| ev)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &ev)| ev)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                for rel in Relation::ALL {
+                    let (b, checks) = proxy_baseline(&e, rel, &x, &y);
+                    assert_eq!(
+                        b,
+                        naive(&e, rel, &x, &y),
+                        "{rel} on X={xm:b} Y={ym:b}"
+                    );
+                    assert_eq!(checks, (x.node_count() * y.node_count()) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_exprs() {
+        assert_eq!(Relation::R2p.name(), "R2'");
+        assert_eq!(Relation::R3.quantifier_expr(), "∃x∈X ∀y∈Y, x ≺ y");
+        assert_eq!(Relation::R4.evaluation_condition(), "∪⇓Y ≪̸ ∩⇑X");
+        assert_eq!(Relation::R1.predicate_twin(), Some(Relation::R1p));
+        assert_eq!(Relation::R2.predicate_twin(), None);
+        assert_eq!(Relation::R3p.to_string(), "R3'");
+    }
+}

@@ -1,0 +1,250 @@
+//! Vector clocks: fixed-width integer vectors with the component-wise
+//! partial order.
+//!
+//! A [`VectorClock`] of width `|P|` timestamps an atomic event per
+//! Definition 13 of the paper: `T(e)[i]` is the number of events on node `i`
+//! that causally precede or equal `e`. The set of all such timestamps,
+//! ordered by the strict component-wise order `<`, is isomorphic to the
+//! event poset `(E, ≺)` — see [`crate::timestamp`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+/// A vector timestamp: one non-negative counter per process.
+///
+/// Component `i` counts events of process `i` (including the dummy `⊥ᵢ`)
+/// in the causal past of the timestamped event.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    /// The zero clock of the given width.
+    pub fn zero(width: usize) -> Self {
+        VectorClock(vec![0; width])
+    }
+
+    /// The all-ones clock of the given width (the floor contributed by the
+    /// dummy initial events `⊥ᵢ ≺ e`).
+    pub fn ones(width: usize) -> Self {
+        VectorClock(vec![1; width])
+    }
+
+    /// A unit clock: 1 at `at`, 0 elsewhere. This is `T(⊥_at)`.
+    pub fn unit(width: usize, at: usize) -> Self {
+        let mut v = vec![0; width];
+        v[at] = 1;
+        VectorClock(v)
+    }
+
+    /// Construct from raw components.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        VectorClock(components)
+    }
+
+    /// Number of components (`|P|`).
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Mutable raw components.
+    pub fn components_mut(&mut self) -> &mut [u32] {
+        &mut self.0
+    }
+
+    /// Component-wise maximum, in place. This is the `merge` of message
+    /// passing vector-clock algorithms, and computes timestamps of cut
+    /// unions (Lemma 16).
+    pub fn join_assign(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Component-wise minimum, in place. Computes timestamps of cut
+    /// intersections (Lemma 16).
+    pub fn meet_assign(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).min(*b);
+        }
+    }
+
+    /// Component-wise maximum.
+    pub fn join(&self, other: &VectorClock) -> VectorClock {
+        let mut v = self.clone();
+        v.join_assign(other);
+        v
+    }
+
+    /// Component-wise minimum.
+    pub fn meet(&self, other: &VectorClock) -> VectorClock {
+        let mut v = self.clone();
+        v.meet_assign(other);
+        v
+    }
+
+    /// Increment component `at` by one (the local tick).
+    pub fn tick(&mut self, at: usize) {
+        self.0[at] += 1;
+    }
+
+    /// `self ≤ other` component-wise.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Strict vector order: `self ≤ other` and `self ≠ other`.
+    ///
+    /// Under the isomorphism of Definition 13 this is exactly the causality
+    /// relation `≺` between the timestamped events.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Neither `self ≤ other` nor `other ≤ self`: the timestamped events
+    /// are concurrent (incomparable under `≺`).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+impl Index<usize> for VectorClock {
+    type Output = u32;
+
+    fn index(&self, i: usize) -> &u32 {
+        &self.0[i]
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// The component-wise partial order. Returns `None` for concurrent
+    /// (incomparable) clocks.
+    fn partial_cmp(&self, other: &VectorClock) -> Option<Ordering> {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.0)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        assert_eq!(VectorClock::zero(3).components(), &[0, 0, 0]);
+        assert_eq!(VectorClock::ones(3).components(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn unit_vector() {
+        let u = VectorClock::unit(4, 2);
+        assert_eq!(u.components(), &[0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let a = VectorClock::from_components(vec![1, 5, 2]);
+        let b = VectorClock::from_components(vec![3, 1, 2]);
+        assert_eq!(a.join(&b).components(), &[3, 5, 2]);
+    }
+
+    #[test]
+    fn meet_is_componentwise_min() {
+        let a = VectorClock::from_components(vec![1, 5, 2]);
+        let b = VectorClock::from_components(vec![3, 1, 2]);
+        assert_eq!(a.meet(&b).components(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn strict_order() {
+        let a = VectorClock::from_components(vec![1, 2]);
+        let b = VectorClock::from_components(vec![1, 3]);
+        assert!(a.lt(&b));
+        assert!(!b.lt(&a));
+        assert!(!a.lt(&a));
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let a = VectorClock::from_components(vec![2, 1]);
+        let b = VectorClock::from_components(vec![1, 2]);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn partial_cmp_cases() {
+        let a = VectorClock::from_components(vec![1, 1]);
+        let b = VectorClock::from_components(vec![2, 2]);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tick_increments_component() {
+        let mut a = VectorClock::zero(2);
+        a.tick(1);
+        a.tick(1);
+        assert_eq!(a.components(), &[0, 2]);
+    }
+
+    #[test]
+    fn join_meet_lattice_laws() {
+        let a = VectorClock::from_components(vec![1, 4, 2]);
+        let b = VectorClock::from_components(vec![3, 1, 5]);
+        let c = VectorClock::from_components(vec![2, 2, 2]);
+        // commutativity
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.meet(&b), b.meet(&a));
+        // associativity
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        // absorption
+        assert_eq!(a.join(&a.meet(&b)), a);
+        assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = VectorClock::from_components(vec![1, 2, 3]);
+        assert_eq!(a.to_string(), "(1,2,3)");
+        assert_eq!(format!("{a:?}"), "VC[1, 2, 3]");
+    }
+}

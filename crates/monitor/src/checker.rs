@@ -1,0 +1,424 @@
+//! Offline spec checking against a recorded trace.
+//!
+//! A [`Checker`] binds the names mentioned by a [`Spec`] to concrete
+//! [`NonatomicEvent`]s of one execution, evaluates every requirement
+//! using the linear-time evaluator (with summaries cached per event —
+//! Key Idea 1), and produces a [`CheckReport`]. Violated relation
+//! conditions come with a concrete witness pair where one exists, which
+//! is what an engineer debugging a real-time trace actually needs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use synchrel_core::{
+    naive_relation, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary,
+    Relation,
+};
+
+use crate::spec::{Condition, Spec};
+
+/// Verdict and explanation for one requirement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConditionReport {
+    /// Requirement name.
+    pub name: String,
+    /// Whether the condition holds.
+    pub holds: bool,
+    /// Human-readable explanation (witnesses for violations).
+    pub detail: String,
+}
+
+/// Outcome of checking a whole spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Name of the checked spec.
+    pub spec: String,
+    /// Per-requirement reports, in spec order.
+    pub conditions: Vec<ConditionReport>,
+}
+
+impl CheckReport {
+    /// Do all requirements hold?
+    pub fn all_hold(&self) -> bool {
+        self.conditions.iter().all(|c| c.holds)
+    }
+
+    /// The names of violated requirements.
+    pub fn violations(&self) -> Vec<&str> {
+        self.conditions
+            .iter()
+            .filter(|c| !c.holds)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "spec '{}': {}",
+            self.spec,
+            if self.all_hold() { "OK" } else { "VIOLATED" }
+        )?;
+        for c in &self.conditions {
+            writeln!(
+                f,
+                "  [{}] {} — {}",
+                if c.holds { "ok" } else { "FAIL" },
+                c.name,
+                c.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Binds named events of one execution and checks specs against them.
+pub struct Checker<'a> {
+    exec: &'a Execution,
+    bindings: BTreeMap<String, NonatomicEvent>,
+    summaries: RwLock<BTreeMap<String, Arc<ProxySummary>>>,
+}
+
+impl<'a> Checker<'a> {
+    /// Create a checker over `exec` with the given name bindings.
+    pub fn new(
+        exec: &'a Execution,
+        bindings: impl IntoIterator<Item = (String, NonatomicEvent)>,
+    ) -> Self {
+        Checker {
+            exec,
+            bindings: bindings.into_iter().collect(),
+            summaries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The bound event names.
+    pub fn names(&self) -> Vec<&str> {
+        self.bindings.keys().map(String::as_str).collect()
+    }
+
+    /// Look up a bound event.
+    pub fn event(&self, name: &str) -> Option<&NonatomicEvent> {
+        self.bindings.get(name)
+    }
+
+    fn summary(&self, name: &str) -> Option<Arc<ProxySummary>> {
+        if let Some(s) = self.summaries.read().get(name) {
+            return Some(Arc::clone(s));
+        }
+        let ev = self.bindings.get(name)?;
+        let s = Arc::new(Evaluator::new(self.exec).summarize_proxies(ev));
+        self.summaries
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&s));
+        Some(s)
+    }
+
+    /// Check a whole spec.
+    pub fn check(&self, spec: &Spec) -> CheckReport {
+        CheckReport {
+            spec: spec.name.clone(),
+            conditions: spec
+                .requirements
+                .iter()
+                .map(|r| {
+                    let (holds, detail) = self.eval(&r.condition);
+                    ConditionReport {
+                        name: r.name.clone(),
+                        holds,
+                        detail,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Check a single condition, returning the verdict and explanation.
+    pub fn eval(&self, cond: &Condition) -> (bool, String) {
+        match cond {
+            Condition::Rel { rel, x, y } => self.eval_rel(*rel, x, y),
+            Condition::ProxyRel {
+                rel,
+                x_proxy,
+                y_proxy,
+                x,
+                y,
+            } => {
+                let (Some(sx), Some(sy)) = (self.summary(x), self.summary(y)) else {
+                    return (false, self.unbound_detail(x, y));
+                };
+                let pr = ProxyRelation::new(*rel, *x_proxy, *y_proxy);
+                let holds = Evaluator::new(self.exec).eval_proxy(pr, &sx, &sy).holds;
+                (holds, format!("{pr} on ({x}, {y}) = {holds}"))
+            }
+            Condition::Not { inner } => {
+                let (h, d) = self.eval(inner);
+                (!h, format!("not({d})"))
+            }
+            Condition::All { conditions } => {
+                let mut fails = Vec::new();
+                for c in conditions {
+                    let (h, d) = self.eval(c);
+                    if !h {
+                        fails.push(d);
+                    }
+                }
+                if fails.is_empty() {
+                    (true, format!("all {} conditions hold", conditions.len()))
+                } else {
+                    (false, format!("failed: {}", fails.join("; ")))
+                }
+            }
+            Condition::Any { conditions } => {
+                for c in conditions {
+                    let (h, d) = self.eval(c);
+                    if h {
+                        return (true, d);
+                    }
+                }
+                (false, "no disjunct holds".to_string())
+            }
+            Condition::Mutex { events } => {
+                for i in 0..events.len() {
+                    for j in i + 1..events.len() {
+                        let a = &events[i];
+                        let b = &events[j];
+                        let (ab, _) = self.eval_rel(Relation::R1, a, b);
+                        let (ba, _) = self.eval_rel(Relation::R1, b, a);
+                        if !ab && !ba {
+                            let w = self.overlap_witness(a, b);
+                            return (
+                                false,
+                                format!("'{a}' and '{b}' are not exclusive{w}"),
+                            );
+                        }
+                    }
+                }
+                (true, format!("{} events pairwise exclusive", events.len()))
+            }
+            Condition::Ordered { events } => {
+                for win in events.windows(2) {
+                    let (h, _) = self.eval_rel(Relation::R1, &win[0], &win[1]);
+                    if !h {
+                        let w = self.r1_witness(&win[0], &win[1]);
+                        return (
+                            false,
+                            format!("'{}' does not wholly precede '{}'{w}", win[0], win[1]),
+                        );
+                    }
+                }
+                (true, format!("{} events totally ordered", events.len()))
+            }
+        }
+    }
+
+    fn eval_rel(&self, rel: Relation, x: &str, y: &str) -> (bool, String) {
+        let (Some(sx), Some(sy)) = (self.summary(x), self.summary(y)) else {
+            return (false, self.unbound_detail(x, y));
+        };
+        // The base relation equals the relation over the matching proxies
+        // (see crate::relations::proxy_baseline): use the event's own
+        // summaries via the proxy pair that preserves it.
+        let ev = Evaluator::new(self.exec);
+        let (xp, yp) = match rel {
+            Relation::R1 | Relation::R1p => (synchrel_core::Proxy::U, synchrel_core::Proxy::L),
+            Relation::R2 | Relation::R2p => (synchrel_core::Proxy::U, synchrel_core::Proxy::U),
+            Relation::R3 | Relation::R3p => (synchrel_core::Proxy::L, synchrel_core::Proxy::L),
+            Relation::R4 | Relation::R4p => (synchrel_core::Proxy::L, synchrel_core::Proxy::U),
+        };
+        let pr = ProxyRelation::new(rel, xp, yp);
+        let holds = ev.eval_proxy(pr, &sx, &sy).holds;
+        let mut detail = format!("{rel}({x}, {y}) = {holds}");
+        if !holds && matches!(rel, Relation::R1 | Relation::R1p) {
+            detail.push_str(&self.r1_witness(x, y));
+        }
+        (holds, detail)
+    }
+
+    fn unbound_detail(&self, x: &str, y: &str) -> String {
+        let mut missing = Vec::new();
+        if !self.bindings.contains_key(x) {
+            missing.push(x);
+        }
+        if !self.bindings.contains_key(y) {
+            missing.push(y);
+        }
+        format!("unbound event(s): {missing:?}")
+    }
+
+    /// For a violated `R1(x, y)`, find a concrete pair `(a, b)` with
+    /// `¬(a ≺ b)`.
+    fn r1_witness(&self, x: &str, y: &str) -> String {
+        let (Some(ex), Some(ey)) = (self.bindings.get(x), self.bindings.get(y)) else {
+            return String::new();
+        };
+        for a in ex.events() {
+            for b in ey.events() {
+                if !self.exec.precedes(a, b) {
+                    return format!(" (witness: {a} ⊀ {b})");
+                }
+            }
+        }
+        String::new()
+    }
+
+    /// For a violated mutual exclusion, exhibit a concurrent pair.
+    fn overlap_witness(&self, x: &str, y: &str) -> String {
+        let (Some(ex), Some(ey)) = (self.bindings.get(x), self.bindings.get(y)) else {
+            return String::new();
+        };
+        for a in ex.events() {
+            for b in ey.events() {
+                if self.exec.concurrent(a, b) {
+                    return format!(" (concurrent pair: {a} ∥ {b})");
+                }
+            }
+        }
+        String::new()
+    }
+
+    /// Convenience: evaluate one base relation by bound names, using the
+    /// naive ground truth (for cross-checks and tests).
+    pub fn naive_rel(&self, rel: Relation, x: &str, y: &str) -> Option<bool> {
+        let ex = self.bindings.get(x)?;
+        let ey = self.bindings.get(y)?;
+        Some(naive_relation(self.exec, rel, ex, ey))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_core::{EventId, ExecutionBuilder};
+
+    /// Three actions: a (p0) wholly precedes b (p1); c (p2) concurrent
+    /// with both.
+    fn setup() -> (Execution, Vec<(String, Vec<EventId>)>) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a1 = bld.internal(0);
+        let (a2, m) = bld.send(0);
+        let b1 = bld.recv(1, m).unwrap();
+        let b2 = bld.internal(1);
+        let c1 = bld.internal(2);
+        let c2 = bld.internal(2);
+        let e = bld.build().unwrap();
+        (
+            e,
+            vec![
+                ("a".into(), vec![a1, a2]),
+                ("b".into(), vec![b1, b2]),
+                ("c".into(), vec![c1, c2]),
+            ],
+        )
+    }
+
+    fn checker<'a>(e: &'a Execution, defs: &[(String, Vec<EventId>)]) -> Checker<'a> {
+        Checker::new(
+            e,
+            defs.iter().map(|(n, evs)| {
+                (
+                    n.clone(),
+                    NonatomicEvent::new(e, evs.iter().copied()).unwrap(),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn simple_relations() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        assert!(ch.eval(&Condition::rel(Relation::R1, "a", "b")).0);
+        assert!(!ch.eval(&Condition::rel(Relation::R1, "b", "a")).0);
+        assert!(!ch.eval(&Condition::rel(Relation::R4, "a", "c")).0);
+    }
+
+    #[test]
+    fn linear_matches_naive_in_checker() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        for rel in Relation::ALL {
+            for x in ["a", "b", "c"] {
+                for y in ["a", "b", "c"] {
+                    if x == y {
+                        continue;
+                    }
+                    assert_eq!(
+                        ch.eval(&Condition::rel(rel, x, y)).0,
+                        ch.naive_rel(rel, x, y).unwrap(),
+                        "{rel}({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        let c = Condition::all([
+            Condition::rel(Relation::R1, "a", "b"),
+            Condition::not(Condition::rel(Relation::R4, "c", "a")),
+        ]);
+        assert!(ch.eval(&c).0);
+        let c2 = Condition::any([
+            Condition::rel(Relation::R1, "b", "a"),
+            Condition::rel(Relation::R1, "a", "b"),
+        ]);
+        assert!(ch.eval(&c2).0);
+        assert!(!ch.eval(&Condition::any([])).0);
+        assert!(ch.eval(&Condition::all([])).0);
+    }
+
+    #[test]
+    fn mutex_detects_overlap_with_witness() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        let (h, _) = ch.eval(&Condition::mutex(["a", "b"]));
+        assert!(h, "a and b are ordered");
+        let (h2, d2) = ch.eval(&Condition::mutex(["a", "c"]));
+        assert!(!h2);
+        assert!(d2.contains("concurrent pair"), "{d2}");
+    }
+
+    #[test]
+    fn ordered_chain() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        assert!(ch.eval(&Condition::ordered(["a", "b"])).0);
+        let (h, d) = ch.eval(&Condition::ordered(["a", "b", "c"]));
+        assert!(!h);
+        assert!(d.contains("witness"), "{d}");
+    }
+
+    #[test]
+    fn unbound_names_fail_cleanly() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        let (h, d) = ch.eval(&Condition::rel(Relation::R1, "a", "ghost"));
+        assert!(!h);
+        assert!(d.contains("unbound"), "{d}");
+    }
+
+    #[test]
+    fn full_spec_report() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        let spec = Spec::new("demo")
+            .require("ordering", Condition::rel(Relation::R1, "a", "b"))
+            .require("exclusion", Condition::mutex(["a", "c"]));
+        let rep = ch.check(&spec);
+        assert!(!rep.all_hold());
+        assert_eq!(rep.violations(), vec!["exclusion"]);
+        let text = rep.to_string();
+        assert!(text.contains("VIOLATED"), "{text}");
+        assert!(text.contains("[ok] ordering"), "{text}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # synchrel-monitor
+//!
+//! The real-time application layer on top of [`synchrel_core`]:
+//! specification and checking of **synchronization conditions** between
+//! the high-level (nonatomic) actions of a distributed application —
+//! the use the paper proposes for its relations (§1, and the mutual
+//! exclusion / predicate-specification applications of its ref.\[11\]).
+//!
+//! * [`spec`] — a serializable condition language over named nonatomic
+//!   events: any of the 8 base or 32 proxy relations, boolean
+//!   combinators, mutual exclusion, and total ordering.
+//! * [`checker`] — offline checking of a [`spec::Spec`] against a
+//!   recorded trace, with witness extraction for violated conditions.
+//! * [`online`] — an incremental monitor that consumes events as they
+//!   happen, maintains vector clocks and per-interval aggregates online,
+//!   and reports each condition as holding, violated, or still pending
+//!   (with early, monotonicity-aware verdicts).
+//! * [`mutex`] — the distributed-mutual-exclusion checker of the
+//!   paper's motivating application: verifies that critical-section
+//!   intervals are pairwise ordered by `R1`.
+//! * [`predicate`] — conjunctive global-predicate detection over local
+//!   intervals (possibly-`∧φᵢ`), solved with the condensation cut
+//!   `∪⇓S` of the interval starts.
+
+pub mod checker;
+pub mod mutex;
+pub mod online;
+pub mod predicate;
+pub mod spec;
+
+pub use checker::{CheckReport, Checker, ConditionReport};
+pub use mutex::{MutexReport, MutexViolation};
+pub use online::{OnlineMonitor, Verdict, WatchEvent};
+pub use predicate::{possibly_overlap, LocalInterval, PossiblyReport};
+pub use spec::{Condition, Spec};

@@ -1,0 +1,619 @@
+//! Online (incremental) relation monitoring.
+//!
+//! The paper's Problem 4 is offline — the trace is fully recorded before
+//! relations are evaluated, which is what makes the **future** cuts
+//! `∩⇑X` / `∪⇑X` (reverse timestamps) available. A real-time monitor
+//! does not have the future: this module evaluates the same eight
+//! relations **online**, from past information only, as events stream
+//! in.
+//!
+//! Two ingredients make this work:
+//!
+//! 1. **Past-only evaluation conditions.** Each relation has an exact
+//!    reformulation over past cuts and extremal member clocks (derived
+//!    from the same chain-structure arguments as the paper's
+//!    conditions — see the table in [`OnlineMonitor::check`]); the
+//!    monitor maintains `∩⇓X`, `∪⇓X`, and per-node extremal member
+//!    clocks incrementally in `O(|P|)` per event.
+//! 2. **Monotonicity-aware verdicts.** While an interval is still open,
+//!    a relation may already be decided: `R1` is violated forever once
+//!    one bad pair exists; `R4` holds forever once one good pair exists;
+//!    `R2` is settled once the side its quantifier depends on is closed.
+//!    [`Verdict::Pending`] is returned only while the truth genuinely
+//!    depends on future events.
+//!
+//! The monitor costs `O(|P|)` per event and `O(|N_X|·|N_Y|)` per `R2'`
+//! / `R3'` query (the future-cut condensation that makes those linear is
+//! precisely what an online monitor cannot have); all other relations
+//! are linear, as offline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use synchrel_core::{Relation, VectorClock};
+
+/// Handle to a message sent through the monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnlineMsg(u64);
+
+/// Errors from feeding events to the monitor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OnlineError {
+    /// Process index out of range.
+    UnknownProcess(usize),
+    /// Message token unknown or already consumed.
+    BadMessage(u64),
+    /// Events cannot be added to a closed interval.
+    IntervalClosed(String),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            OnlineError::BadMessage(m) => write!(f, "bad message token {m}"),
+            OnlineError::IntervalClosed(l) => write!(f, "interval '{l}' is closed"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Three-valued verdict of an online relation query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The relation holds, and no future event can change that.
+    Holds,
+    /// The relation is violated, and no future event can change that.
+    Violated,
+    /// The truth still depends on events yet to happen.
+    Pending,
+}
+
+/// Per-node extremal member data: 1-indexed position and the member's
+/// full clock.
+#[derive(Clone, Debug)]
+struct Extreme {
+    pos: u32,
+    clock: VectorClock,
+}
+
+/// Incrementally maintained state of one named interval.
+#[derive(Clone, Debug, Default)]
+struct IntervalState {
+    closed: bool,
+    count: usize,
+    /// Earliest member per node.
+    lo: BTreeMap<usize, Extreme>,
+    /// Latest member per node.
+    hi: BTreeMap<usize, Extreme>,
+    /// `∩⇓X` timestamp: component-wise min of member clocks.
+    c1: Option<VectorClock>,
+    /// `∪⇓X` timestamp: component-wise max of member clocks.
+    c2: Option<VectorClock>,
+}
+
+impl IntervalState {
+    fn add(&mut self, node: usize, pos: u32, clock: &VectorClock) {
+        self.count += 1;
+        match self.c1.as_mut() {
+            Some(c) => c.meet_assign(clock),
+            None => self.c1 = Some(clock.clone()),
+        }
+        match self.c2.as_mut() {
+            Some(c) => c.join_assign(clock),
+            None => self.c2 = Some(clock.clone()),
+        }
+        let e = Extreme {
+            pos,
+            clock: clock.clone(),
+        };
+        match self.lo.get(&node) {
+            Some(x) if x.pos <= pos => {}
+            _ => {
+                self.lo.insert(node, e.clone());
+            }
+        }
+        match self.hi.get(&node) {
+            Some(x) if x.pos >= pos => {}
+            _ => {
+                self.hi.insert(node, e);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A registered condition watch and its last reported verdict.
+#[derive(Clone, Debug)]
+struct WatchState {
+    name: String,
+    rel: Relation,
+    x: String,
+    y: String,
+    last: Verdict,
+}
+
+/// A verdict transition reported by [`OnlineMonitor::poll`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The watch's name.
+    pub name: String,
+    /// The verdict it transitioned to.
+    pub verdict: Verdict,
+}
+
+/// The streaming monitor: feeds on events, answers relation queries.
+#[derive(Clone, Debug)]
+pub struct OnlineMonitor {
+    clocks: Vec<VectorClock>,
+    /// 1-indexed position of the latest event per process (`⊥` = 1).
+    pos: Vec<u32>,
+    msgs: BTreeMap<u64, VectorClock>,
+    next_msg: u64,
+    intervals: BTreeMap<String, IntervalState>,
+    watches: Vec<WatchState>,
+}
+
+impl OnlineMonitor {
+    /// A monitor over `processes` processes.
+    pub fn new(processes: usize) -> OnlineMonitor {
+        OnlineMonitor {
+            clocks: (0..processes)
+                .map(|p| VectorClock::unit(processes, p))
+                .collect(),
+            pos: vec![1; processes],
+            msgs: BTreeMap::new(),
+            next_msg: 0,
+            intervals: BTreeMap::new(),
+            watches: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    fn step(&mut self, p: usize, extra: Option<&VectorClock>) -> Result<(), OnlineError> {
+        if p >= self.clocks.len() {
+            return Err(OnlineError::UnknownProcess(p));
+        }
+        let ones = VectorClock::ones(self.clocks.len());
+        let mut v = self.clocks[p].join(&ones);
+        if let Some(e) = extra {
+            v.join_assign(e);
+        }
+        v.tick(p);
+        self.clocks[p] = v;
+        self.pos[p] += 1;
+        Ok(())
+    }
+
+    fn record(&mut self, p: usize, labels: &[&str]) -> Result<(), OnlineError> {
+        for &l in labels {
+            if self.intervals.get(l).is_some_and(|s| s.closed) {
+                return Err(OnlineError::IntervalClosed(l.to_string()));
+            }
+        }
+        let pos = self.pos[p];
+        let clock = self.clocks[p].clone();
+        for &l in labels {
+            self.intervals
+                .entry(l.to_string())
+                .or_default()
+                .add(p, pos, &clock);
+        }
+        Ok(())
+    }
+
+    /// Feed an internal event on `p`, tagged with `labels`.
+    pub fn internal(&mut self, p: usize, labels: &[&str]) -> Result<(), OnlineError> {
+        self.step(p, None)?;
+        self.record(p, labels)
+    }
+
+    /// Feed a send event on `p`; the returned handle is passed to the
+    /// matching [`OnlineMonitor::recv`].
+    pub fn send(&mut self, p: usize, labels: &[&str]) -> Result<OnlineMsg, OnlineError> {
+        self.step(p, None)?;
+        self.record(p, labels)?;
+        let id = self.next_msg;
+        self.next_msg += 1;
+        self.msgs.insert(id, self.clocks[p].clone());
+        Ok(OnlineMsg(id))
+    }
+
+    /// Feed the receive of `msg` on `p`.
+    pub fn recv(&mut self, p: usize, msg: OnlineMsg, labels: &[&str]) -> Result<(), OnlineError> {
+        let sender = self
+            .msgs
+            .remove(&msg.0)
+            .ok_or(OnlineError::BadMessage(msg.0))?;
+        self.step(p, Some(&sender))?;
+        self.record(p, labels)
+    }
+
+    /// Close an interval: no further events may join it, which lets
+    /// pending verdicts settle. Closing an unknown name creates it
+    /// empty and closed.
+    pub fn close(&mut self, label: &str) {
+        self.intervals.entry(label.to_string()).or_default().closed = true;
+    }
+
+    /// Is the interval closed?
+    pub fn is_closed(&self, label: &str) -> bool {
+        self.intervals.get(label).is_some_and(|s| s.closed)
+    }
+
+    /// Number of member events currently in the interval.
+    pub fn interval_len(&self, label: &str) -> usize {
+        self.intervals.get(label).map_or(0, |s| s.count)
+    }
+
+    /// Does `rel(X, Y)` hold **for the members seen so far**?
+    ///
+    /// Past-only evaluation conditions (exact for the current members,
+    /// assuming disjoint intervals; `N` sets and extremes are the
+    /// current ones):
+    ///
+    /// | relation | condition |
+    /// |----------|-----------|
+    /// | R1, R1' | `∀i∈N_X : ∩⇓Y[i] ≥ hi_X[i]` |
+    /// | R2      | `∀i∈N_X : ∪⇓Y[i] ≥ hi_X[i]` |
+    /// | R2'     | `∃j∈N_Y ∀i∈N_X : T(y_j^max)[i] ≥ hi_X[i]` |
+    /// | R3      | `∃i∈N_X : ∩⇓Y[i] ≥ lo_X[i]` |
+    /// | R3'     | `∀j∈N_Y ∃i∈N_X : T(y_j^min)[i] ≥ lo_X[i]` |
+    /// | R4, R4' | `∃i∈N_X : ∪⇓Y[i] ≥ lo_X[i]` |
+    pub fn holds_now(&self, rel: Relation, x: &str, y: &str) -> bool {
+        let dx = IntervalState::default();
+        let dy = IntervalState::default();
+        let sx = self.intervals.get(x).unwrap_or(&dx);
+        let sy = self.intervals.get(y).unwrap_or(&dy);
+        // Quantifier semantics on empty operands.
+        if sx.is_empty() || sy.is_empty() {
+            return match rel {
+                Relation::R1 | Relation::R1p => true, // vacuous ∀∀
+                Relation::R2 => sx.is_empty(),
+                Relation::R2p => sx.is_empty() && !sy.is_empty(),
+                Relation::R3 => !sx.is_empty() && sy.is_empty(),
+                Relation::R3p => sy.is_empty(),
+                Relation::R4 | Relation::R4p => false,
+            };
+        }
+        let c1y = sy.c1.as_ref().expect("non-empty");
+        let c2y = sy.c2.as_ref().expect("non-empty");
+        match rel {
+            Relation::R1 | Relation::R1p => {
+                sx.hi.iter().all(|(&i, e)| c1y[i] >= e.pos)
+            }
+            Relation::R2 => sx.hi.iter().all(|(&i, e)| c2y[i] >= e.pos),
+            Relation::R2p => sy.hi.values().any(|yc| {
+                sx.hi.iter().all(|(&i, e)| yc.clock[i] >= e.pos)
+            }),
+            Relation::R3 => sx.lo.iter().any(|(&i, e)| c1y[i] >= e.pos),
+            Relation::R3p => sy.lo.values().all(|yc| {
+                sx.lo.iter().any(|(&i, e)| yc.clock[i] >= e.pos)
+            }),
+            Relation::R4 | Relation::R4p => {
+                sx.lo.iter().any(|(&i, e)| c2y[i] >= e.pos)
+            }
+        }
+    }
+
+    /// Register a named watch on `rel(x, y)`. Its verdict transitions
+    /// are reported by [`OnlineMonitor::poll`].
+    pub fn watch(
+        &mut self,
+        name: impl Into<String>,
+        rel: Relation,
+        x: impl Into<String>,
+        y: impl Into<String>,
+    ) {
+        self.watches.push(WatchState {
+            name: name.into(),
+            rel,
+            x: x.into(),
+            y: y.into(),
+            last: Verdict::Pending,
+        });
+    }
+
+    /// Current verdicts of all watches, in registration order.
+    pub fn verdicts(&self) -> Vec<(String, Verdict)> {
+        self.watches
+            .iter()
+            .map(|w| (w.name.clone(), self.check(w.rel, &w.x, &w.y)))
+            .collect()
+    }
+
+    /// Re-evaluate every watch and return those whose verdict changed
+    /// since the last poll (or since registration). A real-time
+    /// deployment calls this after feeding each batch of events and
+    /// alarms on `Violated` transitions.
+    pub fn poll(&mut self) -> Vec<WatchEvent> {
+        let fresh: Vec<Verdict> = self
+            .watches
+            .iter()
+            .map(|w| self.check(w.rel, &w.x, &w.y))
+            .collect();
+        let mut out = Vec::new();
+        for (w, v) in self.watches.iter_mut().zip(fresh) {
+            if v != w.last {
+                w.last = v;
+                out.push(WatchEvent {
+                    name: w.name.clone(),
+                    verdict: v,
+                });
+            }
+        }
+        out
+    }
+
+    /// The monotonicity-aware three-valued verdict for `rel(X, Y)`.
+    pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        let now = self.holds_now(rel, x, y);
+        let xc = self.is_closed(x);
+        let yc = self.is_closed(y);
+        match rel {
+            // ∀∀: growth on either side can only break it.
+            Relation::R1 | Relation::R1p => {
+                if !now {
+                    Verdict::Violated
+                } else if xc && yc {
+                    Verdict::Holds
+                } else {
+                    Verdict::Pending
+                }
+            }
+            // ∀x∃y: more y helps, more x hurts.
+            Relation::R2 | Relation::R2p => {
+                if now && xc {
+                    Verdict::Holds
+                } else if !now && yc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+            // ∃x∀y: more x helps, more y hurts.
+            Relation::R3 | Relation::R3p => {
+                if now && yc {
+                    Verdict::Holds
+                } else if !now && xc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+            // ∃∃: growth can only establish it.
+            Relation::R4 | Relation::R4p => {
+                if now {
+                    Verdict::Holds
+                } else if xc && yc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_maintenance_matches_offline() {
+        // Mirror a 3-process execution in both the monitor and the
+        // offline builder; clocks must agree event by event.
+        use synchrel_core::{EventId, ExecutionBuilder};
+        let mut m = OnlineMonitor::new(3);
+        let mut b = ExecutionBuilder::new(3);
+
+        m.internal(0, &[]).unwrap();
+        b.internal(0);
+        let om = m.send(0, &[]).unwrap();
+        let (_, tok) = b.send(0);
+        m.recv(1, om, &[]).unwrap();
+        b.recv(1, tok).unwrap();
+        m.internal(2, &[]).unwrap();
+        b.internal(2);
+        let om2 = m.send(1, &[]).unwrap();
+        let (_, tok2) = b.send(1);
+        m.recv(2, om2, &[]).unwrap();
+        b.recv(2, tok2).unwrap();
+        let e = b.build().unwrap();
+
+        // Monitor's final clock per process equals the clock of that
+        // process's last application event.
+        assert_eq!(m.clocks[0], *e.clock(EventId::new(0, 2)));
+        assert_eq!(m.clocks[1], *e.clock(EventId::new(1, 2)));
+        assert_eq!(m.clocks[2], *e.clock(EventId::new(2, 2)));
+    }
+
+    #[test]
+    fn r1_early_violation() {
+        let mut m = OnlineMonitor::new(2);
+        m.internal(0, &["x"]).unwrap();
+        m.internal(1, &["y"]).unwrap(); // concurrent with x
+        // Neither interval closed, but R1 is already permanently broken.
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Violated);
+    }
+
+    #[test]
+    fn r4_early_confirmation() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        assert_eq!(m.check(Relation::R4, "x", "y"), Verdict::Holds);
+        // The converse direction stays pending until both close…
+        assert_eq!(m.check(Relation::R4, "y", "x"), Verdict::Pending);
+        m.close("x");
+        m.close("y");
+        assert_eq!(m.check(Relation::R4, "y", "x"), Verdict::Violated);
+    }
+
+    #[test]
+    fn r1_settles_on_close() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Pending);
+        m.close("x");
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Pending);
+        m.close("y");
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn r2_settles_when_x_closes() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &["x"]).unwrap();
+        m.close("x");
+        m.recv(1, msg, &["y"]).unwrap();
+        // Every (final) x has a y after it; more y cannot break it.
+        assert_eq!(m.check(Relation::R2, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn r2_violated_when_y_closes() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        m.internal(0, &["x"]).unwrap(); // a second x, after y's last event
+        m.close("y");
+        assert_eq!(m.check(Relation::R2, "x", "y"), Verdict::Violated);
+    }
+
+    #[test]
+    fn r3_and_r3p() {
+        let mut m = OnlineMonitor::new(3);
+        // x1 on p0 precedes both y's via messages.
+        let m1 = m.send(0, &["x"]).unwrap();
+        let m2 = m.send(0, &["x"]).unwrap();
+        m.recv(1, m1, &["y"]).unwrap();
+        m.recv(2, m2, &["y"]).unwrap();
+        m.close("x");
+        m.close("y");
+        assert_eq!(m.check(Relation::R3, "x", "y"), Verdict::Holds);
+        assert_eq!(m.check(Relation::R3p, "x", "y"), Verdict::Holds);
+        assert_eq!(m.check(Relation::R3, "y", "x"), Verdict::Violated);
+    }
+
+    #[test]
+    fn r2p_needs_single_witness() {
+        let mut m = OnlineMonitor::new(4);
+        // x1@p0, x2@p1; y1@p2 hears only x1; y2@p3 hears only x2.
+        let m1 = m.send(0, &["x"]).unwrap();
+        let m2 = m.send(1, &["x"]).unwrap();
+        m.recv(2, m1, &["y"]).unwrap();
+        m.recv(3, m2, &["y"]).unwrap();
+        m.close("x");
+        m.close("y");
+        assert_eq!(m.check(Relation::R2, "x", "y"), Verdict::Holds);
+        assert_eq!(m.check(Relation::R2p, "x", "y"), Verdict::Violated);
+    }
+
+    #[test]
+    fn closed_interval_rejects_events() {
+        let mut m = OnlineMonitor::new(1);
+        m.internal(0, &["x"]).unwrap();
+        m.close("x");
+        assert_eq!(
+            m.internal(0, &["x"]),
+            Err(OnlineError::IntervalClosed("x".into()))
+        );
+    }
+
+    #[test]
+    fn bad_message_rejected() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &[]).unwrap();
+        m.recv(1, msg, &[]).unwrap();
+        assert_eq!(m.recv(1, msg, &[]), Err(OnlineError::BadMessage(0)));
+    }
+
+    #[test]
+    fn unknown_process_rejected() {
+        let mut m = OnlineMonitor::new(2);
+        assert_eq!(m.internal(5, &[]), Err(OnlineError::UnknownProcess(5)));
+    }
+
+    #[test]
+    fn empty_interval_semantics() {
+        let mut m = OnlineMonitor::new(2);
+        m.internal(0, &["x"]).unwrap();
+        m.close("x");
+        m.close("nothing");
+        // ∀∀ vacuous, ∃∃ false.
+        assert_eq!(m.check(Relation::R1, "x", "nothing"), Verdict::Holds);
+        assert_eq!(m.check(Relation::R4, "x", "nothing"), Verdict::Violated);
+        assert_eq!(m.check(Relation::R2, "nothing", "x"), Verdict::Holds);
+        assert_eq!(m.check(Relation::R3, "nothing", "x"), Verdict::Violated);
+    }
+
+    #[test]
+    fn watches_report_transitions() {
+        let mut m = OnlineMonitor::new(2);
+        m.watch("order", Relation::R1, "x", "y");
+        m.watch("flow", Relation::R4, "x", "y");
+        assert!(m.poll().is_empty(), "both start Pending");
+
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        let events = m.poll();
+        // R4 settles to Holds as soon as one pair flows.
+        assert_eq!(
+            events,
+            vec![WatchEvent {
+                name: "flow".into(),
+                verdict: Verdict::Holds
+            }]
+        );
+
+        m.close("x");
+        m.close("y");
+        let events = m.poll();
+        assert_eq!(
+            events,
+            vec![WatchEvent {
+                name: "order".into(),
+                verdict: Verdict::Holds
+            }]
+        );
+        assert!(m.poll().is_empty(), "no repeat notifications");
+        assert_eq!(
+            m.verdicts(),
+            vec![
+                ("order".to_string(), Verdict::Holds),
+                ("flow".to_string(), Verdict::Holds)
+            ]
+        );
+    }
+
+    #[test]
+    fn watch_violation_alarm() {
+        let mut m = OnlineMonitor::new(2);
+        m.watch("order", Relation::R1, "x", "y");
+        m.internal(1, &["y"]).unwrap(); // y before any x
+        m.internal(0, &["x"]).unwrap();
+        let events = m.poll();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn interval_len_tracks() {
+        let mut m = OnlineMonitor::new(1);
+        assert_eq!(m.interval_len("x"), 0);
+        m.internal(0, &["x"]).unwrap();
+        m.internal(0, &["x", "z"]).unwrap();
+        assert_eq!(m.interval_len("x"), 2);
+        assert_eq!(m.interval_len("z"), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Synchronization-condition specifications.
+//!
+//! A [`Spec`] is a named list of [`Condition`]s over **named** nonatomic
+//! events; the names are bound to concrete events when the spec is
+//! checked against a trace ([`crate::checker`]). Conditions compose the
+//! paper's relations with boolean operators plus two derived forms that
+//! real-time applications use directly: pairwise mutual exclusion and
+//! total ordering of a set of actions.
+//!
+//! Specs serialize to JSON, so a deployed system can ship its
+//! synchronization requirements as data:
+//!
+//! ```
+//! use synchrel_monitor::spec::{Condition, Spec};
+//! use synchrel_core::Relation;
+//!
+//! let spec = Spec::new("engagement-rules")
+//!     .require(
+//!         "detect-before-engage",
+//!         Condition::rel(Relation::R2, "detect", "engage_a"),
+//!     )
+//!     .require(
+//!         "exclusive-engagements",
+//!         Condition::mutex(["engage_a", "engage_b"]),
+//!     );
+//! let json = serde_json::to_string(&spec).unwrap();
+//! let back: Spec = serde_json::from_str(&json).unwrap();
+//! assert_eq!(spec, back);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use synchrel_core::{Proxy, Relation};
+
+/// A synchronization condition over named nonatomic events.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Condition {
+    /// A Table-1 relation between two named events.
+    Rel {
+        /// The relation.
+        rel: Relation,
+        /// Name of `X`.
+        x: String,
+        /// Name of `Y`.
+        y: String,
+    },
+    /// One of the 32 proxy relations between two named events.
+    ProxyRel {
+        /// The Table-1 relation applied to the proxies.
+        rel: Relation,
+        /// Proxy choice for `X`.
+        x_proxy: Proxy,
+        /// Proxy choice for `Y`.
+        y_proxy: Proxy,
+        /// Name of `X`.
+        x: String,
+        /// Name of `Y`.
+        y: String,
+    },
+    /// Negation.
+    Not {
+        /// The negated condition.
+        inner: Box<Condition>,
+    },
+    /// Conjunction (true when empty).
+    All {
+        /// The conjuncts.
+        conditions: Vec<Condition>,
+    },
+    /// Disjunction (false when empty).
+    Any {
+        /// The disjuncts.
+        conditions: Vec<Condition>,
+    },
+    /// Pairwise mutual exclusion: for every pair of the named events,
+    /// one wholly precedes the other (`R1` one way or the other).
+    Mutex {
+        /// The events that must not overlap.
+        events: Vec<String>,
+    },
+    /// The named events are totally ordered by `R1` in list order.
+    Ordered {
+        /// The required order.
+        events: Vec<String>,
+    },
+}
+
+impl Condition {
+    /// A base relation condition.
+    pub fn rel(rel: Relation, x: impl Into<String>, y: impl Into<String>) -> Condition {
+        Condition::Rel {
+            rel,
+            x: x.into(),
+            y: y.into(),
+        }
+    }
+
+    /// A proxy relation condition.
+    pub fn proxy_rel(
+        rel: Relation,
+        x_proxy: Proxy,
+        y_proxy: Proxy,
+        x: impl Into<String>,
+        y: impl Into<String>,
+    ) -> Condition {
+        Condition::ProxyRel {
+            rel,
+            x_proxy,
+            y_proxy,
+            x: x.into(),
+            y: y.into(),
+        }
+    }
+
+    /// Negate a condition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(inner: Condition) -> Condition {
+        Condition::Not {
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Conjunction of conditions.
+    pub fn all(conditions: impl IntoIterator<Item = Condition>) -> Condition {
+        Condition::All {
+            conditions: conditions.into_iter().collect(),
+        }
+    }
+
+    /// Disjunction of conditions.
+    pub fn any(conditions: impl IntoIterator<Item = Condition>) -> Condition {
+        Condition::Any {
+            conditions: conditions.into_iter().collect(),
+        }
+    }
+
+    /// Mutual exclusion of the named events.
+    pub fn mutex<S: Into<String>>(events: impl IntoIterator<Item = S>) -> Condition {
+        Condition::Mutex {
+            events: events.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Total ordering of the named events.
+    pub fn ordered<S: Into<String>>(events: impl IntoIterator<Item = S>) -> Condition {
+        Condition::Ordered {
+            events: events.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Names of all events this condition mentions.
+    pub fn mentioned(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_mentioned(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_mentioned<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Condition::Rel { x, y, .. } | Condition::ProxyRel { x, y, .. } => {
+                out.push(x);
+                out.push(y);
+            }
+            Condition::Not { inner } => inner.collect_mentioned(out),
+            Condition::All { conditions } | Condition::Any { conditions } => {
+                for c in conditions {
+                    c.collect_mentioned(out);
+                }
+            }
+            Condition::Mutex { events } | Condition::Ordered { events } => {
+                out.extend(events.iter().map(String::as_str));
+            }
+        }
+    }
+}
+
+/// A named condition within a spec.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Requirement name (used in reports).
+    pub name: String,
+    /// The condition to check.
+    pub condition: Condition,
+}
+
+/// A named set of synchronization requirements.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spec {
+    /// Spec name.
+    pub name: String,
+    /// The requirements, checked in order.
+    pub requirements: Vec<Requirement>,
+}
+
+impl Spec {
+    /// An empty spec.
+    pub fn new(name: impl Into<String>) -> Spec {
+        Spec {
+            name: name.into(),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// Add a requirement (builder style).
+    pub fn require(mut self, name: impl Into<String>, condition: Condition) -> Spec {
+        self.requirements.push(Requirement {
+            name: name.into(),
+            condition,
+        });
+        self
+    }
+
+    /// Names of all events the spec mentions.
+    pub fn mentioned(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for r in &self.requirements {
+            r.condition.collect_mentioned(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = Condition::all([
+            Condition::rel(Relation::R1, "a", "b"),
+            Condition::any([
+                Condition::rel(Relation::R4, "b", "c"),
+                Condition::not(Condition::rel(Relation::R4, "c", "b")),
+            ]),
+            Condition::mutex(["a", "c"]),
+            Condition::ordered(["a", "b", "c"]),
+        ]);
+        assert_eq!(c.mentioned(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn spec_mentions() {
+        let s = Spec::new("s")
+            .require("r1", Condition::rel(Relation::R2, "x", "y"))
+            .require("r2", Condition::mutex(["y", "z"]));
+        assert_eq!(s.mentioned(), vec!["x", "y", "z"]);
+        assert_eq!(s.requirements.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Spec::new("rules")
+            .require(
+                "ordered",
+                Condition::proxy_rel(Relation::R3, Proxy::L, Proxy::U, "p", "q"),
+            )
+            .require("safe", Condition::not(Condition::rel(Relation::R4, "q", "p")));
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Spec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert!(json.contains("proxy_rel"), "{json}");
+    }
+}

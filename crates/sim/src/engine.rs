@@ -1,0 +1,500 @@
+//! A deterministic virtual-time discrete-event simulator of message
+//! passing processes.
+//!
+//! Each process executes a script of [`Action`]s — computing for some
+//! virtual duration, sending to a peer, or blocking on a receive. A
+//! pluggable [`Latency`] model delays messages. The scheduler always
+//! advances the runnable process with the smallest `(virtual time, pid)`,
+//! which makes runs bit-for-bit reproducible; receive events are ordered
+//! after their sends by construction, so the emitted
+//! [`synchrel_core::Execution`] is built in a valid linearization.
+//!
+//! Every event can carry a textual label; [`crate::intervals::by_label`]
+//! turns the events sharing a label into a
+//! [`synchrel_core::NonatomicEvent`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use synchrel_core::{Error as CoreError, EventId, Execution, ExecutionBuilder, MsgToken};
+
+/// What one script step does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ActionKind {
+    /// Local computation: one internal event after `duration` has passed.
+    Compute,
+    /// Send a message to process `to`; the send event happens now.
+    Send {
+        /// Destination process.
+        to: usize,
+    },
+    /// Block until any message is available, then receive it.
+    Recv,
+    /// Block until a message **from `from`** is available, then receive
+    /// it (other senders' messages stay queued).
+    RecvFrom {
+        /// Required source process.
+        from: usize,
+    },
+}
+
+/// One step of a process script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    kind: ActionKind,
+    duration: u64,
+    label: Option<String>,
+}
+
+impl Action {
+    /// Local computation taking `duration` units of virtual time,
+    /// recorded as one internal event at its completion instant.
+    pub fn compute(duration: u64) -> Action {
+        Action {
+            kind: ActionKind::Compute,
+            duration,
+            label: None,
+        }
+    }
+
+    /// Send a message to `to` (the send event takes one time unit).
+    pub fn send(to: usize) -> Action {
+        Action {
+            kind: ActionKind::Send { to },
+            duration: 1,
+            label: None,
+        }
+    }
+
+    /// Receive the earliest available message from anyone.
+    pub fn recv() -> Action {
+        Action {
+            kind: ActionKind::Recv,
+            duration: 1,
+            label: None,
+        }
+    }
+
+    /// Receive the earliest available message from `from`.
+    pub fn recv_from(from: usize) -> Action {
+        Action {
+            kind: ActionKind::RecvFrom { from },
+            duration: 1,
+            label: None,
+        }
+    }
+
+    /// Attach a label to the event this action produces.
+    pub fn label(mut self, l: impl Into<String>) -> Action {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// Override the virtual duration of this action.
+    pub fn taking(mut self, duration: u64) -> Action {
+        self.duration = duration;
+        self
+    }
+}
+
+/// Message latency model.
+#[derive(Clone, Debug)]
+pub enum Latency {
+    /// Every message takes the same time.
+    Fixed(u64),
+    /// Per-(sender, receiver) latency; `fallback` elsewhere.
+    PerLink {
+        /// Latency overrides per (from, to) pair.
+        links: BTreeMap<(usize, usize), u64>,
+        /// Latency for pairs not in `links`.
+        fallback: u64,
+    },
+}
+
+impl Latency {
+    fn of(&self, from: usize, to: usize) -> u64 {
+        match self {
+            Latency::Fixed(l) => *l,
+            Latency::PerLink { links, fallback } => {
+                links.get(&(from, to)).copied().unwrap_or(*fallback)
+            }
+        }
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Fixed(1)
+    }
+}
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Propagated from trace construction.
+    Core(CoreError),
+    /// No process can make progress but scripts remain unfinished.
+    Deadlock {
+        /// Processes blocked on a receive with nothing in flight.
+        waiting: Vec<usize>,
+    },
+    /// A script referenced a process outside the simulation.
+    BadPeer {
+        /// Offending process.
+        process: usize,
+        /// The referenced peer.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "trace construction failed: {e}"),
+            SimError::Deadlock { waiting } => {
+                write!(f, "deadlock: processes {waiting:?} wait forever")
+            }
+            SimError::BadPeer { process, peer } => {
+                write!(f, "process {process} references unknown peer {peer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+/// Outcome of a simulation: the recorded execution plus per-event
+/// virtual times and labels.
+#[derive(Debug)]
+pub struct SimResult {
+    /// The recorded trace.
+    pub exec: Execution,
+    /// Virtual completion time of every application event.
+    pub times: BTreeMap<EventId, u64>,
+    /// Label attached to each labelled event.
+    pub labels: BTreeMap<EventId, String>,
+    /// Virtual time at which the last process finished.
+    pub makespan: u64,
+}
+
+impl SimResult {
+    /// All events carrying exactly the given label, in id order.
+    pub fn labelled(&self, label: &str) -> Vec<EventId> {
+        self.labels
+            .iter()
+            .filter(|(_, l)| l.as_str() == label)
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// The distinct labels used, sorted.
+    pub fn label_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.labels.values().cloned().collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// A configured simulation: scripts plus a latency model.
+#[derive(Clone, Debug, Default)]
+pub struct Simulation {
+    scripts: Vec<Vec<Action>>,
+    latency: Latency,
+}
+
+impl Simulation {
+    /// A simulation with `processes` empty scripts and unit latency.
+    pub fn new(processes: usize) -> Simulation {
+        Simulation {
+            scripts: vec![Vec::new(); processes],
+            latency: Latency::default(),
+        }
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, latency: Latency) -> Simulation {
+        self.latency = latency;
+        self
+    }
+
+    /// Append an action to process `p`'s script.
+    pub fn push(&mut self, p: usize, action: Action) -> &mut Simulation {
+        self.scripts[p].push(action);
+        self
+    }
+
+    /// Append several actions to process `p`'s script.
+    pub fn extend(&mut self, p: usize, actions: impl IntoIterator<Item = Action>) -> &mut Simulation {
+        self.scripts[p].extend(actions);
+        self
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        let n = self.scripts.len();
+        // Validate peers first.
+        for (p, script) in self.scripts.iter().enumerate() {
+            for a in script {
+                let peer = match a.kind {
+                    ActionKind::Send { to } => Some(to),
+                    ActionKind::RecvFrom { from } => Some(from),
+                    _ => None,
+                };
+                if let Some(q) = peer {
+                    if q >= n {
+                        return Err(SimError::BadPeer { process: p, peer: q });
+                    }
+                }
+            }
+        }
+
+        let mut builder = ExecutionBuilder::new(n);
+        let mut pc = vec![0usize; n];
+        let mut now = vec![0u64; n];
+        // In-flight/delivered messages per destination: (arrival, seq, from, token)
+        let mut inbox: Vec<VecDeque<(u64, u64, usize, MsgToken)>> = vec![VecDeque::new(); n];
+        let mut seq = 0u64;
+        let mut times = BTreeMap::new();
+        let mut labels = BTreeMap::new();
+
+        loop {
+            // Pick the runnable process with the smallest (ready time, pid).
+            let mut best: Option<(u64, usize)> = None;
+            for p in 0..n {
+                if pc[p] >= self.scripts[p].len() {
+                    continue;
+                }
+                let a = &self.scripts[p][pc[p]];
+                let ready = match a.kind {
+                    ActionKind::Compute | ActionKind::Send { .. } => Some(now[p] + a.duration),
+                    ActionKind::Recv => inbox[p]
+                        .iter()
+                        .map(|&(arr, ..)| arr.max(now[p]) + a.duration)
+                        .min(),
+                    ActionKind::RecvFrom { from } => inbox[p]
+                        .iter()
+                        .filter(|&&(_, _, f, _)| f == from)
+                        .map(|&(arr, ..)| arr.max(now[p]) + a.duration)
+                        .min(),
+                };
+                if let Some(t) = ready {
+                    if best.is_none() || (t, p) < best.unwrap() {
+                        best = Some((t, p));
+                    }
+                }
+            }
+            let Some((t, p)) = best else {
+                let waiting: Vec<usize> =
+                    (0..n).filter(|&p| pc[p] < self.scripts[p].len()).collect();
+                if waiting.is_empty() {
+                    break; // all scripts done
+                }
+                return Err(SimError::Deadlock { waiting });
+            };
+
+            let action = self.scripts[p][pc[p]].clone();
+            pc[p] += 1;
+            now[p] = t;
+            let event = match action.kind {
+                ActionKind::Compute => builder.internal(p),
+                ActionKind::Send { to } => {
+                    let (e, tok) = builder.send(p);
+                    let arrival = t + self.latency.of(p, to);
+                    // Keep each inbox sorted by (arrival, seq) so the
+                    // earliest matching message is taken first.
+                    let pos = inbox[to]
+                        .iter()
+                        .position(|&(a2, s2, ..)| (a2, s2) > (arrival, seq))
+                        .unwrap_or(inbox[to].len());
+                    inbox[to].insert(pos, (arrival, seq, p, tok));
+                    seq += 1;
+                    e
+                }
+                ActionKind::Recv => {
+                    let (idx, _) = inbox[p]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(arr, s2, ..))| (arr, s2))
+                        .expect("scheduler guaranteed a message");
+                    let (_, _, _, tok) = inbox[p].remove(idx).unwrap();
+                    builder.recv(p, tok)?
+                }
+                ActionKind::RecvFrom { from } => {
+                    let (idx, _) = inbox[p]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(_, _, f, _))| f == from)
+                        .min_by_key(|(_, &(arr, s2, ..))| (arr, s2))
+                        .expect("scheduler guaranteed a matching message");
+                    let (_, _, _, tok) = inbox[p].remove(idx).unwrap();
+                    builder.recv(p, tok)?
+                }
+            };
+            times.insert(event, t);
+            if let Some(l) = action.label {
+                labels.insert(event, l);
+            }
+        }
+
+        let makespan = now.iter().copied().max().unwrap_or(0);
+        Ok(SimResult {
+            exec: builder.build()?,
+            times,
+            labels,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_core::ProcessId;
+
+    #[test]
+    fn compute_only() {
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::compute(5));
+        sim.push(0, Action::compute(3));
+        sim.push(1, Action::compute(1));
+        let r = sim.run().unwrap();
+        assert_eq!(r.exec.app_len(ProcessId(0)), 2);
+        assert_eq!(r.exec.app_len(ProcessId(1)), 1);
+        assert_eq!(r.makespan, 8);
+        let e1 = EventId::new(0, 1);
+        let e2 = EventId::new(0, 2);
+        assert_eq!(r.times[&e1], 5);
+        assert_eq!(r.times[&e2], 8);
+    }
+
+    #[test]
+    fn message_latency_orders_events() {
+        let mut sim = Simulation::new(2).with_latency(Latency::Fixed(10));
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        let r = sim.run().unwrap();
+        let send = EventId::new(0, 1);
+        let recv = EventId::new(1, 1);
+        assert!(r.exec.precedes(send, recv));
+        assert_eq!(r.times[&send], 1);
+        // arrival 1 + 10 = 11, plus 1 unit to process the receive
+        assert_eq!(r.times[&recv], 12);
+    }
+
+    #[test]
+    fn recv_from_filters_senders() {
+        // p2 waits specifically for p1's message even though p0's is
+        // already queued.
+        let mut sim = Simulation::new(3).with_latency(Latency::Fixed(1));
+        sim.push(0, Action::send(2));
+        sim.push(1, Action::compute(50));
+        sim.push(1, Action::send(2));
+        sim.push(2, Action::recv_from(1));
+        sim.push(2, Action::recv_from(0));
+        let r = sim.run().unwrap();
+        let s0 = EventId::new(0, 1);
+        let s1 = EventId::new(1, 2);
+        let r_first = EventId::new(2, 1);
+        let r_second = EventId::new(2, 2);
+        assert!(r.exec.precedes(s1, r_first), "first recv takes p1's msg");
+        assert!(r.exec.precedes(s0, r_second));
+        assert!(!r.exec.precedes(s0, r_first));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::recv());
+        sim.push(1, Action::recv());
+        assert_eq!(
+            sim.run().unwrap_err(),
+            SimError::Deadlock { waiting: vec![0, 1] }
+        );
+    }
+
+    #[test]
+    fn bad_peer_detected() {
+        let mut sim = Simulation::new(1);
+        sim.push(0, Action::send(3));
+        assert_eq!(
+            sim.run().unwrap_err(),
+            SimError::BadPeer { process: 0, peer: 3 }
+        );
+    }
+
+    #[test]
+    fn labels_are_recorded() {
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::compute(1).label("x"));
+        sim.push(0, Action::send(1).label("x"));
+        sim.push(1, Action::recv().label("y"));
+        let r = sim.run().unwrap();
+        assert_eq!(r.labelled("x").len(), 2);
+        assert_eq!(r.labelled("y").len(), 1);
+        assert_eq!(r.label_names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let build = || {
+            let mut sim = Simulation::new(3).with_latency(Latency::Fixed(2));
+            for p in 0..3usize {
+                sim.push(p, Action::compute(p as u64 + 1));
+                sim.push(p, Action::send((p + 1) % 3));
+                sim.push(p, Action::recv());
+                sim.push(p, Action::compute(2));
+            }
+            sim.run().unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.exec.to_skeleton(), b.exec.to_skeleton());
+    }
+
+    #[test]
+    fn per_link_latency() {
+        let mut links = BTreeMap::new();
+        links.insert((0usize, 1usize), 100u64);
+        let mut sim = Simulation::new(3).with_latency(Latency::PerLink { links, fallback: 1 });
+        sim.push(0, Action::send(1));
+        sim.push(0, Action::send(2));
+        sim.push(1, Action::recv());
+        sim.push(2, Action::recv());
+        let r = sim.run().unwrap();
+        // slow link 0->1, fast link 0->2
+        assert_eq!(r.times[&EventId::new(1, 1)], 102);
+        assert_eq!(r.times[&EventId::new(2, 1)], 4);
+    }
+
+    #[test]
+    fn fifo_per_sender_with_equal_latency() {
+        // Two sends from p0 to p1 with equal latency must be received in
+        // send order (the inbox orders ties by send sequence).
+        let mut sim = Simulation::new(2).with_latency(Latency::Fixed(5));
+        sim.push(0, Action::send(1));
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        sim.push(1, Action::recv());
+        let r = sim.run().unwrap();
+        let s1 = EventId::new(0, 1);
+        let s2 = EventId::new(0, 2);
+        let r1 = EventId::new(1, 1);
+        let r2 = EventId::new(1, 2);
+        assert!(r.exec.precedes(s1, r1));
+        assert!(r.exec.precedes(s2, r2));
+        assert!(!r.exec.precedes(s2, r1));
+    }
+}

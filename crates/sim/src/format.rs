@@ -1,0 +1,226 @@
+//! JSON trace format: record an execution together with its named
+//! nonatomic events, reload it later for offline analysis.
+//!
+//! The format stores the replayable skeleton (the linearization of
+//! builder steps) rather than timestamps — timestamps are derived state
+//! and are re-established on load, which keeps files small and makes
+//! every loaded trace self-consistent by construction.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use synchrel_core::execution::SkeletonStep;
+use synchrel_core::{Error as CoreError, EventId, Execution, NonatomicEvent};
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A named nonatomic event in serialized form.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct NamedInterval {
+    /// Application-facing name.
+    pub name: String,
+    /// Member atomic events.
+    pub events: Vec<EventId>,
+}
+
+/// A serializable trace: execution skeleton plus named nonatomic events.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Number of processes.
+    pub num_processes: u32,
+    /// Builder steps in linearization order.
+    pub steps: Vec<SkeletonStep>,
+    /// Named nonatomic events.
+    pub intervals: Vec<NamedInterval>,
+}
+
+/// Errors from reading/writing trace files.
+#[derive(Debug)]
+pub enum FormatError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The trace content is inconsistent (bad skeleton or intervals).
+    Invalid(CoreError),
+    /// Unsupported format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            FormatError::Json(e) => write!(f, "trace json invalid: {e}"),
+            FormatError::Invalid(e) => write!(f, "trace content invalid: {e}"),
+            FormatError::Version(v) => write!(f, "unsupported trace version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for FormatError {
+    fn from(e: serde_json::Error) -> Self {
+        FormatError::Json(e)
+    }
+}
+
+impl From<CoreError> for FormatError {
+    fn from(e: CoreError) -> Self {
+        FormatError::Invalid(e)
+    }
+}
+
+impl TraceFile {
+    /// Capture an execution and named events into a serializable value.
+    pub fn capture(
+        exec: &Execution,
+        intervals: impl IntoIterator<Item = (String, NonatomicEvent)>,
+    ) -> TraceFile {
+        let (num_processes, steps) = exec.to_skeleton();
+        TraceFile {
+            version: FORMAT_VERSION,
+            num_processes,
+            steps,
+            intervals: intervals
+                .into_iter()
+                .map(|(name, ev)| NamedInterval {
+                    name,
+                    events: ev.events().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the execution and its named nonatomic events.
+    pub fn restore(&self) -> Result<(Execution, Vec<(String, NonatomicEvent)>), FormatError> {
+        if self.version != FORMAT_VERSION {
+            return Err(FormatError::Version(self.version));
+        }
+        let exec = Execution::from_skeleton(self.num_processes, &self.steps)?;
+        let mut out = Vec::with_capacity(self.intervals.len());
+        for iv in &self.intervals {
+            let ev = NonatomicEvent::new(&exec, iv.events.iter().copied())?;
+            out.push((iv.name.clone(), ev));
+        }
+        Ok((exec, out))
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String, FormatError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(s: &str) -> Result<TraceFile, FormatError> {
+        Ok(serde_json::from_str(s)?)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FormatError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        serde_json::to_writer_pretty(&mut w, self)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceFile, FormatError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut s = String::new();
+        r.read_to_string(&mut s)?;
+        Ok(serde_json::from_str(&s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    fn sample() -> TraceFile {
+        let w = workload::client_server(2, 2);
+        TraceFile::capture(
+            &w.exec,
+            w.labels.iter().cloned().zip(w.events.iter().cloned()),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let json = t.to_json().unwrap();
+        let t2 = TraceFile::from_json(&json).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn restore_reproduces_causality() {
+        let w = workload::ring(3, 2);
+        let t = TraceFile::capture(
+            &w.exec,
+            w.labels.iter().cloned().zip(w.events.iter().cloned()),
+        );
+        let (exec, intervals) = t.restore().unwrap();
+        assert_eq!(intervals.len(), w.events.len());
+        for x in w.exec.all_events().collect::<Vec<_>>() {
+            for y in w.exec.all_events().collect::<Vec<_>>() {
+                assert_eq!(w.exec.precedes(x, y), exec.precedes(x, y));
+            }
+        }
+        for (k, (name, ev)) in intervals.iter().enumerate() {
+            assert_eq!(name, &w.labels[k]);
+            assert_eq!(
+                ev.events().collect::<Vec<_>>(),
+                w.events[k].events().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("synchrel_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).unwrap();
+        let t2 = TraceFile::load(&path).unwrap();
+        assert_eq!(t, t2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut t = sample();
+        t.version = 99;
+        assert!(matches!(t.restore(), Err(FormatError::Version(99))));
+    }
+
+    #[test]
+    fn corrupt_interval_rejected() {
+        let mut t = sample();
+        t.intervals.push(NamedInterval {
+            name: "ghost".into(),
+            events: vec![EventId::new(99, 1)],
+        });
+        assert!(matches!(t.restore(), Err(FormatError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(TraceFile::from_json("{not json").is_err());
+    }
+}

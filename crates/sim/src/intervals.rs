@@ -1,0 +1,131 @@
+//! Extraction of nonatomic events from recorded traces.
+//!
+//! The paper's Problem 4 starts from "the application identifies
+//! pertinent nonatomic events" in a recorded trace. This module provides
+//! the identification mechanisms an application would actually use:
+//!
+//! * [`by_label`] — events explicitly tagged by the application
+//!   (simulator scripts attach labels to actions);
+//! * [`time_window`] — all events falling in a virtual-time window
+//!   (natural for real-time systems with synchronized clock bounds);
+//! * [`per_process_phases`] — split every process chain into `k`
+//!   contiguous phases (a structural decomposition used by benchmarks).
+
+use synchrel_core::{Error as CoreError, EventId, Execution, NonatomicEvent, ProcessId};
+
+use crate::engine::SimResult;
+
+/// The nonatomic event of all events carrying `label`.
+///
+/// Errors with [`CoreError::EmptyNonatomicEvent`] when the label is
+/// unused.
+pub fn by_label(result: &SimResult, label: &str) -> Result<NonatomicEvent, CoreError> {
+    NonatomicEvent::new(&result.exec, result.labelled(label))
+}
+
+/// The nonatomic event of all application events with virtual time in
+/// `[from, to)`. Returns `None` when the window is empty.
+pub fn time_window(result: &SimResult, from: u64, to: u64) -> Option<NonatomicEvent> {
+    let members: Vec<EventId> = result
+        .times
+        .iter()
+        .filter(|&(_, &t)| t >= from && t < to)
+        .map(|(&e, _)| e)
+        .collect();
+    NonatomicEvent::new(&result.exec, members).ok()
+}
+
+/// Split each process's application events into `k` contiguous phases;
+/// phase `j` collects the `j`-th slice of every process. Processes with
+/// fewer than `k` events contribute to the leading phases only. Phases
+/// that end up empty are dropped.
+pub fn per_process_phases(exec: &Execution, k: usize) -> Vec<NonatomicEvent> {
+    assert!(k >= 1);
+    let mut members: Vec<Vec<EventId>> = vec![Vec::new(); k];
+    for p in 0..exec.num_processes() {
+        let pid = ProcessId(p as u32);
+        let n = exec.app_len(pid) as usize;
+        for (j, chunk) in members.iter_mut().enumerate() {
+            let lo = n * j / k;
+            let hi = n * (j + 1) / k;
+            for idx in lo..hi {
+                chunk.push(EventId::new(p as u32, idx as u32 + 1));
+            }
+        }
+    }
+    members
+        .into_iter()
+        .filter_map(|m| NonatomicEvent::new(exec, m).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Action, Simulation};
+    use crate::workload;
+
+    fn simple_result() -> SimResult {
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::compute(10).label("early"));
+        sim.push(0, Action::compute(10).label("late"));
+        sim.push(1, Action::compute(15).label("early"));
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn by_label_collects_members() {
+        let r = simple_result();
+        let early = by_label(&r, "early").unwrap();
+        assert_eq!(early.len(), 2);
+        assert_eq!(early.node_set(), &[0, 1]);
+        let late = by_label(&r, "late").unwrap();
+        assert_eq!(late.len(), 1);
+        assert!(by_label(&r, "nope").is_err());
+    }
+
+    #[test]
+    fn time_window_selects_by_virtual_time() {
+        let r = simple_result();
+        // events at t=10 (p0), t=20 (p0), t=15 (p1)
+        let w = time_window(&r, 0, 16).unwrap();
+        assert_eq!(w.len(), 2);
+        let w2 = time_window(&r, 16, 100).unwrap();
+        assert_eq!(w2.len(), 1);
+        assert!(time_window(&r, 1000, 2000).is_none());
+    }
+
+    #[test]
+    fn phases_partition_events() {
+        let w = workload::random(&workload::RandomConfig {
+            processes: 4,
+            events_per_process: 12,
+            message_prob: 0.2,
+            seed: 5,
+        });
+        let phases = per_process_phases(&w.exec, 3);
+        assert_eq!(phases.len(), 3);
+        let total: usize = phases.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 48);
+        // Contiguous, non-overlapping.
+        for a in 0..phases.len() {
+            for b in a + 1..phases.len() {
+                assert!(!phases[a].overlaps(&phases[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn phases_with_more_slices_than_events() {
+        let w = workload::random(&workload::RandomConfig {
+            processes: 2,
+            events_per_process: 1,
+            message_prob: 0.0,
+            seed: 1,
+        });
+        let phases = per_process_phases(&w.exec, 5);
+        // Only the phases that received events survive.
+        let total: usize = phases.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # synchrel-sim
+//!
+//! Deterministic distributed-execution simulation for
+//! [`synchrel_core`]: everything needed to *produce* the recorded traces
+//! `(E, ≺)` that the paper assumes as input.
+//!
+//! The paper's motivating applications (industrial process control,
+//! distributed multimedia, mobile coordination, avionics/air-defence
+//! control per its ref.\[11\]) record traces from live real-time systems.
+//! No such traces are public, so this crate synthesizes executions with
+//! the same structure — multi-process high-level actions connected by
+//! messages — which is sufficient because the algorithms consume only
+//! the event poset and its vector timestamps.
+//!
+//! * [`engine`] — a virtual-time discrete-event simulator: per-process
+//!   scripts of compute/send/receive actions, pluggable message latency,
+//!   deterministic scheduling, deadlock detection. Produces an
+//!   [`synchrel_core::Execution`] plus virtual event times and labels.
+//! * [`workload`] — parametric trace generators (random, ring,
+//!   client-server, broadcast, pipeline, barrier phases) with nonatomic
+//!   events attached, used by benchmarks and tests.
+//! * [`intervals`] — extraction of nonatomic events from traces by
+//!   label, by virtual-time window, or by per-process phase.
+//! * [`scenario`] — end-to-end domain scenarios mirroring the paper's
+//!   motivating applications, with named high-level actions.
+//! * [`mod@format`] — a JSON trace format for recording and replaying
+//!   executions together with their named nonatomic events.
+//! * [`stats`] — summary statistics of a trace.
+
+pub mod engine;
+pub mod format;
+pub mod intervals;
+pub mod scenario;
+pub mod stats;
+pub mod workload;
+
+pub use engine::{Action, Latency, SimError, SimResult, Simulation};
+pub use format::TraceFile;
+pub use intervals::{by_label, per_process_phases, time_window};
+pub use scenario::Scenario;
+pub use stats::TraceStats;
+pub use workload::{RandomConfig, Workload};

@@ -1,0 +1,239 @@
+//! Domain scenarios mirroring the paper's motivating real-time
+//! applications (§1): air-defence coordination (the running application
+//! of the paper's ref.\[11\]), distributed multimedia, and industrial
+//! process control.
+//!
+//! Each scenario runs the [`crate::engine`] simulator with labelled
+//! actions and returns the named high-level (nonatomic) events an
+//! application would reason about, ready for relation queries.
+
+use synchrel_core::NonatomicEvent;
+
+use crate::engine::{Action, Latency, SimError, SimResult, Simulation};
+use crate::intervals::by_label;
+
+/// A simulated application scenario: a trace plus named nonatomic events.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: &'static str,
+    /// One-paragraph description of the modelled system.
+    pub description: &'static str,
+    /// The simulation outcome (trace, event times, labels).
+    pub result: SimResult,
+    /// Named high-level actions, in scenario-specific order.
+    pub actions: Vec<(String, NonatomicEvent)>,
+}
+
+impl Scenario {
+    /// Look up an action by name.
+    pub fn action(&self, name: &str) -> Option<&NonatomicEvent> {
+        self.actions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+
+    fn collect(
+        name: &'static str,
+        description: &'static str,
+        result: SimResult,
+        labels: &[&str],
+    ) -> Result<Scenario, SimError> {
+        let mut actions = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let ev = by_label(&result, l).map_err(SimError::Core)?;
+            actions.push((l.to_string(), ev));
+        }
+        Ok(Scenario {
+            name,
+            description,
+            result,
+            actions,
+        })
+    }
+}
+
+/// Air-defence control (after the paper's ref.\[11\]): a radar tracks a
+/// target and reports to a command post, which tasks one of two missile
+/// batteries; the second battery is held as backup and engaged only
+/// after the first engagement completes (mutual exclusion of
+/// engagements).
+///
+/// Processes: 0 = radar, 1 = command post, 2 = battery A, 3 = battery B.
+/// Actions: `detect`, `assess`, `engage_a`, `reassess`, `engage_b`.
+pub fn air_defence() -> Result<Scenario, SimError> {
+    let mut sim = Simulation::new(4).with_latency(Latency::Fixed(2));
+    // Radar: three track updates, each forwarded to command.
+    for _ in 0..3 {
+        sim.push(0, Action::compute(3).label("detect"));
+        sim.push(0, Action::send(1).label("detect"));
+    }
+    // Command: fuse the three updates, decide, task battery A.
+    for _ in 0..3 {
+        sim.push(1, Action::recv_from(0).label("assess"));
+    }
+    sim.push(1, Action::compute(5).label("assess"));
+    sim.push(1, Action::send(2).label("assess"));
+    // Battery A: receive tasking, launch, guide, report.
+    sim.push(2, Action::recv_from(1).label("engage_a"));
+    sim.push(2, Action::compute(4).label("engage_a")); // launch
+    sim.push(2, Action::compute(6).label("engage_a")); // guide
+    sim.push(2, Action::send(1).label("engage_a")); // report
+    // Command: assess the engagement report, task battery B as follow-up.
+    sim.push(1, Action::recv_from(2).label("reassess"));
+    sim.push(1, Action::compute(3).label("reassess"));
+    sim.push(1, Action::send(3).label("reassess"));
+    // Battery B: engage only after tasking (which followed A's report).
+    sim.push(3, Action::recv_from(1).label("engage_b"));
+    sim.push(3, Action::compute(4).label("engage_b"));
+    sim.push(3, Action::compute(6).label("engage_b"));
+    sim.push(3, Action::send(1).label("engage_b"));
+    sim.push(1, Action::recv_from(3));
+
+    Scenario::collect(
+        "air_defence",
+        "Radar → command post → two missile batteries; engagements must \
+         be mutually exclusive and follow assessment.",
+        sim.run()?,
+        &["detect", "assess", "engage_a", "reassess", "engage_b"],
+    )
+}
+
+/// Distributed multimedia: a video server and an audio server stream
+/// chunks to a client that renders them; chunk `k`'s delivery on both
+/// streams must precede its presentation, and presentations are ordered.
+///
+/// Processes: 0 = video server, 1 = audio server, 2 = client.
+/// Actions per chunk `k`: `video{k}`, `audio{k}`, `present{k}`.
+pub fn multimedia(chunks: usize) -> Result<Scenario, SimError> {
+    let mut sim = Simulation::new(3).with_latency(Latency::Fixed(3));
+    for k in 0..chunks {
+        let v = format!("video{k}");
+        let a = format!("audio{k}");
+        let p = format!("present{k}");
+        sim.push(0, Action::compute(2).label(v.clone())); // encode
+        sim.push(0, Action::send(2).label(v.clone()));
+        sim.push(1, Action::compute(1).label(a.clone()));
+        sim.push(1, Action::send(2).label(a.clone()));
+        sim.push(2, Action::recv_from(0).label(p.clone()));
+        sim.push(2, Action::recv_from(1).label(p.clone()));
+        sim.push(2, Action::compute(2).label(p.clone())); // render
+    }
+    let labels: Vec<String> = (0..chunks)
+        .flat_map(|k| [format!("video{k}"), format!("audio{k}"), format!("present{k}")])
+        .collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    Scenario::collect(
+        "multimedia",
+        "Video and audio servers stream chunks to a rendering client; \
+         both deliveries of chunk k must precede presentation k.",
+        sim.run()?,
+        &label_refs,
+    )
+}
+
+/// Industrial process control: two sensors sample the plant, a
+/// controller computes a setpoint from both samples, an actuator
+/// applies it — repeated for `rounds` control rounds.
+///
+/// Processes: 0, 1 = sensors; 2 = controller; 3 = actuator.
+/// Actions per round `k`: `sample{k}`, `control{k}`, `actuate{k}`.
+pub fn process_control(rounds: usize) -> Result<Scenario, SimError> {
+    let mut sim = Simulation::new(4).with_latency(Latency::Fixed(1));
+    for k in 0..rounds {
+        let s = format!("sample{k}");
+        let c = format!("control{k}");
+        let a = format!("actuate{k}");
+        for sensor in 0..2 {
+            sim.push(sensor, Action::compute(2).label(s.clone()));
+            sim.push(sensor, Action::send(2).label(s.clone()));
+        }
+        sim.push(2, Action::recv_from(0).label(c.clone()));
+        sim.push(2, Action::recv_from(1).label(c.clone()));
+        sim.push(2, Action::compute(3).label(c.clone()));
+        sim.push(2, Action::send(3).label(c.clone()));
+        sim.push(3, Action::recv_from(2).label(a.clone()));
+        sim.push(3, Action::compute(1).label(a.clone()));
+        // Actuator acks so the next round's control waits for actuation.
+        sim.push(3, Action::send(2).label(a.clone()));
+        sim.push(2, Action::recv_from(3));
+    }
+    let labels: Vec<String> = (0..rounds)
+        .flat_map(|k| [format!("sample{k}"), format!("control{k}"), format!("actuate{k}")])
+        .collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    Scenario::collect(
+        "process_control",
+        "Two sensors feed a controller driving an actuator in closed \
+         loop; sample k must wholly precede actuation k.",
+        sim.run()?,
+        &label_refs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_core::{Evaluator, Relation};
+
+    #[test]
+    fn air_defence_ordering() {
+        let s = air_defence().unwrap();
+        let ev = Evaluator::new(&s.result.exec);
+        let detect = s.action("detect").unwrap();
+        let assess = s.action("assess").unwrap();
+        let engage_a = s.action("engage_a").unwrap();
+        let engage_b = s.action("engage_b").unwrap();
+        // Detection wholly precedes engagement A... in the R2 sense at
+        // least (every detect event is followed by some engagement
+        // event); the final fused assessment precedes all of A.
+        assert!(ev.holds(Relation::R2, detect, engage_a));
+        assert!(ev.holds(Relation::R1, assess, engage_a));
+        // Mutual exclusion: A wholly precedes B (so they never overlap).
+        assert!(ev.holds(Relation::R1, engage_a, engage_b));
+        assert!(!ev.holds(Relation::R4, engage_b, engage_a));
+    }
+
+    #[test]
+    fn air_defence_node_sets() {
+        let s = air_defence().unwrap();
+        assert_eq!(s.action("detect").unwrap().node_set(), &[0]);
+        assert_eq!(s.action("engage_a").unwrap().node_set(), &[2]);
+        assert_eq!(s.action("assess").unwrap().node_set(), &[1]);
+        assert!(s.action("nonexistent").is_none());
+    }
+
+    #[test]
+    fn multimedia_sync_conditions() {
+        let s = multimedia(3).unwrap();
+        let ev = Evaluator::new(&s.result.exec);
+        for k in 0..3 {
+            let v = s.action(&format!("video{k}")).unwrap();
+            let a = s.action(&format!("audio{k}")).unwrap();
+            let p = s.action(&format!("present{k}")).unwrap();
+            // All media of chunk k reach the client before rendering ends:
+            // every video/audio event precedes some presentation event.
+            assert!(ev.holds(Relation::R2, v, p), "video{k} R2 present{k}");
+            assert!(ev.holds(Relation::R2, a, p), "audio{k} R2 present{k}");
+        }
+        // Presentations are totally ordered.
+        let p0 = s.action("present0").unwrap();
+        let p2 = s.action("present2").unwrap();
+        assert!(ev.holds(Relation::R1, p0, p2));
+    }
+
+    #[test]
+    fn process_control_closed_loop() {
+        let s = process_control(2).unwrap();
+        let ev = Evaluator::new(&s.result.exec);
+        let s0 = s.action("sample0").unwrap();
+        let a0 = s.action("actuate0").unwrap();
+        let c1 = s.action("control1").unwrap();
+        // Sample 0 wholly precedes actuation 0.
+        assert!(ev.holds(Relation::R1, s0, a0));
+        // Actuation 0 precedes the next round's control decision
+        // (closed loop): R2' — some control event follows all actuation.
+        assert!(ev.holds(Relation::R2p, a0, c1));
+    }
+}

@@ -1,0 +1,139 @@
+//! Summary statistics of a trace, for benchmark reports and examples.
+
+use std::fmt;
+
+use synchrel_core::{Execution, ProcessId};
+
+/// Aggregate statistics of an execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Number of processes `|P|`.
+    pub processes: usize,
+    /// Total application events.
+    pub app_events: usize,
+    /// Number of messages.
+    pub messages: usize,
+    /// Messages never received (in flight at trace end).
+    pub unreceived: usize,
+    /// Minimum application events on one process.
+    pub min_per_process: u32,
+    /// Maximum application events on one process.
+    pub max_per_process: u32,
+    /// Fraction of sampled distinct application event pairs that are
+    /// concurrent (an estimate of how "wide" the poset is), if computed.
+    pub concurrency: Option<f64>,
+}
+
+impl TraceStats {
+    /// Compute the cheap statistics (no pairwise sampling).
+    pub fn compute(exec: &Execution) -> TraceStats {
+        let processes = exec.num_processes();
+        let per: Vec<u32> = (0..processes)
+            .map(|p| exec.app_len(ProcessId(p as u32)))
+            .collect();
+        TraceStats {
+            processes,
+            app_events: exec.total_app_len(),
+            messages: exec.messages().len(),
+            unreceived: exec.messages().iter().filter(|m| m.recv.is_none()).count(),
+            min_per_process: per.iter().copied().min().unwrap_or(0),
+            max_per_process: per.iter().copied().max().unwrap_or(0),
+            concurrency: None,
+        }
+    }
+
+    /// Compute statistics including the exact concurrency fraction over
+    /// all distinct application event pairs (`O(n²)`; use on small
+    /// traces).
+    pub fn compute_with_concurrency(exec: &Execution) -> TraceStats {
+        let mut stats = TraceStats::compute(exec);
+        let events: Vec<_> = exec.app_events().collect();
+        let mut conc = 0usize;
+        let mut total = 0usize;
+        for i in 0..events.len() {
+            for j in i + 1..events.len() {
+                total += 1;
+                if exec.concurrent(events[i], events[j]) {
+                    conc += 1;
+                }
+            }
+        }
+        stats.concurrency = (total > 0).then(|| conc as f64 / total as f64);
+        stats
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} processes, {} events, {} messages ({} in flight), \
+             {}–{} events/process",
+            self.processes,
+            self.app_events,
+            self.messages,
+            self.unreceived,
+            self.min_per_process,
+            self.max_per_process,
+        )?;
+        if let Some(c) = self.concurrency {
+            write!(f, ", {:.0}% concurrent pairs", c * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use synchrel_core::ExecutionBuilder;
+
+    #[test]
+    fn counts_are_exact() {
+        let w = workload::client_server(2, 3);
+        let s = TraceStats::compute(&w.exec);
+        assert_eq!(s.processes, 3);
+        // per txn: 2 sends, 2 recvs, 1 compute = 5 events; 6 txns
+        assert_eq!(s.app_events, 30);
+        assert_eq!(s.messages, 12);
+        assert_eq!(s.unreceived, 0);
+    }
+
+    #[test]
+    fn concurrency_of_chain_is_zero() {
+        let mut b = ExecutionBuilder::new(2);
+        let (_, m) = b.send(0);
+        b.recv(1, m).unwrap();
+        let e = b.build().unwrap();
+        let s = TraceStats::compute_with_concurrency(&e);
+        assert_eq!(s.concurrency, Some(0.0));
+    }
+
+    #[test]
+    fn concurrency_of_independent_is_one() {
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(0);
+        b.internal(1);
+        let e = b.build().unwrap();
+        let s = TraceStats::compute_with_concurrency(&e);
+        assert_eq!(s.concurrency, Some(1.0));
+    }
+
+    #[test]
+    fn unreceived_counted() {
+        let mut b = ExecutionBuilder::new(2);
+        b.send(0);
+        let e = b.build().unwrap();
+        let s = TraceStats::compute(&e);
+        assert_eq!(s.unreceived, 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let w = workload::ring(3, 1);
+        let text = TraceStats::compute_with_concurrency(&w.exec).to_string();
+        assert!(text.contains("3 processes"), "{text}");
+        assert!(text.contains("concurrent"), "{text}");
+    }
+}

@@ -1,0 +1,475 @@
+//! Parametric workload generators.
+//!
+//! Each generator returns a [`Workload`]: an execution plus a set of
+//! named nonatomic events with known structure, used by the benchmark
+//! harness (every table/figure reproduction sweeps these) and by
+//! property tests as a source of diverse posets.
+//!
+//! All generators are deterministic in their seed (ChaCha8).
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use synchrel_core::{EventId, Execution, ExecutionBuilder, MsgToken, NonatomicEvent, ProcessId};
+
+/// An execution together with named nonatomic events.
+#[derive(Debug)]
+pub struct Workload {
+    /// Generator name (for reports).
+    pub name: String,
+    /// The execution.
+    pub exec: Execution,
+    /// Nonatomic events of interest, parallel to `labels`.
+    pub events: Vec<NonatomicEvent>,
+    /// Human-readable name per event.
+    pub labels: Vec<String>,
+}
+
+impl Workload {
+    fn new(name: impl Into<String>, exec: Execution) -> Workload {
+        Workload {
+            name: name.into(),
+            exec,
+            events: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, label: impl Into<String>, members: Vec<EventId>) {
+        let ev = NonatomicEvent::new(&self.exec, members).expect("generator produced valid event");
+        self.events.push(ev);
+        self.labels.push(label.into());
+    }
+}
+
+/// Parameters for [`random`].
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Application events appended per process.
+    pub events_per_process: usize,
+    /// Probability that a step is a send (a queued message is received
+    /// with the same probability when available).
+    pub message_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            processes: 8,
+            events_per_process: 50,
+            message_prob: 0.3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A random execution: every process takes `events_per_process` steps;
+/// each step is a send to a random peer, a receive of a pending message,
+/// or an internal event.
+pub fn random(cfg: &RandomConfig) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let n = cfg.processes;
+    let mut b = ExecutionBuilder::new(n);
+    let mut pending: Vec<Vec<MsgToken>> = vec![Vec::new(); n];
+    let mut remaining: Vec<usize> = vec![cfg.events_per_process; n];
+    let mut live: Vec<usize> = (0..n).collect();
+    while !live.is_empty() {
+        let p = *live.choose(&mut rng).expect("non-empty");
+        let roll: f64 = rng.random();
+        if roll < cfg.message_prob && n > 1 {
+            let mut to = rng.random_range(0..n - 1);
+            if to >= p {
+                to += 1;
+            }
+            let (_, tok) = b.send(p);
+            pending[to].push(tok);
+        } else if roll < 2.0 * cfg.message_prob && !pending[p].is_empty() {
+            let pick = rng.random_range(0..pending[p].len());
+            let tok = pending[p].remove(pick);
+            b.recv(p, tok).expect("fresh token");
+        } else {
+            b.internal(p);
+        }
+        remaining[p] -= 1;
+        if remaining[p] == 0 {
+            live.retain(|&q| q != p);
+        }
+    }
+    Workload::new("random", b.build().expect("acyclic by construction"))
+}
+
+/// Draw a random nonatomic event from an execution: `nodes` distinct
+/// processes, up to `per_node` events on each.
+pub fn random_nonatomic(
+    exec: &Execution,
+    rng: &mut ChaCha8Rng,
+    nodes: usize,
+    per_node: usize,
+) -> NonatomicEvent {
+    let candidates: Vec<usize> = (0..exec.num_processes())
+        .filter(|&p| exec.app_len(ProcessId(p as u32)) > 0)
+        .collect();
+    assert!(
+        nodes >= 1 && nodes <= candidates.len(),
+        "need 1..={} nodes",
+        candidates.len()
+    );
+    let mut chosen = candidates.clone();
+    for k in 0..nodes {
+        let j = rng.random_range(k..chosen.len());
+        chosen.swap(k, j);
+    }
+    chosen.truncate(nodes);
+    let mut members = Vec::new();
+    for &p in &chosen {
+        let pid = ProcessId(p as u32);
+        let avail = exec.app_len(pid);
+        let take = per_node.clamp(1, avail as usize);
+        for _ in 0..take {
+            let idx = rng.random_range(1..=avail);
+            members.push(EventId::new(p as u32, idx));
+        }
+    }
+    NonatomicEvent::new(exec, members).expect("valid members")
+}
+
+/// Draw a **disjoint** pair of random nonatomic events spanning `nodes`
+/// processes each: `X` samples from the earlier half of every chosen
+/// process's events, `Y` from the later half. Use this instead of
+/// redraw-until-disjoint loops, which do not terminate for dense events
+/// on many nodes.
+///
+/// Requires each process to have at least two application events.
+pub fn disjoint_pair(
+    exec: &Execution,
+    rng: &mut ChaCha8Rng,
+    nodes: usize,
+    per_node: usize,
+) -> (NonatomicEvent, NonatomicEvent) {
+    let candidates: Vec<usize> = (0..exec.num_processes())
+        .filter(|&p| exec.app_len(ProcessId(p as u32)) >= 2)
+        .collect();
+    assert!(
+        nodes >= 1 && nodes <= candidates.len(),
+        "need 1..={} nodes with ≥2 events",
+        candidates.len()
+    );
+    let mut chosen = candidates.clone();
+    for k in 0..nodes {
+        let j = rng.random_range(k..chosen.len());
+        chosen.swap(k, j);
+    }
+    chosen.truncate(nodes);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &p in &chosen {
+        let avail = exec.app_len(ProcessId(p as u32));
+        let half = avail / 2;
+        for _ in 0..per_node.max(1) {
+            xs.push(EventId::new(p as u32, rng.random_range(1..=half)));
+            ys.push(EventId::new(p as u32, rng.random_range(half + 1..=avail)));
+        }
+    }
+    (
+        NonatomicEvent::new(exec, xs).expect("valid members"),
+        NonatomicEvent::new(exec, ys).expect("valid members"),
+    )
+}
+
+/// A random workload plus `count` random nonatomic events with the given
+/// node spread.
+pub fn random_with_events(
+    cfg: &RandomConfig,
+    count: usize,
+    nodes_per_event: usize,
+    per_node: usize,
+) -> Workload {
+    let mut w = random(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9E3779B97F4A7C15);
+    for k in 0..count {
+        let ev = random_nonatomic(&w.exec, &mut rng, nodes_per_event, per_node);
+        w.events.push(ev);
+        w.labels.push(format!("A{k}"));
+    }
+    w
+}
+
+/// Token ring: the token circulates `rounds` times; each hop is a
+/// receive, a compute, and a send. Each full circulation is one
+/// nonatomic event spanning all processes.
+pub fn ring(processes: usize, rounds: usize) -> Workload {
+    assert!(processes >= 2);
+    let mut b = ExecutionBuilder::new(processes);
+    let mut round_events: Vec<Vec<EventId>> = vec![Vec::new(); rounds];
+    let mut token: Option<MsgToken> = None;
+    for round in round_events.iter_mut() {
+        for p in 0..processes {
+            if let Some(t) = token.take() {
+                let e = b.recv(p, t).expect("fresh token");
+                round.push(e);
+            }
+            let w = b.internal(p);
+            round.push(w);
+            let (s, t) = b.send(p);
+            round.push(s);
+            token = Some(t);
+        }
+    }
+    let mut w = Workload::new("ring", b.build().expect("acyclic"));
+    for (r, evs) in round_events.into_iter().enumerate() {
+        w.add(format!("round{r}"), evs);
+    }
+    w
+}
+
+/// Client/server: process 0 serves `requests` requests from each of
+/// `clients` clients round-robin; each transaction (request send,
+/// server recv, compute, reply send, client recv) is one nonatomic
+/// event on two nodes.
+pub fn client_server(clients: usize, requests: usize) -> Workload {
+    assert!(clients >= 1);
+    let mut b = ExecutionBuilder::new(clients + 1);
+    let mut txns: Vec<(String, Vec<EventId>)> = Vec::new();
+    for r in 0..requests {
+        for c in 1..=clients {
+            let mut evs = Vec::new();
+            let (s, t) = b.send(c);
+            evs.push(s);
+            let rv = b.recv(0, t).expect("fresh");
+            evs.push(rv);
+            evs.push(b.internal(0));
+            let (s2, t2) = b.send(0);
+            evs.push(s2);
+            let rv2 = b.recv(c, t2).expect("fresh");
+            evs.push(rv2);
+            txns.push((format!("txn_c{c}_r{r}"), evs));
+        }
+    }
+    let mut w = Workload::new("client_server", b.build().expect("acyclic"));
+    for (label, evs) in txns {
+        w.add(label, evs);
+    }
+    w
+}
+
+/// Broadcast waves: process 0 broadcasts to everyone and collects acks,
+/// `rounds` times. Each wave is one nonatomic event spanning all nodes.
+pub fn broadcast(processes: usize, rounds: usize) -> Workload {
+    assert!(processes >= 2);
+    let mut b = ExecutionBuilder::new(processes);
+    let mut waves: Vec<Vec<EventId>> = vec![Vec::new(); rounds];
+    for wave in waves.iter_mut() {
+        let mut acks = Vec::new();
+        for p in 1..processes {
+            let (s, t) = b.send(0);
+            wave.push(s);
+            let rv = b.recv(p, t).expect("fresh");
+            wave.push(rv);
+            wave.push(b.internal(p));
+            let (s2, t2) = b.send(p);
+            wave.push(s2);
+            acks.push(t2);
+        }
+        for t in acks {
+            let rv = b.recv(0, t).expect("fresh");
+            wave.push(rv);
+        }
+    }
+    let mut w = Workload::new("broadcast", b.build().expect("acyclic"));
+    for (r, evs) in waves.into_iter().enumerate() {
+        w.add(format!("wave{r}"), evs);
+    }
+    w
+}
+
+/// Pipeline: `items` items flow through `stages` processes; item `k` is
+/// one nonatomic event (its event at every stage).
+pub fn pipeline(stages: usize, items: usize) -> Workload {
+    assert!(stages >= 2);
+    let mut b = ExecutionBuilder::new(stages);
+    let mut item_events: Vec<Vec<EventId>> = vec![Vec::new(); items];
+    // Tokens of item k in flight to stage s.
+    let mut inflight: Vec<Option<MsgToken>> = vec![None; items];
+    for s in 0..stages {
+        for (k, slot) in inflight.iter_mut().enumerate() {
+            if let Some(t) = slot.take() {
+                let rv = b.recv(s, t).expect("fresh");
+                item_events[k].push(rv);
+            }
+            let wke = b.internal(s);
+            item_events[k].push(wke);
+            if s + 1 < stages {
+                let (snd, t) = b.send(s);
+                item_events[k].push(snd);
+                *slot = Some(t);
+            }
+        }
+    }
+    let mut w = Workload::new("pipeline", b.build().expect("acyclic"));
+    for (k, evs) in item_events.into_iter().enumerate() {
+        w.add(format!("item{k}"), evs);
+    }
+    w
+}
+
+/// Barrier-synchronized phases: all processes run `events_per_phase`
+/// local events per phase, then synchronize through a coordinator
+/// (all-to-one, one-to-all). Phase `k` is one nonatomic event; distinct
+/// phases are totally ordered, so R1 holds between successive phases.
+pub fn phases(processes: usize, phase_count: usize, events_per_phase: usize) -> Workload {
+    assert!(processes >= 2);
+    let mut b = ExecutionBuilder::new(processes);
+    let mut phase_events: Vec<Vec<EventId>> = vec![Vec::new(); phase_count];
+    for phase in phase_events.iter_mut() {
+        for p in 0..processes {
+            for _ in 0..events_per_phase {
+                phase.push(b.internal(p));
+            }
+        }
+        // Barrier: everyone reports to 0, then 0 releases everyone.
+        let mut ins = Vec::new();
+        for p in 1..processes {
+            let (s, t) = b.send(p);
+            // barrier events belong to no phase
+            let _ = s;
+            ins.push(t);
+        }
+        for t in ins {
+            b.recv(0, t).expect("fresh");
+        }
+        let mut outs = Vec::new();
+        for _ in 1..processes {
+            let (_, t) = b.send(0);
+            outs.push(t);
+        }
+        for (p, t) in (1..processes).zip(outs) {
+            b.recv(p, t).expect("fresh");
+        }
+    }
+    let mut w = Workload::new("phases", b.build().expect("acyclic"));
+    for (ph, evs) in phase_events.into_iter().enumerate() {
+        w.add(format!("phase{ph}"), evs);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_core::{naive_relation, Evaluator, Relation};
+
+    #[test]
+    fn random_is_deterministic_and_sized() {
+        let cfg = RandomConfig {
+            processes: 5,
+            events_per_process: 20,
+            message_prob: 0.4,
+            seed: 42,
+        };
+        let a = random(&cfg);
+        let b2 = random(&cfg);
+        assert_eq!(a.exec.to_skeleton(), b2.exec.to_skeleton());
+        for p in 0..5 {
+            assert_eq!(a.exec.app_len(ProcessId(p)), 20);
+        }
+    }
+
+    #[test]
+    fn random_seeds_differ() {
+        let mut cfg = RandomConfig {
+            processes: 4,
+            events_per_process: 30,
+            ..RandomConfig::default()
+        };
+        let a = random(&cfg);
+        cfg.seed += 1;
+        let b2 = random(&cfg);
+        assert_ne!(a.exec.to_skeleton(), b2.exec.to_skeleton());
+    }
+
+    #[test]
+    fn random_nonatomic_respects_node_count() {
+        let w = random(&RandomConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for nodes in 1..=4 {
+            let ev = random_nonatomic(&w.exec, &mut rng, nodes, 3);
+            assert_eq!(ev.node_count(), nodes);
+        }
+    }
+
+    #[test]
+    fn ring_rounds_are_chained() {
+        let w = ring(4, 3);
+        assert_eq!(w.events.len(), 3);
+        let ev = Evaluator::new(&w.exec);
+        // Round k fully precedes round k+2 (they never share the token
+        // hand-off instant); at minimum R4 must hold between consecutive
+        // rounds and R1 between rounds two apart.
+        assert!(ev.holds(Relation::R4, &w.events[0], &w.events[1]));
+        assert!(ev.holds(Relation::R1, &w.events[0], &w.events[2]));
+        assert!(!ev.holds(Relation::R4, &w.events[2], &w.events[0]));
+    }
+
+    #[test]
+    fn client_server_transactions() {
+        let w = client_server(3, 2);
+        assert_eq!(w.events.len(), 6);
+        for ev in &w.events {
+            assert_eq!(ev.node_count(), 2, "client + server");
+            assert_eq!(ev.len(), 5);
+        }
+        // Transactions are server-serialized: txn k R4-precedes txn k+1.
+        let ev = Evaluator::new(&w.exec);
+        assert!(ev.holds(Relation::R4, &w.events[0], &w.events[1]));
+    }
+
+    #[test]
+    fn broadcast_waves_ordered() {
+        let w = broadcast(4, 2);
+        assert_eq!(w.events.len(), 2);
+        let ev = Evaluator::new(&w.exec);
+        assert!(ev.holds(Relation::R1, &w.events[0], &w.events[1]));
+        for e in &w.events {
+            assert_eq!(e.node_count(), 4);
+        }
+    }
+
+    #[test]
+    fn pipeline_items_flow() {
+        let w = pipeline(3, 4);
+        assert_eq!(w.events.len(), 4);
+        for e in &w.events {
+            assert_eq!(e.node_count(), 3);
+        }
+        // Item 0 starts before item 1 at every stage: R2 holds
+        // (each event of item0 precedes something of item1 downstream)…
+        assert!(naive_relation(&w.exec, Relation::R4, &w.events[0], &w.events[1]));
+        // …and item 1 cannot fully precede item 0.
+        assert!(!naive_relation(&w.exec, Relation::R4, &w.events[3], &w.events[0]));
+    }
+
+    #[test]
+    fn phases_fully_ordered() {
+        let w = phases(4, 3, 2);
+        assert_eq!(w.events.len(), 3);
+        let ev = Evaluator::new(&w.exec);
+        assert!(ev.holds(Relation::R1, &w.events[0], &w.events[1]));
+        assert!(ev.holds(Relation::R1, &w.events[1], &w.events[2]));
+        assert!(!ev.holds(Relation::R4, &w.events[1], &w.events[0]));
+    }
+
+    #[test]
+    fn random_with_events_produces_count() {
+        let w = random_with_events(&RandomConfig::default(), 10, 3, 2);
+        assert_eq!(w.events.len(), 10);
+        assert_eq!(w.labels.len(), 10);
+        for e in &w.events {
+            assert_eq!(e.node_count(), 3);
+        }
+    }
+}

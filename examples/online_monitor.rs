@@ -1,0 +1,64 @@
+//! Online monitoring: verdicts about synchronization conditions *while
+//! the system runs*, with monotonicity-aware early answers.
+//!
+//! Models a two-phase commit-style flow: a coordinator collects votes,
+//! then broadcasts the decision. The monitor watches "all votes precede
+//! the decision" (R1) and "the decision reaches every participant"
+//! (R3') as events stream in.
+//!
+//! ```text
+//! cargo run -p synchrel-bench --example online_monitor
+//! ```
+
+use synchrel_core::Relation;
+use synchrel_monitor::{OnlineMonitor, Verdict};
+
+fn show(m: &OnlineMonitor, what: &str) {
+    println!(
+        "  [{what}] votes≺decision: {:?}   decision-reaches-all: {:?}",
+        m.check(Relation::R1, "votes", "decision"),
+        m.check(Relation::R3p, "decision", "applied"),
+    );
+}
+
+fn main() {
+    const PARTICIPANTS: usize = 3; // processes 1..=3; coordinator is 0
+    let mut m = OnlineMonitor::new(PARTICIPANTS + 1);
+
+    println!("phase 1: participants vote");
+    let mut vote_msgs = Vec::new();
+    for p in 1..=PARTICIPANTS {
+        let msg = m.send(p, &["votes"]).expect("valid");
+        vote_msgs.push(msg);
+        show(&m, &format!("vote from P{p}"));
+    }
+    m.close("votes");
+    println!("  (votes closed)");
+
+    println!("\nphase 2: coordinator collects and decides");
+    for msg in vote_msgs {
+        m.recv(0, msg, &[]).expect("valid");
+    }
+    m.internal(0, &["decision"]).expect("valid");
+    m.close("decision");
+    show(&m, "decision made");
+
+    println!("\nphase 3: decision fan-out");
+    for p in 1..=PARTICIPANTS {
+        let msg = m.send(0, &[]).expect("valid");
+        m.recv(p, msg, &["applied"]).expect("valid");
+        show(&m, &format!("applied at P{p}"));
+    }
+    m.close("applied");
+    show(&m, "applied closed");
+
+    // Final assertions, as a monitor deployment would enforce.
+    assert_eq!(m.check(Relation::R1, "votes", "decision"), Verdict::Holds);
+    assert_eq!(m.check(Relation::R3p, "decision", "applied"), Verdict::Holds);
+    assert_eq!(
+        m.check(Relation::R4, "applied", "votes"),
+        Verdict::Violated,
+        "nothing flows backwards"
+    );
+    println!("\nall online conditions settled as expected");
+}

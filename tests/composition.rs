@@ -1,0 +1,94 @@
+//! Property suite for the relation composition calculus
+//! (`synchrel_core::compose`): every derived entry must be sound on
+//! random disjoint triples `(X, Y, Z)` of nonatomic events.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use synchrel_core::{compose, implies, naive_relation, NonatomicEvent, Relation};
+use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
+
+fn draw_triple(
+    seed: u64,
+    processes: usize,
+) -> Option<(synchrel_core::Execution, NonatomicEvent, NonatomicEvent, NonatomicEvent)> {
+    let w = random(&RandomConfig {
+        processes,
+        events_per_process: 10,
+        message_prob: 0.4,
+        seed,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7121);
+    let x = random_nonatomic(&w.exec, &mut rng, 1 + (seed as usize % processes), 2);
+    for _ in 0..40 {
+        let y = random_nonatomic(&w.exec, &mut rng, 1 + (seed as usize / 3 % processes), 2);
+        if x.overlaps(&y) {
+            continue;
+        }
+        for _ in 0..40 {
+            let z = random_nonatomic(&w.exec, &mut rng, 1 + (seed as usize / 7 % processes), 2);
+            if !z.overlaps(&x) && !z.overlaps(&y) {
+                return Some((w.exec, x, y, z));
+            }
+        }
+        return None;
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn composition_sound(seed in any::<u64>(), processes in 3..8usize) {
+        let Some((exec, x, y, z)) = draw_triple(seed, processes) else {
+            return Ok(());
+        };
+        for ra in Relation::ALL {
+            if !naive_relation(&exec, ra, &x, &y) {
+                continue;
+            }
+            for rb in Relation::ALL {
+                if !naive_relation(&exec, rb, &y, &z) {
+                    continue;
+                }
+                if let Some(rc) = compose(ra, rb) {
+                    prop_assert!(
+                        naive_relation(&exec, rc, &x, &z),
+                        "{}∘{} ⟹ {} violated (seed {seed})",
+                        ra, rb, rc
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_consistent_with_hierarchy(
+        a in 0..8usize, b in 0..8usize,
+    ) {
+        // Strengthening either operand can only strengthen (or keep) the
+        // conclusion: if a' ⟹ a and b' ⟹ b and compose(a,b) = c, then
+        // compose(a',b') must imply c.
+        let ra = Relation::ALL[a];
+        let rb = Relation::ALL[b];
+        if let Some(rc) = compose(ra, rb) {
+            for rap in Relation::ALL {
+                if !implies(rap, ra) {
+                    continue;
+                }
+                for rbp in Relation::ALL {
+                    if !implies(rbp, rb) {
+                        continue;
+                    }
+                    let rcp = compose(rap, rbp);
+                    prop_assert!(
+                        rcp.is_some_and(|r| implies(r, rc)),
+                        "compose({rap},{rbp}) = {rcp:?} should imply {rc}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property suite for the cut machinery: Definition-7 form equivalence,
+//! lattice laws, Lemma 11/12, and timestamp-vs-extensional agreement of
+//! all condensation cuts, over randomized executions.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use synchrel_core::pastfuture::condensation_extensional;
+use synchrel_core::{
+    causal_past, ccf, condensation, ll, CondensationKind, Cut, Execution, LlForm,
+    NonatomicEvent, ProcessId,
+};
+use synchrel_core::cut::ll_extensional;
+use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
+
+fn draw_exec(seed: u64, processes: usize) -> Execution {
+    random(&RandomConfig {
+        processes,
+        events_per_process: 8,
+        message_prob: 0.4,
+        seed,
+    })
+    .exec
+}
+
+fn draw_cut(exec: &Execution, rng: &mut ChaCha8Rng) -> Cut {
+    let counts: Vec<u32> = (0..exec.num_processes())
+        .map(|p| rng.random_range(1..=exec.len(ProcessId(p as u32))))
+        .collect();
+    Cut::from_counts(exec, counts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ll_forms_equivalent_on_random_cuts(
+        seed in any::<u64>(),
+        processes in 2..7usize,
+    ) {
+        // Every process of the generated executions has app events, so
+        // all four Definition-7 forms must agree (the app-empty-process
+        // divergence is covered by a dedicated unit test in core).
+        let exec = draw_exec(seed, processes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA11CE);
+        for _ in 0..16 {
+            let c = draw_cut(&exec, &mut rng);
+            let cp = draw_cut(&exec, &mut rng);
+            let f1 = ll_extensional(&exec, &c, &cp, LlForm::Form1);
+            let f2 = ll_extensional(&exec, &c, &cp, LlForm::Form2);
+            let f3 = ll_extensional(&exec, &c, &cp, LlForm::Form3);
+            let f4 = ll_extensional(&exec, &c, &cp, LlForm::Form4);
+            let fast = ll(&c, &cp);
+            prop_assert_eq!(f1, f2);
+            prop_assert_eq!(f3, f4);
+            prop_assert_eq!(f1, f3);
+            prop_assert_eq!(f1, fast, "fast ll on ({}, {})", c, cp);
+        }
+    }
+
+    #[test]
+    fn cut_lattice_laws(
+        seed in any::<u64>(),
+        processes in 2..7usize,
+    ) {
+        let exec = draw_exec(seed, processes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0B);
+        for _ in 0..8 {
+            let a = draw_cut(&exec, &mut rng);
+            let b = draw_cut(&exec, &mut rng);
+            let c = draw_cut(&exec, &mut rng);
+            // commutativity / associativity / absorption / idempotence
+            prop_assert_eq!(a.union(&b), b.union(&a));
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+            prop_assert_eq!(
+                a.intersection(&b).intersection(&c),
+                a.intersection(&b.intersection(&c))
+            );
+            prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+            prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+            prop_assert_eq!(a.union(&a), a.clone());
+            // Lemma 16 via the extensional sets.
+            let mut us = a.to_event_set(&exec);
+            us.union_with(&b.to_event_set(&exec));
+            prop_assert_eq!(Cut::from_event_set(&exec, &us).unwrap(), a.union(&b));
+            let mut is = a.to_event_set(&exec);
+            is.intersect_with(&b.to_event_set(&exec));
+            prop_assert_eq!(
+                Cut::from_event_set(&exec, &is).unwrap(),
+                a.intersection(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn ll_transitive_and_irreflexive(
+        seed in any::<u64>(),
+        processes in 2..6usize,
+    ) {
+        let exec = draw_exec(seed, processes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7A57);
+        let cuts: Vec<Cut> = (0..10).map(|_| draw_cut(&exec, &mut rng)).collect();
+        for a in &cuts {
+            prop_assert!(!ll(a, a));
+            for b in &cuts {
+                if !ll(a, b) { continue; }
+                for c in &cuts {
+                    if ll(b, c) {
+                        prop_assert!(ll(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_cuts_match_extensional(
+        seed in any::<u64>(),
+        processes in 2..7usize,
+    ) {
+        use synchrel_core::pastfuture::{causal_past_extensional, ccf_extensional};
+        let exec = draw_exec(seed, processes);
+        for e in exec.app_events().collect::<Vec<_>>() {
+            let past = causal_past(&exec, e);
+            prop_assert_eq!(
+                &Cut::from_event_set(&exec, &causal_past_extensional(&exec, e)).unwrap(),
+                &past
+            );
+            let fut = ccf(&exec, e);
+            prop_assert_eq!(
+                &Cut::from_event_set(&exec, &ccf_extensional(&exec, e)).unwrap(),
+                &fut
+            );
+            // ↓e ⊆ e⇑ never necessarily; but both contain ⊥ and e itself.
+            prop_assert!(past.contains(e));
+            prop_assert!(fut.contains(e));
+        }
+    }
+
+    #[test]
+    fn condensation_matches_extensional_and_lemma12(
+        seed in any::<u64>(),
+        processes in 2..6usize,
+        nodes in 1..5usize,
+    ) {
+        let exec = draw_exec(seed, processes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFACE);
+        let x: NonatomicEvent =
+            random_nonatomic(&exec, &mut rng, nodes.min(processes), 3);
+        let members: Vec<_> = x.events().collect();
+        for kind in CondensationKind::ALL {
+            let fast = condensation(&exec, &x, kind);
+            let ext = condensation_extensional(&exec, &x, kind);
+            // Lemma 11: extensional sets are cuts; both constructions agree.
+            prop_assert_eq!(&Cut::from_event_set(&exec, &ext).unwrap(), &fast);
+            // Lemma 12 surface properties.
+            for z in fast.surface() {
+                match kind {
+                    CondensationKind::IntersectPast => {
+                        for &m in &members {
+                            prop_assert!(exec.precedes_eq(z, m));
+                        }
+                    }
+                    CondensationKind::UnionPast => {
+                        prop_assert!(
+                            z.index == 0
+                                || members.iter().any(|&m| exec.precedes_eq(z, m))
+                        );
+                    }
+                    CondensationKind::IntersectFuture => {
+                        prop_assert!(members.iter().any(|&m| exec.precedes_eq(m, z)));
+                    }
+                    CondensationKind::UnionFuture => {
+                        for &m in &members {
+                            prop_assert!(exec.precedes_eq(m, z));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

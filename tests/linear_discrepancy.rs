@@ -1,0 +1,215 @@
+//! The Theorem 19/20 reproduction discrepancy, made precise.
+//!
+//! Theorem 20 claims R2' and R3 are evaluable in `min(|N_X|, |N_Y|)`
+//! integer comparisons, via Key Idea 2: a violation of `≪(↓Y, X⇑)` is
+//! always visible at a node of `N_X` and at a node of `N_Y`. For the cut
+//! pairs of R2' (`∪⇓Y ≪̸ ∪⇑X`) and R3 (`∩⇓Y ≪̸ ∩⇑X`) the claim fails in
+//! one direction. These tests establish the *strong* form of the
+//! failure: two executions that are **indistinguishable** in every input
+//! a node-restricted test per Key Idea 2 may read — the `N_X`
+//! (resp. `N_Y`) components of **both** operands' condensation cuts and
+//! extremal positions, plus node sets — yet on which the relation's
+//! truth value differs. Hence *no* test restricted to those inputs can
+//! be sound, and
+//! the best achievable bounds are `|N_Y|` for R2' and `|N_X|` for R3
+//! (which this library implements). See `EXPERIMENTS.md`.
+
+use synchrel_core::{
+    naive_relation, Evaluator, EventSummary, ExecutionBuilder, NonatomicEvent, Relation, ScanSet,
+};
+
+/// Collect the components of a summary's four cuts at `nodes`.
+fn components(s: &EventSummary, nodes: &[usize]) -> Vec<u32> {
+    let mut v = Vec::new();
+    for &i in nodes {
+        v.push(s.c1().count(i));
+        v.push(s.c2().count(i));
+        v.push(s.c3().count(i));
+        v.push(s.c4().count(i));
+        v.push(s.lo(i));
+        v.push(s.hi(i));
+    }
+    v
+}
+
+/// R2' counterexample pair.
+///
+/// Execution A: `y₁@P2` hears from both `x₁@P0` and `x₂@P1`; a second
+/// `Y` member `w@P3` hears nothing. `∃y∀x: x ≺ y` **holds** (witness
+/// `y₁`).
+///
+/// Execution B: `y₁'@P2` hears only `x₁`; `y₂@P3` hears only `x₂`.
+/// R2' **fails**.
+///
+/// All `N_X`-side inputs coincide.
+#[test]
+fn r2p_has_no_sound_nx_side_test() {
+    // --- Execution A -----------------------------------------------------
+    let mut ba = ExecutionBuilder::new(4);
+    let (xa1, ma0) = ba.send(0);
+    let (xa2, ma1) = ba.send(1);
+    ba.recv(2, ma0).unwrap();
+    ba.recv(2, ma1).unwrap();
+    let ya1 = ba.internal(2); // pos 4, knows both x's
+    let wa = ba.internal(3); // pos 2, knows nothing
+    let ea = ba.build().unwrap();
+    let x_a = NonatomicEvent::new(&ea, [xa1, xa2]).unwrap();
+    let y_a = NonatomicEvent::new(&ea, [ya1, wa]).unwrap();
+
+    // --- Execution B -----------------------------------------------------
+    let mut bb = ExecutionBuilder::new(4);
+    let (xb1, mb0) = bb.send(0);
+    let (xb2, mb1) = bb.send(1);
+    bb.recv(2, mb0).unwrap();
+    bb.internal(2); // padding so y₁' sits at pos 4, like y₁
+    let yb1 = bb.internal(2); // pos 4, knows only x₁
+    let yb2 = bb.recv(3, mb1).unwrap(); // pos 2, knows only x₂
+    let eb = bb.build().unwrap();
+    let x_b = NonatomicEvent::new(&eb, [xb1, xb2]).unwrap();
+    let y_b = NonatomicEvent::new(&eb, [yb1, yb2]).unwrap();
+
+    // Ground truth differs.
+    assert!(naive_relation(&ea, Relation::R2p, &x_a, &y_a), "A: R2' holds");
+    assert!(!naive_relation(&eb, Relation::R2p, &x_b, &y_b), "B: R2' fails");
+
+    // Everything an N_X-side test may read is identical.
+    let eva = Evaluator::new(&ea);
+    let evb = Evaluator::new(&eb);
+    let (sxa, sya) = (eva.summarize(&x_a), eva.summarize(&y_a));
+    let (sxb, syb) = (evb.summarize(&x_b), evb.summarize(&y_b));
+    let nx = sxa.node_set().to_vec();
+    assert_eq!(nx, sxb.node_set(), "same N_X");
+    assert_eq!(sya.node_set(), syb.node_set(), "same N_Y");
+    assert_eq!(
+        components(&sya, &nx),
+        components(&syb, &nx),
+        "Y's cut components and extremes at N_X nodes coincide"
+    );
+    assert_eq!(
+        components(&sxa, &nx),
+        components(&sxb, &nx),
+        "X's cut components and extremes at N_X nodes coincide"
+    );
+    // N_Y-side extremes of Y also coincide (the sound test reads these).
+    let ny = sya.node_set().to_vec();
+    for &j in &ny {
+        assert_eq!(sya.lo(j), syb.lo(j));
+        assert_eq!(sya.hi(j), syb.hi(j));
+    }
+
+    // Consequently the paper's N_X scan answers identically on both —
+    // and is therefore wrong on one of them…
+    let a_nx = eva
+        .eval_scanned(Relation::R2p, &sxa, &sya, ScanSet::NodesOfX)
+        .unwrap();
+    let b_nx = evb
+        .eval_scanned(Relation::R2p, &sxb, &syb, ScanSet::NodesOfX)
+        .unwrap();
+    assert_eq!(a_nx.holds, b_nx.holds, "any N_X-side test must tie");
+    assert!(!a_nx.holds, "…here it misses A's witness");
+
+    // …while the sound N_Y evaluation is exact on both.
+    assert!(eva.eval(Relation::R2p, &sxa, &sya));
+    assert!(!evb.eval(Relation::R2p, &sxb, &syb));
+}
+
+/// R3 counterexample pair (the time-mirrored construction).
+///
+/// Execution A: `x₁@P0` precedes both `y₁@P2` and `y₂@P3`; a second `X`
+/// member `xw@P1` precedes nothing. `∃x∀y: x ≺ y` **holds**.
+///
+/// Execution B: `x₁` precedes only `y₁`; `xw` precedes only `y₂`.
+/// R3 **fails**.
+///
+/// All `N_Y`-side inputs coincide.
+#[test]
+fn r3_has_no_sound_ny_side_test() {
+    // --- Execution A -----------------------------------------------------
+    let mut ba = ExecutionBuilder::new(4);
+    let (xa1, ma0) = ba.send(0); // x₁, pos 2
+    let (_, ma1) = ba.send(0); // second send at P0 carries x₁ onward
+    let xaw = ba.internal(1); // xw, pos 2, precedes nothing
+    let ya1 = ba.recv(2, ma0).unwrap(); // pos 2
+    let ya2 = ba.recv(3, ma1).unwrap(); // pos 2, after x₁ transitively
+    let ea = ba.build().unwrap();
+    let x_a = NonatomicEvent::new(&ea, [xa1, xaw]).unwrap();
+    let y_a = NonatomicEvent::new(&ea, [ya1, ya2]).unwrap();
+
+    // --- Execution B -----------------------------------------------------
+    let mut bb = ExecutionBuilder::new(4);
+    let (xb1, mb0) = bb.send(0); // x₁, pos 2
+    bb.internal(0); // padding: P0 has two app events in both executions
+    let (xbw, mb1) = bb.send(1); // xw, pos 2
+    let yb1 = bb.recv(2, mb0).unwrap(); // pos 2, hears only x₁
+    let yb2 = bb.recv(3, mb1).unwrap(); // pos 2, hears only xw
+    let eb = bb.build().unwrap();
+    let x_b = NonatomicEvent::new(&eb, [xb1, xbw]).unwrap();
+    let y_b = NonatomicEvent::new(&eb, [yb1, yb2]).unwrap();
+
+    assert!(naive_relation(&ea, Relation::R3, &x_a, &y_a), "A: R3 holds");
+    assert!(!naive_relation(&eb, Relation::R3, &x_b, &y_b), "B: R3 fails");
+
+    let eva = Evaluator::new(&ea);
+    let evb = Evaluator::new(&eb);
+    let (sxa, sya) = (eva.summarize(&x_a), eva.summarize(&y_a));
+    let (sxb, syb) = (evb.summarize(&x_b), evb.summarize(&y_b));
+    let ny = sya.node_set().to_vec();
+    assert_eq!(ny, syb.node_set(), "same N_Y");
+    assert_eq!(sxa.node_set(), sxb.node_set(), "same N_X");
+    assert_eq!(
+        components(&sxa, &ny),
+        components(&sxb, &ny),
+        "X's cut components and extremes at N_Y nodes coincide"
+    );
+    assert_eq!(
+        components(&sya, &ny),
+        components(&syb, &ny),
+        "Y's summaries at its own nodes coincide"
+    );
+    for &i in sxa.node_set() {
+        assert_eq!(sxa.lo(i), sxb.lo(i));
+        assert_eq!(sxa.hi(i), sxb.hi(i));
+    }
+
+    let a_ny = eva
+        .eval_scanned(Relation::R3, &sxa, &sya, ScanSet::NodesOfY)
+        .unwrap();
+    let b_ny = evb
+        .eval_scanned(Relation::R3, &sxb, &syb, ScanSet::NodesOfY)
+        .unwrap();
+    assert_eq!(a_ny.holds, b_ny.holds, "any N_Y-side test must tie");
+    assert!(!a_ny.holds, "…here it misses A's witness");
+
+    assert!(eva.eval(Relation::R3, &sxa, &sya));
+    assert!(!evb.eval(Relation::R3, &sxb, &syb));
+}
+
+/// The discrepancy never touches the six relations whose Theorem-20
+/// bounds do reproduce: on the same counterexample executions, both
+/// restricted scans agree with ground truth for R1/R1'/R4/R4'.
+#[test]
+fn min_relations_unaffected_on_counterexamples() {
+    let mut ba = ExecutionBuilder::new(4);
+    let (xa1, ma0) = ba.send(0);
+    let (xa2, ma1) = ba.send(1);
+    ba.recv(2, ma0).unwrap();
+    ba.recv(2, ma1).unwrap();
+    let ya1 = ba.internal(2);
+    let wa = ba.internal(3);
+    let ea = ba.build().unwrap();
+    let x = NonatomicEvent::new(&ea, [xa1, xa2]).unwrap();
+    let y = NonatomicEvent::new(&ea, [ya1, wa]).unwrap();
+    let ev = Evaluator::new(&ea);
+    let sx = ev.summarize(&x);
+    let sy = ev.summarize(&y);
+    for rel in [Relation::R1, Relation::R1p, Relation::R4, Relation::R4p] {
+        let ground = naive_relation(&ea, rel, &x, &y);
+        for scan in [ScanSet::NodesOfX, ScanSet::NodesOfY, ScanSet::FullP] {
+            assert_eq!(
+                ev.eval_scanned(rel, &sx, &sy, scan).unwrap().holds,
+                ground,
+                "{rel} {scan:?}"
+            );
+        }
+    }
+}

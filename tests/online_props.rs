@@ -1,0 +1,131 @@
+//! Property suite for the online monitor's verdict semantics:
+//!
+//! * **stability** — once a watch reports `Holds` or `Violated`, no
+//!   further event may change the verdict (the whole point of the
+//!   monotonicity analysis);
+//! * **completeness** — after all intervals close, nothing is `Pending`;
+//! * **agreement** — final verdicts equal the offline naive evaluation.
+
+use proptest::prelude::*;
+
+use synchrel_core::{naive_relation, EventKind, Relation};
+use synchrel_monitor::{OnlineMonitor, Verdict};
+use synchrel_sim::intervals::per_process_phases;
+use synchrel_sim::workload::{random, RandomConfig};
+
+fn replay_with_checks(seed: u64, processes: usize) -> Result<(), TestCaseError> {
+    let w = random(&RandomConfig {
+        processes,
+        events_per_process: 6,
+        message_prob: 0.35,
+        seed,
+    });
+    let phases = per_process_phases(&w.exec, 2);
+    prop_assume!(phases.len() == 2);
+    let label_of = |e: synchrel_core::EventId| -> Vec<String> {
+        phases
+            .iter()
+            .position(|p| p.contains(e))
+            .map(|k| vec![format!("ph{k}")])
+            .into_iter()
+            .flatten()
+            .collect()
+    };
+
+    let mut mon = OnlineMonitor::new(processes);
+    // Watch every relation in both directions.
+    for rel in Relation::ALL {
+        mon.watch(format!("{rel}-fwd"), rel, "ph0", "ph1");
+        mon.watch(format!("{rel}-bwd"), rel, "ph1", "ph0");
+    }
+
+    let mut decided: std::collections::BTreeMap<String, Verdict> = Default::default();
+    let mut tokens: Vec<Option<synchrel_monitor::online::OnlineMsg>> = Vec::new();
+
+    let mut step_check = |mon: &mut OnlineMonitor| -> Result<(), TestCaseError> {
+        for ev in mon.poll() {
+            match decided.get(&ev.name) {
+                None => {
+                    if ev.verdict != Verdict::Pending {
+                        decided.insert(ev.name.clone(), ev.verdict);
+                    }
+                }
+                Some(&prev) => {
+                    // Stability: a decided verdict may never change.
+                    prop_assert_eq!(
+                        ev.verdict, prev,
+                        "watch {} flipped from {:?} to {:?}",
+                        ev.name, prev, ev.verdict
+                    );
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for &e in w.exec.app_order() {
+        let labels = label_of(e);
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let p = e.process.idx();
+        match w.exec.kind(e) {
+            EventKind::Internal => mon.internal(p, &refs).unwrap(),
+            EventKind::Send { msg } => {
+                let t = mon.send(p, &refs).unwrap();
+                let mi = msg as usize;
+                if tokens.len() <= mi {
+                    tokens.resize(mi + 1, None);
+                }
+                tokens[mi] = Some(t);
+            }
+            EventKind::Recv { msg } => {
+                let t = tokens[msg as usize].take().unwrap();
+                mon.recv(p, t, &refs).unwrap();
+            }
+            EventKind::Initial | EventKind::Final => unreachable!(),
+        }
+        step_check(&mut mon)?;
+    }
+    mon.close("ph0");
+    step_check(&mut mon)?;
+    mon.close("ph1");
+    step_check(&mut mon)?;
+
+    // Completeness + agreement.
+    for (name, verdict) in mon.verdicts() {
+        prop_assert_ne!(
+            verdict,
+            Verdict::Pending,
+            "watch {} still pending after close",
+            name
+        );
+        let (rel_name, dir) = name.split_once('-').expect("name format");
+        let rel = Relation::ALL
+            .into_iter()
+            .find(|r| r.name() == rel_name)
+            .expect("valid relation name");
+        let (x, y) = if dir == "fwd" {
+            (&phases[0], &phases[1])
+        } else {
+            (&phases[1], &phases[0])
+        };
+        let want = if naive_relation(&w.exec, rel, x, y) {
+            Verdict::Holds
+        } else {
+            Verdict::Violated
+        };
+        prop_assert_eq!(verdict, want, "watch {} disagrees offline", name);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn verdicts_stable_complete_and_correct(
+        seed in any::<u64>(),
+        processes in 2..7usize,
+    ) {
+        replay_with_checks(seed, processes)?;
+    }
+}

@@ -1,0 +1,72 @@
+//! Smoke tests for every reproduction experiment: each must run and
+//! report internal validation success (no "BUG" markers), so the
+//! `repro` binary's output is itself covered by `cargo test`.
+
+use synchrel_bench::experiments;
+
+#[test]
+fn table1_reports_full_agreement() {
+    let s = experiments::table1::run(1, 40);
+    assert!(s.contains("linear comparisons"), "{s}");
+    assert!(s.contains("YES"), "{s}");
+    assert!(!s.contains("BUG"), "{s}");
+}
+
+#[test]
+fn table2_reports_match() {
+    let s = experiments::table2::run();
+    assert!(s.contains("∩⇓X"), "{s}");
+    assert!(!s.contains("BUG"), "{s}");
+    assert!(s.contains("100/100"), "{s}");
+}
+
+#[test]
+fn figures_render() {
+    let f1 = experiments::figures::fig1();
+    assert!(f1.contains("P0") && f1.contains("L_X"), "{f1}");
+    let f2 = experiments::figures::fig2();
+    assert!(f2.contains("|4"), "{f2}");
+    let f3 = experiments::figures::fig3();
+    assert!(f3.contains("U_X"), "{f3}");
+}
+
+#[test]
+fn thm19_reproduces() {
+    let s = experiments::thm19::run(1);
+    assert!(s.contains("YES"), "{s}");
+    assert!(!s.contains("BUG"), "{s}");
+}
+
+#[test]
+fn thm20_reports_discrepancy_honestly() {
+    let s = experiments::thm20::run(1, 120);
+    assert!(s.contains("Theorem 20 reproduces"), "{s}");
+    assert!(s.contains("Discrepancy"), "{s}");
+}
+
+#[test]
+fn problem4_runs() {
+    let s = experiments::problem4::run(1);
+    assert!(s.contains("ring"), "{s}");
+    assert!(s.contains("agree"), "{s}");
+}
+
+#[test]
+fn setup_amortizes() {
+    let s = experiments::setup::run(1);
+    assert!(s.contains("one-time costs"), "{s}");
+}
+
+#[test]
+fn scaling_shows_growing_gap() {
+    let s = experiments::scaling::run(1);
+    assert!(s.contains("shape check"), "{s}");
+    assert!(s.contains("64"), "{s}");
+}
+
+#[test]
+fn profiles_all_realized_and_consistent() {
+    let s = experiments::profiles::run(1, 100);
+    assert!(s.contains("YES"), "{s}");
+    assert!(s.contains("realized 11 of the 11"), "{s}");
+}

@@ -1,0 +1,72 @@
+//! Trace-format integration tests: round-tripping executions and named
+//! nonatomic events through JSON preserves causality and every relation
+//! verdict.
+
+use proptest::prelude::*;
+
+use synchrel_core::{Detector, NonatomicEvent};
+use synchrel_sim::format::TraceFile;
+use synchrel_sim::workload::{self, RandomConfig};
+
+#[test]
+fn relations_survive_roundtrip() {
+    let w = workload::random_with_events(
+        &RandomConfig {
+            processes: 6,
+            events_per_process: 20,
+            message_prob: 0.3,
+            seed: 99,
+        },
+        8,
+        3,
+        2,
+    );
+    let tf = TraceFile::capture(
+        &w.exec,
+        w.labels.iter().cloned().zip(w.events.iter().cloned()),
+    );
+    let json = tf.to_json().unwrap();
+    let (exec2, intervals) = TraceFile::from_json(&json).unwrap().restore().unwrap();
+
+    let d1 = Detector::new(&w.exec, w.events.clone());
+    let evs2: Vec<NonatomicEvent> = intervals.into_iter().map(|(_, e)| e).collect();
+    let d2 = Detector::new(&exec2, evs2);
+    let r1 = d1.all_pairs();
+    let r2 = d2.all_pairs();
+    assert_eq!(r1, r2, "all 32 relations for all pairs survive");
+}
+
+#[test]
+fn scenario_traces_roundtrip() {
+    let s = synchrel_sim::scenario::process_control(3).unwrap();
+    let tf = TraceFile::capture(
+        &s.result.exec,
+        s.actions.iter().map(|(n, e)| (n.clone(), e.clone())),
+    );
+    let (exec2, intervals) = tf.restore().unwrap();
+    assert_eq!(exec2.num_processes(), s.result.exec.num_processes());
+    assert_eq!(intervals.len(), s.actions.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_traces_roundtrip(seed in any::<u64>(), processes in 2..7usize) {
+        let w = workload::random(&RandomConfig {
+            processes,
+            events_per_process: 10,
+            message_prob: 0.4,
+            seed,
+        });
+        let tf = TraceFile::capture(&w.exec, std::iter::empty());
+        let json = tf.to_json().unwrap();
+        let (exec2, _) = TraceFile::from_json(&json).unwrap().restore().unwrap();
+        let all: Vec<_> = w.exec.all_events().collect();
+        for &x in &all {
+            for &y in &all {
+                prop_assert_eq!(w.exec.precedes(x, y), exec2.precedes(x, y));
+            }
+        }
+    }
+}
