@@ -1,11 +1,11 @@
 //! Bench E-P4 (Problem 4): all-pairs 32-relation detection over a set
-//! `𝒜` — cached vs uncached summaries (Key Idea 1 ablation) and
-//! sequential vs parallel.
+//! `𝒜` — cached vs uncached summaries (Key Idea 1 ablation), counted
+//! vs fused kernels, and sequential vs work-stealing parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use synchrel_core::Detector;
+use synchrel_core::{Detector, EvalMode};
 use synchrel_sim::workload::{self, RandomConfig};
 
 fn bench_problem4(c: &mut Criterion) {
@@ -35,6 +35,12 @@ fn bench_problem4(c: &mut Criterion) {
             black_box(d.all_pairs())
         })
     });
+    g.bench_function("fused", |b| {
+        b.iter(|| {
+            let d = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+            black_box(d.all_pairs())
+        })
+    });
     for threads in [2usize, 4, 8] {
         g.bench_with_input(
             BenchmarkId::new("parallel", threads),
@@ -46,12 +52,24 @@ fn bench_problem4(c: &mut Criterion) {
                 })
             },
         );
+        g.bench_with_input(
+            BenchmarkId::new("parallel_fused", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let d = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+                    black_box(d.all_pairs_parallel(threads))
+                })
+            },
+        );
     }
     g.finish();
 
     // Steady-state queries against a warm detector.
     let d = Detector::new(&w.exec, w.events.clone());
     d.warm_up();
+    let df = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+    df.warm_up();
     let mut g2 = c.benchmark_group("problem4_warm_pair");
     g2.sample_size(60);
     g2.bench_function("pair_all32", |b| {
@@ -61,6 +79,15 @@ fn bench_problem4(c: &mut Criterion) {
             let y = (k + 1) % w.events.len();
             k += 1;
             black_box(d.pair(x, y).unwrap())
+        })
+    });
+    g2.bench_function("pair_all32_fused", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let x = k % w.events.len();
+            let y = (k + 1) % w.events.len();
+            k += 1;
+            black_box(df.pair(x, y).unwrap())
         })
     });
     g2.finish();

@@ -37,16 +37,25 @@ fn bench_scaling(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("ordered_naive", n), &(), |b, _| {
             b.iter(|| {
-                naive_relation(black_box(&w.exec), Relation::R1, black_box(&x), black_box(&y))
+                naive_relation(
+                    black_box(&w.exec),
+                    Relation::R1,
+                    black_box(&x),
+                    black_box(&y),
+                )
             })
         });
-        g.bench_with_input(BenchmarkId::new("ordered_summarize+eval", n), &(), |b, _| {
-            b.iter(|| {
-                let sx = ev.summarize(&x);
-                let sy = ev.summarize(&y);
-                ev.eval_counted(Relation::R1, black_box(&sx), black_box(&sy))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ordered_summarize+eval", n),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let sx = ev.summarize(&x);
+                    let sy = ev.summarize(&y);
+                    ev.eval_counted(Relation::R1, black_box(&sx), black_box(&sy))
+                })
+            },
+        );
 
         // ---- unordered: R1 fails, naive may early-exit ---------------
         let w2 = random(&RandomConfig {

@@ -22,9 +22,7 @@ fn bench_setup(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("setup_n{n}"));
         g.sample_size(20);
         g.bench_function("establish_timestamps", |b| {
-            b.iter(|| {
-                black_box(Execution::from_skeleton(np, black_box(&steps)).unwrap())
-            })
+            b.iter(|| black_box(Execution::from_skeleton(np, black_box(&steps)).unwrap()))
         });
         let ev = Evaluator::new(&w.exec);
         g.bench_with_input(BenchmarkId::new("summarize_event", 0), &(), |b, _| {

@@ -37,9 +37,7 @@ fn bench_cuts(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("extensional", kind.label()),
             &kind,
-            |b, &kind| {
-                b.iter(|| condensation_extensional(black_box(&w.exec), black_box(&x), kind))
-            },
+            |b, &kind| b.iter(|| condensation_extensional(black_box(&w.exec), black_box(&x), kind)),
         );
     }
     g.finish();

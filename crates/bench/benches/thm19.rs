@@ -7,9 +7,9 @@ use std::hint::black_box;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use synchrel_core::NonatomicEvent;
 use synchrel_core::{Evaluator, Relation};
 use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
-use synchrel_core::NonatomicEvent;
 
 fn bench_thm19(c: &mut Criterion) {
     let processes = 64;

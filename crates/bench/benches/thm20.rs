@@ -29,13 +29,9 @@ fn bench_thm20(c: &mut Criterion) {
             g.bench_with_input(BenchmarkId::new("linear", rel.name()), &rel, |b, &rel| {
                 b.iter(|| ev.eval_counted(rel, black_box(&sx), black_box(&sy)))
             });
-            g.bench_with_input(
-                BenchmarkId::new("baseline", rel.name()),
-                &rel,
-                |b, &rel| {
-                    b.iter(|| proxy_baseline(black_box(&w.exec), rel, black_box(&x), black_box(&y)))
-                },
-            );
+            g.bench_with_input(BenchmarkId::new("baseline", rel.name()), &rel, |b, &rel| {
+                b.iter(|| proxy_baseline(black_box(&w.exec), rel, black_box(&x), black_box(&y)))
+            });
         }
         g.finish();
     }

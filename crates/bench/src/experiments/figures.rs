@@ -7,9 +7,7 @@
 //! * Figure 3: the four cuts of each proxy `L_X` and `U_X` of the same
 //!   poset.
 
-use synchrel_core::{
-    condensation, CondensationKind, Diagram, NonatomicEvent, ProxyDefinition,
-};
+use synchrel_core::{condensation, CondensationKind, Diagram, NonatomicEvent, ProxyDefinition};
 
 use crate::fig_exec::{fig1_setup, fig2_setup};
 
@@ -30,8 +28,12 @@ pub fn fig1() -> String {
     let mut out = d.render();
     out.push('\n');
     for (name, ev) in [("X", &x), ("Y", &y)] {
-        let l2 = ev.proxy_lower(&exec, ProxyDefinition::PerNode).expect("exists");
-        let u2 = ev.proxy_upper(&exec, ProxyDefinition::PerNode).expect("exists");
+        let l2 = ev
+            .proxy_lower(&exec, ProxyDefinition::PerNode)
+            .expect("exists");
+        let u2 = ev
+            .proxy_upper(&exec, ProxyDefinition::PerNode)
+            .expect("exists");
         out.push_str(&format!(
             "{name} = {{{}}}\n  L_{name} (Defn 2) = {{{}}}\n  U_{name} (Defn 2) = {{{}}}\n",
             list(ev),
@@ -80,9 +82,11 @@ pub fn fig3() -> String {
     let mut out = String::new();
     for (pname, def) in [("L_X", true), ("U_X", false)] {
         let proxy = if def {
-            x.proxy_lower(&exec, ProxyDefinition::PerNode).expect("exists")
+            x.proxy_lower(&exec, ProxyDefinition::PerNode)
+                .expect("exists")
         } else {
-            x.proxy_upper(&exec, ProxyDefinition::PerNode).expect("exists")
+            x.proxy_upper(&exec, ProxyDefinition::PerNode)
+                .expect("exists")
         };
         let mut d = Diagram::new(&exec);
         for (e, l) in &labels {

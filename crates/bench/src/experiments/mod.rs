@@ -8,11 +8,13 @@
 //! | [`thm19`] | Theorem 19 — `≪̸` in `min(|N_X|, |N_Y|)` comparisons |
 //! | [`thm20`] | Theorem 20 — per-relation comparison complexity |
 //! | [`problem4`] | Problem 4 — one/all relation detection over `𝒜` |
+//! | [`pairs`] | all-pairs throughput: counted vs fused vs parallel-fused |
 //! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
 
 pub mod figures;
+pub mod pairs;
 pub mod problem4;
 pub mod profiles;
 pub mod scaling;
@@ -35,8 +37,12 @@ pub fn run_all() -> String {
         ("E-Thm19: Theorem 19", thm19::run(0xC0FFEE)),
         ("E-Thm20: Theorem 20", thm20::run(0xC0FFEE, 200)),
         ("E-P4: Problem 4", problem4::run(0xC0FFEE)),
+        ("E-Pairs: all-pairs throughput", pairs::run(0xC0FFEE)),
         ("E-Scaling: linear vs quadratic", scaling::run(0xC0FFEE)),
-        ("E-Profiles: the filled-in hierarchy", profiles::run(0xC0FFEE, 150)),
+        (
+            "E-Profiles: the filled-in hierarchy",
+            profiles::run(0xC0FFEE, 150),
+        ),
         ("E-Setup: one-time cost", setup::run(0xC0FFEE)),
     ] {
         out.push_str(&format!("\n=== {title} ===\n\n"));

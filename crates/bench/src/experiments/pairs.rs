@@ -1,0 +1,216 @@
+//! E-Pairs — all-pairs throughput of the fused-arena detection path.
+//!
+//! Measures ordered-pairs-per-second for the three evaluation
+//! strategies the detector offers:
+//!
+//! * `seq/counted` — sequential, 32 independently-counted evaluations
+//!   (the Theorem-20 reference path);
+//! * `seq/fused`   — sequential, the fused 32-relation kernel;
+//! * `par/fused ×t` — fused kernel under the work-stealing parallel
+//!   loop at `t` worker threads.
+//!
+//! Besides the human-readable table, [`run`] writes a machine-readable
+//! `BENCH_pairs.json` so CI and regression tooling can diff throughput
+//! across commits without parsing prose.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use synchrel_core::{Detector, EvalMode};
+use synchrel_sim::workload::{self, Workload};
+
+use crate::table::Table;
+
+/// Threads at which the parallel fused path is sampled.
+pub const THREAD_POINTS: [usize; 3] = [2, 4, 8];
+
+/// Throughput of every strategy on one workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct PairsMeasurement {
+    /// Workload name.
+    pub workload: String,
+    /// Number of nonatomic events.
+    pub events: usize,
+    /// Ordered pairs per full all-pairs sweep.
+    pub pairs: usize,
+    /// Pairs/second, sequential counted (reference) path.
+    pub seq_counted_pps: f64,
+    /// Pairs/second, sequential fused kernel.
+    pub seq_fused_pps: f64,
+    /// Pairs/second for the parallel fused path, aligned with
+    /// [`THREAD_POINTS`].
+    pub par_fused_pps: Vec<f64>,
+    /// `seq_fused_pps / seq_counted_pps`.
+    pub fused_speedup: f64,
+}
+
+/// The JSON document written to `BENCH_pairs.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct PairsReport {
+    /// Schema tag for downstream tooling.
+    pub schema: &'static str,
+    /// Thread counts sampled by the parallel measurements.
+    pub thread_points: Vec<usize>,
+    /// One entry per workload.
+    pub rows: Vec<PairsMeasurement>,
+}
+
+/// Time `f` (one full all-pairs sweep per call), repeating until the
+/// accumulated wall time is long enough to trust, and return sweeps/sec.
+fn sweeps_per_sec(mut f: impl FnMut()) -> f64 {
+    // One warm-up sweep so summary caching and allocator state are in
+    // steady state before the timed region.
+    f();
+    let mut reps = 0u32;
+    let t0 = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        let dt = t0.elapsed().as_secs_f64();
+        if (reps >= 3 && dt >= 0.05) || dt >= 1.0 {
+            return f64::from(reps) / dt;
+        }
+    }
+}
+
+fn measure(w: &Workload) -> PairsMeasurement {
+    let counted = Detector::new(&w.exec, w.events.clone());
+    let fused = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+    counted.warm_up();
+    fused.warm_up();
+
+    // Strategies must agree on verdicts before their speed is compared.
+    let ref_reports = counted.all_pairs();
+    let fused_reports = fused.all_pairs();
+    for (a, b) in ref_reports.iter().zip(&fused_reports) {
+        assert_eq!(
+            a.relations, b.relations,
+            "fused diverged on ({}, {})",
+            a.x, a.y
+        );
+    }
+
+    let pairs = ref_reports.len();
+    let seq_counted_pps = sweeps_per_sec(|| {
+        counted.all_pairs();
+    }) * pairs as f64;
+    let seq_fused_pps = sweeps_per_sec(|| {
+        fused.all_pairs();
+    }) * pairs as f64;
+    let par_fused_pps = THREAD_POINTS
+        .iter()
+        .map(|&t| {
+            sweeps_per_sec(|| {
+                fused.all_pairs_parallel(t);
+            }) * pairs as f64
+        })
+        .collect();
+
+    PairsMeasurement {
+        workload: w.name.clone(),
+        events: w.events.len(),
+        pairs,
+        seq_counted_pps,
+        seq_fused_pps,
+        par_fused_pps,
+        fused_speedup: seq_fused_pps / seq_counted_pps,
+    }
+}
+
+fn workloads(seed: u64) -> Vec<Workload> {
+    vec![
+        workload::random_with_events(
+            &workload::RandomConfig {
+                processes: 12,
+                events_per_process: 40,
+                message_prob: 0.3,
+                seed,
+            },
+            24,
+            4,
+            3,
+        ),
+        workload::ring(8, 6),
+        workload::broadcast(8, 5),
+        workload::phases(8, 6, 4),
+    ]
+}
+
+/// Run the throughput measurement and render the table. When
+/// `json_path` is given, also write the [`PairsReport`] there.
+pub fn run_to(seed: u64, json_path: Option<&str>) -> String {
+    let rows: Vec<PairsMeasurement> = workloads(seed).iter().map(measure).collect();
+    let report = PairsReport {
+        schema: "synchrel/BENCH_pairs/v1",
+        thread_points: THREAD_POINTS.to_vec(),
+        rows,
+    };
+    let mut t = Table::new([
+        "workload",
+        "|𝒜|",
+        "pairs",
+        "seq counted p/s",
+        "seq fused p/s",
+        "par×2 p/s",
+        "par×4 p/s",
+        "par×8 p/s",
+        "fused ×",
+    ]);
+    for m in &report.rows {
+        t.row([
+            m.workload.clone(),
+            m.events.to_string(),
+            m.pairs.to_string(),
+            format!("{:.0}", m.seq_counted_pps),
+            format!("{:.0}", m.seq_fused_pps),
+            format!("{:.0}", m.par_fused_pps[0]),
+            format!("{:.0}", m.par_fused_pps[1]),
+            format!("{:.0}", m.par_fused_pps[2]),
+            format!("{:.2}", m.fused_speedup),
+        ]);
+    }
+    let mut out = t.render();
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => out.push_str(&format!("\nwrote {path}\n")),
+            Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+/// Default entry point: measure and write `BENCH_pairs.json` in the
+/// current directory.
+pub fn run(seed: u64) -> String {
+    run_to(seed, Some("BENCH_pairs.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_sane() {
+        let w = workload::ring(4, 3);
+        let m = measure(&w);
+        assert_eq!(m.pairs, 6);
+        assert!(m.seq_counted_pps > 0.0);
+        assert!(m.seq_fused_pps > 0.0);
+        assert_eq!(m.par_fused_pps.len(), THREAD_POINTS.len());
+        assert!(m.par_fused_pps.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let w = workload::ring(4, 3);
+        let report = PairsReport {
+            schema: "synchrel/BENCH_pairs/v1",
+            thread_points: THREAD_POINTS.to_vec(),
+            rows: vec![measure(&w)],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("BENCH_pairs"), "{json}");
+        assert!(json.contains("seq_fused_pps"), "{json}");
+    }
+}

@@ -33,7 +33,11 @@ pub const DISTINCT: [Relation; 6] = [
 ];
 
 /// Compute the profile bitmask of a pair over [`DISTINCT`].
-pub fn profile(exec: &synchrel_core::Execution, x: &synchrel_core::NonatomicEvent, y: &synchrel_core::NonatomicEvent) -> u8 {
+pub fn profile(
+    exec: &synchrel_core::Execution,
+    x: &synchrel_core::NonatomicEvent,
+    y: &synchrel_core::NonatomicEvent,
+) -> u8 {
     let mut mask = 0u8;
     for (k, &rel) in DISTINCT.iter().enumerate() {
         if naive_relation(exec, rel, x, y) {

@@ -10,8 +10,8 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use synchrel_core::{condensation, CondensationKind, Cut};
 use synchrel_core::pastfuture::condensation_extensional;
+use synchrel_core::{condensation, CondensationKind, Cut};
 use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
 
 use crate::fig_exec::fig2_setup;
@@ -77,7 +77,9 @@ pub fn randomized_check(seed: u64, trials: usize) -> usize {
         let all_match = CondensationKind::ALL.iter().all(|&k| {
             let fast = condensation(&w.exec, &x, k);
             let ext = condensation_extensional(&w.exec, &x, k);
-            Cut::from_event_set(&w.exec, &ext).map(|c| c == fast).unwrap_or(false)
+            Cut::from_event_set(&w.exec, &ext)
+                .map(|c| c == fast)
+                .unwrap_or(false)
         });
         ok += all_match as usize;
     }

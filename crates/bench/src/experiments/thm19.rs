@@ -72,9 +72,15 @@ pub fn sweep(seed: u64, sizes: &[usize], trials_per_cell: usize) -> Vec<Cell> {
                 let ev = Evaluator::new(&w.exec);
                 let sx = ev.summarize(&x);
                 let sy = ev.summarize(&y);
-                let a = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfX).unwrap();
-                let b = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfY).unwrap();
-                let f = ev.eval_scanned(Relation::R4, &sx, &sy, ScanSet::FullP).unwrap();
+                let a = ev
+                    .eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfX)
+                    .unwrap();
+                let b = ev
+                    .eval_scanned(Relation::R4, &sx, &sy, ScanSet::NodesOfY)
+                    .unwrap();
+                let f = ev
+                    .eval_scanned(Relation::R4, &sx, &sy, ScanSet::FullP)
+                    .unwrap();
                 let auto = ev.eval_counted(Relation::R4, &sx, &sy);
                 cell.trials += 1;
                 if a.holds == b.holds && b.holds == f.holds && f.holds == auto.holds {

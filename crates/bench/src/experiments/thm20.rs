@@ -12,9 +12,7 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use synchrel_core::{
-    naive_relation, sound_bound, Evaluator, NonatomicEvent, Relation, ScanSet,
-};
+use synchrel_core::{naive_relation, sound_bound, Evaluator, NonatomicEvent, Relation, ScanSet};
 use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
 
 use crate::table::Table;

@@ -44,7 +44,9 @@ impl Args {
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
             if tok == "-o" || tok == "--out" {
-                let v = it.next().ok_or_else(|| ArgError::MissingValue("out".into()))?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue("out".into()))?;
                 a.options.insert("out".into(), v.clone());
             } else if let Some(key) = tok.strip_prefix("--") {
                 let v = it

@@ -4,8 +4,8 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use synchrel_core::{
-    strongest, Detector, Diagram, Evaluator, Execution, NonatomicEvent, Proxy, ProxyRelation,
-    Relation,
+    strongest, Detector, Diagram, EvalMode, Evaluator, Execution, NonatomicEvent, Proxy,
+    ProxyRelation, Relation,
 };
 use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
@@ -30,8 +30,11 @@ commands:
   render <trace.json>    ASCII space-time diagram
   query <trace.json> <X> <Y> [REL]
                          evaluate one or all Table-1 relations
-  analyze <trace.json>   strongest relation for every event pair
-  check <trace.json> <spec.json>
+  analyze <trace.json> [--threads N] [--mode fused|exact]
+                         strongest relation for every event pair
+                         (fused kernel by default; exact mode reports
+                         the per-relation Theorem-20 comparison counts)
+  check <trace.json> <spec.json> [--threads N]
                          check a synchronization spec (exit 1 on violation)
   overlap <trace.json> <A> <B> [C...]
                          could the named events all be in progress
@@ -183,7 +186,11 @@ fn query(a: &Args) -> Result<ExitCode, AnyError> {
                 c.holds,
                 c.comparisons
             );
-            Ok(if c.holds { ExitCode::SUCCESS } else { ExitCode::from(1) })
+            Ok(if c.holds {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
         None => {
             println!("relation  holds  comparisons");
@@ -213,8 +220,14 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
     let (exec, intervals) = load(a.pos(0, "trace file")?)?;
     let names: Vec<String> = intervals.iter().map(|(n, _)| n.clone()).collect();
     let events: Vec<NonatomicEvent> = intervals.into_iter().map(|(_, e)| e).collect();
-    let d = Detector::new(&exec, events);
-    let reports = d.all_pairs_parallel(4);
+    let threads: usize = a.num("threads", 4)?;
+    let mode = match a.opt("mode").unwrap_or("fused") {
+        "fused" => EvalMode::Fused,
+        "exact" => EvalMode::Counted,
+        other => return Err(Box::new(ArgError::Unknown(format!("mode '{other}'")))),
+    };
+    let d = Detector::new(&exec, events).with_mode(mode);
+    let reports = d.all_pairs_parallel(threads);
     let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(6) + 2;
     print!("{:>width$}", "");
     for n in &names {
@@ -250,7 +263,11 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
         println!();
     }
     let cmp: u64 = reports.iter().map(|r| r.comparisons).sum();
-    println!("\n{} pairs × 32 relations, {} comparisons", reports.len(), cmp);
+    println!(
+        "\n{} pairs × 32 relations, {} comparisons",
+        reports.len(),
+        cmp
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -269,8 +286,13 @@ fn check(a: &Args) -> Result<ExitCode, AnyError> {
     let (exec, intervals) = load(a.pos(0, "trace file")?)?;
     let spec_text = std::fs::read_to_string(a.pos(1, "spec file")?)?;
     let spec: Spec = serde_json::from_str(&spec_text)?;
+    let threads: usize = a.num("threads", 1)?;
     let checker = Checker::new(&exec, intervals);
-    let report = checker.check(&spec);
+    let report = if threads > 1 {
+        checker.check_parallel(&spec, threads)
+    } else {
+        checker.check(&spec)
+    };
     print!("{report}");
     Ok(if report.all_hold() {
         ExitCode::SUCCESS
@@ -295,7 +317,9 @@ fn overlap(a: &Args) -> Result<ExitCode, AnyError> {
         k += 1;
     }
     if names.len() < 2 {
-        return Err(Box::new(ArgError::MissingPositional("two or more event names")));
+        return Err(Box::new(ArgError::MissingPositional(
+            "two or more event names",
+        )));
     }
     let rep = possibly_overlap(&exec, &locals);
     if rep.possible {

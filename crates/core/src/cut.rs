@@ -192,7 +192,10 @@ impl Cut {
             let mut c = 0;
             let mut ended = false;
             for i in 0..len {
-                let inside = set.contains(EventId { process: pid, index: i });
+                let inside = set.contains(EventId {
+                    process: pid,
+                    index: i,
+                });
                 if inside {
                     if ended {
                         return Err(Error::NotACut); // gap: not a prefix
@@ -367,19 +370,28 @@ pub fn ll_extensional(exec: &Execution, c: &Cut, cp: &Cut, form: LlForm) -> bool
     let cset = c.to_event_set(exec);
     let cpset = cp.to_event_set(exec);
     let surf_c: Vec<EventId> = c.surface().into_iter().filter(|z| z.index >= 1).collect();
-    let surf_cp: Vec<EventId> = cp.surface().into_iter().filter(|z| z.index >= 1).collect();
+    // The full surface of C' (⊥ entries included): Forms 1/2 test the
+    // membership of *non-⊥* events of S(C), and those can never equal a
+    // ⊥ surface entry, so the precomputed surface is used for every
+    // element instead of rebuilding S(C') per test.
+    let full_surf_cp: Vec<EventId> = cp.surface();
+    let surf_cp: Vec<EventId> = full_surf_cp
+        .iter()
+        .copied()
+        .filter(|z| z.index >= 1)
+        .collect();
     let in_surface = |surf: &[EventId], z: EventId| surf.contains(&z);
     match form {
         LlForm::Form1 => {
             surf_c
                 .iter()
-                .all(|&z| !in_surface(&cp.surface(), z) && cpset.contains(z))
+                .all(|&z| !in_surface(&full_surf_cp, z) && cpset.contains(z))
                 && !cp.is_bottom()
         }
         LlForm::Form2 => {
             let not_ll = surf_c
                 .iter()
-                .any(|&z| in_surface(&cp.surface(), z) || !cpset.contains(z))
+                .any(|&z| in_surface(&full_surf_cp, z) || !cpset.contains(z))
                 || cp.is_bottom();
             !not_ll
         }
@@ -494,11 +506,15 @@ mod tests {
     fn event_set_cut_validation() {
         let e = sample_exec();
         // Missing ⊥₂ — not a cut.
-        let mut s = Cut::from_counts(&e, vec![2, 2, 1]).unwrap().to_event_set(&e);
+        let mut s = Cut::from_counts(&e, vec![2, 2, 1])
+            .unwrap()
+            .to_event_set(&e);
         s.remove(EventId::new(2, 0));
         assert_eq!(Cut::from_event_set(&e, &s), Err(Error::NotACut));
         // Gap in the prefix — not a cut.
-        let mut s = Cut::from_counts(&e, vec![3, 1, 1]).unwrap().to_event_set(&e);
+        let mut s = Cut::from_counts(&e, vec![3, 1, 1])
+            .unwrap()
+            .to_event_set(&e);
         s.remove(EventId::new(0, 1));
         assert_eq!(Cut::from_event_set(&e, &s), Err(Error::NotACut));
     }

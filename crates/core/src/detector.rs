@@ -11,6 +11,7 @@
 //! (Theorem 20). Construct with [`Detector::without_cache`] to measure
 //! the ablation.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -20,6 +21,20 @@ use crate::execution::Execution;
 use crate::linear::Evaluator;
 use crate::nonatomic::NonatomicEvent;
 use crate::proxy_relations::{ProxyRelation, ProxySummary, RelationSet};
+
+/// How a [`Detector`] evaluates the 32 relations of a pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// 32 independent evaluations, each spending exactly its Theorem-20
+    /// comparison budget — the reference path whose counts reproduce the
+    /// paper's complexity table.
+    #[default]
+    Counted,
+    /// The fused kernel ([`Evaluator::eval_all_proxy_fused`]): identical
+    /// verdicts, shared predicate scans, fewer comparisons — the
+    /// production hot path.
+    Fused,
+}
 
 /// The relations holding between one ordered pair of nonatomic events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,10 +52,11 @@ pub struct PairReport {
 
 /// Relation detector over a fixed execution and event set (Problem 4).
 pub struct Detector<'a> {
-    exec: &'a Execution,
+    eval: Evaluator<'a>,
     events: Vec<NonatomicEvent>,
     cache: RwLock<Vec<Option<Arc<ProxySummary>>>>,
     caching: bool,
+    mode: EvalMode,
 }
 
 impl<'a> Detector<'a> {
@@ -48,10 +64,11 @@ impl<'a> Detector<'a> {
     pub fn new(exec: &'a Execution, events: Vec<NonatomicEvent>) -> Self {
         let n = events.len();
         Detector {
-            exec,
+            eval: Evaluator::new(exec),
             events,
             cache: RwLock::new(vec![None; n]),
             caching: true,
+            mode: EvalMode::Counted,
         }
     }
 
@@ -61,6 +78,17 @@ impl<'a> Detector<'a> {
         let mut d = Detector::new(exec, events);
         d.caching = false;
         d
+    }
+
+    /// Select the pair evaluation mode (builder style).
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active pair evaluation mode.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
     }
 
     /// Number of registered nonatomic events.
@@ -89,8 +117,7 @@ impl<'a> Detector<'a> {
                 return Arc::clone(s);
             }
         }
-        let ev = Evaluator::new(self.exec);
-        let s = Arc::new(ev.summarize_proxies(&self.events[i]));
+        let s = Arc::new(self.eval.summarize_proxies(&self.events[i]));
         if self.caching {
             let mut w = self.cache.write();
             if let Some(existing) = &w[i] {
@@ -114,20 +141,21 @@ impl<'a> Detector<'a> {
     pub fn holds(&self, pr: ProxyRelation, xi: usize, yi: usize) -> Result<bool> {
         self.check_index(xi)?;
         self.check_index(yi)?;
-        let ev = Evaluator::new(self.exec);
         let sx = self.summary(xi);
         let sy = self.summary(yi);
-        Ok(ev.eval_proxy(pr, &sx, &sy).holds)
+        Ok(self.eval.eval_proxy(pr, &sx, &sy).holds)
     }
 
     /// Problem 4(ii) for one pair: all relations of `ℛ` that hold.
     pub fn pair(&self, xi: usize, yi: usize) -> Result<PairReport> {
         self.check_index(xi)?;
         self.check_index(yi)?;
-        let ev = Evaluator::new(self.exec);
         let sx = self.summary(xi);
         let sy = self.summary(yi);
-        let (relations, comparisons) = ev.eval_all_proxy(&sx, &sy);
+        let (relations, comparisons) = match self.mode {
+            EvalMode::Counted => self.eval.eval_all_proxy(&sx, &sy),
+            EvalMode::Fused => self.eval.eval_all_proxy_fused(&sx, &sy),
+        };
         Ok(PairReport {
             x: xi,
             y: yi,
@@ -152,6 +180,11 @@ impl<'a> Detector<'a> {
 
     /// Parallel [`Detector::all_pairs`]: summaries are warmed up first,
     /// then the pair matrix is evaluated on `threads` worker threads.
+    ///
+    /// Work distribution is an atomic-counter work-stealing loop rather
+    /// than a static split: pair costs vary wildly with `|N_X|`/`|N_Y|`,
+    /// so workers that land on cheap pairs immediately grab the next
+    /// batch instead of idling at a chunk boundary.
     pub fn all_pairs_parallel(&self, threads: usize) -> Vec<PairReport> {
         let n = self.events.len();
         if n < 2 {
@@ -162,17 +195,45 @@ impl<'a> Detector<'a> {
             .flat_map(|x| (0..n).filter(move |&y| y != x).map(move |y| (x, y)))
             .collect();
         let threads = threads.max(1).min(pairs.len());
-        let chunk = pairs.len().div_ceil(threads);
-        let mut out: Vec<Option<PairReport>> = vec![None; pairs.len()];
-        std::thread::scope(|scope| {
-            for (slot_chunk, pair_chunk) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (slot, &(x, y)) in slot_chunk.iter_mut().zip(pair_chunk) {
-                        *slot = Some(self.pair(x, y).expect("indices in range"));
-                    }
-                });
-            }
+        if threads == 1 {
+            return pairs
+                .iter()
+                .map(|&(x, y)| self.pair(x, y).expect("indices in range"))
+                .collect();
+        }
+        // Batched claims amortize the atomic traffic while staying small
+        // enough that no worker hoards a long tail of expensive pairs.
+        let batch = (pairs.len() / (threads * 8)).clamp(1, 64);
+        let next = AtomicUsize::new(0);
+        let results: Vec<Vec<(usize, PairReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(batch, Ordering::Relaxed);
+                            if start >= pairs.len() {
+                                break;
+                            }
+                            let end = (start + batch).min(pairs.len());
+                            for (k, &(x, y)) in pairs[start..end].iter().enumerate() {
+                                let rep = self.pair(x, y).expect("indices in range");
+                                local.push((start + k, rep));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread"))
+                .collect()
         });
+        let mut out: Vec<Option<PairReport>> = vec![None; pairs.len()];
+        for (k, rep) in results.into_iter().flatten() {
+            out[k] = Some(rep);
+        }
         out.into_iter().map(|r| r.expect("filled")).collect()
     }
 
@@ -255,6 +316,31 @@ mod tests {
         for threads in [1, 2, 4, 16] {
             let par = d.all_pairs_parallel(threads);
             assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_mode_matches_counted_verdicts() {
+        let (e, evs) = setup();
+        let counted = Detector::new(&e, evs.clone());
+        let fused = Detector::new(&e, evs).with_mode(EvalMode::Fused);
+        assert_eq!(fused.mode(), EvalMode::Fused);
+        let a = counted.all_pairs();
+        let b = fused.all_pairs();
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.relations, rb.relations, "({}, {})", ra.x, ra.y);
+            assert!(rb.comparisons <= ra.comparisons, "({}, {})", ra.x, ra.y);
+        }
+    }
+
+    #[test]
+    fn parallel_fused_matches_sequential_fused() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs).with_mode(EvalMode::Fused);
+        let seq = d.all_pairs();
+        for threads in [2, 3, 8] {
+            assert_eq!(seq, d.all_pairs_parallel(threads), "threads = {threads}");
         }
     }
 

@@ -87,7 +87,10 @@ impl<'a> Diagram<'a> {
         let last_col = exec.app_order().len() + 1;
         for p in 0..p_count {
             col.insert(
-                EventId::new(p as u32, exec.len(crate::execution::ProcessId(p as u32)) - 1),
+                EventId::new(
+                    p as u32,
+                    exec.len(crate::execution::ProcessId(p as u32)) - 1,
+                ),
                 last_col,
             );
         }

@@ -89,25 +89,23 @@ pub mod timestamp;
 pub mod vclock;
 
 pub use cut::{ll, not_ll, Cut, EventSet, LlForm};
-pub use detector::{Detector, PairReport};
+pub use detector::{Detector, EvalMode, PairReport};
 pub use diagram::Diagram;
 pub use error::{Error, Result};
 pub use execution::{Event, EventId, EventKind, Execution, ExecutionBuilder, MsgToken, ProcessId};
 pub use hierarchy::{compose, implies, strongest};
-pub use linear::{
-    sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet,
-};
+pub use linear::{sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet};
 pub use nonatomic::{NonatomicEvent, ProxyDefinition};
-pub use pastfuture::{causal_past, ccf, condensation, CondensationKind};
+pub use pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
 pub use proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
 pub use relations::{naive as naive_relation, proxy_baseline, Relation};
 pub use timestamp::Timestamps;
-pub use vclock::VectorClock;
+pub use vclock::{ClockView, VectorClock};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::cut::{ll, not_ll, Cut, EventSet, LlForm};
-    pub use crate::detector::{Detector, PairReport};
+    pub use crate::detector::{Detector, EvalMode, PairReport};
     pub use crate::diagram::Diagram;
     pub use crate::error::{Error, Result};
     pub use crate::execution::{
@@ -118,9 +116,11 @@ pub mod prelude {
         sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet,
     };
     pub use crate::nonatomic::{NonatomicEvent, ProxyDefinition};
-    pub use crate::pastfuture::{causal_past, ccf, condensation, CondensationKind};
-    pub use crate::proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
+    pub use crate::pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
+    pub use crate::proxy_relations::{
+        naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet,
+    };
     pub use crate::relations::{naive as naive_relation, proxy_baseline, Relation};
     pub use crate::timestamp::Timestamps;
-    pub use crate::vclock::VectorClock;
+    pub use crate::vclock::{ClockView, VectorClock};
 }

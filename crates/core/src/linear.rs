@@ -41,42 +41,59 @@
 use crate::cut::Cut;
 use crate::execution::Execution;
 use crate::nonatomic::NonatomicEvent;
-use crate::pastfuture::{condensation, CondensationKind};
+use crate::pastfuture::{condense_into, CondensationKind};
 use crate::relations::Relation;
+
+const SEG_LO: usize = 0;
+const SEG_HI: usize = 1;
+const SEG_C1: usize = 2;
+const SEG_C2: usize = 3;
+const SEG_C3: usize = 4;
+const SEG_C4: usize = 5;
 
 /// Precomputed per-nonatomic-event data for linear-time evaluation:
 /// the node set, the per-node extremal positions, and the four
 /// condensation-cut timestamps (Key Idea 1's one-time cost).
+///
+/// All six per-node vectors (`lo`, `hi`, `C1`–`C4`) live in one flat
+/// `u32` block of `6·|P|` words, so an evaluation condition scans
+/// adjacent memory with no pointer chasing between cuts.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EventSummary {
     node_list: Vec<usize>,
-    lo: Vec<u32>,
-    hi: Vec<u32>,
-    c1: Cut,
-    c2: Cut,
-    c3: Cut,
-    c4: Cut,
+    width: usize,
+    /// `[lo | hi | c1 | c2 | c3 | c4]`, each segment `width` long.
+    data: Box<[u32]>,
 }
 
 impl EventSummary {
     /// Build the summary: `O(|N_X| · |P|)` time, `O(|P|)` space.
     pub fn new(exec: &Execution, x: &NonatomicEvent) -> Self {
         let width = exec.num_processes();
-        let mut lo = vec![0u32; width];
-        let mut hi = vec![0u32; width];
+        let mut data = vec![0u32; 6 * width].into_boxed_slice();
         for &i in x.node_set() {
-            lo[i] = x.lo(i);
-            hi[i] = x.hi(i);
+            data[SEG_LO * width + i] = x.lo(i);
+            data[SEG_HI * width + i] = x.hi(i);
+        }
+        let kinds = [
+            (SEG_C1, CondensationKind::IntersectPast),
+            (SEG_C2, CondensationKind::UnionPast),
+            (SEG_C3, CondensationKind::IntersectFuture),
+            (SEG_C4, CondensationKind::UnionFuture),
+        ];
+        for (seg, kind) in kinds {
+            condense_into(exec, x, kind, &mut data[seg * width..(seg + 1) * width]);
         }
         EventSummary {
             node_list: x.node_set().to_vec(),
-            lo,
-            hi,
-            c1: condensation(exec, x, CondensationKind::IntersectPast),
-            c2: condensation(exec, x, CondensationKind::UnionPast),
-            c3: condensation(exec, x, CondensationKind::IntersectFuture),
-            c4: condensation(exec, x, CondensationKind::UnionFuture),
+            width,
+            data,
         }
+    }
+
+    #[inline]
+    fn seg(&self, k: usize) -> &[u32] {
+        &self.data[k * self.width..(k + 1) * self.width]
     }
 
     /// The node set `N_X`, ascending.
@@ -94,37 +111,73 @@ impl EventSummary {
     /// Earliest member position at node `i` (1-indexed; 0 when absent).
     #[inline]
     pub fn lo(&self, i: usize) -> u32 {
-        self.lo[i]
+        self.data[SEG_LO * self.width + i]
     }
 
     /// Latest member position at node `i` (1-indexed; 0 when absent).
     #[inline]
     pub fn hi(&self, i: usize) -> u32 {
-        self.hi[i]
+        self.data[SEG_HI * self.width + i]
     }
 
-    /// `C1(X) = ∩⇓X`.
+    /// All per-node earliest positions, as a raw row.
     #[inline]
-    pub fn c1(&self) -> &Cut {
-        &self.c1
+    pub fn lo_row(&self) -> &[u32] {
+        self.seg(SEG_LO)
     }
 
-    /// `C2(X) = ∪⇓X`.
+    /// All per-node latest positions, as a raw row.
     #[inline]
-    pub fn c2(&self) -> &Cut {
-        &self.c2
+    pub fn hi_row(&self) -> &[u32] {
+        self.seg(SEG_HI)
     }
 
-    /// `C3(X) = ∩⇑X`.
+    /// Timestamp row of `C1(X) = ∩⇓X`.
     #[inline]
-    pub fn c3(&self) -> &Cut {
-        &self.c3
+    pub fn c1_row(&self) -> &[u32] {
+        self.seg(SEG_C1)
     }
 
-    /// `C4(X) = ∪⇑X`.
+    /// Timestamp row of `C2(X) = ∪⇓X`.
     #[inline]
-    pub fn c4(&self) -> &Cut {
-        &self.c4
+    pub fn c2_row(&self) -> &[u32] {
+        self.seg(SEG_C2)
+    }
+
+    /// Timestamp row of `C3(X) = ∩⇑X`.
+    #[inline]
+    pub fn c3_row(&self) -> &[u32] {
+        self.seg(SEG_C3)
+    }
+
+    /// Timestamp row of `C4(X) = ∪⇑X`.
+    #[inline]
+    pub fn c4_row(&self) -> &[u32] {
+        self.seg(SEG_C4)
+    }
+
+    /// `C1(X) = ∩⇓X` as an owned cut.
+    #[inline]
+    pub fn c1(&self) -> Cut {
+        Cut::from_counts_unchecked(self.seg(SEG_C1).to_vec())
+    }
+
+    /// `C2(X) = ∪⇓X` as an owned cut.
+    #[inline]
+    pub fn c2(&self) -> Cut {
+        Cut::from_counts_unchecked(self.seg(SEG_C2).to_vec())
+    }
+
+    /// `C3(X) = ∩⇑X` as an owned cut.
+    #[inline]
+    pub fn c3(&self) -> Cut {
+        Cut::from_counts_unchecked(self.seg(SEG_C3).to_vec())
+    }
+
+    /// `C4(X) = ∪⇑X` as an owned cut.
+    #[inline]
+    pub fn c4(&self) -> Cut {
+        Cut::from_counts_unchecked(self.seg(SEG_C4).to_vec())
     }
 }
 
@@ -155,7 +208,11 @@ pub struct ComparisonCount {
 /// The paper's Theorem-20 comparison bound for a relation.
 pub fn theorem20_bound(rel: Relation, nx: usize, ny: usize) -> u64 {
     match rel {
-        Relation::R1 | Relation::R1p | Relation::R2p | Relation::R3 | Relation::R4
+        Relation::R1
+        | Relation::R1p
+        | Relation::R2p
+        | Relation::R3
+        | Relation::R4
         | Relation::R4p => nx.min(ny) as u64,
         Relation::R2 => nx as u64,
         Relation::R3p => ny as u64,
@@ -369,11 +426,12 @@ impl<'a> Evaluator<'a> {
     ) -> Option<ComparisonCount> {
         let width = self.exec.num_processes();
         let full: Vec<usize> = (0..width).collect();
-        // ∀-style conditions driven by X's nodes: vacuous where hi_X = 0.
-        let forall_x = |cond: &dyn Fn(usize) -> bool, nodes: &[usize]| {
+        // ∀-style conditions over `lhs[i] ≥ rhs[i]`, guarded: nodes where
+        // the guard row is 0 are vacuous (only reachable via FullP).
+        let forall = |lhs: &[u32], rhs: &[u32], guard: &[u32], nodes: &[usize]| {
             let mut ok = true;
             for &i in nodes {
-                if sx.hi[i] != 0 && !cond(i) {
+                if guard[i] != 0 && lhs[i] < rhs[i] {
                     ok = false;
                 }
             }
@@ -382,24 +440,11 @@ impl<'a> Evaluator<'a> {
                 comparisons: nodes.len() as u64,
             }
         };
-        // ∀-style conditions driven by Y's nodes: vacuous where lo_Y = 0.
-        let forall_y = |cond: &dyn Fn(usize) -> bool, nodes: &[usize]| {
-            let mut ok = true;
-            for &i in nodes {
-                if sy.lo[i] != 0 && !cond(i) {
-                    ok = false;
-                }
-            }
-            ComparisonCount {
-                holds: ok,
-                comparisons: nodes.len() as u64,
-            }
-        };
-        // ∃-style single-test scans (≪̸ between two cuts).
-        let exists = |d: &Cut, f: &Cut, nodes: &[usize]| {
+        // ∃-style single-test scans (≪̸ between two cut rows).
+        let exists = |d: &[u32], f: &[u32], nodes: &[usize]| {
             let mut any = false;
             for &i in nodes {
-                if d.count(i) >= f.count(i) {
+                if d[i] >= f[i] {
                     any = true;
                 }
             }
@@ -412,13 +457,13 @@ impl<'a> Evaluator<'a> {
         Some(match (rel, scan) {
             // ---- R1 / R1': ∀x∀y --------------------------------------
             (Relation::R1 | Relation::R1p, ScanSet::NodesOfX) => {
-                forall_x(&|i| sy.c1.count(i) >= sx.hi[i], &sx.node_list)
+                forall(sy.c1_row(), sx.hi_row(), sx.hi_row(), &sx.node_list)
             }
             (Relation::R1 | Relation::R1p, ScanSet::NodesOfY) => {
-                forall_y(&|i| sy.lo[i] >= sx.c4.count(i), &sy.node_list)
+                forall(sy.lo_row(), sx.c4_row(), sy.lo_row(), &sy.node_list)
             }
             (Relation::R1 | Relation::R1p, ScanSet::FullP) => {
-                forall_x(&|i| sy.c1.count(i) >= sx.hi[i], &full)
+                forall(sy.c1_row(), sx.hi_row(), sx.hi_row(), &full)
             }
             (Relation::R1 | Relation::R1p, ScanSet::Auto) => {
                 return self.eval_scanned(
@@ -435,51 +480,47 @@ impl<'a> Evaluator<'a> {
 
             // ---- R2: ∀x∃y ---------------------------------------------
             (Relation::R2, ScanSet::NodesOfX | ScanSet::Auto) => {
-                forall_x(&|i| sy.c2.count(i) >= sx.hi[i], &sx.node_list)
+                forall(sy.c2_row(), sx.hi_row(), sx.hi_row(), &sx.node_list)
             }
-            (Relation::R2, ScanSet::FullP) => {
-                forall_x(&|i| sy.c2.count(i) >= sx.hi[i], &full)
-            }
+            (Relation::R2, ScanSet::FullP) => forall(sy.c2_row(), sx.hi_row(), sx.hi_row(), &full),
             (Relation::R2, ScanSet::NodesOfY) => return None,
 
             // ---- R2': ∃y∀x — single test ∪⇓Y ≪̸ ∪⇑X -------------------
             (Relation::R2p, ScanSet::NodesOfY | ScanSet::Auto) => {
-                exists(&sy.c2, &sx.c4, &sy.node_list)
+                exists(sy.c2_row(), sx.c4_row(), &sy.node_list)
             }
             (Relation::R2p, ScanSet::NodesOfX) => {
                 // Paper's claimed scan; unsound (see module docs).
-                exists(&sy.c2, &sx.c4, &sx.node_list)
+                exists(sy.c2_row(), sx.c4_row(), &sx.node_list)
             }
-            (Relation::R2p, ScanSet::FullP) => exists(&sy.c2, &sx.c4, &full),
+            (Relation::R2p, ScanSet::FullP) => exists(sy.c2_row(), sx.c4_row(), &full),
 
             // ---- R3: ∃x∀y — single test ∩⇓Y ≪̸ ∩⇑X ---------------------
             (Relation::R3, ScanSet::NodesOfX | ScanSet::Auto) => {
-                exists(&sy.c1, &sx.c3, &sx.node_list)
+                exists(sy.c1_row(), sx.c3_row(), &sx.node_list)
             }
             (Relation::R3, ScanSet::NodesOfY) => {
                 // Paper's claimed scan; unsound (see module docs).
-                exists(&sy.c1, &sx.c3, &sy.node_list)
+                exists(sy.c1_row(), sx.c3_row(), &sy.node_list)
             }
-            (Relation::R3, ScanSet::FullP) => exists(&sy.c1, &sx.c3, &full),
+            (Relation::R3, ScanSet::FullP) => exists(sy.c1_row(), sx.c3_row(), &full),
 
             // ---- R3': ∀y∃x ---------------------------------------------
             (Relation::R3p, ScanSet::NodesOfY | ScanSet::Auto) => {
-                forall_y(&|i| sy.lo[i] >= sx.c3.count(i), &sy.node_list)
+                forall(sy.lo_row(), sx.c3_row(), sy.lo_row(), &sy.node_list)
             }
-            (Relation::R3p, ScanSet::FullP) => {
-                forall_y(&|i| sy.lo[i] >= sx.c3.count(i), &full)
-            }
+            (Relation::R3p, ScanSet::FullP) => forall(sy.lo_row(), sx.c3_row(), sy.lo_row(), &full),
             (Relation::R3p, ScanSet::NodesOfX) => return None,
 
             // ---- R4 / R4': ∃x∃y — single test ∪⇓Y ≪̸ ∩⇑X ---------------
             (Relation::R4 | Relation::R4p, ScanSet::NodesOfX) => {
-                exists(&sy.c2, &sx.c3, &sx.node_list)
+                exists(sy.c2_row(), sx.c3_row(), &sx.node_list)
             }
             (Relation::R4 | Relation::R4p, ScanSet::NodesOfY) => {
-                exists(&sy.c2, &sx.c3, &sy.node_list)
+                exists(sy.c2_row(), sx.c3_row(), &sy.node_list)
             }
             (Relation::R4 | Relation::R4p, ScanSet::FullP) => {
-                exists(&sy.c2, &sx.c3, &full)
+                exists(sy.c2_row(), sx.c3_row(), &full)
             }
             (Relation::R4 | Relation::R4p, ScanSet::Auto) => {
                 return self.eval_scanned(
@@ -711,8 +752,12 @@ mod tests {
         let y = NonatomicEvent::new(&e, [b]).unwrap();
         let sx = ev.summarize(&x);
         let sy = ev.summarize(&y);
-        assert!(ev.eval_scanned(Relation::R2, &sx, &sy, ScanSet::NodesOfY).is_none());
-        assert!(ev.eval_scanned(Relation::R3p, &sx, &sy, ScanSet::NodesOfX).is_none());
+        assert!(ev
+            .eval_scanned(Relation::R2, &sx, &sy, ScanSet::NodesOfY)
+            .is_none());
+        assert!(ev
+            .eval_scanned(Relation::R3p, &sx, &sy, ScanSet::NodesOfX)
+            .is_none());
     }
 
     #[test]
@@ -802,14 +847,13 @@ mod tests {
                     let w = ev.witness(rel, &x, &y);
                     let expected = matches!(
                         (rel, holds),
-                        (Relation::R4 | Relation::R4p | Relation::R3 | Relation::R2p, true)
-                            | (
-                                Relation::R1
-                                    | Relation::R1p
-                                    | Relation::R2
-                                    | Relation::R3p,
-                                false
-                            )
+                        (
+                            Relation::R4 | Relation::R4p | Relation::R3 | Relation::R2p,
+                            true
+                        ) | (
+                            Relation::R1 | Relation::R1p | Relation::R2 | Relation::R3p,
+                            false
+                        )
                     );
                     assert_eq!(
                         w.is_some(),

@@ -220,7 +220,10 @@ impl NonatomicEvent {
         }
         let _ = exec;
         (self.lo[i] - 1..self.hi[i])
-            .map(|idx| EventId { process: p, index: idx })
+            .map(|idx| EventId {
+                process: p,
+                index: idx,
+            })
             .collect()
     }
 }
@@ -270,7 +273,10 @@ mod tests {
             Err(Error::DummyInNonatomicEvent(top))
         );
         let ghost = EventId::new(7, 1);
-        assert_eq!(NonatomicEvent::new(&e, [ghost]), Err(Error::UnknownEvent(ghost)));
+        assert_eq!(
+            NonatomicEvent::new(&e, [ghost]),
+            Err(Error::UnknownEvent(ghost))
+        );
     }
 
     #[test]

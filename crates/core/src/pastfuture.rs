@@ -102,24 +102,21 @@ pub fn ccf(exec: &Execution, e: EventId) -> Cut {
 
 /// `↓e` computed extensionally from the ground-truth causality relation.
 pub fn causal_past_extensional(exec: &Execution, e: EventId) -> EventSet {
-    EventSet::from_events(
-        exec,
-        exec.all_events().filter(|&f| exec.precedes_eq(f, e)),
-    )
+    EventSet::from_events(exec, exec.all_events().filter(|&f| exec.precedes_eq(f, e)))
 }
 
 /// `e⇑` computed extensionally, literally per Definition 9:
 /// `{e' | e' ⋡ e} ∪ {eᵢ | eᵢ ≽ e ∧ (∀e'ᵢ ≺ eᵢ : e'ᵢ ⋡ e)}`.
 pub fn ccf_extensional(exec: &Execution, e: EventId) -> EventSet {
-    let mut s = EventSet::from_events(
-        exec,
-        exec.all_events().filter(|&f| !exec.precedes_eq(e, f)),
-    );
+    let mut s = EventSet::from_events(exec, exec.all_events().filter(|&f| !exec.precedes_eq(e, f)));
     // The earliest event at each node that is ≽ e.
     for p in 0..exec.num_processes() {
         let pid = ProcessId(p as u32);
         for idx in 0..exec.len(pid) {
-            let f = EventId { process: pid, index: idx };
+            let f = EventId {
+                process: pid,
+                index: idx,
+            };
             if exec.precedes_eq(e, f) {
                 s.insert(f);
                 break;
@@ -133,41 +130,59 @@ pub fn ccf_extensional(exec: &Execution, e: EventId) -> EventSet {
 /// only over the per-node extremal members (§2.3): the earliest member
 /// per node for `C1`/`C3`, the latest for `C2`/`C4`.
 pub fn condensation(exec: &Execution, x: &NonatomicEvent, kind: CondensationKind) -> Cut {
-    let width = exec.num_processes();
-    let mut counts = match kind {
-        CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
-            vec![u32::MAX; width]
-        }
-        CondensationKind::UnionPast | CondensationKind::UnionFuture => vec![0u32; width],
-    };
+    let mut counts = vec![0u32; exec.num_processes()];
+    condense_into(exec, x, kind, &mut counts);
+    Cut::from_counts_unchecked(counts)
+}
+
+/// [`condensation`] writing its counts into a caller-provided row,
+/// folding timestamp arena rows directly — no per-member allocation.
+/// Used by [`crate::linear::EventSummary`] to fill its flat summary
+/// storage in place.
+pub fn condense_into(
+    exec: &Execution,
+    x: &NonatomicEvent,
+    kind: CondensationKind,
+    out: &mut [u32],
+) {
+    debug_assert_eq!(out.len(), exec.num_processes());
+    let ts = exec.timestamps();
+    let intersect = matches!(
+        kind,
+        CondensationKind::IntersectPast | CondensationKind::IntersectFuture
+    );
+    out.fill(if intersect { u32::MAX } else { 0 });
     for &n in x.node_set() {
-        let member = match kind {
-            CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
-                x.earliest_at(n).expect("node in N_X")
-            }
-            CondensationKind::UnionPast | CondensationKind::UnionFuture => {
-                x.latest_at(n).expect("node in N_X")
-            }
+        let member = if intersect {
+            x.earliest_at(n).expect("node in N_X")
+        } else {
+            x.latest_at(n).expect("node in N_X")
         };
-        let member_cut = match kind {
-            CondensationKind::IntersectPast | CondensationKind::UnionPast => {
-                causal_past(exec, member)
-            }
-            CondensationKind::IntersectFuture | CondensationKind::UnionFuture => {
-                ccf(exec, member)
-            }
-        };
-        for (i, slot) in counts.iter_mut().enumerate() {
-            let c = member_cut.count(i);
-            *slot = match kind {
-                CondensationKind::IntersectPast | CondensationKind::IntersectFuture => {
-                    (*slot).min(c)
+        match kind {
+            CondensationKind::IntersectPast => {
+                for (slot, &c) in out.iter_mut().zip(ts.forward_row(member)) {
+                    *slot = (*slot).min(c);
                 }
-                CondensationKind::UnionPast | CondensationKind::UnionFuture => (*slot).max(c),
-            };
+            }
+            CondensationKind::UnionPast => {
+                for (slot, &c) in out.iter_mut().zip(ts.forward_row(member)) {
+                    *slot = (*slot).max(c);
+                }
+            }
+            CondensationKind::IntersectFuture => {
+                for (i, (slot, &r)) in out.iter_mut().zip(ts.reverse_row(member)).enumerate() {
+                    let c = exec.len(ProcessId(i as u32)) - r + 1;
+                    *slot = (*slot).min(c);
+                }
+            }
+            CondensationKind::UnionFuture => {
+                for (i, (slot, &r)) in out.iter_mut().zip(ts.reverse_row(member)).enumerate() {
+                    let c = exec.len(ProcessId(i as u32)) - r + 1;
+                    *slot = (*slot).max(c);
+                }
+            }
         }
     }
-    Cut::from_counts_unchecked(counts)
 }
 
 /// A condensation cut computed extensionally, literally per the set
@@ -411,7 +426,10 @@ mod tests {
         // linear-time scans guard-free (see crate::linear).
         let (e, evs) = exec3();
         let x = NonatomicEvent::new(&e, [evs[0], evs[6]]).unwrap();
-        for kind in [CondensationKind::IntersectFuture, CondensationKind::UnionFuture] {
+        for kind in [
+            CondensationKind::IntersectFuture,
+            CondensationKind::UnionFuture,
+        ] {
             let c = condensation(&e, &x, kind);
             for i in 0..e.num_processes() {
                 assert!(c.count(i) >= 2, "{}[{i}] ≥ 2", kind.symbol());

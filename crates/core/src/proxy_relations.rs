@@ -107,7 +107,11 @@ impl ProxyRelation {
         let r = Relation::ALL[i % 8];
         let combo = i / 8;
         let xp = if combo / 2 == 0 { Proxy::L } else { Proxy::U };
-        let yp = if combo.is_multiple_of(2) { Proxy::L } else { Proxy::U };
+        let yp = if combo.is_multiple_of(2) {
+            Proxy::L
+        } else {
+            Proxy::U
+        };
         ProxyRelation::new(r, xp, yp)
     }
 }
@@ -250,11 +254,12 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate all 32 relations; returns the set that holds and the
     /// total comparison count (Problem 4(ii) for one pair).
-    pub fn eval_all_proxy(
-        &self,
-        sx: &ProxySummary,
-        sy: &ProxySummary,
-    ) -> (RelationSet, u64) {
+    ///
+    /// This is the **unfused** path: 32 independent [`Evaluator::eval_proxy`]
+    /// calls, each spending exactly its Theorem-20 comparison budget — the
+    /// reference for the paper's complexity measurements. The production
+    /// hot path is [`Evaluator::eval_all_proxy_fused`].
+    pub fn eval_all_proxy(&self, sx: &ProxySummary, sy: &ProxySummary) -> (RelationSet, u64) {
         let mut set = RelationSet::empty();
         let mut comparisons = 0;
         for pr in ProxyRelation::all() {
@@ -265,6 +270,107 @@ impl<'a> Evaluator<'a> {
             comparisons += c.comparisons;
         }
         (set, comparisons)
+    }
+
+    /// Fused evaluation of all 32 relations: per proxy combination
+    /// `(X̂, Ŷ)`, the six distinct cut predicates behind the eight
+    /// Table-1 verdicts are computed in two node-restricted scans over
+    /// adjacent summary rows, and the 8 `RelationSet` bits are derived
+    /// from them. Verdict-equivalent to [`Evaluator::eval_all_proxy`]
+    /// (same Auto scan sides), but shares work across relations:
+    ///
+    /// * R1 and R1' are one predicate (identical evaluation condition),
+    ///   as are R4 and R4';
+    /// * the `N_X` scan fuses R2 (`∪⇓Y ≥ hi_X`, ∀) with R3
+    ///   (`∩⇓Y ≥ ∩⇑X`, ∃) — both read the same `ex` / `ey` rows;
+    /// * the `N_Y` scan fuses R2' (`∪⇓Y ≥ ∪⇑X`, ∃) with R3'
+    ///   (`lo_Y ≥ ∩⇑X`, ∀);
+    /// * R1/R4 ride along on whichever scan is shorter (their Auto
+    ///   side, `min(|N_X|, |N_Y|)`).
+    ///
+    /// The per-node `hi`/`lo` guards of the unfused path are dropped:
+    /// per-node proxies always have a member on every node of their node
+    /// set, so the guards are vacuously true on the restricted scans.
+    ///
+    /// Returns the relation set and the number of integer comparisons
+    /// actually spent: `4·(2|N_X| + 2|N_Y| + 2·min(|N_X|, |N_Y|))`,
+    /// versus the unfused `4·(2|N_X| + 2|N_Y| + 4·min(|N_X|, |N_Y|))`.
+    pub fn eval_all_proxy_fused(&self, sx: &ProxySummary, sy: &ProxySummary) -> (RelationSet, u64) {
+        let mut bits = 0u32;
+        let mut comparisons = 0u64;
+        // Combo order matches ProxyRelation::index: (xp·2 + yp)·8 + rel.
+        for (combo, (xp, yp)) in [
+            (Proxy::L, Proxy::L),
+            (Proxy::L, Proxy::U),
+            (Proxy::U, Proxy::L),
+            (Proxy::U, Proxy::U),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let ex = sx.get(xp);
+            let ey = sy.get(yp);
+            let nx = ex.node_set();
+            let ny = ey.node_set();
+            let x_min = nx.len() <= ny.len();
+
+            let (ex_hi, ex_c3, ex_c4) = (ex.hi_row(), ex.c3_row(), ex.c4_row());
+            let (ey_lo, ey_c1, ey_c2) = (ey.lo_row(), ey.c1_row(), ey.c2_row());
+
+            let mut r1 = true;
+            let mut r2 = true;
+            let mut r2p = false;
+            let mut r3 = false;
+            let mut r3p = true;
+            let mut r4 = false;
+
+            // Scan over N_X: R2 (∀), R3 (∃); R1/R4 when X is the short side.
+            if x_min {
+                for &i in nx {
+                    r1 &= ey_c1[i] >= ex_hi[i];
+                    r2 &= ey_c2[i] >= ex_hi[i];
+                    r3 |= ey_c1[i] >= ex_c3[i];
+                    r4 |= ey_c2[i] >= ex_c3[i];
+                }
+                comparisons += 4 * nx.len() as u64;
+            } else {
+                for &i in nx {
+                    r2 &= ey_c2[i] >= ex_hi[i];
+                    r3 |= ey_c1[i] >= ex_c3[i];
+                }
+                comparisons += 2 * nx.len() as u64;
+            }
+
+            // Scan over N_Y: R2' (∃), R3' (∀); R1/R4 when Y is the short side.
+            if x_min {
+                for &j in ny {
+                    r2p |= ey_c2[j] >= ex_c4[j];
+                    r3p &= ey_lo[j] >= ex_c3[j];
+                }
+                comparisons += 2 * ny.len() as u64;
+            } else {
+                for &j in ny {
+                    r1 &= ey_lo[j] >= ex_c4[j];
+                    r2p |= ey_c2[j] >= ex_c4[j];
+                    r3p &= ey_lo[j] >= ex_c3[j];
+                    r4 |= ey_c2[j] >= ex_c3[j];
+                }
+                comparisons += 4 * ny.len() as u64;
+            }
+
+            // Bit layout within the combo follows Relation::ALL:
+            // [R1, R1', R2, R2', R3, R3', R4, R4'].
+            let base = combo as u32 * 8;
+            bits |= (r1 as u32) << base;
+            bits |= (r1 as u32) << (base + 1);
+            bits |= (r2 as u32) << (base + 2);
+            bits |= (r2p as u32) << (base + 3);
+            bits |= (r3 as u32) << (base + 4);
+            bits |= (r3p as u32) << (base + 5);
+            bits |= (r4 as u32) << (base + 6);
+            bits |= (r4 as u32) << (base + 7);
+        }
+        (RelationSet(bits), comparisons)
     }
 }
 
@@ -361,16 +467,60 @@ mod tests {
                 let sy = ev.summarize_proxies(&y);
                 let (set, _) = ev.eval_all_proxy(&sx, &sy);
                 for pr in ProxyRelation::all() {
-                    let want =
-                        naive_proxy(&e, pr, &x, &y, ProxyDefinition::PerNode).unwrap();
-                    assert_eq!(
-                        set.contains(pr),
-                        want,
-                        "{pr} on X={xm:b} Y={ym:b}"
-                    );
+                    let want = naive_proxy(&e, pr, &x, &y, ProxyDefinition::PerNode).unwrap();
+                    assert_eq!(set.contains(pr), want, "{pr} on X={xm:b} Y={ym:b}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_matches_unfused_exhaustive() {
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let xs: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| xm & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let ys: Vec<EventId> = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| ym & (1 << k) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let x = NonatomicEvent::new(&e, xs).unwrap();
+                let y = NonatomicEvent::new(&e, ys).unwrap();
+                let sx = ev.summarize_proxies(&x);
+                let sy = ev.summarize_proxies(&y);
+                let (unfused, cmp_unfused) = ev.eval_all_proxy(&sx, &sy);
+                let (fused, cmp_fused) = ev.eval_all_proxy_fused(&sx, &sy);
+                assert_eq!(fused, unfused, "verdicts on X={xm:b} Y={ym:b}");
+                assert!(
+                    cmp_fused <= cmp_unfused,
+                    "fused {cmp_fused} > unfused {cmp_unfused} on X={xm:b} Y={ym:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_comparison_formula() {
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        let x = NonatomicEvent::new(&e, [pool[0], pool[1]]).unwrap();
+        let y = NonatomicEvent::new(&e, [pool[2], pool[4], pool[5]]).unwrap();
+        let sx = ev.summarize_proxies(&x);
+        let sy = ev.summarize_proxies(&y);
+        let (nx, ny) = (x.node_count() as u64, y.node_count() as u64);
+        let (_, cmp) = ev.eval_all_proxy_fused(&sx, &sy);
+        assert_eq!(cmp, 4 * (2 * nx + 2 * ny + 2 * nx.min(ny)));
     }
 
     #[test]

@@ -177,16 +177,12 @@ pub fn proxy_baseline(
     let ye_hi = || y.node_set().iter().map(|&j| y.latest_at(j).unwrap());
     let ye_lo = || y.node_set().iter().map(|&j| y.earliest_at(j).unwrap());
     let holds = match rel {
-        Relation::R1 | Relation::R1p => {
-            xe_hi().all(|xe| ye_lo().all(|ye| exec.precedes(xe, ye)))
-        }
+        Relation::R1 | Relation::R1p => xe_hi().all(|xe| ye_lo().all(|ye| exec.precedes(xe, ye))),
         Relation::R2 => xe_hi().all(|xe| ye_hi().any(|ye| exec.precedes(xe, ye))),
         Relation::R2p => ye_hi().any(|ye| xe_hi().all(|xe| exec.precedes(xe, ye))),
         Relation::R3 => xe_lo().any(|xe| ye_lo().all(|ye| exec.precedes(xe, ye))),
         Relation::R3p => ye_lo().all(|ye| xe_lo().any(|xe| exec.precedes(xe, ye))),
-        Relation::R4 | Relation::R4p => {
-            xe_lo().any(|xe| ye_hi().any(|ye| exec.precedes(xe, ye)))
-        }
+        Relation::R4 | Relation::R4p => xe_lo().any(|xe| ye_hi().any(|ye| exec.precedes(xe, ye))),
     };
     (holds, checks)
 }
@@ -329,11 +325,7 @@ mod tests {
                 let y = NonatomicEvent::new(&e, ys).unwrap();
                 for rel in Relation::ALL {
                     let (b, checks) = proxy_baseline(&e, rel, &x, &y);
-                    assert_eq!(
-                        b,
-                        naive(&e, rel, &x, &y),
-                        "{rel} on X={xm:b} Y={ym:b}"
-                    );
+                    assert_eq!(b, naive(&e, rel, &x, &y), "{rel} on X={xm:b} Y={ym:b}");
                     assert_eq!(checks, (x.node_count() * y.node_count()) as u64);
                 }
             }

@@ -13,19 +13,34 @@
 //! `(E, ≺)` is isomorphic to `(𝒯, <)` where `𝒯 = {T(e)}` and `<` is the
 //! strict component-wise vector order; both structures are established in
 //! a single forward and a single backward pass over the trace.
+//!
+//! ## Storage layout
+//!
+//! All timestamps live in two flat `u32` arenas (one forward, one
+//! reverse), row-major with stride `|P|`: the row of event `(p, i)`
+//! starts at `(row_base[p] + i) · |P|`. Consecutive events of a process
+//! occupy consecutive rows, so the per-process scans of the relation
+//! evaluation machinery walk adjacent memory with zero pointer chasing.
+//! Rows are exposed as `&[u32]` ([`Timestamps::forward_row`]) or as the
+//! `Copy` comparison wrapper [`ClockView`].
 
 use crate::execution::{EventId, EventKind, Message};
-use crate::vclock::VectorClock;
+use crate::vclock::ClockView;
 
-/// Forward and reverse vector timestamps for every event of an execution.
+/// Forward and reverse vector timestamps for every event of an execution,
+/// stored in two contiguous row-major arenas.
 ///
 /// Owned by [`crate::execution::Execution`]; establishing it is the
 /// "one-time cost" of §2.3, amortized over all later relation evaluations
 /// (Key Idea 1).
 #[derive(Clone, Debug)]
 pub struct Timestamps {
-    forward: Vec<Vec<VectorClock>>,
-    reverse: Vec<Vec<VectorClock>>,
+    /// Clock width `|P|` — also the arena row stride.
+    width: usize,
+    /// First row of each process's chain within the arenas.
+    row_base: Vec<usize>,
+    forward: Box<[u32]>,
+    reverse: Box<[u32]>,
 }
 
 impl Timestamps {
@@ -39,92 +54,158 @@ impl Timestamps {
         order: &[EventId],
     ) -> Timestamps {
         let width = kinds.len();
-        let ones = VectorClock::ones(width);
+        let mut row_base = Vec::with_capacity(width);
+        let mut rows = 0usize;
+        for k in kinds {
+            row_base.push(rows);
+            rows += k.len();
+        }
+        fn row(base: &[u32], r: usize, width: usize) -> &[u32] {
+            &base[r * width..(r + 1) * width]
+        }
+        // Rows are computed into a scratch buffer and copied in, because a
+        // row under construction may read rows at arbitrary offsets (the
+        // matching send/receive event's row).
+        let mut scratch = vec![0u32; width];
 
         // ---- forward pass -------------------------------------------------
-        let mut forward: Vec<Vec<VectorClock>> = kinds
-            .iter()
-            .map(|k| vec![VectorClock::zero(width); k.len()])
-            .collect();
+        let mut forward = vec![0u32; rows * width].into_boxed_slice();
         // T(⊥ᵢ) = unit vector at i.
-        for (p, fwd) in forward.iter_mut().enumerate() {
-            fwd[0] = VectorClock::unit(width, p);
+        for (p, &base) in row_base.iter().enumerate() {
+            forward[base * width + p] = 1;
         }
         for &e in order {
             let p = e.process.idx();
             let i = e.index as usize;
             // Local predecessor, floored at all-ones (⊥ⱼ ≺ e for every j).
-            let mut v = forward[p][i - 1].join(&ones);
-            if let EventKind::Recv { msg } = kinds[p][i] {
-                let s = messages[msg as usize].send;
-                let sv = forward[s.process.idx()][s.index as usize].clone();
-                v.join_assign(&sv);
+            for (s, &v) in scratch
+                .iter_mut()
+                .zip(row(&forward, row_base[p] + i - 1, width))
+            {
+                *s = v.max(1);
             }
-            v.tick(p);
-            forward[p][i] = v;
+            if let EventKind::Recv { msg } = kinds[p][i] {
+                let snd = messages[msg as usize].send;
+                let srow = row(
+                    &forward,
+                    row_base[snd.process.idx()] + snd.index as usize,
+                    width,
+                );
+                for (s, &v) in scratch.iter_mut().zip(srow) {
+                    *s = (*s).max(v);
+                }
+            }
+            scratch[p] += 1;
+            let o = (row_base[p] + i) * width;
+            forward[o..o + width].copy_from_slice(&scratch);
         }
         // T(⊤ᵢ)[j] = |E_j| − 1 for j ≠ i (everything except ⊤ⱼ), |E_i| at i.
-        for p in 0..width {
+        for (p, &base) in row_base.iter().enumerate() {
             let last = kinds[p].len() - 1;
-            let mut v = VectorClock::from_components(
-                kinds.iter().map(|k| k.len() as u32 - 1).collect(),
-            );
-            v.components_mut()[p] = kinds[p].len() as u32;
-            forward[p][last] = v;
+            let o = (base + last) * width;
+            for (j, slot) in forward[o..o + width].iter_mut().enumerate() {
+                *slot = kinds[j].len() as u32 - 1;
+            }
+            forward[o + p] = kinds[p].len() as u32;
         }
 
         // ---- reverse pass -------------------------------------------------
-        let mut reverse: Vec<Vec<VectorClock>> = kinds
-            .iter()
-            .map(|k| vec![VectorClock::zero(width); k.len()])
-            .collect();
+        let mut reverse = vec![0u32; rows * width].into_boxed_slice();
         // Tᴿ(⊤ᵢ) = unit vector at i.
-        for (p, rev) in reverse.iter_mut().enumerate() {
+        for (p, &base) in row_base.iter().enumerate() {
             let last = kinds[p].len() - 1;
-            rev[last] = VectorClock::unit(width, p);
+            reverse[(base + last) * width + p] = 1;
         }
         for &e in order.iter().rev() {
             let p = e.process.idx();
             let i = e.index as usize;
             // Local successor, floored at all-ones (e ≺ ⊤ⱼ for every j).
-            let mut v = reverse[p][i + 1].join(&ones);
+            for (s, &v) in scratch
+                .iter_mut()
+                .zip(row(&reverse, row_base[p] + i + 1, width))
+            {
+                *s = v.max(1);
+            }
             if let EventKind::Send { msg } = kinds[p][i] {
                 if let Some(r) = messages[msg as usize].recv {
-                    let rv = reverse[r.process.idx()][r.index as usize].clone();
-                    v.join_assign(&rv);
+                    let rrow = row(
+                        &reverse,
+                        row_base[r.process.idx()] + r.index as usize,
+                        width,
+                    );
+                    for (s, &v) in scratch.iter_mut().zip(rrow) {
+                        *s = (*s).max(v);
+                    }
                 }
             }
-            v.tick(p);
-            reverse[p][i] = v;
+            scratch[p] += 1;
+            let o = (row_base[p] + i) * width;
+            reverse[o..o + width].copy_from_slice(&scratch);
         }
         // Tᴿ(⊥ᵢ)[j] = |E_j| − 1 for j ≠ i (everything except ⊥ⱼ), |E_i| at i.
-        for p in 0..width {
-            let mut v = VectorClock::from_components(
-                kinds.iter().map(|k| k.len() as u32 - 1).collect(),
-            );
-            v.components_mut()[p] = kinds[p].len() as u32;
-            reverse[p][0] = v;
+        for (p, &base) in row_base.iter().enumerate() {
+            let o = base * width;
+            for (j, slot) in reverse[o..o + width].iter_mut().enumerate() {
+                *slot = kinds[j].len() as u32 - 1;
+            }
+            reverse[o + p] = kinds[p].len() as u32;
         }
 
-        Timestamps { forward, reverse }
+        Timestamps {
+            width,
+            row_base,
+            forward,
+            reverse,
+        }
     }
 
-    /// Number of processes `|P|` (the clock width).
+    /// Number of processes `|P|` (the clock width and the arena stride).
     #[inline]
     pub fn width(&self) -> usize {
-        self.forward.len()
+        self.width
+    }
+
+    #[inline]
+    fn offset(&self, e: EventId) -> usize {
+        (self.row_base[e.process.idx()] + e.index as usize) * self.width
+    }
+
+    /// Forward timestamp row `T(e)` as a raw arena slice.
+    #[inline]
+    pub fn forward_row(&self, e: EventId) -> &[u32] {
+        let o = self.offset(e);
+        &self.forward[o..o + self.width]
+    }
+
+    /// Reverse timestamp row `Tᴿ(e)` as a raw arena slice.
+    #[inline]
+    pub fn reverse_row(&self, e: EventId) -> &[u32] {
+        let o = self.offset(e);
+        &self.reverse[o..o + self.width]
     }
 
     /// Forward timestamp `T(e)`.
     #[inline]
-    pub fn forward(&self, e: EventId) -> &VectorClock {
-        &self.forward[e.process.idx()][e.index as usize]
+    pub fn forward(&self, e: EventId) -> ClockView<'_> {
+        ClockView::new(self.forward_row(e))
     }
 
     /// Reverse timestamp `Tᴿ(e)`.
     #[inline]
-    pub fn reverse(&self, e: EventId) -> &VectorClock {
-        &self.reverse[e.process.idx()][e.index as usize]
+    pub fn reverse(&self, e: EventId) -> ClockView<'_> {
+        ClockView::new(self.reverse_row(e))
+    }
+
+    /// Single component `T(e)[i]` without forming a row view.
+    #[inline]
+    pub fn forward_component(&self, e: EventId, i: usize) -> u32 {
+        self.forward[self.offset(e) + i]
+    }
+
+    /// Single component `Tᴿ(e)[i]` without forming a row view.
+    #[inline]
+    pub fn reverse_component(&self, e: EventId, i: usize) -> u32 {
+        self.reverse[self.offset(e) + i]
     }
 }
 
@@ -267,5 +348,51 @@ mod tests {
         // Process 1 has only dummies; its ⊤ still sees all of p0 except ⊤₀.
         assert_eq!(e.clock(e.top(ProcessId(1))).components(), &[2, 2]);
         assert_eq!(e.clock(e.bottom(ProcessId(1))).components(), &[0, 1]);
+    }
+
+    #[test]
+    fn rows_are_contiguous_per_process() {
+        // Consecutive events of a process occupy consecutive arena rows.
+        let mut bld = ExecutionBuilder::new(3);
+        bld.internal(1);
+        bld.internal(1);
+        let (_, m) = bld.send(0);
+        bld.recv(2, m).unwrap();
+        let e = bld.build().unwrap();
+        let ts = e.timestamps();
+        for p in 0..3 {
+            let pid = ProcessId(p as u32);
+            for i in 0..e.len(pid) - 1 {
+                let a = ts
+                    .forward_row(EventId {
+                        process: pid,
+                        index: i,
+                    })
+                    .as_ptr();
+                let b = ts
+                    .forward_row(EventId {
+                        process: pid,
+                        index: i + 1,
+                    })
+                    .as_ptr();
+                assert_eq!(unsafe { a.add(ts.width()) }, b, "p{p} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn component_accessors_match_rows() {
+        let mut bld = ExecutionBuilder::new(2);
+        let a = bld.internal(0);
+        let (_, m) = bld.send(0);
+        let r = bld.recv(1, m).unwrap();
+        let e = bld.build().unwrap();
+        let ts = e.timestamps();
+        for ev in [a, r] {
+            for i in 0..2 {
+                assert_eq!(ts.forward_component(ev, i), ts.forward_row(ev)[i]);
+                assert_eq!(ts.reverse_component(ev, i), ts.reverse_row(ev)[i]);
+            }
+        }
     }
 }

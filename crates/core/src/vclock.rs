@@ -13,6 +13,122 @@ use std::ops::Index;
 
 use serde::{Deserialize, Serialize};
 
+/// `a ≤ b` component-wise over raw timestamp rows.
+#[inline]
+pub(crate) fn row_le(a: &[u32], b: &[u32]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// A borrowed, `Copy` view of a timestamp row in the flat arena
+/// (see [`crate::timestamp::Timestamps`]).
+///
+/// Supports the same comparison algebra as [`VectorClock`] without
+/// owning its components: the row lives contiguously inside the arena,
+/// so a comparison is a branch-light scan over adjacent memory.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ClockView<'a>(&'a [u32]);
+
+impl<'a> ClockView<'a> {
+    /// Wrap a raw timestamp row.
+    #[inline]
+    pub fn new(row: &'a [u32]) -> Self {
+        ClockView(row)
+    }
+
+    /// Number of components (`|P|`).
+    #[inline]
+    pub fn width(self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw components, borrowing from the arena (not from `self`).
+    #[inline]
+    pub fn components(self) -> &'a [u32] {
+        self.0
+    }
+
+    /// Copy into an owned [`VectorClock`].
+    pub fn to_clock(self) -> VectorClock {
+        VectorClock(self.0.to_vec())
+    }
+
+    /// `self ≤ other` component-wise.
+    #[inline]
+    pub fn le(self, other: ClockView<'_>) -> bool {
+        row_le(self.0, other.0)
+    }
+
+    /// Strict vector order: `self ≤ other` and `self ≠ other`.
+    ///
+    /// Under the isomorphism of Definition 13 this is exactly the
+    /// causality relation `≺` between the timestamped events.
+    #[inline]
+    pub fn lt(self, other: ClockView<'_>) -> bool {
+        self.le(other) && self.0 != other.0
+    }
+
+    /// Neither `self ≤ other` nor `other ≤ self`: the timestamped events
+    /// are concurrent (incomparable under `≺`).
+    #[inline]
+    pub fn concurrent(self, other: ClockView<'_>) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+impl Index<usize> for ClockView<'_> {
+    type Output = u32;
+
+    #[inline]
+    fn index(&self, i: usize) -> &u32 {
+        &self.0[i]
+    }
+}
+
+impl PartialEq<VectorClock> for ClockView<'_> {
+    fn eq(&self, other: &VectorClock) -> bool {
+        self.0 == other.components()
+    }
+}
+
+impl PartialEq<ClockView<'_>> for VectorClock {
+    fn eq(&self, other: &ClockView<'_>) -> bool {
+        self.components() == other.0
+    }
+}
+
+impl PartialOrd for ClockView<'_> {
+    /// The component-wise partial order. Returns `None` for concurrent
+    /// (incomparable) clocks.
+    fn partial_cmp(&self, other: &ClockView<'_>) -> Option<Ordering> {
+        match (row_le(self.0, other.0), row_le(other.0, self.0)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for ClockView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.0)
+    }
+}
+
+impl fmt::Display for ClockView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// A vector timestamp: one non-negative counter per process.
 ///
 /// Component `i` counts events of process `i` (including the dummy `⊥ᵢ`)
@@ -97,10 +213,16 @@ impl VectorClock {
         self.0[at] += 1;
     }
 
+    /// A borrowed [`ClockView`] of this clock's components.
+    #[inline]
+    pub fn as_view(&self) -> ClockView<'_> {
+        ClockView(&self.0)
+    }
+
     /// `self ≤ other` component-wise.
     pub fn le(&self, other: &VectorClock) -> bool {
         debug_assert_eq!(self.width(), other.width());
-        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        row_le(&self.0, &other.0)
     }
 
     /// Strict vector order: `self ≤ other` and `self ≠ other`.
@@ -246,5 +368,24 @@ mod tests {
         let a = VectorClock::from_components(vec![1, 2, 3]);
         assert_eq!(a.to_string(), "(1,2,3)");
         assert_eq!(format!("{a:?}"), "VC[1, 2, 3]");
+    }
+
+    #[test]
+    fn view_mirrors_owned_comparisons() {
+        let a = VectorClock::from_components(vec![1, 2, 3]);
+        let b = VectorClock::from_components(vec![2, 2, 3]);
+        let c = VectorClock::from_components(vec![3, 1, 0]);
+        let (va, vb, vc) = (a.as_view(), b.as_view(), c.as_view());
+        assert!(va.le(vb) && va.lt(vb) && !vb.lt(va));
+        assert!(!va.lt(va) && va.le(va));
+        assert!(va.concurrent(vc) == a.concurrent(&c));
+        assert_eq!(va.partial_cmp(&vb), a.partial_cmp(&b));
+        assert_eq!(va.partial_cmp(&vc), a.partial_cmp(&c));
+        assert_eq!(va[1], 2);
+        assert_eq!(va.width(), 3);
+        assert_eq!(va.to_clock(), a);
+        assert!(va == a && a == va);
+        assert_eq!(va.to_string(), a.to_string());
+        assert_eq!(format!("{va:?}"), format!("{a:?}"));
     }
 }

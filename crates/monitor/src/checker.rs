@@ -9,13 +9,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use synchrel_core::{
-    naive_relation, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary,
-    Relation,
+    naive_relation, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary, Relation,
 };
 
 use crate::spec::{Condition, Spec};
@@ -120,6 +120,80 @@ impl<'a> Checker<'a> {
         Some(s)
     }
 
+    /// Compute all bound events' proxy summaries now, on `threads`
+    /// workers pulling names off a shared atomic counter (the checker's
+    /// analogue of [`synchrel_core::Detector::warm_up`]). Summary cost
+    /// varies with each event's node count, so work-stealing keeps all
+    /// workers busy to the end.
+    pub fn warm_up(&self, threads: usize) {
+        let names: Vec<&str> = self.bindings.keys().map(String::as_str).collect();
+        let threads = threads.max(1).min(names.len());
+        if threads <= 1 {
+            for name in names {
+                let _ = self.summary(name);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = names.get(i) else { break };
+                    let _ = self.summary(name);
+                });
+            }
+        });
+    }
+
+    /// Check a whole spec with summaries warmed up on `threads` workers
+    /// and the independent requirements evaluated concurrently.
+    pub fn check_parallel(&self, spec: &Spec, threads: usize) -> CheckReport {
+        self.warm_up(threads);
+        let threads = threads.max(1).min(spec.requirements.len());
+        if threads <= 1 {
+            return self.check(spec);
+        }
+        let mut conditions: Vec<Option<ConditionReport>> = vec![None; spec.requirements.len()];
+        let next = AtomicUsize::new(0);
+        let results: Vec<Vec<(usize, ConditionReport)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(r) = spec.requirements.get(i) else {
+                                break;
+                            };
+                            let (holds, detail) = self.eval(&r.condition);
+                            local.push((
+                                i,
+                                ConditionReport {
+                                    name: r.name.clone(),
+                                    holds,
+                                    detail,
+                                },
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("checker worker"))
+                .collect()
+        });
+        for (i, rep) in results.into_iter().flatten() {
+            conditions[i] = Some(rep);
+        }
+        CheckReport {
+            spec: spec.name.clone(),
+            conditions: conditions.into_iter().map(|c| c.expect("filled")).collect(),
+        }
+    }
+
     /// Check a whole spec.
     pub fn check(&self, spec: &Spec) -> CheckReport {
         CheckReport {
@@ -193,10 +267,7 @@ impl<'a> Checker<'a> {
                         let (ba, _) = self.eval_rel(Relation::R1, b, a);
                         if !ab && !ba {
                             let w = self.overlap_witness(a, b);
-                            return (
-                                false,
-                                format!("'{a}' and '{b}' are not exclusive{w}"),
-                            );
+                            return (false, format!("'{a}' and '{b}' are not exclusive{w}"));
                         }
                     }
                 }
@@ -405,6 +476,25 @@ mod tests {
         let (h, d) = ch.eval(&Condition::rel(Relation::R1, "a", "ghost"));
         assert!(!h);
         assert!(d.contains("unbound"), "{d}");
+    }
+
+    #[test]
+    fn parallel_check_matches_sequential() {
+        let (e, defs) = setup();
+        let ch = checker(&e, &defs);
+        let spec = Spec::new("par")
+            .require("ordering", Condition::rel(Relation::R1, "a", "b"))
+            .require("reverse", Condition::rel(Relation::R1, "b", "a"))
+            .require("exclusion", Condition::mutex(["a", "c"]))
+            .require("chain", Condition::ordered(["a", "b"]));
+        let seq = ch.check(&spec);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                seq,
+                ch.check_parallel(&spec, threads),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -151,18 +151,9 @@ mod tests {
         let c2 = bld.internal(0);
         let e = bld.build().unwrap();
         let sections = vec![
-            (
-                "A".to_string(),
-                NonatomicEvent::new(&e, [a1, a2]).unwrap(),
-            ),
-            (
-                "B".to_string(),
-                NonatomicEvent::new(&e, [b1, b2]).unwrap(),
-            ),
-            (
-                "C".to_string(),
-                NonatomicEvent::new(&e, [c1, c2]).unwrap(),
-            ),
+            ("A".to_string(), NonatomicEvent::new(&e, [a1, a2]).unwrap()),
+            ("B".to_string(), NonatomicEvent::new(&e, [b1, b2]).unwrap()),
+            ("C".to_string(), NonatomicEvent::new(&e, [c1, c2]).unwrap()),
         ];
         let rep = check_mutual_exclusion(&e, &sections);
         assert!(rep.holds(), "{rep}");

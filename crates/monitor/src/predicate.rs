@@ -69,9 +69,7 @@ pub fn possibly_overlap(exec: &Execution, intervals: &[LocalInterval]) -> Possib
             // Some start knows more of process i than I_i's end: find it.
             let blocking_j = intervals
                 .iter()
-                .position(|other| {
-                    exec.clock(other.first)[i] > iv.last.pos_count()
-                })
+                .position(|other| exec.clock(other.first)[i] > iv.last.pos_count())
                 .expect("the violating start exists");
             return PossiblyReport {
                 possible: false,
@@ -91,11 +89,7 @@ pub fn possibly_overlap(exec: &Execution, intervals: &[LocalInterval]) -> Possib
 /// surface lies within the intervals (exponential; for tests).
 pub fn possibly_overlap_bruteforce(exec: &Execution, intervals: &[LocalInterval]) -> bool {
     // Candidate surface positions per interval (1-indexed counts).
-    fn rec(
-        exec: &Execution,
-        intervals: &[LocalInterval],
-        chosen: &mut Vec<u32>,
-    ) -> bool {
+    fn rec(exec: &Execution, intervals: &[LocalInterval], chosen: &mut Vec<u32>) -> bool {
         let k = chosen.len();
         if k == intervals.len() {
             // Consistency: every chosen surface event's knowledge of any
@@ -176,7 +170,11 @@ mod tests {
         let i0_strict = LocalInterval::new(a1, a1).unwrap();
         let rep2 = possibly_overlap(&e, &[i0_strict, i1]);
         assert!(!rep2.possible);
-        assert_eq!(rep2.blocking, Some((1, 0)), "I_1's start knows past I_0's end");
+        assert_eq!(
+            rep2.blocking,
+            Some((1, 0)),
+            "I_1's start knows past I_0's end"
+        );
         assert!(!possibly_overlap_bruteforce(&e, &[i0_strict, i1]));
         assert!(possibly_overlap_bruteforce(&e, &[i0, i1]));
     }

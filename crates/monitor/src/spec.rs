@@ -259,7 +259,10 @@ mod tests {
                 "ordered",
                 Condition::proxy_rel(Relation::R3, Proxy::L, Proxy::U, "p", "q"),
             )
-            .require("safe", Condition::not(Condition::rel(Relation::R4, "q", "p")));
+            .require(
+                "safe",
+                Condition::not(Condition::rel(Relation::R4, "q", "p")),
+            );
         let json = serde_json::to_string_pretty(&s).unwrap();
         let back: Spec = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

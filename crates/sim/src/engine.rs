@@ -231,7 +231,11 @@ impl Simulation {
     }
 
     /// Append several actions to process `p`'s script.
-    pub fn extend(&mut self, p: usize, actions: impl IntoIterator<Item = Action>) -> &mut Simulation {
+    pub fn extend(
+        &mut self,
+        p: usize,
+        actions: impl IntoIterator<Item = Action>,
+    ) -> &mut Simulation {
         self.scripts[p].extend(actions);
         self
     }
@@ -254,7 +258,10 @@ impl Simulation {
                 };
                 if let Some(q) = peer {
                     if q >= n {
-                        return Err(SimError::BadPeer { process: p, peer: q });
+                        return Err(SimError::BadPeer {
+                            process: p,
+                            peer: q,
+                        });
                     }
                 }
             }
@@ -420,7 +427,9 @@ mod tests {
         sim.push(1, Action::recv());
         assert_eq!(
             sim.run().unwrap_err(),
-            SimError::Deadlock { waiting: vec![0, 1] }
+            SimError::Deadlock {
+                waiting: vec![0, 1]
+            }
         );
     }
 
@@ -430,7 +439,10 @@ mod tests {
         sim.push(0, Action::send(3));
         assert_eq!(
             sim.run().unwrap_err(),
-            SimError::BadPeer { process: 0, peer: 3 }
+            SimError::BadPeer {
+                process: 0,
+                peer: 3
+            }
         );
     }
 

@@ -28,10 +28,7 @@ pub struct Scenario {
 impl Scenario {
     /// Look up an action by name.
     pub fn action(&self, name: &str) -> Option<&NonatomicEvent> {
-        self.actions
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, e)| e)
+        self.actions.iter().find(|(n, _)| n == name).map(|(_, e)| e)
     }
 
     fn collect(
@@ -80,7 +77,7 @@ pub fn air_defence() -> Result<Scenario, SimError> {
     sim.push(2, Action::compute(4).label("engage_a")); // launch
     sim.push(2, Action::compute(6).label("engage_a")); // guide
     sim.push(2, Action::send(1).label("engage_a")); // report
-    // Command: assess the engagement report, task battery B as follow-up.
+                                                    // Command: assess the engagement report, task battery B as follow-up.
     sim.push(1, Action::recv_from(2).label("reassess"));
     sim.push(1, Action::compute(3).label("reassess"));
     sim.push(1, Action::send(3).label("reassess"));
@@ -121,7 +118,13 @@ pub fn multimedia(chunks: usize) -> Result<Scenario, SimError> {
         sim.push(2, Action::compute(2).label(p.clone())); // render
     }
     let labels: Vec<String> = (0..chunks)
-        .flat_map(|k| [format!("video{k}"), format!("audio{k}"), format!("present{k}")])
+        .flat_map(|k| {
+            [
+                format!("video{k}"),
+                format!("audio{k}"),
+                format!("present{k}"),
+            ]
+        })
         .collect();
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
     Scenario::collect(
@@ -160,7 +163,13 @@ pub fn process_control(rounds: usize) -> Result<Scenario, SimError> {
         sim.push(2, Action::recv_from(3));
     }
     let labels: Vec<String> = (0..rounds)
-        .flat_map(|k| [format!("sample{k}"), format!("control{k}"), format!("actuate{k}")])
+        .flat_map(|k| {
+            [
+                format!("sample{k}"),
+                format!("control{k}"),
+                format!("actuate{k}"),
+            ]
+        })
         .collect();
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
     Scenario::collect(

@@ -448,9 +448,19 @@ mod tests {
         }
         // Item 0 starts before item 1 at every stage: R2 holds
         // (each event of item0 precedes something of item1 downstream)…
-        assert!(naive_relation(&w.exec, Relation::R4, &w.events[0], &w.events[1]));
+        assert!(naive_relation(
+            &w.exec,
+            Relation::R4,
+            &w.events[0],
+            &w.events[1]
+        ));
         // …and item 1 cannot fully precede item 0.
-        assert!(!naive_relation(&w.exec, Relation::R4, &w.events[3], &w.events[0]));
+        assert!(!naive_relation(
+            &w.exec,
+            Relation::R4,
+            &w.events[3],
+            &w.events[0]
+        ));
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn main() {
             Condition::mutex(["engage_a", "engage_b"]),
         );
 
-    println!("\nspec as JSON:\n{}\n", serde_json::to_string_pretty(&spec).unwrap());
+    println!(
+        "\nspec as JSON:\n{}\n",
+        serde_json::to_string_pretty(&spec).unwrap()
+    );
 
     let checker = Checker::new(
         &s.result.exec,
@@ -68,5 +71,9 @@ fn main() {
     let rep = mutex::check_mutual_exclusion(&s.result.exec, &sections);
     println!("{rep}");
 
-    std::process::exit(if report.all_hold() && rep.holds() { 0 } else { 1 });
+    std::process::exit(if report.all_hold() && rep.holds() {
+        0
+    } else {
+        1
+    });
 }

@@ -54,7 +54,10 @@ fn main() {
 
     // Final assertions, as a monitor deployment would enforce.
     assert_eq!(m.check(Relation::R1, "votes", "decision"), Verdict::Holds);
-    assert_eq!(m.check(Relation::R3p, "decision", "applied"), Verdict::Holds);
+    assert_eq!(
+        m.check(Relation::R3p, "decision", "applied"),
+        Verdict::Holds
+    );
     assert_eq!(
         m.check(Relation::R4, "applied", "votes"),
         Verdict::Violated,

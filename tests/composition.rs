@@ -12,7 +12,12 @@ use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
 fn draw_triple(
     seed: u64,
     processes: usize,
-) -> Option<(synchrel_core::Execution, NonatomicEvent, NonatomicEvent, NonatomicEvent)> {
+) -> Option<(
+    synchrel_core::Execution,
+    NonatomicEvent,
+    NonatomicEvent,
+    NonatomicEvent,
+)> {
     let w = random(&RandomConfig {
         processes,
         events_per_process: 10,

@@ -6,12 +6,12 @@ use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use synchrel_core::cut::ll_extensional;
 use synchrel_core::pastfuture::condensation_extensional;
 use synchrel_core::{
-    causal_past, ccf, condensation, ll, CondensationKind, Cut, Execution, LlForm,
-    NonatomicEvent, ProcessId,
+    causal_past, ccf, condensation, ll, CondensationKind, Cut, Execution, LlForm, NonatomicEvent,
+    ProcessId,
 };
-use synchrel_core::cut::ll_extensional;
 use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
 
 fn draw_exec(seed: u64, processes: usize) -> Execution {

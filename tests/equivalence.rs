@@ -6,12 +6,12 @@
 //! bounds.
 
 use proptest::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use synchrel_core::{
-    implies, naive_proxy, naive_relation, proxy_baseline, sound_bound, Evaluator,
-    NonatomicEvent, ProxyDefinition, ProxyRelation, Relation, ScanSet,
+    implies, naive_proxy, naive_relation, proxy_baseline, sound_bound, Evaluator, NonatomicEvent,
+    ProxyDefinition, ProxyRelation, Relation, ScanSet,
 };
 use synchrel_sim::workload::{random, random_nonatomic, RandomConfig};
 

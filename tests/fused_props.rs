@@ -1,0 +1,147 @@
+//! Property suite for the fused 32-relation kernel (and the arena
+//! timestamps beneath it), on randomized executions:
+//!
+//! * **fused ≡ unfused** — `eval_all_proxy_fused` returns exactly the
+//!   relation set of the 32 independent `eval_proxy` calls, never
+//!   spending more comparisons;
+//! * **unfused ≡ naive** — each linear-time verdict agrees with the
+//!   quantifier-expansion ground truth over per-node proxies;
+//! * **exact counts** — the unfused path spends exactly the sound
+//!   comparison budget per relation, which coincides with the paper's
+//!   Theorem-20 table for every relation except R2'/R3 (the documented
+//!   discrepancy, where the sound bound is `|N_Y|` / `|N_X|`);
+//! * **detector modes** — `EvalMode::Fused` (sequential and
+//!   work-stealing parallel) reports the same relation sets as the
+//!   default counted mode.
+
+use proptest::prelude::*;
+
+use synchrel_core::{
+    naive_proxy, sound_bound, theorem20_bound, Detector, EvalMode, Evaluator, ProxyDefinition,
+    ProxyRelation, Relation,
+};
+use synchrel_sim::workload::{random_with_events, RandomConfig, Workload};
+
+fn gen_workload(seed: u64, processes: usize, events_per_process: usize) -> Workload {
+    random_with_events(
+        &RandomConfig {
+            processes,
+            events_per_process,
+            message_prob: 0.35,
+            seed,
+        },
+        5,
+        (processes / 2).max(1),
+        3,
+    )
+}
+
+fn check_workload(w: &Workload) -> Result<(), TestCaseError> {
+    let ev = Evaluator::new(&w.exec);
+    let summaries: Vec<_> = w.events.iter().map(|e| ev.summarize_proxies(e)).collect();
+
+    for (xi, sx) in summaries.iter().enumerate() {
+        for (yi, sy) in summaries.iter().enumerate() {
+            if xi == yi {
+                continue;
+            }
+            let (fused_set, fused_cmp) = ev.eval_all_proxy_fused(sx, sy);
+            let (unfused_set, unfused_cmp) = ev.eval_all_proxy(sx, sy);
+            prop_assert_eq!(
+                fused_set,
+                unfused_set,
+                "fused vs unfused on pair ({}, {})",
+                xi,
+                yi
+            );
+            prop_assert!(
+                fused_cmp <= unfused_cmp,
+                "fused spent {} > unfused {} on pair ({}, {})",
+                fused_cmp,
+                unfused_cmp,
+                xi,
+                yi
+            );
+
+            // The linear evaluators are specified for disjoint operands
+            // only; compare against ground truth where that holds.
+            let disjoint = !w.events[xi].overlaps(&w.events[yi]);
+            for pr in ProxyRelation::all() {
+                let c = ev.eval_proxy(pr, sx, sy);
+                prop_assert_eq!(
+                    fused_set.contains(pr),
+                    c.holds,
+                    "{} disagrees on pair ({}, {})",
+                    pr,
+                    xi,
+                    yi
+                );
+
+                if disjoint {
+                    let ground = naive_proxy(
+                        &w.exec,
+                        pr,
+                        &w.events[xi],
+                        &w.events[yi],
+                        ProxyDefinition::PerNode,
+                    )
+                    .expect("per-node proxies exist");
+                    prop_assert_eq!(c.holds, ground, "{} vs naive on pair ({}, {})", pr, xi, yi);
+                }
+
+                // Per-node proxies share the base event's node set, so
+                // the bound arguments are the events' node counts.
+                let nx = w.events[xi].node_count();
+                let ny = w.events[yi].node_count();
+                prop_assert_eq!(
+                    c.comparisons,
+                    sound_bound(pr.rel, nx, ny),
+                    "{} count on pair ({}, {})",
+                    pr,
+                    xi,
+                    yi
+                );
+                if !matches!(pr.rel, Relation::R2p | Relation::R3) {
+                    prop_assert_eq!(c.comparisons, theorem20_bound(pr.rel, nx, ny));
+                }
+            }
+        }
+    }
+
+    // Detector-level: fused mode (sequential and parallel) reports the
+    // same relation sets as the counted reference.
+    let counted = Detector::new(&w.exec, w.events.clone());
+    let fused = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+    let ref_reports = counted.all_pairs();
+    let fused_seq = fused.all_pairs();
+    let fused_par = fused.all_pairs_parallel(4);
+    prop_assert_eq!(fused_seq.clone(), fused_par);
+    prop_assert_eq!(ref_reports.len(), fused_seq.len());
+    for (a, b) in ref_reports.iter().zip(&fused_seq) {
+        prop_assert_eq!(a.relations, b.relations, "pair ({}, {})", a.x, a.y);
+        prop_assert!(b.comparisons <= a.comparisons, "pair ({}, {})", a.x, a.y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_unfused_naive_agree(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_workload(&w)?;
+    }
+}
+
+/// One deterministic run so plain `cargo test` exercises the property
+/// even if proptest were filtered out.
+#[test]
+fn fixed_seed_smoke() {
+    let w = gen_workload(0xC0FFEE, 5, 8);
+    check_workload(&w).unwrap();
+}

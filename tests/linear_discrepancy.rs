@@ -69,8 +69,14 @@ fn r2p_has_no_sound_nx_side_test() {
     let y_b = NonatomicEvent::new(&eb, [yb1, yb2]).unwrap();
 
     // Ground truth differs.
-    assert!(naive_relation(&ea, Relation::R2p, &x_a, &y_a), "A: R2' holds");
-    assert!(!naive_relation(&eb, Relation::R2p, &x_b, &y_b), "B: R2' fails");
+    assert!(
+        naive_relation(&ea, Relation::R2p, &x_a, &y_a),
+        "A: R2' holds"
+    );
+    assert!(
+        !naive_relation(&eb, Relation::R2p, &x_b, &y_b),
+        "B: R2' fails"
+    );
 
     // Everything an N_X-side test may read is identical.
     let eva = Evaluator::new(&ea);
@@ -147,7 +153,10 @@ fn r3_has_no_sound_ny_side_test() {
     let y_b = NonatomicEvent::new(&eb, [yb1, yb2]).unwrap();
 
     assert!(naive_relation(&ea, Relation::R3, &x_a, &y_a), "A: R3 holds");
-    assert!(!naive_relation(&eb, Relation::R3, &x_b, &y_b), "B: R3 fails");
+    assert!(
+        !naive_relation(&eb, Relation::R3, &x_b, &y_b),
+        "B: R3 fails"
+    );
 
     let eva = Evaluator::new(&ea);
     let evb = Evaluator::new(&eb);

@@ -102,9 +102,8 @@ fn online_matches_offline(seed: u64, processes: usize) -> Result<(), TestCaseErr
     let phases = per_process_phases(&w.exec, 3);
     prop_assume!(phases.len() >= 2);
     // Map each event to its phase label.
-    let label_of = |e: synchrel_core::EventId| -> Option<usize> {
-        phases.iter().position(|p| p.contains(e))
-    };
+    let label_of =
+        |e: synchrel_core::EventId| -> Option<usize> { phases.iter().position(|p| p.contains(e)) };
     let mut mon = OnlineMonitor::new(processes);
     let mut tokens: Vec<Option<synchrel_monitor::online::OnlineMsg>> = Vec::new();
     for &e in w.exec.app_order() {
@@ -139,16 +138,12 @@ fn online_matches_offline(seed: u64, processes: usize) -> Result<(), TestCaseErr
             for rel in Relation::ALL {
                 let want = naive_relation(&w.exec, rel, x, y);
                 let got = mon.check(rel, &format!("ph{i}"), &format!("ph{j}"));
-                let expect = if want { Verdict::Holds } else { Verdict::Violated };
-                prop_assert_eq!(
-                    got,
-                    expect,
-                    "{} (ph{}, ph{}) seed {}",
-                    rel,
-                    i,
-                    j,
-                    seed
-                );
+                let expect = if want {
+                    Verdict::Holds
+                } else {
+                    Verdict::Violated
+                };
+                prop_assert_eq!(got, expect, "{} (ph{}, ph{}) seed {}", rel, i, j, seed);
             }
         }
     }

@@ -53,9 +53,12 @@ fn replay_with_checks(seed: u64, processes: usize) -> Result<(), TestCaseError> 
                 Some(&prev) => {
                     // Stability: a decided verdict may never change.
                     prop_assert_eq!(
-                        ev.verdict, prev,
+                        ev.verdict,
+                        prev,
                         "watch {} flipped from {:?} to {:?}",
-                        ev.name, prev, ev.verdict
+                        ev.name,
+                        prev,
+                        ev.verdict
                     );
                 }
             }

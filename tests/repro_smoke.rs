@@ -52,6 +52,13 @@ fn problem4_runs() {
 }
 
 #[test]
+fn pairs_throughput_runs() {
+    let s = experiments::pairs::run_to(1, None);
+    assert!(s.contains("seq fused p/s"), "{s}");
+    assert!(s.contains("ring"), "{s}");
+}
+
+#[test]
 fn setup_amortizes() {
     let s = experiments::setup::run(1);
     assert!(s.contains("one-time costs"), "{s}");
