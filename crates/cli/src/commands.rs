@@ -7,6 +7,7 @@ use synchrel_core::{
     strongest, Detector, Diagram, EvalMode, Evaluator, Execution, NonatomicEvent, Proxy,
     ProxyRelation, Relation,
 };
+use synchrel_monitor::differential::{run_case, run_seeds, shrink, DiffCase, Mismatch};
 use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
 use synchrel_sim::format::TraceFile;
@@ -39,6 +40,12 @@ commands:
   overlap <trace.json> <A> <B> [C...]
                          could the named events all be in progress
                          simultaneously? (exit 1 if impossible)
+  fuzz [--seed S] [--cases N] [--faults auto|on|off] [--case C]
+                         differential fuzzing: random fault-injected
+                         executions checked across every evaluator;
+                         on mismatch, shrinks and prints the minimal
+                         failing scenario with its repro seed (exit 1).
+                         --case replays one exact case seed
   relations              list the eight relations and their conditions
 ";
 
@@ -57,6 +64,7 @@ pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
         "analyze" => analyze(&rest),
         "check" => check(&rest),
         "overlap" => overlap(&rest),
+        "fuzz" => fuzz(&rest),
         "relations" => {
             relations_table();
             Ok(ExitCode::SUCCESS)
@@ -336,6 +344,92 @@ fn overlap(a: &Args) -> Result<ExitCode, AnyError> {
              (interval {j} starts causally after interval {i} ends)"
         );
         Ok(ExitCode::from(1))
+    }
+}
+
+/// Parse a seed in decimal or `0x`-prefixed hex.
+fn parse_seed(key: &str, v: &str) -> Result<u64, AnyError> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| Box::new(ArgError::BadValue(key.to_string(), v.to_string())) as AnyError)
+}
+
+/// Print a shrunk mismatch as a fully reproducible scenario.
+fn report_mismatch(m: &Mismatch, force_faults: Option<bool>) {
+    let case = DiffCase::configure(m.seed, force_faults);
+    println!("differential MISMATCH (after shrinking):");
+    println!("  seed:      {:#x}", m.seed);
+    println!(
+        "  scenario:  {} processes x {} steps, {} interval labels",
+        case.processes, case.steps, case.labels
+    );
+    match &case.faults {
+        Some(plan) => println!("  faults:    {plan:?}"),
+        None => println!("  faults:    none (quiet run, timeout resolution only)"),
+    }
+    println!("  detail:    {}", m.detail);
+    let faults_flag = match force_faults {
+        Some(true) => " --faults on",
+        Some(false) => " --faults off",
+        None => "",
+    };
+    println!("reproduce: synchrel fuzz --case {:#x}{faults_flag}", m.seed);
+}
+
+fn fuzz(a: &Args) -> Result<ExitCode, AnyError> {
+    let force_faults = match a.opt("faults").unwrap_or("auto") {
+        "auto" => None,
+        "on" => Some(true),
+        "off" => Some(false),
+        other => {
+            return Err(Box::new(ArgError::Unknown(format!(
+                "faults mode '{other}'"
+            ))))
+        }
+    };
+    if let Some(v) = a.opt("case") {
+        // Replay (and re-shrink) one exact case seed.
+        let seed = parse_seed("case", v)?;
+        return Ok(match run_case(&DiffCase::configure(seed, force_faults)) {
+            Ok(o) => {
+                println!(
+                    "case {seed:#x}: OK ({} pairs checked{})",
+                    o.pairs,
+                    if o.skipped {
+                        ", skipped: <2 intervals"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(m) => {
+                report_mismatch(&shrink(m, force_faults), force_faults);
+                ExitCode::from(1)
+            }
+        });
+    }
+    let seed = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 0xD1FF_0001,
+    };
+    let cases: u64 = a.num("cases", 1000)?;
+    match run_seeds(seed, cases, force_faults) {
+        Ok(stats) => {
+            println!(
+                "fuzz OK: {} cases ({} skipped), {} interval pairs cross-checked \
+                 against the oracle, zero mismatches [base seed {seed:#x}]",
+                stats.cases, stats.skipped, stats.pairs
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(m) => {
+            // run_seeds already shrank the failure.
+            report_mismatch(&m, force_faults);
+            Ok(ExitCode::from(1))
+        }
     }
 }
 

@@ -234,6 +234,33 @@ fn overlap_detects_possibility() {
 }
 
 #[test]
+fn fuzz_small_sweep_passes() {
+    let o = run(&["fuzz", "--seed", "0xC11F", "--cases", "25"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let s = stdout(&o);
+    assert!(s.contains("fuzz OK: 25 cases"), "{s}");
+    assert!(s.contains("zero mismatches"), "{s}");
+}
+
+#[test]
+fn fuzz_single_case_replays() {
+    // The same case seed, hex or decimal, replays identically.
+    let hex = run(&["fuzz", "--case", "0x7F", "--faults", "on"]);
+    let dec = run(&["fuzz", "--case", "127", "--faults", "on"]);
+    assert!(hex.status.success(), "{}", stdout(&hex));
+    assert_eq!(stdout(&hex), stdout(&dec));
+    assert!(stdout(&hex).contains("case 0x7f: OK"), "{}", stdout(&hex));
+}
+
+#[test]
+fn fuzz_rejects_bad_flags() {
+    let o = run(&["fuzz", "--faults", "maybe"]);
+    assert_eq!(o.status.code(), Some(2));
+    let o = run(&["fuzz", "--seed", "banana"]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_command_errors() {
     let o = run(&["frobnicate"]);
     assert_eq!(o.status.code(), Some(2));

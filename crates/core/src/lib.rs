@@ -50,6 +50,8 @@
 //! * [`hierarchy`] — the implication hierarchy between the relations;
 //! * [`detector`] — Problem 4: detecting one/all relations over a set `𝒜`
 //!   of nonatomic events with cached cut timestamps (Key Idea 1);
+//! * [`oracle`] — a brute-force causality-matrix oracle for differential
+//!   conformance testing of every optimized path;
 //! * [`diagram`] — ASCII space-time diagrams for executions and cuts
 //!   (used to regenerate Figures 1–3).
 //!
@@ -82,6 +84,7 @@ pub mod execution;
 pub mod hierarchy;
 pub mod linear;
 pub mod nonatomic;
+pub mod oracle;
 pub mod pastfuture;
 pub mod proxy_relations;
 pub mod relations;
@@ -96,6 +99,7 @@ pub use execution::{Event, EventId, EventKind, Execution, ExecutionBuilder, MsgT
 pub use hierarchy::{compose, implies, strongest};
 pub use linear::{sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet};
 pub use nonatomic::{NonatomicEvent, ProxyDefinition};
+pub use oracle::Oracle;
 pub use pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
 pub use proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
 pub use relations::{naive as naive_relation, proxy_baseline, Relation};
@@ -116,6 +120,7 @@ pub mod prelude {
         sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet,
     };
     pub use crate::nonatomic::{NonatomicEvent, ProxyDefinition};
+    pub use crate::oracle::Oracle;
     pub use crate::pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
     pub use crate::proxy_relations::{
         naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet,

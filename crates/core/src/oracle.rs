@@ -1,0 +1,245 @@
+//! A brute-force conformance oracle for differential testing.
+//!
+//! The oracle deliberately shares **no machinery** with the optimized
+//! evaluation paths: it materializes the full causality closure over
+//! application events as an explicit boolean matrix and answers every
+//! relation query by literal quantifier enumeration over member pairs
+//! (`O(|X|·|Y|)` lookups). It is the slowest evaluator in the crate and
+//! exists only to be obviously correct — the differential harness in
+//! `synchrel-monitor` checks that the Theorem-19/20 linear conditions,
+//! the fused 32-relation kernel, the [`crate::detector::Detector`]
+//! modes, and the online monitor all agree with it on randomized
+//! (fault-injected) executions.
+//!
+//! The matrix itself can be cross-checked against the timestamp-free
+//! graph search [`Execution::precedes_slow`] with
+//! [`Oracle::verify_against_slow`], closing the loop: quantifiers are
+//! checked against the matrix, the matrix against the raw poset edges.
+
+use std::collections::BTreeMap;
+
+use crate::execution::{EventId, Execution};
+use crate::nonatomic::{NonatomicEvent, ProxyDefinition};
+use crate::proxy_relations::{Proxy, ProxyRelation, RelationSet};
+use crate::relations::Relation;
+
+/// The materialized causality closure over application events.
+#[derive(Clone, Debug)]
+pub struct Oracle {
+    events: Vec<EventId>,
+    index: BTreeMap<EventId, usize>,
+    matrix: Vec<bool>,
+}
+
+impl Oracle {
+    /// Build the full `n × n` closure matrix over the application events
+    /// of `exec`.
+    pub fn new(exec: &Execution) -> Oracle {
+        let events: Vec<EventId> = exec.app_events().collect();
+        let index: BTreeMap<EventId, usize> =
+            events.iter().enumerate().map(|(k, &e)| (e, k)).collect();
+        let n = events.len();
+        let mut matrix = vec![false; n * n];
+        for (i, &e) in events.iter().enumerate() {
+            for (j, &f) in events.iter().enumerate() {
+                matrix[i * n + j] = exec.precedes(e, f);
+            }
+        }
+        Oracle {
+            events,
+            index,
+            matrix,
+        }
+    }
+
+    /// Number of application events covered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the oracle over an empty execution?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Matrix lookup of `e ≺ f`. Panics if either event is a dummy or
+    /// outside the execution the oracle was built from.
+    pub fn precedes(&self, e: EventId, f: EventId) -> bool {
+        let i = self.index[&e];
+        let j = self.index[&f];
+        self.matrix[i * self.events.len() + j]
+    }
+
+    /// Cross-check the matrix against the timestamp-free graph search.
+    /// Returns the first disagreeing pair, if any.
+    pub fn verify_against_slow(&self, exec: &Execution) -> Result<(), (EventId, EventId)> {
+        for &e in &self.events {
+            for &f in &self.events {
+                if self.precedes(e, f) != exec.precedes_slow(e, f) {
+                    return Err((e, f));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Literal quantifier evaluation of a Table-1 relation over member
+    /// pairs, using only matrix lookups.
+    pub fn relation(&self, rel: Relation, x: &NonatomicEvent, y: &NonatomicEvent) -> bool {
+        let xs: Vec<EventId> = x.events().collect();
+        let ys: Vec<EventId> = y.events().collect();
+        let pre = |a: EventId, b: EventId| self.precedes(a, b);
+        match rel {
+            Relation::R1 | Relation::R1p => xs.iter().all(|&xe| ys.iter().all(|&ye| pre(xe, ye))),
+            Relation::R2 => xs.iter().all(|&xe| ys.iter().any(|&ye| pre(xe, ye))),
+            Relation::R2p => ys.iter().any(|&ye| xs.iter().all(|&xe| pre(xe, ye))),
+            Relation::R3 => xs.iter().any(|&xe| ys.iter().all(|&ye| pre(xe, ye))),
+            Relation::R3p => ys.iter().all(|&ye| xs.iter().any(|&xe| pre(xe, ye))),
+            Relation::R4 | Relation::R4p => xs.iter().any(|&xe| ys.iter().any(|&ye| pre(xe, ye))),
+        }
+    }
+
+    /// Evaluate one relation of `ℛ` by materializing the Definition-2
+    /// proxies and enumerating their member pairs.
+    pub fn proxy_relation(
+        &self,
+        exec: &Execution,
+        pr: ProxyRelation,
+        x: &NonatomicEvent,
+        y: &NonatomicEvent,
+    ) -> bool {
+        let xh = match pr.x_proxy {
+            Proxy::L => x.proxy_lower(exec, ProxyDefinition::PerNode),
+            Proxy::U => x.proxy_upper(exec, ProxyDefinition::PerNode),
+        }
+        .expect("per-node proxies always exist");
+        let yh = match pr.y_proxy {
+            Proxy::L => y.proxy_lower(exec, ProxyDefinition::PerNode),
+            Proxy::U => y.proxy_upper(exec, ProxyDefinition::PerNode),
+        }
+        .expect("per-node proxies always exist");
+        self.relation(pr.rel, &xh, &yh)
+    }
+
+    /// Ground-truth verdicts for all 32 relations of `ℛ` on one pair.
+    pub fn eval_all(
+        &self,
+        exec: &Execution,
+        x: &NonatomicEvent,
+        y: &NonatomicEvent,
+    ) -> RelationSet {
+        let proxies = |ev: &NonatomicEvent| {
+            (
+                ev.proxy_lower(exec, ProxyDefinition::PerNode)
+                    .expect("per-node proxies always exist"),
+                ev.proxy_upper(exec, ProxyDefinition::PerNode)
+                    .expect("per-node proxies always exist"),
+            )
+        };
+        let (lx, ux) = proxies(x);
+        let (ly, uy) = proxies(y);
+        let mut set = RelationSet::empty();
+        for pr in ProxyRelation::all() {
+            let xh = match pr.x_proxy {
+                Proxy::L => &lx,
+                Proxy::U => &ux,
+            };
+            let yh = match pr.y_proxy {
+                Proxy::L => &ly,
+                Proxy::U => &uy,
+            };
+            if self.relation(pr.rel, xh, yh) {
+                set.insert(pr);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionBuilder;
+    use crate::linear::Evaluator;
+    use crate::relations::naive;
+
+    fn pool_exec() -> (Execution, Vec<EventId>) {
+        let mut bld = ExecutionBuilder::new(3);
+        let a = bld.internal(0);
+        let (s1, m1) = bld.send(0);
+        let r1 = bld.recv(1, m1).unwrap();
+        let b = bld.internal(1);
+        let (s2, m2) = bld.send(1);
+        let r2 = bld.recv(2, m2).unwrap();
+        (bld.build().unwrap(), vec![a, s1, r1, b, s2, r2])
+    }
+
+    fn subsets(pool: &[EventId]) -> Vec<(Vec<EventId>, Vec<EventId>)> {
+        let mut out = Vec::new();
+        for xm in 1u32..(1 << pool.len()) {
+            for ym in 1u32..(1 << pool.len()) {
+                if xm & ym != 0 {
+                    continue;
+                }
+                let pick = |m: u32| -> Vec<EventId> {
+                    pool.iter()
+                        .enumerate()
+                        .filter(|(k, _)| m & (1 << k) != 0)
+                        .map(|(_, &v)| v)
+                        .collect()
+                };
+                out.push((pick(xm), pick(ym)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matrix_matches_slow_search() {
+        let (e, _) = pool_exec();
+        assert_eq!(Oracle::new(&e).verify_against_slow(&e), Ok(()));
+    }
+
+    #[test]
+    fn relation_matches_naive_exhaustive() {
+        let (e, pool) = pool_exec();
+        let oracle = Oracle::new(&e);
+        for (xs, ys) in subsets(&pool) {
+            let x = NonatomicEvent::new(&e, xs).unwrap();
+            let y = NonatomicEvent::new(&e, ys).unwrap();
+            for rel in Relation::ALL {
+                assert_eq!(
+                    oracle.relation(rel, &x, &y),
+                    naive(&e, rel, &x, &y),
+                    "{rel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_all_matches_linear_machinery() {
+        let (e, pool) = pool_exec();
+        let oracle = Oracle::new(&e);
+        let ev = Evaluator::new(&e);
+        for (xs, ys) in subsets(&pool) {
+            let x = NonatomicEvent::new(&e, xs).unwrap();
+            let y = NonatomicEvent::new(&e, ys).unwrap();
+            let sx = ev.summarize_proxies(&x);
+            let sy = ev.summarize_proxies(&y);
+            let (linear, _) = ev.eval_all_proxy(&sx, &sy);
+            let (fused, _) = ev.eval_all_proxy_fused(&sx, &sy);
+            let truth = oracle.eval_all(&e, &x, &y);
+            assert_eq!(truth, linear);
+            assert_eq!(truth, fused);
+        }
+    }
+
+    #[test]
+    fn empty_execution_oracle() {
+        let e = ExecutionBuilder::new(2).build().unwrap();
+        let oracle = Oracle::new(&e);
+        assert!(oracle.is_empty());
+        assert_eq!(oracle.verify_against_slow(&e), Ok(()));
+    }
+}

@@ -1,0 +1,526 @@
+//! Differential conformance testing across every evaluator.
+//!
+//! One `u64` seed fully determines a test case: the randomized scripts,
+//! the injected faults, the wire-level perturbation of the monitor
+//! replay — everything. A failing case therefore reproduces
+//! byte-identically from its seed alone, and shrinks by re-running the
+//! same entropy at smaller size codes.
+//!
+//! Each case cross-checks, on every ordered pair of labelled intervals
+//! of a fault-injected simulation:
+//!
+//! 1. the brute-force [`Oracle`] (quantifiers over an explicit closure
+//!    matrix; itself spot-checked against the timestamp-free graph
+//!    search) — the ground truth;
+//! 2. the unfused Theorem-20 evaluation ([`Evaluator::eval_all_proxy`]);
+//! 3. the fused 32-relation kernel
+//!    ([`Evaluator::eval_all_proxy_fused`]);
+//! 4. the [`Detector`] in both [`EvalMode`]s;
+//! 5. the [`OnlineMonitor`] fed the execution in order (exact verdicts
+//!    must match the oracle once every interval closes);
+//! 6. the [`OnlineMonitor`] fed a seed-derived *perturbed* wire stream
+//!    (reordered + duplicated reports — must still match exactly after
+//!    draining; with reports dropped and losses conceded, verdicts may
+//!    only decay to [`Verdict::Unknown`], never lie).
+//!
+//! The seed layout reserves the low 8 bits as a **size code**
+//! (process/step/label counts and the fault bit) and the rest as
+//! entropy, so [`shrink`] can search all 256 sizes of the same random
+//! case for the smallest one that still fails.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use synchrel_core::{
+    Detector, EvalMode, Evaluator, EventKind, NonatomicEvent, Oracle, ProxySummary, Relation,
+    RelationSet,
+};
+use synchrel_sim::fault::{mix, random_scripts, FaultPlan};
+use synchrel_sim::intervals::by_label;
+use synchrel_sim::{SimResult, Simulation};
+
+use crate::online::{OnlineMonitor, OnlineMsg, Verdict, WireEvent};
+
+const SALT_SCRIPTS: u64 = 0x5C21;
+const SALT_FAULTS: u64 = 0xFA01;
+const SALT_SHUFFLE: u64 = 0x5FFE;
+const SALT_DUP: u64 = 0xD0B0;
+const SALT_DROP: u64 = 0xD60F;
+const SALT_CASE: u64 = 0xCA5E;
+
+/// A fully seed-determined differential test case.
+#[derive(Clone, Debug)]
+pub struct DiffCase {
+    /// The reproducing seed (low 8 bits = size code).
+    pub seed: u64,
+    /// Number of simulated processes.
+    pub processes: usize,
+    /// Script steps per process.
+    pub steps: usize,
+    /// Number of interval labels the scripts draw from.
+    pub labels: usize,
+    /// Fault plan injected into the simulation; `None` runs quietly
+    /// (timeout-resolution only).
+    pub faults: Option<FaultPlan>,
+}
+
+impl DiffCase {
+    /// Decode a case from its seed, with the fault bit decided by the
+    /// seed itself.
+    pub fn from_seed(seed: u64) -> DiffCase {
+        DiffCase::configure(seed, None)
+    }
+
+    /// Decode a case from its seed; `force_faults` overrides the
+    /// seed's fault bit (`Some(true)` always injects, `Some(false)`
+    /// never does).
+    pub fn configure(seed: u64, force_faults: Option<bool>) -> DiffCase {
+        let code = (seed & 0xFF) as u32;
+        let processes = 2 + (code & 0b11) as usize;
+        let steps = 3 + ((code >> 2) & 0b111) as usize;
+        let labels = 2 + ((code >> 5) & 0b1) as usize;
+        let faulty = force_faults.unwrap_or(code & 0x40 != 0);
+        let faults = faulty.then(|| FaultPlan::from_seed(mix(seed >> 8, SALT_FAULTS, 0)));
+        DiffCase {
+            seed,
+            processes,
+            steps,
+            labels,
+            faults,
+        }
+    }
+
+    /// Build and run the simulation of this case.
+    fn simulate(&self) -> Result<SimResult, Mismatch> {
+        let sim: Simulation = random_scripts(
+            mix(self.seed >> 8, SALT_SCRIPTS, 0),
+            self.processes,
+            self.steps,
+            self.labels,
+        );
+        let plan = self
+            .faults
+            .clone()
+            .unwrap_or_else(|| FaultPlan::quiet(self.seed));
+        sim.with_faults(plan).run().map_err(|e| Mismatch {
+            seed: self.seed,
+            detail: format!("simulation failed to complete: {e}"),
+        })
+    }
+}
+
+/// A disagreement between evaluators, carrying the reproducing seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Seed that reproduces the failing case byte-identically.
+    pub seed: u64,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {:#x}: {}", self.seed, self.detail)
+    }
+}
+
+/// Outcome of one case that found no disagreement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// Ordered interval pairs cross-checked.
+    pub pairs: usize,
+    /// The case produced fewer than two labelled intervals and was
+    /// skipped.
+    pub skipped: bool,
+}
+
+/// Aggregate outcome of a seed sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases skipped for lack of intervals.
+    pub skipped: u64,
+    /// Total ordered pairs cross-checked.
+    pub pairs: u64,
+}
+
+fn mismatch(seed: u64, detail: String) -> Mismatch {
+    Mismatch { seed, detail }
+}
+
+/// Token-API in-order replay of `result` into a fresh monitor; returns
+/// the monitor with all `labels` closed.
+fn replay_in_order(
+    result: &SimResult,
+    processes: usize,
+    labels: &[String],
+) -> Result<OnlineMonitor, String> {
+    let mut mon = OnlineMonitor::new(processes);
+    let mut tokens: Vec<Option<OnlineMsg>> = Vec::new();
+    for &e in result.exec.app_order() {
+        let lab: Vec<&str> = result
+            .labels
+            .get(&e)
+            .map(|l| l.as_str())
+            .into_iter()
+            .collect();
+        let p = e.process.idx();
+        match result.exec.kind(e) {
+            EventKind::Internal => mon.internal(p, &lab).map_err(|e| e.to_string())?,
+            EventKind::Send { msg } => {
+                let t = mon.send(p, &lab).map_err(|e| e.to_string())?;
+                let mi = msg as usize;
+                if tokens.len() <= mi {
+                    tokens.resize(mi + 1, None);
+                }
+                tokens[mi] = Some(t);
+            }
+            EventKind::Recv { msg } => {
+                let t = tokens[msg as usize].take().ok_or("recv without send")?;
+                mon.recv(p, t, &lab).map_err(|e| e.to_string())?;
+            }
+            EventKind::Initial | EventKind::Final => unreachable!("app_order has no dummies"),
+        }
+    }
+    for l in labels {
+        mon.close(l);
+    }
+    Ok(mon)
+}
+
+/// The per-process sequence-numbered wire reports of `result`.
+fn wire_reports(result: &SimResult) -> Vec<(usize, u64, WireEvent, Vec<String>)> {
+    let exec = &result.exec;
+    let mut out = Vec::new();
+    for p in 0..exec.num_processes() {
+        for (seq, e) in exec
+            .app_events_of(synchrel_core::ProcessId(p as u32))
+            .enumerate()
+        {
+            let ev = match exec.kind(e) {
+                EventKind::Internal => WireEvent::Internal,
+                EventKind::Send { msg } => WireEvent::Send { msg: msg as u64 },
+                EventKind::Recv { msg } => WireEvent::Recv { msg: msg as u64 },
+                EventKind::Initial | EventKind::Final => unreachable!(),
+            };
+            let labels: Vec<String> = result.labels.get(&e).cloned().into_iter().collect();
+            out.push((p, seq as u64, ev, labels));
+        }
+    }
+    out
+}
+
+/// Deterministic in-place shuffle keyed by `seed`.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    for i in (1..items.len()).rev() {
+        let j = (mix(seed, SALT_SHUFFLE, i as u64) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Wire-API replay under a seed-derived perturbation. `drops` enables
+/// report loss (followed by [`OnlineMonitor::declare_lost`]).
+fn replay_perturbed(
+    result: &SimResult,
+    processes: usize,
+    labels: &[String],
+    seed: u64,
+    drops: bool,
+) -> Result<OnlineMonitor, String> {
+    let mut reports = wire_reports(result);
+    let mut total = vec![0u64; processes];
+    for &(p, ..) in &reports {
+        total[p] += 1;
+    }
+    shuffle(&mut reports, seed);
+    let mut mon = OnlineMonitor::new(processes);
+    for (i, (p, seq, ev, lab)) in reports.into_iter().enumerate() {
+        if drops && mix(seed, SALT_DROP, i as u64).is_multiple_of(10) {
+            continue;
+        }
+        let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+        mon.ingest(p, seq, ev.clone(), &refs)
+            .map_err(|e| e.to_string())?;
+        if mix(seed, SALT_DUP, i as u64).is_multiple_of(5) {
+            // A transport duplicate must be recognized and discarded.
+            match mon.ingest(p, seq, ev, &refs).map_err(|e| e.to_string())? {
+                crate::online::Ingest::Duplicate => {}
+                other => return Err(format!("duplicate report ingested as {other:?}")),
+            }
+        }
+    }
+    if drops {
+        // End-of-stream declaration: tail losses leave no gap evidence,
+        // so the monitor must be told how many reports were sent.
+        mon.declare_complete(&total).map_err(|e| e.to_string())?;
+    }
+    for l in labels {
+        mon.close(l);
+    }
+    Ok(mon)
+}
+
+/// Run one case; `Ok` carries coverage statistics, `Err` a reproducible
+/// disagreement.
+pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
+    let seed = case.seed;
+    let result = case.simulate()?;
+    let exec = &result.exec;
+
+    // Labelled intervals with at least one member.
+    let named: Vec<(String, NonatomicEvent)> = result
+        .label_names()
+        .into_iter()
+        .filter_map(|l| by_label(&result, &l).ok().map(|iv| (l, iv)))
+        .collect();
+    if named.len() < 2 {
+        return Ok(CaseOutcome {
+            pairs: 0,
+            skipped: true,
+        });
+    }
+
+    let oracle = Oracle::new(exec);
+    // Periodically close the loop down to raw poset edges.
+    if seed.is_multiple_of(64) {
+        if let Err((e, f)) = oracle.verify_against_slow(exec) {
+            return Err(mismatch(
+                seed,
+                format!("timestamp causality disagrees with graph search on ({e:?}, {f:?})"),
+            ));
+        }
+    }
+
+    let ev = Evaluator::new(exec);
+    let summaries: Vec<ProxySummary> = named
+        .iter()
+        .map(|(_, iv)| ev.summarize_proxies(iv))
+        .collect();
+    let events: Vec<NonatomicEvent> = named.iter().map(|(_, iv)| iv.clone()).collect();
+    let det_counted = Detector::new(exec, events.clone()).with_mode(EvalMode::Counted);
+    let det_fused = Detector::new(exec, events).with_mode(EvalMode::Fused);
+
+    let mut pairs = 0usize;
+    let mut truths: BTreeMap<(usize, usize), RelationSet> = BTreeMap::new();
+    for xi in 0..named.len() {
+        for yi in 0..named.len() {
+            if xi == yi {
+                continue;
+            }
+            let (xl, x) = &named[xi];
+            let (yl, y) = &named[yi];
+            let truth = oracle.eval_all(exec, x, y);
+            truths.insert((xi, yi), truth);
+            let (unfused, _) = ev.eval_all_proxy(&summaries[xi], &summaries[yi]);
+            let (fused, _) = ev.eval_all_proxy_fused(&summaries[xi], &summaries[yi]);
+            let counted = det_counted.pair(xi, yi).expect("valid indices").relations;
+            let det_f = det_fused.pair(xi, yi).expect("valid indices").relations;
+            for (name, got) in [
+                ("unfused", unfused),
+                ("fused", fused),
+                ("detector-counted", counted),
+                ("detector-fused", det_f),
+            ] {
+                if got != truth {
+                    return Err(mismatch(
+                        seed,
+                        format!(
+                            "{name} disagrees with oracle on ({xl}, {yl}): {got:?} vs {truth:?}"
+                        ),
+                    ));
+                }
+            }
+            pairs += 1;
+        }
+    }
+
+    // Online monitor, exact in-order replay: settled verdicts must
+    // equal the oracle on the eight base relations.
+    let label_names: Vec<String> = named.iter().map(|(l, _)| l.clone()).collect();
+    let mon = replay_in_order(&result, case.processes, &label_names)
+        .map_err(|e| mismatch(seed, format!("in-order replay failed: {e}")))?;
+    let check_exact_monitor = |mon: &OnlineMonitor, stage: &str| -> Result<(), Mismatch> {
+        for xi in 0..named.len() {
+            for yi in 0..named.len() {
+                if xi == yi {
+                    continue;
+                }
+                let (xl, x) = &named[xi];
+                let (yl, y) = &named[yi];
+                for rel in Relation::ALL {
+                    let want = if oracle.relation(rel, x, y) {
+                        Verdict::Holds
+                    } else {
+                        Verdict::Violated
+                    };
+                    let got = mon.check(rel, xl, yl);
+                    if got != want {
+                        return Err(mismatch(
+                            seed,
+                            format!(
+                                "{stage}: online {rel}({xl}, {yl}) = {got:?}, oracle says {want:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    check_exact_monitor(&mon, "in-order")?;
+
+    // Reordered + duplicated wire replay: after draining everything the
+    // monitor is healthy again and must be exact.
+    let mon = replay_perturbed(&result, case.processes, &label_names, seed, false)
+        .map_err(|e| mismatch(seed, format!("perturbed replay failed: {e}")))?;
+    if mon.is_degraded() {
+        return Err(mismatch(
+            seed,
+            format!(
+                "perturbed replay did not converge: {} pending, {} lost",
+                mon.pending(),
+                mon.lost()
+            ),
+        ));
+    }
+    check_exact_monitor(&mon, "perturbed")?;
+
+    // Lossy wire replay: verdicts may decay to Unknown but never lie.
+    let mon = replay_perturbed(&result, case.processes, &label_names, seed, true)
+        .map_err(|e| mismatch(seed, format!("lossy replay failed: {e}")))?;
+    for xi in 0..named.len() {
+        for yi in 0..named.len() {
+            if xi == yi {
+                continue;
+            }
+            let (xl, x) = &named[xi];
+            let (yl, y) = &named[yi];
+            for rel in Relation::ALL {
+                let truth = oracle.relation(rel, x, y);
+                let got = mon.check(rel, xl, yl);
+                let lie = match got {
+                    Verdict::Unknown => false,
+                    Verdict::Pending => true, // closed intervals never stay pending
+                    Verdict::Holds => {
+                        if mon.is_degraded() {
+                            // Only the ∃∃ witness may survive, and it
+                            // must be really true.
+                            !matches!(rel, Relation::R4 | Relation::R4p) || !truth
+                        } else {
+                            !truth
+                        }
+                    }
+                    Verdict::Violated => mon.is_degraded() || truth,
+                };
+                if lie {
+                    return Err(mismatch(
+                        seed,
+                        format!(
+                            "lossy: online {rel}({xl}, {yl}) = {got:?} but oracle says {truth} \
+                             (degraded: {})",
+                            mon.is_degraded()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    Ok(CaseOutcome {
+        pairs,
+        skipped: false,
+    })
+}
+
+/// Run `cases` seed-derived cases from `base_seed`; on failure, shrink
+/// to the smallest failing size first.
+pub fn run_seeds(
+    base_seed: u64,
+    cases: u64,
+    force_faults: Option<bool>,
+) -> Result<RunStats, Mismatch> {
+    let mut stats = RunStats::default();
+    for i in 0..cases {
+        let seed = mix(base_seed, i, SALT_CASE);
+        let case = DiffCase::configure(seed, force_faults);
+        match run_case(&case) {
+            Ok(o) => {
+                stats.cases += 1;
+                stats.pairs += o.pairs as u64;
+                if o.skipped {
+                    stats.skipped += 1;
+                }
+            }
+            Err(m) => return Err(shrink(m, force_faults)),
+        }
+    }
+    Ok(stats)
+}
+
+/// Shrink a failing case: keep its entropy, try all 256 size codes in
+/// ascending size order, and return the first (smallest) that still
+/// fails — or the original if none smaller does.
+pub fn shrink(found: Mismatch, force_faults: Option<bool>) -> Mismatch {
+    let entropy = found.seed >> 8;
+    let mut codes: Vec<u64> = (0..256).collect();
+    codes.sort_by_key(|&code| {
+        let c = DiffCase::configure(code, force_faults);
+        (c.processes * c.steps, c.labels, code as usize)
+    });
+    for code in codes {
+        let candidate = (entropy << 8) | code;
+        if candidate == found.seed {
+            break; // everything after is at least as large as the original
+        }
+        let case = DiffCase::configure(candidate, force_faults);
+        if let Err(m) = run_case(&case) {
+            return m;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_decode_deterministically() {
+        let a = DiffCase::from_seed(0xBEEF_1234);
+        let b = DiffCase::from_seed(0xBEEF_1234);
+        assert_eq!(a.processes, b.processes);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.faults, b.faults);
+        assert!(a.processes >= 2 && a.processes <= 5);
+        assert!(a.steps >= 3 && a.steps <= 10);
+    }
+
+    #[test]
+    fn force_faults_overrides_seed_bit() {
+        // Seed with the fault bit set, forced off.
+        let off = DiffCase::configure(0x40, Some(false));
+        assert!(off.faults.is_none());
+        let on = DiffCase::configure(0x00, Some(true));
+        assert!(on.faults.is_some());
+    }
+
+    #[test]
+    fn smoke_sweep_agrees() {
+        let stats = run_seeds(0xC0FFEE, 40, None).expect("no mismatches");
+        assert_eq!(stats.cases, 40);
+        assert!(stats.pairs > 0, "sweep exercised no pairs: {stats:?}");
+    }
+
+    #[test]
+    fn shrink_prefers_smaller_codes() {
+        // A fabricated mismatch at a big size code: shrink re-runs the
+        // smaller codes first; since none of them actually fails, the
+        // original comes back unchanged.
+        let big = Mismatch {
+            seed: (0xABC << 8) | 0xFF,
+            detail: "fabricated".into(),
+        };
+        assert_eq!(shrink(big.clone(), None), big);
+    }
+}

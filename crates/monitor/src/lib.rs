@@ -21,15 +21,21 @@
 //! * [`predicate`] — conjunctive global-predicate detection over local
 //!   intervals (possibly-`∧φᵢ`), solved with the condensation cut
 //!   `∪⇓S` of the interval starts.
+//! * [`differential`] — the randomized differential-conformance harness:
+//!   fault-injected simulations checked across every evaluator (naive
+//!   oracle, counted, fused, online) with single-seed reproduction and
+//!   shrinking.
 
 pub mod checker;
+pub mod differential;
 pub mod mutex;
 pub mod online;
 pub mod predicate;
 pub mod spec;
 
 pub use checker::{CheckReport, Checker, ConditionReport};
+pub use differential::{run_case, shrink, DiffCase, Mismatch};
 pub use mutex::{MutexReport, MutexViolation};
-pub use online::{OnlineMonitor, Verdict, WatchEvent};
+pub use online::{Ingest, OnlineError, OnlineMonitor, OnlineMsg, Verdict, WatchEvent, WireEvent};
 pub use predicate::{possibly_overlap, LocalInterval, PossiblyReport};
 pub use spec::{Condition, Spec};

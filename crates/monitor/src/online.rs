@@ -26,6 +26,27 @@
 //! / `R3'` query (the future-cut condensation that makes those linear is
 //! precisely what an online monitor cannot have); all other relations
 //! are linear, as offline.
+//!
+//! ## Degraded transports
+//!
+//! The token API ([`OnlineMonitor::internal`] / [`OnlineMonitor::send`]
+//! / [`OnlineMonitor::recv`]) assumes event reports reach the monitor in
+//! a valid linearization. Over a real transport they may not:
+//! [`OnlineMonitor::ingest`] accepts per-process sequence-numbered
+//! [`WireEvent`] reports in **any** order, buffering out-of-order
+//! arrivals, discarding duplicates, and applying events as their
+//! per-process prefix (and, for receives, the matching send) becomes
+//! available. Gaps that will never fill are conceded with
+//! [`OnlineMonitor::declare_lost`].
+//!
+//! While the monitor's view is degraded — events still buffered, or
+//! losses conceded — verdicts decay soundly instead of lying: applied
+//! clocks only ever *under*-approximate true causality, so a believed
+//! `x ≺ y` is always really true, while a believed `¬(x ≺ y)` may be a
+//! blind spot. Hence an `∃∃` witness ([`Relation::R4`]/[`Relation::R4p`]
+//! [`Verdict::Holds`]) survives degradation, anything else that the
+//! exact rules would settle becomes [`Verdict::Unknown`], and
+//! [`Verdict::Pending`] stays pending.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -37,12 +58,23 @@ use synchrel_core::{Relation, VectorClock};
 pub struct OnlineMsg(u64);
 
 /// Errors from feeding events to the monitor.
+///
+/// The token API ([`OnlineMonitor::internal`] / [`OnlineMonitor::send`]
+/// / [`OnlineMonitor::recv`]) returns every error **before** mutating
+/// any state — clocks, positions, intervals, and the message table are
+/// exactly as they were, so the caller may retry with corrected input.
+/// The wire API never applies the failing report (it stays buffered,
+/// visible via [`OnlineMonitor::pending`]), though reports ahead of it
+/// in the same call may already have applied.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OnlineError {
     /// Process index out of range.
     UnknownProcess(usize),
-    /// Message token unknown or already consumed.
-    BadMessage(u64),
+    /// Message token was never issued by this monitor (or a wire message
+    /// id was registered by two different sends).
+    ForgedMessage(u64),
+    /// Message token was already consumed by an earlier receive.
+    DuplicateMessage(u64),
     /// Events cannot be added to a closed interval.
     IntervalClosed(String),
 }
@@ -51,7 +83,8 @@ impl fmt::Display for OnlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OnlineError::UnknownProcess(p) => write!(f, "unknown process {p}"),
-            OnlineError::BadMessage(m) => write!(f, "bad message token {m}"),
+            OnlineError::ForgedMessage(m) => write!(f, "forged message token {m}"),
+            OnlineError::DuplicateMessage(m) => write!(f, "message token {m} already consumed"),
             OnlineError::IntervalClosed(l) => write!(f, "interval '{l}' is closed"),
         }
     }
@@ -59,7 +92,7 @@ impl fmt::Display for OnlineError {
 
 impl std::error::Error for OnlineError {}
 
-/// Three-valued verdict of an online relation query.
+/// Verdict of an online relation query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The relation holds, and no future event can change that.
@@ -68,6 +101,43 @@ pub enum Verdict {
     Violated,
     /// The truth still depends on events yet to happen.
     Pending,
+    /// The monitor's view is degraded (buffered or lost deliveries) and
+    /// the exact rules would have settled — but their answer cannot be
+    /// trusted from what was observed.
+    Unknown,
+}
+
+/// One event report on the wire, for [`OnlineMonitor::ingest`].
+///
+/// Message ids are chosen by the reporting system (globally unique per
+/// logical message); they pair a [`WireEvent::Recv`] with its
+/// [`WireEvent::Send`] across processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireEvent {
+    /// An internal event.
+    Internal,
+    /// A send of message `msg`.
+    Send {
+        /// Wire id of the sent message.
+        msg: u64,
+    },
+    /// A receive of message `msg`.
+    Recv {
+        /// Wire id of the received message.
+        msg: u64,
+    },
+}
+
+/// What [`OnlineMonitor::ingest`] did with a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ingest {
+    /// The report (and `n - 1` previously buffered followers it
+    /// unblocked) were applied; `n` events total.
+    Applied(usize),
+    /// The report arrived out of order and is buffered.
+    Buffered,
+    /// The report duplicates one already applied or buffered.
+    Duplicate,
 }
 
 /// Per-node extremal member data: 1-indexed position and the member's
@@ -156,6 +226,16 @@ pub struct OnlineMonitor {
     next_msg: u64,
     intervals: BTreeMap<String, IntervalState>,
     watches: Vec<WatchState>,
+    /// Next expected wire sequence number per process (0-based).
+    next_seq: Vec<u64>,
+    /// Out-of-order wire reports awaiting their prefix, per process.
+    held: Vec<BTreeMap<u64, (WireEvent, Vec<String>)>>,
+    /// Send clocks of applied wire sends, by wire message id.
+    wire_msgs: BTreeMap<u64, VectorClock>,
+    /// Sticky: losses were conceded, clocks may under-approximate.
+    lossy: bool,
+    /// Wire sequence slots conceded as lost.
+    lost: u64,
 }
 
 impl OnlineMonitor {
@@ -170,6 +250,11 @@ impl OnlineMonitor {
             next_msg: 0,
             intervals: BTreeMap::new(),
             watches: Vec::new(),
+            next_seq: vec![0; processes],
+            held: vec![BTreeMap::new(); processes],
+            wire_msgs: BTreeMap::new(),
+            lossy: false,
+            lost: 0,
         }
     }
 
@@ -178,10 +263,25 @@ impl OnlineMonitor {
         self.clocks.len()
     }
 
-    fn step(&mut self, p: usize, extra: Option<&VectorClock>) -> Result<(), OnlineError> {
+    fn check_process(&self, p: usize) -> Result<(), OnlineError> {
         if p >= self.clocks.len() {
             return Err(OnlineError::UnknownProcess(p));
         }
+        Ok(())
+    }
+
+    fn validate_labels(&self, labels: &[&str]) -> Result<(), OnlineError> {
+        for &l in labels {
+            if self.intervals.get(l).is_some_and(|s| s.closed) {
+                return Err(OnlineError::IntervalClosed(l.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance `p`'s clock by one event. Callers have already validated
+    /// `p` and the event's labels.
+    fn step(&mut self, p: usize, extra: Option<&VectorClock>) {
         let ones = VectorClock::ones(self.clocks.len());
         let mut v = self.clocks[p].join(&ones);
         if let Some(e) = extra {
@@ -190,15 +290,9 @@ impl OnlineMonitor {
         v.tick(p);
         self.clocks[p] = v;
         self.pos[p] += 1;
-        Ok(())
     }
 
-    fn record(&mut self, p: usize, labels: &[&str]) -> Result<(), OnlineError> {
-        for &l in labels {
-            if self.intervals.get(l).is_some_and(|s| s.closed) {
-                return Err(OnlineError::IntervalClosed(l.to_string()));
-            }
-        }
+    fn record(&mut self, p: usize, labels: &[&str]) {
         let pos = self.pos[p];
         let clock = self.clocks[p].clone();
         for &l in labels {
@@ -207,20 +301,24 @@ impl OnlineMonitor {
                 .or_default()
                 .add(p, pos, &clock);
         }
-        Ok(())
     }
 
     /// Feed an internal event on `p`, tagged with `labels`.
     pub fn internal(&mut self, p: usize, labels: &[&str]) -> Result<(), OnlineError> {
-        self.step(p, None)?;
-        self.record(p, labels)
+        self.check_process(p)?;
+        self.validate_labels(labels)?;
+        self.step(p, None);
+        self.record(p, labels);
+        Ok(())
     }
 
     /// Feed a send event on `p`; the returned handle is passed to the
     /// matching [`OnlineMonitor::recv`].
     pub fn send(&mut self, p: usize, labels: &[&str]) -> Result<OnlineMsg, OnlineError> {
-        self.step(p, None)?;
-        self.record(p, labels)?;
+        self.check_process(p)?;
+        self.validate_labels(labels)?;
+        self.step(p, None);
+        self.record(p, labels);
         let id = self.next_msg;
         self.next_msg += 1;
         self.msgs.insert(id, self.clocks[p].clone());
@@ -228,13 +326,202 @@ impl OnlineMonitor {
     }
 
     /// Feed the receive of `msg` on `p`.
+    ///
+    /// Rejects forged handles (never issued) and duplicate receives
+    /// (already consumed) with distinct errors; on any error the
+    /// message stays available and no clock moves.
     pub fn recv(&mut self, p: usize, msg: OnlineMsg, labels: &[&str]) -> Result<(), OnlineError> {
+        self.check_process(p)?;
+        self.validate_labels(labels)?;
+        if msg.0 >= self.next_msg {
+            return Err(OnlineError::ForgedMessage(msg.0));
+        }
         let sender = self
             .msgs
             .remove(&msg.0)
-            .ok_or(OnlineError::BadMessage(msg.0))?;
-        self.step(p, Some(&sender))?;
-        self.record(p, labels)
+            .ok_or(OnlineError::DuplicateMessage(msg.0))?;
+        self.step(p, Some(&sender));
+        self.record(p, labels);
+        Ok(())
+    }
+
+    // ---- degraded-transport ingestion -------------------------------
+
+    /// Can this wire event be applied right now? (A receive needs its
+    /// send's clock.)
+    fn wire_applicable(&self, event: &WireEvent) -> bool {
+        match event {
+            WireEvent::Recv { msg } => self.wire_msgs.contains_key(msg),
+            _ => true,
+        }
+    }
+
+    /// Apply one wire event of process `p` (already at the head of its
+    /// sequence). A receive whose send clock is unknown applies without
+    /// the causal join — ordinary callers gate on
+    /// [`OnlineMonitor::wire_applicable`] first, so that only happens
+    /// from [`OnlineMonitor::declare_lost`].
+    fn wire_apply(
+        &mut self,
+        p: usize,
+        event: &WireEvent,
+        labels: &[String],
+    ) -> Result<(), OnlineError> {
+        let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+        self.validate_labels(&refs)?;
+        match event {
+            WireEvent::Internal => self.step(p, None),
+            WireEvent::Send { msg } => {
+                if self.wire_msgs.contains_key(msg) {
+                    return Err(OnlineError::ForgedMessage(*msg));
+                }
+                self.step(p, None);
+                self.wire_msgs.insert(*msg, self.clocks[p].clone());
+            }
+            WireEvent::Recv { msg } => {
+                let sender = self.wire_msgs.get(msg).cloned();
+                self.step(p, sender.as_ref());
+            }
+        }
+        self.record(p, &refs);
+        self.next_seq[p] += 1;
+        Ok(())
+    }
+
+    /// Apply every buffered report whose per-process prefix (and, for
+    /// receives, matching send) is now available, until a fixpoint.
+    fn wire_drain(&mut self) -> Result<usize, OnlineError> {
+        let mut applied = 0;
+        loop {
+            let mut progressed = false;
+            for p in 0..self.clocks.len() {
+                while let Some((&s, (ev, _))) = self.held[p].first_key_value() {
+                    if s != self.next_seq[p] || !self.wire_applicable(ev) {
+                        break;
+                    }
+                    let (ev, labels) = self.held[p].remove(&s).expect("peeked");
+                    if let Err(e) = self.wire_apply(p, &ev, &labels) {
+                        // Keep the report buffered so it stays visible
+                        // via `pending` and a later `flush` can retry.
+                        self.held[p].insert(s, (ev, labels));
+                        return Err(e);
+                    }
+                    applied += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(applied);
+            }
+        }
+    }
+
+    /// Ingest one sequence-numbered event report of process `p` from an
+    /// unreliable transport. `seq` is 0-based and assigned by the
+    /// reporting process in its local event order.
+    ///
+    /// In-order reports apply immediately (draining any buffered
+    /// followers they unblock); out-of-order reports are buffered;
+    /// stale or repeated reports are recognized as duplicates and
+    /// discarded — reordering and duplication never corrupt the state.
+    pub fn ingest(
+        &mut self,
+        p: usize,
+        seq: u64,
+        event: WireEvent,
+        labels: &[&str],
+    ) -> Result<Ingest, OnlineError> {
+        self.check_process(p)?;
+        if seq < self.next_seq[p] || self.held[p].contains_key(&seq) {
+            return Ok(Ingest::Duplicate);
+        }
+        let owned: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+        if seq == self.next_seq[p] && self.wire_applicable(&event) {
+            self.wire_apply(p, &event, &owned)?;
+            let drained = self.wire_drain()?;
+            return Ok(Ingest::Applied(1 + drained));
+        }
+        self.held[p].insert(seq, (event, owned));
+        Ok(Ingest::Buffered)
+    }
+
+    /// Retry applying buffered reports (e.g. after the caller fixed
+    /// whatever made an earlier drain fail). Returns how many applied.
+    pub fn flush(&mut self) -> Result<usize, OnlineError> {
+        self.wire_drain()
+    }
+
+    /// Number of reports buffered out of order.
+    pub fn pending(&self) -> usize {
+        self.held.iter().map(|h| h.len()).sum()
+    }
+
+    /// Total wire sequence slots conceded as lost.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Concede that the gaps blocking buffered reports will never fill:
+    /// skip the missing sequence slots, apply buffered receives whose
+    /// send never arrived *without* the causal join, and drain
+    /// everything else. Returns the number of slots conceded.
+    ///
+    /// After this the monitor is permanently degraded
+    /// ([`OnlineMonitor::is_degraded`]): its clocks under-approximate
+    /// true causality, and verdicts decay accordingly (see
+    /// [`OnlineMonitor::check`]).
+    pub fn declare_lost(&mut self) -> Result<u64, OnlineError> {
+        let mut conceded = 0;
+        loop {
+            self.wire_drain()?;
+            let Some(p) = (0..self.clocks.len()).find(|&p| !self.held[p].is_empty()) else {
+                break;
+            };
+            let (&s, _) = self.held[p].first_key_value().expect("non-empty");
+            self.lossy = true;
+            if s > self.next_seq[p] {
+                conceded += s - self.next_seq[p];
+                self.next_seq[p] = s;
+                continue;
+            }
+            // Head of sequence but blocked: a receive whose send report
+            // was lost. Apply it without the join — the clock now
+            // under-approximates, which `lossy` records.
+            let (ev, labels) = self.held[p].remove(&s).expect("peeked");
+            self.wire_apply(p, &ev, &labels)?;
+        }
+        self.lost += conceded;
+        Ok(conceded)
+    }
+
+    /// [`OnlineMonitor::declare_lost`], plus an end-of-stream
+    /// declaration: `total[p]` reports were *sent* by process `p`, so
+    /// any sequence slot below that which never arrived — including
+    /// trailing ones, which leave no gap evidence behind a buffered
+    /// report — is conceded as lost too. Without this, a monitor whose
+    /// stream was truncated at the tail would believe itself healthy
+    /// and report exact verdicts on a partial view.
+    pub fn declare_complete(&mut self, total: &[u64]) -> Result<u64, OnlineError> {
+        if total.len() != self.clocks.len() {
+            return Err(OnlineError::UnknownProcess(total.len()));
+        }
+        let mut conceded = self.declare_lost()?;
+        for (p, &t) in total.iter().enumerate() {
+            if self.next_seq[p] < t {
+                self.lossy = true;
+                conceded += t - self.next_seq[p];
+                self.lost += t - self.next_seq[p];
+                self.next_seq[p] = t;
+            }
+        }
+        Ok(conceded)
+    }
+
+    /// Is the monitor's view degraded — reports still buffered, or
+    /// losses conceded? Degraded verdicts decay per
+    /// [`OnlineMonitor::check`].
+    pub fn is_degraded(&self) -> bool {
+        self.lossy || self.pending() > 0
     }
 
     /// Close an interval: no further events may join it, which lets
@@ -351,8 +638,34 @@ impl OnlineMonitor {
         out
     }
 
-    /// The monotonicity-aware three-valued verdict for `rel(X, Y)`.
+    /// The monotonicity-aware verdict for `rel(X, Y)`, decayed for
+    /// degradation.
+    ///
+    /// On a healthy monitor this is exactly
+    /// [`OnlineMonitor::check_exact`]. While degraded
+    /// ([`OnlineMonitor::is_degraded`]), applied clocks only
+    /// under-approximate causality: believed precedence is still true,
+    /// but believed *absence* of precedence may be a blind spot. The
+    /// only settled verdict that relies purely on believed presence is
+    /// an `∃∃` witness, so `R4`/`R4'` [`Verdict::Holds`] survives;
+    /// every other settled verdict becomes [`Verdict::Unknown`], and
+    /// [`Verdict::Pending`] stays pending.
     pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        let exact = self.check_exact(rel, x, y);
+        if !self.is_degraded() {
+            return exact;
+        }
+        match (rel, exact) {
+            (_, Verdict::Pending) => Verdict::Pending,
+            (Relation::R4 | Relation::R4p, Verdict::Holds) => Verdict::Holds,
+            _ => Verdict::Unknown,
+        }
+    }
+
+    /// The monotonicity-aware three-valued verdict for `rel(X, Y)`,
+    /// assuming the monitor saw a faithful linearization (no buffered
+    /// or lost reports).
+    pub fn check_exact(&self, rel: Relation, x: &str, y: &str) -> Verdict {
         let now = self.holds_now(rel, x, y);
         let xc = self.is_closed(x);
         let yc = self.is_closed(y);
@@ -529,11 +842,212 @@ mod tests {
     }
 
     #[test]
-    fn bad_message_rejected() {
+    fn duplicate_receive_rejected() {
         let mut m = OnlineMonitor::new(2);
         let msg = m.send(0, &[]).unwrap();
         m.recv(1, msg, &[]).unwrap();
-        assert_eq!(m.recv(1, msg, &[]), Err(OnlineError::BadMessage(0)));
+        let before = m.clone();
+        assert_eq!(m.recv(1, msg, &[]), Err(OnlineError::DuplicateMessage(0)));
+        assert_eq!(m.clocks, before.clocks, "no clock moved");
+        assert_eq!(m.pos, before.pos);
+    }
+
+    #[test]
+    fn forged_message_rejected() {
+        let mut m = OnlineMonitor::new(2);
+        let _ = m.send(0, &[]).unwrap();
+        let before = m.clone();
+        // Token 7 was never issued by this monitor.
+        assert_eq!(
+            m.recv(1, OnlineMsg(7), &[]),
+            Err(OnlineError::ForgedMessage(7))
+        );
+        assert_eq!(m.clocks, before.clocks);
+        assert_eq!(m.pos, before.pos);
+        assert_eq!(m.msgs.len(), 1, "issued message still available");
+    }
+
+    #[test]
+    fn recv_unknown_process_leaves_message_available() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &[]).unwrap();
+        assert_eq!(m.recv(9, msg, &[]), Err(OnlineError::UnknownProcess(9)));
+        // The failed receive consumed nothing; a correct retry works.
+        m.recv(1, msg, &[]).unwrap();
+    }
+
+    #[test]
+    fn recv_closed_interval_leaves_state_unchanged() {
+        let mut m = OnlineMonitor::new(2);
+        let msg = m.send(0, &["x"]).unwrap();
+        m.internal(1, &["y"]).unwrap();
+        m.close("y");
+        let before = m.clone();
+        assert_eq!(
+            m.recv(1, msg, &["y"]),
+            Err(OnlineError::IntervalClosed("y".into()))
+        );
+        assert_eq!(m.clocks, before.clocks, "clock did not tick");
+        assert_eq!(m.pos, before.pos);
+        assert_eq!(m.interval_len("y"), 1);
+        // The message was not consumed: retry under an open label works.
+        m.recv(1, msg, &["z"]).unwrap();
+    }
+
+    #[test]
+    fn internal_and_send_closed_interval_do_not_tick() {
+        let mut m = OnlineMonitor::new(1);
+        m.internal(0, &["x"]).unwrap();
+        m.close("x");
+        let before = m.clone();
+        assert_eq!(
+            m.internal(0, &["x"]),
+            Err(OnlineError::IntervalClosed("x".into()))
+        );
+        assert_eq!(
+            m.send(0, &["x"]).unwrap_err(),
+            OnlineError::IntervalClosed("x".into())
+        );
+        assert_eq!(m.clocks, before.clocks, "no clock moved on error");
+        assert_eq!(m.pos, before.pos);
+        assert_eq!(m.next_msg, before.next_msg, "no message id leaked");
+    }
+
+    #[test]
+    fn wire_in_order_matches_token_api() {
+        let mut wire = OnlineMonitor::new(2);
+        wire.ingest(0, 0, WireEvent::Send { msg: 7 }, &["x"])
+            .unwrap();
+        wire.ingest(1, 0, WireEvent::Recv { msg: 7 }, &["y"])
+            .unwrap();
+        let mut tok = OnlineMonitor::new(2);
+        let msg = tok.send(0, &["x"]).unwrap();
+        tok.recv(1, msg, &["y"]).unwrap();
+        assert_eq!(wire.clocks, tok.clocks);
+        assert!(!wire.is_degraded());
+        wire.close("x");
+        wire.close("y");
+        assert_eq!(wire.check(Relation::R1, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn wire_out_of_order_buffers_then_settles_exactly() {
+        let mut m = OnlineMonitor::new(2);
+        // The receive report outruns its send report.
+        assert_eq!(
+            m.ingest(1, 0, WireEvent::Recv { msg: 7 }, &["y"]).unwrap(),
+            Ingest::Buffered
+        );
+        assert!(m.is_degraded());
+        assert_eq!(m.pending(), 1);
+        // Nothing settled yet, so nothing decays past Pending.
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Pending);
+        // The send arrives and unblocks the buffered receive.
+        assert_eq!(
+            m.ingest(0, 0, WireEvent::Send { msg: 7 }, &["x"]).unwrap(),
+            Ingest::Applied(2)
+        );
+        assert!(!m.is_degraded(), "fully caught up: exact again");
+        m.close("x");
+        m.close("y");
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn wire_duplicates_and_stale_reports_discarded() {
+        let mut m = OnlineMonitor::new(1);
+        assert_eq!(
+            m.ingest(0, 0, WireEvent::Internal, &["x"]).unwrap(),
+            Ingest::Applied(1)
+        );
+        // Replay of an applied report.
+        assert_eq!(
+            m.ingest(0, 0, WireEvent::Internal, &["x"]).unwrap(),
+            Ingest::Duplicate
+        );
+        // Future report buffers; its replay is also a duplicate.
+        assert_eq!(
+            m.ingest(0, 2, WireEvent::Internal, &[]).unwrap(),
+            Ingest::Buffered
+        );
+        assert_eq!(
+            m.ingest(0, 2, WireEvent::Internal, &[]).unwrap(),
+            Ingest::Duplicate
+        );
+        assert_eq!(m.interval_len("x"), 1, "duplicates joined no interval");
+        // The gap fills; the buffered follower drains with it.
+        assert_eq!(
+            m.ingest(0, 1, WireEvent::Internal, &[]).unwrap(),
+            Ingest::Applied(2)
+        );
+        assert_eq!(m.pending(), 0);
+        assert!(!m.is_degraded());
+    }
+
+    #[test]
+    fn declare_lost_concedes_gaps_and_degrades() {
+        let mut m = OnlineMonitor::new(2);
+        // p0's seq-0 send report is lost; its seq-1 internal arrives.
+        assert_eq!(
+            m.ingest(0, 1, WireEvent::Internal, &["x"]).unwrap(),
+            Ingest::Buffered
+        );
+        // p1 receives the lost send's message; the send clock is unknown.
+        assert_eq!(
+            m.ingest(1, 0, WireEvent::Recv { msg: 7 }, &["y"]).unwrap(),
+            Ingest::Buffered
+        );
+        assert_eq!(m.pending(), 2);
+        assert_eq!(m.declare_lost().unwrap(), 1, "one slot conceded");
+        assert_eq!(m.pending(), 0);
+        assert_eq!(m.lost(), 1);
+        assert!(m.is_degraded(), "degradation is sticky");
+        m.close("x");
+        m.close("y");
+        // The blind receive broke the causal link: nothing settled can
+        // be trusted except ∃∃ presence.
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Unknown);
+        assert_eq!(m.check(Relation::R4, "x", "y"), Verdict::Unknown);
+    }
+
+    #[test]
+    fn r4_witness_survives_degradation() {
+        let mut m = OnlineMonitor::new(2);
+        m.ingest(0, 0, WireEvent::Send { msg: 1 }, &["x"]).unwrap();
+        m.ingest(1, 0, WireEvent::Recv { msg: 1 }, &["y"]).unwrap();
+        // A second message's send report is lost forever.
+        m.ingest(1, 1, WireEvent::Recv { msg: 2 }, &["y"]).unwrap();
+        assert_eq!(m.declare_lost().unwrap(), 0, "no slot, only a blind recv");
+        assert!(m.is_degraded());
+        m.close("x");
+        m.close("y");
+        // The msg-1 witness was observed with full causal info: the
+        // believed x ≺ y is really true, so R4 still Holds.
+        assert_eq!(m.check(Relation::R4, "x", "y"), Verdict::Holds);
+        // Universal claims can no longer be trusted.
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Unknown);
+        assert_eq!(m.check(Relation::R2, "x", "y"), Verdict::Unknown);
+        // Exact rules would have said:
+        assert_eq!(m.check_exact(Relation::R4, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn flush_retries_after_closed_interval() {
+        let mut m = OnlineMonitor::new(1);
+        m.ingest(0, 0, WireEvent::Internal, &["x"]).unwrap();
+        m.close("x");
+        // A buffered report tagged with the closed label fails to drain…
+        assert_eq!(
+            m.ingest(0, 2, WireEvent::Internal, &["x"]).unwrap(),
+            Ingest::Buffered
+        );
+        assert_eq!(
+            m.ingest(0, 1, WireEvent::Internal, &[]).unwrap_err(),
+            OnlineError::IntervalClosed("x".into())
+        );
+        // …but stays buffered rather than being lost.
+        assert_eq!(m.pending(), 1);
+        assert_eq!(m.flush(), Err(OnlineError::IntervalClosed("x".into())));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! turns the events sharing a label into a
 //! [`synchrel_core::NonatomicEvent`].
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
 use synchrel_core::{Error as CoreError, EventId, Execution, ExecutionBuilder, MsgToken};
+
+use crate::fault::{Delivery, FaultLog, FaultPlan};
 
 /// What one script step does.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -181,6 +183,9 @@ pub struct SimResult {
     pub labels: BTreeMap<EventId, String>,
     /// Virtual time at which the last process finished.
     pub makespan: u64,
+    /// What fault injection did during this run (all-zero when no
+    /// [`FaultPlan`] was installed).
+    pub faults: FaultLog,
 }
 
 impl SimResult {
@@ -207,6 +212,7 @@ impl SimResult {
 pub struct Simulation {
     scripts: Vec<Vec<Action>>,
     latency: Latency,
+    faults: Option<FaultPlan>,
 }
 
 impl Simulation {
@@ -215,6 +221,7 @@ impl Simulation {
         Simulation {
             scripts: vec![Vec::new(); processes],
             latency: Latency::default(),
+            faults: None,
         }
     }
 
@@ -222,6 +229,19 @@ impl Simulation {
     pub fn with_latency(mut self, latency: Latency) -> Simulation {
         self.latency = latency;
         self
+    }
+
+    /// Install a fault plan. Besides injecting the plan's faults, this
+    /// switches blocked receives whose message can never arrive from a
+    /// [`SimError::Deadlock`] into a deterministic receive timeout.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Simulation {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Append an action to process `p`'s script.
@@ -275,6 +295,16 @@ impl Simulation {
         let mut seq = 0u64;
         let mut times = BTreeMap::new();
         let mut labels = BTreeMap::new();
+        let mut flog = FaultLog::default();
+        // Tokens with an injected duplicate in flight, and tokens whose
+        // message was already received once (later copies are spurious
+        // and get discarded by the receiver).
+        let mut dup_tokens: HashSet<MsgToken> = HashSet::new();
+        let mut consumed: HashSet<MsgToken> = HashSet::new();
+        let skew: Vec<u64> = match &self.faults {
+            Some(plan) => (0..n).map(|p| plan.skew_of(p)).collect(),
+            None => vec![0; n],
+        };
 
         loop {
             // Pick the runnable process with the smallest (ready time, pid).
@@ -308,6 +338,20 @@ impl Simulation {
                 if waiting.is_empty() {
                     break; // all scripts done
                 }
+                if self.faults.is_some() {
+                    // Fault-tolerant mode: a receive whose message will
+                    // never arrive (dropped, partition-starved, or simply
+                    // never sent) resolves by timeout — the action is
+                    // skipped, no event is recorded, and the process
+                    // moves on. Resolving the lowest pid first keeps
+                    // this deterministic.
+                    let p = waiting[0];
+                    let dur = self.scripts[p][pc[p]].duration.max(1);
+                    pc[p] += 1;
+                    now[p] += dur;
+                    flog.timeouts += 1;
+                    continue;
+                }
                 return Err(SimError::Deadlock { waiting });
             };
 
@@ -318,14 +362,42 @@ impl Simulation {
                 ActionKind::Compute => builder.internal(p),
                 ActionKind::Send { to } => {
                     let (e, tok) = builder.send(p);
-                    let arrival = t + self.latency.of(p, to);
+                    let base_arrival = t + self.latency.of(p, to);
                     // Keep each inbox sorted by (arrival, seq) so the
                     // earliest matching message is taken first.
-                    let pos = inbox[to]
-                        .iter()
-                        .position(|&(a2, s2, ..)| (a2, s2) > (arrival, seq))
-                        .unwrap_or(inbox[to].len());
-                    inbox[to].insert(pos, (arrival, seq, p, tok));
+                    let insert = |inbox: &mut Vec<VecDeque<(u64, u64, usize, MsgToken)>>,
+                                  arrival: u64| {
+                        let pos = inbox[to]
+                            .iter()
+                            .position(|&(a2, s2, ..)| (a2, s2) > (arrival, seq))
+                            .unwrap_or(inbox[to].len());
+                        inbox[to].insert(pos, (arrival, seq, p, tok));
+                    };
+                    match self
+                        .faults
+                        .as_ref()
+                        .map(|plan| plan.delivery(seq, p, to, t, base_arrival))
+                    {
+                        None => insert(&mut inbox, base_arrival),
+                        Some(Delivery::Drop) => flog.dropped += 1,
+                        Some(Delivery::Deliver {
+                            arrival,
+                            held,
+                            duplicate,
+                        }) => {
+                            if held {
+                                flog.held += 1;
+                            } else if arrival > base_arrival {
+                                flog.delayed += 1;
+                            }
+                            insert(&mut inbox, arrival);
+                            if let Some(dup_arrival) = duplicate {
+                                flog.duplicated += 1;
+                                dup_tokens.insert(tok);
+                                insert(&mut inbox, dup_arrival);
+                            }
+                        }
+                    }
                     seq += 1;
                     e
                 }
@@ -336,6 +408,18 @@ impl Simulation {
                         .min_by_key(|(_, &(arr, s2, ..))| (arr, s2))
                         .expect("scheduler guaranteed a message");
                     let (_, _, _, tok) = inbox[p].remove(idx).unwrap();
+                    if consumed.contains(&tok) {
+                        // Spurious copy of a message already received:
+                        // discard it and retry the receive. Discarding
+                        // takes the receive duration, which keeps runs
+                        // deterministic.
+                        pc[p] -= 1;
+                        flog.duplicates_discarded += 1;
+                        continue;
+                    }
+                    if dup_tokens.contains(&tok) {
+                        consumed.insert(tok);
+                    }
                     builder.recv(p, tok)?
                 }
                 ActionKind::RecvFrom { from } => {
@@ -346,10 +430,18 @@ impl Simulation {
                         .min_by_key(|(_, &(arr, s2, ..))| (arr, s2))
                         .expect("scheduler guaranteed a matching message");
                     let (_, _, _, tok) = inbox[p].remove(idx).unwrap();
+                    if consumed.contains(&tok) {
+                        pc[p] -= 1;
+                        flog.duplicates_discarded += 1;
+                        continue;
+                    }
+                    if dup_tokens.contains(&tok) {
+                        consumed.insert(tok);
+                    }
                     builder.recv(p, tok)?
                 }
             };
-            times.insert(event, t);
+            times.insert(event, t + skew[p]);
             if let Some(l) = action.label {
                 labels.insert(event, l);
             }
@@ -361,6 +453,7 @@ impl Simulation {
             times,
             labels,
             makespan,
+            faults: flog,
         })
     }
 }
@@ -489,6 +582,117 @@ mod tests {
         // slow link 0->1, fast link 0->2
         assert_eq!(r.times[&EventId::new(1, 1)], 102);
         assert_eq!(r.times[&EventId::new(2, 1)], 4);
+    }
+
+    #[test]
+    fn quiet_faults_match_clean_run() {
+        let build = || {
+            let mut sim = Simulation::new(3).with_latency(Latency::Fixed(2));
+            for p in 0..3usize {
+                sim.push(p, Action::compute(p as u64 + 1));
+                sim.push(p, Action::send((p + 1) % 3));
+                sim.push(p, Action::recv());
+            }
+            sim
+        };
+        let clean = build().run().unwrap();
+        let quiet = build().with_faults(FaultPlan::quiet(1)).run().unwrap();
+        assert_eq!(clean.times, quiet.times);
+        assert_eq!(clean.exec.to_skeleton(), quiet.exec.to_skeleton());
+        assert!(quiet.faults.is_clean());
+    }
+
+    #[test]
+    fn dropped_message_resolves_receive_by_timeout() {
+        let plan = FaultPlan {
+            drop_per_10k: 10_000, // drop everything
+            ..FaultPlan::quiet(0)
+        };
+        let mut sim = Simulation::new(2).with_faults(plan);
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        sim.push(1, Action::compute(3));
+        let r = sim.run().unwrap();
+        assert_eq!(r.faults.dropped, 1);
+        assert_eq!(r.faults.timeouts, 1);
+        // The receive produced no event; p1 still ran its compute.
+        assert_eq!(r.exec.app_len(ProcessId(1)), 1);
+        // The dangling send is recorded without a matching receive.
+        assert_eq!(r.exec.app_len(ProcessId(0)), 1);
+        assert_eq!(r.exec.messages()[0].recv, None);
+    }
+
+    #[test]
+    fn duplicated_message_received_once() {
+        let plan = FaultPlan {
+            dup_per_10k: 10_000, // duplicate everything
+            ..FaultPlan::quiet(0)
+        };
+        let mut sim = Simulation::new(2).with_faults(plan);
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        sim.push(1, Action::recv()); // only the spurious copy remains
+        sim.push(1, Action::compute(1));
+        let r = sim.run().unwrap();
+        assert_eq!(r.faults.duplicated, 1);
+        assert_eq!(r.faults.duplicates_discarded, 1);
+        assert_eq!(r.faults.timeouts, 1); // second recv never satisfied
+                                          // Exactly one receive event exists.
+        assert_eq!(r.exec.app_len(ProcessId(1)), 2); // recv + compute
+        assert!(r.exec.messages()[0].recv.is_some());
+    }
+
+    #[test]
+    fn skew_shifts_reported_times_not_order() {
+        let plan = FaultPlan {
+            max_skew: 4,
+            ..FaultPlan::quiet(7)
+        };
+        let mut sim = Simulation::new(2).with_faults(plan.clone());
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        let r = sim.run().unwrap();
+        let send = EventId::new(0, 1);
+        let recv = EventId::new(1, 1);
+        // Causal order is untouched by skew.
+        assert!(r.exec.precedes(send, recv));
+        // Reported times carry the per-process offset.
+        assert_eq!(r.times[&send], 1 + plan.skew_of(0));
+        assert_eq!(r.times[&recv], 3 + plan.skew_of(1));
+    }
+
+    #[test]
+    fn partition_delays_crossing_message() {
+        let plan = FaultPlan {
+            partitions: vec![crate::fault::Partition {
+                members: vec![0],
+                start: 0,
+                duration: 20,
+            }],
+            ..FaultPlan::quiet(0)
+        };
+        let mut sim = Simulation::new(2).with_faults(plan);
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        let r = sim.run().unwrap();
+        assert_eq!(r.faults.held, 1);
+        // Released at 21, received one unit later.
+        assert_eq!(r.times[&EventId::new(1, 1)], 22);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let build = || {
+            let sim = crate::fault::random_scripts(0xABCD, 4, 12, 3)
+                .with_faults(FaultPlan::from_seed(0xABCD));
+            sim.run().unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.exec.to_skeleton(), b.exec.to_skeleton());
     }
 
     #[test]

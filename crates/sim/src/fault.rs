@@ -1,0 +1,397 @@
+//! Seeded fault injection for the deterministic simulator.
+//!
+//! A real-time deployment never sees the happy path only: messages are
+//! dropped, duplicated, reordered and delayed, links partition
+//! transiently, and local clocks drift. A [`FaultPlan`] describes all of
+//! those behaviours as *pure functions of a single `u64` seed*, so a
+//! faulty run is exactly as reproducible as a clean one — the scenario
+//! that exposed a bug is recovered byte-for-byte from its seed.
+//!
+//! Determinism is guaranteed by hashing, not by sampling: every
+//! per-message decision (drop? duplicate? how much extra delay?) is
+//! derived with a splitmix64-style hash of `(plan seed, message
+//! sequence number)`, so it does not depend on the order in which the
+//! scheduler happens to interleave processes.
+//!
+//! Wiring: [`crate::engine::Simulation::with_faults`] installs a plan;
+//! the engine consults [`FaultPlan::delivery`] at every send, applies
+//! per-process clock skew to *reported* event times (causality is
+//! untouched — skew models bad wall clocks, not bad causal order), and
+//! resolves blocked receives whose message will never arrive with a
+//! deterministic receive *timeout* instead of reporting a deadlock. The
+//! run records what happened in a [`FaultLog`].
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Action, Latency, Simulation};
+
+/// splitmix64 finalizer: a high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash of `(seed, a, b)`; the basis of every
+/// fault decision and of derived case seeds in the differential
+/// harness.
+pub fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a).rotate_left(17) ^ splitmix64(b ^ 0x6A09_E667_F3BC_C909))
+}
+
+/// A transient network partition: while active, messages crossing the
+/// boundary between `members` and the rest of the processes are held
+/// and delivered only after the partition heals.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Processes on one side of the partition.
+    pub members: Vec<usize>,
+    /// Virtual time at which the partition starts.
+    pub start: u64,
+    /// How long it lasts; it heals at `start + duration`.
+    pub duration: u64,
+}
+
+impl Partition {
+    /// Does a message sent from `from` to `to` at `sent_at` cross the
+    /// active partition boundary?
+    fn severs(&self, from: usize, to: usize, sent_at: u64) -> bool {
+        let inside = |p: usize| self.members.contains(&p);
+        inside(from) != inside(to)
+            && sent_at >= self.start
+            && sent_at < self.start.saturating_add(self.duration)
+    }
+
+    /// The time at which held messages are released.
+    fn release(&self) -> u64 {
+        self.start.saturating_add(self.duration)
+    }
+}
+
+/// The fate of one message under a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message is lost.
+    Drop,
+    /// The message arrives at `arrival`; `duplicate` carries the
+    /// arrival time of a spurious second copy, if one is injected.
+    Deliver {
+        /// Arrival time of the (first) copy.
+        arrival: u64,
+        /// Was the message held back by a partition?
+        held: bool,
+        /// Arrival time of an injected duplicate copy.
+        duplicate: Option<u64>,
+    },
+}
+
+/// A deterministic, serializable description of injected faults.
+///
+/// Probabilities are integers per 10 000 so that plans serialize
+/// byte-identically and decisions use exact integer arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all per-message and per-process hash decisions.
+    pub seed: u64,
+    /// Probability (per 10 000) that a message is dropped.
+    pub drop_per_10k: u32,
+    /// Probability (per 10 000) that a message is duplicated.
+    pub dup_per_10k: u32,
+    /// Maximum extra delivery delay per message (uniform `0..=max`);
+    /// this is what reorders messages relative to clean latency.
+    pub max_extra_delay: u64,
+    /// Maximum per-process clock skew added to *reported* event times.
+    pub max_skew: u64,
+    /// Transient partitions holding crossing messages.
+    pub partitions: Vec<Partition>,
+}
+
+const SALT_DROP: u64 = 0xD809;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_DUP_DELAY: u64 = 0xD0B2;
+const SALT_SKEW: u64 = 0xC10C;
+
+impl FaultPlan {
+    /// A plan that injects nothing. Installing it still arms the
+    /// engine's receive-timeout path, so scripts whose receives can
+    /// never be satisfied terminate instead of deadlocking.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_per_10k: 0,
+            dup_per_10k: 0,
+            max_extra_delay: 0,
+            max_skew: 0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Derive a full plan (moderate drop/dup rates, delays, skew, and
+    /// an occasional partition) entirely from `seed`.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let partitions = if mix(seed, 5, 0).is_multiple_of(4) {
+            vec![Partition {
+                members: vec![0],
+                start: mix(seed, 6, 0) % 16,
+                duration: 4 + mix(seed, 7, 0) % 24,
+            }]
+        } else {
+            Vec::new()
+        };
+        FaultPlan {
+            seed,
+            drop_per_10k: (mix(seed, 1, 0) % 1200) as u32,
+            dup_per_10k: (mix(seed, 2, 0) % 2000) as u32,
+            max_extra_delay: mix(seed, 3, 0) % 9,
+            max_skew: mix(seed, 4, 0) % 5,
+            partitions,
+        }
+    }
+
+    /// Does this plan inject any fault at all?
+    pub fn is_quiet(&self) -> bool {
+        self.drop_per_10k == 0
+            && self.dup_per_10k == 0
+            && self.max_extra_delay == 0
+            && self.max_skew == 0
+            && self.partitions.is_empty()
+    }
+
+    fn chance(h: u64, per_10k: u32) -> bool {
+        per_10k > 0 && h % 10_000 < per_10k as u64
+    }
+
+    /// The clock-skew offset of process `p` (added to reported times).
+    pub fn skew_of(&self, p: usize) -> u64 {
+        if self.max_skew == 0 {
+            0
+        } else {
+            mix(self.seed, p as u64, SALT_SKEW) % (self.max_skew + 1)
+        }
+    }
+
+    /// Decide the fate of message number `msg_seq` sent from `from` to
+    /// `to` at `sent_at`, with fault-free arrival `base_arrival`.
+    ///
+    /// Purely a function of `(self, msg_seq, from, to, sent_at,
+    /// base_arrival)` — independent of scheduling order.
+    pub fn delivery(
+        &self,
+        msg_seq: u64,
+        from: usize,
+        to: usize,
+        sent_at: u64,
+        base_arrival: u64,
+    ) -> Delivery {
+        if Self::chance(mix(self.seed, msg_seq, SALT_DROP), self.drop_per_10k) {
+            return Delivery::Drop;
+        }
+        let mut arrival = base_arrival;
+        if self.max_extra_delay > 0 {
+            arrival += mix(self.seed, msg_seq, SALT_DELAY) % (self.max_extra_delay + 1);
+        }
+        let mut held = false;
+        for part in &self.partitions {
+            if part.severs(from, to, sent_at) && arrival <= part.release() {
+                arrival = part.release() + 1;
+                held = true;
+            }
+        }
+        let duplicate = if Self::chance(mix(self.seed, msg_seq, SALT_DUP), self.dup_per_10k) {
+            // Strictly after the first copy so inbox keys stay unique.
+            Some(arrival + 1 + mix(self.seed, msg_seq, SALT_DUP_DELAY) % (self.max_extra_delay + 2))
+        } else {
+            None
+        };
+        Delivery::Deliver {
+            arrival,
+            held,
+            duplicate,
+        }
+    }
+}
+
+/// What fault injection actually did during one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Messages dropped before delivery.
+    pub dropped: u64,
+    /// Messages that had a duplicate copy injected.
+    pub duplicated: u64,
+    /// Spurious duplicate copies discarded at the receiver.
+    pub duplicates_discarded: u64,
+    /// Messages delivered later than their fault-free arrival.
+    pub delayed: u64,
+    /// Messages held back by a transient partition.
+    pub held: u64,
+    /// Receives resolved by timeout (their message never arrived).
+    pub timeouts: u64,
+}
+
+impl FaultLog {
+    /// Did the run complete without any injected effect?
+    pub fn is_clean(&self) -> bool {
+        *self == FaultLog::default()
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped {} · duplicated {} (discarded {}) · delayed {} · held {} · timeouts {}",
+            self.dropped,
+            self.duplicated,
+            self.duplicates_discarded,
+            self.delayed,
+            self.held,
+            self.timeouts
+        )
+    }
+}
+
+/// A randomized labelled simulation derived entirely from `seed`:
+/// `processes` scripts of `steps_per_process` compute/send/receive
+/// actions, each action labelled `I0..I{labels}` with high probability.
+///
+/// Scripts are *not* guaranteed receive-satisfiable — pair them with a
+/// [`FaultPlan`] (even [`FaultPlan::quiet`]) so unmatched receives
+/// resolve by timeout.
+pub fn random_scripts(
+    seed: u64,
+    processes: usize,
+    steps_per_process: usize,
+    labels: usize,
+) -> Simulation {
+    let labels = labels.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sim = Simulation::new(processes);
+    if rng.random_bool(0.3) {
+        sim = sim.with_latency(Latency::Fixed(rng.random_range(1..4u64)));
+    }
+    for p in 0..processes {
+        for _ in 0..steps_per_process {
+            let roll: f64 = rng.random();
+            let mut action = if roll < 0.35 && processes > 1 {
+                let mut to = rng.random_range(0..processes - 1);
+                if to >= p {
+                    to += 1;
+                }
+                Action::send(to)
+            } else if roll < 0.55 && processes > 1 {
+                if rng.random_bool(0.4) {
+                    let mut from = rng.random_range(0..processes - 1);
+                    if from >= p {
+                        from += 1;
+                    }
+                    Action::recv_from(from)
+                } else {
+                    Action::recv()
+                }
+            } else {
+                Action::compute(rng.random_range(1..5u64))
+            };
+            if rng.random_bool(0.75) {
+                action = action.label(format!("I{}", rng.random_range(0..labels)));
+            }
+            sim.push(p, action);
+        }
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_seed() {
+        assert_eq!(FaultPlan::from_seed(7), FaultPlan::from_seed(7));
+        assert_ne!(FaultPlan::from_seed(7), FaultPlan::from_seed(8));
+        assert!(FaultPlan::quiet(3).is_quiet());
+    }
+
+    #[test]
+    fn delivery_is_schedule_independent() {
+        let plan = FaultPlan::from_seed(0xFEED);
+        for seq in 0..200u64 {
+            assert_eq!(
+                plan.delivery(seq, 0, 1, 5, 9),
+                plan.delivery(seq, 0, 1, 5, 9)
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing() {
+        let plan = FaultPlan::quiet(42);
+        for seq in 0..50u64 {
+            assert_eq!(
+                plan.delivery(seq, 0, 1, 2, 6),
+                Delivery::Deliver {
+                    arrival: 6,
+                    held: false,
+                    duplicate: None
+                }
+            );
+            assert_eq!(plan.skew_of(seq as usize % 4), 0);
+        }
+    }
+
+    #[test]
+    fn partition_holds_crossing_messages() {
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                members: vec![0],
+                start: 0,
+                duration: 10,
+            }],
+            ..FaultPlan::quiet(1)
+        };
+        // Crossing send during the window is released after healing.
+        match plan.delivery(0, 0, 1, 5, 7) {
+            Delivery::Deliver { arrival, held, .. } => {
+                assert!(held);
+                assert_eq!(arrival, 11);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Same-side send is unaffected.
+        assert_eq!(
+            plan.delivery(1, 1, 2, 5, 7),
+            Delivery::Deliver {
+                arrival: 7,
+                held: false,
+                duplicate: None
+            }
+        );
+        // Send after healing is unaffected.
+        assert_eq!(
+            plan.delivery(2, 0, 1, 30, 33),
+            Delivery::Deliver {
+                arrival: 33,
+                held: false,
+                duplicate: None
+            }
+        );
+    }
+
+    #[test]
+    fn random_scripts_deterministic() {
+        let a = random_scripts(99, 4, 8, 3);
+        let b = random_scripts(99, 4, 8, 3);
+        // Compare through a quiet-fault run (Action lacks Eq on purpose
+        // elsewhere; the run output is the ground truth anyway).
+        let ra = a.clone().with_faults(FaultPlan::quiet(0)).run().unwrap();
+        let rb = b.clone().with_faults(FaultPlan::quiet(0)).run().unwrap();
+        assert_eq!(ra.times, rb.times);
+        assert_eq!(ra.labels, rb.labels);
+        assert_eq!(ra.exec.to_skeleton(), rb.exec.to_skeleton());
+    }
+}

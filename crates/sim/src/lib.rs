@@ -26,8 +26,12 @@
 //! * [`mod@format`] — a JSON trace format for recording and replaying
 //!   executions together with their named nonatomic events.
 //! * [`stats`] — summary statistics of a trace.
+//! * [`fault`] — seeded fault injection (drop, duplication, reordering
+//!   delay, transient partitions, clock skew), reproducible from a
+//!   single `u64` seed.
 
 pub mod engine;
+pub mod fault;
 pub mod format;
 pub mod intervals;
 pub mod scenario;
@@ -35,6 +39,7 @@ pub mod stats;
 pub mod workload;
 
 pub use engine::{Action, Latency, SimError, SimResult, Simulation};
+pub use fault::{mix, random_scripts, Delivery, FaultLog, FaultPlan, Partition};
 pub use format::TraceFile;
 pub use intervals::{by_label, per_process_phases, time_window};
 pub use scenario::Scenario;

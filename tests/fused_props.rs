@@ -124,6 +124,37 @@ fn check_workload(w: &Workload) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Work-stealing parallel pair evaluation is deterministic and
+/// identical to the sequential scan, for every mode and any thread
+/// count: same reports, same order, same comparison tallies.
+fn check_parallel_determinism(w: &Workload) -> Result<(), TestCaseError> {
+    for mode in [EvalMode::Counted, EvalMode::Fused] {
+        let d = Detector::new(&w.exec, w.events.clone()).with_mode(mode);
+        let sequential = d.all_pairs();
+        for threads in [1, 2, 8] {
+            let par = d.all_pairs_parallel(threads);
+            prop_assert_eq!(
+                &sequential,
+                &par,
+                "mode {:?}, {} threads diverged from sequential",
+                mode,
+                threads
+            );
+            // Re-running must be bit-identical: the work-stealing
+            // schedule may differ between runs, the output must not.
+            let again = d.all_pairs_parallel(threads);
+            prop_assert_eq!(
+                &par,
+                &again,
+                "mode {:?}, {} threads nondeterministic across runs",
+                mode,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -136,6 +167,16 @@ proptest! {
         let w = gen_workload(seed, processes, events_per_process);
         check_workload(&w)?;
     }
+
+    #[test]
+    fn parallel_pairs_deterministic(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_parallel_determinism(&w)?;
+    }
 }
 
 /// One deterministic run so plain `cargo test` exercises the property
@@ -144,4 +185,5 @@ proptest! {
 fn fixed_seed_smoke() {
     let w = gen_workload(0xC0FFEE, 5, 8);
     check_workload(&w).unwrap();
+    check_parallel_determinism(&w).unwrap();
 }

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use synchrel_core::{Detector, NonatomicEvent};
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload::{self, RandomConfig};
+use synchrel_sim::FaultPlan;
 
 #[test]
 fn relations_survive_roundtrip() {
@@ -46,6 +47,53 @@ fn scenario_traces_roundtrip() {
     let (exec2, intervals) = tf.restore().unwrap();
     assert_eq!(exec2.num_processes(), s.result.exec.num_processes());
     assert_eq!(intervals.len(), s.actions.len());
+}
+
+/// A fault plan survives a JSON round-trip exactly — the seed, the
+/// integer probabilities, and the partition schedule.
+#[test]
+fn fault_plan_roundtrip() {
+    for seed in [0u64, 4, 0xDEAD_BEEF, u64::MAX] {
+        let plan = FaultPlan::from_seed(seed);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back, "seed {seed:#x}");
+        // And the round-tripped plan is byte-for-byte re-serializable.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}
+
+/// Re-running a fault-injected simulation from the same seed, with the
+/// plan passed through JSON in between, captures a byte-identical
+/// trace: same events, same causality, same labels, same times, same
+/// fault log.
+#[test]
+fn fault_injected_rerun_is_byte_identical() {
+    for seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        let plan = FaultPlan::from_seed(seed);
+        let json = serde_json::to_string(&plan).unwrap();
+        let restored: FaultPlan = serde_json::from_str(&json).unwrap();
+
+        let run = |plan: FaultPlan| {
+            synchrel_sim::random_scripts(seed, 4, 10, 3)
+                .with_faults(plan)
+                .run()
+                .unwrap()
+        };
+        let a = run(plan);
+        let b = run(restored);
+
+        assert_eq!(a.faults, b.faults, "fault logs diverged at seed {seed:#x}");
+        assert_eq!(a.times, b.times, "event times diverged at seed {seed:#x}");
+        assert_eq!(a.labels, b.labels, "labels diverged at seed {seed:#x}");
+        let ta = TraceFile::capture(&a.exec, std::iter::empty());
+        let tb = TraceFile::capture(&b.exec, std::iter::empty());
+        assert_eq!(
+            ta.to_json().unwrap(),
+            tb.to_json().unwrap(),
+            "serialized traces diverged at seed {seed:#x}"
+        );
+    }
 }
 
 proptest! {
