@@ -9,11 +9,13 @@
 //! | [`thm20`] | Theorem 20 — per-relation comparison complexity |
 //! | [`problem4`] | Problem 4 — one/all relation detection over `𝒜` |
 //! | [`pairs`] | all-pairs throughput: counted vs fused vs parallel-fused |
+//! | [`meter`] | observability overhead: no-op vs counting meter |
 //! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
 
 pub mod figures;
+pub mod meter;
 pub mod pairs;
 pub mod problem4;
 pub mod profiles;
@@ -38,6 +40,7 @@ pub fn run_all() -> String {
         ("E-Thm20: Theorem 20", thm20::run(0xC0FFEE, 200)),
         ("E-P4: Problem 4", problem4::run(0xC0FFEE)),
         ("E-Pairs: all-pairs throughput", pairs::run(0xC0FFEE)),
+        ("E-Meter: metering overhead", meter::run(0xC0FFEE)),
         ("E-Scaling: linear vs quadratic", scaling::run(0xC0FFEE)),
         (
             "E-Profiles: the filled-in hierarchy",

@@ -4,12 +4,13 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use synchrel_core::{
-    strongest, Detector, Diagram, EvalMode, Evaluator, Execution, NonatomicEvent, Proxy,
-    ProxyRelation, Relation,
+    strongest, CompareCounter, Detector, Diagram, EvalMode, Evaluator, Execution, MeterSnapshot,
+    NonatomicEvent, Proxy, ProxyRelation, Relation,
 };
 use synchrel_monitor::differential::{run_case, run_seeds, shrink, DiffCase, Mismatch};
 use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
+use synchrel_obs::{MetricsRegistry, SpanLog};
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload;
 use synchrel_sim::TraceStats;
@@ -32,11 +33,21 @@ commands:
   query <trace.json> <X> <Y> [REL]
                          evaluate one or all Table-1 relations
   analyze <trace.json> [--threads N] [--mode fused|exact]
+      [--metrics metrics.prom|metrics.json]
                          strongest relation for every event pair
                          (fused kernel by default; exact mode reports
-                         the per-relation Theorem-20 comparison counts)
-  check <trace.json> <spec.json> [--threads N]
-                         check a synchronization spec (exit 1 on violation)
+                         the per-relation Theorem-20 comparison counts;
+                         --metrics writes Prometheus text or JSON by
+                         file extension)
+  check <trace.json> <spec.json> [--threads N] [--trace spans.jsonl]
+                         check a synchronization spec (exit 1 on
+                         violation); --trace writes stage spans as JSONL
+  meter [--seed S] [--processes N] [--events N] [--intervals K]
+      [--nodes N] [--threads N] [--format table|json] [-o path]
+                         generate a seeded workload and print the exact
+                         per-relation comparison counts next to their
+                         Theorem-20 budgets (paper Table 2); exit 1 if
+                         any evaluation exceeded its sound bound
   overlap <trace.json> <A> <B> [C...]
                          could the named events all be in progress
                          simultaneously? (exit 1 if impossible)
@@ -63,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
         "query" => query(&rest),
         "analyze" => analyze(&rest),
         "check" => check(&rest),
+        "meter" => meter(&rest),
         "overlap" => overlap(&rest),
         "fuzz" => fuzz(&rest),
         "relations" => {
@@ -235,7 +247,12 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
         other => return Err(Box::new(ArgError::Unknown(format!("mode '{other}'")))),
     };
     let d = Detector::new(&exec, events).with_mode(mode);
-    let reports = d.all_pairs_parallel(threads);
+    let counter = CompareCounter::new();
+    let reports = if a.opt("metrics").is_some() {
+        d.all_pairs_parallel_with(threads, &counter)
+    } else {
+        d.all_pairs_parallel(threads)
+    };
     let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(6) + 2;
     print!("{:>width$}", "");
     for n in &names {
@@ -276,7 +293,25 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
         reports.len(),
         cmp
     );
+    if let Some(path) = a.opt("metrics") {
+        let mut reg = MetricsRegistry::new();
+        counter.snapshot(Relation::NAMES).register(&mut reg);
+        write_metrics(path, &reg)?;
+        eprintln!("wrote {} metric samples to {path}", reg.len());
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Write a registry as JSON (`.json` extension) or Prometheus text
+/// (anything else).
+fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), AnyError> {
+    let body = if path.ends_with(".json") {
+        reg.to_json()
+    } else {
+        reg.render_prometheus()
+    };
+    std::fs::write(path, body)?;
+    Ok(())
 }
 
 /// The Definition-2 proxy pair under which the proxy relation equals
@@ -291,22 +326,130 @@ fn canonical_proxies(rel: Relation) -> (Proxy, Proxy) {
 }
 
 fn check(a: &Args) -> Result<ExitCode, AnyError> {
-    let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+    let spans = SpanLog::new();
+    let (exec, intervals) = {
+        let mut s = spans.span("cli.load");
+        let (exec, intervals) = load(a.pos(0, "trace file")?)?;
+        s.field("events", exec.total_app_len());
+        s.field("intervals", intervals.len());
+        (exec, intervals)
+    };
     let spec_text = std::fs::read_to_string(a.pos(1, "spec file")?)?;
     let spec: Spec = serde_json::from_str(&spec_text)?;
     let threads: usize = a.num("threads", 1)?;
     let checker = Checker::new(&exec, intervals);
-    let report = if threads > 1 {
-        checker.check_parallel(&spec, threads)
-    } else {
-        checker.check(&spec)
+    let report = {
+        let mut s = spans.span("checker.check");
+        s.field("requirements", spec.requirements.len());
+        s.field("threads", threads);
+        let report = if threads > 1 {
+            checker.check_parallel(&spec, threads)
+        } else {
+            checker.check(&spec)
+        };
+        s.field("all_hold", report.all_hold());
+        report
     };
     print!("{report}");
+    if let Some(path) = a.opt("trace") {
+        std::fs::write(path, spans.to_jsonl())?;
+        eprintln!("wrote {} spans to {path}", spans.len());
+    }
     Ok(if report.all_hold() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     })
+}
+
+/// Render a [`MeterSnapshot`] as the per-relation comparison-count
+/// table of the paper's Table 2: measured comparisons next to the
+/// sound and paper-claimed Theorem-20 budgets.
+fn meter_table(s: &MeterSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("relation  evals  comparisons  sound-budget  claimed-budget  max/eval  status\n");
+    for t in &s.relations {
+        let status = if t.sound_violations > 0 {
+            "VIOLATED"
+        } else if t.claimed_excess > 0 {
+            "over-claimed" // paper's R2'/R3 bound is below the sound scan
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<9} {:>6} {:>12} {:>13} {:>15} {:>9}  {status}\n",
+            t.name, t.evals, t.comparisons, t.sound_budget, t.claimed_budget, t.max_comparisons
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} pairs, {} comparisons total ({:.1} per pair)\n",
+        s.pairs,
+        s.pair_comparisons,
+        if s.pairs == 0 {
+            0.0
+        } else {
+            s.pair_comparisons as f64 / s.pairs as f64
+        }
+    ));
+    out
+}
+
+fn meter(a: &Args) -> Result<ExitCode, AnyError> {
+    let seed: u64 = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 42,
+    };
+    let processes: usize = a.num("processes", 6)?;
+    // The hash-driven generator keeps the trace — and therefore the
+    // comparison table — byte-identical across toolchains, so the
+    // output can be pinned by a golden file.
+    let w = workload::seeded(
+        seed,
+        processes,
+        a.num("events", 30)?,
+        a.num("intervals", 8)?,
+        a.num("nodes", (processes / 2).max(1))?,
+        3,
+    );
+    let threads: usize = a.num("threads", 4)?;
+    // Per-relation attribution needs the unfused (Counted) evaluator:
+    // the fused kernel shares scans across relations.
+    let d = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Counted);
+    let counter = CompareCounter::new();
+    let reports = d.all_pairs_parallel_with(threads, &counter);
+    let snap = counter.snapshot(Relation::NAMES);
+    let body = match a.opt("format").unwrap_or("table") {
+        "table" => {
+            let mut b = format!(
+                "workload {} (seed {seed:#x}): {} events, {} intervals, {} pairs\n\n",
+                w.name,
+                w.exec.total_app_len(),
+                w.events.len(),
+                reports.len()
+            );
+            b.push_str(&meter_table(&snap));
+            b
+        }
+        "json" => {
+            let mut j = snap.to_json();
+            j.push('\n');
+            j
+        }
+        other => return Err(Box::new(ArgError::Unknown(format!("format '{other}'")))),
+    };
+    match a.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &body)?;
+            eprintln!("wrote meter report to {path}");
+        }
+        None => print!("{body}"),
+    }
+    let violations: u64 = snap.relations.iter().map(|t| t.sound_violations).sum();
+    if violations > 0 {
+        eprintln!("{violations} evaluation(s) exceeded their sound Theorem-20 bound");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn overlap(a: &Args) -> Result<ExitCode, AnyError> {

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use synchrel_obs::{Meter, NoopMeter};
 
 use crate::error::{Error, Result};
 use crate::execution::Execution;
@@ -148,13 +149,24 @@ impl<'a> Detector<'a> {
 
     /// Problem 4(ii) for one pair: all relations of `ℛ` that hold.
     pub fn pair(&self, xi: usize, yi: usize) -> Result<PairReport> {
+        self.pair_with(xi, yi, &NoopMeter)
+    }
+
+    /// [`Detector::pair`] reporting comparison counts to a [`Meter`].
+    ///
+    /// In [`EvalMode::Counted`] every one of the 32 relation
+    /// evaluations is reported with its Theorem-20 budgets; in
+    /// [`EvalMode::Fused`] only the pair total is (the fused kernel's
+    /// scans are shared across relations).
+    #[inline]
+    pub fn pair_with<M: Meter>(&self, xi: usize, yi: usize, meter: &M) -> Result<PairReport> {
         self.check_index(xi)?;
         self.check_index(yi)?;
         let sx = self.summary(xi);
         let sy = self.summary(yi);
         let (relations, comparisons) = match self.mode {
-            EvalMode::Counted => self.eval.eval_all_proxy(&sx, &sy),
-            EvalMode::Fused => self.eval.eval_all_proxy_fused(&sx, &sy),
+            EvalMode::Counted => self.eval.eval_all_proxy_with(&sx, &sy, meter),
+            EvalMode::Fused => self.eval.eval_all_proxy_fused_with(&sx, &sy, meter),
         };
         Ok(PairReport {
             x: xi,
@@ -166,12 +178,17 @@ impl<'a> Detector<'a> {
 
     /// Problem 4(ii): reports for every ordered pair `X ≠ Y`.
     pub fn all_pairs(&self) -> Vec<PairReport> {
+        self.all_pairs_with(&NoopMeter)
+    }
+
+    /// [`Detector::all_pairs`] reporting to a [`Meter`].
+    pub fn all_pairs_with<M: Meter>(&self, meter: &M) -> Vec<PairReport> {
         let n = self.events.len();
         let mut out = Vec::with_capacity(n.saturating_sub(1) * n);
         for x in 0..n {
             for y in 0..n {
                 if x != y {
-                    out.push(self.pair(x, y).expect("indices in range"));
+                    out.push(self.pair_with(x, y, meter).expect("indices in range"));
                 }
             }
         }
@@ -186,6 +203,22 @@ impl<'a> Detector<'a> {
     /// so workers that land on cheap pairs immediately grab the next
     /// batch instead of idling at a chunk boundary.
     pub fn all_pairs_parallel(&self, threads: usize) -> Vec<PairReport> {
+        self.all_pairs_parallel_with(threads, &NoopMeter)
+    }
+
+    /// [`Detector::all_pairs_parallel`] reporting to a [`Meter`].
+    ///
+    /// Each worker thread gets its own [`Meter::fork`] (the counting
+    /// meter is `Cell`-based and deliberately `!Sync`), and the forks
+    /// are [`Meter::absorb`]ed into `meter` after the join. Because the
+    /// merge is commutative and associative, the aggregated metrics are
+    /// identical for every thread count and any work-stealing schedule
+    /// — only the per-worker partition varies.
+    pub fn all_pairs_parallel_with<M: Meter + Send>(
+        &self,
+        threads: usize,
+        meter: &M,
+    ) -> Vec<PairReport> {
         let n = self.events.len();
         if n < 2 {
             return Vec::new();
@@ -198,17 +231,21 @@ impl<'a> Detector<'a> {
         if threads == 1 {
             return pairs
                 .iter()
-                .map(|&(x, y)| self.pair(x, y).expect("indices in range"))
+                .map(|&(x, y)| self.pair_with(x, y, meter).expect("indices in range"))
                 .collect();
         }
         // Batched claims amortize the atomic traffic while staying small
         // enough that no worker hoards a long tail of expensive pairs.
         let batch = (pairs.len() / (threads * 8)).clamp(1, 64);
         let next = AtomicUsize::new(0);
-        let results: Vec<Vec<(usize, PairReport)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
+        let forks: Vec<M> = (0..threads).map(|_| meter.fork()).collect();
+        let results: Vec<(Vec<(usize, PairReport)>, M)> = std::thread::scope(|scope| {
+            let pairs = &pairs;
+            let next = &next;
+            let handles: Vec<_> = forks
+                .into_iter()
+                .map(|fork| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
                             let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -217,11 +254,11 @@ impl<'a> Detector<'a> {
                             }
                             let end = (start + batch).min(pairs.len());
                             for (k, &(x, y)) in pairs[start..end].iter().enumerate() {
-                                let rep = self.pair(x, y).expect("indices in range");
+                                let rep = self.pair_with(x, y, &fork).expect("indices in range");
                                 local.push((start + k, rep));
                             }
                         }
-                        local
+                        (local, fork)
                     })
                 })
                 .collect();
@@ -231,8 +268,11 @@ impl<'a> Detector<'a> {
                 .collect()
         });
         let mut out: Vec<Option<PairReport>> = vec![None; pairs.len()];
-        for (k, rep) in results.into_iter().flatten() {
-            out[k] = Some(rep);
+        for (local, fork) in results {
+            meter.absorb(&fork);
+            for (k, rep) in local {
+                out[k] = Some(rep);
+            }
         }
         out.into_iter().map(|r| r.expect("filled")).collect()
     }
@@ -247,6 +287,8 @@ impl<'a> Detector<'a> {
 
 #[cfg(test)]
 mod tests {
+    use synchrel_obs::CompareCounter;
+
     use super::*;
     use crate::execution::ExecutionBuilder;
     use crate::proxy_relations::Proxy;
@@ -350,6 +392,54 @@ mod tests {
         let cached = Detector::new(&e, evs.clone());
         let uncached = Detector::without_cache(&e, evs);
         assert_eq!(cached.all_pairs(), uncached.all_pairs());
+    }
+
+    #[test]
+    fn metered_counts_match_reports() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs);
+        let meter = CompareCounter::new();
+        let reports = d.all_pairs_with(&meter);
+        assert_eq!(meter.pairs(), reports.len() as u64);
+        let total: u64 = reports.iter().map(|r| r.comparisons).sum();
+        assert_eq!(meter.comparisons(), total);
+        let snap = meter.snapshot(Relation::NAMES);
+        assert_eq!(snap.pair_comparisons, total);
+        for t in &snap.relations {
+            assert_eq!(t.sound_violations, 0, "{}", t.name);
+            assert_eq!(t.evals, 4 * reports.len() as u64, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn metering_does_not_change_reports() {
+        let (e, evs) = setup();
+        for mode in [EvalMode::Counted, EvalMode::Fused] {
+            let d = Detector::new(&e, evs.clone()).with_mode(mode);
+            let plain = d.all_pairs();
+            let meter = CompareCounter::new();
+            assert_eq!(plain, d.all_pairs_with(&meter), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_meter_aggregate_is_thread_count_independent() {
+        let (e, evs) = setup();
+        for mode in [EvalMode::Counted, EvalMode::Fused] {
+            let d = Detector::new(&e, evs.clone()).with_mode(mode);
+            let baseline = CompareCounter::new();
+            let seq = d.all_pairs_with(&baseline);
+            for threads in [1, 2, 4, 8] {
+                let meter = CompareCounter::new();
+                let par = d.all_pairs_parallel_with(threads, &meter);
+                assert_eq!(seq, par, "{mode:?} threads={threads}");
+                assert_eq!(
+                    baseline.snapshot(Relation::NAMES),
+                    meter.snapshot(Relation::NAMES),
+                    "{mode:?} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub mod relations;
 pub mod timestamp;
 pub mod vclock;
 
+/// The observability crate, re-exported so downstream users get the
+/// exact `Meter` types the evaluator generics are instantiated with.
+pub use synchrel_obs as obs;
+pub use synchrel_obs::{CompareCounter, Meter, MeterSnapshot, NoopMeter};
+
 pub use cut::{ll, not_ll, Cut, EventSet, LlForm};
 pub use detector::{Detector, EvalMode, PairReport};
 pub use diagram::Diagram;
@@ -108,6 +113,8 @@ pub use vclock::{ClockView, VectorClock};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
+    pub use synchrel_obs::{CompareCounter, Meter, MeterSnapshot, NoopMeter};
+
     pub use crate::cut::{ll, not_ll, Cut, EventSet, LlForm};
     pub use crate::detector::{Detector, EvalMode, PairReport};
     pub use crate::diagram::Diagram;

@@ -38,6 +38,8 @@
 //! deterministic and equal the worst-case bounds — what the paper's
 //! complexity statements measure.
 
+use synchrel_obs::Meter;
+
 use crate::cut::Cut;
 use crate::execution::Execution;
 use crate::nonatomic::NonatomicEvent;
@@ -286,6 +288,35 @@ impl<'a> Evaluator<'a> {
         };
         self.eval_scanned(rel, sx, sy, scan)
             .expect("Auto always picks a supported scan")
+    }
+
+    /// [`Evaluator::eval_counted`] reporting to a [`Meter`].
+    ///
+    /// Each evaluation is reported with the comparisons actually spent
+    /// and both per-evaluation budgets — [`sound_bound`] and the
+    /// paper's claimed [`theorem20_bound`] — so the meter can certify
+    /// Theorem 20 (and quantify the R2'/R3 discrepancy) without
+    /// recomputing node counts. With a [`synchrel_obs::NoopMeter`]
+    /// this monomorphizes to exactly [`Evaluator::eval_counted`].
+    #[inline]
+    pub fn eval_counted_with<M: Meter>(
+        &self,
+        rel: Relation,
+        sx: &EventSummary,
+        sy: &EventSummary,
+        meter: &M,
+    ) -> ComparisonCount {
+        let c = self.eval_counted(rel, sx, sy);
+        if meter.enabled() {
+            let (nx, ny) = (sx.node_count(), sy.node_count());
+            meter.on_relation(
+                rel.slot(),
+                c.comparisons,
+                sound_bound(rel, nx, ny),
+                theorem20_bound(rel, nx, ny),
+            );
+        }
+        c
     }
 
     /// Produce a human-actionable witness for the verdict of

@@ -16,6 +16,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use synchrel_obs::{Meter, NoopMeter};
 
 use crate::error::Result;
 use crate::execution::Execution;
@@ -252,6 +253,20 @@ impl<'a> Evaluator<'a> {
         self.eval_counted(pr.rel, sx.get(pr.x_proxy), sy.get(pr.y_proxy))
     }
 
+    /// [`Evaluator::eval_proxy`] reporting to a [`Meter`]. The proxy
+    /// combo aggregates into its base relation's slot, matching the
+    /// per-relation rows of the paper's Table 2.
+    #[inline]
+    pub fn eval_proxy_with<M: Meter>(
+        &self,
+        pr: ProxyRelation,
+        sx: &ProxySummary,
+        sy: &ProxySummary,
+        meter: &M,
+    ) -> ComparisonCount {
+        self.eval_counted_with(pr.rel, sx.get(pr.x_proxy), sy.get(pr.y_proxy), meter)
+    }
+
     /// Evaluate all 32 relations; returns the set that holds and the
     /// total comparison count (Problem 4(ii) for one pair).
     ///
@@ -260,14 +275,30 @@ impl<'a> Evaluator<'a> {
     /// reference for the paper's complexity measurements. The production
     /// hot path is [`Evaluator::eval_all_proxy_fused`].
     pub fn eval_all_proxy(&self, sx: &ProxySummary, sy: &ProxySummary) -> (RelationSet, u64) {
+        self.eval_all_proxy_with(sx, sy, &NoopMeter)
+    }
+
+    /// [`Evaluator::eval_all_proxy`] reporting to a [`Meter`]: each of
+    /// the 32 relation evaluations is reported individually (with its
+    /// Theorem-20 budgets), then the pair total.
+    #[inline]
+    pub fn eval_all_proxy_with<M: Meter>(
+        &self,
+        sx: &ProxySummary,
+        sy: &ProxySummary,
+        meter: &M,
+    ) -> (RelationSet, u64) {
         let mut set = RelationSet::empty();
         let mut comparisons = 0;
         for pr in ProxyRelation::all() {
-            let c = self.eval_proxy(pr, sx, sy);
+            let c = self.eval_proxy_with(pr, sx, sy, meter);
             if c.holds {
                 set.insert(pr);
             }
             comparisons += c.comparisons;
+        }
+        if meter.enabled() {
+            meter.on_pair(comparisons);
         }
         (set, comparisons)
     }
@@ -371,6 +402,27 @@ impl<'a> Evaluator<'a> {
             bits |= (r4 as u32) << (base + 7);
         }
         (RelationSet(bits), comparisons)
+    }
+
+    /// [`Evaluator::eval_all_proxy_fused`] reporting to a [`Meter`].
+    ///
+    /// Only the pair total is reported: the fused kernel shares its
+    /// predicate scans across the eight relations of a combo, so there
+    /// is no per-relation comparison count to attribute — per-relation
+    /// Theorem-20 accounting is what the counted path
+    /// ([`Evaluator::eval_all_proxy_with`]) is for.
+    #[inline]
+    pub fn eval_all_proxy_fused_with<M: Meter>(
+        &self,
+        sx: &ProxySummary,
+        sy: &ProxySummary,
+        meter: &M,
+    ) -> (RelationSet, u64) {
+        let (set, comparisons) = self.eval_all_proxy_fused(sx, sy);
+        if meter.enabled() {
+            meter.on_pair(comparisons);
+        }
+        (set, comparisons)
     }
 }
 

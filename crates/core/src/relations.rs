@@ -68,6 +68,10 @@ impl Relation {
         Relation::R4p,
     ];
 
+    /// The eight relation names in Table-1 order — the slot labels for
+    /// [`synchrel_obs::CompareCounter::snapshot`].
+    pub const NAMES: [&'static str; 8] = ["R1", "R1'", "R2", "R2'", "R3", "R3'", "R4", "R4'"];
+
     /// The paper's name for the relation.
     pub fn name(self) -> &'static str {
         match self {
@@ -106,6 +110,21 @@ impl Relation {
             Relation::R3 => "∩⇓Y ≪̸ ∩⇑X",
             Relation::R3p => "∏_{y∈Y} [↓y ≪̸ ∩⇑X]",
             Relation::R4 | Relation::R4p => "∪⇓Y ≪̸ ∩⇑X",
+        }
+    }
+
+    /// Stable index in Table-1 order (`0..8`), matching the meter slot
+    /// layout of [`synchrel_obs::RELATION_SLOTS`].
+    pub fn slot(self) -> usize {
+        match self {
+            Relation::R1 => 0,
+            Relation::R1p => 1,
+            Relation::R2 => 2,
+            Relation::R2p => 3,
+            Relation::R3 => 4,
+            Relation::R3p => 5,
+            Relation::R4 => 6,
+            Relation::R4p => 7,
         }
     }
 

@@ -36,6 +36,8 @@ pub mod spec;
 pub use checker::{CheckReport, Checker, ConditionReport};
 pub use differential::{run_case, shrink, DiffCase, Mismatch};
 pub use mutex::{MutexReport, MutexViolation};
-pub use online::{Ingest, OnlineError, OnlineMonitor, OnlineMsg, Verdict, WatchEvent, WireEvent};
+pub use online::{
+    Ingest, MonitorStats, OnlineError, OnlineMonitor, OnlineMsg, Verdict, WatchEvent, WireEvent,
+};
 pub use predicate::{possibly_overlap, LocalInterval, PossiblyReport};
 pub use spec::{Condition, Spec};

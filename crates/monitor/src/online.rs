@@ -48,10 +48,13 @@
 //! exact rules would settle becomes [`Verdict::Unknown`], and
 //! [`Verdict::Pending`] stays pending.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 use synchrel_core::{Relation, VectorClock};
+use synchrel_obs::MetricsRegistry;
 
 /// Handle to a message sent through the monitor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -207,6 +210,138 @@ struct WatchState {
     last: Verdict,
 }
 
+/// Internal running counters. Ingest-side counters are plain `u64`
+/// (updated in `&mut self` paths); verdict tallies are `Cell`s because
+/// [`OnlineMonitor::check`] takes `&self`.
+#[derive(Clone, Debug, Default)]
+struct Stats {
+    applied: u64,
+    buffered: u64,
+    duplicates: u64,
+    flushes: u64,
+    flush_nanos: u64,
+    max_pending: u64,
+    verdicts: [Cell<u64>; 4],
+}
+
+/// Point-in-time snapshot of a monitor's operational counters, for the
+/// observability surface (fault-induced Unknown rates, buffer depth,
+/// flush latency).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MonitorStats {
+    /// Events applied to the clocks (token and wire API).
+    pub applied: u64,
+    /// Wire reports that arrived out of order and were buffered.
+    pub buffered: u64,
+    /// Wire reports discarded as duplicates.
+    pub duplicates: u64,
+    /// Drain passes over the buffer (ingest-triggered and explicit).
+    pub flushes: u64,
+    /// Wall-clock nanoseconds spent draining the buffer.
+    pub flush_nanos: u64,
+    /// High-water mark of the out-of-order buffer depth.
+    pub max_pending: u64,
+    /// Reports currently buffered.
+    pub pending: u64,
+    /// Wire sequence slots conceded as lost.
+    pub lost: u64,
+    /// Whether the monitor's view is currently degraded.
+    pub degraded: bool,
+    /// `check` verdicts returned, by kind.
+    pub holds: u64,
+    /// `check` verdicts returned as Violated.
+    pub violated: u64,
+    /// `check` verdicts returned as Pending.
+    pub pending_verdicts: u64,
+    /// `check` verdicts returned as Unknown (fault-induced decay).
+    pub unknown: u64,
+}
+
+impl MonitorStats {
+    /// Total `check` verdicts tallied.
+    pub fn checks(&self) -> u64 {
+        self.holds + self.violated + self.pending_verdicts + self.unknown
+    }
+
+    /// Fraction of `check` verdicts that decayed to Unknown (0 when no
+    /// checks ran) — the fault-induced Unknown rate.
+    pub fn unknown_rate(&self) -> f64 {
+        let n = self.checks();
+        if n == 0 {
+            0.0
+        } else {
+            self.unknown as f64 / n as f64
+        }
+    }
+
+    /// Export the counters into a metrics registry.
+    pub fn register(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "synchrel_monitor_applied_total",
+            "Events applied to the monitor clocks",
+            self.applied,
+        );
+        reg.counter(
+            "synchrel_monitor_buffered_total",
+            "Wire reports buffered out of order",
+            self.buffered,
+        );
+        reg.counter(
+            "synchrel_monitor_duplicates_total",
+            "Wire reports discarded as duplicates",
+            self.duplicates,
+        );
+        reg.counter(
+            "synchrel_monitor_flushes_total",
+            "Buffer drain passes",
+            self.flushes,
+        );
+        reg.counter(
+            "synchrel_monitor_flush_nanos_total",
+            "Wall-clock nanoseconds spent draining the buffer",
+            self.flush_nanos,
+        );
+        reg.gauge(
+            "synchrel_monitor_buffer_depth",
+            "Reports currently buffered out of order",
+            self.pending as f64,
+        );
+        reg.gauge(
+            "synchrel_monitor_buffer_depth_max",
+            "High-water mark of the out-of-order buffer depth",
+            self.max_pending as f64,
+        );
+        reg.counter(
+            "synchrel_monitor_lost_total",
+            "Wire sequence slots conceded as lost",
+            self.lost,
+        );
+        reg.gauge(
+            "synchrel_monitor_degraded",
+            "1 when the monitor view is degraded",
+            if self.degraded { 1.0 } else { 0.0 },
+        );
+        for (verdict, count) in [
+            ("holds", self.holds),
+            ("violated", self.violated),
+            ("pending", self.pending_verdicts),
+            ("unknown", self.unknown),
+        ] {
+            reg.counter_with(
+                "synchrel_monitor_verdicts_total",
+                &[("verdict", verdict)],
+                "check() verdicts returned, by kind",
+                count,
+            );
+        }
+        reg.gauge(
+            "synchrel_monitor_unknown_rate",
+            "Fraction of check() verdicts decayed to Unknown",
+            self.unknown_rate(),
+        );
+    }
+}
+
 /// A verdict transition reported by [`OnlineMonitor::poll`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WatchEvent {
@@ -236,6 +371,8 @@ pub struct OnlineMonitor {
     lossy: bool,
     /// Wire sequence slots conceded as lost.
     lost: u64,
+    /// Operational counters (see [`MonitorStats`]).
+    stats: Stats,
 }
 
 impl OnlineMonitor {
@@ -255,7 +392,32 @@ impl OnlineMonitor {
             wire_msgs: BTreeMap::new(),
             lossy: false,
             lost: 0,
+            stats: Stats::default(),
         }
+    }
+
+    /// A snapshot of the monitor's operational counters.
+    pub fn stats(&self) -> MonitorStats {
+        MonitorStats {
+            applied: self.stats.applied,
+            buffered: self.stats.buffered,
+            duplicates: self.stats.duplicates,
+            flushes: self.stats.flushes,
+            flush_nanos: self.stats.flush_nanos,
+            max_pending: self.stats.max_pending,
+            pending: self.pending() as u64,
+            lost: self.lost,
+            degraded: self.is_degraded(),
+            holds: self.stats.verdicts[0].get(),
+            violated: self.stats.verdicts[1].get(),
+            pending_verdicts: self.stats.verdicts[2].get(),
+            unknown: self.stats.verdicts[3].get(),
+        }
+    }
+
+    /// Export the monitor's counters into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats().register(reg);
     }
 
     /// Number of processes.
@@ -290,6 +452,7 @@ impl OnlineMonitor {
         v.tick(p);
         self.clocks[p] = v;
         self.pos[p] += 1;
+        self.stats.applied += 1;
     }
 
     fn record(&mut self, p: usize, labels: &[&str]) {
@@ -391,6 +554,14 @@ impl OnlineMonitor {
     /// Apply every buffered report whose per-process prefix (and, for
     /// receives, matching send) is now available, until a fixpoint.
     fn wire_drain(&mut self) -> Result<usize, OnlineError> {
+        let t0 = Instant::now();
+        let r = self.wire_drain_inner();
+        self.stats.flushes += 1;
+        self.stats.flush_nanos += t0.elapsed().as_nanos() as u64;
+        r
+    }
+
+    fn wire_drain_inner(&mut self) -> Result<usize, OnlineError> {
         let mut applied = 0;
         loop {
             let mut progressed = false;
@@ -433,6 +604,7 @@ impl OnlineMonitor {
     ) -> Result<Ingest, OnlineError> {
         self.check_process(p)?;
         if seq < self.next_seq[p] || self.held[p].contains_key(&seq) {
+            self.stats.duplicates += 1;
             return Ok(Ingest::Duplicate);
         }
         let owned: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
@@ -442,6 +614,8 @@ impl OnlineMonitor {
             return Ok(Ingest::Applied(1 + drained));
         }
         self.held[p].insert(seq, (event, owned));
+        self.stats.buffered += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.pending() as u64);
         Ok(Ingest::Buffered)
     }
 
@@ -652,14 +826,24 @@ impl OnlineMonitor {
     /// [`Verdict::Pending`] stays pending.
     pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
         let exact = self.check_exact(rel, x, y);
-        if !self.is_degraded() {
-            return exact;
-        }
-        match (rel, exact) {
-            (_, Verdict::Pending) => Verdict::Pending,
-            (Relation::R4 | Relation::R4p, Verdict::Holds) => Verdict::Holds,
-            _ => Verdict::Unknown,
-        }
+        let v = if !self.is_degraded() {
+            exact
+        } else {
+            match (rel, exact) {
+                (_, Verdict::Pending) => Verdict::Pending,
+                (Relation::R4 | Relation::R4p, Verdict::Holds) => Verdict::Holds,
+                _ => Verdict::Unknown,
+            }
+        };
+        let slot = match v {
+            Verdict::Holds => 0,
+            Verdict::Violated => 1,
+            Verdict::Pending => 2,
+            Verdict::Unknown => 3,
+        };
+        let c = &self.stats.verdicts[slot];
+        c.set(c.get() + 1);
+        v
     }
 
     /// The monotonicity-aware three-valued verdict for `rel(X, Y)`,
@@ -1117,6 +1301,65 @@ mod tests {
         let events = m.poll();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn stats_track_ingest_and_verdicts() {
+        let mut m = OnlineMonitor::new(2);
+        assert_eq!(m.stats(), MonitorStats::default());
+        // Out-of-order: seq 1 buffers, seq 0 applies and drains it.
+        m.ingest(0, 1, WireEvent::Internal, &["x"]).unwrap();
+        m.ingest(0, 1, WireEvent::Internal, &["x"]).unwrap(); // duplicate
+        m.ingest(0, 0, WireEvent::Internal, &["x"]).unwrap();
+        m.ingest(1, 0, WireEvent::Internal, &["y"]).unwrap();
+        let s = m.stats();
+        assert_eq!(s.applied, 3);
+        assert_eq!(s.buffered, 1);
+        assert_eq!(s.duplicates, 1);
+        assert_eq!(s.max_pending, 1);
+        assert_eq!(s.pending, 0);
+        assert!(!s.degraded);
+        assert!(s.flushes >= 1);
+        // Verdict tallies: x and y are concurrent, R1 is violated.
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Violated);
+        assert_eq!(m.check(Relation::R4, "x", "y"), Verdict::Pending);
+        let s = m.stats();
+        assert_eq!(s.violated, 1);
+        assert_eq!(s.pending_verdicts, 1);
+        assert_eq!(s.checks(), 2);
+        assert_eq!(s.unknown_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_unknown_rate_under_degradation() {
+        let mut m = OnlineMonitor::new(2);
+        m.ingest(0, 1, WireEvent::Internal, &["x"]).unwrap();
+        m.ingest(1, 0, WireEvent::Internal, &["y"]).unwrap();
+        m.declare_lost().unwrap();
+        m.close("x");
+        m.close("y");
+        assert_eq!(m.check(Relation::R1, "x", "y"), Verdict::Unknown);
+        assert_eq!(m.check(Relation::R2, "x", "y"), Verdict::Unknown);
+        let s = m.stats();
+        assert_eq!(s.lost, 1);
+        assert!(s.degraded);
+        assert_eq!(s.unknown, 2);
+        assert_eq!(s.unknown_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_export_to_registry() {
+        let mut m = OnlineMonitor::new(1);
+        m.ingest(0, 0, WireEvent::Internal, &["x"]).unwrap();
+        m.close("x");
+        m.check(Relation::R4, "x", "x");
+        let mut reg = MetricsRegistry::new();
+        m.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("synchrel_monitor_applied_total 1\n"));
+        assert!(text.contains("# TYPE synchrel_monitor_verdicts_total counter\n"));
+        assert!(text.contains("synchrel_monitor_verdicts_total{verdict=\"holds\"} 1\n"));
+        assert!(text.contains("synchrel_monitor_unknown_rate 0\n"));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Power-of-two-bucket histograms for comparison-per-pair distributions.
+//!
+//! Buckets are cumulative only at render time; internally each bucket
+//! stores its own count so that [`Histogram::absorb`] is plain
+//! (commutative, associative) addition — the property the parallel
+//! fork/absorb merge relies on.
+
+use std::cell::Cell;
+
+use crate::json::{u64_array, ObjectWriter};
+
+/// Number of buckets: upper bounds `1, 2, 4, …, 2^15`, then `+Inf`.
+pub const BUCKETS: usize = 17;
+
+/// A `Cell`-based histogram with power-of-two bucket bounds.
+///
+/// `!Sync` by construction (like [`crate::CompareCounter`]): each thread
+/// owns its fork, and forks are merged after the join.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [Cell<u64>; BUCKETS],
+    sum: Cell<u64>,
+    count: Cell<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| Cell::new(0)),
+            sum: Cell::new(0),
+            count: Cell::new(0),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let b = &self.counts[bucket_index(v)];
+        b.set(b.get() + 1);
+        self.sum.set(self.sum.get() + v);
+        self.count.set(self.count.get() + 1);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// Merge another histogram into this one (plain addition — order
+    /// independent).
+    pub fn absorb(&self, other: &Histogram) {
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            a.set(a.get() + b.get());
+        }
+        self.sum.set(self.sum.get() + other.sum.get());
+        self.count.set(self.count.get() + other.count.get());
+    }
+
+    /// An immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            le: (0..BUCKETS - 1).map(|i| 1u64 << i).collect(),
+            counts: self.counts.iter().map(Cell::get).collect(),
+            sum: self.sum.get(),
+            count: self.count.get(),
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds (`counts` has one extra `+Inf` bucket).
+    pub le: Vec<u64>,
+    /// Per-bucket (non-cumulative) observation counts.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Hand-rolled JSON form.
+    pub fn to_json(&self) -> String {
+        ObjectWriter::new()
+            .raw_field("le", &u64_array(&self.le))
+            .raw_field("counts", &u64_array(&self.counts))
+            .u64_field("sum", self.sum)
+            .u64_field("count", self.count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 15), 15);
+        assert_eq!(bucket_index((1 << 15) + 1), 16);
+        assert_eq!(bucket_index(u64::MAX), 16);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_000_106);
+        assert_eq!(s.counts.iter().sum::<u64>(), 6);
+        assert_eq!(s.counts[0], 2); // 0 and 1
+        assert_eq!(s.counts[16], 1); // 1_000_000 overflows to +Inf
+        assert_eq!(s.le.len() + 1, s.counts.len());
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 9]);
+        let b = mk(&[2, 70]);
+        let ab = mk(&[]);
+        ab.absorb(&a);
+        ab.absorb(&b);
+        let ba = mk(&[]);
+        ba.absorb(&b);
+        ba.absorb(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.snapshot(), mk(&[1, 5, 9, 2, 70]).snapshot());
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = Histogram::new();
+        h.record(3);
+        let j = h.snapshot().to_json();
+        assert!(j.starts_with("{\"le\":[1,2,4,"));
+        assert!(j.ends_with("\"sum\":3,\"count\":1}"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace meters and metrics must serialize identically whether
+//! or not a real `serde_json` is available, so this crate renders its
+//! own JSON: only what the stable schemas need (objects, arrays,
+//! strings, unsigned integers, floats, booleans).
+
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal.
+pub fn str_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_literal(&mut out, s);
+    out
+}
+
+/// A float as a JSON number. Whole values keep a trailing `.0` so the
+/// token stays a float; non-finite values (invalid in JSON) map to `0`.
+pub fn f64_literal(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental writer for one JSON object: tracks comma placement.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjectWriter {
+    /// Start an object (`{` already written).
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        push_str_literal(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_str_literal(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&f64_literal(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool_field(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw_field(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(&mut self) -> String {
+        let mut out = std::mem::take(&mut self.buf);
+        out.push('}');
+        out
+    }
+}
+
+/// Render a sequence of already-rendered JSON values as a JSON array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (k, it) in items.into_iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&it);
+    }
+    out.push(']');
+    out
+}
+
+/// Render a slice of u64 as a JSON array.
+pub fn u64_array(items: &[u64]) -> String {
+    array_of(items.iter().map(|v| v.to_string()))
+}
+
+/// Is `s` exactly one well-formed JSON value?
+///
+/// A minimal recursive-descent check, here so conformance tests can
+/// prove the emitted documents parse without depending on an external
+/// JSON parser (the offline build stubs `serde_json`).
+pub fn is_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    if !parse_value(b, &mut i) {
+        return false;
+    }
+    skip_ws(b, &mut i);
+    i == b.len()
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while matches!(b.get(*i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> bool {
+    match b.get(*i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(_) => parse_number(b, i),
+        None => false,
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> bool {
+    if b.get(*i) != Some(&b'"') {
+        return false;
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return true;
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(u8::is_ascii_hexdigit) {
+                                return false;
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x20.. => *i += 1,
+            _ => return false, // raw control character
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> bool {
+    let digits = |b: &[u8], i: &mut usize| {
+        let start = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > start
+    };
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    if !digits(b, i) {
+        return false;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return false;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return false;
+        }
+    }
+    true
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => {
+                *i += 1;
+                skip_ws(b, i);
+            }
+            Some(b']') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> bool {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return true;
+    }
+    loop {
+        if !parse_string(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return false;
+        }
+        *i += 1;
+        skip_ws(b, i);
+        if !parse_value(b, i) {
+            return false;
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => {
+                *i += 1;
+                skip_ws(b, i);
+            }
+            Some(b'}') => {
+                *i += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(str_literal("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(str_literal("R4'"), "\"R4'\"");
+        assert_eq!(str_literal("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(f64_literal(3.0), "3.0");
+        assert_eq!(f64_literal(3.25), "3.25");
+        assert_eq!(f64_literal(f64::NAN), "0");
+    }
+
+    #[test]
+    fn object_writer() {
+        let json = ObjectWriter::new()
+            .str_field("schema", "x/v1")
+            .u64_field("n", 7)
+            .bool_field("ok", true)
+            .raw_field("xs", &u64_array(&[1, 2]))
+            .finish();
+        assert_eq!(
+            json,
+            "{\"schema\":\"x/v1\",\"n\":7,\"ok\":true,\"xs\":[1,2]}"
+        );
+        assert!(is_valid(&json));
+    }
+
+    #[test]
+    fn validator_accepts_well_formed() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            "\"a\\u00ff\"",
+            "{\"a\":[1,2.0,{\"b\":false}],\"c\":\"d\"}",
+            " { \"x\" : [ 1 , 2 ] } ",
+        ] {
+            assert!(is_valid(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{'a':1}",
+            "01e",
+            "1.",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "{} {}",
+            "[1 2]",
+            "nul",
+        ] {
+            assert!(!is_valid(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability for the synchrel workspace.
+//!
+//! Three layers, all dependency-free so that `synchrel-core` can thread
+//! them through its hot paths:
+//!
+//! * **Meters** ([`Meter`], [`NoopMeter`], [`CompareCounter`]) — exact
+//!   (not sampled) counters for the integer comparisons spent by the
+//!   Theorem-20 evaluation conditions. The trait's no-op default
+//!   monomorphizes away: the disabled path compiles to the un-metered
+//!   code. Parallel use follows a fork/absorb discipline whose merge is
+//!   commutative and associative, so aggregated totals are independent
+//!   of thread count and join order.
+//! * **Span tracing** ([`SpanLog`]) — wall-clock stage spans
+//!   (detector / checker / monitor / simulation) serialized as JSONL
+//!   with the stable schema [`SPAN_SCHEMA`].
+//! * **Metrics** ([`MetricsRegistry`], [`Histogram`]) — named counters,
+//!   gauges and power-of-two-bucket histograms with Prometheus-style
+//!   text exposition and a hand-rolled JSON form ([`METRICS_SCHEMA`]).
+//!
+//! All serialization in this crate is hand-rolled (no serde_json), so
+//! output is identical on every build of the workspace.
+
+pub mod hist;
+pub mod json;
+pub mod meter;
+pub mod registry;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use meter::{
+    CompareCounter, Meter, MeterSnapshot, NoopMeter, RelationTally, METER_SCHEMA, RELATION_SLOTS,
+};
+pub use registry::{MetricsRegistry, METRICS_SCHEMA};
+pub use span::{FieldValue, Span, SpanLog, SpanRecord, SPAN_SCHEMA};

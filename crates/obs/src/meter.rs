@@ -1,0 +1,404 @@
+//! Exact comparison metering for the Theorem-20 evaluation conditions.
+//!
+//! The evaluator reports every relation evaluation to a [`Meter`]
+//! together with the two comparison budgets it is accountable to: the
+//! **sound** bound the workspace proves (`min(|N_X|,|N_Y|)` for
+//! R1/R1'/R4/R4', `|N_X|` for R2/R3, `|N_Y|` for R2'/R3') and the
+//! paper's **claimed** Theorem-20 bound (which differs for R2'/R3 —
+//! see `crates/core/src/linear.rs`). Counts are exact, not sampled:
+//! the evaluation conditions never short-circuit, so one evaluation
+//! always costs exactly its scan length and the meter just adds it up.
+//!
+//! [`NoopMeter`] is the default. Its methods are empty and `enabled()`
+//! is `false`; because the evaluator is generic over `M: Meter`, the
+//! no-op instantiation monomorphizes to the un-metered code.
+//!
+//! [`CompareCounter`] is `Cell`-based: `Send` but `!Sync`. Parallel
+//! callers [`Meter::fork`] one child per worker and [`Meter::absorb`]
+//! the children after the join; the merge is plain addition (plus `max`
+//! for the high-water mark), hence commutative and associative, and the
+//! aggregate is identical for any thread count or join order.
+
+use std::cell::Cell;
+
+use crate::hist::Histogram;
+use crate::json::{array_of, ObjectWriter};
+use crate::registry::MetricsRegistry;
+
+/// Schema tag of [`MeterSnapshot::to_json`].
+pub const METER_SCHEMA: &str = "synchrel/meter/v1";
+
+/// Number of per-relation slots (the eight Table-1 relations; proxy
+/// combos aggregate into their base relation's slot).
+pub const RELATION_SLOTS: usize = 8;
+
+/// Sink for evaluation-condition comparison counts.
+///
+/// All methods take `&self`: implementations use interior mutability so
+/// meters can be threaded through evaluator methods that already borrow
+/// summaries immutably.
+pub trait Meter {
+    /// Whether this meter records anything. Callers may skip preparing
+    /// bound arguments when `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// One relation evaluated: `comparisons` spent against the sound
+    /// and paper-claimed budgets. `slot` is the base relation's index
+    /// in Table-1 order (`0..RELATION_SLOTS`).
+    fn on_relation(&self, slot: usize, comparisons: u64, sound_bound: u64, claimed_bound: u64) {
+        let _ = (slot, comparisons, sound_bound, claimed_bound);
+    }
+
+    /// One full 32-relation pair evaluated for `comparisons` total.
+    fn on_pair(&self, comparisons: u64) {
+        let _ = comparisons;
+    }
+
+    /// A fresh child meter for one parallel worker.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Merge a worker's child meter back. Must be commutative and
+    /// associative so parallel aggregation is order-independent.
+    fn absorb(&self, child: &Self)
+    where
+        Self: Sized,
+    {
+        let _ = child;
+    }
+}
+
+/// The zero-cost disabled meter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopMeter;
+
+impl Meter for NoopMeter {
+    fn fork(&self) -> Self {
+        NoopMeter
+    }
+}
+
+#[derive(Debug, Default)]
+struct RelTally {
+    evals: Cell<u64>,
+    comparisons: Cell<u64>,
+    sound_budget: Cell<u64>,
+    claimed_budget: Cell<u64>,
+    sound_violations: Cell<u64>,
+    claimed_excess: Cell<u64>,
+    max_comparisons: Cell<u64>,
+}
+
+impl RelTally {
+    fn absorb(&self, o: &RelTally) {
+        self.evals.set(self.evals.get() + o.evals.get());
+        self.comparisons
+            .set(self.comparisons.get() + o.comparisons.get());
+        self.sound_budget
+            .set(self.sound_budget.get() + o.sound_budget.get());
+        self.claimed_budget
+            .set(self.claimed_budget.get() + o.claimed_budget.get());
+        self.sound_violations
+            .set(self.sound_violations.get() + o.sound_violations.get());
+        self.claimed_excess
+            .set(self.claimed_excess.get() + o.claimed_excess.get());
+        self.max_comparisons
+            .set(self.max_comparisons.get().max(o.max_comparisons.get()));
+    }
+}
+
+/// The counting meter: exact per-relation comparison tallies, pair
+/// totals, and a comparisons-per-pair histogram.
+#[derive(Debug, Default)]
+pub struct CompareCounter {
+    rel: [RelTally; RELATION_SLOTS],
+    pairs: Cell<u64>,
+    pair_comparisons: Cell<u64>,
+    per_pair: Histogram,
+}
+
+impl CompareCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CompareCounter::default()
+    }
+
+    /// Total relation evaluations recorded.
+    pub fn evals(&self) -> u64 {
+        self.rel.iter().map(|t| t.evals.get()).sum()
+    }
+
+    /// Total comparisons across all relation evaluations.
+    pub fn comparisons(&self) -> u64 {
+        self.rel.iter().map(|t| t.comparisons.get()).sum()
+    }
+
+    /// Number of full pair evaluations recorded.
+    pub fn pairs(&self) -> u64 {
+        self.pairs.get()
+    }
+
+    /// Immutable snapshot; `names` labels the slots in Table-1 order
+    /// (the meter itself does not know relation names).
+    pub fn snapshot(&self, names: [&str; RELATION_SLOTS]) -> MeterSnapshot {
+        MeterSnapshot {
+            relations: self
+                .rel
+                .iter()
+                .zip(names)
+                .map(|(t, name)| RelationTally {
+                    name: name.to_string(),
+                    evals: t.evals.get(),
+                    comparisons: t.comparisons.get(),
+                    sound_budget: t.sound_budget.get(),
+                    claimed_budget: t.claimed_budget.get(),
+                    sound_violations: t.sound_violations.get(),
+                    claimed_excess: t.claimed_excess.get(),
+                    max_comparisons: t.max_comparisons.get(),
+                })
+                .collect(),
+            pairs: self.pairs.get(),
+            pair_comparisons: self.pair_comparisons.get(),
+            per_pair: self.per_pair.snapshot(),
+        }
+    }
+}
+
+impl Meter for CompareCounter {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_relation(&self, slot: usize, comparisons: u64, sound_bound: u64, claimed_bound: u64) {
+        let t = &self.rel[slot];
+        t.evals.set(t.evals.get() + 1);
+        t.comparisons.set(t.comparisons.get() + comparisons);
+        t.sound_budget.set(t.sound_budget.get() + sound_bound);
+        t.claimed_budget.set(t.claimed_budget.get() + claimed_bound);
+        if comparisons > sound_bound {
+            t.sound_violations.set(t.sound_violations.get() + 1);
+        }
+        if comparisons > claimed_bound {
+            t.claimed_excess.set(t.claimed_excess.get() + 1);
+        }
+        t.max_comparisons
+            .set(t.max_comparisons.get().max(comparisons));
+    }
+
+    fn on_pair(&self, comparisons: u64) {
+        self.pairs.set(self.pairs.get() + 1);
+        self.pair_comparisons
+            .set(self.pair_comparisons.get() + comparisons);
+        self.per_pair.record(comparisons);
+    }
+
+    fn fork(&self) -> Self {
+        CompareCounter::new()
+    }
+
+    fn absorb(&self, child: &Self) {
+        for (a, b) in self.rel.iter().zip(&child.rel) {
+            a.absorb(b);
+        }
+        self.pairs.set(self.pairs.get() + child.pairs.get());
+        self.pair_comparisons
+            .set(self.pair_comparisons.get() + child.pair_comparisons.get());
+        self.per_pair.absorb(&child.per_pair);
+    }
+}
+
+/// Snapshot of one relation slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationTally {
+    /// Relation name (caller-supplied, e.g. `R2'`).
+    pub name: String,
+    /// Evaluations recorded.
+    pub evals: u64,
+    /// Comparisons actually spent.
+    pub comparisons: u64,
+    /// Sum of the sound per-evaluation bounds.
+    pub sound_budget: u64,
+    /// Sum of the paper-claimed Theorem-20 bounds.
+    pub claimed_budget: u64,
+    /// Evaluations that exceeded their sound bound (must be 0).
+    pub sound_violations: u64,
+    /// Evaluations that exceeded the paper's claimed bound (nonzero
+    /// only for R2'/R3, the documented discrepancy).
+    pub claimed_excess: u64,
+    /// Largest single-evaluation comparison count.
+    pub max_comparisons: u64,
+}
+
+impl RelationTally {
+    fn to_json(&self) -> String {
+        ObjectWriter::new()
+            .str_field("name", &self.name)
+            .u64_field("evals", self.evals)
+            .u64_field("comparisons", self.comparisons)
+            .u64_field("sound_budget", self.sound_budget)
+            .u64_field("claimed_budget", self.claimed_budget)
+            .u64_field("sound_violations", self.sound_violations)
+            .u64_field("claimed_excess", self.claimed_excess)
+            .u64_field("max_comparisons", self.max_comparisons)
+            .finish()
+    }
+}
+
+/// Plain-data snapshot of a [`CompareCounter`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Per-relation tallies in Table-1 order.
+    pub relations: Vec<RelationTally>,
+    /// Full pair evaluations recorded.
+    pub pairs: u64,
+    /// Total comparisons across pair evaluations (fused pairs count
+    /// here even though their scans are shared across relations).
+    pub pair_comparisons: u64,
+    /// Comparisons-per-pair distribution.
+    pub per_pair: crate::hist::HistogramSnapshot,
+}
+
+impl MeterSnapshot {
+    /// Total comparisons across relation evaluations.
+    pub fn comparisons(&self) -> u64 {
+        self.relations.iter().map(|t| t.comparisons).sum()
+    }
+
+    /// Hand-rolled JSON form ([`METER_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        ObjectWriter::new()
+            .str_field("schema", METER_SCHEMA)
+            .raw_field(
+                "relations",
+                &array_of(self.relations.iter().map(|t| t.to_json())),
+            )
+            .u64_field("pairs", self.pairs)
+            .u64_field("pair_comparisons", self.pair_comparisons)
+            .raw_field("per_pair", &self.per_pair.to_json())
+            .finish()
+    }
+
+    /// Export the snapshot into a metrics registry.
+    pub fn register(&self, reg: &mut MetricsRegistry) {
+        for t in &self.relations {
+            let labels = [("relation", t.name.as_str())];
+            reg.counter_with(
+                "synchrel_relation_evals_total",
+                &labels,
+                "Relation evaluations recorded by the meter",
+                t.evals,
+            );
+            reg.counter_with(
+                "synchrel_relation_comparisons_total",
+                &labels,
+                "Integer comparisons spent per relation",
+                t.comparisons,
+            );
+            reg.counter_with(
+                "synchrel_relation_sound_violations_total",
+                &labels,
+                "Evaluations exceeding the sound Theorem-20 bound",
+                t.sound_violations,
+            );
+        }
+        reg.counter(
+            "synchrel_pairs_total",
+            "Full 32-relation pair evaluations",
+            self.pairs,
+        );
+        reg.counter(
+            "synchrel_pair_comparisons_total",
+            "Integer comparisons across pair evaluations",
+            self.pair_comparisons,
+        );
+        reg.histogram(
+            "synchrel_comparisons_per_pair",
+            "Distribution of comparisons per pair evaluation",
+            &self.per_pair,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: [&str; RELATION_SLOTS] = ["R1", "R1'", "R2", "R2'", "R3", "R3'", "R4", "R4'"];
+
+    #[test]
+    fn noop_meter_is_disabled() {
+        let m = NoopMeter;
+        assert!(!m.enabled());
+        m.on_relation(0, 10, 1, 1);
+        m.on_pair(10);
+        let f = m.fork();
+        m.absorb(&f);
+    }
+
+    #[test]
+    fn counter_tallies() {
+        let m = CompareCounter::new();
+        assert!(m.enabled());
+        m.on_relation(2, 4, 4, 4);
+        m.on_relation(2, 6, 6, 6);
+        m.on_relation(3, 5, 5, 3); // R2': exceeds claimed, not sound
+        m.on_pair(15);
+        let s = m.snapshot(NAMES);
+        assert_eq!(s.relations[2].evals, 2);
+        assert_eq!(s.relations[2].comparisons, 10);
+        assert_eq!(s.relations[2].max_comparisons, 6);
+        assert_eq!(s.relations[2].sound_violations, 0);
+        assert_eq!(s.relations[2].claimed_excess, 0);
+        assert_eq!(s.relations[3].claimed_excess, 1);
+        assert_eq!(s.relations[3].sound_violations, 0);
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.pair_comparisons, 15);
+        assert_eq!(s.comparisons(), 15);
+        assert_eq!(m.evals(), 3);
+    }
+
+    #[test]
+    fn fork_absorb_order_independent() {
+        let feed = |m: &CompareCounter, k: u64| {
+            m.on_relation((k % 8) as usize, k, k, k);
+            m.on_pair(k * 3);
+        };
+        let mk = |ks: &[u64]| {
+            let m = CompareCounter::new();
+            for &k in ks {
+                feed(&m, k);
+            }
+            m
+        };
+        let a = mk(&[1, 2, 3]);
+        let b = mk(&[9, 10]);
+        let c = mk(&[40]);
+        let abc = CompareCounter::new();
+        abc.absorb(&a);
+        abc.absorb(&b);
+        abc.absorb(&c);
+        let cba = CompareCounter::new();
+        cba.absorb(&c);
+        cba.absorb(&b);
+        cba.absorb(&a);
+        assert_eq!(abc.snapshot(NAMES), cba.snapshot(NAMES));
+        assert_eq!(
+            abc.snapshot(NAMES),
+            mk(&[1, 2, 3, 9, 10, 40]).snapshot(NAMES)
+        );
+    }
+
+    #[test]
+    fn snapshot_json_schema() {
+        let m = CompareCounter::new();
+        m.on_relation(0, 2, 2, 2);
+        m.on_pair(2);
+        let j = m.snapshot(NAMES).to_json();
+        assert!(j.starts_with("{\"schema\":\"synchrel/meter/v1\""));
+        assert!(j.contains("\"name\":\"R2'\""));
+        assert!(j.contains("\"pairs\":1"));
+    }
+}

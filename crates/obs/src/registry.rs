@@ -1,0 +1,259 @@
+//! Named metrics with Prometheus-style text exposition.
+//!
+//! A [`MetricsRegistry`] is a flat, insertion-ordered list of samples —
+//! counters, gauges and histograms, optionally labeled. It renders to
+//! the Prometheus text format (`# HELP` / `# TYPE` headers emitted once
+//! per metric family) and to a hand-rolled JSON document with the
+//! stable schema [`METRICS_SCHEMA`].
+
+use crate::hist::HistogramSnapshot;
+use crate::json::{array_of, push_str_literal, ObjectWriter};
+
+/// Schema tag of [`MetricsRegistry::to_json`].
+pub const METRICS_SCHEMA: &str = "synchrel/metrics/v1";
+
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    value: Value,
+}
+
+/// An insertion-ordered collection of metric samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<Entry>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn push(&mut self, name: &str, labels: &[(&str, &str)], help: &str, value: Value) {
+        self.entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            value,
+        });
+    }
+
+    /// Add an unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, v: u64) {
+        self.push(name, &[], help, Value::Counter(v));
+    }
+
+    /// Add a labeled counter sample.
+    pub fn counter_with(&mut self, name: &str, labels: &[(&str, &str)], help: &str, v: u64) {
+        self.push(name, labels, help, Value::Counter(v));
+    }
+
+    /// Add an unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, v: f64) {
+        self.push(name, &[], help, Value::Gauge(v));
+    }
+
+    /// Add a labeled gauge sample.
+    pub fn gauge_with(&mut self, name: &str, labels: &[(&str, &str)], help: &str, v: f64) {
+        self.push(name, labels, help, Value::Gauge(v));
+    }
+
+    /// Add a histogram sample.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &HistogramSnapshot) {
+        self.push(name, &[], help, Value::Histogram(h.clone()));
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut described: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !described.contains(&e.name.as_str()) {
+                described.push(&e.name);
+                out.push_str(&format!("# HELP {} {}\n", e.name, e.help));
+                out.push_str(&format!("# TYPE {} {}\n", e.name, e.value.type_name()));
+            }
+            match &e.value {
+                Value::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        e.name,
+                        render_labels(&e.labels, None)
+                    ));
+                }
+                Value::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        e.name,
+                        render_labels(&e.labels, None)
+                    ));
+                }
+                Value::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        cum += c;
+                        let le =
+                            h.le.get(i)
+                                .map(|b| b.to_string())
+                                .unwrap_or_else(|| "+Inf".to_string());
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            e.name,
+                            render_labels(&e.labels, Some(&le))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Hand-rolled JSON document ([`METRICS_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let metrics = array_of(self.entries.iter().map(|e| {
+            let mut w = ObjectWriter::new();
+            w.str_field("name", &e.name)
+                .str_field("type", e.value.type_name());
+            if !e.labels.is_empty() {
+                let mut lw = ObjectWriter::new();
+                for (k, v) in &e.labels {
+                    lw.str_field(k, v);
+                }
+                w.raw_field("labels", &lw.finish());
+            }
+            match &e.value {
+                Value::Counter(v) => w.u64_field("value", *v),
+                Value::Gauge(v) => w.f64_field("value", *v),
+                Value::Histogram(h) => w.raw_field("value", &h.to_json()),
+            };
+            w.finish()
+        }));
+        ObjectWriter::new()
+            .str_field("schema", METRICS_SCHEMA)
+            .raw_field("metrics", &metrics)
+            .finish()
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push('=');
+        push_str_literal(&mut out, v);
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=");
+        push_str_literal(&mut out, le);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn prometheus_counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.counter("a_total", "a counter", 3);
+        r.counter_with("b_total", &[("relation", "R2'")], "labeled", 7);
+        r.counter_with("b_total", &[("relation", "R3")], "labeled", 9);
+        r.gauge("g", "a gauge", 1.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP a_total a counter\n"));
+        assert!(text.contains("# TYPE a_total counter\n"));
+        assert!(text.contains("a_total 3\n"));
+        assert!(text.contains("b_total{relation=\"R2'\"} 7\n"));
+        assert!(text.contains("b_total{relation=\"R3\"} 9\n"));
+        // HELP/TYPE emitted once per family despite two samples.
+        assert_eq!(text.matches("# TYPE b_total counter").count(), 1);
+        assert!(text.contains("g 1.5\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(1_000_000);
+        let mut r = MetricsRegistry::new();
+        r.histogram("lat", "latency", &h.snapshot());
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 1000003\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn json_document() {
+        let mut r = MetricsRegistry::new();
+        r.counter("a_total", "a", 3);
+        r.gauge_with("g", &[("k", "v")], "g", 2.0);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema\":\"synchrel/metrics/v1\",\"metrics\":["));
+        assert!(j.contains("{\"name\":\"a_total\",\"type\":\"counter\",\"value\":3}"));
+        assert!(j.contains("\"labels\":{\"k\":\"v\"}"));
+        assert!(j.contains("\"value\":2.0"));
+    }
+}

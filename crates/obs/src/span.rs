@@ -1,0 +1,268 @@
+//! Structured span tracing for pipeline stages.
+//!
+//! A [`SpanLog`] collects timed [`SpanRecord`]s from detector, checker,
+//! monitor and simulation stages and renders them as JSONL — one JSON
+//! object per line with the stable schema [`SPAN_SCHEMA`]:
+//!
+//! ```json
+//! {"schema":"synchrel/span/v1","stage":"detector.all_pairs","start_us":12,"dur_us":345,"fields":{"pairs":30}}
+//! ```
+//!
+//! Timestamps are microseconds since the log was created (monotonic
+//! clock). Field values carry workload facts (pair counts, verdict
+//! tallies), so everything except the timings is deterministic.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::{f64_literal, push_str_literal, ObjectWriter};
+
+/// Schema tag embedded in every span line.
+pub const SPAN_SCHEMA: &str = "synchrel/span/v1";
+
+/// A span field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::F64(v) => f64_literal(*v),
+            FieldValue::Str(s) => {
+                let mut out = String::new();
+                push_str_literal(&mut out, s);
+                out
+            }
+            FieldValue::Bool(b) => (if *b { "true" } else { "false" }).to_string(),
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Stage name, dotted (`detector.all_pairs`, `monitor.flush`).
+    pub stage: String,
+    /// Start offset from log creation, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Structured fields in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str_field("schema", SPAN_SCHEMA)
+            .str_field("stage", &self.stage)
+            .u64_field("start_us", self.start_us)
+            .u64_field("dur_us", self.dur_us);
+        let mut fw = ObjectWriter::new();
+        for (k, v) in &self.fields {
+            fw.raw_field(k, &v.to_json());
+        }
+        w.raw_field("fields", &fw.finish());
+        w.finish()
+    }
+}
+
+/// Thread-safe collector of stage spans.
+#[derive(Debug)]
+pub struct SpanLog {
+    origin: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog {
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl SpanLog {
+    /// An empty log; timestamps are measured from this moment.
+    pub fn new() -> Self {
+        SpanLog::default()
+    }
+
+    /// Microseconds since the log was created.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Start a timed span; it records itself on drop.
+    pub fn span(&self, stage: &str) -> Span<'_> {
+        Span {
+            log: self,
+            stage: stage.to_string(),
+            start: Instant::now(),
+            start_us: self.now_us(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append an already-built record.
+    pub fn push(&self, record: SpanRecord) {
+        self.spans.lock().push(record);
+    }
+
+    /// Number of completed spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.spans.lock().is_empty()
+    }
+
+    /// Copy out the completed spans.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Render all spans as JSONL (one object per line, trailing
+    /// newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.spans.lock().iter() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An in-flight span; records itself into its [`SpanLog`] on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    log: &'a SpanLog,
+    stage: String,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span<'_> {
+    /// Attach a structured field.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        self.fields.push((key.to_string(), value.into()));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.log.push(SpanRecord {
+            stage: std::mem::take(&mut self.stage),
+            start_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let log = SpanLog::new();
+        {
+            let mut s = log.span("detector.all_pairs");
+            s.field("pairs", 30u64);
+            s.field("mode", "fused");
+        }
+        assert_eq!(log.len(), 1);
+        let r = &log.records()[0];
+        assert_eq!(r.stage, "detector.all_pairs");
+        assert_eq!(r.fields.len(), 2);
+        assert_eq!(r.fields[0], ("pairs".to_string(), FieldValue::U64(30)));
+    }
+
+    #[test]
+    fn jsonl_schema() {
+        let log = SpanLog::new();
+        {
+            let mut s = log.span("sim.run");
+            s.field("events", 12u64);
+            s.field("degraded", false);
+        }
+        {
+            let _s = log.span("monitor.flush");
+        }
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"schema\":\"synchrel/span/v1\",\"stage\":\""));
+            assert!(line.ends_with("}"));
+            assert!(line.contains("\"start_us\":"));
+            assert!(line.contains("\"dur_us\":"));
+            assert!(line.contains("\"fields\":{"));
+        }
+        assert!(lines[0].contains("\"events\":12"));
+        assert!(lines[0].contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(1.5), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true).to_json(), "true");
+        assert_eq!(FieldValue::from("a\"b").to_json(), "\"a\\\"b\"");
+    }
+}

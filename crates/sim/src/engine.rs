@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 
 use synchrel_core::{Error as CoreError, EventId, Execution, ExecutionBuilder, MsgToken};
+use synchrel_obs::{MetricsRegistry, SpanLog};
 
 use crate::fault::{Delivery, FaultLog, FaultPlan};
 
@@ -205,6 +206,41 @@ impl SimResult {
         names.dedup();
         names
     }
+
+    /// Export the run's aggregate counters into a metrics registry:
+    /// makespan, event volume, and every [`FaultLog`] counter.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.gauge(
+            "synchrel_sim_makespan",
+            "Virtual time at which the last process finished",
+            self.makespan as f64,
+        );
+        reg.counter(
+            "synchrel_sim_events_total",
+            "Application events recorded by the run",
+            self.times.len() as u64,
+        );
+        reg.counter(
+            "synchrel_sim_labelled_events_total",
+            "Events carrying a textual label",
+            self.labels.len() as u64,
+        );
+        for (kind, value) in [
+            ("dropped", self.faults.dropped),
+            ("duplicated", self.faults.duplicated),
+            ("duplicates_discarded", self.faults.duplicates_discarded),
+            ("delayed", self.faults.delayed),
+            ("held", self.faults.held),
+            ("timeouts", self.faults.timeouts),
+        ] {
+            reg.counter_with(
+                "synchrel_sim_faults_total",
+                &[("kind", kind)],
+                "Fault-injection effects observed during the run",
+                value,
+            );
+        }
+    }
 }
 
 /// A configured simulation: scripts plus a latency model.
@@ -263,6 +299,28 @@ impl Simulation {
     /// Number of processes.
     pub fn num_processes(&self) -> usize {
         self.scripts.len()
+    }
+
+    /// Run to completion, recording a `sim.run` span (processes, event
+    /// count, makespan, fault counters) into `log`.
+    pub fn run_traced(&self, log: &SpanLog) -> Result<SimResult, SimError> {
+        let mut span = log.span("sim.run");
+        span.field("processes", self.num_processes());
+        span.field("faulty", self.faults.is_some());
+        let result = self.run();
+        match &result {
+            Ok(r) => {
+                span.field("events", r.times.len());
+                span.field("makespan", r.makespan);
+                span.field("faults_dropped", r.faults.dropped);
+                span.field("faults_duplicated", r.faults.duplicated);
+                span.field("faults_delayed", r.faults.delayed);
+                span.field("faults_held", r.faults.held);
+                span.field("faults_timeouts", r.faults.timeouts);
+            }
+            Err(e) => span.field("error", e.to_string()),
+        }
+        result
     }
 
     /// Run to completion.
@@ -693,6 +751,63 @@ mod tests {
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.exec.to_skeleton(), b.exec.to_skeleton());
+    }
+
+    #[test]
+    fn run_traced_records_span_fields() {
+        let log = synchrel_obs::SpanLog::new();
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        let r = sim.run_traced(&log).unwrap();
+        assert_eq!(log.len(), 1);
+        let rec = &log.records()[0];
+        assert_eq!(rec.stage, "sim.run");
+        let field = |k: &str| {
+            rec.fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+        };
+        use synchrel_obs::FieldValue;
+        assert_eq!(field("processes"), Some(FieldValue::U64(2)));
+        assert_eq!(field("faulty"), Some(FieldValue::Bool(false)));
+        assert_eq!(field("events"), Some(FieldValue::U64(r.times.len() as u64)));
+        assert_eq!(field("makespan"), Some(FieldValue::U64(r.makespan)));
+    }
+
+    #[test]
+    fn run_traced_records_error() {
+        let log = synchrel_obs::SpanLog::new();
+        let mut sim = Simulation::new(2);
+        sim.push(0, Action::recv());
+        assert!(sim.run_traced(&log).is_err());
+        let rec = &log.records()[0];
+        assert!(rec
+            .fields
+            .iter()
+            .any(|(k, v)| k == "error" && matches!(v, synchrel_obs::FieldValue::Str(_))));
+    }
+
+    #[test]
+    fn export_metrics_covers_faults() {
+        let plan = FaultPlan {
+            drop_per_10k: 10_000,
+            ..FaultPlan::quiet(0)
+        };
+        let mut sim = Simulation::new(2).with_faults(plan);
+        sim.push(0, Action::send(1));
+        sim.push(1, Action::recv());
+        sim.push(1, Action::compute(3));
+        let r = sim.run().unwrap();
+        let mut reg = synchrel_obs::MetricsRegistry::new();
+        r.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("synchrel_sim_events_total 2\n"));
+        assert!(text.contains("synchrel_sim_faults_total{kind=\"dropped\"} 1\n"));
+        assert!(text.contains("synchrel_sim_faults_total{kind=\"timeouts\"} 1\n"));
+        assert!(text.contains("# TYPE synchrel_sim_makespan gauge\n"));
+        assert_eq!(text.matches("# TYPE synchrel_sim_faults_total").count(), 1);
     }
 
     #[test]

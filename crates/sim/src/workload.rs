@@ -199,6 +199,78 @@ pub fn random_with_events(
     w
 }
 
+/// A mixed message-passing workload driven entirely by the hand-rolled
+/// [`crate::fault::mix`] hash instead of an external RNG, so the trace
+/// for a given seed is byte-identical across toolchains and dependency
+/// versions. Interval node counts vary in `1..=max_nodes`, which makes
+/// the per-relation Theorem-20 budgets diverge (the CLI `meter` golden
+/// table relies on both properties).
+pub fn seeded(
+    seed: u64,
+    processes: usize,
+    events_per_process: usize,
+    intervals: usize,
+    max_nodes: usize,
+    per_node: usize,
+) -> Workload {
+    use crate::fault::mix;
+    assert!(processes >= 1 && events_per_process >= 1);
+    let n = processes;
+    let mut b = ExecutionBuilder::new(n);
+    let mut pending: Vec<Vec<MsgToken>> = vec![Vec::new(); n];
+    let mut remaining: Vec<usize> = vec![events_per_process; n];
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut step = 0u64;
+    while !live.is_empty() {
+        let p = live[(mix(seed, 1, step) % live.len() as u64) as usize];
+        let roll = mix(seed, 2, step) % 100;
+        if roll < 35 && n > 1 {
+            let mut to = (mix(seed, 3, step) % (n as u64 - 1)) as usize;
+            if to >= p {
+                to += 1;
+            }
+            let (_, tok) = b.send(p);
+            pending[to].push(tok);
+        } else if roll < 70 && !pending[p].is_empty() {
+            let pick = (mix(seed, 4, step) % pending[p].len() as u64) as usize;
+            let tok = pending[p].remove(pick);
+            b.recv(p, tok).expect("fresh token");
+        } else {
+            b.internal(p);
+        }
+        remaining[p] -= 1;
+        if remaining[p] == 0 {
+            live.retain(|&q| q != p);
+        }
+        step += 1;
+    }
+    let mut w = Workload::new("seeded", b.build().expect("acyclic by construction"));
+    let max_nodes = max_nodes.clamp(1, n);
+    for k in 0..intervals {
+        let kk = k as u64;
+        let nodes = 1 + (mix(seed, 5, kk) % max_nodes as u64) as usize;
+        // Partial hash-shuffle picks `nodes` distinct processes.
+        let mut chosen: Vec<usize> = (0..n).collect();
+        for i in 0..nodes {
+            let j = i + (mix(seed, 6, kk * 64 + i as u64) % (n - i) as u64) as usize;
+            chosen.swap(i, j);
+        }
+        chosen.truncate(nodes);
+        let mut members = Vec::new();
+        for (slot, &p) in chosen.iter().enumerate() {
+            let avail = w.exec.app_len(ProcessId(p as u32));
+            for t in 0..per_node.max(1) {
+                let h = mix(seed, 7, (kk << 16) ^ ((slot as u64) << 8) ^ t as u64);
+                members.push(EventId::new(p as u32, 1 + (h % avail as u64) as u32));
+            }
+        }
+        let ev = NonatomicEvent::new(&w.exec, members).expect("valid members");
+        w.events.push(ev);
+        w.labels.push(format!("A{k}"));
+    }
+    w
+}
+
 /// Token ring: the token circulates `rounds` times; each hop is a
 /// receive, a compute, and a send. Each full circulation is one
 /// nonatomic event spanning all processes.
@@ -471,6 +543,22 @@ mod tests {
         assert!(ev.holds(Relation::R1, &w.events[0], &w.events[1]));
         assert!(ev.holds(Relation::R1, &w.events[1], &w.events[2]));
         assert!(!ev.holds(Relation::R4, &w.events[1], &w.events[0]));
+    }
+
+    #[test]
+    fn seeded_is_deterministic_with_varied_nodes() {
+        let a = seeded(42, 6, 30, 8, 3, 3);
+        let b2 = seeded(42, 6, 30, 8, 3, 3);
+        assert_eq!(a.exec.to_skeleton(), b2.exec.to_skeleton());
+        assert_eq!(a.events.len(), 8);
+        for p in 0..6 {
+            assert_eq!(a.exec.app_len(ProcessId(p)), 30);
+        }
+        // Node counts vary so the per-relation budgets diverge.
+        let counts: Vec<usize> = a.events.iter().map(|e| e.node_count()).collect();
+        assert!(counts.iter().any(|&c| c != counts[0]), "{counts:?}");
+        let c = seeded(43, 6, 30, 8, 3, 3);
+        assert_ne!(a.exec.to_skeleton(), c.exec.to_skeleton());
     }
 
     #[test]

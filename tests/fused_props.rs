@@ -17,9 +17,11 @@
 use proptest::prelude::*;
 
 use synchrel_core::{
-    naive_proxy, sound_bound, theorem20_bound, Detector, EvalMode, Evaluator, ProxyDefinition,
-    ProxyRelation, Relation,
+    naive_proxy, sound_bound, theorem20_bound, CompareCounter, Detector, EvalMode, Evaluator,
+    NoopMeter, PairReport, ProxyDefinition, ProxyRelation, Relation,
 };
+use synchrel_sim::fault::{random_scripts, FaultLog, FaultPlan};
+use synchrel_sim::intervals;
 use synchrel_sim::workload::{random_with_events, RandomConfig, Workload};
 
 fn gen_workload(seed: u64, processes: usize, events_per_process: usize) -> Workload {
@@ -155,6 +157,80 @@ fn check_parallel_determinism(w: &Workload) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Metering must not perturb anything: a fault-injected pipeline run
+/// with the no-op meter and one run with the counting meter produce
+/// identical `FaultLog`s and byte-identical pair reports, and the
+/// counting meter's aggregate is itself deterministic across runs.
+fn check_metering_transparent(seed: u64) -> Result<(), TestCaseError> {
+    let pipeline = |meter_on: bool| -> (FaultLog, Vec<PairReport>, Option<_>) {
+        let sim = random_scripts(seed, 4, 12, 3).with_faults(FaultPlan::from_seed(seed));
+        let r = sim.run().expect("fault-tolerant runs complete");
+        let events: Vec<_> = r
+            .label_names()
+            .iter()
+            .filter_map(|l| intervals::by_label(&r, l).ok())
+            .collect();
+        let d = Detector::new(&r.exec, events).with_mode(EvalMode::Counted);
+        if meter_on {
+            let m = CompareCounter::new();
+            let reps = d.all_pairs_with(&m);
+            (r.faults.clone(), reps, Some(m.snapshot(Relation::NAMES)))
+        } else {
+            (r.faults.clone(), d.all_pairs_with(&NoopMeter), None)
+        }
+    };
+    let (faults_noop, reports_noop, _) = pipeline(false);
+    let (faults_counted, reports_counted, snap_a) = pipeline(true);
+    let (_, _, snap_b) = pipeline(true);
+    prop_assert_eq!(
+        faults_noop,
+        faults_counted,
+        "FaultLog diverged under metering"
+    );
+    prop_assert_eq!(
+        reports_noop,
+        reports_counted,
+        "reports diverged under metering"
+    );
+    prop_assert_eq!(
+        snap_a,
+        snap_b,
+        "meter aggregate nondeterministic across runs"
+    );
+    Ok(())
+}
+
+/// The parallel counter merge is order-independent: for any thread
+/// count and either mode, the aggregated `MeterSnapshot` equals the
+/// sequential one (mirrors `check_parallel_determinism` for reports).
+fn check_meter_merge_determinism(w: &Workload) -> Result<(), TestCaseError> {
+    for mode in [EvalMode::Counted, EvalMode::Fused] {
+        let d = Detector::new(&w.exec, w.events.clone()).with_mode(mode);
+        let base = CompareCounter::new();
+        let seq_reports = d.all_pairs_with(&base);
+        let baseline = base.snapshot(Relation::NAMES);
+        for threads in [1, 2, 8] {
+            let m = CompareCounter::new();
+            let par = d.all_pairs_parallel_with(threads, &m);
+            prop_assert_eq!(
+                &seq_reports,
+                &par,
+                "mode {:?}, {} threads: metered reports diverged",
+                mode,
+                threads
+            );
+            prop_assert_eq!(
+                &baseline,
+                &m.snapshot(Relation::NAMES),
+                "mode {:?}, {} threads: merged meter diverged from sequential",
+                mode,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -177,6 +253,21 @@ proptest! {
         let w = gen_workload(seed, processes, events_per_process);
         check_parallel_determinism(&w)?;
     }
+
+    #[test]
+    fn metering_is_transparent(seed in 0u64..10_000) {
+        check_metering_transparent(seed)?;
+    }
+
+    #[test]
+    fn meter_merge_is_order_independent(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_meter_merge_determinism(&w)?;
+    }
 }
 
 /// One deterministic run so plain `cargo test` exercises the property
@@ -186,4 +277,6 @@ fn fixed_seed_smoke() {
     let w = gen_workload(0xC0FFEE, 5, 8);
     check_workload(&w).unwrap();
     check_parallel_determinism(&w).unwrap();
+    check_meter_merge_determinism(&w).unwrap();
+    check_metering_transparent(0xC0FFEE).unwrap();
 }

@@ -1,0 +1,149 @@
+//! Theorem-20 conformance: metered comparison counts against the
+//! paper's complexity claim, over ≥1000 seeded executions.
+//!
+//! Theorem 20 claims every relation of `ℛ` is decidable in
+//! `min(|N_X|,|N_Y|)` comparisons (`|N_X|` for R2, `|N_Y|` for R3').
+//! The workspace proves that claim for six of the eight base relations;
+//! for R2'/R3 the sound scan costs `|N_Y|` / `|N_X|` instead (the
+//! documented discrepancy — see `tests/linear_discrepancy.rs` and
+//! `crates/core/src/linear.rs`). This suite turns the bounds into
+//! executable assertions via the metering layer:
+//!
+//! * measured comparisons never exceed the sound bound, and equal it
+//!   exactly (the scans are deterministic, no short-circuit);
+//! * the paper's claimed bound holds wherever it is sound, and the
+//!   meter's `claimed_excess` tally quantifies the R2'/R3 divergence;
+//! * counted-mode and fused-mode verdicts agree under metering, and
+//!   metering never perturbs the reports.
+
+use synchrel_core::{
+    sound_bound, theorem20_bound, CompareCounter, Detector, EvalMode, Evaluator, ProxyRelation,
+    Relation,
+};
+use synchrel_sim::workload::{seeded, Workload};
+
+/// Seeded executions checked by the main conformance test.
+const EXECUTIONS: u64 = 1000;
+
+/// Check every ordered pair of one workload: per-evaluation bounds,
+/// counted-vs-fused verdict agreement, and feed the aggregate meter.
+fn check_workload(w: &Workload, agg: &CompareCounter) {
+    let ev = Evaluator::new(&w.exec);
+    let summaries: Vec<_> = w.events.iter().map(|e| ev.summarize_proxies(e)).collect();
+    for (xi, sx) in summaries.iter().enumerate() {
+        for (yi, sy) in summaries.iter().enumerate() {
+            if xi == yi {
+                continue;
+            }
+            // Per-node proxies share the base event's node set, so the
+            // bound arguments are the events' node counts.
+            let nx = w.events[xi].node_count();
+            let ny = w.events[yi].node_count();
+
+            let (counted_set, _) = ev.eval_all_proxy_with(sx, sy, agg);
+            let (fused_set, _) = ev.eval_all_proxy_fused(sx, sy);
+            assert_eq!(
+                counted_set, fused_set,
+                "counted vs fused verdicts on pair ({xi}, {yi})"
+            );
+
+            for pr in ProxyRelation::all() {
+                let c = ev.eval_proxy(pr, sx, sy);
+                let sound = sound_bound(pr.rel, nx, ny);
+                assert!(
+                    c.comparisons <= sound,
+                    "{pr} spent {} > sound bound {sound} on pair ({xi}, {yi})",
+                    c.comparisons
+                );
+                assert_eq!(
+                    c.comparisons, sound,
+                    "{pr}: deterministic scan must spend its whole budget"
+                );
+                if !matches!(pr.rel, Relation::R2p | Relation::R3) {
+                    let claimed = theorem20_bound(pr.rel, nx, ny);
+                    assert!(
+                        c.comparisons <= claimed,
+                        "{pr} spent {} > Theorem-20 bound {claimed} on pair ({xi}, {yi})",
+                        c.comparisons
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn thousand_seeded_executions_respect_bounds() {
+    let agg = CompareCounter::new();
+    for seed in 0..EXECUTIONS {
+        let processes = 2 + (seed % 5) as usize; // 2..=6
+        let events = 4 + (seed % 7) as usize; // 4..=10
+        let w = seeded(seed, processes, events, 4, processes.min(3), 2);
+        check_workload(&w, &agg);
+    }
+
+    let snap = agg.snapshot(Relation::NAMES);
+    assert!(
+        snap.pairs >= EXECUTIONS,
+        "every execution contributed pairs"
+    );
+    for t in &snap.relations {
+        assert!(t.evals > 0, "{}: no evaluations recorded", t.name);
+        assert_eq!(
+            t.sound_violations, 0,
+            "{}: {} evaluation(s) exceeded the sound bound",
+            t.name, t.sound_violations
+        );
+        assert_eq!(
+            t.comparisons, t.sound_budget,
+            "{}: scans are deterministic, total must equal the budget",
+            t.name
+        );
+    }
+    // The paper's min() claim is met by six relations; with varied node
+    // counts R2'/R3 must exceed it somewhere — the meter quantifies the
+    // documented discrepancy rather than hiding it.
+    for t in &snap.relations {
+        match t.name.as_str() {
+            "R2'" | "R3" => assert!(
+                t.claimed_excess > 0,
+                "{}: expected the claimed-bound divergence to show up",
+                t.name
+            ),
+            _ => assert_eq!(
+                t.claimed_excess, 0,
+                "{}: exceeded the paper's claimed bound",
+                t.name
+            ),
+        }
+    }
+}
+
+/// Detector level: metering changes no report, in any mode, and the
+/// fused meter sees the same pair count as the counted one (it only
+/// lacks per-relation attribution, since fused scans are shared).
+#[test]
+fn metered_detectors_agree_across_modes() {
+    for seed in [1u64, 7, 42, 0xBEEF] {
+        let w = seeded(seed, 5, 12, 6, 3, 2);
+        let counted = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Counted);
+        let fused = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+
+        let cm = CompareCounter::new();
+        let fm = CompareCounter::new();
+        let a = counted.all_pairs_with(&cm);
+        let b = fused.all_pairs_with(&fm);
+
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.relations, y.relations, "seed {seed:#x}");
+        }
+        assert_eq!(a, counted.all_pairs(), "metering perturbed counted reports");
+        assert_eq!(b, fused.all_pairs(), "metering perturbed fused reports");
+
+        assert_eq!(cm.pairs(), a.len() as u64);
+        assert_eq!(fm.pairs(), cm.pairs());
+        assert!(cm.evals() > 0);
+        assert_eq!(fm.evals(), 0, "fused path has no per-relation attribution");
+    }
+}
