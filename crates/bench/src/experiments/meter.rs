@@ -75,6 +75,9 @@ impl MeterMeasurement {
     fn to_json(&self) -> String {
         ObjectWriter::new()
             .str_field("workload", &self.workload)
+            // Per-relation attribution requires the unfused path, so
+            // every row is measured in counted mode.
+            .str_field("mode", "counted")
             .u64_field("events", self.events as u64)
             .u64_field("pairs", self.pairs as u64)
             .f64_field("plain_pps", self.plain_pps)
@@ -94,7 +97,8 @@ impl MeterMeasurement {
 pub fn report_json(rows: &[MeterMeasurement]) -> String {
     let all_ok = rows.iter().all(MeterMeasurement::guard_ok);
     ObjectWriter::new()
-        .str_field("schema", "synchrel/BENCH_meter/v1")
+        .str_field("schema", "synchrel/BENCH_meter/v2")
+        .str_field("git_rev", &super::git_rev())
         .f64_field("guard_ratio", GUARD_RATIO)
         .bool_field("guard_ok", all_ok)
         .raw_field(
@@ -259,10 +263,13 @@ pub fn run_to(seed: u64, json_path: Option<&str>) -> String {
     out
 }
 
-/// Default entry point: measure and write `BENCH_meter.json` in the
-/// current directory.
+/// Default entry point: measure and write `BENCH_meter.json` at the
+/// repository root.
 pub fn run(seed: u64) -> String {
-    run_to(seed, Some("BENCH_meter.json"))
+    run_to(
+        seed,
+        Some(super::bench_artifact("BENCH_meter.json").to_str().unwrap()),
+    )
 }
 
 #[cfg(test)]
@@ -288,8 +295,14 @@ mod tests {
     fn report_is_valid_json() {
         let w = workload::ring(4, 3);
         let json = report_json(&[measure(&w)]);
-        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_meter/v1\""));
-        assert!(json.contains("\"guard_ratio\":1.05"), "{json}");
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_meter/v2\""));
+        assert!(json.contains("\"git_rev\":"), "{json}");
+        assert!(json.contains("\"mode\":\"counted\""), "{json}");
+        // CI greps for this exact adjacency; keep the fields together.
+        assert!(
+            json.contains("\"guard_ratio\":1.05,\"guard_ok\":"),
+            "{json}"
+        );
         assert!(json.contains("\"noop_ratio\":"), "{json}");
         assert!(is_valid(&json), "{json}");
     }

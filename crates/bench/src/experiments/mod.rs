@@ -9,11 +9,13 @@
 //! | [`thm20`] | Theorem 20 — per-relation comparison complexity |
 //! | [`problem4`] | Problem 4 — one/all relation detection over `𝒜` |
 //! | [`pairs`] | all-pairs throughput: counted vs fused vs parallel-fused |
+//! | [`batch`] | batched SoA kernel vs fused + O(active) monitor streaming |
 //! | [`meter`] | observability overhead: no-op vs counting meter |
 //! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
 
+pub mod batch;
 pub mod figures;
 pub mod meter;
 pub mod pairs;
@@ -25,6 +27,30 @@ pub mod table1;
 pub mod table2;
 pub mod thm19;
 pub mod thm20;
+
+/// Short git revision of the working tree, for stamping benchmark
+/// artifacts; `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Path of a `BENCH_*.json` artifact at the repository root, so the
+/// committed numbers land in the same place no matter which directory
+/// `repro` is invoked from.
+pub fn bench_artifact(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file)
+}
 
 /// Run every experiment with default parameters, concatenated — the
 /// `repro -- all` output.
@@ -40,6 +66,7 @@ pub fn run_all() -> String {
         ("E-Thm20: Theorem 20", thm20::run(0xC0FFEE, 200)),
         ("E-P4: Problem 4", problem4::run(0xC0FFEE)),
         ("E-Pairs: all-pairs throughput", pairs::run(0xC0FFEE)),
+        ("E-Batch: batched SoA kernel", batch::run(0xC0FFEE)),
         ("E-Meter: metering overhead", meter::run(0xC0FFEE)),
         ("E-Scaling: linear vs quadratic", scaling::run(0xC0FFEE)),
         (

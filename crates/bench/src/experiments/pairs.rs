@@ -1,58 +1,72 @@
-//! E-Pairs — all-pairs throughput of the fused-arena detection path.
+//! E-Pairs — all-pairs throughput of the detection paths.
 //!
-//! Measures ordered-pairs-per-second for the three evaluation
-//! strategies the detector offers:
+//! Measures ordered-pairs-per-second for the evaluation strategies the
+//! detector offers:
 //!
-//! * `seq/counted` — sequential, 32 independently-counted evaluations
+//! * `counted ×1` — sequential, 32 independently-counted evaluations
 //!   (the Theorem-20 reference path);
-//! * `seq/fused`   — sequential, the fused 32-relation kernel;
-//! * `par/fused ×t` — fused kernel under the work-stealing parallel
-//!   loop at `t` worker threads.
+//! * `fused ×1`   — sequential, the fused 32-relation kernel;
+//! * `batched ×1` — sequential, the SoA row-sweep kernel over the
+//!   shared summary arena;
+//! * `fused ×t` / `batched ×t` — the same kernels under the
+//!   work-stealing parallel loop at `t` worker threads.
 //!
 //! Besides the human-readable table, [`run`] writes a machine-readable
-//! `BENCH_pairs.json` so CI and regression tooling can diff throughput
-//! across commits without parsing prose.
+//! `BENCH_pairs.json` at the repository root so CI and regression
+//! tooling can diff throughput across commits without parsing prose.
+//! The artifact uses the hand-rolled JSON emitter so it is identical
+//! with or without a real `serde_json`.
 
 use std::time::Instant;
 
-use serde::Serialize;
 use synchrel_core::{Detector, EvalMode};
+use synchrel_obs::json::{array_of, u64_array, ObjectWriter};
 use synchrel_sim::workload::{self, Workload};
 
 use crate::table::Table;
 
-/// Threads at which the parallel fused path is sampled.
+/// Threads at which the parallel paths are sampled.
 pub const THREAD_POINTS: [usize; 3] = [2, 4, 8];
 
-/// Throughput of every strategy on one workload.
-#[derive(Clone, Debug, Serialize)]
-pub struct PairsMeasurement {
+/// Throughput of one (workload, mode, threads) point.
+#[derive(Clone, Debug)]
+pub struct PairsRow {
     /// Workload name.
     pub workload: String,
+    /// Evaluation mode: `counted`, `fused`, or `batched`.
+    pub mode: &'static str,
+    /// Worker threads (1 = the sequential loop).
+    pub threads: usize,
     /// Number of nonatomic events.
     pub events: usize,
     /// Ordered pairs per full all-pairs sweep.
     pub pairs: usize,
-    /// Pairs/second, sequential counted (reference) path.
-    pub seq_counted_pps: f64,
-    /// Pairs/second, sequential fused kernel.
-    pub seq_fused_pps: f64,
-    /// Pairs/second for the parallel fused path, aligned with
-    /// [`THREAD_POINTS`].
-    pub par_fused_pps: Vec<f64>,
-    /// `seq_fused_pps / seq_counted_pps`.
-    pub fused_speedup: f64,
+    /// Measured ordered pairs per second.
+    pub pairs_per_sec: f64,
 }
 
-/// The JSON document written to `BENCH_pairs.json`.
-#[derive(Clone, Debug, Serialize)]
-pub struct PairsReport {
-    /// Schema tag for downstream tooling.
-    pub schema: &'static str,
-    /// Thread counts sampled by the parallel measurements.
-    pub thread_points: Vec<usize>,
-    /// One entry per workload.
-    pub rows: Vec<PairsMeasurement>,
+impl PairsRow {
+    fn to_json(&self) -> String {
+        ObjectWriter::new()
+            .str_field("workload", &self.workload)
+            .str_field("mode", self.mode)
+            .u64_field("threads", self.threads as u64)
+            .u64_field("events", self.events as u64)
+            .u64_field("pairs", self.pairs as u64)
+            .f64_field("pairs_per_sec", self.pairs_per_sec)
+            .finish()
+    }
+}
+
+/// Render the whole report as the `BENCH_pairs.json` document.
+pub fn report_json(rows: &[PairsRow]) -> String {
+    let points: Vec<u64> = THREAD_POINTS.iter().map(|&t| t as u64).collect();
+    ObjectWriter::new()
+        .str_field("schema", "synchrel/BENCH_pairs/v2")
+        .str_field("git_rev", &super::git_rev())
+        .raw_field("thread_points", &u64_array(&points))
+        .raw_field("rows", &array_of(rows.iter().map(PairsRow::to_json)))
+        .finish()
 }
 
 /// Time `f` (one full all-pairs sweep per call), repeating until the
@@ -73,48 +87,78 @@ fn sweeps_per_sec(mut f: impl FnMut()) -> f64 {
     }
 }
 
-fn measure(w: &Workload) -> PairsMeasurement {
+fn measure(w: &Workload) -> Vec<PairsRow> {
     let counted = Detector::new(&w.exec, w.events.clone());
     let fused = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+    let batched = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Batched);
     counted.warm_up();
     fused.warm_up();
+    batched.warm_up();
 
     // Strategies must agree on verdicts before their speed is compared.
     let ref_reports = counted.all_pairs();
-    let fused_reports = fused.all_pairs();
-    for (a, b) in ref_reports.iter().zip(&fused_reports) {
-        assert_eq!(
-            a.relations, b.relations,
-            "fused diverged on ({}, {})",
-            a.x, a.y
-        );
+    for (d, name) in [(&fused, "fused"), (&batched, "batched")] {
+        let reports = d.all_pairs();
+        for (a, b) in ref_reports.iter().zip(&reports) {
+            assert_eq!(
+                a.relations, b.relations,
+                "{name} diverged on ({}, {})",
+                a.x, a.y
+            );
+        }
     }
 
     let pairs = ref_reports.len();
-    let seq_counted_pps = sweeps_per_sec(|| {
-        counted.all_pairs();
-    }) * pairs as f64;
-    let seq_fused_pps = sweeps_per_sec(|| {
-        fused.all_pairs();
-    }) * pairs as f64;
-    let par_fused_pps = THREAD_POINTS
-        .iter()
-        .map(|&t| {
+    let events = w.events.len();
+    let row = |mode: &'static str, threads: usize, pps: f64| PairsRow {
+        workload: w.name.clone(),
+        mode,
+        threads,
+        events,
+        pairs,
+        pairs_per_sec: pps,
+    };
+
+    let mut rows = vec![
+        row(
+            "counted",
+            1,
+            sweeps_per_sec(|| {
+                counted.all_pairs();
+            }) * pairs as f64,
+        ),
+        row(
+            "fused",
+            1,
+            sweeps_per_sec(|| {
+                fused.all_pairs();
+            }) * pairs as f64,
+        ),
+        row(
+            "batched",
+            1,
+            sweeps_per_sec(|| {
+                batched.all_pairs();
+            }) * pairs as f64,
+        ),
+    ];
+    for &t in &THREAD_POINTS {
+        rows.push(row(
+            "fused",
+            t,
             sweeps_per_sec(|| {
                 fused.all_pairs_parallel(t);
-            }) * pairs as f64
-        })
-        .collect();
-
-    PairsMeasurement {
-        workload: w.name.clone(),
-        events: w.events.len(),
-        pairs,
-        seq_counted_pps,
-        seq_fused_pps,
-        par_fused_pps,
-        fused_speedup: seq_fused_pps / seq_counted_pps,
+            }) * pairs as f64,
+        ));
+        rows.push(row(
+            "batched",
+            t,
+            sweeps_per_sec(|| {
+                batched.all_pairs_parallel(t);
+            }) * pairs as f64,
+        ));
     }
+    rows
 }
 
 fn workloads(seed: u64) -> Vec<Workload> {
@@ -136,43 +180,53 @@ fn workloads(seed: u64) -> Vec<Workload> {
     ]
 }
 
+/// Pairs/sec of one (mode, threads) point within a workload's rows.
+fn pps(rows: &[PairsRow], mode: &str, threads: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.mode == mode && r.threads == threads)
+        .map_or(0.0, |r| r.pairs_per_sec)
+}
+
 /// Run the throughput measurement and render the table. When
-/// `json_path` is given, also write the [`PairsReport`] there.
+/// `json_path` is given, also write the JSON report there.
 pub fn run_to(seed: u64, json_path: Option<&str>) -> String {
-    let rows: Vec<PairsMeasurement> = workloads(seed).iter().map(measure).collect();
-    let report = PairsReport {
-        schema: "synchrel/BENCH_pairs/v1",
-        thread_points: THREAD_POINTS.to_vec(),
-        rows,
-    };
+    let per_workload: Vec<Vec<PairsRow>> = workloads(seed).iter().map(measure).collect();
     let mut t = Table::new([
         "workload",
         "|𝒜|",
         "pairs",
         "seq counted p/s",
         "seq fused p/s",
-        "par×2 p/s",
-        "par×4 p/s",
-        "par×8 p/s",
+        "seq batched p/s",
+        "par×8 fused p/s",
+        "par×8 batched p/s",
         "fused ×",
+        "batched ×",
     ]);
-    for m in &report.rows {
+    for rows in &per_workload {
+        let first = &rows[0];
+        let (c, f, b) = (
+            pps(rows, "counted", 1),
+            pps(rows, "fused", 1),
+            pps(rows, "batched", 1),
+        );
         t.row([
-            m.workload.clone(),
-            m.events.to_string(),
-            m.pairs.to_string(),
-            format!("{:.0}", m.seq_counted_pps),
-            format!("{:.0}", m.seq_fused_pps),
-            format!("{:.0}", m.par_fused_pps[0]),
-            format!("{:.0}", m.par_fused_pps[1]),
-            format!("{:.0}", m.par_fused_pps[2]),
-            format!("{:.2}", m.fused_speedup),
+            first.workload.clone(),
+            first.events.to_string(),
+            first.pairs.to_string(),
+            format!("{c:.0}"),
+            format!("{f:.0}"),
+            format!("{b:.0}"),
+            format!("{:.0}", pps(rows, "fused", 8)),
+            format!("{:.0}", pps(rows, "batched", 8)),
+            format!("{:.2}", f / c),
+            format!("{:.2}", b / c),
         ]);
     }
     let mut out = t.render();
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        match std::fs::write(path, json) {
+        let flat: Vec<PairsRow> = per_workload.into_iter().flatten().collect();
+        match std::fs::write(path, report_json(&flat)) {
             Ok(()) => out.push_str(&format!("\nwrote {path}\n")),
             Err(e) => out.push_str(&format!("\ncould not write {path}: {e}\n")),
         }
@@ -180,37 +234,41 @@ pub fn run_to(seed: u64, json_path: Option<&str>) -> String {
     out
 }
 
-/// Default entry point: measure and write `BENCH_pairs.json` in the
-/// current directory.
+/// Default entry point: measure and write `BENCH_pairs.json` at the
+/// repository root.
 pub fn run(seed: u64) -> String {
-    run_to(seed, Some("BENCH_pairs.json"))
+    run_to(
+        seed,
+        Some(super::bench_artifact("BENCH_pairs.json").to_str().unwrap()),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use synchrel_obs::json::is_valid;
 
     #[test]
     fn measurement_sane() {
         let w = workload::ring(4, 3);
-        let m = measure(&w);
-        assert_eq!(m.pairs, 6);
-        assert!(m.seq_counted_pps > 0.0);
-        assert!(m.seq_fused_pps > 0.0);
-        assert_eq!(m.par_fused_pps.len(), THREAD_POINTS.len());
-        assert!(m.par_fused_pps.iter().all(|&p| p > 0.0));
+        let rows = measure(&w);
+        // 3 sequential points + 2 modes × THREAD_POINTS parallel points.
+        assert_eq!(rows.len(), 3 + 2 * THREAD_POINTS.len());
+        assert!(rows.iter().all(|r| r.pairs == 6));
+        assert!(rows.iter().all(|r| r.pairs_per_sec > 0.0));
+        for mode in ["counted", "fused", "batched"] {
+            assert!(pps(&rows, mode, 1) > 0.0, "{mode} missing");
+        }
     }
 
     #[test]
     fn report_serializes() {
         let w = workload::ring(4, 3);
-        let report = PairsReport {
-            schema: "synchrel/BENCH_pairs/v1",
-            thread_points: THREAD_POINTS.to_vec(),
-            rows: vec![measure(&w)],
-        };
-        let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("BENCH_pairs"), "{json}");
-        assert!(json.contains("seq_fused_pps"), "{json}");
+        let json = report_json(&measure(&w));
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_pairs/v2\""));
+        assert!(json.contains("\"git_rev\":"), "{json}");
+        assert!(json.contains("\"mode\":\"batched\""), "{json}");
+        assert!(json.contains("\"pairs_per_sec\":"), "{json}");
+        assert!(is_valid(&json), "{json}");
     }
 }

@@ -32,14 +32,16 @@ commands:
   render <trace.json>    ASCII space-time diagram
   query <trace.json> <X> <Y> [REL]
                          evaluate one or all Table-1 relations
-  analyze <trace.json> [--threads N] [--mode fused|exact]
+  analyze <trace.json> [--threads N] [--mode fused|exact|batched]
       [--metrics metrics.prom|metrics.json]
                          strongest relation for every event pair
                          (fused kernel by default; exact mode reports
                          the per-relation Theorem-20 comparison counts;
+                         batched sweeps the shared SoA summary arena;
                          --metrics writes Prometheus text or JSON by
                          file extension)
-  check <trace.json> <spec.json> [--threads N] [--trace spans.jsonl]
+  check <trace.json> <spec.json> [--threads N] [--mode exact|fused|batched]
+      [--trace spans.jsonl]
                          check a synchronization spec (exit 1 on
                          violation); --trace writes stage spans as JSONL
   meter [--seed S] [--processes N] [--events N] [--intervals K]
@@ -241,11 +243,7 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
     let names: Vec<String> = intervals.iter().map(|(n, _)| n.clone()).collect();
     let events: Vec<NonatomicEvent> = intervals.into_iter().map(|(_, e)| e).collect();
     let threads: usize = a.num("threads", 4)?;
-    let mode = match a.opt("mode").unwrap_or("fused") {
-        "fused" => EvalMode::Fused,
-        "exact" => EvalMode::Counted,
-        other => return Err(Box::new(ArgError::Unknown(format!("mode '{other}'")))),
-    };
+    let mode = parse_mode(a.opt("mode").unwrap_or("fused"))?;
     let d = Detector::new(&exec, events).with_mode(mode);
     let counter = CompareCounter::new();
     let reports = if a.opt("metrics").is_some() {
@@ -302,6 +300,16 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parse an `--mode` value shared by `analyze` and `check`.
+fn parse_mode(s: &str) -> Result<EvalMode, AnyError> {
+    match s {
+        "fused" => Ok(EvalMode::Fused),
+        "exact" => Ok(EvalMode::Counted),
+        "batched" => Ok(EvalMode::Batched),
+        other => Err(Box::new(ArgError::Unknown(format!("mode '{other}'")))),
+    }
+}
+
 /// Write a registry as JSON (`.json` extension) or Prometheus text
 /// (anything else).
 fn write_metrics(path: &str, reg: &MetricsRegistry) -> Result<(), AnyError> {
@@ -337,7 +345,8 @@ fn check(a: &Args) -> Result<ExitCode, AnyError> {
     let spec_text = std::fs::read_to_string(a.pos(1, "spec file")?)?;
     let spec: Spec = serde_json::from_str(&spec_text)?;
     let threads: usize = a.num("threads", 1)?;
-    let checker = Checker::new(&exec, intervals);
+    let mode = parse_mode(a.opt("mode").unwrap_or("exact"))?;
+    let checker = Checker::new(&exec, intervals).with_mode(mode);
     let report = {
         let mut s = spans.span("checker.check");
         s.field("requirements", spec.requirements.len());

@@ -22,6 +22,7 @@ use crate::execution::Execution;
 use crate::linear::Evaluator;
 use crate::nonatomic::NonatomicEvent;
 use crate::proxy_relations::{ProxyRelation, ProxySummary, RelationSet};
+use crate::timestamp::SummaryArena;
 
 /// How a [`Detector`] evaluates the 32 relations of a pair.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -35,6 +36,14 @@ pub enum EvalMode {
     /// verdicts, shared predicate scans, fewer comparisons — the
     /// production hot path.
     Fused,
+    /// The batched SoA row-sweep kernel
+    /// ([`SummaryArena::eval_row_batch`]): one [`SummaryArena`] is built
+    /// per detector, then each X row is evaluated against contiguous
+    /// slabs of Y columns branch-free. Byte-identical `PairReport`s to
+    /// [`EvalMode::Fused`] (same verdicts, same comparison counts —
+    /// batching amortizes orchestration, not Theorem-20 comparisons),
+    /// with a far lower per-pair constant on all-pairs scans.
+    Batched,
 }
 
 /// The relations holding between one ordered pair of nonatomic events.
@@ -56,6 +65,7 @@ pub struct Detector<'a> {
     eval: Evaluator<'a>,
     events: Vec<NonatomicEvent>,
     cache: RwLock<Vec<Option<Arc<ProxySummary>>>>,
+    arena: RwLock<Option<Arc<SummaryArena>>>,
     caching: bool,
     mode: EvalMode,
 }
@@ -68,6 +78,7 @@ impl<'a> Detector<'a> {
             eval: Evaluator::new(exec),
             events,
             cache: RwLock::new(vec![None; n]),
+            arena: RwLock::new(None),
             caching: true,
             mode: EvalMode::Counted,
         }
@@ -129,11 +140,37 @@ impl<'a> Detector<'a> {
         s
     }
 
+    /// The shared SoA arena of all events' proxy summaries, built once
+    /// on first use (and warming the per-event summary cache as a side
+    /// effect). All batched evaluations read from this single structure
+    /// instead of fetching two `ProxySummary`s per pair.
+    fn arena(&self) -> Arc<SummaryArena> {
+        if let Some(a) = &*self.arena.read() {
+            return Arc::clone(a);
+        }
+        let summaries: Vec<Arc<ProxySummary>> =
+            (0..self.events.len()).map(|i| self.summary(i)).collect();
+        let built = Arc::new(SummaryArena::build(
+            self.eval.execution().num_processes(),
+            summaries.iter().map(|s| s.as_ref()),
+        ));
+        let mut w = self.arena.write();
+        if let Some(existing) = &*w {
+            return Arc::clone(existing);
+        }
+        *w = Some(Arc::clone(&built));
+        built
+    }
+
     /// Force all summaries to be computed now (the "one-time cost" of
-    /// §2.3, measured by the setup benchmark).
+    /// §2.3, measured by the setup benchmark). In [`EvalMode::Batched`]
+    /// this also packs the [`SummaryArena`].
     pub fn warm_up(&self) {
         for i in 0..self.events.len() {
             let _ = self.summary(i);
+        }
+        if self.mode == EvalMode::Batched {
+            let _ = self.arena();
         }
     }
 
@@ -156,17 +193,33 @@ impl<'a> Detector<'a> {
     ///
     /// In [`EvalMode::Counted`] every one of the 32 relation
     /// evaluations is reported with its Theorem-20 budgets; in
-    /// [`EvalMode::Fused`] only the pair total is (the fused kernel's
-    /// scans are shared across relations).
+    /// [`EvalMode::Fused`] and [`EvalMode::Batched`] only the pair
+    /// total is (those kernels share predicate scans across relations).
     #[inline]
     pub fn pair_with<M: Meter>(&self, xi: usize, yi: usize, meter: &M) -> Result<PairReport> {
         self.check_index(xi)?;
         self.check_index(yi)?;
-        let sx = self.summary(xi);
-        let sy = self.summary(yi);
         let (relations, comparisons) = match self.mode {
-            EvalMode::Counted => self.eval.eval_all_proxy_with(&sx, &sy, meter),
-            EvalMode::Fused => self.eval.eval_all_proxy_fused_with(&sx, &sy, meter),
+            EvalMode::Counted => {
+                let sx = self.summary(xi);
+                let sy = self.summary(yi);
+                self.eval.eval_all_proxy_with(&sx, &sy, meter)
+            }
+            EvalMode::Fused => {
+                let sx = self.summary(xi);
+                let sy = self.summary(yi);
+                self.eval.eval_all_proxy_fused_with(&sx, &sy, meter)
+            }
+            EvalMode::Batched => {
+                let a = self.arena();
+                let mut slab = [RelationSet::empty()];
+                a.eval_row_batch(xi, yi, &mut slab);
+                let comparisons = a.pair_comparisons(xi, yi);
+                if meter.enabled() {
+                    meter.on_pair(comparisons);
+                }
+                (slab[0], comparisons)
+            }
         };
         Ok(PairReport {
             x: xi,
@@ -184,7 +237,37 @@ impl<'a> Detector<'a> {
     /// [`Detector::all_pairs`] reporting to a [`Meter`].
     pub fn all_pairs_with<M: Meter>(&self, meter: &M) -> Vec<PairReport> {
         let n = self.events.len();
-        let mut out = Vec::with_capacity(n.saturating_sub(1) * n);
+        if n < 2 {
+            // Zero or one event: no ordered pairs, explicitly empty.
+            return Vec::new();
+        }
+        if self.mode == EvalMode::Batched {
+            // One full-row sweep per X: the kernel writes the whole Y
+            // row into a reused buffer; reports skip the diagonal.
+            let a = self.arena();
+            let mut out = Vec::with_capacity((n - 1) * n);
+            let mut row = vec![RelationSet::empty(); n];
+            for x in 0..n {
+                a.eval_row_batch(x, 0, &mut row);
+                for (y, &relations) in row.iter().enumerate() {
+                    if y == x {
+                        continue;
+                    }
+                    let comparisons = a.pair_comparisons(x, y);
+                    if meter.enabled() {
+                        meter.on_pair(comparisons);
+                    }
+                    out.push(PairReport {
+                        x,
+                        y,
+                        relations,
+                        comparisons,
+                    });
+                }
+            }
+            return out;
+        }
+        let mut out = Vec::with_capacity((n - 1) * n);
         for x in 0..n {
             for y in 0..n {
                 if x != y {
@@ -224,6 +307,9 @@ impl<'a> Detector<'a> {
             return Vec::new();
         }
         self.warm_up();
+        if self.mode == EvalMode::Batched {
+            return self.all_pairs_parallel_batched(threads, meter);
+        }
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|x| (0..n).filter(move |&y| y != x).map(move |y| (x, y)))
             .collect();
@@ -275,6 +361,84 @@ impl<'a> Detector<'a> {
             }
         }
         out.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// Parallel batched scan: workers steal contiguous **row slabs**
+    /// (several X rows at a time) instead of pair batches, so each
+    /// worker's sweep walks the arena's unit-stride Y planes end to end
+    /// and the SoA slab stays hot in cache. Output is reassembled in row
+    /// order, so reports are byte-identical to the sequential scan for
+    /// every thread count and schedule.
+    fn all_pairs_parallel_batched<M: Meter + Send>(
+        &self,
+        threads: usize,
+        meter: &M,
+    ) -> Vec<PairReport> {
+        let n = self.events.len();
+        let a = self.arena();
+        let threads = threads.max(1).min(n);
+        if threads == 1 {
+            return self.all_pairs_with(meter);
+        }
+        let slab = (n / (threads * 4)).clamp(1, 32);
+        let next = AtomicUsize::new(0);
+        let forks: Vec<M> = (0..threads).map(|_| meter.fork()).collect();
+        type Row = (usize, Vec<PairReport>);
+        let results: Vec<(Vec<Row>, M)> = std::thread::scope(|scope| {
+            let a = &a;
+            let next = &next;
+            let handles: Vec<_> = forks
+                .into_iter()
+                .map(|fork| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut row = vec![RelationSet::empty(); n];
+                        loop {
+                            let start = next.fetch_add(slab, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + slab).min(n);
+                            for x in start..end {
+                                a.eval_row_batch(x, 0, &mut row);
+                                let mut reps = Vec::with_capacity(n - 1);
+                                for (y, &relations) in row.iter().enumerate() {
+                                    if y == x {
+                                        continue;
+                                    }
+                                    let comparisons = a.pair_comparisons(x, y);
+                                    if fork.enabled() {
+                                        fork.on_pair(comparisons);
+                                    }
+                                    reps.push(PairReport {
+                                        x,
+                                        y,
+                                        relations,
+                                        comparisons,
+                                    });
+                                }
+                                local.push((x, reps));
+                            }
+                        }
+                        (local, fork)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread"))
+                .collect()
+        });
+        let mut rows: Vec<Option<Vec<PairReport>>> = vec![None; n];
+        for (local, fork) in results {
+            meter.absorb(&fork);
+            for (x, reps) in local {
+                rows[x] = Some(reps);
+            }
+        }
+        rows.into_iter()
+            .flat_map(|r| r.expect("row filled"))
+            .collect()
     }
 
     fn check_index(&self, i: usize) -> Result<()> {
@@ -412,9 +576,32 @@ mod tests {
     }
 
     #[test]
+    fn batched_mode_byte_identical_to_fused() {
+        let (e, evs) = setup();
+        let fused = Detector::new(&e, evs.clone()).with_mode(EvalMode::Fused);
+        let batched = Detector::new(&e, evs).with_mode(EvalMode::Batched);
+        assert_eq!(batched.mode(), EvalMode::Batched);
+        // Whole reports — relations AND comparisons — must match.
+        assert_eq!(fused.all_pairs(), batched.all_pairs());
+        // Single-pair queries go through the same arena.
+        assert_eq!(fused.pair(0, 2).unwrap(), batched.pair(0, 2).unwrap());
+        assert_eq!(fused.pair(2, 1).unwrap(), batched.pair(2, 1).unwrap());
+    }
+
+    #[test]
+    fn parallel_batched_matches_sequential_batched() {
+        let (e, evs) = setup();
+        let d = Detector::new(&e, evs).with_mode(EvalMode::Batched);
+        let seq = d.all_pairs();
+        for threads in [1, 2, 3, 8, 16] {
+            assert_eq!(seq, d.all_pairs_parallel(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn metering_does_not_change_reports() {
         let (e, evs) = setup();
-        for mode in [EvalMode::Counted, EvalMode::Fused] {
+        for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
             let d = Detector::new(&e, evs.clone()).with_mode(mode);
             let plain = d.all_pairs();
             let meter = CompareCounter::new();
@@ -425,7 +612,7 @@ mod tests {
     #[test]
     fn parallel_meter_aggregate_is_thread_count_independent() {
         let (e, evs) = setup();
-        for mode in [EvalMode::Counted, EvalMode::Fused] {
+        for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
             let d = Detector::new(&e, evs.clone()).with_mode(mode);
             let baseline = CompareCounter::new();
             let seq = d.all_pairs_with(&baseline);
@@ -458,5 +645,29 @@ mod tests {
         assert!(d.is_empty());
         assert!(d.all_pairs().is_empty());
         assert!(d.all_pairs_parallel(4).is_empty());
+    }
+
+    #[test]
+    fn tiny_inputs_empty_reports_in_every_mode() {
+        // Regression: 0- and 1-event executions must return an explicit
+        // empty report (never panic on zero pairs) in every mode,
+        // sequential and parallel, for any thread count.
+        let (e, evs) = setup();
+        for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
+            for events in [vec![], vec![evs[0].clone()]] {
+                let d = Detector::new(&e, events.clone()).with_mode(mode);
+                assert!(d.all_pairs().is_empty(), "{mode:?} n={}", events.len());
+                for threads in [0, 1, 4, 64] {
+                    assert!(
+                        d.all_pairs_parallel(threads).is_empty(),
+                        "{mode:?} n={} threads={threads}",
+                        events.len()
+                    );
+                }
+                let m = CompareCounter::new();
+                assert!(d.all_pairs_with(&m).is_empty());
+                assert_eq!(m.pairs(), 0, "{mode:?}: no pairs, no meter events");
+            }
+        }
     }
 }

@@ -108,7 +108,7 @@ pub use oracle::Oracle;
 pub use pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
 pub use proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
 pub use relations::{naive as naive_relation, proxy_baseline, Relation};
-pub use timestamp::Timestamps;
+pub use timestamp::{SummaryArena, Timestamps};
 pub use vclock::{ClockView, VectorClock};
 
 /// Convenience re-exports for downstream users.
@@ -133,6 +133,6 @@ pub mod prelude {
         naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet,
     };
     pub use crate::relations::{naive as naive_relation, proxy_baseline, Relation};
-    pub use crate::timestamp::Timestamps;
+    pub use crate::timestamp::{SummaryArena, Timestamps};
     pub use crate::vclock::{ClockView, VectorClock};
 }

@@ -23,6 +23,7 @@ use crate::execution::Execution;
 use crate::linear::{ComparisonCount, Evaluator, EventSummary};
 use crate::nonatomic::{NonatomicEvent, ProxyDefinition};
 use crate::relations::{naive, Relation};
+use crate::timestamp::{arena_seg, SummaryArena};
 
 /// A proxy choice: the beginning (`L`) or the end (`U`) of a nonatomic
 /// event.
@@ -426,6 +427,217 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// Y columns per accumulator block of [`SummaryArena::eval_row_batch`]:
+/// small enough that the six per-predicate accumulators stay in L1,
+/// large enough to amortize the per-node scalar loads.
+const BATCH_CHUNK: usize = 128;
+
+/// `N_X`-side accumulation over one node for a block of Y columns:
+/// `c1`/`c2` are the contiguous arena rows of `∩⇓Y` / `∪⇓Y` at that
+/// node, `xh`/`x3` the fixed X scalars (`hi_X[i]`, `∩⇑X[i]`). Only
+/// called for `i ∈ N_X` (`xh ≠ 0`), so no membership mask is needed.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scan_x_side(
+    xh: u32,
+    x3: u32,
+    c1: &[u32],
+    c2: &[u32],
+    r1x: &mut [u8],
+    r2: &mut [u8],
+    r3: &mut [u8],
+    r4x: &mut [u8],
+) {
+    #[cfg(feature = "simd")]
+    {
+        const LANES: usize = 8;
+        let mut k = 0;
+        // Explicit fixed-width lane blocks: each iteration is a
+        // straight-line batch of LANES independent compare/mask ops,
+        // mapping 1:1 onto vector registers on stable Rust.
+        while k + LANES <= c1.len() {
+            let c1v: &[u32; LANES] = c1[k..k + LANES].try_into().unwrap();
+            let c2v: &[u32; LANES] = c2[k..k + LANES].try_into().unwrap();
+            for l in 0..LANES {
+                r1x[k + l] &= (c1v[l] >= xh) as u8;
+                r2[k + l] &= (c2v[l] >= xh) as u8;
+                r3[k + l] |= (c1v[l] >= x3) as u8;
+                r4x[k + l] |= (c2v[l] >= x3) as u8;
+            }
+            k += LANES;
+        }
+        for k in k..c1.len() {
+            r1x[k] &= (c1[k] >= xh) as u8;
+            r2[k] &= (c2[k] >= xh) as u8;
+            r3[k] |= (c1[k] >= x3) as u8;
+            r4x[k] |= (c2[k] >= x3) as u8;
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for k in 0..c1.len() {
+        r1x[k] &= (c1[k] >= xh) as u8;
+        r2[k] &= (c2[k] >= xh) as u8;
+        r3[k] |= (c1[k] >= x3) as u8;
+        r4x[k] |= (c2[k] >= x3) as u8;
+    }
+}
+
+/// `N_Y`-side accumulation over one node for a block of Y columns.
+/// Membership varies per column, so the scan is masked by
+/// `lo_Y[i] ≠ 0 ⟺ i ∈ N_Y` instead of branching.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scan_y_side(
+    x3: u32,
+    x4: u32,
+    lo: &[u32],
+    c2: &[u32],
+    r1y: &mut [u8],
+    r2p: &mut [u8],
+    r3p: &mut [u8],
+    r4y: &mut [u8],
+) {
+    #[cfg(feature = "simd")]
+    {
+        const LANES: usize = 8;
+        let mut k = 0;
+        while k + LANES <= lo.len() {
+            let lov: &[u32; LANES] = lo[k..k + LANES].try_into().unwrap();
+            let c2v: &[u32; LANES] = c2[k..k + LANES].try_into().unwrap();
+            for l in 0..LANES {
+                let m = (lov[l] != 0) as u8;
+                r1y[k + l] &= (1 - m) | (lov[l] >= x4) as u8;
+                r2p[k + l] |= m & (c2v[l] >= x4) as u8;
+                r3p[k + l] &= (1 - m) | (lov[l] >= x3) as u8;
+                r4y[k + l] |= m & (c2v[l] >= x3) as u8;
+            }
+            k += LANES;
+        }
+        for k in k..lo.len() {
+            let m = (lo[k] != 0) as u8;
+            r1y[k] &= (1 - m) | (lo[k] >= x4) as u8;
+            r2p[k] |= m & (c2[k] >= x4) as u8;
+            r3p[k] &= (1 - m) | (lo[k] >= x3) as u8;
+            r4y[k] |= m & (c2[k] >= x3) as u8;
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for k in 0..lo.len() {
+        let m = (lo[k] != 0) as u8;
+        r1y[k] &= (1 - m) | (lo[k] >= x4) as u8;
+        r2p[k] |= m & (c2[k] >= x4) as u8;
+        r3p[k] &= (1 - m) | (lo[k] >= x3) as u8;
+        r4y[k] |= m & (c2[k] >= x3) as u8;
+    }
+}
+
+impl SummaryArena {
+    /// Batched row-sweep kernel: fix event `x`, sweep the contiguous
+    /// slab of events `y0 .. y0 + out.len()`, and write each pair's
+    /// 32-bit [`RelationSet`] word into `out`. If the diagonal column
+    /// `y == x` falls inside the slab it is evaluated harmlessly; the
+    /// caller drops it when assembling reports.
+    ///
+    /// **Bit-identical to [`Evaluator::eval_all_proxy_fused`]** on every
+    /// pair, by construction rather than by theorem: per proxy combo the
+    /// kernel accumulates *both* the `N_X`-side and `N_Y`-side variants
+    /// of the shared R1/R4 predicates — restricted scans expressed
+    /// branch-free via the membership masks `hi_X[i] ≠ 0 ⟺ i ∈ N_X` and
+    /// `lo_Y[i] ≠ 0 ⟺ i ∈ N_Y` — and then selects per column with the
+    /// same `|N_X| ≤ |N_Y|` rule the fused kernel branches on. R2/R3
+    /// always take the `N_X` side and R2'/R3' the `N_Y` side, exactly as
+    /// in the fused scans.
+    ///
+    /// The arena's transposed layout makes every inner loop a
+    /// unit-stride pass of `u32` compares over a chunk of Y columns with
+    /// `u8` 0/1 accumulators — no branches, gathers, or per-pair summary
+    /// lookups — which the compiler auto-vectorizes; the `simd` cargo
+    /// feature swaps in an explicit fixed-width lane path.
+    pub fn eval_row_batch(&self, x: usize, y0: usize, out: &mut [RelationSet]) {
+        let m = out.len();
+        assert!(
+            x < self.len() && y0 + m <= self.len(),
+            "row slab out of range: x={x}, y0={y0}, len={m}, arena={}",
+            self.len()
+        );
+        for r in out.iter_mut() {
+            *r = RelationSet::empty();
+        }
+        if m == 0 {
+            return;
+        }
+        let w = self.width();
+        let nx = self.node_count(x);
+
+        let mut off = 0usize;
+        while off < m {
+            let ch = (m - off).min(BATCH_CHUNK);
+            let ys = y0 + off;
+            // Combo order matches ProxyRelation::index: (xp·2 + yp)·8 + rel.
+            for combo in 0..4usize {
+                let (cx, cy) = (combo >> 1, combo & 1);
+                let mut r1x = [1u8; BATCH_CHUNK];
+                let mut r1y = [1u8; BATCH_CHUNK];
+                let mut r2 = [1u8; BATCH_CHUNK];
+                let mut r2p = [0u8; BATCH_CHUNK];
+                let mut r3 = [0u8; BATCH_CHUNK];
+                let mut r3p = [1u8; BATCH_CHUNK];
+                let mut r4x = [0u8; BATCH_CHUNK];
+                let mut r4y = [0u8; BATCH_CHUNK];
+                for i in 0..w {
+                    let xh = self.value(cx, arena_seg::HI, i, x);
+                    let x3 = self.value(cx, arena_seg::C3, i, x);
+                    let x4 = self.value(cx, arena_seg::C4, i, x);
+                    let lo = &self.plane(cy, arena_seg::LO, i)[ys..ys + ch];
+                    let c1 = &self.plane(cy, arena_seg::C1, i)[ys..ys + ch];
+                    let c2 = &self.plane(cy, arena_seg::C2, i)[ys..ys + ch];
+                    if xh != 0 {
+                        scan_x_side(
+                            xh,
+                            x3,
+                            c1,
+                            c2,
+                            &mut r1x[..ch],
+                            &mut r2[..ch],
+                            &mut r3[..ch],
+                            &mut r4x[..ch],
+                        );
+                    }
+                    scan_y_side(
+                        x3,
+                        x4,
+                        lo,
+                        c2,
+                        &mut r1y[..ch],
+                        &mut r2p[..ch],
+                        &mut r3p[..ch],
+                        &mut r4y[..ch],
+                    );
+                }
+                // Bit layout within the combo follows Relation::ALL:
+                // [R1, R1', R2, R2', R3, R3', R4, R4'].
+                let base = combo as u32 * 8;
+                let nys = &self.node_counts()[ys..ys + ch];
+                for k in 0..ch {
+                    let ux = (nx <= nys[k]) as u8;
+                    let r1 = (ux & r1x[k]) | ((1 - ux) & r1y[k]);
+                    let r4 = (ux & r4x[k]) | ((1 - ux) & r4y[k]);
+                    let bits = ((r1 as u32) << base)
+                        | ((r1 as u32) << (base + 1))
+                        | ((r2[k] as u32) << (base + 2))
+                        | ((r2p[k] as u32) << (base + 3))
+                        | ((r3[k] as u32) << (base + 4))
+                        | ((r3p[k] as u32) << (base + 5))
+                        | ((r4 as u32) << (base + 6))
+                        | ((r4 as u32) << (base + 7));
+                    out[off + k].0 |= bits;
+                }
+            }
+            off += ch;
+        }
+    }
+}
+
 /// Ground truth for a relation of `ℛ`: materialize the proxies under
 /// `def` and evaluate the quantifier expression naively.
 ///
@@ -573,6 +785,88 @@ mod tests {
         let (nx, ny) = (x.node_count() as u64, y.node_count() as u64);
         let (_, cmp) = ev.eval_all_proxy_fused(&sx, &sy);
         assert_eq!(cmp, 4 * (2 * nx + 2 * ny + 2 * nx.min(ny)));
+    }
+
+    #[test]
+    fn batched_matches_fused_exhaustive_including_overlap() {
+        // Unlike the disjoint-only exhaustive tests above, this covers
+        // every ordered pair of event sets — including overlapping and
+        // identical ones — because the detector evaluates all ordered
+        // pairs and the batched kernel must be bit-identical to fused
+        // on each of them.
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        let mut events = Vec::new();
+        for m in 1u32..(1 << pool.len()) {
+            let ids: Vec<EventId> = pool
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| m & (1 << k) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            events.push(NonatomicEvent::new(&e, ids).unwrap());
+        }
+        let summaries: Vec<ProxySummary> = events.iter().map(|x| ev.summarize_proxies(x)).collect();
+        let arena = SummaryArena::build(e.num_processes(), summaries.iter());
+        let n = events.len();
+        let mut row = vec![RelationSet::empty(); n];
+        for x in 0..n {
+            arena.eval_row_batch(x, 0, &mut row);
+            for y in 0..n {
+                let (fused, cmp) = ev.eval_all_proxy_fused(&summaries[x], &summaries[y]);
+                assert_eq!(row[y], fused, "verdicts on pair ({x}, {y})");
+                assert_eq!(
+                    arena.pair_comparisons(x, y),
+                    cmp,
+                    "comparisons on pair ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_slab_offsets_match_full_row() {
+        // Sweeping a row in arbitrary sub-slabs must equal one full
+        // sweep (the parallel detector steals row slabs).
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        let events: Vec<NonatomicEvent> = (0..pool.len())
+            .map(|k| NonatomicEvent::new(&e, [pool[k]]).unwrap())
+            .collect();
+        let arena = SummaryArena::new(&ev, &events);
+        let n = events.len();
+        let mut full = vec![RelationSet::empty(); n];
+        for x in 0..n {
+            arena.eval_row_batch(x, 0, &mut full);
+            for y0 in 0..n {
+                for len in 0..=(n - y0) {
+                    let mut slab = vec![RelationSet::empty(); len];
+                    arena.eval_row_batch(x, y0, &mut slab);
+                    assert_eq!(&slab[..], &full[y0..y0 + len], "x={x} y0={y0} len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_chunk_boundaries() {
+        // Slabs longer than BATCH_CHUNK exercise the chunk loop; build
+        // > 128 events by repeating the pool singletons.
+        let (e, pool) = pool_exec();
+        let ev = Evaluator::new(&e);
+        let events: Vec<NonatomicEvent> = (0..300)
+            .map(|k| NonatomicEvent::new(&e, [pool[k % pool.len()]]).unwrap())
+            .collect();
+        let summaries: Vec<ProxySummary> = events.iter().map(|x| ev.summarize_proxies(x)).collect();
+        let arena = SummaryArena::build(e.num_processes(), summaries.iter());
+        let mut row = vec![RelationSet::empty(); events.len()];
+        for x in [0, 7, 150] {
+            arena.eval_row_batch(x, 0, &mut row);
+            for y in [0, 1, 127, 128, 129, 255, 256, 299] {
+                let (fused, _) = ev.eval_all_proxy_fused(&summaries[x], &summaries[y]);
+                assert_eq!(row[y], fused, "pair ({x}, {y})");
+            }
+        }
     }
 
     #[test]

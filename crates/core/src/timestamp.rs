@@ -25,6 +25,9 @@
 //! `Copy` comparison wrapper [`ClockView`].
 
 use crate::execution::{EventId, EventKind, Message};
+use crate::linear::Evaluator;
+use crate::nonatomic::NonatomicEvent;
+use crate::proxy_relations::ProxySummary;
 use crate::vclock::ClockView;
 
 /// Forward and reverse vector timestamps for every event of an execution,
@@ -206,6 +209,155 @@ impl Timestamps {
     #[inline]
     pub fn reverse_component(&self, e: EventId, i: usize) -> u32 {
         self.reverse[self.offset(e) + i]
+    }
+}
+
+/// Segment indices within a [`SummaryArena`] proxy plane, mirroring the
+/// `[lo | hi | c1 | c2 | c3 | c4]` layout of
+/// [`crate::linear::EventSummary`].
+pub(crate) mod arena_seg {
+    pub const LO: usize = 0;
+    pub const HI: usize = 1;
+    pub const C1: usize = 2;
+    pub const C2: usize = 3;
+    pub const C3: usize = 4;
+    pub const C4: usize = 5;
+    /// Number of segments per proxy.
+    pub const COUNT: usize = 6;
+}
+
+/// Every event's four proxy extrema packed into one flat `u32` matrix
+/// keyed by event index — the structure-of-arrays twin of a
+/// `Vec<ProxySummary>`.
+///
+/// Layout is **transposed** relative to [`EventSummary`]: the value of
+/// segment `seg` of proxy `p` at node `i` for event `e` lives at
+/// `((p·6 + seg)·|P| + i)·n + e`. Fixing `(p, seg, i)` therefore yields
+/// one contiguous row across *all* events, which is exactly what the
+/// batched row-sweep kernel
+/// ([`SummaryArena::eval_row_batch`](crate::proxy_relations)) consumes:
+/// sweeping a slab of `Y` events against a fixed `X` walks unit-stride
+/// memory per node, with no per-pair summary lookups.
+///
+/// Built once per [`crate::detector::Detector`] (or explicitly via
+/// [`SummaryArena::build`]); replaces per-pair `summarize_proxies`
+/// fetches on the batched path.
+#[derive(Clone, Debug)]
+pub struct SummaryArena {
+    n: usize,
+    width: usize,
+    /// `data[((proxy·6 + seg)·width + node)·n + event]`.
+    data: Box<[u32]>,
+    /// `|N_X|` per event. Per-node proxies share the base event's node
+    /// set, so one count serves both proxies.
+    node_counts: Box<[u32]>,
+}
+
+impl SummaryArena {
+    /// Pack precomputed proxy summaries into the arena.
+    ///
+    /// `width` is the clock width `|P|`; all summaries must come from an
+    /// execution of that width.
+    pub fn build<'s, I>(width: usize, summaries: I) -> SummaryArena
+    where
+        I: IntoIterator<Item = &'s ProxySummary>,
+    {
+        let summaries: Vec<&ProxySummary> = summaries.into_iter().collect();
+        let n = summaries.len();
+        let mut data = vec![0u32; 2 * arena_seg::COUNT * width * n].into_boxed_slice();
+        let mut node_counts = vec![0u32; n].into_boxed_slice();
+        for (e, s) in summaries.iter().enumerate() {
+            debug_assert_eq!(
+                s.lower().node_count(),
+                s.upper().node_count(),
+                "per-node proxies share the base event's node set"
+            );
+            node_counts[e] = s.lower().node_count() as u32;
+            for (p, es) in [s.lower(), s.upper()].into_iter().enumerate() {
+                debug_assert_eq!(es.lo_row().len(), width, "summary width mismatch");
+                let rows = [
+                    es.lo_row(),
+                    es.hi_row(),
+                    es.c1_row(),
+                    es.c2_row(),
+                    es.c3_row(),
+                    es.c4_row(),
+                ];
+                for (seg, row) in rows.into_iter().enumerate() {
+                    for (i, &v) in row.iter().enumerate() {
+                        data[((p * arena_seg::COUNT + seg) * width + i) * n + e] = v;
+                    }
+                }
+            }
+        }
+        SummaryArena {
+            n,
+            width,
+            data,
+            node_counts,
+        }
+    }
+
+    /// Summarize `events` (Definition-2 per-node proxies) and pack.
+    pub fn new(eval: &Evaluator<'_>, events: &[NonatomicEvent]) -> SummaryArena {
+        let summaries: Vec<ProxySummary> =
+            events.iter().map(|e| eval.summarize_proxies(e)).collect();
+        SummaryArena::build(eval.execution().num_processes(), summaries.iter())
+    }
+
+    /// Number of packed events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the arena empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Clock width `|P|`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `|N_X|` of event `e`.
+    #[inline]
+    pub fn node_count(&self, e: usize) -> u32 {
+        self.node_counts[e]
+    }
+
+    /// All per-event node counts, indexed by event.
+    #[inline]
+    pub(crate) fn node_counts(&self) -> &[u32] {
+        &self.node_counts
+    }
+
+    /// The contiguous all-events row for `(proxy, seg, node)`.
+    #[inline]
+    pub(crate) fn plane(&self, proxy: usize, seg: usize, node: usize) -> &[u32] {
+        let o = ((proxy * arena_seg::COUNT + seg) * self.width + node) * self.n;
+        &self.data[o..o + self.n]
+    }
+
+    /// Single value for `(proxy, seg, node, event)`.
+    #[inline]
+    pub(crate) fn value(&self, proxy: usize, seg: usize, node: usize, event: usize) -> u32 {
+        self.data[((proxy * arena_seg::COUNT + seg) * self.width + node) * self.n + event]
+    }
+
+    /// Comparisons the fused kernel spends on pair `(x, y)`:
+    /// `4·(2|N_X| + 2|N_Y| + 2·min(|N_X|, |N_Y|))`. The batched kernel
+    /// performs the same comparisons (Theorem 20 bounds the *counts*;
+    /// batching only amortizes orchestration), so reports quote the same
+    /// figure.
+    #[inline]
+    pub fn pair_comparisons(&self, x: usize, y: usize) -> u64 {
+        let nx = self.node_counts[x] as u64;
+        let ny = self.node_counts[y] as u64;
+        4 * (2 * nx + 2 * ny + 2 * nx.min(ny))
     }
 }
 

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use synchrel_core::{
-    naive_relation, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary, Relation,
+    naive_relation, EvalMode, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary,
+    Relation, RelationSet, SummaryArena,
 };
 
 use crate::spec::{Condition, Spec};
@@ -82,6 +83,8 @@ pub struct Checker<'a> {
     exec: &'a Execution,
     bindings: BTreeMap<String, NonatomicEvent>,
     summaries: RwLock<BTreeMap<String, Arc<ProxySummary>>>,
+    mode: EvalMode,
+    arena: RwLock<Option<Arc<SummaryArena>>>,
 }
 
 impl<'a> Checker<'a> {
@@ -94,7 +97,25 @@ impl<'a> Checker<'a> {
             exec,
             bindings: bindings.into_iter().collect(),
             summaries: RwLock::new(BTreeMap::new()),
+            mode: EvalMode::Counted,
+            arena: RwLock::new(None),
         }
+    }
+
+    /// Select the kernel used for relation conditions.
+    /// [`EvalMode::Counted`] (the default) evaluates each proxy relation
+    /// on its own Theorem-20 comparison path. [`EvalMode::Fused`] and
+    /// [`EvalMode::Batched`] compute the full 32-relation set for the
+    /// pair in one pass and answer by membership — identical verdicts,
+    /// cheaper when a spec asks several questions about the same pair.
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active evaluation mode.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
     }
 
     /// The bound event names.
@@ -118,6 +139,56 @@ impl<'a> Checker<'a> {
             .entry(name.to_string())
             .or_insert_with(|| Arc::clone(&s));
         Some(s)
+    }
+
+    /// The shared SoA arena over all bound events, built lazily on
+    /// first batched evaluation (binding order = arena index order).
+    fn arena(&self) -> Arc<SummaryArena> {
+        if let Some(a) = self.arena.read().as_ref() {
+            return Arc::clone(a);
+        }
+        let summaries: Vec<Arc<ProxySummary>> = self
+            .bindings
+            .keys()
+            .map(|n| self.summary(n).expect("iterating bound names"))
+            .collect();
+        let built = Arc::new(SummaryArena::build(
+            self.exec.num_processes(),
+            summaries.iter().map(|s| s.as_ref()),
+        ));
+        let mut slot = self.arena.write();
+        if slot.is_none() {
+            *slot = Some(built);
+        }
+        Arc::clone(slot.as_ref().expect("just filled"))
+    }
+
+    fn binding_index(&self, name: &str) -> Option<usize> {
+        self.bindings.keys().position(|k| k == name)
+    }
+
+    /// Full 32-relation set for a bound pair via the active set kernel.
+    fn relation_set(&self, x: &str, y: &str) -> Option<RelationSet> {
+        if self.mode == EvalMode::Batched {
+            let (xi, yi) = (self.binding_index(x)?, self.binding_index(y)?);
+            let mut slab = [RelationSet::empty()];
+            self.arena().eval_row_batch(xi, yi, &mut slab);
+            Some(slab[0])
+        } else {
+            let (sx, sy) = (self.summary(x)?, self.summary(y)?);
+            Some(Evaluator::new(self.exec).eval_all_proxy_fused(&sx, &sy).0)
+        }
+    }
+
+    /// Evaluate one proxy relation between bound names under the
+    /// active mode. `None` if either name is unbound.
+    fn eval_proxy_named(&self, pr: ProxyRelation, x: &str, y: &str) -> Option<bool> {
+        if self.mode == EvalMode::Counted {
+            let (sx, sy) = (self.summary(x)?, self.summary(y)?);
+            Some(Evaluator::new(self.exec).eval_proxy(pr, &sx, &sy).holds)
+        } else {
+            Some(self.relation_set(x, y)?.contains(pr))
+        }
     }
 
     /// Compute all bound events' proxy summaries now, on `threads`
@@ -224,11 +295,10 @@ impl<'a> Checker<'a> {
                 x,
                 y,
             } => {
-                let (Some(sx), Some(sy)) = (self.summary(x), self.summary(y)) else {
+                let pr = ProxyRelation::new(*rel, *x_proxy, *y_proxy);
+                let Some(holds) = self.eval_proxy_named(pr, x, y) else {
                     return (false, self.unbound_detail(x, y));
                 };
-                let pr = ProxyRelation::new(*rel, *x_proxy, *y_proxy);
-                let holds = Evaluator::new(self.exec).eval_proxy(pr, &sx, &sy).holds;
                 (holds, format!("{pr} on ({x}, {y}) = {holds}"))
             }
             Condition::Not { inner } => {
@@ -290,13 +360,9 @@ impl<'a> Checker<'a> {
     }
 
     fn eval_rel(&self, rel: Relation, x: &str, y: &str) -> (bool, String) {
-        let (Some(sx), Some(sy)) = (self.summary(x), self.summary(y)) else {
-            return (false, self.unbound_detail(x, y));
-        };
         // The base relation equals the relation over the matching proxies
         // (see crate::relations::proxy_baseline): use the event's own
         // summaries via the proxy pair that preserves it.
-        let ev = Evaluator::new(self.exec);
         let (xp, yp) = match rel {
             Relation::R1 | Relation::R1p => (synchrel_core::Proxy::U, synchrel_core::Proxy::L),
             Relation::R2 | Relation::R2p => (synchrel_core::Proxy::U, synchrel_core::Proxy::U),
@@ -304,7 +370,9 @@ impl<'a> Checker<'a> {
             Relation::R4 | Relation::R4p => (synchrel_core::Proxy::L, synchrel_core::Proxy::U),
         };
         let pr = ProxyRelation::new(rel, xp, yp);
-        let holds = ev.eval_proxy(pr, &sx, &sy).holds;
+        let Some(holds) = self.eval_proxy_named(pr, x, y) else {
+            return (false, self.unbound_detail(x, y));
+        };
         let mut detail = format!("{rel}({x}, {y}) = {holds}");
         if !holds && matches!(rel, Relation::R1 | Relation::R1p) {
             detail.push_str(&self.r1_witness(x, y));
@@ -494,6 +562,49 @@ mod tests {
                 ch.check_parallel(&spec, threads),
                 "threads = {threads}"
             );
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_every_condition() {
+        let (e, defs) = setup();
+        let counted = checker(&e, &defs);
+        let fused = checker(&e, &defs).with_mode(EvalMode::Fused);
+        let batched = checker(&e, &defs).with_mode(EvalMode::Batched);
+        assert_eq!(batched.mode(), EvalMode::Batched);
+        let spec = Spec::new("modes")
+            .require("ordering", Condition::rel(Relation::R1, "a", "b"))
+            .require("reverse", Condition::rel(Relation::R1, "b", "a"))
+            .require(
+                "proxy",
+                Condition::proxy_rel(
+                    Relation::R3,
+                    synchrel_core::Proxy::L,
+                    synchrel_core::Proxy::U,
+                    "a",
+                    "b",
+                ),
+            )
+            .require("exclusion", Condition::mutex(["a", "b", "c"]))
+            .require("chain", Condition::ordered(["a", "b", "c"]))
+            .require("ghost", Condition::rel(Relation::R4, "a", "ghost"));
+        let base = counted.check(&spec);
+        assert_eq!(base, fused.check(&spec), "fused diverged");
+        assert_eq!(base, batched.check(&spec), "batched diverged");
+        // Per-relation sweep across all bound pairs, including x == y.
+        for rel in Relation::ALL {
+            for x in ["a", "b", "c"] {
+                for y in ["a", "b", "c"] {
+                    let c = Condition::rel(rel, x, y);
+                    let expect = counted.eval(&c).0;
+                    assert_eq!(fused.eval(&c).0, expect, "fused {rel}({x},{y})");
+                    assert_eq!(batched.eval(&c).0, expect, "batched {rel}({x},{y})");
+                }
+            }
+        }
+        // Parallel checking under non-default modes stays deterministic.
+        for threads in [2, 8] {
+            assert_eq!(base, batched.check_parallel(&spec, threads));
         }
     }
 

@@ -208,6 +208,11 @@ struct WatchState {
     x: String,
     y: String,
     last: Verdict,
+    /// The verdict is permanent: it settled to `Holds`/`Violated`
+    /// through [`OnlineMonitor::poll`]. Settled watches are never
+    /// re-checked (monotonicity makes re-checking a no-op on a faithful
+    /// view), which is what lets pruning retire their intervals.
+    settled: bool,
 }
 
 /// Internal running counters. Ingest-side counters are plain `u64`
@@ -221,6 +226,7 @@ struct Stats {
     flushes: u64,
     flush_nanos: u64,
     max_pending: u64,
+    reclaimed: u64,
     verdicts: [Cell<u64>; 4],
 }
 
@@ -255,6 +261,11 @@ pub struct MonitorStats {
     pub pending_verdicts: u64,
     /// `check` verdicts returned as Unknown (fault-induced decay).
     pub unknown: u64,
+    /// Closed intervals compacted out of the monitor by pruning.
+    pub intervals_reclaimed: u64,
+    /// Interval states currently resident (gauge): with pruning
+    /// enabled this stays O(active intervals) instead of O(history).
+    pub resident_intervals: u64,
 }
 
 impl MonitorStats {
@@ -339,6 +350,16 @@ impl MonitorStats {
             "Fraction of check() verdicts decayed to Unknown",
             self.unknown_rate(),
         );
+        reg.counter(
+            "synchrel_monitor_intervals_reclaimed_total",
+            "Closed intervals compacted out by pruning",
+            self.intervals_reclaimed,
+        );
+        reg.gauge(
+            "synchrel_monitor_resident_intervals",
+            "Interval states currently resident",
+            self.resident_intervals as f64,
+        );
     }
 }
 
@@ -371,6 +392,12 @@ pub struct OnlineMonitor {
     lossy: bool,
     /// Wire sequence slots conceded as lost.
     lost: u64,
+    /// Epoch-based pruning of closed intervals (opt-in).
+    prune_enabled: bool,
+    /// Tombstones for pruned intervals: final member count per label.
+    /// Keeps closed-label semantics (`is_closed`, `interval_len`,
+    /// event rejection) intact after the heavy state is gone.
+    retired: BTreeMap<String, usize>,
     /// Operational counters (see [`MonitorStats`]).
     stats: Stats,
 }
@@ -392,8 +419,30 @@ impl OnlineMonitor {
             wire_msgs: BTreeMap::new(),
             lossy: false,
             lost: 0,
+            prune_enabled: false,
+            retired: BTreeMap::new(),
             stats: Stats::default(),
         }
+    }
+
+    /// Enable epoch-based pruning (builder style): closed intervals
+    /// whose futures can no longer affect any open watch are compacted
+    /// out of the monitor, making long-running streaming memory
+    /// O(active intervals) instead of O(history). See
+    /// [`OnlineMonitor::prune`] for semantics.
+    pub fn with_pruning(mut self) -> OnlineMonitor {
+        self.prune_enabled = true;
+        self
+    }
+
+    /// Enable epoch-based pruning on an existing monitor.
+    pub fn enable_pruning(&mut self) {
+        self.prune_enabled = true;
+    }
+
+    /// Is pruning enabled?
+    pub fn pruning_enabled(&self) -> bool {
+        self.prune_enabled
     }
 
     /// A snapshot of the monitor's operational counters.
@@ -412,6 +461,8 @@ impl OnlineMonitor {
             violated: self.stats.verdicts[1].get(),
             pending_verdicts: self.stats.verdicts[2].get(),
             unknown: self.stats.verdicts[3].get(),
+            intervals_reclaimed: self.stats.reclaimed,
+            resident_intervals: self.intervals.len() as u64,
         }
     }
 
@@ -434,7 +485,7 @@ impl OnlineMonitor {
 
     fn validate_labels(&self, labels: &[&str]) -> Result<(), OnlineError> {
         for &l in labels {
-            if self.intervals.get(l).is_some_and(|s| s.closed) {
+            if self.retired.contains_key(l) || self.intervals.get(l).is_some_and(|s| s.closed) {
                 return Err(OnlineError::IntervalClosed(l.to_string()));
             }
         }
@@ -700,19 +751,70 @@ impl OnlineMonitor {
 
     /// Close an interval: no further events may join it, which lets
     /// pending verdicts settle. Closing an unknown name creates it
-    /// empty and closed.
+    /// empty and closed. With pruning enabled, closed intervals no
+    /// open watch depends on are compacted immediately.
     pub fn close(&mut self, label: &str) {
+        if self.retired.contains_key(label) {
+            return; // already closed and compacted
+        }
         self.intervals.entry(label.to_string()).or_default().closed = true;
+        self.prune();
     }
 
     /// Is the interval closed?
     pub fn is_closed(&self, label: &str) -> bool {
-        self.intervals.get(label).is_some_and(|s| s.closed)
+        self.retired.contains_key(label) || self.intervals.get(label).is_some_and(|s| s.closed)
     }
 
     /// Number of member events currently in the interval.
     pub fn interval_len(&self, label: &str) -> usize {
+        if let Some(&c) = self.retired.get(label) {
+            return c;
+        }
         self.intervals.get(label).map_or(0, |s| s.count)
+    }
+
+    /// Has the interval been compacted out by pruning? Retired
+    /// intervals still count as closed and keep their final length, but
+    /// their member data is gone: ad-hoc [`OnlineMonitor::check`]s that
+    /// involve them return [`Verdict::Unknown`].
+    pub fn is_retired(&self, label: &str) -> bool {
+        self.retired.contains_key(label)
+    }
+
+    /// Compact closed intervals that no longer matter: an interval is
+    /// reclaimed once it is closed **and** every watch referencing it
+    /// has settled to a permanent verdict (closed epochs whose futures
+    /// can no longer intersect any open watch). The heavy per-interval
+    /// state — per-node extremal clocks and the `∩⇓X`/`∪⇓X` timestamps,
+    /// `O(|N_X|·|P|)` words — is dropped; a tombstone keeps the label's
+    /// closed/length semantics. Returns the number of intervals
+    /// reclaimed (0 unless pruning is enabled).
+    ///
+    /// Called automatically from [`OnlineMonitor::close`] and
+    /// [`OnlineMonitor::poll`] when enabled; safe to call manually.
+    pub fn prune(&mut self) -> usize {
+        if !self.prune_enabled {
+            return 0;
+        }
+        let referenced: std::collections::BTreeSet<&str> = self
+            .watches
+            .iter()
+            .filter(|w| !w.settled)
+            .flat_map(|w| [w.x.as_str(), w.y.as_str()])
+            .collect();
+        let retired = &mut self.retired;
+        let mut reclaimed = 0usize;
+        self.intervals.retain(|label, st| {
+            let keep = !st.closed || referenced.contains(label.as_str());
+            if !keep {
+                retired.insert(label.clone(), st.count);
+                reclaimed += 1;
+            }
+            keep
+        });
+        self.stats.reclaimed += reclaimed as u64;
+        reclaimed
     }
 
     /// Does `rel(X, Y)` hold **for the members seen so far**?
@@ -778,14 +880,24 @@ impl OnlineMonitor {
             x: x.into(),
             y: y.into(),
             last: Verdict::Pending,
+            settled: false,
         });
     }
 
-    /// Current verdicts of all watches, in registration order.
+    /// Current verdicts of all watches, in registration order. Settled
+    /// watches report their frozen permanent verdict without being
+    /// re-checked (their operands may already be pruned).
     pub fn verdicts(&self) -> Vec<(String, Verdict)> {
         self.watches
             .iter()
-            .map(|w| (w.name.clone(), self.check(w.rel, &w.x, &w.y)))
+            .map(|w| {
+                let v = if w.settled {
+                    w.last
+                } else {
+                    self.check(w.rel, &w.x, &w.y)
+                };
+                (w.name.clone(), v)
+            })
             .collect()
     }
 
@@ -793,14 +905,25 @@ impl OnlineMonitor {
     /// since the last poll (or since registration). A real-time
     /// deployment calls this after feeding each batch of events and
     /// alarms on `Violated` transitions.
+    ///
+    /// A watch that reaches `Holds`/`Violated` is **settled**: the
+    /// verdict is permanent (on a healthy monitor because the exact
+    /// rules are monotone under closure; while degraded because the
+    /// only verdict that escapes decay is an `∃∃` witness, which is
+    /// real). Settled watches are frozen and never re-checked, which is
+    /// what lets [`OnlineMonitor::prune`] retire their operands.
     pub fn poll(&mut self) -> Vec<WatchEvent> {
-        let fresh: Vec<Verdict> = self
+        let fresh: Vec<Option<Verdict>> = self
             .watches
             .iter()
-            .map(|w| self.check(w.rel, &w.x, &w.y))
+            .map(|w| (!w.settled).then(|| self.check(w.rel, &w.x, &w.y)))
             .collect();
         let mut out = Vec::new();
         for (w, v) in self.watches.iter_mut().zip(fresh) {
+            let Some(v) = v else { continue };
+            if matches!(v, Verdict::Holds | Verdict::Violated) {
+                w.settled = true;
+            }
             if v != w.last {
                 w.last = v;
                 out.push(WatchEvent {
@@ -809,6 +932,7 @@ impl OnlineMonitor {
                 });
             }
         }
+        self.prune();
         out
     }
 
@@ -850,6 +974,11 @@ impl OnlineMonitor {
     /// assuming the monitor saw a faithful linearization (no buffered
     /// or lost reports).
     pub fn check_exact(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        // A retired interval's member data is gone; nothing exact can
+        // be said about relations involving it.
+        if self.retired.contains_key(x) || self.retired.contains_key(y) {
+            return Verdict::Unknown;
+        }
         let now = self.holds_now(rel, x, y);
         let xc = self.is_closed(x);
         let yc = self.is_closed(y);
@@ -1370,5 +1499,139 @@ mod tests {
         m.internal(0, &["x", "z"]).unwrap();
         assert_eq!(m.interval_len("x"), 2);
         assert_eq!(m.interval_len("z"), 1);
+    }
+
+    #[test]
+    fn pruning_reclaims_settled_interval_state() {
+        let mut m = OnlineMonitor::new(2).with_pruning();
+        assert!(m.pruning_enabled());
+        m.watch("order", Relation::R1, "x", "y");
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        m.close("x");
+        m.close("y");
+        let events = m.poll();
+        assert_eq!(
+            events,
+            vec![WatchEvent {
+                name: "order".into(),
+                verdict: Verdict::Holds
+            }]
+        );
+        // The watch settled, so the auto-prune at the end of poll()
+        // retired both intervals; closed/length semantics survive.
+        assert!(m.is_retired("x") && m.is_retired("y"));
+        assert!(m.is_closed("x") && m.is_closed("y"));
+        assert_eq!(m.interval_len("x"), 1);
+        assert_eq!(m.interval_len("y"), 1);
+        // Frozen verdicts keep reporting without the member data.
+        assert_eq!(m.verdicts(), vec![("order".to_string(), Verdict::Holds)]);
+        assert!(m.poll().is_empty(), "no repeat notifications");
+        // Ad-hoc checks on retired labels concede Unknown.
+        assert_eq!(m.check_exact(Relation::R1, "x", "y"), Verdict::Unknown);
+        assert_eq!(m.check(Relation::R4, "x", "y"), Verdict::Unknown);
+        // Retired labels still reject new members like closed ones.
+        assert!(m.internal(0, &["x"]).is_err());
+        let s = m.stats();
+        assert_eq!(s.intervals_reclaimed, 2);
+        assert_eq!(s.resident_intervals, 0);
+    }
+
+    #[test]
+    fn pruning_is_opt_in() {
+        let mut m = OnlineMonitor::new(2);
+        assert!(!m.pruning_enabled());
+        m.watch("order", Relation::R1, "x", "y");
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        m.close("x");
+        m.close("y");
+        m.poll();
+        assert_eq!(m.prune(), 0, "disabled prune is a no-op");
+        assert!(!m.is_retired("x"));
+        let s = m.stats();
+        assert_eq!(s.intervals_reclaimed, 0);
+        assert_eq!(s.resident_intervals, 2);
+        // Member data is intact, so ad-hoc checks stay exact.
+        assert_eq!(m.check_exact(Relation::R1, "x", "y"), Verdict::Holds);
+    }
+
+    #[test]
+    fn pruning_waits_for_unsettled_watches() {
+        let mut m = OnlineMonitor::new(2).with_pruning();
+        m.watch("flow", Relation::R4, "x", "y");
+        m.watch("order", Relation::R1, "x", "y");
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        m.poll(); // flow settles Holds; order still Pending
+        m.close("x");
+        // x is closed but the unsettled R1 watch still references it.
+        assert!(!m.is_retired("x"));
+        assert_eq!(m.stats().resident_intervals, 2);
+        m.close("y");
+        m.poll(); // order settles Holds; nothing pins x/y any more
+        assert!(m.is_retired("x") && m.is_retired("y"));
+        assert_eq!(m.stats().intervals_reclaimed, 2);
+    }
+
+    #[test]
+    fn long_stream_residency_is_bounded_and_matches_unpruned_twin() {
+        // Epoch churn: each epoch opens a fresh pair of intervals,
+        // watches R1 across a message, closes both, and polls. With
+        // pruning the resident set stays O(active); the unpruned twin
+        // accumulates the whole history. Poll events and final
+        // verdicts must be identical.
+        let mut pruned = OnlineMonitor::new(3).with_pruning();
+        let mut plain = OnlineMonitor::new(3);
+        let epochs = 300u64;
+        let mut max_resident = 0;
+        for epoch in 0..epochs {
+            let a = format!("a{epoch}");
+            let b = format!("b{epoch}");
+            let p = (synchrel_sim::fault::mix(9, 1, epoch) % 3) as usize;
+            let q = (p + 1) % 3;
+            let run = |m: &mut OnlineMonitor| {
+                m.watch(format!("w{epoch}"), Relation::R1, &a, &b);
+                let msg = m.send(p, &[a.as_str()]).unwrap();
+                m.recv(q, msg, &[b.as_str()]).unwrap();
+                m.close(&a);
+                m.close(&b);
+                m.poll()
+            };
+            let ep = run(&mut pruned);
+            let eu = run(&mut plain);
+            assert_eq!(ep, eu, "poll events diverged at epoch {epoch}");
+            max_resident = max_resident.max(pruned.stats().resident_intervals);
+        }
+        assert_eq!(pruned.verdicts(), plain.verdicts());
+        assert!(
+            max_resident <= 4,
+            "resident intervals grew with history: {max_resident}"
+        );
+        let sp = pruned.stats();
+        assert_eq!(sp.intervals_reclaimed, 2 * epochs);
+        assert_eq!(sp.resident_intervals, 0);
+        assert_eq!(plain.stats().resident_intervals, 2 * epochs);
+        assert_eq!(plain.stats().intervals_reclaimed, 0);
+    }
+
+    #[test]
+    fn pruning_counters_export_to_registry() {
+        let mut m = OnlineMonitor::new(2).with_pruning();
+        m.watch("order", Relation::R1, "x", "y");
+        let msg = m.send(0, &["x"]).unwrap();
+        m.recv(1, msg, &["y"]).unwrap();
+        m.close("x");
+        m.close("y");
+        m.poll();
+        let mut reg = MetricsRegistry::new();
+        m.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# TYPE synchrel_monitor_intervals_reclaimed_total counter\n"),
+            "{text}"
+        );
+        assert!(text.contains("synchrel_monitor_intervals_reclaimed_total 2\n"));
+        assert!(text.contains("synchrel_monitor_resident_intervals 0\n"));
     }
 }

@@ -10,15 +10,19 @@
 //!   comparison budget per relation, which coincides with the paper's
 //!   Theorem-20 table for every relation except R2'/R3 (the documented
 //!   discrepancy, where the sound bound is `|N_Y|` / `|N_X|`);
-//! * **detector modes** — `EvalMode::Fused` (sequential and
-//!   work-stealing parallel) reports the same relation sets as the
-//!   default counted mode.
+//! * **detector modes** — `EvalMode::Fused` and `EvalMode::Batched`
+//!   (sequential and work-stealing parallel) report the same relation
+//!   sets as the default counted mode, byte-identical to each other
+//!   (verdicts and Theorem-20 comparison counts), on general workloads
+//!   and on adversarial operand shapes: single-process events, fully
+//!   overlapping `X`/`Y`, and `|N_X| ≠ |N_Y|`.
 
 use proptest::prelude::*;
 
 use synchrel_core::{
     naive_proxy, sound_bound, theorem20_bound, CompareCounter, Detector, EvalMode, Evaluator,
-    NoopMeter, PairReport, ProxyDefinition, ProxyRelation, Relation,
+    EventId, Execution, NonatomicEvent, NoopMeter, PairReport, ProcessId, ProxyDefinition,
+    ProxyRelation, Relation,
 };
 use synchrel_sim::fault::{random_scripts, FaultLog, FaultPlan};
 use synchrel_sim::intervals;
@@ -110,14 +114,22 @@ fn check_workload(w: &Workload) -> Result<(), TestCaseError> {
         }
     }
 
-    // Detector-level: fused mode (sequential and parallel) reports the
-    // same relation sets as the counted reference.
+    // Detector-level: fused and batched modes (sequential and parallel)
+    // report the same relation sets as the counted reference, and agree
+    // with each other byte-for-byte, comparisons included.
     let counted = Detector::new(&w.exec, w.events.clone());
     let fused = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Fused);
+    let batched = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Batched);
     let ref_reports = counted.all_pairs();
     let fused_seq = fused.all_pairs();
     let fused_par = fused.all_pairs_parallel(4);
     prop_assert_eq!(fused_seq.clone(), fused_par);
+    prop_assert_eq!(fused_seq.clone(), batched.all_pairs(), "batched != fused");
+    prop_assert_eq!(
+        fused_seq.clone(),
+        batched.all_pairs_parallel(4),
+        "parallel batched != fused"
+    );
     prop_assert_eq!(ref_reports.len(), fused_seq.len());
     for (a, b) in ref_reports.iter().zip(&fused_seq) {
         prop_assert_eq!(a.relations, b.relations, "pair ({}, {})", a.x, a.y);
@@ -126,11 +138,72 @@ fn check_workload(w: &Workload) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Adversarial operand shapes for the batched kernel: single-process
+/// events, duplicated (fully overlapping) events, partially overlapping
+/// same-process events, and node sets of different sizes — all in one
+/// detector set, so every cross shape appears as a pair. Counted,
+/// fused, and batched must agree on every relation set; fused and
+/// batched must be byte-identical (comparisons included) and feed
+/// identical totals into the `CompareCounter`.
+fn check_batched_shapes(exec: &Execution) -> Result<(), TestCaseError> {
+    let procs = exec.num_processes();
+    let take = |p: usize, lo: u32, n: u32| -> Vec<EventId> {
+        let avail = exec.app_len(ProcessId(p as u32)) as u32;
+        (0..n)
+            .map(|k| EventId::new(p as u32, 1 + (lo + k) % avail.max(1)))
+            .collect()
+    };
+    let mk = |members: Vec<EventId>| NonatomicEvent::new(exec, members).expect("valid members");
+
+    // |N| = 1 on the first and last process, overlapping prefixes on
+    // process 0, one node per process (|N| = procs), plus an exact
+    // duplicate of the first event (fully overlapping X/Y pairs).
+    let x_single = mk(take(0, 0, 3));
+    let x_single_shift = mk(take(0, 1, 3));
+    let y_single = mk(take(procs - 1, 0, 2));
+    let wide = mk((0..procs).flat_map(|p| take(p, 0, 2)).collect());
+    let dup = x_single.clone();
+    let events = vec![x_single, x_single_shift, y_single, wide, dup];
+
+    let counted = Detector::new(exec, events.clone());
+    let fused = Detector::new(exec, events.clone()).with_mode(EvalMode::Fused);
+    let batched = Detector::new(exec, events).with_mode(EvalMode::Batched);
+
+    let fm = CompareCounter::new();
+    let bm = CompareCounter::new();
+    let ref_reports = counted.all_pairs();
+    let fused_reports = fused.all_pairs_with(&fm);
+    let batched_reports = batched.all_pairs_with(&bm);
+    prop_assert_eq!(
+        fused_reports.clone(),
+        batched_reports,
+        "batched != fused on shaped operands"
+    );
+    for (a, b) in ref_reports.iter().zip(&fused_reports) {
+        prop_assert_eq!(a.relations, b.relations, "shaped pair ({}, {})", a.x, a.y);
+    }
+    prop_assert_eq!(
+        fm.snapshot(Relation::NAMES),
+        bm.snapshot(Relation::NAMES),
+        "meter totals diverged between fused and batched"
+    );
+    // Thread-count independence on these shapes too.
+    for threads in [1, 3, 8] {
+        prop_assert_eq!(
+            fused_reports.clone(),
+            batched.all_pairs_parallel(threads),
+            "batched×{} diverged on shaped operands",
+            threads
+        );
+    }
+    Ok(())
+}
+
 /// Work-stealing parallel pair evaluation is deterministic and
 /// identical to the sequential scan, for every mode and any thread
 /// count: same reports, same order, same comparison tallies.
 fn check_parallel_determinism(w: &Workload) -> Result<(), TestCaseError> {
-    for mode in [EvalMode::Counted, EvalMode::Fused] {
+    for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
         let d = Detector::new(&w.exec, w.events.clone()).with_mode(mode);
         let sequential = d.all_pairs();
         for threads in [1, 2, 8] {
@@ -204,7 +277,7 @@ fn check_metering_transparent(seed: u64) -> Result<(), TestCaseError> {
 /// count and either mode, the aggregated `MeterSnapshot` equals the
 /// sequential one (mirrors `check_parallel_determinism` for reports).
 fn check_meter_merge_determinism(w: &Workload) -> Result<(), TestCaseError> {
-    for mode in [EvalMode::Counted, EvalMode::Fused] {
+    for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
         let d = Detector::new(&w.exec, w.events.clone()).with_mode(mode);
         let base = CompareCounter::new();
         let seq_reports = d.all_pairs_with(&base);
@@ -260,6 +333,16 @@ proptest! {
     }
 
     #[test]
+    fn batched_handles_adversarial_shapes(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_batched_shapes(&w.exec)?;
+    }
+
+    #[test]
     fn meter_merge_is_order_independent(
         seed in 0u64..10_000,
         processes in 3usize..7,
@@ -278,5 +361,6 @@ fn fixed_seed_smoke() {
     check_workload(&w).unwrap();
     check_parallel_determinism(&w).unwrap();
     check_meter_merge_determinism(&w).unwrap();
+    check_batched_shapes(&w.exec).unwrap();
     check_metering_transparent(0xC0FFEE).unwrap();
 }
