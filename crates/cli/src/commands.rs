@@ -11,6 +11,11 @@ use synchrel_monitor::differential::{run_case, run_seeds, shrink, DiffCase, Mism
 use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
 use synchrel_obs::{MetricsRegistry, SpanLog};
+use synchrel_serve::{
+    case_commands, duplex, run_chaos_case, run_chaos_seeds, ChaosMismatch, Client,
+    Command as ServeCommand, CrashPlan, CrashPoint, DirStorage, OverloadPolicy,
+    Response as ServeResponse, Server, ServerConfig,
+};
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload;
 use synchrel_sim::TraceStats;
@@ -59,6 +64,24 @@ commands:
                          on mismatch, shrinks and prints the minimal
                          failing scenario with its repro seed (exit 1).
                          --case replays one exact case seed
+  serve <dir> [--seed S] [--queue N] [--policy backpressure|shed]
+      [--snapshot-every N] [--max-pending N] [--crash-after N]
+      [--metrics metrics.prom|metrics.json]
+                         run a seeded monitored workload through the
+                         crash-recoverable service, persisting WAL +
+                         snapshots under <dir>; --crash-after kills the
+                         server after the Nth durable record, leaving
+                         state on disk for `replay`
+  replay <dir> [--metrics metrics.prom|metrics.json]
+                         recover a server from <dir> (snapshot + WAL
+                         replay, torn tails truncated) and print the
+                         recovery report with all watch verdicts
+  chaos [--seed S] [--cases N] [--case C]
+                         seeded kill/restart sweep: each case drives
+                         the same command stream through a crash-free
+                         and a crash-riddled server; any verdict or
+                         counter divergence fails with a repro seed
+                         (exit 1). --case replays one exact case seed
   relations              list the eight relations and their conditions
 ";
 
@@ -79,6 +102,9 @@ pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
         "meter" => meter(&rest),
         "overlap" => overlap(&rest),
         "fuzz" => fuzz(&rest),
+        "serve" => serve(&rest),
+        "replay" => replay(&rest),
+        "chaos" => chaos(&rest),
         "relations" => {
             relations_table();
             Ok(ExitCode::SUCCESS)
@@ -583,6 +609,206 @@ fn fuzz(a: &Args) -> Result<ExitCode, AnyError> {
             Ok(ExitCode::from(1))
         }
     }
+}
+
+fn parse_policy(s: &str) -> Result<OverloadPolicy, AnyError> {
+    match s {
+        "backpressure" => Ok(OverloadPolicy::Backpressure),
+        "shed" => Ok(OverloadPolicy::Shed),
+        other => Err(Box::new(ArgError::Unknown(format!("policy '{other}'")))),
+    }
+}
+
+fn serve_config(a: &Args, processes: usize) -> Result<ServerConfig, AnyError> {
+    Ok(ServerConfig {
+        processes,
+        queue_capacity: a.num("queue", 1024)?,
+        overload: parse_policy(a.opt("policy").unwrap_or("backpressure"))?,
+        snapshot_every: a.num("snapshot-every", 16)?,
+        max_pending: a.num("max-pending", 0)?,
+        pruning: false,
+    })
+}
+
+/// Print one probe answer from the service.
+fn print_probe(resp: &ServeResponse) {
+    match resp {
+        ServeResponse::Verdicts(list) => {
+            println!("watch verdicts:");
+            for (name, v) in list {
+                println!("  {name:<24} {v:?}");
+            }
+        }
+        ServeResponse::Stats(s) => {
+            println!(
+                "monitor: {} applied, {} buffered, {} duplicates, {} lost, degraded={}",
+                s.applied, s.buffered, s.duplicates, s.lost, s.degraded
+            );
+        }
+        ServeResponse::Verdict(v) => println!("query verdict: {v:?}"),
+        other => println!("{other:?}"),
+    }
+}
+
+fn write_serve_metrics(path: &str, server: &Server<DirStorage>) -> Result<(), AnyError> {
+    let mut reg = MetricsRegistry::new();
+    server.export_metrics(&mut reg);
+    write_metrics(path, &reg)?;
+    eprintln!("wrote {} metric samples to {path}", reg.len());
+    Ok(())
+}
+
+fn serve(a: &Args) -> Result<ExitCode, AnyError> {
+    let dir = a.pos(0, "state directory")?;
+    let seed = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 0x5E17_E001,
+    };
+    let cc = case_commands(seed)
+        .map_err(|m| format!("workload generation failed: {m}"))?
+        .ok_or_else(|| {
+            format!("seed {seed:#x} generates a degenerate workload (fewer than two intervals); pick another seed")
+        })?;
+    let cfg = serve_config(a, cc.processes)?;
+    let storage = DirStorage::open(dir)?;
+    let (wire, server_end) = duplex();
+    let mut server = Server::recover(storage, cfg, server_end)?;
+    if server.stats().recovered {
+        eprintln!(
+            "recovered prior state from {dir}: {} WAL records replayed, {} torn tails truncated",
+            server.stats().replayed,
+            server.stats().torn_truncations
+        );
+    }
+    if let Some(v) = a.opt("crash-after") {
+        let nth: u64 = v
+            .parse()
+            .map_err(|_| ArgError::BadValue("crash-after".into(), v.to_string()))?;
+        server.arm_crash(CrashPlan {
+            nth_logged: nth,
+            point: CrashPoint::AfterAppend,
+        });
+    }
+
+    let mut client = Client::resuming(wire, seed, server.next_req());
+    for cmd in cc.cmds.iter().chain(&cc.probes) {
+        let call = client.call(cmd, || {
+            if !server.is_crashed() {
+                server.pump(0);
+            }
+        });
+        match call {
+            Ok(ServeResponse::Error(e)) => {
+                return Err(format!("server refused a command: {e}").into())
+            }
+            Ok(resp) if cc.probes.contains(cmd) => print_probe(&resp),
+            Ok(_) => {}
+            Err(_) if server.is_crashed() => {
+                println!(
+                    "server crashed (planned) after {} durable records; state kept in {dir}",
+                    server.stats().wal_appends
+                );
+                println!("bring it back with: synchrel replay {dir}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return Err(Box::new(e)),
+        }
+    }
+    let st = server.stats();
+    println!(
+        "service: {} WAL appends, {} snapshots, {} busy, {} shed, queue high-water {}",
+        st.wal_appends, st.snapshots, st.busy, st.shed, st.queue_high_water
+    );
+    if let Some(path) = a.opt("metrics") {
+        write_serve_metrics(path, &server)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replay(a: &Args) -> Result<ExitCode, AnyError> {
+    let dir = a.pos(0, "state directory")?;
+    let storage = DirStorage::open(dir)?;
+    let (wire, server_end) = duplex();
+    let cfg = serve_config(a, a.num("processes", 2)?)?;
+    let mut server = Server::recover(storage, cfg, server_end)?;
+    let st = server.stats().clone();
+    println!(
+        "recovery: recovered={} replayed={} torn_truncations={} ({} µs)",
+        st.recovered, st.replayed, st.torn_truncations, st.recovery_micros
+    );
+
+    let mut client = Client::resuming(wire, 0, server.next_req());
+    for cmd in [
+        ServeCommand::Poll,
+        ServeCommand::Verdicts,
+        ServeCommand::Stats,
+    ] {
+        let resp = client.call(&cmd, || {
+            server.pump(0);
+        })?;
+        if !matches!(cmd, ServeCommand::Poll) {
+            print_probe(&resp);
+        }
+    }
+    if let Some(path) = a.opt("metrics") {
+        write_serve_metrics(path, &server)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
+    if let Some(v) = a.opt("case") {
+        let seed = parse_seed("case", v)?;
+        return Ok(match run_chaos_case(seed) {
+            Ok(o) => {
+                println!(
+                    "chaos case {seed:#x}: OK ({} commands, {} crashes, {} recoveries, \
+                     {} retries{})",
+                    o.commands,
+                    o.crashes,
+                    o.recoveries,
+                    o.retries,
+                    if o.skipped {
+                        "; degenerate, skipped"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(m) => {
+                report_chaos_mismatch(&m);
+                ExitCode::from(1)
+            }
+        });
+    }
+    let seed = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 0xC4A0_5EED,
+    };
+    let cases: u64 = a.num("cases", 200)?;
+    match run_chaos_seeds(seed, cases) {
+        Ok(st) => {
+            println!(
+                "chaos OK: {} cases ({} skipped), {} crashes fired, {} recoveries, \
+                 {} client retries, {} commands driven, zero divergences [base seed {seed:#x}]",
+                st.cases, st.skipped, st.crashes, st.recoveries, st.retries, st.commands
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(m) => {
+            report_chaos_mismatch(&m);
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// Print a chaos divergence with its repro command.
+fn report_chaos_mismatch(m: &ChaosMismatch) {
+    println!("chaos DIVERGENCE:");
+    println!("  seed:    {:#x}", m.seed);
+    println!("  detail:  {}", m.detail);
+    println!("reproduce: synchrel chaos --case {:#x}", m.seed);
 }
 
 fn relations_table() {

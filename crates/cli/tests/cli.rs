@@ -457,3 +457,72 @@ fn gen_to_stdout() {
     assert!(o.status.success());
     assert!(stdout(&o).contains("\"steps\""), "{}", stdout(&o));
 }
+
+#[test]
+fn serve_crash_resume_reaches_same_verdicts() {
+    let dir = tmpdir().join("serve_state");
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = dir.to_str().unwrap();
+
+    // Crash-free reference run in a sibling dir.
+    let refdir = tmpdir().join("serve_ref");
+    let _ = std::fs::remove_dir_all(&refdir);
+    let o = run(&["serve", refdir.to_str().unwrap(), "--seed", "0x51"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let reference = stdout(&o);
+
+    // Same workload, killed mid-stream.
+    let o = run(&[
+        "serve",
+        state,
+        "--seed",
+        "0x51",
+        "--snapshot-every",
+        "4",
+        "--crash-after",
+        "20",
+    ]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(
+        stdout(&o).contains("server crashed (planned)"),
+        "{}",
+        stdout(&o)
+    );
+    assert!(dir.join("wal.log").exists());
+    assert!(dir.join("snapshot.bin").exists());
+
+    // Recovery alone leaves the view degraded (the suffix never arrived).
+    let o = run(&["replay", state]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(
+        stdout(&o).contains("recovery: recovered=true"),
+        "{}",
+        stdout(&o)
+    );
+
+    // Resuming the same workload dedupes the prefix and converges.
+    let o = run(&["serve", state, "--seed", "0x51", "--snapshot-every", "4"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    let resumed = stdout(&o);
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines()
+            .skip_while(|l| !l.starts_with("watch verdicts:"))
+            .take_while(|l| !l.starts_with("monitor:"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(verdicts(&reference), verdicts(&resumed));
+    assert!(!verdicts(&resumed).is_empty());
+    assert!(resumed.contains("degraded=false"), "{resumed}");
+}
+
+#[test]
+fn chaos_sweep_and_case_replay_pass() {
+    let o = run(&["chaos", "--cases", "5"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("zero divergences"), "{}", stdout(&o));
+
+    let o = run(&["chaos", "--case", "0x51"]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("OK"), "{}", stdout(&o));
+}

@@ -1,0 +1,305 @@
+//! Minimal hand-rolled binary codec primitives.
+//!
+//! The serving layer persists monitor state (snapshots, WAL records)
+//! and frames protocol messages. Those paths must encode and decode in
+//! every environment the workspace builds in — including offline dev
+//! environments where the serde crates are typecheck-only stubs — so
+//! they use this self-contained little-endian codec instead of serde.
+//!
+//! The format is deliberately boring: fixed-width LE integers,
+//! length-prefixed byte strings, one tag byte per enum/option. Every
+//! decoder returns [`CodecError`] instead of panicking, because these
+//! bytes come from disk and from the wire.
+
+use std::fmt;
+
+/// Decode failure: the bytes do not describe a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value did.
+    Truncated,
+    /// A tag, length, or invariant did not hold; says which.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// usize, stored as u64 for portability.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed slice of u32s.
+    pub fn put_u32s(&mut self, v: &[u32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
+    /// Length-prefixed slice of u64s.
+    pub fn put_u64s(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Raw bytes with no length prefix (headers, magics).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, off: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.off
+    }
+
+    /// True when everything was consumed — decoders should end here.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset.
+    pub fn offset(&self) -> usize {
+        self.off
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// usize stored as u64; rejects values that do not fit.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Malformed("usize overflow"))
+    }
+
+    /// bool from one byte; rejects anything but 0/1.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("bool tag")),
+        }
+    }
+
+    /// A length prefix that must be satisfiable by the remaining input.
+    /// Guards collection pre-allocation against corrupt lengths.
+    pub fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        // Every element costs at least one byte, so a length beyond the
+        // remaining byte count can only come from corruption.
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len_prefix()?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::Malformed("utf-8"))
+    }
+
+    /// Length-prefixed u32s.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, CodecError> {
+        let n = self.usize()?;
+        if n.saturating_mul(4) > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Length-prefixed u64s.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.usize()?;
+        if n.saturating_mul(8) > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Raw bytes with no length prefix (headers, magics).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_u32s(&[10, 20]);
+        w.put_u64s(&[30]);
+        w.put_raw(b"XY");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.u32s().unwrap(), vec![10, 20]);
+        assert_eq!(r.u64s().unwrap(), vec![30]);
+        assert_eq!(r.raw(2).unwrap(), b"XY");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..3]);
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~2^64 bytes follow
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).bytes(), Err(CodecError::Truncated));
+        assert_eq!(Reader::new(&bytes).u32s(), Err(CodecError::Truncated));
+        assert_eq!(Reader::new(&bytes).u64s(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_malformed() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), Err(CodecError::Malformed("bool tag")));
+    }
+
+    #[test]
+    fn non_utf8_string_is_malformed() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::new(&bytes).string(),
+            Err(CodecError::Malformed("utf-8"))
+        );
+    }
+}

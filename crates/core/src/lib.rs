@@ -76,6 +76,7 @@
 //! assert!(eval.holds(Relation::R1, &x, &y));
 //! ```
 
+pub mod codec;
 pub mod cut;
 pub mod detector;
 pub mod diagram;
@@ -96,6 +97,7 @@ pub mod vclock;
 pub use synchrel_obs as obs;
 pub use synchrel_obs::{CompareCounter, Meter, MeterSnapshot, NoopMeter};
 
+pub use codec::{CodecError, Reader, Writer};
 pub use cut::{ll, not_ll, Cut, EventSet, LlForm};
 pub use detector::{Detector, EvalMode, PairReport};
 pub use diagram::Diagram;

@@ -113,6 +113,13 @@ impl Relation {
         }
     }
 
+    /// Inverse of [`Relation::slot`]: the relation at a Table-1 index.
+    /// This is the wire code used by the serving protocol, so it must
+    /// stay stable across versions.
+    pub fn from_slot(slot: usize) -> Option<Relation> {
+        Relation::ALL.get(slot).copied()
+    }
+
     /// Stable index in Table-1 order (`0..8`), matching the meter slot
     /// layout of [`synchrel_obs::RELATION_SLOTS`].
     pub fn slot(self) -> usize {

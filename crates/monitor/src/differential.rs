@@ -15,13 +15,18 @@
 //! 2. the unfused Theorem-20 evaluation ([`Evaluator::eval_all_proxy`]);
 //! 3. the fused 32-relation kernel
 //!    ([`Evaluator::eval_all_proxy_fused`]);
-//! 4. the [`Detector`] in both [`EvalMode`]s;
+//! 4. the [`Detector`] in all three [`EvalMode`]s (counted, fused,
+//!    batched);
 //! 5. the [`OnlineMonitor`] fed the execution in order (exact verdicts
 //!    must match the oracle once every interval closes);
 //! 6. the [`OnlineMonitor`] fed a seed-derived *perturbed* wire stream
 //!    (reordered + duplicated reports — must still match exactly after
 //!    draining; with reports dropped and losses conceded, verdicts may
-//!    only decay to [`Verdict::Unknown`], never lie).
+//!    only decay to [`Verdict::Unknown`], never lie);
+//! 7. the [`OnlineMonitor`] crashed mid-replay, restored from its
+//!    binary snapshot, and fed the rest of the stream (plus an
+//!    at-least-once overlap it must dedup) — recovery must land in the
+//!    same exact-equivalence class.
 //!
 //! The seed layout reserves the low 8 bits as a **size code**
 //! (process/step/label counts and the fault bit) and the rest as
@@ -47,6 +52,7 @@ const SALT_SHUFFLE: u64 = 0x5FFE;
 const SALT_DUP: u64 = 0xD0B0;
 const SALT_DROP: u64 = 0xD60F;
 const SALT_CASE: u64 = 0xCA5E;
+const SALT_SNAP: u64 = 0x5A9B;
 
 /// A fully seed-determined differential test case.
 #[derive(Clone, Debug)]
@@ -91,7 +97,7 @@ impl DiffCase {
     }
 
     /// Build and run the simulation of this case.
-    fn simulate(&self) -> Result<SimResult, Mismatch> {
+    pub fn simulate(&self) -> Result<SimResult, Mismatch> {
         let sim: Simulation = random_scripts(
             mix(self.seed >> 8, SALT_SCRIPTS, 0),
             self.processes,
@@ -190,7 +196,10 @@ fn replay_in_order(
 }
 
 /// The per-process sequence-numbered wire reports of `result`.
-fn wire_reports(result: &SimResult) -> Vec<(usize, u64, WireEvent, Vec<String>)> {
+///
+/// Public so out-of-crate harnesses (the serve chaos sweep) can feed
+/// the same simulated executions through their own transport.
+pub fn wire_reports(result: &SimResult) -> Vec<(usize, u64, WireEvent, Vec<String>)> {
     let exec = &result.exec;
     let mut out = Vec::new();
     for p in 0..exec.num_processes() {
@@ -212,7 +221,7 @@ fn wire_reports(result: &SimResult) -> Vec<(usize, u64, WireEvent, Vec<String>)>
 }
 
 /// Deterministic in-place shuffle keyed by `seed`.
-fn shuffle<T>(items: &mut [T], seed: u64) {
+pub fn shuffle<T>(items: &mut [T], seed: u64) {
     for i in (1..items.len()).rev() {
         let j = (mix(seed, SALT_SHUFFLE, i as u64) % (i as u64 + 1)) as usize;
         items.swap(i, j);
@@ -261,6 +270,64 @@ fn replay_perturbed(
     Ok(mon)
 }
 
+/// Wire-API replay interrupted by a crash: a seed-derived prefix of the
+/// (shuffled) reports is ingested, the monitor is serialized with
+/// [`OnlineMonitor::snapshot_bytes`], restored from those bytes, and
+/// the remaining reports are delivered to the *restored* monitor — with
+/// a seed-derived overlap of already-delivered reports re-sent first,
+/// which the restored state must recognize as duplicates.
+fn replay_with_restore(
+    result: &SimResult,
+    processes: usize,
+    labels: &[String],
+    seed: u64,
+) -> Result<OnlineMonitor, String> {
+    let mut reports = wire_reports(result);
+    shuffle(&mut reports, seed);
+    if reports.is_empty() {
+        return Err("no reports to replay".into());
+    }
+    let split = (mix(seed, SALT_SNAP, 0) % (reports.len() as u64 + 1)) as usize;
+    let overlap = (mix(seed, SALT_SNAP, 1) % (split as u64 + 1)) as usize;
+
+    let mut mon = OnlineMonitor::new(processes);
+    let ingest = |mon: &mut OnlineMonitor,
+                  (p, seq, ev, lab): &(usize, u64, WireEvent, Vec<String>)|
+     -> Result<crate::online::Ingest, String> {
+        let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+        mon.ingest(*p, *seq, ev.clone(), &refs)
+            .map_err(|e| e.to_string())
+    };
+    for rep in &reports[..split] {
+        ingest(&mut mon, rep)?;
+    }
+
+    // Crash: all live state is lost; only the snapshot bytes survive.
+    let bytes = mon.snapshot_bytes();
+    drop(mon);
+    let mut mon = OnlineMonitor::restore_bytes(&bytes)?;
+
+    // At-least-once delivery re-sends the tail of the prefix; the
+    // restored monitor must still hold the dedup evidence.
+    for rep in &reports[split - overlap..split] {
+        match ingest(&mut mon, rep)? {
+            crate::online::Ingest::Duplicate => {}
+            other => {
+                return Err(format!(
+                    "replayed report ingested as {other:?} after restore"
+                ))
+            }
+        }
+    }
+    for rep in &reports[split..] {
+        ingest(&mut mon, rep)?;
+    }
+    for l in labels {
+        mon.close(l);
+    }
+    Ok(mon)
+}
+
 /// Run one case; `Ok` carries coverage statistics, `Err` a reproducible
 /// disagreement.
 pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
@@ -299,7 +366,8 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
         .collect();
     let events: Vec<NonatomicEvent> = named.iter().map(|(_, iv)| iv.clone()).collect();
     let det_counted = Detector::new(exec, events.clone()).with_mode(EvalMode::Counted);
-    let det_fused = Detector::new(exec, events).with_mode(EvalMode::Fused);
+    let det_fused = Detector::new(exec, events.clone()).with_mode(EvalMode::Fused);
+    let det_batched = Detector::new(exec, events).with_mode(EvalMode::Batched);
 
     let mut pairs = 0usize;
     let mut truths: BTreeMap<(usize, usize), RelationSet> = BTreeMap::new();
@@ -316,11 +384,13 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
             let (fused, _) = ev.eval_all_proxy_fused(&summaries[xi], &summaries[yi]);
             let counted = det_counted.pair(xi, yi).expect("valid indices").relations;
             let det_f = det_fused.pair(xi, yi).expect("valid indices").relations;
+            let det_b = det_batched.pair(xi, yi).expect("valid indices").relations;
             for (name, got) in [
                 ("unfused", unfused),
                 ("fused", fused),
                 ("detector-counted", counted),
                 ("detector-fused", det_f),
+                ("detector-batched", det_b),
             ] {
                 if got != truth {
                     return Err(mismatch(
@@ -385,6 +455,23 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
         ));
     }
     check_exact_monitor(&mon, "perturbed")?;
+
+    // Crash mid-stream, restore from snapshot bytes, finish the replay
+    // (with duplicate re-delivery): the recovered monitor joins the
+    // exact-equivalence class.
+    let mon = replay_with_restore(&result, case.processes, &label_names, seed)
+        .map_err(|e| mismatch(seed, format!("crash/restore replay failed: {e}")))?;
+    if mon.is_degraded() {
+        return Err(mismatch(
+            seed,
+            format!(
+                "crash/restore replay did not converge: {} pending, {} lost",
+                mon.pending(),
+                mon.lost()
+            ),
+        ));
+    }
+    check_exact_monitor(&mon, "recovered")?;
 
     // Lossy wire replay: verdicts may decay to Unknown but never lie.
     let mon = replay_perturbed(&result, case.processes, &label_names, seed, true)

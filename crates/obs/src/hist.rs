@@ -21,15 +21,16 @@ pub struct Histogram {
     counts: [Cell<u64>; BUCKETS],
     sum: Cell<u64>,
     count: Cell<u64>,
+    /// Left-shift applied to every bucket bound: bounds become
+    /// `2^scale, 2^(scale+1), …` instead of `1, 2, …`. Lets the same
+    /// 17 buckets cover microsecond latencies (recovery times) instead
+    /// of saturating at 2^15.
+    scale: u32,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            counts: std::array::from_fn(|_| Cell::new(0)),
-            sum: Cell::new(0),
-            count: Cell::new(0),
-        }
+        Histogram::with_scale(0)
     }
 }
 
@@ -42,14 +43,31 @@ fn bucket_index(v: u64) -> usize {
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty histogram with bounds `1, 2, 4, …, 2^15`.
     pub fn new() -> Self {
         Histogram::default()
     }
 
+    /// An empty histogram with bounds shifted left by `scale` bits
+    /// (`2^scale … 2^(scale+15)`), for wider-ranged observations such
+    /// as latencies. Histograms may only absorb peers of equal scale.
+    pub fn with_scale(scale: u32) -> Self {
+        assert!(scale <= 48, "scale {scale} leaves no representable bounds");
+        Histogram {
+            counts: std::array::from_fn(|_| Cell::new(0)),
+            sum: Cell::new(0),
+            count: Cell::new(0),
+            scale,
+        }
+    }
+
     /// Record one observation.
     pub fn record(&self, v: u64) {
-        let b = &self.counts[bucket_index(v)];
+        // Ceiling-divide by 2^scale so v lands in the first bucket
+        // whose bound is >= v (bounds are `le`, inclusive).
+        let unit = 1u64 << self.scale;
+        let scaled = v / unit + u64::from(v % unit != 0);
+        let b = &self.counts[bucket_index(scaled)];
         b.set(b.get() + 1);
         self.sum.set(self.sum.get() + v);
         self.count.set(self.count.get() + 1);
@@ -66,8 +84,10 @@ impl Histogram {
     }
 
     /// Merge another histogram into this one (plain addition — order
-    /// independent).
+    /// independent). Both sides must share a scale, or the bucket
+    /// counts would refer to different bounds.
     pub fn absorb(&self, other: &Histogram) {
+        assert_eq!(self.scale, other.scale, "absorbing mismatched scales");
         for (a, b) in self.counts.iter().zip(&other.counts) {
             a.set(a.get() + b.get());
         }
@@ -78,7 +98,9 @@ impl Histogram {
     /// An immutable snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            le: (0..BUCKETS - 1).map(|i| 1u64 << i).collect(),
+            le: (0..BUCKETS - 1)
+                .map(|i| 1u64 << (i as u32 + self.scale))
+                .collect(),
             counts: self.counts.iter().map(Cell::get).collect(),
             sum: self.sum.get(),
             count: self.count.get(),
@@ -162,6 +184,31 @@ mod tests {
         ba.absorb(&a);
         assert_eq!(ab.snapshot(), ba.snapshot());
         assert_eq!(ab.snapshot(), mk(&[1, 5, 9, 2, 70]).snapshot());
+    }
+
+    #[test]
+    fn scaled_buckets_cover_latencies() {
+        // scale=6: bounds 64, 128, …, 64·2^15 — microsecond latencies
+        // up to ~2s resolve instead of saturating in +Inf.
+        let h = Histogram::with_scale(6);
+        for v in [0, 64, 65, 128, 40_000, 3_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.le[0], 64);
+        assert_eq!(s.le[15], 64 << 15);
+        assert_eq!(s.counts[0], 2); // 0 and 64 (le is inclusive)
+        assert_eq!(s.counts[1], 2); // 65 and 128
+        assert_eq!(s.counts[10], 1); // 40_000 <= 64·2^10 = 65536
+        assert_eq!(s.counts[16], 1); // 3s of µs overflows to +Inf
+        assert_eq!(s.sum, 3_040_257);
+        assert_eq!(s.count, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched scales")]
+    fn absorb_rejects_mismatched_scales() {
+        Histogram::with_scale(6).absorb(&Histogram::new());
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Retrying client with idempotent sequential request ids.
+//!
+//! Every command is assigned the next request id; the id is not
+//! advanced until a response for it arrives. On `Busy`, a lost
+//! response (server crashed), or a reset connection, the client
+//! retries the **same id** after a deterministic exponential backoff
+//! ([`synchrel_sim::Backoff`], seeded, equal-jitter) — so the server's
+//! dedup window, not the client's luck, decides whether the command
+//! runs once.
+//!
+//! Time is virtual: backoff delays accumulate in
+//! [`Client::waited_virtual`] instead of sleeping, which keeps the
+//! chaos harness deterministic and fast.
+
+use synchrel_sim::Backoff;
+
+use crate::proto::{
+    decode_frame, decode_response, request_frame, Command, Endpoint, Response, KIND_RESPONSE,
+};
+
+/// What a [`Client::call`] attempt may end in.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Retry budget exhausted without any response.
+    Exhausted {
+        /// Request id that never completed.
+        req: u64,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { req, attempts } => {
+                write!(f, "request {req} got no response after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The retrying client half of a connection.
+#[derive(Debug)]
+pub struct Client {
+    endpoint: Endpoint,
+    next_req: u64,
+    backoff_seed: u64,
+    /// Base backoff delay (virtual ticks).
+    backoff_base: u64,
+    /// Backoff ceiling (virtual ticks).
+    backoff_cap: u64,
+    /// Attempts per command before giving up.
+    max_attempts: u32,
+    /// Total virtual ticks spent backing off.
+    waited: u64,
+    /// Total retransmissions (frames beyond the first per command).
+    retries: u64,
+}
+
+impl Client {
+    /// A client speaking over `endpoint`, with seeded backoff.
+    pub fn new(endpoint: Endpoint, seed: u64) -> Client {
+        Client {
+            endpoint,
+            next_req: 0,
+            backoff_seed: seed,
+            backoff_base: 1,
+            backoff_cap: 64,
+            max_attempts: 32,
+            waited: 0,
+            retries: 0,
+        }
+    }
+
+    /// A client resuming against a recovered server, starting at its
+    /// [`next_req`](crate::server::Server::next_req) watermark so fresh
+    /// requests are not mistaken for replays of consumed ids.
+    pub fn resuming(endpoint: Endpoint, seed: u64, next_req: u64) -> Client {
+        Client {
+            next_req,
+            ..Client::new(endpoint, seed)
+        }
+    }
+
+    /// Next request id to be issued.
+    pub fn next_req(&self) -> u64 {
+        self.next_req
+    }
+
+    /// Total virtual ticks spent in backoff so far.
+    pub fn waited_virtual(&self) -> u64 {
+        self.waited
+    }
+
+    /// Total retransmitted frames so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Issue `cmd` and drive `pump` (the server's execution hook)
+    /// until a response for this request id arrives. Retries with
+    /// backoff on `Busy` or silence; same id every time.
+    pub fn call(&mut self, cmd: &Command, mut pump: impl FnMut()) -> Result<Response, ClientError> {
+        let req = self.next_req;
+        let mut backoff = Backoff::new(
+            self.backoff_seed ^ req.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.backoff_base,
+            self.backoff_cap,
+        );
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                self.waited += backoff.next_delay();
+            }
+            self.endpoint.send(request_frame(req, cmd));
+            pump();
+            if let Some(resp) = self.take_response(req) {
+                match resp {
+                    Response::Busy => continue, // backpressure: retry
+                    resp => {
+                        self.next_req = req + 1;
+                        return Ok(resp);
+                    }
+                }
+            }
+            // Silence: the server crashed or the wire reset. Back off
+            // and retransmit the same id.
+        }
+        Err(ClientError::Exhausted {
+            req,
+            attempts: self.max_attempts,
+        })
+    }
+
+    /// Drain incoming frames until one answers `req` (stale responses
+    /// from earlier attempts are discarded).
+    fn take_response(&mut self, req: u64) -> Option<Response> {
+        while let Some(bytes) = self.endpoint.recv() {
+            let Ok(frame) = decode_frame(&bytes) else {
+                continue;
+            };
+            if frame.kind != KIND_RESPONSE || frame.req != req {
+                continue;
+            }
+            if let Ok(resp) = decode_response(&frame.payload) {
+                return Some(resp);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,47 @@
+//! Crash-recoverable monitoring service for synchrel.
+//!
+//! This crate wraps an [`OnlineMonitor`](synchrel_monitor::online::OnlineMonitor)
+//! behind a versioned, length-prefixed wire protocol and makes its
+//! state durable:
+//!
+//! * [`proto`] — the framing (`magic | version | kind | request id |
+//!   length | payload | CRC-32`), the [`Command`](proto::Command) /
+//!   [`Response`](proto::Response) vocabulary, and an in-process duplex
+//!   [`Endpoint`](proto::Endpoint) carrying the same bytes a socket
+//!   would.
+//! * [`wal`] — CRC-framed write-ahead-log records; a torn tail (the
+//!   debris of a crash mid-append) truncates cleanly, corruption in the
+//!   middle refuses recovery.
+//! * [`storage`] — the byte-level persistence trait, with an in-memory
+//!   implementation for tests/chaos (plus fault hooks) and a
+//!   directory-backed one for real deployments.
+//! * [`server`] — the service itself: ack-on-durable ingestion, bounded
+//!   queues with backpressure or sound load shedding, periodic
+//!   snapshots, and [`Server::recover`](server::Server::recover), which
+//!   rebuilds the exact pre-crash monitor from snapshot + WAL replay.
+//! * [`client`] — a retrying client with idempotent sequential request
+//!   ids and seeded exponential backoff ([`synchrel_sim::Backoff`]);
+//!   at-least-once delivery plus server dedup yields exactly-once
+//!   application.
+//! * [`chaos`] — the seeded kill/restart sweep proving all of the
+//!   above: a reference run and a crash-riddled run must produce
+//!   identical verdicts and counters.
+
+pub mod chaos;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod storage;
+pub mod wal;
+
+pub use chaos::{
+    case_commands, run_chaos_case, run_chaos_seeds, CaseCommands, ChaosMismatch, ChaosOutcome,
+    ChaosStats,
+};
+pub use client::{Client, ClientError};
+pub use proto::{duplex, Command, Endpoint, Response};
+pub use server::{
+    CrashPlan, CrashPoint, OverloadPolicy, RecoverError, Server, ServerConfig, ServerStats,
+};
+pub use storage::{DirStorage, MemStorage, Storage};
+pub use wal::{WalError, WalRecord};

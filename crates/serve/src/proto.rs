@@ -1,0 +1,673 @@
+//! Versioned wire protocol between client and server.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +-------+---------+--------+----------+----------+-----------+----------+
+//! | magic | version | kind   | req: u64 | len: u32 | payload   | crc: u32 |
+//! | "SR"  | u8 = 1  | u8     | (LE)     | (LE)     | len bytes | (LE)     |
+//! +-------+---------+--------+----------+----------+-----------+----------+
+//! ```
+//!
+//! `kind` is 0 for a request ([`Command`] payload) and 1 for a response
+//! ([`Response`] payload); the CRC covers everything before it. Payloads
+//! use the hand-rolled binary codec of [`synchrel_core::codec`] — one
+//! tag byte per variant, length-prefixed strings — shared with the WAL
+//! and monitor snapshots. The length prefix makes the framing
+//! transport-agnostic: the in-process [`duplex`] used by tests and the
+//! chaos harness pushes whole frames through a byte queue exactly as a
+//! socket would.
+//!
+//! `req` is the client's idempotency key. Clients number requests
+//! sequentially; the server remembers the highest id it has processed
+//! and answers a replayed id from memory instead of re-executing, which
+//! is what makes retry-after-crash safe.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use synchrel_core::codec::{CodecError, Reader, Writer};
+use synchrel_core::Relation;
+use synchrel_monitor::online::{MonitorStats, Verdict, WatchEvent, WireEvent};
+
+use crate::wal::crc32;
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 2] = *b"SR";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Frame kind: request.
+pub const KIND_REQUEST: u8 = 0;
+/// Frame kind: response.
+pub const KIND_RESPONSE: u8 = 1;
+
+/// A client request to the monitoring service.
+///
+/// The durable subset (everything that mutates monitor state) is
+/// written to the WAL before it is acknowledged; pure reads
+/// (`Query`, `Verdicts`, `Stats`) are never logged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Report one event on the wire (process, per-process sequence
+    /// number, event, interval labels it belongs to).
+    Ingest {
+        /// Reporting process index.
+        process: usize,
+        /// Per-process wire sequence number.
+        seq: u64,
+        /// The event itself.
+        event: WireEvent,
+        /// Interval labels the event is a member of.
+        labels: Vec<String>,
+    },
+    /// Register a named watch on `rel(x, y)`.
+    Watch {
+        /// Watch name (reported back by `Poll`).
+        name: String,
+        /// Relation under watch.
+        rel: Relation,
+        /// First interval label.
+        x: String,
+        /// Second interval label.
+        y: String,
+    },
+    /// Close an interval: no further members may join.
+    Close {
+        /// Interval label to close.
+        label: String,
+    },
+    /// Drain watch transitions since the last poll.
+    Poll,
+    /// Concede that missing wire slots are lost (degraded mode).
+    DeclareLost,
+    /// Declare the stream complete at the given per-process totals.
+    DeclareComplete {
+        /// Total events sent, per process.
+        totals: Vec<u64>,
+    },
+    /// One-off relation query (read-only, not logged).
+    Query {
+        /// Relation to evaluate.
+        rel: Relation,
+        /// First interval label.
+        x: String,
+        /// Second interval label.
+        y: String,
+    },
+    /// Current verdict of every watch (read-only, not logged).
+    Verdicts,
+    /// Operational counters (read-only, not logged).
+    Stats,
+    /// Force a snapshot now (durable, resets the WAL).
+    TakeSnapshot,
+}
+
+impl Command {
+    /// Whether this command is written to the WAL. Everything that
+    /// mutates monitor state is, except `TakeSnapshot`: the snapshot it
+    /// produces *is* the durable artifact, so logging it would be
+    /// circular. Pure reads (`Query`, `Verdicts`, `Stats`) re-execute
+    /// freely and are never logged.
+    pub fn is_logged(&self) -> bool {
+        !matches!(
+            self,
+            Command::Query { .. } | Command::Verdicts | Command::Stats | Command::TakeSnapshot
+        )
+    }
+
+    /// Append the command's binary form.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Command::Ingest {
+                process,
+                seq,
+                event,
+                labels,
+            } => {
+                w.put_u8(0);
+                w.put_usize(*process);
+                w.put_u64(*seq);
+                event.encode(w);
+                w.put_usize(labels.len());
+                for l in labels {
+                    w.put_str(l);
+                }
+            }
+            Command::Watch { name, rel, x, y } => {
+                w.put_u8(1);
+                w.put_str(name);
+                w.put_u8(rel.slot() as u8);
+                w.put_str(x);
+                w.put_str(y);
+            }
+            Command::Close { label } => {
+                w.put_u8(2);
+                w.put_str(label);
+            }
+            Command::Poll => w.put_u8(3),
+            Command::DeclareLost => w.put_u8(4),
+            Command::DeclareComplete { totals } => {
+                w.put_u8(5);
+                w.put_u64s(totals);
+            }
+            Command::Query { rel, x, y } => {
+                w.put_u8(6);
+                w.put_u8(rel.slot() as u8);
+                w.put_str(x);
+                w.put_str(y);
+            }
+            Command::Verdicts => w.put_u8(7),
+            Command::Stats => w.put_u8(8),
+            Command::TakeSnapshot => w.put_u8(9),
+        }
+    }
+
+    /// Inverse of [`Command::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Command, CodecError> {
+        match r.u8()? {
+            0 => {
+                let process = r.usize()?;
+                let seq = r.u64()?;
+                let event = WireEvent::decode(r)?;
+                let n = r.len_prefix()?;
+                let labels = (0..n).map(|_| r.string()).collect::<Result<_, _>>()?;
+                Ok(Command::Ingest {
+                    process,
+                    seq,
+                    event,
+                    labels,
+                })
+            }
+            1 => Ok(Command::Watch {
+                name: r.string()?,
+                rel: read_relation(r)?,
+                x: r.string()?,
+                y: r.string()?,
+            }),
+            2 => Ok(Command::Close { label: r.string()? }),
+            3 => Ok(Command::Poll),
+            4 => Ok(Command::DeclareLost),
+            5 => Ok(Command::DeclareComplete { totals: r.u64s()? }),
+            6 => Ok(Command::Query {
+                rel: read_relation(r)?,
+                x: r.string()?,
+                y: r.string()?,
+            }),
+            7 => Ok(Command::Verdicts),
+            8 => Ok(Command::Stats),
+            9 => Ok(Command::TakeSnapshot),
+            _ => Err(CodecError::Malformed("command tag")),
+        }
+    }
+}
+
+fn read_relation(r: &mut Reader<'_>) -> Result<Relation, CodecError> {
+    Relation::from_slot(r.u8()? as usize).ok_or(CodecError::Malformed("relation slot"))
+}
+
+fn read_verdict(r: &mut Reader<'_>) -> Result<Verdict, CodecError> {
+    Verdict::from_code(r.u8()?).ok_or(CodecError::Malformed("verdict code"))
+}
+
+/// The server's answer to a [`Command`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Durable command accepted and applied (or already applied).
+    Ack,
+    /// Ingest queue full under the backpressure policy: retry later.
+    Busy,
+    /// Ingest dropped under the load-shedding policy. The event is
+    /// gone; verdicts it touched can only degrade to `Unknown`.
+    Shed,
+    /// Watch transitions drained by `Poll`.
+    Events(Vec<WatchEvent>),
+    /// Verdict of a `Query`.
+    Verdict(Verdict),
+    /// All watch verdicts.
+    Verdicts(Vec<(String, Verdict)>),
+    /// Slots conceded by `DeclareLost` / `DeclareComplete`.
+    Conceded(u64),
+    /// Operational counters.
+    Stats(MonitorStats),
+    /// The command could not be executed.
+    Error(String),
+}
+
+impl Response {
+    /// Append the response's binary form.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Ack => w.put_u8(0),
+            Response::Busy => w.put_u8(1),
+            Response::Shed => w.put_u8(2),
+            Response::Events(events) => {
+                w.put_u8(3);
+                w.put_usize(events.len());
+                for e in events {
+                    w.put_str(&e.name);
+                    w.put_u8(e.verdict.code());
+                }
+            }
+            Response::Verdict(v) => {
+                w.put_u8(4);
+                w.put_u8(v.code());
+            }
+            Response::Verdicts(list) => {
+                w.put_u8(5);
+                w.put_usize(list.len());
+                for (name, v) in list {
+                    w.put_str(name);
+                    w.put_u8(v.code());
+                }
+            }
+            Response::Conceded(n) => {
+                w.put_u8(6);
+                w.put_u64(*n);
+            }
+            Response::Stats(s) => {
+                w.put_u8(7);
+                w.put_u64(s.applied);
+                w.put_u64(s.buffered);
+                w.put_u64(s.duplicates);
+                w.put_u64(s.flushes);
+                w.put_u64(s.flush_nanos);
+                w.put_u64(s.max_pending);
+                w.put_u64(s.pending);
+                w.put_u64(s.lost);
+                w.put_bool(s.degraded);
+                w.put_u64(s.holds);
+                w.put_u64(s.violated);
+                w.put_u64(s.pending_verdicts);
+                w.put_u64(s.unknown);
+                w.put_u64(s.intervals_reclaimed);
+                w.put_u64(s.resident_intervals);
+            }
+            Response::Error(msg) => {
+                w.put_u8(8);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    /// Inverse of [`Response::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Response, CodecError> {
+        match r.u8()? {
+            0 => Ok(Response::Ack),
+            1 => Ok(Response::Busy),
+            2 => Ok(Response::Shed),
+            3 => {
+                let n = r.len_prefix()?;
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.string()?;
+                    let verdict = read_verdict(r)?;
+                    events.push(WatchEvent { name, verdict });
+                }
+                Ok(Response::Events(events))
+            }
+            4 => Ok(Response::Verdict(read_verdict(r)?)),
+            5 => {
+                let n = r.len_prefix()?;
+                let mut list = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.string()?;
+                    let v = read_verdict(r)?;
+                    list.push((name, v));
+                }
+                Ok(Response::Verdicts(list))
+            }
+            6 => Ok(Response::Conceded(r.u64()?)),
+            7 => Ok(Response::Stats(MonitorStats {
+                applied: r.u64()?,
+                buffered: r.u64()?,
+                duplicates: r.u64()?,
+                flushes: r.u64()?,
+                flush_nanos: r.u64()?,
+                max_pending: r.u64()?,
+                pending: r.u64()?,
+                lost: r.u64()?,
+                degraded: r.bool()?,
+                holds: r.u64()?,
+                violated: r.u64()?,
+                pending_verdicts: r.u64()?,
+                unknown: r.u64()?,
+                intervals_reclaimed: r.u64()?,
+                resident_intervals: r.u64()?,
+            })),
+            8 => Ok(Response::Error(r.string()?)),
+            _ => Err(CodecError::Malformed("response tag")),
+        }
+    }
+}
+
+/// A decoded frame: direction, idempotency key, payload bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// [`KIND_REQUEST`] or [`KIND_RESPONSE`].
+    pub kind: u8,
+    /// Request id this frame belongs to.
+    pub req: u64,
+    /// Binary-encoded [`Command`] or [`Response`].
+    pub payload: Vec<u8>,
+}
+
+/// Frame decode failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a fixed header, or length prefix disagrees
+    /// with the byte count.
+    Truncated,
+    /// Magic bytes wrong — not our protocol.
+    BadMagic,
+    /// Version this implementation does not speak.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// CRC mismatch.
+    BadCrc,
+    /// Frame was sound but its payload was not a valid command or
+    /// response encoding.
+    BadPayload(CodecError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadCrc => write!(f, "frame CRC mismatch"),
+            FrameError::BadPayload(e) => write!(f, "frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Fixed header length: magic + version + kind + req + len.
+const HEADER_LEN: usize = 2 + 1 + 1 + 8 + 4;
+
+/// Encode a frame into its byte form.
+pub fn encode_frame(kind: u8, req: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&req.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode one frame from a byte buffer that holds exactly one frame.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, FrameError> {
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(FrameError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[2] != VERSION {
+        return Err(FrameError::BadVersion(bytes[2]));
+    }
+    let kind = bytes[3];
+    if kind != KIND_REQUEST && kind != KIND_RESPONSE {
+        return Err(FrameError::BadKind(kind));
+    }
+    let req = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    if bytes.len() != HEADER_LEN + len + 4 {
+        return Err(FrameError::Truncated);
+    }
+    let body_end = HEADER_LEN + len;
+    let want = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
+    if crc32(&bytes[..body_end]) != want {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(Frame {
+        kind,
+        req,
+        payload: bytes[HEADER_LEN..body_end].to_vec(),
+    })
+}
+
+/// Encode a request frame carrying `cmd`.
+pub fn request_frame(req: u64, cmd: &Command) -> Vec<u8> {
+    let mut w = Writer::new();
+    cmd.encode(&mut w);
+    encode_frame(KIND_REQUEST, req, &w.into_bytes())
+}
+
+/// Encode a response frame carrying `resp`.
+pub fn response_frame(req: u64, resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    resp.encode(&mut w);
+    encode_frame(KIND_RESPONSE, req, &w.into_bytes())
+}
+
+/// Decode a frame's payload as a [`Command`], requiring full consumption.
+pub fn decode_command(payload: &[u8]) -> Result<Command, FrameError> {
+    let mut r = Reader::new(payload);
+    let cmd = Command::decode(&mut r).map_err(FrameError::BadPayload)?;
+    if !r.is_done() {
+        return Err(FrameError::BadPayload(CodecError::Malformed(
+            "trailing bytes",
+        )));
+    }
+    Ok(cmd)
+}
+
+/// Decode a frame's payload as a [`Response`], requiring full consumption.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut r = Reader::new(payload);
+    let resp = Response::decode(&mut r).map_err(FrameError::BadPayload)?;
+    if !r.is_done() {
+        return Err(FrameError::BadPayload(CodecError::Malformed(
+            "trailing bytes",
+        )));
+    }
+    Ok(resp)
+}
+
+/// One direction of the in-process transport: a queue of whole frames.
+type Lane = Rc<RefCell<VecDeque<Vec<u8>>>>;
+
+/// One side of an in-process duplex connection. Frames written with
+/// [`Endpoint::send`] appear at the peer's [`Endpoint::recv`].
+#[derive(Clone, Debug)]
+pub struct Endpoint {
+    out: Lane,
+    inc: Lane,
+}
+
+impl Endpoint {
+    /// Queue a frame to the peer.
+    pub fn send(&self, frame: Vec<u8>) {
+        self.out.borrow_mut().push_back(frame);
+    }
+
+    /// Take the next frame from the peer, if any.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.inc.borrow_mut().pop_front()
+    }
+
+    /// Frames waiting to be received.
+    pub fn backlog(&self) -> usize {
+        self.inc.borrow().len()
+    }
+
+    /// Drop all in-flight frames in both directions (a connection
+    /// reset: what a crash does to traffic that was on the wire).
+    pub fn reset(&self) {
+        self.out.borrow_mut().clear();
+        self.inc.borrow_mut().clear();
+    }
+}
+
+/// Make a connected pair of endpoints.
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let a: Lane = Rc::new(RefCell::new(VecDeque::new()));
+    let b: Lane = Rc::new(RefCell::new(VecDeque::new()));
+    (
+        Endpoint {
+            out: a.clone(),
+            inc: b.clone(),
+        },
+        Endpoint { out: b, inc: a },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_commands() -> Vec<Command> {
+        vec![
+            Command::Ingest {
+                process: 2,
+                seq: 9,
+                event: WireEvent::Recv { msg: 5 },
+                labels: vec!["X".into(), "Y".into()],
+            },
+            Command::Ingest {
+                process: 0,
+                seq: 0,
+                event: WireEvent::Internal,
+                labels: vec![],
+            },
+            Command::Watch {
+                name: "w".into(),
+                rel: Relation::R2,
+                x: "X".into(),
+                y: "Y".into(),
+            },
+            Command::Close { label: "X".into() },
+            Command::Poll,
+            Command::DeclareLost,
+            Command::DeclareComplete {
+                totals: vec![3, 1, 4],
+            },
+            Command::Query {
+                rel: Relation::R4p,
+                x: "a".into(),
+                y: "b".into(),
+            },
+            Command::Verdicts,
+            Command::Stats,
+            Command::TakeSnapshot,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Ack,
+            Response::Busy,
+            Response::Shed,
+            Response::Events(vec![WatchEvent {
+                name: "w".into(),
+                verdict: Verdict::Holds,
+            }]),
+            Response::Verdict(Verdict::Unknown),
+            Response::Verdicts(vec![
+                ("a".into(), Verdict::Pending),
+                ("b".into(), Verdict::Violated),
+            ]),
+            Response::Conceded(17),
+            Response::Stats(MonitorStats {
+                applied: 1,
+                buffered: 2,
+                duplicates: 3,
+                flushes: 4,
+                flush_nanos: 5,
+                max_pending: 6,
+                pending: 7,
+                lost: 8,
+                degraded: true,
+                holds: 9,
+                violated: 10,
+                pending_verdicts: 11,
+                unknown: 12,
+                intervals_reclaimed: 13,
+                resident_intervals: 14,
+            }),
+            Response::Error("boom".into()),
+        ]
+    }
+
+    #[test]
+    fn every_command_round_trips() {
+        for cmd in all_commands() {
+            let bytes = request_frame(7, &cmd);
+            let frame = decode_frame(&bytes).unwrap();
+            assert_eq!(frame.kind, KIND_REQUEST);
+            assert_eq!(frame.req, 7);
+            assert_eq!(decode_command(&frame.payload).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in all_responses() {
+            let bytes = response_frame(3, &resp);
+            let frame = decode_frame(&bytes).unwrap();
+            assert_eq!(frame.kind, KIND_RESPONSE);
+            assert_eq!(frame.req, 3);
+            assert_eq!(decode_response(&frame.payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected() {
+        let mut bytes = response_frame(3, &Response::Ack);
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x01;
+            assert!(decode_frame(&bytes).is_err(), "flip at byte {i} accepted");
+            bytes[i] ^= 0x01;
+        }
+        assert!(decode_frame(&bytes).is_ok());
+    }
+
+    #[test]
+    fn version_gate_rejects_future_frames() {
+        let mut bytes = request_frame(0, &Command::Poll);
+        bytes[2] = 2; // future version
+        assert_eq!(decode_frame(&bytes), Err(FrameError::BadVersion(2)));
+    }
+
+    #[test]
+    fn duplex_delivers_in_order_and_resets() {
+        let (client, server) = duplex();
+        client.send(vec![1]);
+        client.send(vec![2]);
+        assert_eq!(server.backlog(), 2);
+        assert_eq!(server.recv(), Some(vec![1]));
+        server.send(vec![9]);
+        assert_eq!(client.recv(), Some(vec![9]));
+        client.send(vec![3]);
+        client.reset();
+        assert_eq!(server.recv(), None);
+        assert_eq!(client.recv(), None);
+    }
+
+    #[test]
+    fn durable_classification_matches_the_logged_set() {
+        assert!(Command::Poll.is_logged());
+        assert!(Command::DeclareLost.is_logged());
+        assert!(Command::Close { label: "x".into() }.is_logged());
+        assert!(Command::DeclareComplete { totals: vec![] }.is_logged());
+        assert!(!Command::TakeSnapshot.is_logged());
+        assert!(!Command::Verdicts.is_logged());
+        assert!(!Command::Stats.is_logged());
+        assert!(!Command::Query {
+            rel: Relation::R1,
+            x: "a".into(),
+            y: "b".into()
+        }
+        .is_logged());
+    }
+}

@@ -1,0 +1,783 @@
+//! The crash-recoverable monitoring server.
+//!
+//! ## Durability contract
+//!
+//! A durable command ([`Command::is_logged`]) is appended to the WAL
+//! and fsynced **before** it is acknowledged — "ack-on-durable". A
+//! client that saw `Ack` can crash the server at any later moment and
+//! the command's effect survives recovery. Conversely a command whose
+//! ack was lost in a crash may or may not be durable; clients retry
+//! under the same request id and the server deduplicates.
+//!
+//! ## Overload
+//!
+//! Ingest admission is bounded by a fixed-capacity queue, checked
+//! **before** the WAL append so an overloaded server does no wasted
+//! I/O. The [`OverloadPolicy`] decides what a full queue means:
+//! backpressure (`Busy`: not consumed, retry later) or load shedding
+//! (`Shed`: dropped, request consumed). A shed event is a transport
+//! loss like any other — [`OnlineMonitor::declare_lost`] /
+//! [`OnlineMonitor::declare_complete`] concede it and verdicts degrade
+//! soundly to `Unknown`, never to a wrong answer. Monitor memory is
+//! additionally bounded by `max_pending`: when the out-of-order buffer
+//! exceeds it, losses are conceded immediately instead of buffering
+//! without limit.
+//!
+//! ## Recovery invariant
+//!
+//! `recover(storage)` rebuilds exactly the monitor the crashed server
+//! would have reached by draining its queue: restore the snapshot,
+//! truncate a torn WAL tail, then re-apply every WAL record with
+//! LSN greater than the snapshot's — same calls, same order, same
+//! deterministic forced-loss rule — so verdicts *and* operational
+//! counters match. Mid-log corruption (CRC mismatch before the tail)
+//! refuses recovery instead of guessing.
+
+use std::collections::VecDeque;
+use std::io;
+use std::time::Instant;
+
+use synchrel_core::codec::{Reader, Writer};
+use synchrel_monitor::online::OnlineMonitor;
+use synchrel_obs::{Histogram, MetricsRegistry};
+
+use crate::proto::{
+    decode_command, response_frame, Command, Endpoint, Frame, Response, KIND_REQUEST,
+};
+use crate::storage::Storage;
+use crate::wal::{self, crc32, WalError, WalRecord};
+
+/// Magic bytes opening a service snapshot.
+const SNAPSHOT_MAGIC: &[u8] = b"SSNP";
+/// Service snapshot format version.
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// What a full ingest queue does to new ingests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse with [`Response::Busy`]; the request is not consumed and
+    /// the client retries with backoff.
+    Backpressure,
+    /// Drop the event and answer [`Response::Shed`]; the request is
+    /// consumed. Monitoring degrades soundly: the shed slot is a
+    /// transport loss, conceded on the next `DeclareLost` /
+    /// `DeclareComplete`.
+    Shed,
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of monitored processes.
+    pub processes: usize,
+    /// Ingest queue capacity (admission bound).
+    pub queue_capacity: usize,
+    /// Full-queue policy.
+    pub overload: OverloadPolicy,
+    /// Take a snapshot every N logged records (0 = only on demand).
+    pub snapshot_every: u64,
+    /// Concede losses once the monitor buffers more than this many
+    /// out-of-order reports (0 = never force; memory then unbounded).
+    pub max_pending: usize,
+    /// Enable epoch-based pruning on the monitor.
+    pub pruning: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: queue of 1024, backpressure, snapshot on demand only,
+    /// no forced loss, no pruning.
+    pub fn new(processes: usize) -> ServerConfig {
+        ServerConfig {
+            processes,
+            queue_capacity: 1024,
+            overload: OverloadPolicy::Backpressure,
+            snapshot_every: 0,
+            max_pending: 0,
+            pruning: false,
+        }
+    }
+}
+
+/// Where a planned crash strikes relative to logging one record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the WAL append: the record is lost entirely.
+    BeforeAppend,
+    /// Mid-append: only a prefix of the record's bytes hit the WAL
+    /// (the torn-tail case recovery must truncate).
+    TornAppend,
+    /// After append+fsync, before the command is applied.
+    AfterAppend,
+    /// After the command is applied, before the ack goes out.
+    AfterApply,
+}
+
+/// A deterministic planned crash: strike at the `nth_logged`-th
+/// durable record (1-based, counted over the server's live lifetime),
+/// at the given point.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Which logged record triggers the crash (1-based).
+    pub nth_logged: u64,
+    /// Where in that record's lifecycle the crash strikes.
+    pub point: CrashPoint,
+}
+
+/// Why recovery refused to bring the server up.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Storage I/O failed.
+    Io(io::Error),
+    /// The WAL is corrupt in the middle (not a torn tail).
+    Wal(WalError),
+    /// The snapshot bytes are damaged.
+    Snapshot(String),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "storage: {e}"),
+            RecoverError::Wal(e) => write!(f, "wal: {e}"),
+            RecoverError::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+/// Operational counters of one server lifetime (plus the durable
+/// `shed` total carried across recoveries).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Records appended to the WAL this lifetime.
+    pub wal_appends: u64,
+    /// Records replayed from the WAL during recovery.
+    pub replayed: u64,
+    /// Torn WAL tails truncated during recovery.
+    pub torn_truncations: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Ingests dropped by load shedding (durable total).
+    pub shed: u64,
+    /// Ingests refused with `Busy` backpressure.
+    pub busy: u64,
+    /// Frames dropped as undecodable.
+    pub bad_frames: u64,
+    /// Times the `max_pending` bound forced a loss concession.
+    pub forced_loss: u64,
+    /// Ingest applications the monitor rejected (post-ack).
+    pub apply_errors: u64,
+    /// Whether this lifetime began from non-empty storage.
+    pub recovered: bool,
+    /// Wall-clock microseconds recovery took.
+    pub recovery_micros: u64,
+    /// Ingest-queue high-water mark.
+    pub queue_high_water: u64,
+}
+
+/// The service: wraps an [`OnlineMonitor`] behind storage and a frame
+/// endpoint.
+#[derive(Debug)]
+pub struct Server<S: Storage> {
+    storage: S,
+    monitor: OnlineMonitor,
+    cfg: ServerConfig,
+    endpoint: Endpoint,
+    /// Lowest request id not yet consumed.
+    next_req: u64,
+    /// Response to the most recently consumed request, replayed to a
+    /// retry of the same id. (Volatile: after a crash, old ids get a
+    /// generic `Ack`.)
+    last_response: Option<(u64, Response)>,
+    /// Admitted ingests awaiting application.
+    queue: VecDeque<WalRecord>,
+    /// LSN of the last record ever logged (durable position).
+    last_lsn: u64,
+    /// Records logged since the last snapshot.
+    since_snapshot: u64,
+    stats: ServerStats,
+    recovery_hist: Histogram,
+    crash: Option<CrashPlan>,
+    /// Count of records logged this lifetime (crash-plan trigger).
+    logged_live: u64,
+    crashed: bool,
+}
+
+impl<S: Storage> Server<S> {
+    /// Bring a server up from whatever `storage` holds: a fresh
+    /// monitor for empty storage, otherwise snapshot + WAL replay.
+    pub fn recover(
+        mut storage: S,
+        cfg: ServerConfig,
+        endpoint: Endpoint,
+    ) -> Result<Server<S>, RecoverError> {
+        let started = Instant::now();
+        let mut stats = ServerStats::default();
+
+        let snap = storage.snapshot_bytes()?;
+        let had_state = snap.is_some();
+        let (mut monitor, applied_through, mut next_req, shed) = match snap {
+            Some(bytes) => decode_snapshot(&bytes).map_err(RecoverError::Snapshot)?,
+            None => {
+                let mut m = OnlineMonitor::new(cfg.processes);
+                if cfg.pruning {
+                    m.enable_pruning();
+                }
+                (m, 0, 0, 0)
+            }
+        };
+        stats.shed = shed;
+
+        let wal_bytes = storage.wal_bytes()?;
+        let had_wal = !wal_bytes.is_empty();
+        let scan = wal::scan(&wal_bytes)?;
+        if scan.torn {
+            storage.wal_replace(&wal_bytes[..scan.valid_len])?;
+            stats.torn_truncations += 1;
+        }
+        let mut last_lsn = applied_through;
+        for rec in &scan.records {
+            if rec.lsn <= applied_through {
+                continue; // already folded into the snapshot
+            }
+            apply_logged(&mut monitor, &rec.cmd, cfg.max_pending, &mut stats);
+            stats.replayed += 1;
+            last_lsn = rec.lsn;
+            next_req = next_req.max(rec.req + 1);
+        }
+        stats.recovered = had_state || had_wal;
+        stats.recovery_micros = started.elapsed().as_micros() as u64;
+
+        // scale=6: bucket bounds 64µs..2s — a large WAL replay must
+        // not saturate into the +Inf bucket.
+        let recovery_hist = Histogram::with_scale(6);
+        if stats.recovered {
+            recovery_hist.record(stats.recovery_micros.max(1));
+        }
+        Ok(Server {
+            storage,
+            monitor,
+            cfg,
+            endpoint,
+            next_req,
+            last_response: None,
+            queue: VecDeque::new(),
+            last_lsn,
+            since_snapshot: 0,
+            stats,
+            recovery_hist,
+            crash: None,
+            logged_live: 0,
+            crashed: false,
+        })
+    }
+
+    /// Arm a deterministic crash (chaos harness hook).
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.crash = Some(plan);
+    }
+
+    /// Has an armed crash fired?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The monitor, read-only (tests and the differential harness
+    /// compare verdicts directly).
+    pub fn monitor(&self) -> &OnlineMonitor {
+        &self.monitor
+    }
+
+    /// The underlying storage handle.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Ingest reports queued but not yet applied.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Lowest request id not yet consumed (a reconnecting client can
+    /// resume from here).
+    pub fn next_req(&self) -> u64 {
+        self.next_req
+    }
+
+    /// Process every waiting request frame, then drain up to `budget`
+    /// queued ingests (0 = drain everything). Returns the number of
+    /// frames handled.
+    pub fn pump(&mut self, budget: usize) -> usize {
+        let mut handled = 0;
+        while !self.crashed {
+            let Some(bytes) = self.endpoint.recv() else {
+                break;
+            };
+            self.handle_frame(&bytes);
+            handled += 1;
+        }
+        if !self.crashed {
+            self.drain(budget);
+        }
+        handled
+    }
+
+    /// Apply up to `budget` queued ingests (0 = all).
+    pub fn drain(&mut self, budget: usize) -> usize {
+        let mut n = 0;
+        while let Some(rec) = self.queue.front() {
+            if budget != 0 && n >= budget {
+                break;
+            }
+            let cmd = rec.cmd.clone();
+            self.queue.pop_front();
+            apply_logged(
+                &mut self.monitor,
+                &cmd,
+                self.cfg.max_pending,
+                &mut self.stats,
+            );
+            n += 1;
+        }
+        n
+    }
+
+    fn drain_all(&mut self) {
+        self.drain(0);
+    }
+
+    fn handle_frame(&mut self, bytes: &[u8]) {
+        let frame = match crate::proto::decode_frame(bytes) {
+            Ok(f) => f,
+            Err(_) => {
+                self.stats.bad_frames += 1;
+                return;
+            }
+        };
+        if frame.kind != KIND_REQUEST {
+            self.stats.bad_frames += 1;
+            return;
+        }
+        let Some(resp) = self.handle_request(&frame) else {
+            return; // crashed mid-request: no response
+        };
+        self.respond(frame.req, resp);
+    }
+
+    fn respond(&mut self, req: u64, resp: Response) {
+        self.endpoint.send(response_frame(req, &resp));
+    }
+
+    fn handle_request(&mut self, frame: &Frame) -> Option<Response> {
+        let req = frame.req;
+        if req < self.next_req {
+            // Retry of a consumed request: replay the cached response
+            // if we still have it, otherwise a generic Ack (the effect
+            // is durable; only the detailed payload is gone).
+            let resp = match &self.last_response {
+                Some((id, resp)) if *id == req => resp.clone(),
+                _ => Response::Ack,
+            };
+            return Some(resp);
+        }
+        // `req >= next_req` is fresh work even when it skips ahead: the
+        // client advances its id only after seeing a response, so a gap
+        // can only be a request whose effect was never durable (a read,
+        // or a snapshot's own id) answered by a lifetime that since
+        // crashed. Accepting the higher id keeps a reconnecting client
+        // in sync without a handshake.
+        let cmd = match decode_command(&frame.payload) {
+            Ok(c) => c,
+            Err(e) => {
+                // Malformed payload burns its id (the client built the
+                // frame; resending identical bytes cannot improve).
+                let resp = Response::Error(format!("bad command: {e}"));
+                self.consume(req, &resp);
+                return Some(resp);
+            }
+        };
+        self.execute(req, cmd)
+    }
+
+    fn consume(&mut self, req: u64, resp: &Response) {
+        self.next_req = req + 1;
+        self.last_response = Some((req, resp.clone()));
+    }
+
+    /// Execute a command under request id `req`. `None` means a crash
+    /// fired and no response may be sent.
+    fn execute(&mut self, req: u64, cmd: Command) -> Option<Response> {
+        match &cmd {
+            Command::Ingest { .. } => {
+                if self.queue.len() >= self.cfg.queue_capacity {
+                    return Some(match self.cfg.overload {
+                        OverloadPolicy::Backpressure => {
+                            self.stats.busy += 1;
+                            Response::Busy
+                        }
+                        OverloadPolicy::Shed => {
+                            // Decided before any WAL traffic: the event
+                            // is dropped, the request id is consumed.
+                            self.stats.shed += 1;
+                            let resp = Response::Shed;
+                            self.consume(req, &resp);
+                            resp
+                        }
+                    });
+                }
+                let rec = self.log(req, cmd)?;
+                self.queue.push_back(rec);
+                self.stats.queue_high_water =
+                    self.stats.queue_high_water.max(self.queue.len() as u64);
+                let resp = Response::Ack;
+                self.consume(req, &resp);
+                self.maybe_snapshot();
+                Some(resp)
+            }
+            Command::Watch { .. }
+            | Command::Close { .. }
+            | Command::Poll
+            | Command::DeclareLost
+            | Command::DeclareComplete { .. } => {
+                // Control commands see fully-applied state and keep
+                // WAL order equal to apply order.
+                self.drain_all();
+                let rec = self.log(req, cmd)?;
+                let resp = control_response(&mut self.monitor, &rec.cmd);
+                self.consume(req, &resp);
+                self.maybe_snapshot();
+                Some(resp)
+            }
+            Command::Query { rel, x, y } => {
+                self.drain_all();
+                let resp = Response::Verdict(self.monitor.check(*rel, x, y));
+                self.consume(req, &resp);
+                Some(resp)
+            }
+            Command::Verdicts => {
+                self.drain_all();
+                let resp = Response::Verdicts(self.monitor.verdicts());
+                self.consume(req, &resp);
+                Some(resp)
+            }
+            Command::Stats => {
+                self.drain_all();
+                let resp = Response::Stats(self.monitor.stats());
+                self.consume(req, &resp);
+                Some(resp)
+            }
+            Command::TakeSnapshot => {
+                // Not WAL-logged: the snapshot itself is the durable
+                // artifact (it also persists this request's id).
+                let resp = match self.take_snapshot() {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(format!("snapshot failed: {e}")),
+                };
+                self.consume(req, &resp);
+                Some(resp)
+            }
+        }
+    }
+
+    /// Append one durable record (fsynced), honouring an armed crash.
+    /// `None` = the crash fired.
+    fn log(&mut self, req: u64, cmd: Command) -> Option<WalRecord> {
+        let nth = self.logged_live + 1;
+        let striking = self.crash.map(|c| c.nth_logged == nth).unwrap_or(false);
+        let rec = WalRecord {
+            lsn: self.last_lsn + 1,
+            req,
+            cmd,
+        };
+        let bytes = wal::encode_record(&rec);
+
+        if striking {
+            let point = self.crash.unwrap().point;
+            match point {
+                CrashPoint::BeforeAppend => {
+                    self.crashed = true;
+                    return None;
+                }
+                CrashPoint::TornAppend => {
+                    // A prefix survives: cut inside the payload so the
+                    // header parses but the CRC cannot.
+                    let cut = (bytes.len() * 2 / 3).max(1).min(bytes.len() - 1);
+                    let _ = self.storage.wal_append(&bytes[..cut]);
+                    let _ = self.storage.wal_sync();
+                    self.crashed = true;
+                    return None;
+                }
+                CrashPoint::AfterAppend | CrashPoint::AfterApply => {}
+            }
+        }
+
+        if self.storage.wal_append(&bytes).is_err() || self.storage.wal_sync().is_err() {
+            // Treat an I/O failure exactly like a crash-before-ack:
+            // the client will retry against a recovered server.
+            self.crashed = true;
+            return None;
+        }
+        self.stats.wal_appends += 1;
+        self.last_lsn += 1;
+        self.logged_live += 1;
+        self.since_snapshot += 1;
+
+        if striking {
+            match self.crash.unwrap().point {
+                CrashPoint::AfterAppend => {
+                    self.crashed = true;
+                    return None;
+                }
+                CrashPoint::AfterApply => {
+                    // Apply (queue for ingest = push then drain; control
+                    // commands apply in execute()) then die before the
+                    // response goes out. For simplicity, apply here.
+                    if matches!(rec.cmd, Command::Ingest { .. }) {
+                        self.queue.push_back(rec);
+                        self.drain_all();
+                    } else {
+                        let _ = control_response(&mut self.monitor, &rec.cmd);
+                    }
+                    self.crashed = true;
+                    return None;
+                }
+                _ => unreachable!("earlier points returned above"),
+            }
+        }
+        Some(rec)
+    }
+
+    fn maybe_snapshot(&mut self) {
+        if self.cfg.snapshot_every > 0 && self.since_snapshot >= self.cfg.snapshot_every {
+            // Best-effort: a failed periodic snapshot leaves the WAL
+            // authoritative.
+            let _ = self.take_snapshot();
+        }
+    }
+
+    /// Drain, persist the full service state, and truncate the WAL.
+    pub fn take_snapshot(&mut self) -> io::Result<()> {
+        self.drain_all();
+        let bytes = encode_snapshot(&self.monitor, self.last_lsn, self.next_req, self.stats.shed);
+        self.storage.snapshot_replace(&bytes)?;
+        // The LSN filter makes double-apply impossible even if this
+        // truncation is lost to a crash.
+        self.storage.wal_replace(&[])?;
+        self.stats.snapshots += 1;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Export service + monitor counters into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "synchrel_serve_wal_appends_total",
+            "Records appended to the WAL",
+            self.stats.wal_appends,
+        );
+        reg.counter(
+            "synchrel_serve_wal_fsyncs_total",
+            "fsyncs issued to storage",
+            self.storage.syncs(),
+        );
+        reg.counter(
+            "synchrel_serve_wal_replayed_total",
+            "WAL records replayed during recovery",
+            self.stats.replayed,
+        );
+        reg.counter(
+            "synchrel_serve_wal_torn_truncations_total",
+            "Torn WAL tails truncated during recovery",
+            self.stats.torn_truncations,
+        );
+        reg.counter(
+            "synchrel_serve_snapshots_total",
+            "Service snapshots written",
+            self.stats.snapshots,
+        );
+        reg.counter(
+            "synchrel_serve_shed_total",
+            "Ingests dropped by load shedding",
+            self.stats.shed,
+        );
+        reg.counter(
+            "synchrel_serve_busy_total",
+            "Ingests refused with backpressure",
+            self.stats.busy,
+        );
+        reg.counter(
+            "synchrel_serve_bad_frames_total",
+            "Frames dropped as undecodable",
+            self.stats.bad_frames,
+        );
+        reg.counter(
+            "synchrel_serve_forced_loss_total",
+            "Loss concessions forced by the max_pending bound",
+            self.stats.forced_loss,
+        );
+        reg.counter(
+            "synchrel_serve_apply_errors_total",
+            "Acked ingests the monitor rejected at apply time",
+            self.stats.apply_errors,
+        );
+        reg.counter(
+            "synchrel_serve_recoveries_total",
+            "Lifetimes that began from non-empty storage",
+            u64::from(self.stats.recovered),
+        );
+        reg.gauge(
+            "synchrel_serve_queue_depth",
+            "Ingests admitted but not yet applied",
+            self.queue.len() as f64,
+        );
+        reg.gauge(
+            "synchrel_serve_queue_high_water",
+            "High-water mark of the ingest queue",
+            self.stats.queue_high_water as f64,
+        );
+        reg.histogram(
+            "synchrel_serve_recovery_micros",
+            "Wall-clock microseconds spent in recovery",
+            &self.recovery_hist.snapshot(),
+        );
+        self.monitor.export_metrics(reg);
+    }
+}
+
+/// Apply one logged command to the monitor — the single code path
+/// shared by live draining and recovery replay, so both reach
+/// identical state.
+fn apply_logged(
+    monitor: &mut OnlineMonitor,
+    cmd: &Command,
+    max_pending: usize,
+    stats: &mut ServerStats,
+) {
+    match cmd {
+        Command::Ingest {
+            process,
+            seq,
+            event,
+            labels,
+        } => {
+            let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            if monitor
+                .ingest(*process, *seq, event.clone(), &label_refs)
+                .is_err()
+            {
+                stats.apply_errors += 1;
+            }
+            if max_pending > 0 && monitor.pending() > max_pending {
+                // Deterministic memory bound: concede rather than
+                // buffer without limit. Replay re-derives the same
+                // concessions at the same points.
+                if monitor.declare_lost().is_ok() {
+                    stats.forced_loss += 1;
+                }
+            }
+        }
+        Command::Watch { .. }
+        | Command::Close { .. }
+        | Command::Poll
+        | Command::DeclareLost
+        | Command::DeclareComplete { .. } => {
+            let _ = control_response(monitor, cmd);
+        }
+        Command::Query { .. } | Command::Verdicts | Command::Stats | Command::TakeSnapshot => {
+            // Never logged.
+        }
+    }
+}
+
+/// Apply a control command and build its response.
+fn control_response(monitor: &mut OnlineMonitor, cmd: &Command) -> Response {
+    match cmd {
+        Command::Watch { name, rel, x, y } => {
+            monitor.watch(name.clone(), *rel, x.clone(), y.clone());
+            Response::Ack
+        }
+        Command::Close { label } => {
+            monitor.close(label);
+            Response::Ack
+        }
+        Command::Poll => Response::Events(monitor.poll()),
+        Command::DeclareLost => match monitor.declare_lost() {
+            Ok(n) => Response::Conceded(n),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Command::DeclareComplete { totals } => match monitor.declare_complete(totals) {
+            Ok(n) => Response::Conceded(n),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        _ => Response::Error("not a control command".into()),
+    }
+}
+
+/// Serialize the full service state: monitor snapshot plus the
+/// server-level durable cursors, CRC-framed.
+fn encode_snapshot(
+    monitor: &OnlineMonitor,
+    applied_through: u64,
+    next_req: u64,
+    shed: u64,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_raw(SNAPSHOT_MAGIC);
+    w.put_u8(SNAPSHOT_VERSION);
+    w.put_u64(applied_through);
+    w.put_u64(next_req);
+    w.put_u64(shed);
+    w.put_bytes(&monitor.snapshot_bytes());
+    let mut bytes = w.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Decode a service snapshot: `(monitor, applied_through, next_req, shed)`.
+fn decode_snapshot(bytes: &[u8]) -> Result<(OnlineMonitor, u64, u64, u64), String> {
+    if bytes.len() < 4 {
+        return Err("snapshot truncated".into());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(tail.try_into().unwrap());
+    if crc32(body) != want {
+        return Err("snapshot CRC mismatch".into());
+    }
+    let mut r = Reader::new(body);
+    let magic = r.raw(SNAPSHOT_MAGIC.len()).map_err(|e| e.to_string())?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err("bad snapshot magic".into());
+    }
+    let version = r.u8().map_err(|e| e.to_string())?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!("unsupported snapshot version {version}"));
+    }
+    let applied_through = r.u64().map_err(|e| e.to_string())?;
+    let next_req = r.u64().map_err(|e| e.to_string())?;
+    let shed = r.u64().map_err(|e| e.to_string())?;
+    let monitor_bytes = r.bytes().map_err(|e| e.to_string())?;
+    if !r.is_done() {
+        return Err("trailing bytes in snapshot".into());
+    }
+    let monitor = OnlineMonitor::restore_bytes(monitor_bytes)?;
+    Ok((monitor, applied_through, next_req, shed))
+}

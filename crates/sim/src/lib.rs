@@ -29,11 +29,15 @@
 //! * [`fault`] — seeded fault injection (drop, duplication, reordering
 //!   delay, transient partitions, clock skew), reproducible from a
 //!   single `u64` seed.
+//! * [`retry`] — deterministic exponential backoff with seeded jitter,
+//!   for retry loops that must stay reproducible (the serve client and
+//!   the chaos harness).
 
 pub mod engine;
 pub mod fault;
 pub mod format;
 pub mod intervals;
+pub mod retry;
 pub mod scenario;
 pub mod stats;
 pub mod workload;
@@ -42,6 +46,7 @@ pub use engine::{Action, Latency, SimError, SimResult, Simulation};
 pub use fault::{mix, random_scripts, Delivery, FaultLog, FaultPlan, Partition};
 pub use format::TraceFile;
 pub use intervals::{by_label, per_process_phases, time_window};
+pub use retry::Backoff;
 pub use scenario::Scenario;
 pub use stats::TraceStats;
 pub use workload::{RandomConfig, Workload};

@@ -1,0 +1,126 @@
+//! Deterministic retry pacing: exponential backoff with seeded jitter.
+//!
+//! Retry loops in a reproducible system must not consult wall clocks or
+//! ambient RNGs — a chaos run that retried at different instants would
+//! stop shrinking from its seed. [`Backoff`] derives every delay from
+//! `(seed, attempt)` with the same [`crate::fault::mix`] hash the fault
+//! layer uses, so a client's whole retry schedule is a pure function of
+//! its seed. Delays are *virtual* durations (the caller decides whether
+//! they are ticks, nanoseconds, or nothing at all in an in-process
+//! test), which keeps `std::time` out of the decision path entirely.
+//!
+//! The jitter is "equal": each delay is drawn uniformly from
+//! `[cap/2, cap]` of the current exponential ceiling, which decorrelates
+//! retry herds without ever collapsing the delay to zero.
+
+use crate::fault::mix;
+
+const SALT_JITTER: u64 = 0xBAC0;
+
+/// Deterministic exponential backoff with seeded equal-jitter.
+///
+/// ```
+/// use synchrel_sim::retry::Backoff;
+/// let mut b = Backoff::new(0xFEED, 4, 64);
+/// let first = b.next_delay();
+/// assert!((2..=4).contains(&first));
+/// // Same seed, same schedule:
+/// let mut b2 = Backoff::new(0xFEED, 4, 64);
+/// assert_eq!(first, b2.next_delay());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    seed: u64,
+    base: u64,
+    cap: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule whose un-jittered ceilings are `base, 2·base,
+    /// 4·base, …` clamped to `cap`. A zero `base` is promoted to 1 so
+    /// the schedule always advances.
+    pub fn new(seed: u64, base: u64, cap: u64) -> Backoff {
+        let base = base.max(1);
+        Backoff {
+            seed,
+            base,
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// Attempts taken so far (delays handed out).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: uniform in `[ceiling/2, ceiling]` where
+    /// `ceiling = min(cap, base · 2^attempt)`, derived from
+    /// `(seed, attempt)` only.
+    pub fn next_delay(&mut self) -> u64 {
+        let ceiling = self
+            .base
+            .checked_shl(self.attempt.min(63))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let lo = ceiling / 2;
+        let span = ceiling - lo;
+        let jitter = if span == 0 {
+            0
+        } else {
+            mix(self.seed, SALT_JITTER, self.attempt as u64) % (span + 1)
+        };
+        self.attempt += 1;
+        (lo + jitter).max(1)
+    }
+
+    /// Forget the attempt count (after a success, typically).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_in_seed() {
+        let take = |seed: u64| {
+            let mut b = Backoff::new(seed, 2, 100);
+            (0..10).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(take(7), take(7));
+        assert_ne!(take(7), take(8), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn delays_grow_to_cap_and_stay_bounded() {
+        let mut b = Backoff::new(1, 2, 64);
+        let delays: Vec<u64> = (0..12).map(|_| b.next_delay()).collect();
+        for (i, &d) in delays.iter().enumerate() {
+            let ceiling = (2u64 << i.min(62)).min(64);
+            assert!(d >= 1 && d <= ceiling, "delay {d} out of range at {i}");
+            assert!(d >= ceiling / 2, "jitter fell below half the ceiling");
+        }
+        // Once saturated, the ceiling stops moving.
+        assert!(delays[8..].iter().all(|&d| (32..=64).contains(&d)));
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut a = Backoff::new(9, 4, 1000);
+        let first = a.next_delay();
+        a.next_delay();
+        a.reset();
+        assert_eq!(a.attempts(), 0);
+        assert_eq!(a.next_delay(), first, "post-reset schedule re-derives");
+    }
+
+    #[test]
+    fn zero_base_still_advances() {
+        let mut b = Backoff::new(3, 0, 8);
+        assert!(b.next_delay() >= 1);
+    }
+}
