@@ -1,6 +1,6 @@
 //! Bench E-P4 (Problem 4): all-pairs 32-relation detection over a set
 //! `𝒜` — cached vs uncached summaries (Key Idea 1 ablation), counted
-//! vs fused kernels, and sequential vs work-stealing parallel.
+//! vs fused kernels, and sequential vs tiled parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

@@ -34,6 +34,9 @@ use crate::table::Table;
 /// Threads at which the parallel paths are sampled.
 pub const THREAD_POINTS: [usize; 3] = [2, 4, 8];
 
+/// Warm-up sweeps run before every timed region (see `sweeps_per_sec`).
+pub const WARMUP_ITERS: u64 = 1;
+
 /// Minimum acceptable `seq_batched_pps / seq_fused_pps`. CI enforces
 /// that the batched kernel is never slower than fused; the measured
 /// speedup itself is reported for trend tracking.
@@ -108,8 +111,11 @@ pub fn report_json(k: &KernelMeasurement, c: &ChurnMeasurement) -> String {
         .bool_field("verdicts_match", c.verdicts_match)
         .finish();
     ObjectWriter::new()
-        .str_field("schema", "synchrel/BENCH_batch/v1")
+        .str_field("schema", "synchrel/BENCH_batch/v2")
         .str_field("git_rev", &super::git_rev())
+        .bool_field("dirty", super::git_dirty())
+        .u64_field("workload_seed", k.seed)
+        .u64_field("warmup_iters", WARMUP_ITERS)
         .str_field("workload", &k.workload)
         .u64_field("seed", k.seed)
         .u64_field("events", k.events as u64)
@@ -128,7 +134,9 @@ pub fn report_json(k: &KernelMeasurement, c: &ChurnMeasurement) -> String {
 /// Time `f` (one full all-pairs sweep per call), repeating until the
 /// accumulated wall time is long enough to trust, and return sweeps/sec.
 fn sweeps_per_sec(mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
     let mut reps = 0u32;
     let t0 = Instant::now();
     loop {
@@ -348,8 +356,11 @@ mod tests {
         let k = measure_kernel(&w, 7);
         let c = measure_churn(7, 2_000);
         let json = report_json(&k, &c);
-        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_batch/v1\""));
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_batch/v2\""));
         assert!(json.contains("\"git_rev\":"), "{json}");
+        assert!(json.contains("\"dirty\":"), "{json}");
+        assert!(json.contains("\"workload_seed\":7"), "{json}");
+        assert!(json.contains("\"warmup_iters\":1"), "{json}");
         assert!(json.contains("\"speedup_ok\":"), "{json}");
         assert!(json.contains("\"resident_max\":"), "{json}");
         assert!(is_valid(&json), "{json}");

@@ -39,6 +39,9 @@ pub const GUARD_RATIO: f64 = 1.05;
 /// than averaging.
 const TRIALS: usize = 5;
 
+/// Warm-up sweeps per strategy before the paired rounds start.
+pub const WARMUP_ITERS: u64 = 1;
+
 /// Overhead measurement of one workload.
 #[derive(Clone, Debug)]
 pub struct MeterMeasurement {
@@ -94,11 +97,14 @@ impl MeterMeasurement {
 
 /// Render the whole report (all rows plus the aggregate verdict) as
 /// the `BENCH_meter.json` document.
-pub fn report_json(rows: &[MeterMeasurement]) -> String {
+pub fn report_json(seed: u64, rows: &[MeterMeasurement]) -> String {
     let all_ok = rows.iter().all(MeterMeasurement::guard_ok);
     ObjectWriter::new()
-        .str_field("schema", "synchrel/BENCH_meter/v2")
+        .str_field("schema", "synchrel/BENCH_meter/v3")
         .str_field("git_rev", &super::git_rev())
+        .bool_field("dirty", super::git_dirty())
+        .u64_field("workload_seed", seed)
+        .u64_field("warmup_iters", WARMUP_ITERS)
         .f64_field("guard_ratio", GUARD_RATIO)
         .bool_field("guard_ok", all_ok)
         .raw_field(
@@ -132,10 +138,12 @@ fn sweeps_per_sec_window(f: &mut dyn FnMut()) -> f64 {
 /// external noise only ever inflates a ratio, so the least-polluted
 /// round bounds the true overhead from above.
 fn paired_rounds(base: &mut dyn FnMut(), tests: &mut [&mut dyn FnMut()]) -> (Vec<f64>, Vec<f64>) {
-    // Warm-up sweep each: summary caches and allocator in steady state.
-    base();
-    for f in tests.iter_mut() {
-        f();
+    // Warm-up sweeps each: summary caches and allocator in steady state.
+    for _ in 0..WARMUP_ITERS {
+        base();
+        for f in tests.iter_mut() {
+            f();
+        }
     }
     let mut best = vec![0.0f64; tests.len() + 1];
     let mut ratios = vec![f64::INFINITY; tests.len()];
@@ -255,7 +263,7 @@ pub fn run_to(seed: u64, json_path: Option<&str>) -> String {
         if all_ok { "PASS" } else { "FAIL" }
     ));
     if let Some(path) = json_path {
-        match std::fs::write(path, report_json(&rows)) {
+        match std::fs::write(path, report_json(seed, &rows)) {
             Ok(()) => out.push_str(&format!("wrote {path}\n")),
             Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
         }
@@ -294,9 +302,12 @@ mod tests {
     #[test]
     fn report_is_valid_json() {
         let w = workload::ring(4, 3);
-        let json = report_json(&[measure(&w)]);
-        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_meter/v2\""));
+        let json = report_json(5, &[measure(&w)]);
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_meter/v3\""));
         assert!(json.contains("\"git_rev\":"), "{json}");
+        assert!(json.contains("\"dirty\":"), "{json}");
+        assert!(json.contains("\"workload_seed\":5"), "{json}");
+        assert!(json.contains("\"warmup_iters\":1"), "{json}");
         assert!(json.contains("\"mode\":\"counted\""), "{json}");
         // CI greps for this exact adjacency; keep the fields together.
         assert!(

@@ -43,6 +43,26 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Whether the working tree carries uncommitted changes to tracked
+/// files, for stamping benchmark artifacts. Modified `BENCH_*.json`
+/// files are ignored — regenerating the artifacts is exactly how a
+/// clean-tree measurement run looks. `false` outside a git checkout.
+pub fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain", "-uno"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .is_some_and(|s| {
+            s.lines().any(|l| {
+                let path = l.get(3..).unwrap_or("").trim();
+                !(path.starts_with("BENCH_") && path.ends_with(".json"))
+            })
+        })
+}
+
 /// Path of a `BENCH_*.json` artifact at the repository root, so the
 /// committed numbers land in the same place no matter which directory
 /// `repro` is invoked from.

@@ -38,13 +38,15 @@ commands:
   query <trace.json> <X> <Y> [REL]
                          evaluate one or all Table-1 relations
   analyze <trace.json> [--threads N] [--mode fused|exact|batched]
-      [--metrics metrics.prom|metrics.json]
+      [--tile W] [--metrics metrics.prom|metrics.json]
                          strongest relation for every event pair
                          (fused kernel by default; exact mode reports
                          the per-relation Theorem-20 comparison counts;
                          batched sweeps the shared SoA summary arena;
-                         --metrics writes Prometheus text or JSON by
-                         file extension)
+                         --tile sets the cache-block width of tiled
+                         sweeps, default 64 — results are identical
+                         for every width; --metrics writes Prometheus
+                         text or JSON by file extension)
   check <trace.json> <spec.json> [--threads N] [--mode exact|fused|batched]
       [--trace spans.jsonl]
                          check a synchronization spec (exit 1 on
@@ -270,7 +272,8 @@ fn analyze(a: &Args) -> Result<ExitCode, AnyError> {
     let events: Vec<NonatomicEvent> = intervals.into_iter().map(|(_, e)| e).collect();
     let threads: usize = a.num("threads", 4)?;
     let mode = parse_mode(a.opt("mode").unwrap_or("fused"))?;
-    let d = Detector::new(&exec, events).with_mode(mode);
+    let tile: usize = a.num("tile", synchrel_core::DEFAULT_TILE)?;
+    let d = Detector::new(&exec, events).with_mode(mode).with_tile(tile);
     let counter = CompareCounter::new();
     let reports = if a.opt("metrics").is_some() {
         d.all_pairs_parallel_with(threads, &counter)

@@ -11,7 +11,6 @@
 //! (Theorem 20). Construct with [`Detector::without_cache`] to measure
 //! the ablation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -22,6 +21,7 @@ use crate::execution::Execution;
 use crate::linear::Evaluator;
 use crate::nonatomic::NonatomicEvent;
 use crate::proxy_relations::{ProxyRelation, ProxySummary, RelationSet};
+use crate::tile::{RowSlabs, TilePartition, DEFAULT_TILE};
 use crate::timestamp::SummaryArena;
 
 /// How a [`Detector`] evaluates the 32 relations of a pair.
@@ -68,6 +68,7 @@ pub struct Detector<'a> {
     arena: RwLock<Option<Arc<SummaryArena>>>,
     caching: bool,
     mode: EvalMode,
+    tile: usize,
 }
 
 impl<'a> Detector<'a> {
@@ -81,6 +82,7 @@ impl<'a> Detector<'a> {
             arena: RwLock::new(None),
             caching: true,
             mode: EvalMode::Counted,
+            tile: DEFAULT_TILE,
         }
     }
 
@@ -101,6 +103,21 @@ impl<'a> Detector<'a> {
     /// The active pair evaluation mode.
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Select the tile width used by cache-blocked and parallel sweeps
+    /// (builder style). The default, [`DEFAULT_TILE`], keeps one tile
+    /// of Y-side summary planes L1/L2-resident; values are clamped to
+    /// `≥ 1`. Any width produces byte-identical reports — this is a
+    /// pure scheduling knob.
+    pub fn with_tile(mut self, tile: usize) -> Self {
+        self.tile = tile.max(1);
+        self
+    }
+
+    /// The active tile width.
+    pub fn tile(&self) -> usize {
+        self.tile
     }
 
     /// Number of registered nonatomic events.
@@ -242,28 +259,14 @@ impl<'a> Detector<'a> {
             return Vec::new();
         }
         if self.mode == EvalMode::Batched {
-            // One full-row sweep per X: the kernel writes the whole Y
-            // row into a reused buffer; reports skip the diagonal.
+            // The same cache-blocked tile sweep the parallel engine
+            // runs per band, over the whole row space.
             let a = self.arena();
-            let mut out = Vec::with_capacity((n - 1) * n);
-            let mut row = vec![RelationSet::empty(); n];
-            for x in 0..n {
-                a.eval_row_batch(x, 0, &mut row);
-                for (y, &relations) in row.iter().enumerate() {
-                    if y == x {
-                        continue;
-                    }
-                    let comparisons = a.pair_comparisons(x, y);
-                    if meter.enabled() {
-                        meter.on_pair(comparisons);
-                    }
-                    out.push(PairReport {
-                        x,
-                        y,
-                        relations,
-                        comparisons,
-                    });
-                }
+            let mut out = empty_reports(n);
+            {
+                let slabs = RowSlabs::new(&mut out, n - 1);
+                // SAFETY: single-threaded — this is the only writer.
+                batched_sweep(&a, self.tile, 0..n, &slabs, meter);
             }
             return out;
         }
@@ -281,10 +284,11 @@ impl<'a> Detector<'a> {
     /// Parallel [`Detector::all_pairs`]: summaries are warmed up first,
     /// then the pair matrix is evaluated on `threads` worker threads.
     ///
-    /// Work distribution is an atomic-counter work-stealing loop rather
-    /// than a static split: pair costs vary wildly with `|N_X|`/`|N_Y|`,
-    /// so workers that land on cheap pairs immediately grab the next
-    /// batch instead of idling at a chunk boundary.
+    /// Work is distributed by a [`TilePartition`]: each worker owns a
+    /// static contiguous band of X rows (no shared counter on the hot
+    /// path, no false sharing on result writes — every row writes its
+    /// own output slab), and a small stealable tail of rows rebalances
+    /// skewed `|N_X|`/`|N_Y|` costs after the bands drain.
     pub fn all_pairs_parallel(&self, threads: usize) -> Vec<PairReport> {
         self.all_pairs_parallel_with(threads, &NoopMeter)
     }
@@ -295,7 +299,7 @@ impl<'a> Detector<'a> {
     /// meter is `Cell`-based and deliberately `!Sync`), and the forks
     /// are [`Meter::absorb`]ed into `meter` after the join. Because the
     /// merge is commutative and associative, the aggregated metrics are
-    /// identical for every thread count and any work-stealing schedule
+    /// identical for every thread count and any steal-tail schedule
     /// — only the per-worker partition varies.
     pub fn all_pairs_parallel_with<M: Meter + Send>(
         &self,
@@ -310,65 +314,42 @@ impl<'a> Detector<'a> {
         if self.mode == EvalMode::Batched {
             return self.all_pairs_parallel_batched(threads, meter);
         }
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|x| (0..n).filter(move |&y| y != x).map(move |y| (x, y)))
-            .collect();
-        let threads = threads.max(1).min(pairs.len());
-        if threads == 1 {
-            return pairs
-                .iter()
-                .map(|&(x, y)| self.pair_with(x, y, meter).expect("indices in range"))
-                .collect();
+        let part = TilePartition::new(n, threads, 1);
+        if part.threads() == 1 {
+            return self.all_pairs_with(meter);
         }
-        // Batched claims amortize the atomic traffic while staying small
-        // enough that no worker hoards a long tail of expensive pairs.
-        let batch = (pairs.len() / (threads * 8)).clamp(1, 64);
-        let next = AtomicUsize::new(0);
-        let forks: Vec<M> = (0..threads).map(|_| meter.fork()).collect();
-        let results: Vec<(Vec<(usize, PairReport)>, M)> = std::thread::scope(|scope| {
-            let pairs = &pairs;
-            let next = &next;
-            let handles: Vec<_> = forks
-                .into_iter()
-                .map(|fork| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let start = next.fetch_add(batch, Ordering::Relaxed);
-                            if start >= pairs.len() {
-                                break;
-                            }
-                            let end = (start + batch).min(pairs.len());
-                            for (k, &(x, y)) in pairs[start..end].iter().enumerate() {
-                                let rep = self.pair_with(x, y, &fork).expect("indices in range");
-                                local.push((start + k, rep));
-                            }
+        let mut out = empty_reports(n);
+        {
+            let slabs = RowSlabs::new(&mut out, n - 1);
+            let slabs = &slabs;
+            let forks: Vec<M> = (0..part.threads()).map(|_| meter.fork()).collect();
+            let forks = part.run(forks, |fork, rows| {
+                for x in rows {
+                    // SAFETY: the partition dispatches each row to
+                    // exactly one worker; this worker owns row `x`.
+                    let slab = unsafe { slabs.item_mut(x) };
+                    let mut k = 0;
+                    for y in 0..n {
+                        if y == x {
+                            continue;
                         }
-                        (local, fork)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread"))
-                .collect()
-        });
-        let mut out: Vec<Option<PairReport>> = vec![None; pairs.len()];
-        for (local, fork) in results {
-            meter.absorb(&fork);
-            for (k, rep) in local {
-                out[k] = Some(rep);
+                        slab[k] = self.pair_with(x, y, fork).expect("indices in range");
+                        k += 1;
+                    }
+                }
+            });
+            for fork in &forks {
+                meter.absorb(fork);
             }
         }
-        out.into_iter().map(|r| r.expect("filled")).collect()
+        out
     }
 
-    /// Parallel batched scan: workers steal contiguous **row slabs**
-    /// (several X rows at a time) instead of pair batches, so each
-    /// worker's sweep walks the arena's unit-stride Y planes end to end
-    /// and the SoA slab stays hot in cache. Output is reassembled in row
-    /// order, so reports are byte-identical to the sequential scan for
-    /// every thread count and schedule.
+    /// Parallel batched scan: each worker's static band of X rows is
+    /// swept through the shared cache-blocked tile kernel
+    /// ([`batched_sweep`]), writing straight into its disjoint output
+    /// slabs. Reports are byte-identical to the sequential scan for
+    /// every thread count, tile width, and steal schedule.
     fn all_pairs_parallel_batched<M: Meter + Send>(
         &self,
         threads: usize,
@@ -376,69 +357,24 @@ impl<'a> Detector<'a> {
     ) -> Vec<PairReport> {
         let n = self.events.len();
         let a = self.arena();
-        let threads = threads.max(1).min(n);
-        if threads == 1 {
+        let part = TilePartition::new(n, threads, self.tile);
+        if part.threads() == 1 {
             return self.all_pairs_with(meter);
         }
-        let slab = (n / (threads * 4)).clamp(1, 32);
-        let next = AtomicUsize::new(0);
-        let forks: Vec<M> = (0..threads).map(|_| meter.fork()).collect();
-        type Row = (usize, Vec<PairReport>);
-        let results: Vec<(Vec<Row>, M)> = std::thread::scope(|scope| {
-            let a = &a;
-            let next = &next;
-            let handles: Vec<_> = forks
-                .into_iter()
-                .map(|fork| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        let mut row = vec![RelationSet::empty(); n];
-                        loop {
-                            let start = next.fetch_add(slab, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            let end = (start + slab).min(n);
-                            for x in start..end {
-                                a.eval_row_batch(x, 0, &mut row);
-                                let mut reps = Vec::with_capacity(n - 1);
-                                for (y, &relations) in row.iter().enumerate() {
-                                    if y == x {
-                                        continue;
-                                    }
-                                    let comparisons = a.pair_comparisons(x, y);
-                                    if fork.enabled() {
-                                        fork.on_pair(comparisons);
-                                    }
-                                    reps.push(PairReport {
-                                        x,
-                                        y,
-                                        relations,
-                                        comparisons,
-                                    });
-                                }
-                                local.push((x, reps));
-                            }
-                        }
-                        (local, fork)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread"))
-                .collect()
-        });
-        let mut rows: Vec<Option<Vec<PairReport>>> = vec![None; n];
-        for (local, fork) in results {
-            meter.absorb(&fork);
-            for (x, reps) in local {
-                rows[x] = Some(reps);
+        let mut out = empty_reports(n);
+        {
+            let slabs = RowSlabs::new(&mut out, n - 1);
+            let slabs = &slabs;
+            let (a, tile) = (a.as_ref(), self.tile);
+            let forks: Vec<M> = (0..part.threads()).map(|_| meter.fork()).collect();
+            let forks = part.run(forks, |fork, rows| {
+                batched_sweep(a, tile, rows, slabs, fork);
+            });
+            for fork in &forks {
+                meter.absorb(fork);
             }
         }
-        rows.into_iter()
-            .flat_map(|r| r.expect("row filled"))
-            .collect()
+        out
     }
 
     fn check_index(&self, i: usize) -> Result<()> {
@@ -446,6 +382,69 @@ impl<'a> Detector<'a> {
             return Err(Error::UnknownEventIndex(i));
         }
         Ok(())
+    }
+}
+
+/// A zeroed `n × (n-1)` report matrix for [`RowSlabs`] writers to fill.
+fn empty_reports(n: usize) -> Vec<PairReport> {
+    vec![
+        PairReport {
+            x: 0,
+            y: 0,
+            relations: RelationSet::empty(),
+            comparisons: 0,
+        };
+        n * (n - 1)
+    ]
+}
+
+/// The cache-blocked batched sweep over one range of X rows, shared by
+/// the sequential scan (`rows = 0..n`, one caller) and every parallel
+/// worker (its band, then stolen tail chunks).
+///
+/// The Y dimension is blocked in `tile`-column slices *outside* the X
+/// loop: one tile of Y-side summary planes (`2 proxies × 3 segments ×
+/// |P| × tile × 4 B` ≈ 24 KiB at `|P| = 16`, `tile = 64`) is streamed
+/// against every X row of the range while it is still L1/L2-resident,
+/// instead of each X row marching the full Y extent and evicting it.
+/// Row `x`'s reports land in slab `x` at diagonal-skipping offsets, so
+/// the output is x-major regardless of the block order — byte-identical
+/// to the unblocked sweep.
+fn batched_sweep<M: Meter>(
+    a: &SummaryArena,
+    tile: usize,
+    rows: std::ops::Range<usize>,
+    slabs: &RowSlabs<'_, PairReport>,
+    meter: &M,
+) {
+    let n = slabs.items();
+    let tile = tile.max(1).min(n);
+    let mut sets = vec![RelationSet::empty(); tile];
+    for y0 in (0..n).step_by(tile) {
+        let yw = tile.min(n - y0);
+        for x in rows.clone() {
+            a.eval_row_batch(x, y0, &mut sets[..yw]);
+            // SAFETY: callers only pass row ranges they were dispatched
+            // exclusively (or run single-threaded), so slab `x` has no
+            // other writer.
+            let slab = unsafe { slabs.item_mut(x) };
+            for (k, &relations) in sets[..yw].iter().enumerate() {
+                let y = y0 + k;
+                if y == x {
+                    continue;
+                }
+                let comparisons = a.pair_comparisons(x, y);
+                if meter.enabled() {
+                    meter.on_pair(comparisons);
+                }
+                slab[y - usize::from(y > x)] = PairReport {
+                    x,
+                    y,
+                    relations,
+                    comparisons,
+                };
+            }
+        }
     }
 }
 

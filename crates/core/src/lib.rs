@@ -50,6 +50,8 @@
 //! * [`hierarchy`] — the implication hierarchy between the relations;
 //! * [`detector`] — Problem 4: detecting one/all relations over a set `𝒜`
 //!   of nonatomic events with cached cut timestamps (Key Idea 1);
+//! * [`tile`] — the tile-parallel scheduler (static row bands plus a
+//!   steal-only tail) shared by every parallel sweep;
 //! * [`oracle`] — a brute-force causality-matrix oracle for differential
 //!   conformance testing of every optimized path;
 //! * [`diagram`] — ASCII space-time diagrams for executions and cuts
@@ -89,6 +91,7 @@ pub mod oracle;
 pub mod pastfuture;
 pub mod proxy_relations;
 pub mod relations;
+pub mod tile;
 pub mod timestamp;
 pub mod vclock;
 
@@ -110,6 +113,7 @@ pub use oracle::Oracle;
 pub use pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
 pub use proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
 pub use relations::{naive as naive_relation, proxy_baseline, Relation};
+pub use tile::{RowSlabs, TilePartition, DEFAULT_TILE};
 pub use timestamp::{SummaryArena, Timestamps};
 pub use vclock::{ClockView, VectorClock};
 
@@ -135,6 +139,7 @@ pub mod prelude {
         naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet,
     };
     pub use crate::relations::{naive as naive_relation, proxy_baseline, Relation};
+    pub use crate::tile::{RowSlabs, TilePartition, DEFAULT_TILE};
     pub use crate::timestamp::{SummaryArena, Timestamps};
     pub use crate::vclock::{ClockView, VectorClock};
 }

@@ -432,6 +432,34 @@ impl<'a> Evaluator<'a> {
 /// large enough to amortize the per-node scalar loads.
 const BATCH_CHUNK: usize = 128;
 
+/// Lane width of the explicit `simd`-feature scan blocks, selected once
+/// per process: 16 lanes when the CPU has AVX2-class 256-bit vectors
+/// (two full `u32×8` registers per block, letting the compiler use both
+/// halves of a 256-bit op), 8 otherwise. `SYNCHREL_SIMD_LANES=8|16`
+/// overrides detection — CI uses it to exercise both paths
+/// deterministically on whatever runner it lands on. Both widths (and
+/// the scalar tail) compute identical bytes; this is purely a
+/// code-shape knob.
+#[cfg(feature = "simd")]
+fn simd_lanes() -> usize {
+    static WIDTH: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        match std::env::var("SYNCHREL_SIMD_LANES")
+            .as_deref()
+            .map(str::trim)
+        {
+            Ok("8") => return 8,
+            Ok("16") => return 16,
+            _ => {}
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return 16;
+        }
+        8
+    })
+}
+
 /// `N_X`-side accumulation over one node for a block of Y columns:
 /// `c1`/`c2` are the contiguous arena rows of `∩⇓Y` / `∪⇓Y` at that
 /// node, `xh`/`x3` the fixed X scalars (`hi_X[i]`, `∩⇑X[i]`). Only
@@ -449,32 +477,50 @@ fn scan_x_side(
     r4x: &mut [u8],
 ) {
     #[cfg(feature = "simd")]
-    {
-        const LANES: usize = 8;
-        let mut k = 0;
-        // Explicit fixed-width lane blocks: each iteration is a
-        // straight-line batch of LANES independent compare/mask ops,
-        // mapping 1:1 onto vector registers on stable Rust.
-        while k + LANES <= c1.len() {
-            let c1v: &[u32; LANES] = c1[k..k + LANES].try_into().unwrap();
-            let c2v: &[u32; LANES] = c2[k..k + LANES].try_into().unwrap();
-            for l in 0..LANES {
-                r1x[k + l] &= (c1v[l] >= xh) as u8;
-                r2[k + l] &= (c2v[l] >= xh) as u8;
-                r3[k + l] |= (c1v[l] >= x3) as u8;
-                r4x[k + l] |= (c2v[l] >= x3) as u8;
-            }
-            k += LANES;
-        }
-        for k in k..c1.len() {
-            r1x[k] &= (c1[k] >= xh) as u8;
-            r2[k] &= (c2[k] >= xh) as u8;
-            r3[k] |= (c1[k] >= x3) as u8;
-            r4x[k] |= (c2[k] >= x3) as u8;
-        }
+    if simd_lanes() == 16 {
+        scan_x_lanes::<16>(xh, x3, c1, c2, r1x, r2, r3, r4x);
+    } else {
+        scan_x_lanes::<8>(xh, x3, c1, c2, r1x, r2, r3, r4x);
     }
     #[cfg(not(feature = "simd"))]
     for k in 0..c1.len() {
+        r1x[k] &= (c1[k] >= xh) as u8;
+        r2[k] &= (c2[k] >= xh) as u8;
+        r3[k] |= (c1[k] >= x3) as u8;
+        r4x[k] |= (c2[k] >= x3) as u8;
+    }
+}
+
+/// The `N_X`-side scan monomorphized at lane width `L`. Each block
+/// iteration is a straight-line batch of `L` independent compare/mask
+/// ops over fixed-size array views, mapping 1:1 onto vector registers
+/// on stable Rust; the remainder runs scalar.
+#[cfg(feature = "simd")]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scan_x_lanes<const L: usize>(
+    xh: u32,
+    x3: u32,
+    c1: &[u32],
+    c2: &[u32],
+    r1x: &mut [u8],
+    r2: &mut [u8],
+    r3: &mut [u8],
+    r4x: &mut [u8],
+) {
+    let mut k = 0;
+    while k + L <= c1.len() {
+        let c1v: &[u32; L] = c1[k..k + L].try_into().unwrap();
+        let c2v: &[u32; L] = c2[k..k + L].try_into().unwrap();
+        for l in 0..L {
+            r1x[k + l] &= (c1v[l] >= xh) as u8;
+            r2[k + l] &= (c2v[l] >= xh) as u8;
+            r3[k + l] |= (c1v[l] >= x3) as u8;
+            r4x[k + l] |= (c2v[l] >= x3) as u8;
+        }
+        k += L;
+    }
+    for k in k..c1.len() {
         r1x[k] &= (c1[k] >= xh) as u8;
         r2[k] &= (c2[k] >= xh) as u8;
         r3[k] |= (c1[k] >= x3) as u8;
@@ -498,31 +544,49 @@ fn scan_y_side(
     r4y: &mut [u8],
 ) {
     #[cfg(feature = "simd")]
-    {
-        const LANES: usize = 8;
-        let mut k = 0;
-        while k + LANES <= lo.len() {
-            let lov: &[u32; LANES] = lo[k..k + LANES].try_into().unwrap();
-            let c2v: &[u32; LANES] = c2[k..k + LANES].try_into().unwrap();
-            for l in 0..LANES {
-                let m = (lov[l] != 0) as u8;
-                r1y[k + l] &= (1 - m) | (lov[l] >= x4) as u8;
-                r2p[k + l] |= m & (c2v[l] >= x4) as u8;
-                r3p[k + l] &= (1 - m) | (lov[l] >= x3) as u8;
-                r4y[k + l] |= m & (c2v[l] >= x3) as u8;
-            }
-            k += LANES;
-        }
-        for k in k..lo.len() {
-            let m = (lo[k] != 0) as u8;
-            r1y[k] &= (1 - m) | (lo[k] >= x4) as u8;
-            r2p[k] |= m & (c2[k] >= x4) as u8;
-            r3p[k] &= (1 - m) | (lo[k] >= x3) as u8;
-            r4y[k] |= m & (c2[k] >= x3) as u8;
-        }
+    if simd_lanes() == 16 {
+        scan_y_lanes::<16>(x3, x4, lo, c2, r1y, r2p, r3p, r4y);
+    } else {
+        scan_y_lanes::<8>(x3, x4, lo, c2, r1y, r2p, r3p, r4y);
     }
     #[cfg(not(feature = "simd"))]
     for k in 0..lo.len() {
+        let m = (lo[k] != 0) as u8;
+        r1y[k] &= (1 - m) | (lo[k] >= x4) as u8;
+        r2p[k] |= m & (c2[k] >= x4) as u8;
+        r3p[k] &= (1 - m) | (lo[k] >= x3) as u8;
+        r4y[k] |= m & (c2[k] >= x3) as u8;
+    }
+}
+
+/// The masked `N_Y`-side scan monomorphized at lane width `L`.
+#[cfg(feature = "simd")]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scan_y_lanes<const L: usize>(
+    x3: u32,
+    x4: u32,
+    lo: &[u32],
+    c2: &[u32],
+    r1y: &mut [u8],
+    r2p: &mut [u8],
+    r3p: &mut [u8],
+    r4y: &mut [u8],
+) {
+    let mut k = 0;
+    while k + L <= lo.len() {
+        let lov: &[u32; L] = lo[k..k + L].try_into().unwrap();
+        let c2v: &[u32; L] = c2[k..k + L].try_into().unwrap();
+        for l in 0..L {
+            let m = (lov[l] != 0) as u8;
+            r1y[k + l] &= (1 - m) | (lov[l] >= x4) as u8;
+            r2p[k + l] |= m & (c2v[l] >= x4) as u8;
+            r3p[k + l] &= (1 - m) | (lov[l] >= x3) as u8;
+            r4y[k + l] |= m & (c2v[l] >= x3) as u8;
+        }
+        k += L;
+    }
+    for k in k..lo.len() {
         let m = (lo[k] != 0) as u8;
         r1y[k] &= (1 - m) | (lo[k] >= x4) as u8;
         r2p[k] |= m & (c2[k] >= x4) as u8;
@@ -552,7 +616,8 @@ impl SummaryArena {
     /// unit-stride pass of `u32` compares over a chunk of Y columns with
     /// `u8` 0/1 accumulators — no branches, gathers, or per-pair summary
     /// lookups — which the compiler auto-vectorizes; the `simd` cargo
-    /// feature swaps in an explicit fixed-width lane path.
+    /// feature swaps in an explicit fixed-width lane path (8 or 16
+    /// lanes, runtime-selected by `simd_lanes`).
     pub fn eval_row_batch(&self, x: usize, y0: usize, out: &mut [RelationSet]) {
         let m = out.len();
         assert!(

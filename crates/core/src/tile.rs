@@ -1,0 +1,345 @@
+//! Tile-parallel scheduling for all-pairs sweeps.
+//!
+//! The previous parallel engine handed out work through one shared
+//! `AtomicUsize` that every worker hit on every claim. On small claims
+//! that counter is the hot path: past two threads the cache line
+//! carrying it ping-pongs between cores and throughput *regresses*
+//! (measured in `BENCH_pairs.json` v2). The pair matrix does not need
+//! dynamic scheduling for the bulk of its area — every `(X, Y)` pair
+//! reads only immutable summary rows (the lattice-of-cuts evaluation
+//! is pair-independent), so any static partition is legal.
+//!
+//! [`TilePartition`] therefore splits an index space `[0, n)` into
+//!
+//! * one **static contiguous band per worker** covering ~7/8 of the
+//!   items — claimed at spawn time, touched by no atomics at all — and
+//! * a shared **steal tail** (the last ~1/8, in `grain`-sized chunks)
+//!   that workers drain through a single counter *after* finishing
+//!   their band, so skewed per-item costs (node-count skew in the
+//!   fused/counted modes) still balance without putting the counter on
+//!   the hot path.
+//!
+//! Workers write results straight into the caller's output buffer via
+//! [`RowSlabs`]: each item owns a fixed-size disjoint slab, so there is
+//! no per-worker `Vec` collection, no reassembly pass, and no false
+//! sharing on result writes (bands are contiguous, so two workers only
+//! ever share the one cache line at a band boundary).
+//!
+//! The same partition schedules 2-D tile sweeps: the detector blocks
+//! the Y dimension in [`DEFAULT_TILE`]-column tiles *inside* each
+//! worker's row band (see `Detector::all_pairs_parallel`), which keeps
+//! one tile of Y-side summary planes resident in L1/L2 while every X
+//! row of the band streams against it.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default tile width (Y columns per cache block, and the steal grain
+/// in rows). One tile of batched Y-side operands is
+/// `2 proxies × 3 segments × |P| × 64 × 4 B` ≈ 24 KiB at `|P| = 16` —
+/// comfortably L1/L2-resident while a whole row band streams over it.
+pub const DEFAULT_TILE: usize = 64;
+
+/// Fraction of items held back as the shared steal tail (1/8). The
+/// static bands cover the rest, so in the balanced case the one atomic
+/// counter is touched only `threads + tail/grain` times per sweep.
+const STEAL_TAIL_SHIFT: u32 = 3;
+
+/// A static-bands-plus-steal-tail partition of `[0, n)`.
+///
+/// Built once per sweep; [`TilePartition::run`] executes one worker per
+/// band on scoped threads. Every index is dispatched exactly once, as
+/// part of exactly one contiguous range, which is the invariant
+/// [`RowSlabs`] writers rely on.
+#[derive(Debug)]
+pub struct TilePartition {
+    /// Static per-worker bands, all disjoint, covering `[0, tail.start)`.
+    bands: Vec<Range<usize>>,
+    /// The shared stealable tail `[tail.start, n)`.
+    tail: Range<usize>,
+    /// Chunk size of tail claims (and the caller's tile height).
+    grain: usize,
+}
+
+impl TilePartition {
+    /// Partition `n` items across `threads` workers with steal chunks
+    /// of `grain` items. `threads` is clamped to `[1, n]` (one worker
+    /// still gets a partition over an empty space), `grain` to `≥ 1`.
+    pub fn new(n: usize, threads: usize, grain: usize) -> TilePartition {
+        let threads = threads.max(1).min(n.max(1));
+        let grain = grain.max(1);
+        if threads == 1 {
+            // Nothing to balance: one band, empty tail, no atomics.
+            return TilePartition {
+                bands: vec![0..n],
+                tail: n..n,
+                grain,
+            };
+        }
+        // Hold back ~1/8 of the items, rounded up to whole grains, as
+        // the shared tail; never more than the whole space.
+        let tail_len = (n >> STEAL_TAIL_SHIFT).div_ceil(grain) * grain;
+        let static_len = n - tail_len.min(n);
+        let mut bands = Vec::with_capacity(threads);
+        let (base, extra) = (static_len / threads, static_len % threads);
+        let mut start = 0;
+        for w in 0..threads {
+            let len = base + usize::from(w < extra);
+            bands.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, static_len);
+        TilePartition {
+            bands,
+            tail: static_len..n,
+            grain,
+        }
+    }
+
+    /// Number of workers (= static bands).
+    pub fn threads(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// The steal grain (tail chunk size).
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+
+    /// The shared steal tail (empty for single-worker partitions).
+    pub fn tail(&self) -> Range<usize> {
+        self.tail.clone()
+    }
+
+    /// Every contiguous range the partition will dispatch, in worker
+    /// order then tail order (for tests and introspection).
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        let mut out: Vec<Range<usize>> = self
+            .bands
+            .iter()
+            .filter(|b| !b.is_empty())
+            .cloned()
+            .collect();
+        let mut s = self.tail.start;
+        while s < self.tail.end {
+            let e = (s + self.grain).min(self.tail.end);
+            out.push(s..e);
+            s = e;
+        }
+        out
+    }
+
+    /// Run `work` over the whole space: worker `w` takes ownership of
+    /// `contexts[w]` (its meter fork, scratch buffers, …), processes
+    /// its static band, then drains tail chunks off the shared counter.
+    /// Contexts are returned for post-join absorption.
+    ///
+    /// With one worker everything runs inline on the caller's thread —
+    /// no spawn, no atomics — so small inputs pay nothing.
+    ///
+    /// `work` may be called multiple times per worker (band + stolen
+    /// chunks), each time with a range disjoint from every other call
+    /// across all workers, and with every index in `[0, n)` covered
+    /// exactly once per sweep.
+    pub fn run<C, F>(&self, contexts: Vec<C>, work: F) -> Vec<C>
+    where
+        C: Send,
+        F: Fn(&C, Range<usize>) + Sync,
+    {
+        assert_eq!(
+            contexts.len(),
+            self.threads(),
+            "one context per worker band"
+        );
+        if self.threads() == 1 {
+            if !self.bands[0].is_empty() {
+                work(&contexts[0], self.bands[0].clone());
+            }
+            return contexts;
+        }
+        let next = AtomicUsize::new(self.tail.start);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = contexts
+                .into_iter()
+                .zip(&self.bands)
+                .map(|(ctx, band)| {
+                    let (next, work, band) = (&next, &work, band.clone());
+                    scope.spawn(move || {
+                        if !band.is_empty() {
+                            work(&ctx, band);
+                        }
+                        loop {
+                            let s = next.fetch_add(self.grain, Ordering::Relaxed);
+                            if s >= self.tail.end {
+                                break;
+                            }
+                            work(&ctx, s..(s + self.grain).min(self.tail.end));
+                        }
+                        ctx
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tile worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Disjoint per-item output slabs over one flat buffer.
+///
+/// Item `i` owns `buf[i · per_item .. (i + 1) · per_item]`. A worker
+/// that has been dispatched item `i` by a [`TilePartition`] is its only
+/// writer, so handing out `&mut` slabs from a shared reference is
+/// sound; the unsafety is confined to [`RowSlabs::item_mut`] with the
+/// dispatch-disjointness invariant as its contract.
+pub struct RowSlabs<'a, T> {
+    ptr: *mut T,
+    per_item: usize,
+    items: usize,
+    _buf: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the slab pointer is only ever turned into disjoint `&mut [T]`
+// regions (one per item, each owned by one worker), so sharing the
+// handle across worker threads is equivalent to pre-splitting the
+// buffer with `split_at_mut`.
+unsafe impl<T: Send> Sync for RowSlabs<'_, T> {}
+
+impl<'a, T: Send> RowSlabs<'a, T> {
+    /// Wrap `buf` as `items` slabs of `per_item` elements each.
+    pub fn new(buf: &'a mut [T], per_item: usize) -> RowSlabs<'a, T> {
+        assert!(per_item > 0, "slabs must be non-empty");
+        assert_eq!(
+            buf.len() % per_item,
+            0,
+            "buffer is not a whole number of slabs"
+        );
+        RowSlabs {
+            ptr: buf.as_mut_ptr(),
+            per_item,
+            items: buf.len() / per_item,
+            _buf: PhantomData,
+        }
+    }
+
+    /// Number of slabs.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The mutable slab of item `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee `i` was dispatched to it exclusively
+    /// (a [`TilePartition`] range it alone received), so no other
+    /// live `&mut` slab for the same `i` exists.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn item_mut(&self, i: usize) -> &mut [T] {
+        assert!(i < self.items, "slab index {i} out of {}", self.items);
+        // SAFETY: bounds asserted above; disjointness from all other
+        // outstanding slabs is the caller's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.per_item), self.per_item) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    /// Every index dispatched exactly once, in disjoint contiguous
+    /// ranges, for many (n, threads, grain) shapes.
+    #[test]
+    fn partition_covers_exactly_once() {
+        for n in [0usize, 1, 2, 7, 63, 64, 65, 1000] {
+            for threads in [1usize, 2, 3, 8, 100] {
+                for grain in [1usize, 7, 64, 1000] {
+                    let part = TilePartition::new(n, threads, grain);
+                    assert!(part.threads() >= 1);
+                    assert!(part.threads() <= threads.max(1));
+                    let mut seen = vec![0u32; n];
+                    for r in part.ranges() {
+                        for i in r {
+                            seen[i] += 1;
+                        }
+                    }
+                    assert!(
+                        seen.iter().all(|&c| c == 1),
+                        "n={n} threads={threads} grain={grain}: {seen:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_has_no_tail() {
+        let part = TilePartition::new(100, 1, 8);
+        assert_eq!(part.threads(), 1);
+        assert!(part.tail().is_empty());
+        assert_eq!(part.ranges(), vec![0..100]);
+    }
+
+    #[test]
+    fn tail_is_grain_aligned_fraction() {
+        let part = TilePartition::new(1024, 8, 64);
+        let tail = part.tail();
+        assert_eq!(tail.len() % 64, 0);
+        assert!(tail.len() >= 1024 >> STEAL_TAIL_SHIFT);
+        assert!(tail.len() <= (1024 >> STEAL_TAIL_SHIFT) + 64);
+    }
+
+    /// `run` dispatches every index exactly once across real threads.
+    #[test]
+    fn run_covers_space_concurrently() {
+        for (n, threads, grain) in [(257, 4, 16), (64, 8, 64), (5, 8, 1), (0, 4, 8)] {
+            let part = TilePartition::new(n, threads, grain);
+            let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let contexts: Vec<usize> = (0..part.threads()).collect();
+            let back = part.run(contexts, |_, range| {
+                seen.lock().unwrap().extend(range);
+            });
+            assert_eq!(back.len(), part.threads(), "contexts returned");
+            let mut all = seen.into_inner().unwrap();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+        }
+    }
+
+    /// Contexts round-trip through the workers that owned them.
+    #[test]
+    fn run_returns_all_contexts() {
+        let part = TilePartition::new(100, 4, 8);
+        let back = part.run(vec![10usize, 20, 30, 40], |_, _| {});
+        let set: BTreeSet<usize> = back.into_iter().collect();
+        assert_eq!(set, BTreeSet::from([10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn slabs_give_disjoint_rows() {
+        let mut buf = vec![0u32; 12];
+        let slabs = RowSlabs::new(&mut buf, 3);
+        assert_eq!(slabs.items(), 4);
+        let part = TilePartition::new(4, 2, 1);
+        part.run(vec![(), ()], |_, range| {
+            for i in range {
+                // SAFETY: each item dispatched to exactly one worker.
+                let row = unsafe { slabs.item_mut(i) };
+                row.fill(i as u32 + 1);
+            }
+        });
+        assert_eq!(buf, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of slabs")]
+    fn slabs_reject_ragged_buffers() {
+        let mut buf = vec![0u8; 10];
+        let _ = RowSlabs::new(&mut buf, 3);
+    }
+}

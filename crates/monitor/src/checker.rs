@@ -9,14 +9,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use synchrel_core::{
     naive_relation, EvalMode, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary,
-    Relation, RelationSet, SummaryArena,
+    Relation, RelationSet, RowSlabs, SummaryArena, TilePartition,
 };
 
 use crate::spec::{Condition, Spec};
@@ -192,72 +191,59 @@ impl<'a> Checker<'a> {
     }
 
     /// Compute all bound events' proxy summaries now, on `threads`
-    /// workers pulling names off a shared atomic counter (the checker's
-    /// analogue of [`synchrel_core::Detector::warm_up`]). Summary cost
-    /// varies with each event's node count, so work-stealing keeps all
-    /// workers busy to the end.
+    /// workers (the checker's analogue of
+    /// [`synchrel_core::Detector::warm_up`]). Scheduling is the same
+    /// [`TilePartition`] the detector's sweeps use — static contiguous
+    /// name bands per worker plus a stealable tail, so skewed per-event
+    /// summary costs (node counts vary) still balance without a shared
+    /// counter on the hot path.
     pub fn warm_up(&self, threads: usize) {
         let names: Vec<&str> = self.bindings.keys().map(String::as_str).collect();
-        let threads = threads.max(1).min(names.len());
-        if threads <= 1 {
+        let part = TilePartition::new(names.len(), threads, 1);
+        if part.threads() == 1 {
             for name in names {
                 let _ = self.summary(name);
             }
             return;
         }
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(name) = names.get(i) else { break };
-                    let _ = self.summary(name);
-                });
+        let names = &names;
+        part.run(vec![(); part.threads()], |_, range| {
+            for i in range {
+                let _ = self.summary(names[i]);
             }
         });
     }
 
     /// Check a whole spec with summaries warmed up on `threads` workers
-    /// and the independent requirements evaluated concurrently.
+    /// and the independent requirements evaluated concurrently, on the
+    /// same [`TilePartition`] scheduler as the detector's parallel
+    /// sweeps. Each requirement's report is written into its own
+    /// [`RowSlabs`] slot, so reports come back in spec order with no
+    /// reassembly pass.
     pub fn check_parallel(&self, spec: &Spec, threads: usize) -> CheckReport {
         self.warm_up(threads);
-        let threads = threads.max(1).min(spec.requirements.len());
-        if threads <= 1 {
+        let part = TilePartition::new(spec.requirements.len(), threads, 1);
+        if part.threads() == 1 {
             return self.check(spec);
         }
         let mut conditions: Vec<Option<ConditionReport>> = vec![None; spec.requirements.len()];
-        let next = AtomicUsize::new(0);
-        let results: Vec<Vec<(usize, ConditionReport)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(r) = spec.requirements.get(i) else {
-                                break;
-                            };
-                            let (holds, detail) = self.eval(&r.condition);
-                            local.push((
-                                i,
-                                ConditionReport {
-                                    name: r.name.clone(),
-                                    holds,
-                                    detail,
-                                },
-                            ));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("checker worker"))
-                .collect()
-        });
-        for (i, rep) in results.into_iter().flatten() {
-            conditions[i] = Some(rep);
+        {
+            let slabs = RowSlabs::new(&mut conditions, 1);
+            let slabs = &slabs;
+            part.run(vec![(); part.threads()], |_, range| {
+                for i in range {
+                    let r = &spec.requirements[i];
+                    let (holds, detail) = self.eval(&r.condition);
+                    // SAFETY: the partition dispatches each requirement
+                    // index to exactly one worker.
+                    let slot = unsafe { slabs.item_mut(i) };
+                    slot[0] = Some(ConditionReport {
+                        name: r.name.clone(),
+                        holds,
+                        detail,
+                    });
+                }
+            });
         }
         CheckReport {
             spec: spec.name.clone(),

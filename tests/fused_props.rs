@@ -11,18 +11,23 @@
 //!   Theorem-20 table for every relation except R2'/R3 (the documented
 //!   discrepancy, where the sound bound is `|N_Y|` / `|N_X|`);
 //! * **detector modes** — `EvalMode::Fused` and `EvalMode::Batched`
-//!   (sequential and work-stealing parallel) report the same relation
-//!   sets as the default counted mode, byte-identical to each other
-//!   (verdicts and Theorem-20 comparison counts), on general workloads
-//!   and on adversarial operand shapes: single-process events, fully
-//!   overlapping `X`/`Y`, and `|N_X| ≠ |N_Y|`.
+//!   (sequential and tiled parallel) report the same relation sets as
+//!   the default counted mode, byte-identical to each other (verdicts
+//!   and Theorem-20 comparison counts), on general workloads and on
+//!   adversarial operand shapes: single-process events, fully
+//!   overlapping `X`/`Y`, and `|N_X| ≠ |N_Y|`;
+//! * **tiling** — the tile width is invisible in the output: every
+//!   mode × thread count {1, 2, 4, 8} × tile width {1, 7, default,
+//!   wider-than-input} combination is byte-identical to the sequential
+//!   default, meter snapshots included, down to empty, single-interval,
+//!   and giant-interval degenerate inputs.
 
 use proptest::prelude::*;
 
 use synchrel_core::{
     naive_proxy, sound_bound, theorem20_bound, CompareCounter, Detector, EvalMode, Evaluator,
     EventId, Execution, NonatomicEvent, NoopMeter, PairReport, ProcessId, ProxyDefinition,
-    ProxyRelation, Relation,
+    ProxyRelation, Relation, DEFAULT_TILE,
 };
 use synchrel_sim::fault::{random_scripts, FaultLog, FaultPlan};
 use synchrel_sim::intervals;
@@ -215,7 +220,7 @@ fn check_parallel_determinism(w: &Workload) -> Result<(), TestCaseError> {
                 mode,
                 threads
             );
-            // Re-running must be bit-identical: the work-stealing
+            // Re-running must be bit-identical: the steal-tail
             // schedule may differ between runs, the output must not.
             let again = d.all_pairs_parallel(threads);
             prop_assert_eq!(
@@ -225,6 +230,120 @@ fn check_parallel_determinism(w: &Workload) -> Result<(), TestCaseError> {
                 mode,
                 threads
             );
+        }
+    }
+    Ok(())
+}
+
+/// Tile width is a pure performance knob: for every evaluation mode,
+/// thread count in {1, 2, 4, 8}, and tile width — including the
+/// degenerate width 1, a prime width that never divides the input, the
+/// default, and one wider than the whole input — the tiled engine
+/// returns reports byte-identical to the default-width sequential
+/// scan, and the merged meter snapshot equals the sequential baseline.
+fn check_tiled_equivalence(w: &Workload) -> Result<(), TestCaseError> {
+    let tiles = [1usize, 7, DEFAULT_TILE, w.events.len() + 13];
+    for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
+        let reference = Detector::new(&w.exec, w.events.clone()).with_mode(mode);
+        let base = CompareCounter::new();
+        let ref_reports = reference.all_pairs_with(&base);
+        let ref_snap = base.snapshot(Relation::NAMES);
+        for tile in tiles {
+            let d = Detector::new(&w.exec, w.events.clone())
+                .with_mode(mode)
+                .with_tile(tile);
+            prop_assert_eq!(
+                &ref_reports,
+                &d.all_pairs(),
+                "mode {:?}, tile {}: sequential diverged",
+                mode,
+                tile
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let m = CompareCounter::new();
+                let par = d.all_pairs_parallel_with(threads, &m);
+                prop_assert_eq!(
+                    &ref_reports,
+                    &par,
+                    "mode {:?}, tile {}, {} threads diverged",
+                    mode,
+                    tile,
+                    threads
+                );
+                prop_assert_eq!(
+                    &ref_snap,
+                    &m.snapshot(Relation::NAMES),
+                    "mode {:?}, tile {}, {} threads: merged meter diverged",
+                    mode,
+                    tile,
+                    threads
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The tiled scheduler on degenerate inputs: an empty event set, a
+/// single interval (zero ordered pairs), and one giant interval
+/// spanning every process alongside minimal single-process intervals
+/// (maximally skewed row costs). Every mode × tile × thread-count
+/// combination must agree with the sequential counted reference.
+fn check_tiled_degenerate_shapes(exec: &Execution) -> Result<(), TestCaseError> {
+    let procs = exec.num_processes();
+    let take = |p: usize, n: u32| -> Vec<EventId> {
+        let avail = exec.app_len(ProcessId(p as u32)) as u32;
+        (0..n)
+            .map(|k| EventId::new(p as u32, 1 + k % avail.max(1)))
+            .collect()
+    };
+    let mk = |members: Vec<EventId>| NonatomicEvent::new(exec, members).expect("valid members");
+    let giant = mk((0..procs).flat_map(|p| take(p, 3)).collect());
+    let tiny = mk(take(0, 1));
+    let sets: [Vec<NonatomicEvent>; 3] = [
+        vec![],
+        vec![giant.clone()],
+        vec![giant.clone(), tiny.clone(), giant, tiny],
+    ];
+    for events in sets {
+        let reference = Detector::new(exec, events.clone());
+        let ref_reports = reference.all_pairs();
+        prop_assert_eq!(
+            ref_reports.len(),
+            events.len() * events.len().saturating_sub(1)
+        );
+        for mode in [EvalMode::Counted, EvalMode::Fused, EvalMode::Batched] {
+            for tile in [1usize, 7, DEFAULT_TILE, events.len() + 13] {
+                let d = Detector::new(exec, events.clone())
+                    .with_mode(mode)
+                    .with_tile(tile);
+                for rep in &d.all_pairs() {
+                    let r = ref_reports
+                        .iter()
+                        .find(|q| q.x == rep.x && q.y == rep.y)
+                        .expect("pair present in reference");
+                    prop_assert_eq!(
+                        r.relations,
+                        rep.relations,
+                        "mode {:?}, tile {}: pair ({}, {})",
+                        mode,
+                        tile,
+                        rep.x,
+                        rep.y
+                    );
+                }
+                for threads in [1usize, 2, 4, 8] {
+                    prop_assert_eq!(
+                        &d.all_pairs(),
+                        &d.all_pairs_parallel(threads),
+                        "mode {:?}, tile {}, {} threads on {} events",
+                        mode,
+                        tile,
+                        threads,
+                        events.len()
+                    );
+                }
+            }
         }
     }
     Ok(())
@@ -351,6 +470,26 @@ proptest! {
         let w = gen_workload(seed, processes, events_per_process);
         check_meter_merge_determinism(&w)?;
     }
+
+    #[test]
+    fn tiled_engine_equivalent_at_every_width(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_tiled_equivalence(&w)?;
+    }
+
+    #[test]
+    fn tiled_engine_survives_degenerate_shapes(
+        seed in 0u64..10_000,
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_tiled_degenerate_shapes(&w.exec)?;
+    }
 }
 
 /// One deterministic run so plain `cargo test` exercises the property
@@ -363,4 +502,6 @@ fn fixed_seed_smoke() {
     check_meter_merge_determinism(&w).unwrap();
     check_batched_shapes(&w.exec).unwrap();
     check_metering_transparent(0xC0FFEE).unwrap();
+    check_tiled_equivalence(&w).unwrap();
+    check_tiled_degenerate_shapes(&w.exec).unwrap();
 }

@@ -53,9 +53,14 @@ fn problem4_runs() {
 
 #[test]
 fn pairs_throughput_runs() {
-    let s = experiments::pairs::run_to(1, None);
+    // 64 intervals = 4032 pairs: big enough to exercise the scaling
+    // section honestly, small enough for a debug-build smoke test.
+    let s = experiments::pairs::run_to(1, None, 64);
     assert!(s.contains("seq fused p/s"), "{s}");
     assert!(s.contains("ring"), "{s}");
+    assert!(s.contains("thread sweep skipped for ring"), "{s}");
+    assert!(s.contains("scaling: seeded-scaling"), "{s}");
+    assert!(s.contains("speedup ×8/×1"), "{s}");
 }
 
 #[test]
