@@ -12,7 +12,7 @@ use synchrel_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|meter|scaling|profiles|setup]"
+        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|incr|meter|scaling|profiles|setup]"
     );
     std::process::exit(2);
 }
@@ -32,6 +32,7 @@ fn main() {
         "problem4" => experiments::problem4::run(0xC0FFEE),
         "pairs" => experiments::pairs::run(0xC0FFEE),
         "batch" => experiments::batch::run(0xC0FFEE),
+        "incr" => experiments::incr::run(0xC0FFEE),
         "meter" => experiments::meter::run(0xC0FFEE),
         "scaling" => experiments::scaling::run(0xC0FFEE),
         "profiles" => experiments::profiles::run(0xC0FFEE, 150),

@@ -10,6 +10,7 @@
 //! | [`problem4`] | Problem 4 — one/all relation detection over `𝒜` |
 //! | [`pairs`] | all-pairs throughput: counted vs fused vs parallel-fused |
 //! | [`batch`] | batched SoA kernel vs fused + O(active) monitor streaming |
+//! | [`incr`] | incremental detection vs re-run-per-event on a churn stream |
 //! | [`meter`] | observability overhead: no-op vs counting meter |
 //! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
@@ -17,6 +18,7 @@
 
 pub mod batch;
 pub mod figures;
+pub mod incr;
 pub mod meter;
 pub mod pairs;
 pub mod problem4;
@@ -87,6 +89,7 @@ pub fn run_all() -> String {
         ("E-P4: Problem 4", problem4::run(0xC0FFEE)),
         ("E-Pairs: all-pairs throughput", pairs::run(0xC0FFEE)),
         ("E-Batch: batched SoA kernel", batch::run(0xC0FFEE)),
+        ("E-Incr: incremental detection", incr::run(0xC0FFEE)),
         ("E-Meter: metering overhead", meter::run(0xC0FFEE)),
         ("E-Scaling: linear vs quadratic", scaling::run(0xC0FFEE)),
         (

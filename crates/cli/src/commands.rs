@@ -37,17 +37,20 @@ commands:
   render <trace.json>    ASCII space-time diagram
   query <trace.json> <X> <Y> [REL]
                          evaluate one or all Table-1 relations
-  analyze <trace.json> [--threads N] [--mode fused|exact|batched]
+  analyze <trace.json> [--threads N] [--mode fused|exact|batched|incremental]
       [--tile W] [--metrics metrics.prom|metrics.json]
                          strongest relation for every event pair
                          (fused kernel by default; exact mode reports
                          the per-relation Theorem-20 comparison counts;
                          batched sweeps the shared SoA summary arena;
-                         --tile sets the cache-block width of tiled
-                         sweeps, default 64 — results are identical
-                         for every width; --metrics writes Prometheus
-                         text or JSON by file extension)
-  check <trace.json> <spec.json> [--threads N] [--mode exact|fused|batched]
+                         incremental replays the event stream through
+                         the stateful O(delta) detector; --tile sets
+                         the cache-block width of tiled sweeps,
+                         default 64 — results are identical for every
+                         width; --metrics writes Prometheus text or
+                         JSON by file extension)
+  check <trace.json> <spec.json> [--threads N]
+      [--mode exact|fused|batched|incremental]
       [--trace spans.jsonl]
                          check a synchronization spec (exit 1 on
                          violation); --trace writes stage spans as JSONL
@@ -335,6 +338,7 @@ fn parse_mode(s: &str) -> Result<EvalMode, AnyError> {
         "fused" => Ok(EvalMode::Fused),
         "exact" => Ok(EvalMode::Counted),
         "batched" => Ok(EvalMode::Batched),
+        "incremental" => Ok(EvalMode::Incremental),
         other => Err(Box::new(ArgError::Unknown(format!("mode '{other}'")))),
     }
 }

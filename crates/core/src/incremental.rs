@@ -1,0 +1,1083 @@
+//! Incremental Problem-4 detection with implication-lattice pruning.
+//!
+//! The batch detector answers Problem 4 by re-running an all-pairs
+//! sweep; every new event costs O(pairs). [`IncrementalDetector`]
+//! instead maintains per-pair verdict state and, on each arriving
+//! event, re-evaluates only the pairs the event can still move:
+//!
+//! * **Interval state** — per interval only the per-node extremes
+//!   (`lo`/`hi`) plus a closed flag are kept. Per-node proxies
+//!   (Definition 2) are functions of the extremes alone, so the
+//!   [`ProxySummary`] of the *arrived prefix* of an interval can be
+//!   rebuilt lazily from at most `2·|P|` events.
+//! * **Pair state** — per ordered pair and proxy combination `(X̂, Ŷ)`
+//!   a byte of live verdict bits plus a *settled* mask: bits whose
+//!   verdict provably can never change again, whatever arrives later.
+//!   A fully settled pair leaves the partner lists (the inverted index
+//!   from interval to open pairs) and is never touched again.
+//! * **Touch set** — an arrival at interval `Z` re-scans, for each
+//!   still-open partner pair, only the proxy combinations whose `Z`
+//!   operand actually changed: a new node moves both `L_Z` and `U_Z`,
+//!   a later event on a known node moves only `U_Z`, a duplicate moves
+//!   nothing. Each re-scan is one fused-kernel combo pass with the
+//!   exact comparison cost of [`Evaluator::eval_all_proxy_fused`].
+//!
+//! # Settle rules
+//!
+//! Under per-process monotone arrival (positions never decrease on a
+//! process — the order every execution linearization satisfies), the
+//! proxies evolve in a disciplined way:
+//!
+//! * `L_Z` grows **only by new nodes**; a member on a known node is
+//!   never displaced (the first arrival on a node is its `lo`).
+//! * `U_Z` members are displaced only by **later events on the same
+//!   node**, so a displaced `a` always satisfies `a ≺ a'`.
+//!
+//! Two transfer lemmas follow for the atom `a ≺ b`: a *negative*
+//! witness `¬(a ≺ b)` survives displacement of `a` (if `a' ≺ b` then
+//! `a ≺ a' ≺ b`, contradiction), and a *positive* witness `a ≺ b`
+//! survives displacement of `b`. With `xc`/`yc` = closed flags,
+//! `xnc`/`ync` = "no new nodes can appear" (closed, or every declared
+//! node has arrived), `xfix = X̂=L ? xnc : xc` ("the X̂ proxy is
+//! frozen"), `yfix` dually, this yields per Table-1 bit:
+//!
+//! | bit      | settles TRUE when           | settles FALSE when        |
+//! |----------|-----------------------------|---------------------------|
+//! | R1, R1'  | `now ∧ xfix ∧ yfix`         | `¬now ∧ (Ŷ=L ∨ yc)`       |
+//! | R2, R2'  | `now ∧ xfix`                | `¬now ∧ yfix`             |
+//! | R3, R3'  | `now ∧ (X̂=L ∨ xc) ∧ yfix`   | `¬now ∧ xnc ∧ (Ŷ=L ∨ yc)` |
+//! | R4, R4'  | `now ∧ (X̂=L ∨ xc)`          | `¬now ∧ xnc ∧ yfix`       |
+//!
+//! Soundness sketches: R2 true with `xfix` settles because each `a`'s
+//! witness `b` survives (positive y-transfer) and no new `a` can
+//! appear; R2 false settles on `yfix` alone because the falsifying `a`
+//! transfers its negative witnesses to any displacing `a'`; R4 true
+//! with `X̂=L` settles because an `L` member is never displaced and its
+//! witness survives y-displacement; and so on. Every rule is verified
+//! empirically by the prefix-differential tests below and by the
+//! harness in `synchrel-monitor::differential`.
+//!
+//! # Lattice pruning
+//!
+//! [`crate::hierarchy`] is applied in both directions inside each
+//! combo (the implications hold for any fixed pair of non-empty
+//! events): a bit settling **true** marks every implied bit settled
+//! true without evaluation; a bit settling **false** kills every
+//! dominator (`b ⟹ r` and `r` false forever means `b` false forever).
+//! Propagation composes with the direct rules — whichever fires first
+//! retires the bit, and a combo with all eight bits settled is dropped
+//! from future scans entirely.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::execution::{EventId, Execution};
+use crate::hierarchy;
+use crate::linear::{Evaluator, EventSummary};
+use crate::nonatomic::NonatomicEvent;
+use crate::proxy_relations::{Proxy, ProxySummary, RelationSet};
+use crate::relations::Relation;
+
+/// Implication masks in `Relation::ALL` bit order.
+struct Masks {
+    /// `true_mask[r]`: bits implied by `r` (settle true with it).
+    true_mask: [u8; 8],
+    /// `false_mask[r]`: bits that imply `r` (settle false with it).
+    false_mask: [u8; 8],
+}
+
+fn masks() -> &'static Masks {
+    static MASKS: OnceLock<Masks> = OnceLock::new();
+    MASKS.get_or_init(|| {
+        let mut m = Masks {
+            true_mask: [0; 8],
+            false_mask: [0; 8],
+        };
+        for (ai, a) in Relation::ALL.into_iter().enumerate() {
+            for (bi, b) in Relation::ALL.into_iter().enumerate() {
+                if hierarchy::implies(a, b) {
+                    m.true_mask[ai] |= 1 << bi;
+                    m.false_mask[bi] |= 1 << ai;
+                }
+            }
+        }
+        m
+    })
+}
+
+/// The proxies of combo `c` in [`crate::proxy_relations::ProxyRelation::index`]
+/// order: `c = xp·2 + yp`.
+fn combo_proxies(combo: usize) -> (Proxy, Proxy) {
+    let xp = if combo / 2 == 0 { Proxy::L } else { Proxy::U };
+    let yp = if combo % 2 == 0 { Proxy::L } else { Proxy::U };
+    (xp, yp)
+}
+
+/// One fused-kernel combo pass (the exact predicate code and
+/// comparison accounting of [`Evaluator::eval_all_proxy_fused`],
+/// restricted to a single proxy combination). Returns the eight
+/// Table-1 verdict bits and the comparisons spent.
+fn scan_combo(ex: &EventSummary, ey: &EventSummary) -> (u8, u64) {
+    let nx = ex.node_set();
+    let ny = ey.node_set();
+    let x_min = nx.len() <= ny.len();
+
+    let (ex_hi, ex_c3, ex_c4) = (ex.hi_row(), ex.c3_row(), ex.c4_row());
+    let (ey_lo, ey_c1, ey_c2) = (ey.lo_row(), ey.c1_row(), ey.c2_row());
+
+    let mut r1 = true;
+    let mut r2 = true;
+    let mut r2p = false;
+    let mut r3 = false;
+    let mut r3p = true;
+    let mut r4 = false;
+    let mut comparisons = 0u64;
+
+    if x_min {
+        for &i in nx {
+            r1 &= ey_c1[i] >= ex_hi[i];
+            r2 &= ey_c2[i] >= ex_hi[i];
+            r3 |= ey_c1[i] >= ex_c3[i];
+            r4 |= ey_c2[i] >= ex_c3[i];
+        }
+        comparisons += 4 * nx.len() as u64;
+        for &j in ny {
+            r2p |= ey_c2[j] >= ex_c4[j];
+            r3p &= ey_lo[j] >= ex_c3[j];
+        }
+        comparisons += 2 * ny.len() as u64;
+    } else {
+        for &i in nx {
+            r2 &= ey_c2[i] >= ex_hi[i];
+            r3 |= ey_c1[i] >= ex_c3[i];
+        }
+        comparisons += 2 * nx.len() as u64;
+        for &j in ny {
+            r1 &= ey_lo[j] >= ex_c4[j];
+            r2p |= ey_c2[j] >= ex_c4[j];
+            r3p &= ey_lo[j] >= ex_c3[j];
+            r4 |= ey_c2[j] >= ex_c3[j];
+        }
+        comparisons += 4 * ny.len() as u64;
+    }
+
+    let bits = (r1 as u8)
+        | (r1 as u8) << 1
+        | (r2 as u8) << 2
+        | (r2p as u8) << 3
+        | (r3 as u8) << 4
+        | (r3p as u8) << 5
+        | (r4 as u8) << 6
+        | (r4 as u8) << 7;
+    (bits, comparisons)
+}
+
+/// Settlement-relevant facts about one interval.
+#[derive(Clone, Copy)]
+struct Flags {
+    /// Closed: no arrival will ever touch it again.
+    c: bool,
+    /// Node-complete: no *new node* can appear (closed, or every
+    /// declared node has arrived — `L` is frozen from here on).
+    nc: bool,
+}
+
+/// Verdict state of one ordered pair: 4 combos × 8 bits, in
+/// [`RelationSet`] bit layout.
+#[derive(Clone, Copy, Default)]
+struct DirState {
+    /// Live verdict of every bit for the arrived prefix.
+    current: u32,
+    /// Bits whose verdict can never change again.
+    settled: u32,
+    /// Comparisons charged to this direction.
+    comparisons: u64,
+}
+
+impl DirState {
+    fn combo_open(&self, combo: usize) -> bool {
+        (self.settled >> (combo * 8)) as u8 != 0xff
+    }
+}
+
+/// State of one unordered interval pair `{x, y}` with `x < y`.
+struct PairState {
+    /// Direction `(x as X, y as Y)`.
+    fwd: DirState,
+    /// Direction `(y as X, x as Y)`.
+    rev: DirState,
+}
+
+impl PairState {
+    fn fully_settled(&self) -> bool {
+        self.fwd.settled == u32::MAX && self.rev.settled == u32::MAX
+    }
+}
+
+struct IntervalState {
+    /// Per-process first arrived position (0 = no member yet).
+    lo: Vec<u32>,
+    /// Per-process last arrived position (0 = no member yet).
+    hi: Vec<u32>,
+    /// Declared node membership, when known up front.
+    declared: Option<Vec<bool>>,
+    declared_count: usize,
+    nodes_seen: usize,
+    closed: bool,
+    /// Lazily rebuilt proxy summaries of the arrived prefix.
+    summary: Option<Arc<ProxySummary>>,
+    /// Inverted index entry: intervals this one still shares an
+    /// unsettled pair with.
+    partners: Vec<u32>,
+}
+
+impl IntervalState {
+    fn is_empty(&self) -> bool {
+        self.nodes_seen == 0
+    }
+
+    fn flags(&self) -> Flags {
+        let nc = self.closed
+            || (self.declared.is_some() && self.nodes_seen == self.declared_count);
+        Flags { c: self.closed, nc }
+    }
+}
+
+/// Apply the settle rules plus lattice propagation to one combo of one
+/// direction. Costs zero comparisons — it only inspects already-live
+/// verdict bits and the interval flags.
+fn settle_combo(dir: &mut DirState, combo: usize, fx: Flags, fy: Flags) {
+    let s = combo * 8;
+    let open = !((dir.settled >> s) as u8);
+    if open == 0 {
+        return;
+    }
+    let bits = (dir.current >> s) as u8;
+    let xp_u = combo >= 2;
+    let yp_u = combo % 2 == 1;
+    let xfix = if xp_u { fx.c } else { fx.nc };
+    let yfix = if yp_u { fy.c } else { fy.nc };
+    let x_lc = !xp_u || fx.c;
+    let y_lc = !yp_u || fy.c;
+
+    let mut rule = 0u8;
+    for r in 0..8 {
+        if open & (1 << r) == 0 {
+            continue;
+        }
+        let now = bits & (1 << r) != 0;
+        let done = match r {
+            0 | 1 => {
+                if now {
+                    xfix && yfix
+                } else {
+                    y_lc
+                }
+            }
+            2 | 3 => {
+                if now {
+                    xfix
+                } else {
+                    yfix
+                }
+            }
+            4 | 5 => {
+                if now {
+                    x_lc && yfix
+                } else {
+                    fx.nc && y_lc
+                }
+            }
+            _ => {
+                if now {
+                    x_lc
+                } else {
+                    fx.nc && yfix
+                }
+            }
+        };
+        if done {
+            rule |= 1 << r;
+        }
+    }
+    if rule == 0 {
+        return;
+    }
+
+    // Lattice propagation (hierarchy::IMPLIES, both directions): a bit
+    // settled true settles everything it implies; a bit settled false
+    // kills every dominator. The propagated bits freeze at their live
+    // value, which the implication guarantees agrees.
+    let m = masks();
+    let mut settled_now = rule;
+    for r in 0..8 {
+        if rule & (1 << r) == 0 {
+            continue;
+        }
+        if bits & (1 << r) != 0 {
+            debug_assert_eq!(
+                m.true_mask[r] & !bits,
+                0,
+                "implied bit live-false while implier true"
+            );
+            settled_now |= m.true_mask[r];
+        } else {
+            debug_assert_eq!(
+                m.false_mask[r] & bits,
+                0,
+                "dominator live-true while dominated false"
+            );
+            settled_now |= m.false_mask[r];
+        }
+    }
+    dir.settled |= (settled_now as u32) << s;
+}
+
+/// Re-scan one open combo of one direction and settle what it can.
+/// Returns the comparisons spent (0 when the combo was already fully
+/// settled).
+fn rescan_combo(
+    dir: &mut DirState,
+    combo: usize,
+    sx: &ProxySummary,
+    sy: &ProxySummary,
+    fx: Flags,
+    fy: Flags,
+) -> u64 {
+    if !dir.combo_open(combo) {
+        return 0;
+    }
+    let (xp, yp) = combo_proxies(combo);
+    let (bits, cost) = scan_combo(sx.get(xp), sy.get(yp));
+    let s = combo * 8;
+    debug_assert_eq!(
+        (u32::from(bits) << s ^ dir.current) & dir.settled & (0xffu32 << s),
+        0,
+        "settled verdict changed under it"
+    );
+    dir.current = (dir.current & !(0xffu32 << s)) | (u32::from(bits) << s);
+    dir.comparisons += cost;
+    settle_combo(dir, combo, fx, fy);
+    cost
+}
+
+/// Stateful all-pairs Problem-4 detector: O(delta) maintenance of the
+/// 32-relation verdicts under a stream of arriving events.
+///
+/// Intervals are registered with [`IncrementalDetector::add_interval`]
+/// (or [`add_interval_declared`](IncrementalDetector::add_interval_declared)
+/// when the node set is known up front, which lets `L`-proxy verdicts
+/// settle before the interval closes), fed with
+/// [`arrive`](IncrementalDetector::arrive) in any order that keeps
+/// per-process positions non-decreasing, and retired with
+/// [`close`](IncrementalDetector::close). At any point
+/// [`relations`](IncrementalDetector::relations) reports the verdict of
+/// the arrived prefix — byte-identical to running
+/// [`Evaluator::eval_all_proxy_fused`] on the prefix-restricted
+/// intervals.
+pub struct IncrementalDetector<'a> {
+    exec: &'a Execution,
+    eval: Evaluator<'a>,
+    intervals: Vec<IntervalState>,
+    pairs: Vec<PairState>,
+    pair_index: HashMap<(u32, u32), u32>,
+    /// Per-process monotone-arrival guard.
+    last_pos: Vec<u32>,
+    combo_scans: u64,
+    comparisons: u64,
+    open_pairs: usize,
+}
+
+impl<'a> IncrementalDetector<'a> {
+    /// An empty detector over `exec`.
+    pub fn new(exec: &'a Execution) -> Self {
+        IncrementalDetector {
+            exec,
+            eval: Evaluator::new(exec),
+            intervals: Vec::new(),
+            pairs: Vec::new(),
+            pair_index: HashMap::new(),
+            last_pos: vec![0; exec.num_processes()],
+            combo_scans: 0,
+            comparisons: 0,
+            open_pairs: 0,
+        }
+    }
+
+    /// Register an interval with an unknown node set. `L`-proxy
+    /// verdicts can only settle once it closes.
+    pub fn add_interval(&mut self) -> usize {
+        self.push_interval(None)
+    }
+
+    /// Register an interval whose node set is declared up front: once
+    /// every declared node has arrived the interval is *node-complete*
+    /// and its `L` proxy is frozen, letting `(L, ·)`-combo verdicts
+    /// settle long before the interval closes.
+    pub fn add_interval_declared(&mut self, nodes: &[usize]) -> usize {
+        let n = self.exec.num_processes();
+        let mut d = vec![false; n];
+        for &p in nodes {
+            assert!(p < n, "declared node {p} out of range");
+            d[p] = true;
+        }
+        assert!(d.iter().any(|&b| b), "declared node set must be non-empty");
+        self.push_interval(Some(d))
+    }
+
+    fn push_interval(&mut self, declared: Option<Vec<bool>>) -> usize {
+        let n = self.exec.num_processes();
+        let declared_count = declared
+            .as_ref()
+            .map(|d| d.iter().filter(|&&b| b).count())
+            .unwrap_or(0);
+        self.intervals.push(IntervalState {
+            lo: vec![0; n],
+            hi: vec![0; n],
+            declared,
+            declared_count,
+            nodes_seen: 0,
+            closed: false,
+            summary: None,
+            partners: Vec::new(),
+        });
+        self.intervals.len() - 1
+    }
+
+    /// Number of registered intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Has interval `i` received any member yet?
+    pub fn interval_is_empty(&self, i: usize) -> bool {
+        self.intervals[i].is_empty()
+    }
+
+    /// Number of distinct nodes seen by interval `i` so far.
+    pub fn interval_node_count(&self, i: usize) -> usize {
+        self.intervals[i].nodes_seen
+    }
+
+    /// Total comparisons spent across all combo re-scans.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Total fused combo passes executed (the O(delta) metric: a batch
+    /// re-run per event would execute `8 · pairs` of these each time).
+    pub fn combo_scans(&self) -> u64 {
+        self.combo_scans
+    }
+
+    /// Pairs with at least one unsettled verdict bit.
+    pub fn open_pairs(&self) -> usize {
+        self.open_pairs
+    }
+
+    /// Deliver an application event to interval `interval`.
+    ///
+    /// Arrivals must keep per-process positions non-decreasing across
+    /// the whole stream (any execution linearization does). Duplicate
+    /// deliveries are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// On out-of-order arrival, a dummy event, a closed or unknown
+    /// interval, or (for declared intervals) an undeclared node.
+    pub fn arrive(&mut self, interval: usize, e: EventId) {
+        let p = e.process.idx();
+        let pos = e.index;
+        assert!(p < self.last_pos.len(), "process {p} out of range");
+        assert!(
+            pos >= 1 && pos <= self.exec.app_len(e.process),
+            "arrivals must be application events"
+        );
+        assert!(
+            pos >= self.last_pos[p],
+            "per-process arrival positions must be non-decreasing"
+        );
+        self.last_pos[p] = pos;
+
+        let st = &mut self.intervals[interval];
+        assert!(!st.closed, "arrival on closed interval {interval}");
+        let new_node = st.lo[p] == 0;
+        if new_node {
+            if let Some(d) = st.declared.as_ref() {
+                assert!(d[p], "arrival on undeclared node {p}");
+            }
+        } else if pos == st.hi[p] {
+            return; // duplicate delivery
+        }
+        let was_empty = st.is_empty();
+        if new_node {
+            st.lo[p] = pos;
+            st.nodes_seen += 1;
+        }
+        st.hi[p] = pos;
+        st.summary = None;
+
+        if was_empty {
+            self.link_new(interval);
+        } else {
+            // A new node moves both proxies; a later event on a known
+            // node moves only U.
+            self.touch(interval, new_node, true);
+        }
+    }
+
+    /// Close interval `interval`: no further arrivals. Settlement is
+    /// refreshed on every open partner pair at zero comparison cost
+    /// (closing changes flags, not verdicts). Idempotent.
+    pub fn close(&mut self, interval: usize) {
+        if self.intervals[interval].closed {
+            return;
+        }
+        self.intervals[interval].closed = true;
+        if self.intervals[interval].is_empty() {
+            return;
+        }
+        let partners = self.intervals[interval].partners.clone();
+        let fi = self.intervals[interval].flags();
+        let mut unlink = Vec::new();
+        for &j in &partners {
+            let j = j as usize;
+            let fj = self.intervals[j].flags();
+            let (a, b) = ordered(interval, j);
+            let (fa, fb) = if a == interval { (fi, fj) } else { (fj, fi) };
+            let idx = self.pair_index[&(a as u32, b as u32)] as usize;
+            let pair = &mut self.pairs[idx];
+            for combo in 0..4 {
+                settle_combo(&mut pair.fwd, combo, fa, fb);
+                settle_combo(&mut pair.rev, combo, fb, fa);
+            }
+            if pair.fully_settled() {
+                unlink.push(j);
+            }
+        }
+        for j in unlink {
+            self.unlink(interval, j);
+        }
+    }
+
+    /// The 32-relation verdict of ordered pair `(x, y)` for the
+    /// arrived prefixes, or `None` when `x == y` or either interval is
+    /// still empty.
+    pub fn relations(&self, x: usize, y: usize) -> Option<RelationSet> {
+        self.dir(x, y).map(|d| RelationSet(d.current))
+    }
+
+    /// Comparisons charged to ordered pair `(x, y)` so far.
+    pub fn pair_comparisons(&self, x: usize, y: usize) -> u64 {
+        self.dir(x, y).map_or(0, |d| d.comparisons)
+    }
+
+    /// Settled-bit mask of ordered pair `(x, y)` ([`RelationSet`] bit
+    /// layout; `0` while unlinked).
+    pub fn settled_mask(&self, x: usize, y: usize) -> u32 {
+        self.dir(x, y).map_or(0, |d| d.settled)
+    }
+
+    /// Is every bit of both directions of `{x, y}` settled?
+    pub fn pair_settled(&self, x: usize, y: usize) -> bool {
+        let (a, b) = ordered(x, y);
+        self.pair_index
+            .get(&(a as u32, b as u32))
+            .is_some_and(|&i| self.pairs[i as usize].fully_settled())
+    }
+
+    fn dir(&self, x: usize, y: usize) -> Option<&DirState> {
+        if x == y {
+            return None;
+        }
+        let (a, b) = ordered(x, y);
+        let idx = *self.pair_index.get(&(a as u32, b as u32))?;
+        let pair = &self.pairs[idx as usize];
+        Some(if x == a { &pair.fwd } else { &pair.rev })
+    }
+
+    /// Proxy summaries of the arrived prefix of interval `i`, rebuilt
+    /// from the per-node extremes when stale.
+    fn summary_of(&mut self, i: usize) -> Arc<ProxySummary> {
+        if let Some(s) = &self.intervals[i].summary {
+            return s.clone();
+        }
+        let st = &self.intervals[i];
+        debug_assert!(!st.is_empty());
+        let mut members = Vec::with_capacity(2 * st.nodes_seen);
+        for p in 0..st.lo.len() {
+            if st.lo[p] != 0 {
+                members.push(EventId::new(p as u32, st.lo[p]));
+                if st.hi[p] != st.lo[p] {
+                    members.push(EventId::new(p as u32, st.hi[p]));
+                }
+            }
+        }
+        let ev = NonatomicEvent::new(self.exec, members).expect("extremes are valid app events");
+        let s = Arc::new(self.eval.summarize_proxies(&ev));
+        self.intervals[i].summary = Some(s.clone());
+        s
+    }
+
+    /// First arrival: pair `i` with every other non-empty interval,
+    /// scanning all four combos of both directions once.
+    fn link_new(&mut self, i: usize) {
+        let others: Vec<usize> = (0..self.intervals.len())
+            .filter(|&j| j != i && !self.intervals[j].is_empty())
+            .collect();
+        let si = self.summary_of(i);
+        let fi = self.intervals[i].flags();
+        for j in others {
+            let sj = self.summary_of(j);
+            let fj = self.intervals[j].flags();
+            let (a, b) = ordered(i, j);
+            let ((sa, fa), (sb, fb)) = if a == i {
+                ((&si, fi), (&sj, fj))
+            } else {
+                ((&sj, fj), (&si, fi))
+            };
+            let mut pair = PairState {
+                fwd: DirState::default(),
+                rev: DirState::default(),
+            };
+            let mut cost = 0;
+            for combo in 0..4 {
+                cost += rescan_combo(&mut pair.fwd, combo, sa, sb, fa, fb);
+                cost += rescan_combo(&mut pair.rev, combo, sb, sa, fb, fa);
+            }
+            self.combo_scans += 8;
+            self.comparisons += cost;
+            let open = !pair.fully_settled();
+            let idx = self.pairs.len() as u32;
+            self.pairs.push(pair);
+            self.pair_index.insert((a as u32, b as u32), idx);
+            if open {
+                self.open_pairs += 1;
+                self.intervals[i].partners.push(j as u32);
+                self.intervals[j].partners.push(i as u32);
+            }
+        }
+    }
+
+    /// Subsequent arrival at `i`: re-scan, for each open partner pair,
+    /// only the combos whose `i`-side proxy changed.
+    fn touch(&mut self, i: usize, l_changed: bool, u_changed: bool) {
+        if !l_changed && !u_changed {
+            return;
+        }
+        let partners = self.intervals[i].partners.clone();
+        if partners.is_empty() {
+            return;
+        }
+        let si = self.summary_of(i);
+        let fi = self.intervals[i].flags();
+        let mut unlink = Vec::new();
+        for &j in &partners {
+            let j = j as usize;
+            let sj = self.summary_of(j);
+            let fj = self.intervals[j].flags();
+            let (a, b) = ordered(i, j);
+            let ((sa, fa), (sb, fb)) = if a == i {
+                ((&si, fi), (&sj, fj))
+            } else {
+                ((&sj, fj), (&si, fi))
+            };
+            let idx = self.pair_index[&(a as u32, b as u32)] as usize;
+            let pair = &mut self.pairs[idx];
+            let mut cost = 0;
+            let mut scans = 0;
+            for combo in 0..4 {
+                let (xp, yp) = combo_proxies(combo);
+                // In fwd, `i` is the X operand iff a == i.
+                let i_moves_fwd = if a == i {
+                    proxy_moved(xp, l_changed, u_changed)
+                } else {
+                    proxy_moved(yp, l_changed, u_changed)
+                };
+                let i_moves_rev = if a == i {
+                    proxy_moved(yp, l_changed, u_changed)
+                } else {
+                    proxy_moved(xp, l_changed, u_changed)
+                };
+                if i_moves_fwd && pair.fwd.combo_open(combo) {
+                    cost += rescan_combo(&mut pair.fwd, combo, sa, sb, fa, fb);
+                    scans += 1;
+                }
+                if i_moves_rev && pair.rev.combo_open(combo) {
+                    cost += rescan_combo(&mut pair.rev, combo, sb, sa, fb, fa);
+                    scans += 1;
+                }
+            }
+            self.combo_scans += scans;
+            self.comparisons += cost;
+            if pair.fully_settled() {
+                unlink.push(j);
+            }
+        }
+        for j in unlink {
+            self.unlink(i, j);
+        }
+    }
+
+    fn unlink(&mut self, i: usize, j: usize) {
+        self.intervals[i].partners.retain(|&k| k as usize != j);
+        self.intervals[j].partners.retain(|&k| k as usize != i);
+        self.open_pairs -= 1;
+    }
+
+    /// Drive a full replay: register `events` (with declared node
+    /// sets), deliver every application event of the execution's
+    /// linearization to the intervals containing it, then close all.
+    /// The result answers Problem 4 for the complete intervals — with
+    /// the per-pair verdicts byte-identical to the batch sweeps — while
+    /// having spent only the incremental touch sets along the way.
+    pub fn replay(exec: &'a Execution, events: &[NonatomicEvent]) -> IncrementalDetector<'a> {
+        let mut det = IncrementalDetector::new(exec);
+        let mut membership: HashMap<EventId, Vec<u32>> = HashMap::new();
+        for (k, ev) in events.iter().enumerate() {
+            det.add_interval_declared(ev.node_set());
+            for e in ev.events() {
+                membership.entry(e).or_default().push(k as u32);
+            }
+        }
+        for &e in exec.app_order() {
+            if let Some(list) = membership.get(&e) {
+                for &k in list {
+                    det.arrive(k as usize, e);
+                }
+            }
+        }
+        for k in 0..events.len() {
+            det.close(k);
+        }
+        det
+    }
+}
+
+fn ordered(i: usize, j: usize) -> (usize, usize) {
+    if i < j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+fn proxy_moved(p: Proxy, l_changed: bool, u_changed: bool) -> bool {
+    match p {
+        Proxy::L => l_changed,
+        Proxy::U => u_changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::{ExecutionBuilder, MsgToken};
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deterministic random execution: `steps` events spread over
+    /// `procs` processes with sends/receives mixed in.
+    fn random_exec(seed: u64, procs: usize, steps: usize) -> Execution {
+        let mut b = ExecutionBuilder::new(procs);
+        let mut pending: Vec<Vec<MsgToken>> = vec![Vec::new(); procs];
+        for k in 0..steps {
+            let r = splitmix(seed.wrapping_mul(0x9E37).wrapping_add(k as u64));
+            let p = (r % procs as u64) as usize;
+            match (r >> 8) % 3 {
+                0 if procs > 1 => {
+                    let mut to = ((r >> 16) % (procs as u64 - 1)) as usize;
+                    if to >= p {
+                        to += 1;
+                    }
+                    let (_, tok) = b.send(p);
+                    pending[to].push(tok);
+                }
+                1 if !pending[p].is_empty() => {
+                    let tok = pending[p].remove(0);
+                    b.recv(p, tok).expect("fresh token");
+                }
+                _ => {
+                    b.internal(p);
+                }
+            }
+        }
+        b.build().expect("acyclic by construction")
+    }
+
+    /// `count` random non-empty member sets over the app events.
+    fn random_intervals(exec: &Execution, seed: u64, count: usize) -> Vec<NonatomicEvent> {
+        let procs = exec.num_processes();
+        (0..count)
+            .map(|k| {
+                let mut members = Vec::new();
+                for p in 0..procs {
+                    let len = exec.app_len(crate::execution::ProcessId(p as u32));
+                    if len == 0 {
+                        continue;
+                    }
+                    let r = splitmix(seed ^ (k as u64) << 20 ^ (p as u64) << 8);
+                    if r % 2 == 0 {
+                        members.push(EventId::new(p as u32, (r >> 8) as u32 % len + 1));
+                        members.push(EventId::new(p as u32, (r >> 40) as u32 % len + 1));
+                    }
+                }
+                if members.is_empty() {
+                    for p in 0..procs {
+                        let len = exec.app_len(crate::execution::ProcessId(p as u32));
+                        if len > 0 {
+                            members.push(EventId::new(
+                                p as u32,
+                                (splitmix(seed ^ k as u64) as u32) % len + 1,
+                            ));
+                            break;
+                        }
+                    }
+                }
+                NonatomicEvent::new(exec, members).expect("valid members")
+            })
+            .collect()
+    }
+
+    /// Replay a seeded case event by event and assert, after **every**
+    /// arrival, that each live pair verdict is byte-identical to the
+    /// fused kernel on the prefix-restricted intervals, that settled
+    /// masks only grow, and that settled bits never change value.
+    fn check_prefix_equivalence(seed: u64, close_eagerly: bool) {
+        let procs = 2 + (splitmix(seed * 3 + 1) % 3) as usize;
+        let steps = procs * (6 + (splitmix(seed * 3 + 2) % 5) as usize);
+        let exec = random_exec(seed, procs, steps);
+        let count = 3 + (splitmix(seed * 3 + 3) % 2) as usize;
+        let events = random_intervals(&exec, seed, count);
+
+        let eval = Evaluator::new(&exec);
+        let mut det = IncrementalDetector::new(&exec);
+        let mut membership: HashMap<EventId, Vec<usize>> = HashMap::new();
+        let mut remaining: Vec<usize> = vec![0; count];
+        for (k, ev) in events.iter().enumerate() {
+            det.add_interval_declared(ev.node_set());
+            for e in ev.events() {
+                membership.entry(e).or_default().push(k);
+                remaining[k] += 1;
+            }
+        }
+        let mut arrived: Vec<Vec<EventId>> = vec![Vec::new(); count];
+        let mut prev: HashMap<(usize, usize), (u32, u32)> = HashMap::new();
+        for &e in exec.app_order() {
+            let Some(holders) = membership.get(&e) else {
+                continue;
+            };
+            for &k in holders {
+                det.arrive(k, e);
+                arrived[k].push(e);
+                remaining[k] -= 1;
+                if close_eagerly && remaining[k] == 0 {
+                    det.close(k);
+                }
+            }
+            for x in 0..count {
+                for y in 0..count {
+                    if x == y || arrived[x].is_empty() || arrived[y].is_empty() {
+                        continue;
+                    }
+                    let px = NonatomicEvent::new(&exec, arrived[x].iter().copied()).unwrap();
+                    let py = NonatomicEvent::new(&exec, arrived[y].iter().copied()).unwrap();
+                    let sx = eval.summarize_proxies(&px);
+                    let sy = eval.summarize_proxies(&py);
+                    let (want, _) = eval.eval_all_proxy_fused(&sx, &sy);
+                    let got = det.relations(x, y).expect("pair linked");
+                    assert_eq!(
+                        got, want,
+                        "seed {seed} pair ({x},{y}) diverges at prefix"
+                    );
+                    let s = det.settled_mask(x, y);
+                    let (ps, pv) = prev.get(&(x, y)).copied().unwrap_or((0, 0));
+                    assert_eq!(ps & !s, 0, "seed {seed}: settled mask shrank");
+                    assert_eq!(
+                        (got.0 ^ pv) & ps,
+                        0,
+                        "seed {seed}: settled verdict changed value"
+                    );
+                    prev.insert((x, y), (s, got.0));
+                }
+            }
+        }
+        for k in 0..count {
+            det.close(k);
+        }
+        let mut total = 0;
+        for x in 0..count {
+            for y in 0..count {
+                if x == y {
+                    continue;
+                }
+                let sx = eval.summarize_proxies(&events[x]);
+                let sy = eval.summarize_proxies(&events[y]);
+                let (want, _) = eval.eval_all_proxy_fused(&sx, &sy);
+                assert_eq!(det.relations(x, y), Some(want), "seed {seed} final");
+                assert!(det.pair_settled(x, y), "seed {seed}: pair open after close");
+                assert_eq!(det.settled_mask(x, y), u32::MAX);
+                total += det.pair_comparisons(x, y);
+            }
+        }
+        assert_eq!(total, det.comparisons(), "per-pair comparison accounting");
+        assert_eq!(det.open_pairs(), 0);
+    }
+
+    #[test]
+    fn prefix_equivalence_close_at_end() {
+        for seed in 0..40 {
+            check_prefix_equivalence(seed, false);
+        }
+    }
+
+    #[test]
+    fn prefix_equivalence_close_eagerly() {
+        for seed in 0..40 {
+            check_prefix_equivalence(seed, true);
+        }
+    }
+
+    #[test]
+    fn replay_matches_fused_batch() {
+        for seed in 100..120 {
+            let exec = random_exec(seed, 3, 24);
+            let events = random_intervals(&exec, seed, 4);
+            let det = IncrementalDetector::replay(&exec, &events);
+            let eval = Evaluator::new(&exec);
+            for x in 0..events.len() {
+                for y in 0..events.len() {
+                    if x == y {
+                        continue;
+                    }
+                    let sx = eval.summarize_proxies(&events[x]);
+                    let sy = eval.summarize_proxies(&events[y]);
+                    let (want, _) = eval.eval_all_proxy_fused(&sx, &sy);
+                    assert_eq!(det.relations(x, y), Some(want), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_complete_settles_ll_combo_before_close() {
+        let mut b = ExecutionBuilder::new(2);
+        for _ in 0..3 {
+            b.internal(0);
+            b.internal(1);
+        }
+        let exec = b.build().unwrap();
+        let mut det = IncrementalDetector::new(&exec);
+        let x = det.add_interval_declared(&[0]);
+        let y = det.add_interval_declared(&[1]);
+        det.arrive(x, EventId::new(0, 1));
+        det.arrive(y, EventId::new(1, 1));
+        det.arrive(x, EventId::new(0, 2));
+        det.arrive(y, EventId::new(1, 2));
+        // Both node-complete, neither closed: the (L, L) combo is fully
+        // settled (its verdicts can't move), the (U, U) combo is not.
+        let s = det.settled_mask(x, y);
+        assert_eq!(s & 0xff, 0xff, "(L,L) combo should be settled");
+        assert_ne!(s >> 24, 0xff, "(U,U) combo cannot settle while open");
+        assert!(!det.pair_settled(x, y));
+        det.close(x);
+        det.close(y);
+        assert!(det.pair_settled(x, y));
+    }
+
+    #[test]
+    fn duplicate_arrival_is_noop() {
+        let mut b = ExecutionBuilder::new(2);
+        b.internal(0);
+        b.internal(1);
+        let exec = b.build().unwrap();
+        let mut det = IncrementalDetector::new(&exec);
+        let x = det.add_interval();
+        let y = det.add_interval();
+        det.arrive(x, EventId::new(0, 1));
+        det.arrive(y, EventId::new(1, 1));
+        let scans = det.combo_scans();
+        let rels = det.relations(x, y);
+        det.arrive(y, EventId::new(1, 1));
+        assert_eq!(det.combo_scans(), scans, "duplicate must not rescan");
+        assert_eq!(det.relations(x, y), rels);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_total() {
+        let mut b = ExecutionBuilder::new(2);
+        let (_, m) = b.send(0);
+        b.recv(1, m).unwrap();
+        let exec = b.build().unwrap();
+        let mut det = IncrementalDetector::new(&exec);
+        let x = det.add_interval();
+        let y = det.add_interval();
+        det.arrive(x, EventId::new(0, 1));
+        det.arrive(y, EventId::new(1, 1));
+        det.close(x);
+        det.close(x);
+        det.close(y);
+        assert!(det.pair_settled(x, y));
+        // x = {send}, y = {recv}: everything holds.
+        assert_eq!(det.relations(x, y), Some(RelationSet(u32::MAX)));
+        assert_eq!(det.open_pairs(), 0);
+    }
+
+    #[test]
+    fn implication_masks_match_hierarchy() {
+        let m = masks();
+        // R1 (bit 0) implies everything; everything implies R4 (bit 6).
+        assert_eq!(m.true_mask[0], 0xff);
+        assert_eq!(m.false_mask[6], 0xff);
+        // R4 implies only itself and its twin; only R1/R1' imply R1.
+        assert_eq!(m.true_mask[6], 0b1100_0000);
+        assert_eq!(m.false_mask[0], 0b0000_0011);
+        for r in 0..8 {
+            assert_ne!(m.true_mask[r] & (1 << r), 0, "reflexive");
+            assert_ne!(m.false_mask[r] & (1 << r), 0, "reflexive");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_arrival_panics() {
+        let mut b = ExecutionBuilder::new(1);
+        b.internal(0);
+        b.internal(0);
+        let exec = b.build().unwrap();
+        let mut det = IncrementalDetector::new(&exec);
+        let x = det.add_interval();
+        det.arrive(x, EventId::new(0, 2));
+        det.arrive(x, EventId::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed interval")]
+    fn arrival_after_close_panics() {
+        let mut b = ExecutionBuilder::new(1);
+        b.internal(0);
+        let exec = b.build().unwrap();
+        let mut det = IncrementalDetector::new(&exec);
+        let x = det.add_interval();
+        det.close(x);
+        det.arrive(x, EventId::new(0, 1));
+    }
+
+    #[test]
+    fn single_interval_has_no_pairs() {
+        let mut b = ExecutionBuilder::new(1);
+        b.internal(0);
+        let exec = b.build().unwrap();
+        let det = IncrementalDetector::replay(
+            &exec,
+            &[NonatomicEvent::new(&exec, [EventId::new(0, 1)]).unwrap()],
+        );
+        assert_eq!(det.relations(0, 0), None);
+        assert_eq!(det.comparisons(), 0);
+    }
+}

@@ -50,6 +50,8 @@
 //! * [`hierarchy`] — the implication hierarchy between the relations;
 //! * [`detector`] — Problem 4: detecting one/all relations over a set `𝒜`
 //!   of nonatomic events with cached cut timestamps (Key Idea 1);
+//! * [`incremental`] — stateful O(delta) Problem-4 maintenance under an
+//!   event stream, with settle rules and implication-lattice pruning;
 //! * [`tile`] — the tile-parallel scheduler (static row bands plus a
 //!   steal-only tail) shared by every parallel sweep;
 //! * [`oracle`] — a brute-force causality-matrix oracle for differential
@@ -85,6 +87,7 @@ pub mod diagram;
 pub mod error;
 pub mod execution;
 pub mod hierarchy;
+pub mod incremental;
 pub mod linear;
 pub mod nonatomic;
 pub mod oracle;
@@ -107,6 +110,7 @@ pub use diagram::Diagram;
 pub use error::{Error, Result};
 pub use execution::{Event, EventId, EventKind, Execution, ExecutionBuilder, MsgToken, ProcessId};
 pub use hierarchy::{compose, implies, strongest};
+pub use incremental::IncrementalDetector;
 pub use linear::{sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet};
 pub use nonatomic::{NonatomicEvent, ProxyDefinition};
 pub use oracle::Oracle;
@@ -129,6 +133,7 @@ pub mod prelude {
         Event, EventId, EventKind, Execution, ExecutionBuilder, MsgToken, ProcessId,
     };
     pub use crate::hierarchy::{compose, implies, strongest};
+    pub use crate::incremental::IncrementalDetector;
     pub use crate::linear::{
         sound_bound, theorem20_bound, ComparisonCount, Evaluator, EventSummary, ScanSet,
     };

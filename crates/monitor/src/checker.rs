@@ -14,8 +14,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use synchrel_core::{
-    naive_relation, EvalMode, Evaluator, Execution, NonatomicEvent, ProxyRelation, ProxySummary,
-    Relation, RelationSet, RowSlabs, SummaryArena, TilePartition,
+    naive_relation, EvalMode, Evaluator, Execution, IncrementalDetector, NonatomicEvent,
+    ProxyRelation, ProxySummary, Relation, RelationSet, RowSlabs, SummaryArena, TilePartition,
 };
 
 use crate::spec::{Condition, Spec};
@@ -84,6 +84,39 @@ pub struct Checker<'a> {
     summaries: RwLock<BTreeMap<String, Arc<ProxySummary>>>,
     mode: EvalMode,
     arena: RwLock<Option<Arc<SummaryArena>>>,
+    incr: RwLock<Option<Arc<IncrMatrix>>>,
+}
+
+/// Cached verdicts from one canonical incremental replay over the
+/// bound events (binding order), mirroring the detector's sweep cache:
+/// every `(x, y)` lookup then answers from the same settled state, so
+/// results cannot depend on question order.
+struct IncrMatrix {
+    n: usize,
+    sets: Vec<RelationSet>,
+}
+
+impl IncrMatrix {
+    fn build(exec: &Execution, events: &[NonatomicEvent]) -> IncrMatrix {
+        let n = events.len();
+        let mut sets = Vec::with_capacity(n * n.saturating_sub(1));
+        if n >= 2 {
+            let det = IncrementalDetector::replay(exec, events);
+            for x in 0..n {
+                for y in 0..n {
+                    if x != y {
+                        sets.push(det.relations(x, y).expect("replayed pair"));
+                    }
+                }
+            }
+        }
+        IncrMatrix { n, sets }
+    }
+
+    fn get(&self, x: usize, y: usize) -> RelationSet {
+        debug_assert!(x != y && x < self.n && y < self.n);
+        self.sets[x * (self.n - 1) + y - usize::from(y > x)]
+    }
 }
 
 impl<'a> Checker<'a> {
@@ -98,6 +131,7 @@ impl<'a> Checker<'a> {
             summaries: RwLock::new(BTreeMap::new()),
             mode: EvalMode::Counted,
             arena: RwLock::new(None),
+            incr: RwLock::new(None),
         }
     }
 
@@ -107,6 +141,10 @@ impl<'a> Checker<'a> {
     /// [`EvalMode::Batched`] compute the full 32-relation set for the
     /// pair in one pass and answer by membership — identical verdicts,
     /// cheaper when a spec asks several questions about the same pair.
+    /// [`EvalMode::Incremental`] replays the bound events through the
+    /// stateful [`IncrementalDetector`] once (binding order) and answers
+    /// every condition from the settled verdict matrix; self-pairs fall
+    /// back to the fused kernel, matching the detector's convention.
     pub fn with_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
         self
@@ -166,16 +204,42 @@ impl<'a> Checker<'a> {
         self.bindings.keys().position(|k| k == name)
     }
 
+    /// The cached incremental verdict matrix over all bound events,
+    /// built lazily on first incremental evaluation.
+    fn incr_matrix(&self) -> Arc<IncrMatrix> {
+        if let Some(m) = self.incr.read().as_ref() {
+            return Arc::clone(m);
+        }
+        let events: Vec<NonatomicEvent> = self.bindings.values().cloned().collect();
+        let built = Arc::new(IncrMatrix::build(self.exec, &events));
+        let mut slot = self.incr.write();
+        if slot.is_none() {
+            *slot = Some(built);
+        }
+        Arc::clone(slot.as_ref().expect("just filled"))
+    }
+
     /// Full 32-relation set for a bound pair via the active set kernel.
     fn relation_set(&self, x: &str, y: &str) -> Option<RelationSet> {
-        if self.mode == EvalMode::Batched {
-            let (xi, yi) = (self.binding_index(x)?, self.binding_index(y)?);
-            let mut slab = [RelationSet::empty()];
-            self.arena().eval_row_batch(xi, yi, &mut slab);
-            Some(slab[0])
-        } else {
-            let (sx, sy) = (self.summary(x)?, self.summary(y)?);
-            Some(Evaluator::new(self.exec).eval_all_proxy_fused(&sx, &sy).0)
+        match self.mode {
+            EvalMode::Batched => {
+                let (xi, yi) = (self.binding_index(x)?, self.binding_index(y)?);
+                let mut slab = [RelationSet::empty()];
+                self.arena().eval_row_batch(xi, yi, &mut slab);
+                Some(slab[0])
+            }
+            EvalMode::Incremental => {
+                let (xi, yi) = (self.binding_index(x)?, self.binding_index(y)?);
+                if xi == yi {
+                    let (sx, sy) = (self.summary(x)?, self.summary(y)?);
+                    return Some(Evaluator::new(self.exec).eval_all_proxy_fused(&sx, &sy).0);
+                }
+                Some(self.incr_matrix().get(xi, yi))
+            }
+            _ => {
+                let (sx, sy) = (self.summary(x)?, self.summary(y)?);
+                Some(Evaluator::new(self.exec).eval_all_proxy_fused(&sx, &sy).0)
+            }
         }
     }
 
@@ -557,6 +621,7 @@ mod tests {
         let counted = checker(&e, &defs);
         let fused = checker(&e, &defs).with_mode(EvalMode::Fused);
         let batched = checker(&e, &defs).with_mode(EvalMode::Batched);
+        let incr = checker(&e, &defs).with_mode(EvalMode::Incremental);
         assert_eq!(batched.mode(), EvalMode::Batched);
         let spec = Spec::new("modes")
             .require("ordering", Condition::rel(Relation::R1, "a", "b"))
@@ -577,6 +642,7 @@ mod tests {
         let base = counted.check(&spec);
         assert_eq!(base, fused.check(&spec), "fused diverged");
         assert_eq!(base, batched.check(&spec), "batched diverged");
+        assert_eq!(base, incr.check(&spec), "incremental diverged");
         // Per-relation sweep across all bound pairs, including x == y.
         for rel in Relation::ALL {
             for x in ["a", "b", "c"] {
@@ -585,12 +651,14 @@ mod tests {
                     let expect = counted.eval(&c).0;
                     assert_eq!(fused.eval(&c).0, expect, "fused {rel}({x},{y})");
                     assert_eq!(batched.eval(&c).0, expect, "batched {rel}({x},{y})");
+                    assert_eq!(incr.eval(&c).0, expect, "incremental {rel}({x},{y})");
                 }
             }
         }
         // Parallel checking under non-default modes stays deterministic.
         for threads in [2, 8] {
             assert_eq!(base, batched.check_parallel(&spec, threads));
+            assert_eq!(base, incr.check_parallel(&spec, threads));
         }
     }
 

@@ -15,15 +15,19 @@
 //! 2. the unfused Theorem-20 evaluation ([`Evaluator::eval_all_proxy`]);
 //! 3. the fused 32-relation kernel
 //!    ([`Evaluator::eval_all_proxy_fused`]);
-//! 4. the [`Detector`] in all three [`EvalMode`]s (counted, fused,
-//!    batched);
-//! 5. the [`OnlineMonitor`] fed the execution in order (exact verdicts
+//! 4. the [`Detector`] in all four [`EvalMode`]s (counted, fused,
+//!    batched, incremental);
+//! 5. the stateful [`IncrementalDetector`], fed the execution event by
+//!    event and compared against the fused kernel on the
+//!    prefix-restricted intervals after **every** event (a divergence
+//!    reports the first bad prefix length);
+//! 6. the [`OnlineMonitor`] fed the execution in order (exact verdicts
 //!    must match the oracle once every interval closes);
-//! 6. the [`OnlineMonitor`] fed a seed-derived *perturbed* wire stream
+//! 7. the [`OnlineMonitor`] fed a seed-derived *perturbed* wire stream
 //!    (reordered + duplicated reports — must still match exactly after
 //!    draining; with reports dropped and losses conceded, verdicts may
 //!    only decay to [`Verdict::Unknown`], never lie);
-//! 7. the [`OnlineMonitor`] crashed mid-replay, restored from its
+//! 8. the [`OnlineMonitor`] crashed mid-replay, restored from its
 //!    binary snapshot, and fed the rest of the stream (plus an
 //!    at-least-once overlap it must dedup) — recovery must land in the
 //!    same exact-equivalence class.
@@ -37,8 +41,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use synchrel_core::{
-    Detector, EvalMode, Evaluator, EventKind, NonatomicEvent, Oracle, ProxySummary, Relation,
-    RelationSet,
+    Detector, EvalMode, Evaluator, EventId, EventKind, IncrementalDetector, NonatomicEvent, Oracle,
+    ProxySummary, Relation, RelationSet,
 };
 use synchrel_sim::fault::{mix, random_scripts, FaultPlan};
 use synchrel_sim::intervals::by_label;
@@ -328,6 +332,86 @@ fn replay_with_restore(
     Ok(mon)
 }
 
+/// Prefix-differential check of the stateful incremental engine:
+/// events are streamed in execution order into an
+/// [`IncrementalDetector`], and after **every** applied event each
+/// pair of already-populated intervals must carry exactly the verdicts
+/// the fused kernel computes on the prefix-restricted intervals.
+/// Returns the first divergent prefix length and a description, so the
+/// shrinker's report names the shortest stream that exposes the bug.
+fn check_incremental_prefixes(
+    result: &SimResult,
+    named: &[(String, NonatomicEvent)],
+) -> Result<(), (usize, String)> {
+    let exec = &result.exec;
+    let ev = Evaluator::new(exec);
+    let mut det = IncrementalDetector::new(exec);
+    let mut membership: BTreeMap<EventId, Vec<usize>> = BTreeMap::new();
+    for (k, (_, iv)) in named.iter().enumerate() {
+        det.add_interval_declared(iv.node_set());
+        for e in iv.events() {
+            membership.entry(e).or_default().push(k);
+        }
+    }
+    let mut seen: Vec<Vec<EventId>> = vec![Vec::new(); named.len()];
+    let order = exec.app_order();
+    for (step, &e) in order.iter().enumerate() {
+        if let Some(ks) = membership.get(&e) {
+            for &k in ks {
+                det.arrive(k, e);
+                seen[k].push(e);
+            }
+        }
+        // Close intervals whose last member just arrived: exercises the
+        // settle rules mid-stream, not only at end of stream.
+        for (k, (_, iv)) in named.iter().enumerate() {
+            if seen[k].len() == iv.events().count() && !seen[k].is_empty() {
+                det.close(k);
+            }
+        }
+        let prefix = step + 1;
+        for x in 0..named.len() {
+            for y in 0..named.len() {
+                if x == y || seen[x].is_empty() || seen[y].is_empty() {
+                    continue;
+                }
+                let px = NonatomicEvent::new(exec, seen[x].iter().copied()).expect("seen events");
+                let py = NonatomicEvent::new(exec, seen[y].iter().copied()).expect("seen events");
+                let (want, _) =
+                    ev.eval_all_proxy_fused(&ev.summarize_proxies(&px), &ev.summarize_proxies(&py));
+                let got = det.relations(x, y).expect("pair exists");
+                if got != want {
+                    return Err((
+                        prefix,
+                        format!(
+                            "incremental ({}, {}) = {got:?}, fused on the prefix says {want:?}",
+                            named[x].0, named[y].0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // End of stream: everything closes and every pair must be settled.
+    for k in 0..named.len() {
+        det.close(k);
+    }
+    for x in 0..named.len() {
+        for y in 0..named.len() {
+            if x != y && !det.pair_settled(x, y) {
+                return Err((
+                    order.len(),
+                    format!(
+                        "pair ({}, {}) still unsettled after all intervals closed",
+                        named[x].0, named[y].0
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Run one case; `Ok` carries coverage statistics, `Err` a reproducible
 /// disagreement.
 pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
@@ -367,7 +451,8 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
     let events: Vec<NonatomicEvent> = named.iter().map(|(_, iv)| iv.clone()).collect();
     let det_counted = Detector::new(exec, events.clone()).with_mode(EvalMode::Counted);
     let det_fused = Detector::new(exec, events.clone()).with_mode(EvalMode::Fused);
-    let det_batched = Detector::new(exec, events).with_mode(EvalMode::Batched);
+    let det_batched = Detector::new(exec, events.clone()).with_mode(EvalMode::Batched);
+    let det_incr = Detector::new(exec, events).with_mode(EvalMode::Incremental);
 
     let mut pairs = 0usize;
     let mut truths: BTreeMap<(usize, usize), RelationSet> = BTreeMap::new();
@@ -385,12 +470,14 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
             let counted = det_counted.pair(xi, yi).expect("valid indices").relations;
             let det_f = det_fused.pair(xi, yi).expect("valid indices").relations;
             let det_b = det_batched.pair(xi, yi).expect("valid indices").relations;
+            let det_i = det_incr.pair(xi, yi).expect("valid indices").relations;
             for (name, got) in [
                 ("unfused", unfused),
                 ("fused", fused),
                 ("detector-counted", counted),
                 ("detector-fused", det_f),
                 ("detector-batched", det_b),
+                ("detector-incremental", det_i),
             ] {
                 if got != truth {
                     return Err(mismatch(
@@ -403,6 +490,15 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
             }
             pairs += 1;
         }
+    }
+
+    // Stateful incremental engine, checked after every event prefix —
+    // not just at the end of the stream.
+    if let Err((prefix, detail)) = check_incremental_prefixes(&result, &named) {
+        return Err(mismatch(
+            seed,
+            format!("incremental diverged after {prefix}-event prefix: {detail}"),
+        ));
     }
 
     // Online monitor, exact in-order replay: settled verdicts must

@@ -21,6 +21,12 @@
 //!    `R2` is settled once the side its quantifier depends on is closed.
 //!    [`Verdict::Pending`] is returned only while the truth genuinely
 //!    depends on future events.
+//! 3. **Incremental polling.** Watched pairs are not fully re-checked
+//!    per event: each watch carries a dirty flag driven by an inverted
+//!    index from interval label to dependent watches, and
+//!    [`OnlineMonitor::poll`] re-evaluates only watches whose operands
+//!    moved (or all open watches when the degradation status flips,
+//!    since verdict decay depends on it).
 //!
 //! The monitor costs `O(|P|)` per event and `O(|N_X|·|N_Y|)` per `R2'`
 //! / `R3'` query (the future-cut condensation that makes those linear is
@@ -60,8 +66,11 @@ use synchrel_obs::MetricsRegistry;
 
 /// Magic bytes opening a monitor snapshot.
 const SNAPSHOT_MAGIC: &[u8] = b"SMON";
-/// Snapshot format version.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Snapshot format version. Version 2 added the per-watch dirty flag
+/// and the last-poll degradation edge, so a restored monitor's
+/// incremental [`OnlineMonitor::poll`] skips exactly the same
+/// re-checks the original would have skipped.
+const SNAPSHOT_VERSION: u8 = 2;
 
 fn put_clock(w: &mut Writer, c: &VectorClock) {
     w.put_u32s(c.components());
@@ -348,6 +357,20 @@ struct WatchState {
     /// re-checked (monotonicity makes re-checking a no-op on a faithful
     /// view), which is what lets pruning retire their intervals.
     settled: bool,
+    /// Something the verdict depends on moved since the last poll: an
+    /// event joined `x` or `y`, or one of them closed. Polls only
+    /// re-check dirty watches — `check` is a pure function of interval
+    /// state and the degradation flag, so a clean watch cannot have
+    /// changed verdict (the degradation edge is tracked monitor-wide).
+    #[serde(default = "dirty_default")]
+    dirty: bool,
+}
+
+// Referenced from the serde attribute above; the offline stub's derive
+// ignores field attributes, so keep the lint quiet either way.
+#[allow(dead_code)]
+fn dirty_default() -> bool {
+    true
 }
 
 /// Internal running counters. Ingest-side counters are plain `u64`
@@ -542,6 +565,18 @@ pub struct OnlineMonitor {
     /// Keeps closed-label semantics (`is_closed`, `interval_len`,
     /// event rejection) intact after the heavy state is gone.
     retired: BTreeMap<String, usize>,
+    /// Degradation status observed by the last [`OnlineMonitor::poll`].
+    /// Verdict decay depends on [`OnlineMonitor::is_degraded`], so a
+    /// flip in either direction forces the next poll to re-check every
+    /// open watch even if its labels never moved.
+    #[serde(default)]
+    last_poll_degraded: bool,
+    /// Inverted index: interval label → indices of watches whose
+    /// verdict depends on it. Derived from `watches` (rebuilt after
+    /// restore / deserialization), which keeps the per-event dirty
+    /// marking O(watches-on-label) instead of O(watches).
+    #[serde(skip)]
+    watch_index: BTreeMap<String, Vec<usize>>,
     /// Operational counters (see [`MonitorStats`]).
     stats: Stats,
 }
@@ -565,6 +600,8 @@ impl OnlineMonitor {
             lost: 0,
             prune_enabled: false,
             retired: BTreeMap::new(),
+            last_poll_degraded: false,
+            watch_index: BTreeMap::new(),
             stats: Stats::default(),
         }
     }
@@ -656,6 +693,7 @@ impl OnlineMonitor {
             w.put_str(&watch.y);
             w.put_u8(watch.last.code());
             w.put_bool(watch.settled);
+            w.put_bool(watch.dirty);
         }
         w.put_u64s(&self.next_seq);
         w.put_usize(self.held.len());
@@ -677,6 +715,7 @@ impl OnlineMonitor {
         }
         w.put_bool(self.lossy);
         w.put_u64(self.lost);
+        w.put_bool(self.last_poll_degraded);
         w.put_bool(self.prune_enabled);
         w.put_usize(self.retired.len());
         for (label, &count) in &self.retired {
@@ -737,6 +776,7 @@ impl OnlineMonitor {
             let y = r.string()?;
             let last = Verdict::from_code(r.u8()?).ok_or(CodecError::Malformed("verdict code"))?;
             let settled = r.bool()?;
+            let dirty = r.bool()?;
             watches.push(WatchState {
                 name,
                 rel,
@@ -744,6 +784,7 @@ impl OnlineMonitor {
                 y,
                 last,
                 settled,
+                dirty,
             });
         }
         let next_seq = r.u64s()?;
@@ -769,6 +810,7 @@ impl OnlineMonitor {
         }
         let lossy = r.bool()?;
         let lost = r.u64()?;
+        let last_poll_degraded = r.bool()?;
         let prune_enabled = r.bool()?;
         let n = r.len_prefix()?;
         let mut retired = BTreeMap::new();
@@ -795,7 +837,7 @@ impl OnlineMonitor {
         if !r.is_done() {
             return Err(CodecError::Malformed("trailing bytes"));
         }
-        Ok(OnlineMonitor {
+        let mut m = OnlineMonitor {
             clocks,
             pos,
             msgs,
@@ -809,8 +851,12 @@ impl OnlineMonitor {
             lost,
             prune_enabled,
             retired,
+            last_poll_degraded,
+            watch_index: BTreeMap::new(),
             stats,
-        })
+        };
+        m.rebuild_watch_index();
+        Ok(m)
     }
 
     /// Number of processes.
@@ -848,6 +894,32 @@ impl OnlineMonitor {
         self.stats.applied += 1;
     }
 
+    /// Rebuild the label → watch-indices inverted index from scratch.
+    fn rebuild_watch_index(&mut self) {
+        self.watch_index.clear();
+        for (i, w) in self.watches.iter().enumerate() {
+            for label in [&w.x, &w.y] {
+                let ids = self.watch_index.entry(label.clone()).or_default();
+                if ids.last() != Some(&i) {
+                    ids.push(i);
+                }
+            }
+        }
+    }
+
+    /// Mark every watch depending on `label` as needing a re-check.
+    fn mark_label_dirty(&mut self, label: &str) {
+        if self.watch_index.is_empty() && !self.watches.is_empty() {
+            // The index is derived state (skipped by serde); heal it.
+            self.rebuild_watch_index();
+        }
+        if let Some(ids) = self.watch_index.get(label) {
+            for &i in ids {
+                self.watches[i].dirty = true;
+            }
+        }
+    }
+
     fn record(&mut self, p: usize, labels: &[&str]) {
         let pos = self.pos[p];
         let clock = self.clocks[p].clone();
@@ -856,6 +928,7 @@ impl OnlineMonitor {
                 .entry(l.to_string())
                 .or_default()
                 .add(p, pos, &clock);
+            self.mark_label_dirty(l);
         }
     }
 
@@ -1100,6 +1173,7 @@ impl OnlineMonitor {
             return; // already closed and compacted
         }
         self.intervals.entry(label.to_string()).or_default().closed = true;
+        self.mark_label_dirty(label);
         self.prune();
     }
 
@@ -1225,6 +1299,7 @@ impl OnlineMonitor {
             y: y.into(),
             last: Verdict::Pending,
             settled: false,
+            dirty: true,
         };
         if let Some(old) = self.watches.iter_mut().find(|o| o.name == w.name) {
             let same = old.rel == w.rel && old.x == w.x && old.y == w.y;
@@ -1234,6 +1309,7 @@ impl OnlineMonitor {
         } else {
             self.watches.push(w);
         }
+        self.rebuild_watch_index();
     }
 
     /// Current verdicts of all watches, in registration order. Settled
@@ -1264,15 +1340,28 @@ impl OnlineMonitor {
     /// only verdict that escapes decay is an `∃∃` witness, which is
     /// real). Settled watches are frozen and never re-checked, which is
     /// what lets [`OnlineMonitor::prune`] retire their operands.
+    ///
+    /// Polling is **incremental**: only *dirty* watches — those whose
+    /// operand intervals gained an event or closed since the last
+    /// poll — are re-checked, via the label → watch inverted index.
+    /// `check` is a pure function of interval state plus the
+    /// degradation flag, so a clean watch's verdict cannot have moved;
+    /// the one non-label input, [`OnlineMonitor::is_degraded`], is
+    /// edge-detected across polls and a flip in either direction
+    /// forces a full re-check of every open watch.
     pub fn poll(&mut self) -> Vec<WatchEvent> {
+        let degraded = self.is_degraded();
+        let force = degraded != self.last_poll_degraded;
+        self.last_poll_degraded = degraded;
         let fresh: Vec<Option<Verdict>> = self
             .watches
             .iter()
-            .map(|w| (!w.settled).then(|| self.check(w.rel, &w.x, &w.y)))
+            .map(|w| (!w.settled && (force || w.dirty)).then(|| self.check(w.rel, &w.x, &w.y)))
             .collect();
         let mut out = Vec::new();
         for (w, v) in self.watches.iter_mut().zip(fresh) {
             let Some(v) = v else { continue };
+            w.dirty = false;
             if matches!(v, Verdict::Holds | Verdict::Violated) {
                 w.settled = true;
             }
@@ -1771,6 +1860,35 @@ mod tests {
                 ("flow".to_string(), Verdict::Holds)
             ]
         );
+    }
+
+    #[test]
+    fn poll_recheck_is_label_incremental() {
+        let mut m = OnlineMonitor::new(2);
+        m.watch("order", Relation::R1, "x", "y");
+        m.poll(); // initial poll checks the fresh watch once
+        let base = m.stats().checks();
+        // Events on an unrelated label leave the watch clean.
+        m.internal(0, &["z"]).unwrap();
+        m.internal(0, &[]).unwrap();
+        m.poll();
+        assert_eq!(m.stats().checks(), base, "clean watch was re-checked");
+        // An event on an operand label dirties exactly that watch.
+        m.internal(0, &["x"]).unwrap();
+        m.poll();
+        assert_eq!(m.stats().checks(), base + 1);
+        // A degradation flip forces a re-check with no label movement.
+        m.ingest(1, 5, WireEvent::Internal, &[]).unwrap(); // buffered
+        assert!(m.is_degraded());
+        m.poll();
+        assert_eq!(m.stats().checks(), base + 2);
+        // Degraded but unchanged, no label movement: nothing to do.
+        m.poll();
+        assert_eq!(m.stats().checks(), base + 2);
+        // Closing an operand dirties the watch again.
+        m.close("y");
+        m.poll();
+        assert_eq!(m.stats().checks(), base + 3);
     }
 
     #[test]

@@ -26,10 +26,10 @@ use proptest::prelude::*;
 
 use synchrel_core::{
     naive_proxy, sound_bound, theorem20_bound, CompareCounter, Detector, EvalMode, Evaluator,
-    EventId, Execution, NonatomicEvent, NoopMeter, PairReport, ProcessId, ProxyDefinition,
-    ProxyRelation, Relation, DEFAULT_TILE,
+    EventId, Execution, IncrementalDetector, NonatomicEvent, NoopMeter, PairReport, ProcessId,
+    ProxyDefinition, ProxyRelation, Relation, DEFAULT_TILE,
 };
-use synchrel_sim::fault::{random_scripts, FaultLog, FaultPlan};
+use synchrel_sim::fault::{mix, random_scripts, FaultLog, FaultPlan};
 use synchrel_sim::intervals;
 use synchrel_sim::workload::{random_with_events, RandomConfig, Workload};
 
@@ -423,6 +423,120 @@ fn check_meter_merge_determinism(w: &Workload) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Drive an [`IncrementalDetector`] over `w`'s intervals in a seeded
+/// arrival interleaving: per-process event order is fixed (the delivery
+/// constraint the detector documents), but which process delivers next
+/// — and the order intervals close in — is chosen by `shuffle_seed`.
+fn drive_shuffled(w: &Workload, shuffle_seed: u64) -> IncrementalDetector<'_> {
+    let n = w.exec.num_processes();
+    let mut queues: Vec<Vec<(EventId, usize)>> = vec![Vec::new(); n];
+    for (k, ev) in w.events.iter().enumerate() {
+        for e in ev.events() {
+            queues[e.process.idx()].push((e, k));
+        }
+    }
+    for q in &mut queues {
+        q.sort_by_key(|(e, _)| e.index);
+    }
+
+    let mut det = IncrementalDetector::new(&w.exec);
+    for ev in &w.events {
+        det.add_interval_declared(ev.node_set());
+    }
+    let mut heads = vec![0usize; n];
+    let mut remaining: usize = queues.iter().map(Vec::len).sum();
+    let mut step = 0u64;
+    while remaining > 0 {
+        // Pick the next nonempty per-process queue pseudo-randomly.
+        let mut pick = (mix(shuffle_seed, 41, step) % n as u64) as usize;
+        step += 1;
+        while heads[pick] >= queues[pick].len() {
+            pick = (pick + 1) % n;
+        }
+        let (e, k) = queues[pick][heads[pick]];
+        heads[pick] += 1;
+        remaining -= 1;
+        det.arrive(k, e);
+    }
+    // Close in a seeded permutation as well; closing is flag-only.
+    let mut order: Vec<usize> = (0..w.events.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, (mix(shuffle_seed, 43, i as u64) % (i as u64 + 1)) as usize);
+    }
+    for k in order {
+        det.close(k);
+    }
+    det
+}
+
+/// Incremental determinism: every arrival interleaving that respects
+/// per-process delivery order converges to the same final verdicts and
+/// the same settled masks as the canonical
+/// [`IncrementalDetector::replay`] over the execution's linearization —
+/// which in turn matches the batch detector. The comparison meters are
+/// deterministic per *stream* (replaying the identical interleaving
+/// reproduces them bit-for-bit; there is no hidden iteration-order
+/// nondeterminism), but different interleavings legitimately spend
+/// different touch-set work before pairs settle, so meters are only
+/// compared between reruns of the same stream.
+fn check_incremental_order_determinism(
+    w: &Workload,
+    shuffle_seed: u64,
+) -> Result<(), TestCaseError> {
+    let canonical = IncrementalDetector::replay(&w.exec, &w.events);
+    let shuffled = drive_shuffled(w, shuffle_seed);
+    let batch = Detector::new(&w.exec, w.events.clone()).with_mode(EvalMode::Batched);
+    let m = w.events.len();
+    for x in 0..m {
+        for y in 0..m {
+            if x == y {
+                continue;
+            }
+            let want = canonical.relations(x, y);
+            prop_assert_eq!(
+                shuffled.relations(x, y),
+                want,
+                "verdict for ({}, {}) depends on arrival interleaving (shuffle {})",
+                x,
+                y,
+                shuffle_seed
+            );
+            prop_assert_eq!(
+                shuffled.settled_mask(x, y),
+                canonical.settled_mask(x, y),
+                "settled mask for ({}, {}) depends on arrival interleaving",
+                x,
+                y
+            );
+            prop_assert!(shuffled.pair_settled(x, y));
+            prop_assert_eq!(
+                want.expect("complete intervals are non-empty"),
+                batch.pair(x, y).map_err(|e| TestCaseError::fail(e.to_string()))?.relations
+            );
+        }
+    }
+    // Meter determinism: the identical stream replayed from scratch
+    // reproduces the counters exactly, for both the shuffled
+    // interleaving and the canonical linearization.
+    let shuffled2 = drive_shuffled(w, shuffle_seed);
+    prop_assert_eq!(
+        shuffled.comparisons(),
+        shuffled2.comparisons(),
+        "comparison meter not reproducible for shuffle {}",
+        shuffle_seed
+    );
+    prop_assert_eq!(
+        shuffled.combo_scans(),
+        shuffled2.combo_scans(),
+        "combo-scan meter not reproducible for shuffle {}",
+        shuffle_seed
+    );
+    let canonical2 = IncrementalDetector::replay(&w.exec, &w.events);
+    prop_assert_eq!(canonical.comparisons(), canonical2.comparisons());
+    prop_assert_eq!(canonical.combo_scans(), canonical2.combo_scans());
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -482,6 +596,17 @@ proptest! {
     }
 
     #[test]
+    fn incremental_order_deterministic(
+        seed in 0u64..10_000,
+        shuffle_seed in any::<u64>(),
+        processes in 3usize..7,
+        events_per_process in 5usize..10,
+    ) {
+        let w = gen_workload(seed, processes, events_per_process);
+        check_incremental_order_determinism(&w, shuffle_seed)?;
+    }
+
+    #[test]
     fn tiled_engine_survives_degenerate_shapes(
         seed in 0u64..10_000,
         processes in 3usize..7,
@@ -504,4 +629,5 @@ fn fixed_seed_smoke() {
     check_metering_transparent(0xC0FFEE).unwrap();
     check_tiled_equivalence(&w).unwrap();
     check_tiled_degenerate_shapes(&w.exec).unwrap();
+    check_incremental_order_determinism(&w, 0xFEED_FACE).unwrap();
 }
