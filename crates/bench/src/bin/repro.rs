@@ -12,7 +12,7 @@ use synchrel_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|incr|meter|scaling|profiles|setup]"
+        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|incr|meter|scaling|profiles|setup|serve]"
     );
     std::process::exit(2);
 }
@@ -37,6 +37,7 @@ fn main() {
         "scaling" => experiments::scaling::run(0xC0FFEE),
         "profiles" => experiments::profiles::run(0xC0FFEE, 150),
         "setup" => experiments::setup::run(0xC0FFEE),
+        "serve" => experiments::serve::run(),
         _ => usage(),
     };
     let stdout = std::io::stdout();

@@ -310,14 +310,13 @@ mod tests {
     #[test]
     fn measurement_is_equivalent_and_cheap() {
         let m = measure(11, ChurnConfig::small());
-        assert_eq!(m.cfg.intervals as u64 * (m.cfg.intervals as u64 - 1), m.pairs);
+        assert_eq!(
+            m.cfg.intervals as u64 * (m.cfg.intervals as u64 - 1),
+            m.pairs
+        );
         assert!(m.verdicts_match, "incremental diverged from batched");
         assert!(m.all_settled, "open pairs at end of stream");
-        assert!(
-            m.ratio() <= RATIO_GATE,
-            "ratio {} above gate",
-            m.ratio()
-        );
+        assert!(m.ratio() <= RATIO_GATE, "ratio {} above gate", m.ratio());
         assert!(m.ok());
     }
 

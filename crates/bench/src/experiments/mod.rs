@@ -15,6 +15,7 @@
 //! | [`scaling`] | wall-clock scaling: linear vs quadratic evaluation |
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
+//! | [`serve`] | socket-tier saturation: pipelined TCP ingest + group commit |
 
 pub mod batch;
 pub mod figures;
@@ -24,6 +25,7 @@ pub mod pairs;
 pub mod problem4;
 pub mod profiles;
 pub mod scaling;
+pub mod serve;
 pub mod setup;
 pub mod table1;
 pub mod table2;
@@ -97,6 +99,7 @@ pub fn run_all() -> String {
             profiles::run(0xC0FFEE, 150),
         ),
         ("E-Setup: one-time cost", setup::run(0xC0FFEE)),
+        ("E-Serve: socket-tier saturation", serve::run()),
     ] {
         out.push_str(&format!("\n=== {title} ===\n\n"));
         out.push_str(&body);

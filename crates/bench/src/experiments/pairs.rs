@@ -576,7 +576,7 @@ mod tests {
         // 2.5× cap and never drops below the 1-core floor.
         let g = min_speedup();
         assert!(
-            g >= SCALING_EFFICIENCY_FLOOR && g <= SCALING_SPEEDUP_CAP,
+            (SCALING_EFFICIENCY_FLOOR..=SCALING_SPEEDUP_CAP).contains(&g),
             "{g}"
         );
     }

@@ -1,0 +1,338 @@
+//! E-Serve — socket-tier saturation: pipelined multi-client ingest
+//! over real loopback TCP into a directory-backed, WAL-durable
+//! service.
+//!
+//! The workload is the service's worst honest case: `CLIENTS`
+//! connections each pipeline a window of ingest requests (they do not
+//! wait for an ack before sending the next), so the serving thread
+//! sees deep batches and the group-commit path — one `wal_sync` per
+//! batch, no response before the fsync — carries the whole load.
+//! `Busy` answers (admission-queue backpressure) are retried by the
+//! clients like any real deployment would.
+//!
+//! Three facts gate `serve_ok` (grep'd by CI):
+//!
+//! * **Durability did not lie**: the server's final LSN equals the
+//!   number of distinct events acked — every ack had a WAL record
+//!   behind it, none were double-logged under retry.
+//! * **Group commit actually grouped**: `wal_fsyncs * 2 <=
+//!   wal_appends` — pipelining must amortise fsyncs across records,
+//!   otherwise the socket tier degraded to sync-per-record.
+//! * **Throughput**: at least [`MIN_EPS`] acked events/sec end-to-end
+//!   through real sockets (override with `SYNCHREL_SERVE_MIN_EPS` for
+//!   slow CI runners; `SYNCHREL_SERVE_CLIENTS` / `SYNCHREL_SERVE_EVENTS`
+//!   resize the fleet).
+//!
+//! [`run`] writes `BENCH_serve.json` at the repository root.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use synchrel_monitor::online::WireEvent;
+use synchrel_obs::json::ObjectWriter;
+use synchrel_serve::proto::{
+    decode_frame, decode_response, make_req, request_frame, split_req, Command, Response,
+};
+use synchrel_serve::transport::Transport;
+use synchrel_serve::{
+    connect, DirStorage, ListenAddr, Server, ServerConfig, Service, ServiceConfig,
+};
+
+use crate::table::Table;
+
+/// Default client fleet size (`SYNCHREL_SERVE_CLIENTS` overrides).
+pub const CLIENTS: u64 = 4;
+/// Default acked events per client (`SYNCHREL_SERVE_EVENTS` overrides).
+pub const EVENTS_PER_CLIENT: u64 = 4_000;
+/// Requests each client keeps in flight.
+pub const WINDOW: usize = 64;
+/// Default end-to-end floor, acked events/sec across the fleet
+/// (`SYNCHREL_SERVE_MIN_EPS` overrides).
+pub const MIN_EPS: f64 = 3_000.0;
+
+/// Environment knob for the throughput floor on slow CI runners.
+pub const MIN_EPS_ENV: &str = "SYNCHREL_SERVE_MIN_EPS";
+/// Environment knob for the client fleet size.
+pub const CLIENTS_ENV: &str = "SYNCHREL_SERVE_CLIENTS";
+/// Environment knob for events per client.
+pub const EVENTS_ENV: &str = "SYNCHREL_SERVE_EVENTS";
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One saturation run's numbers.
+#[derive(Clone, Debug)]
+pub struct ServeMeasurement {
+    /// Connections in the fleet.
+    pub clients: u64,
+    /// Acked ingests per client.
+    pub events_per_client: u64,
+    /// Acked ingests across the fleet (== final LSN when honest).
+    pub total_events: u64,
+    /// Wall-clock seconds from first byte to last ack.
+    pub elapsed_secs: f64,
+    /// Acked events per second across the fleet.
+    pub events_per_sec: f64,
+    /// WAL records the service appended.
+    pub wal_appends: u64,
+    /// fsyncs the service issued (group commit amortises these).
+    pub wal_fsyncs: u64,
+    /// Final LSN of the stopped server.
+    pub last_lsn: u64,
+    /// `Busy` answers clients absorbed and retried.
+    pub busy_retries: u64,
+    /// Admission-queue high-water mark.
+    pub queue_high_water: u64,
+    /// Throughput floor this run was gated against.
+    pub min_eps: f64,
+}
+
+impl ServeMeasurement {
+    /// WAL records per fsync (group-commit amortisation factor).
+    pub fn group_commit_ratio(&self) -> f64 {
+        self.wal_appends as f64 / (self.wal_fsyncs.max(1)) as f64
+    }
+
+    /// Durability honest + group commit grouped + throughput floor.
+    pub fn gate(&self) -> bool {
+        self.last_lsn == self.total_events
+            && self.wal_fsyncs * 2 <= self.wal_appends
+            && self.events_per_sec >= self.min_eps
+    }
+}
+
+/// One pipelined client: keep [`WINDOW`] ingests in flight, retry
+/// `Busy`, return the number of `Busy` answers absorbed.
+fn client_run(addr: &ListenAddr, client_id: u16, events: u64) -> Result<u64, String> {
+    let mut wire = connect(addr, Some(Duration::from_millis(50))).map_err(|e| e.to_string())?;
+    let ingest = |seq: u64| Command::Ingest {
+        process: usize::from(client_id) - 1,
+        seq,
+        event: WireEvent::Internal,
+        labels: vec![],
+    };
+    let mut next = 0u64;
+    let mut pending: BTreeSet<u64> = BTreeSet::new();
+    let mut acked = 0u64;
+    let mut busy = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while acked < events {
+        if Instant::now() > deadline {
+            return Err(format!("client {client_id} stalled at {acked}/{events}"));
+        }
+        while pending.len() < WINDOW && next < events {
+            let frame = request_frame(make_req(client_id, next), &ingest(next));
+            wire.send(&frame).map_err(|e| e.to_string())?;
+            pending.insert(next);
+            next += 1;
+        }
+        match wire.recv().map_err(|e| e.to_string())? {
+            None => continue, // read timeout; responses still in flight
+            Some(bytes) => {
+                let frame = decode_frame(&bytes).map_err(|e| e.to_string())?;
+                let (_, seq) = split_req(frame.req);
+                match decode_response(&frame.payload).map_err(|e| e.to_string())? {
+                    Response::Ack => {
+                        if pending.remove(&seq) {
+                            acked += 1;
+                        }
+                    }
+                    Response::Busy => {
+                        // Admission backpressure: re-offer the same id
+                        // after a breath — the serving thread drains
+                        // the queue between batches.
+                        busy += 1;
+                        std::thread::sleep(Duration::from_micros(200));
+                        let frame = request_frame(make_req(client_id, seq), &ingest(seq));
+                        wire.send(&frame).map_err(|e| e.to_string())?;
+                    }
+                    other => return Err(format!("client {client_id} got {other:?}")),
+                }
+            }
+        }
+    }
+    Ok(busy)
+}
+
+/// Run one saturation measurement against a fresh directory-backed
+/// service on a kernel-picked loopback port.
+pub fn measure(clients: u64, events_per_client: u64, min_eps: f64) -> ServeMeasurement {
+    let dir = std::env::temp_dir().join(format!(
+        "synchrel-bench-serve-{}-{clients}x{events_per_client}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let mut cfg = ServerConfig::new(clients as usize);
+    cfg.queue_capacity = 8 * 1024;
+    let storage = DirStorage::open(&dir).expect("bench storage");
+    let server = Server::recover(storage, cfg).expect("fresh server");
+    let svc = Service::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        server,
+        ServiceConfig::default(),
+    )
+    .expect("service starts");
+    let addr = svc.local_addr().clone();
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 1..=clients {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            client_run(&addr, c as u16, events_per_client)
+        }));
+    }
+    let mut busy_retries = 0u64;
+    for h in handles {
+        busy_retries += h.join().expect("client thread").expect("client run");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let server = svc.stop();
+    let st = server.stats().clone();
+    let fsyncs = synchrel_serve::Storage::syncs(server.storage());
+    let total = clients * events_per_client;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServeMeasurement {
+        clients,
+        events_per_client,
+        total_events: total,
+        elapsed_secs: elapsed,
+        events_per_sec: total as f64 / elapsed,
+        wal_appends: st.wal_appends,
+        wal_fsyncs: fsyncs,
+        last_lsn: server.last_lsn(),
+        busy_retries,
+        queue_high_water: st.queue_high_water,
+        min_eps,
+    }
+}
+
+/// Render the `BENCH_serve.json` document.
+pub fn report_json(m: &ServeMeasurement) -> String {
+    ObjectWriter::new()
+        .str_field("schema", "synchrel/BENCH_serve/v1")
+        .str_field("git_rev", &super::git_rev())
+        .bool_field("dirty", super::git_dirty())
+        .str_field("transport", "tcp-loopback")
+        .u64_field("clients", m.clients)
+        .u64_field("events_per_client", m.events_per_client)
+        .u64_field("total_events", m.total_events)
+        .u64_field("window", WINDOW as u64)
+        .f64_field("elapsed_secs", m.elapsed_secs)
+        .f64_field("events_per_sec", m.events_per_sec)
+        .u64_field("wal_appends", m.wal_appends)
+        .u64_field("wal_fsyncs", m.wal_fsyncs)
+        .f64_field("group_commit_ratio", m.group_commit_ratio())
+        .u64_field("last_lsn", m.last_lsn)
+        .u64_field("busy_retries", m.busy_retries)
+        .u64_field("queue_high_water", m.queue_high_water)
+        .f64_field("min_eps", m.min_eps)
+        .bool_field("serve_ok", m.gate())
+        .finish()
+}
+
+/// Measure, render the table, and (optionally) write the JSON.
+pub fn run_to(json_path: Option<&str>) -> String {
+    let clients = env_u64(CLIENTS_ENV, CLIENTS).max(1);
+    let events = env_u64(EVENTS_ENV, EVENTS_PER_CLIENT).max(1);
+    let min_eps = env_f64(MIN_EPS_ENV, MIN_EPS);
+    let m = measure(clients, events, min_eps);
+
+    let mut t = Table::new([
+        "clients",
+        "events",
+        "events/s",
+        "WAL appends",
+        "fsyncs",
+        "records/fsync",
+        "busy retried",
+    ]);
+    t.row([
+        m.clients.to_string(),
+        m.total_events.to_string(),
+        format!("{:.0}", m.events_per_sec),
+        m.wal_appends.to_string(),
+        m.wal_fsyncs.to_string(),
+        format!("{:.1}", m.group_commit_ratio()),
+        m.busy_retries.to_string(),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nsocket-tier gate (LSN honest, fsyncs*2 <= appends, >= {:.0} ev/s): {}\n",
+        m.min_eps,
+        if m.gate() { "PASS" } else { "FAIL" }
+    ));
+    if let Some(path) = json_path {
+        match std::fs::write(path, report_json(&m)) {
+            Ok(()) => out.push_str(&format!("wrote {path}\n")),
+            Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+/// Default entry point: measure and write `BENCH_serve.json` at the
+/// repository root.
+pub fn run() -> String {
+    run_to(Some(
+        super::bench_artifact("BENCH_serve.json").to_str().unwrap(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_obs::json::is_valid;
+
+    #[test]
+    fn small_fleet_saturates_and_reports_honestly() {
+        let m = measure(2, 300, 0.0);
+        assert_eq!(m.total_events, 600);
+        assert_eq!(m.last_lsn, 600, "acks without WAL records behind them");
+        assert_eq!(m.wal_appends, 600);
+        assert!(
+            m.wal_fsyncs * 2 <= m.wal_appends,
+            "group commit never grouped: {} fsyncs / {} appends",
+            m.wal_fsyncs,
+            m.wal_appends
+        );
+        assert!(m.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let m = ServeMeasurement {
+            clients: 2,
+            events_per_client: 10,
+            total_events: 20,
+            elapsed_secs: 0.5,
+            events_per_sec: 40.0,
+            wal_appends: 20,
+            wal_fsyncs: 4,
+            last_lsn: 20,
+            busy_retries: 1,
+            queue_high_water: 9,
+            min_eps: 10.0,
+        };
+        let json = report_json(&m);
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_serve/v1\""));
+        assert!(json.contains("\"serve_ok\":true"), "{json}");
+        assert!(json.contains("\"group_commit_ratio\":"), "{json}");
+        assert!(is_valid(&json), "{json}");
+    }
+}

@@ -12,9 +12,10 @@ use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
 use synchrel_obs::{MetricsRegistry, SpanLog};
 use synchrel_serve::{
-    case_commands, duplex, run_chaos_case, run_chaos_seeds, ChaosMismatch, Client,
-    Command as ServeCommand, CrashPlan, CrashPoint, DirStorage, OverloadPolicy,
-    Response as ServeResponse, Server, ServerConfig,
+    case_commands, duplex, run_chaos_case, run_chaos_seeds, run_failover_case, run_failover_seeds,
+    run_follower, ChaosMismatch, Client, Command as ServeCommand, CrashPlan, CrashPoint,
+    DirStorage, Follower, ListenAddr, OverloadPolicy, Response as ServeResponse, Server,
+    ServerConfig, Service, ServiceConfig, Storage,
 };
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload;
@@ -77,6 +78,21 @@ commands:
                          snapshots under <dir>; --crash-after kills the
                          server after the Nth durable record, leaving
                          state on disk for `replay`
+  serve <dir> --listen <tcp:HOST:PORT|uds:/path> [--processes N]
+      [--repl-queue N] [--duration SECS]
+                         serve real clients over TCP or a Unix socket
+                         (group-committed WAL under <dir>, replication
+                         enabled: a follower that dials in receives the
+                         WAL stream); stops after --duration seconds,
+                         or on stdin EOF when 0 (the default).
+                         Promotion is just recovery: after a primary
+                         dies, `serve <follower-dir> --listen ...`
+                         brings the follower up as the new primary
+  follow <dir> --primary <tcp:HOST:PORT|uds:/path> [--processes N]
+                         replicate a live primary into <dir>: persist
+                         every WAL record before applying it, ack by
+                         LSN; returns when the primary dies, leaving
+                         <dir> ready to promote
   replay <dir> [--metrics metrics.prom|metrics.json]
                          recover a server from <dir> (snapshot + WAL
                          replay, torn tails truncated) and print the
@@ -87,6 +103,13 @@ commands:
                          and a crash-riddled server; any verdict or
                          counter divergence fails with a repro seed
                          (exit 1). --case replays one exact case seed
+  failover [--seed S] [--cases N] [--case C]
+                         seeded kill-the-primary sweep: replicate each
+                         case to a follower, kill the primary at a
+                         seed-chosen LSN, promote, resume the client,
+                         and demand verdicts identical to an
+                         uninterrupted run (exit 1 on divergence).
+                         --case replays one exact case seed
   relations              list the eight relations and their conditions
 ";
 
@@ -108,8 +131,10 @@ pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
         "overlap" => overlap(&rest),
         "fuzz" => fuzz(&rest),
         "serve" => serve(&rest),
+        "follow" => follow(&rest),
         "replay" => replay(&rest),
         "chaos" => chaos(&rest),
+        "failover" => failover(&rest),
         "relations" => {
             relations_table();
             Ok(ExitCode::SUCCESS)
@@ -667,6 +692,9 @@ fn write_serve_metrics(path: &str, server: &Server<DirStorage>) -> Result<(), An
 
 fn serve(a: &Args) -> Result<ExitCode, AnyError> {
     let dir = a.pos(0, "state directory")?;
+    if a.opt("listen").is_some() {
+        return serve_listen(a, dir);
+    }
     let seed = match a.opt("seed") {
         Some(v) => parse_seed("seed", v)?,
         None => 0x5E17_E001,
@@ -679,7 +707,7 @@ fn serve(a: &Args) -> Result<ExitCode, AnyError> {
     let cfg = serve_config(a, cc.processes)?;
     let storage = DirStorage::open(dir)?;
     let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end)?;
+    let mut server = Server::recover(storage, cfg)?;
     if server.stats().recovered {
         eprintln!(
             "recovered prior state from {dir}: {} WAL records replayed, {} torn tails truncated",
@@ -701,7 +729,7 @@ fn serve(a: &Args) -> Result<ExitCode, AnyError> {
     for cmd in cc.cmds.iter().chain(&cc.probes) {
         let call = client.call(cmd, || {
             if !server.is_crashed() {
-                server.pump(0);
+                server.pump(&mut server_end.clone(), 0);
             }
         });
         match call {
@@ -732,12 +760,89 @@ fn serve(a: &Args) -> Result<ExitCode, AnyError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `serve <dir> --listen <addr>`: the real socket service.
+fn serve_listen(a: &Args, dir: &str) -> Result<ExitCode, AnyError> {
+    let spec = a.opt("listen").expect("checked by caller");
+    let addr = ListenAddr::parse(spec).map_err(|e| format!("--listen: {e}"))?;
+    let cfg = serve_config(a, a.num("processes", 2)?)?;
+    let storage = DirStorage::open(dir)?;
+    let mut server = Server::recover(storage, cfg)?;
+    if server.stats().recovered {
+        eprintln!(
+            "recovered prior state from {dir}: {} WAL records replayed, {} torn tails truncated",
+            server.stats().replayed,
+            server.stats().torn_truncations
+        );
+    }
+    server.enable_replication(a.num("repl-queue", 1024)?);
+    let svc = Service::start(&addr, server, ServiceConfig::default())?;
+    println!("listening on {}", svc.local_addr());
+
+    let duration: u64 = a.num("duration", 0)?;
+    if duration > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration));
+    } else {
+        eprintln!("serving until stdin closes (press Ctrl-D to stop)");
+        let mut sink = String::new();
+        while std::io::stdin().read_line(&mut sink).unwrap_or(0) > 0 {
+            sink.clear();
+        }
+    }
+
+    let (connections, frames) = (svc.connections(), svc.frames());
+    let server = svc.stop();
+    let st = server.stats();
+    println!(
+        "service: {connections} connections, {frames} frames, {} WAL appends, \
+         {} fsyncs, {} snapshots, {} busy, {} shed, replication lag {}",
+        st.wal_appends,
+        server.storage().syncs(),
+        st.snapshots,
+        st.busy,
+        st.shed,
+        server.repl_lag()
+    );
+    if let Some(path) = a.opt("metrics") {
+        write_serve_metrics(path, &server)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `follow <dir> --primary <addr>`: replicate until the primary dies.
+fn follow(a: &Args) -> Result<ExitCode, AnyError> {
+    let dir = a.pos(0, "state directory")?;
+    let spec = a
+        .opt("primary")
+        .ok_or(ArgError::MissingPositional("--primary address"))?;
+    let addr = ListenAddr::parse(spec).map_err(|e| format!("--primary: {e}"))?;
+    let cfg = serve_config(a, a.num("processes", 2)?)?;
+    let follower = Follower::open(DirStorage::open(dir)?, cfg)?;
+    println!(
+        "following {addr}, durable through LSN {}",
+        follower.durable_lsn()
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let follower = run_follower(follower, &addr, &stop)?;
+    let st = *follower.stats();
+    println!(
+        "primary gone: durable through LSN {} ({} records, {} snapshots, \
+         {} duplicates, {} gaps)",
+        follower.durable_lsn(),
+        st.records,
+        st.snapshots,
+        st.duplicates,
+        st.gaps
+    );
+    println!("promote with: synchrel serve {dir} --listen <addr>");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn replay(a: &Args) -> Result<ExitCode, AnyError> {
     let dir = a.pos(0, "state directory")?;
     let storage = DirStorage::open(dir)?;
     let (wire, server_end) = duplex();
     let cfg = serve_config(a, a.num("processes", 2)?)?;
-    let mut server = Server::recover(storage, cfg, server_end)?;
+    let mut server = Server::recover(storage, cfg)?;
     let st = server.stats().clone();
     println!(
         "recovery: recovered={} replayed={} torn_truncations={} ({} µs)",
@@ -751,7 +856,7 @@ fn replay(a: &Args) -> Result<ExitCode, AnyError> {
         ServeCommand::Stats,
     ] {
         let resp = client.call(&cmd, || {
-            server.pump(0);
+            server.pump(&mut server_end.clone(), 0);
         })?;
         if !matches!(cmd, ServeCommand::Poll) {
             print_probe(&resp);
@@ -816,6 +921,69 @@ fn report_chaos_mismatch(m: &ChaosMismatch) {
     println!("  seed:    {:#x}", m.seed);
     println!("  detail:  {}", m.detail);
     println!("reproduce: synchrel chaos --case {:#x}", m.seed);
+}
+
+fn failover(a: &Args) -> Result<ExitCode, AnyError> {
+    if let Some(v) = a.opt("case") {
+        let seed = parse_seed("case", v)?;
+        return Ok(match run_failover_case(seed) {
+            Ok(o) => {
+                println!(
+                    "failover case {seed:#x}: OK ({} commands, kill at LSN {}, lag {}, \
+                     resumed from req {}, {} re-issued{})",
+                    o.commands,
+                    o.kill_lsn,
+                    o.lag_at_kill,
+                    o.resumed_from,
+                    o.replayed_suffix,
+                    if o.skipped {
+                        "; degenerate, skipped"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(m) => {
+                report_failover_mismatch(&m);
+                ExitCode::from(1)
+            }
+        });
+    }
+    let seed = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 0xFA11_BACC,
+    };
+    let cases: u64 = a.num("cases", 200)?;
+    match run_failover_seeds(seed, cases) {
+        Ok(st) => {
+            println!(
+                "failover OK: {} cases ({} skipped), {} promotions ({} with real lag, \
+                 max lag {}), {} commands re-issued, {} commands driven, zero divergences \
+                 [base seed {seed:#x}]",
+                st.cases,
+                st.skipped,
+                st.promotions,
+                st.lagged_promotions,
+                st.lag_max,
+                st.replayed_suffix,
+                st.commands
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(m) => {
+            report_failover_mismatch(&m);
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// Print a failover divergence with its repro command.
+fn report_failover_mismatch(m: &synchrel_serve::failover::FailoverMismatch) {
+    println!("failover DIVERGENCE:");
+    println!("  seed:    {:#x}", m.seed);
+    println!("  detail:  {}", m.detail);
+    println!("reproduce: synchrel failover --case {:#x}", m.seed);
 }
 
 fn relations_table() {

@@ -109,7 +109,11 @@ fn masks() -> &'static Masks {
 /// order: `c = xp·2 + yp`.
 fn combo_proxies(combo: usize) -> (Proxy, Proxy) {
     let xp = if combo / 2 == 0 { Proxy::L } else { Proxy::U };
-    let yp = if combo % 2 == 0 { Proxy::L } else { Proxy::U };
+    let yp = if combo.is_multiple_of(2) {
+        Proxy::L
+    } else {
+        Proxy::U
+    };
     (xp, yp)
 }
 
@@ -237,8 +241,7 @@ impl IntervalState {
     }
 
     fn flags(&self) -> Flags {
-        let nc = self.closed
-            || (self.declared.is_some() && self.nodes_seen == self.declared_count);
+        let nc = self.closed || (self.declared.is_some() && self.nodes_seen == self.declared_count);
         Flags { c: self.closed, nc }
     }
 }
@@ -822,7 +825,7 @@ mod tests {
                         continue;
                     }
                     let r = splitmix(seed ^ (k as u64) << 20 ^ (p as u64) << 8);
-                    if r % 2 == 0 {
+                    if r.is_multiple_of(2) {
                         members.push(EventId::new(p as u32, (r >> 8) as u32 % len + 1));
                         members.push(EventId::new(p as u32, (r >> 40) as u32 % len + 1));
                     }
@@ -891,10 +894,7 @@ mod tests {
                     let sy = eval.summarize_proxies(&py);
                     let (want, _) = eval.eval_all_proxy_fused(&sx, &sy);
                     let got = det.relations(x, y).expect("pair linked");
-                    assert_eq!(
-                        got, want,
-                        "seed {seed} pair ({x},{y}) diverges at prefix"
-                    );
+                    assert_eq!(got, want, "seed {seed} pair ({x},{y}) diverges at prefix");
                     let s = det.settled_mask(x, y);
                     let (ps, pv) = prev.get(&(x, y)).copied().unwrap_or((0, 0));
                     assert_eq!(ps & !s, 0, "seed {seed}: settled mask shrank");

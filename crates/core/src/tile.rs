@@ -71,6 +71,7 @@ impl TilePartition {
         let grain = grain.max(1);
         if threads == 1 {
             // Nothing to balance: one band, empty tail, no atomics.
+            #[allow(clippy::single_range_in_vec_init)]
             return TilePartition {
                 bands: vec![0..n],
                 tail: n..n,

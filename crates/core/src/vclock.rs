@@ -384,7 +384,11 @@ mod tests {
         assert_eq!(va[1], 2);
         assert_eq!(va.width(), 3);
         assert_eq!(va.to_clock(), a);
-        assert!(va == a && a == va);
+        // Both symmetric PartialEq impls, deliberately spelled out.
+        #[allow(clippy::nonminimal_bool)]
+        {
+            assert!(va == a && a == va);
+        }
         assert_eq!(va.to_string(), a.to_string());
         assert_eq!(format!("{va:?}"), format!("{a:?}"));
     }

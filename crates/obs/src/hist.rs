@@ -66,7 +66,7 @@ impl Histogram {
         // Ceiling-divide by 2^scale so v lands in the first bucket
         // whose bound is >= v (bounds are `le`, inclusive).
         let unit = 1u64 << self.scale;
-        let scaled = v / unit + u64::from(v % unit != 0);
+        let scaled = v / unit + u64::from(!v.is_multiple_of(unit));
         let b = &self.counts[bucket_index(scaled)];
         b.set(b.get() + 1);
         self.sum.set(self.sum.get() + v);

@@ -22,16 +22,17 @@ use synchrel_core::Relation;
 use synchrel_monitor::differential::{shuffle, wire_reports, DiffCase};
 use synchrel_sim::fault::mix;
 
-use crate::client::Client;
-use crate::proto::{duplex, Command, Response};
-use crate::server::{CrashPlan, CrashPoint, RecoverError, Server, ServerConfig, ServerStats};
+use crate::client::{Client, ClientError, Pump};
+use crate::proto::{Command, Response};
+use crate::server::{CrashPlan, CrashPoint, Server, ServerConfig, ServerStats};
 use crate::storage::MemStorage;
+use crate::transport::{DuplexFactory, WireFactory};
 
 const SALT_CASE: u64 = 0xC405;
 const SALT_CRASH: u64 = 0xC7A5;
 const SALT_POINT: u64 = 0x9017;
 const SALT_CFG: u64 = 0xCF60;
-const SALT_CLIENT: u64 = 0xC11E;
+pub(crate) const SALT_CLIENT: u64 = 0xC11E;
 
 /// A reproducible disagreement between the reference and chaos runs
 /// (or a run that failed outright).
@@ -106,7 +107,7 @@ fn crash_plan(seed: u64, k: u64) -> CrashPlan {
 }
 
 /// Seed-derived server configuration (shared by both runs of a case).
-fn case_config(seed: u64, processes: usize) -> ServerConfig {
+pub(crate) fn case_config(seed: u64, processes: usize) -> ServerConfig {
     let mut cfg = ServerConfig::new(processes);
     cfg.snapshot_every = [0, 3, 8][(mix(seed, SALT_CFG, 0) % 3) as usize];
     cfg.pruning = mix(seed, SALT_CFG, 1) % 2 == 1;
@@ -114,84 +115,93 @@ fn case_config(seed: u64, processes: usize) -> ServerConfig {
 }
 
 /// Everything a finished run exposes for comparison.
-struct RunResult {
+pub(crate) struct RunResult {
     /// Responses to the trailing read-only probes, in probe order.
-    probes: Vec<Response>,
+    pub(crate) probes: Vec<Response>,
     /// Server counters at the end of the final lifetime.
-    server_stats: ServerStats,
-    crashes: u64,
-    recoveries: u64,
-    retries: u64,
+    pub(crate) server_stats: ServerStats,
+    pub(crate) crashes: u64,
+    pub(crate) recoveries: u64,
+    pub(crate) retries: u64,
 }
 
-/// Drive `cmds` then `probes` through one server over fresh storage.
+/// Drive `cmds` then `probes` through one server over fresh storage,
+/// connected by whatever wire `factory` produces (in-process duplex or
+/// a real loopback socket — the sweep must not be able to tell).
 /// `crashes` arms that many seed-derived [`CrashPlan`]s, one per
 /// lifetime (`0` = the reference run).
-fn drive(
+pub(crate) fn drive(
     seed: u64,
     cfg: &ServerConfig,
     cmds: &[Command],
     probes: &[Command],
     crashes: u64,
+    factory: &mut dyn WireFactory,
 ) -> Result<RunResult, String> {
-    let (client_end, server_end) = duplex();
+    let (client_end, mut server_end) = factory
+        .pair()
+        .map_err(|e| format!("wire bring-up failed: {e}"))?;
     let storage = MemStorage::new();
-    let mut server = Server::recover(storage.clone(), cfg.clone(), server_end.clone())
+    let mut server = Server::recover(storage.clone(), cfg.clone())
         .map_err(|e| format!("initial bring-up failed: {e}"))?;
     if crashes > 0 {
         server.arm_crash(crash_plan(seed, 0));
     }
 
     let mut client = Client::new(client_end, mix(seed, SALT_CLIENT, 0));
+    client.set_max_attempts(factory.max_attempts());
     let mut fired = 0u64;
     let mut recoveries = 0u64;
-    let mut recover_err: Option<RecoverError> = None;
+    let mut aborts = 0u64;
 
-    let mut run = |cmd: &Command,
-                   server: &mut Server<MemStorage>,
-                   client: &mut Client,
-                   recover_err: &mut Option<RecoverError>|
-     -> Result<Response, String> {
-        let resp = client
-            .call(cmd, || {
-                if server.is_crashed() {
-                    // The wire dies with the process: every in-flight
-                    // frame (including the retry just sent) is lost.
-                    server_end.reset();
-                    fired += 1;
-                    match Server::recover(storage.clone(), cfg.clone(), server_end.clone()) {
-                        Ok(s) => {
-                            *server = s;
-                            recoveries += 1;
-                            if recoveries < crashes {
-                                server.arm_crash(crash_plan(seed, recoveries));
-                            }
-                        }
-                        Err(e) => *recover_err = Some(e),
-                    }
-                    return;
-                }
-                server.pump(0);
-            })
-            .map_err(|e| e.to_string())?;
-        if let Some(e) = recover_err.take() {
-            return Err(format!("recovery failed: {e}"));
-        }
-        Ok(resp)
-    };
-
-    for cmd in cmds {
-        match run(cmd, &mut server, &mut client, &mut recover_err)? {
-            Response::Error(e) => return Err(format!("server refused {cmd:?}: {e}")),
-            Response::Busy | Response::Shed => {
-                return Err(format!("unexpected overload response to {cmd:?}"))
-            }
-            _ => {}
-        }
-    }
     let mut probe_responses = Vec::with_capacity(probes.len());
-    for cmd in probes {
-        probe_responses.push(run(cmd, &mut server, &mut client, &mut recover_err)?);
+    for (i, cmd) in cmds.iter().chain(probes.iter()).enumerate() {
+        let resp = loop {
+            let attempt = client.call_ctl(cmd, || {
+                if server.is_crashed() {
+                    return Pump::Abort;
+                }
+                server.pump(&mut server_end, 0);
+                if server.is_crashed() {
+                    Pump::Abort
+                } else {
+                    Pump::Continue
+                }
+            });
+            match attempt {
+                Ok(resp) => break resp,
+                Err(ClientError::Aborted { .. }) => {
+                    // The process died; its connection dies with it
+                    // (every in-flight frame is lost). Recover over the
+                    // same storage, reconnect, re-drive the same id.
+                    fired += 1;
+                    aborts += 1;
+                    let (c, s) = factory
+                        .pair()
+                        .map_err(|e| format!("reconnect failed: {e}"))?;
+                    client.set_wire(c);
+                    server_end = s;
+                    server = Server::recover(storage.clone(), cfg.clone())
+                        .map_err(|e| format!("recovery failed: {e}"))?;
+                    recoveries += 1;
+                    if recoveries < crashes {
+                        server.arm_crash(crash_plan(seed, recoveries));
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        };
+        if i < cmds.len() {
+            match resp {
+                Response::Error(e) => return Err(format!("server refused {cmd:?}: {e}")),
+                Response::Busy | Response::Shed => {
+                    return Err(format!("unexpected overload response to {cmd:?}"))
+                }
+                _ => {}
+            }
+        } else {
+            probe_responses.push(resp);
+        }
     }
 
     Ok(RunResult {
@@ -199,7 +209,7 @@ fn drive(
         server_stats: server.stats().clone(),
         crashes: fired,
         recoveries,
-        retries: client.retries(),
+        retries: client.retries() + aborts,
     })
 }
 
@@ -289,8 +299,18 @@ pub fn case_commands(seed: u64) -> Result<Option<CaseCommands>, ChaosMismatch> {
     }))
 }
 
-/// Run one chaos case.
+/// Run one chaos case over the in-process duplex wire.
 pub fn run_chaos_case(seed: u64) -> Result<ChaosOutcome, ChaosMismatch> {
+    run_chaos_case_with(seed, &mut DuplexFactory)
+}
+
+/// Run one chaos case over whatever wire `factory` produces — the
+/// verdict-equality gate is transport-agnostic, so the same seed must
+/// pass on the duplex and on a real loopback socket alike.
+pub fn run_chaos_case_with(
+    seed: u64,
+    factory: &mut dyn WireFactory,
+) -> Result<ChaosOutcome, ChaosMismatch> {
     let Some(CaseCommands {
         cmds,
         probes,
@@ -306,9 +326,9 @@ pub fn run_chaos_case(seed: u64) -> Result<ChaosOutcome, ChaosMismatch> {
     let cfg = case_config(seed, processes);
     let crashes = 1 + mix(seed, SALT_CRASH, 99) % 3;
 
-    let reference = drive(seed, &cfg, &cmds, &probes, 0)
+    let reference = drive(seed, &cfg, &cmds, &probes, 0, factory)
         .map_err(|e| fail(seed, format!("reference run failed: {e}")))?;
-    let chaos = drive(seed, &cfg, &cmds, &probes, crashes)
+    let chaos = drive(seed, &cfg, &cmds, &probes, crashes, factory)
         .map_err(|e| fail(seed, format!("chaos run failed: {e}")))?;
 
     for (i, (want, got)) in reference.probes.iter().zip(&chaos.probes).enumerate() {
@@ -350,7 +370,7 @@ fn probe_name(probes: &[Command], i: usize) -> String {
 }
 
 /// Strip wall-clock noise before comparing responses.
-fn normalize(resp: Response) -> Response {
+pub(crate) fn normalize(resp: Response) -> Response {
     match resp {
         Response::Stats(mut s) => {
             s.flush_nanos = 0;
@@ -360,12 +380,23 @@ fn normalize(resp: Response) -> Response {
     }
 }
 
-/// Run `cases` seed-derived chaos cases from `base_seed`.
+/// Run `cases` seed-derived chaos cases from `base_seed` over the
+/// in-process duplex wire.
 pub fn run_chaos_seeds(base_seed: u64, cases: u64) -> Result<ChaosStats, ChaosMismatch> {
+    run_chaos_seeds_with(base_seed, cases, &mut DuplexFactory)
+}
+
+/// Run `cases` seed-derived chaos cases from `base_seed` over the wire
+/// `factory` produces.
+pub fn run_chaos_seeds_with(
+    base_seed: u64,
+    cases: u64,
+    factory: &mut dyn WireFactory,
+) -> Result<ChaosStats, ChaosMismatch> {
     let mut stats = ChaosStats::default();
     for i in 0..cases {
         let seed = mix(base_seed, i, SALT_CASE);
-        let o = run_chaos_case(seed)?;
+        let o = run_chaos_case_with(seed, factory)?;
         stats.cases += 1;
         stats.commands += o.commands;
         stats.crashes += o.crashes;

@@ -8,6 +8,13 @@
 //! dedup window, not the client's luck, decides whether the command
 //! runs once.
 //!
+//! The client speaks over any [`Transport`]: the in-process duplex,
+//! TCP, or a Unix socket — retry behaviour is identical because a
+//! socket read timeout and an empty duplex queue both surface as
+//! "no frame yet". A non-zero `client_id` namespaces the request ids
+//! (top 16 bits, see [`make_req`]) so concurrent clients cannot
+//! collide in the server's dedup window.
+//!
 //! Time is virtual: backoff delays accumulate in
 //! [`Client::waited_virtual`] instead of sleeping, which keeps the
 //! chaos harness deterministic and fast.
@@ -15,8 +22,9 @@
 use synchrel_sim::Backoff;
 
 use crate::proto::{
-    decode_frame, decode_response, request_frame, Command, Endpoint, Response, KIND_RESPONSE,
+    decode_frame, decode_response, make_req, request_frame, Command, Response, KIND_RESPONSE,
 };
+use crate::transport::Transport;
 
 /// What a [`Client::call`] attempt may end in.
 #[derive(Debug)]
@@ -28,6 +36,13 @@ pub enum ClientError {
         /// Attempts made.
         attempts: u32,
     },
+    /// The pump hook aborted the call (e.g. the failover harness saw
+    /// the primary die and must reconnect before resuming). The
+    /// request id is **not** consumed.
+    Aborted {
+        /// Request id the abort interrupted.
+        req: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -36,17 +51,30 @@ impl std::fmt::Display for ClientError {
             ClientError::Exhausted { req, attempts } => {
                 write!(f, "request {req} got no response after {attempts} attempts")
             }
+            ClientError::Aborted { req } => {
+                write!(f, "request {req} aborted by the pump hook")
+            }
         }
     }
 }
 
 impl std::error::Error for ClientError {}
 
+/// What the pump hook tells the retry loop to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pump {
+    /// Keep driving this request.
+    Continue,
+    /// Stop now; [`Client::call_ctl`] returns [`ClientError::Aborted`]
+    /// without consuming the request id.
+    Abort,
+}
+
 /// The retrying client half of a connection.
-#[derive(Debug)]
-pub struct Client {
-    endpoint: Endpoint,
-    next_req: u64,
+pub struct Client<T: Transport> {
+    wire: T,
+    client_id: u16,
+    next_seq: u64,
     backoff_seed: u64,
     /// Base backoff delay (virtual ticks).
     backoff_base: u64,
@@ -60,12 +88,20 @@ pub struct Client {
     retries: u64,
 }
 
-impl Client {
-    /// A client speaking over `endpoint`, with seeded backoff.
-    pub fn new(endpoint: Endpoint, seed: u64) -> Client {
+impl<T: Transport> Client<T> {
+    /// A client speaking over `wire` as client 0, with seeded backoff.
+    pub fn new(wire: T, seed: u64) -> Client<T> {
+        Client::with_id(wire, seed, 0)
+    }
+
+    /// A client with an explicit id (the top 16 bits of every request
+    /// id it issues — what keeps concurrent clients' dedup windows
+    /// disjoint).
+    pub fn with_id(wire: T, seed: u64, client_id: u16) -> Client<T> {
         Client {
-            endpoint,
-            next_req: 0,
+            wire,
+            client_id,
+            next_seq: 0,
             backoff_seed: seed,
             backoff_base: 1,
             backoff_cap: 64,
@@ -75,19 +111,37 @@ impl Client {
         }
     }
 
-    /// A client resuming against a recovered server, starting at its
-    /// [`next_req`](crate::server::Server::next_req) watermark so fresh
-    /// requests are not mistaken for replays of consumed ids.
-    pub fn resuming(endpoint: Endpoint, seed: u64, next_req: u64) -> Client {
+    /// A client resuming against a recovered (or promoted) server,
+    /// starting at its [`next_req`](crate::server::Server::next_req)
+    /// watermark so fresh requests are not mistaken for replays of
+    /// consumed ids.
+    pub fn resuming(wire: T, seed: u64, next_req: u64) -> Client<T> {
         Client {
-            next_req,
-            ..Client::new(endpoint, seed)
+            next_seq: next_req,
+            ..Client::new(wire, seed)
         }
     }
 
-    /// Next request id to be issued.
+    /// Replace the connection (reconnect after a failover) keeping the
+    /// id sequence and backoff state.
+    pub fn set_wire(&mut self, wire: T) {
+        self.wire = wire;
+    }
+
+    /// This client's id (request-id namespace).
+    pub fn client_id(&self) -> u16 {
+        self.client_id
+    }
+
+    /// Next request id to be issued (sequence part).
     pub fn next_req(&self) -> u64 {
-        self.next_req
+        self.next_seq
+    }
+
+    /// Raise the retry budget (socket transports with real timeouts
+    /// may need more patience than the in-process duplex).
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        self.max_attempts = attempts;
     }
 
     /// Total virtual ticks spent in backoff so far.
@@ -104,7 +158,23 @@ impl Client {
     /// until a response for this request id arrives. Retries with
     /// backoff on `Busy` or silence; same id every time.
     pub fn call(&mut self, cmd: &Command, mut pump: impl FnMut()) -> Result<Response, ClientError> {
-        let req = self.next_req;
+        self.call_ctl(cmd, || {
+            pump();
+            Pump::Continue
+        })
+    }
+
+    /// Like [`Client::call`], but the pump hook can abort the call
+    /// (returning [`ClientError::Aborted`] with the id unconsumed) —
+    /// how the failover harness bails out when the primary dies and a
+    /// reconnect to the promoted follower is needed.
+    pub fn call_ctl(
+        &mut self,
+        cmd: &Command,
+        mut pump: impl FnMut() -> Pump,
+    ) -> Result<Response, ClientError> {
+        let seq = self.next_seq;
+        let req = make_req(self.client_id, seq);
         let mut backoff = Backoff::new(
             self.backoff_seed ^ req.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             self.backoff_base,
@@ -115,13 +185,15 @@ impl Client {
                 self.retries += 1;
                 self.waited += backoff.next_delay();
             }
-            self.endpoint.send(request_frame(req, cmd));
-            pump();
+            let _ = self.wire.send(&request_frame(req, cmd));
+            if pump() == Pump::Abort {
+                return Err(ClientError::Aborted { req });
+            }
             if let Some(resp) = self.take_response(req) {
                 match resp {
                     Response::Busy => continue, // backpressure: retry
                     resp => {
-                        self.next_req = req + 1;
+                        self.next_seq = seq + 1;
                         return Ok(resp);
                     }
                 }
@@ -136,9 +208,10 @@ impl Client {
     }
 
     /// Drain incoming frames until one answers `req` (stale responses
-    /// from earlier attempts are discarded).
+    /// from earlier attempts are discarded). A transport error reads
+    /// as silence: the retry loop owns reconnection policy.
     fn take_response(&mut self, req: u64) -> Option<Response> {
-        while let Some(bytes) = self.endpoint.recv() {
+        while let Some(bytes) = self.wire.recv().unwrap_or(None) {
             let Ok(frame) = decode_frame(&bytes) else {
                 continue;
             };

@@ -23,25 +23,50 @@
 //!   ids and seeded exponential backoff ([`synchrel_sim::Backoff`]);
 //!   at-least-once delivery plus server dedup yields exactly-once
 //!   application.
+//! * [`transport`] — the [`Transport`](transport::Transport)
+//!   abstraction that carries those frames over the in-process duplex,
+//!   TCP, or a Unix-domain socket, plus the incremental
+//!   [`FrameBuffer`](transport::FrameBuffer) stream decoder.
+//! * [`replica`] — primary→follower WAL streaming: the follower
+//!   persists each record *before* applying it, acks by LSN, and is
+//!   promotable into a full [`Server`](server::Server) when the
+//!   primary dies.
+//! * [`net`] — the threaded service tier: a TCP/UDS listener with
+//!   thread-per-connection readers feeding one serving thread.
 //! * [`chaos`] — the seeded kill/restart sweep proving all of the
 //!   above: a reference run and a crash-riddled run must produce
-//!   identical verdicts and counters.
+//!   identical verdicts and counters (over the duplex *and* over real
+//!   loopback sockets).
+//! * [`failover`] — the seeded kill-the-primary sweep: crash at a
+//!   chosen LSN, promote the follower, resume the client, and demand
+//!   byte-identical verdicts against an uninterrupted reference.
 
 pub mod chaos;
 pub mod client;
+pub mod failover;
+pub mod net;
 pub mod proto;
+pub mod replica;
 pub mod server;
 pub mod storage;
+pub mod transport;
 pub mod wal;
 
 pub use chaos::{
-    case_commands, run_chaos_case, run_chaos_seeds, CaseCommands, ChaosMismatch, ChaosOutcome,
-    ChaosStats,
+    case_commands, run_chaos_case, run_chaos_case_with, run_chaos_seeds, run_chaos_seeds_with,
+    CaseCommands, ChaosMismatch, ChaosOutcome, ChaosStats,
 };
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Pump};
+pub use failover::{run_failover_case, run_failover_seeds, FailoverOutcome, FailoverStats};
+pub use net::{run_follower, Service, ServiceConfig};
 pub use proto::{duplex, Command, Endpoint, Response};
+pub use replica::{pump_replication, Follower, FollowerStats, ReplError, Replicator};
 pub use server::{
     CrashPlan, CrashPoint, OverloadPolicy, RecoverError, Server, ServerConfig, ServerStats,
 };
-pub use storage::{DirStorage, MemStorage, Storage};
+pub use storage::{DirStorage, MemStorage, Storage, SyncMemStorage};
+pub use transport::{
+    connect, DuplexFactory, FrameBuffer, ListenAddr, Listener, StreamTransport, TcpLoopbackFactory,
+    Transport, WireFactory,
+};
 pub use wal::{WalError, WalRecord};

@@ -1,0 +1,540 @@
+//! The threaded socket tier: a real listener in front of one serving
+//! thread.
+//!
+//! ## Shape
+//!
+//! * An **acceptor thread** owns the [`Listener`] (TCP or Unix-domain)
+//!   in non-blocking mode and hands each accepted connection a reader
+//!   thread plus a writer handle.
+//! * A **reader thread per connection** reassembles `"SR"` frames from
+//!   the byte stream ([`StreamTransport`]) and feeds them into one
+//!   **bounded** ingest channel. When the serving thread falls behind,
+//!   the channel fills, readers block, kernel socket buffers fill, and
+//!   the peer's `send` stalls — backpressure propagates all the way to
+//!   the socket without any unbounded queue. (Admission-level `Busy` /
+//!   `Shed` policy is still the server's, decided per command.)
+//! * The **serving thread** owns the [`Server`]. It collects up to a
+//!   batch of frames per cycle and runs them through
+//!   [`Server::handle_batch`] — group commit: one `wal_sync` covers the
+//!   whole batch, and no response leaves before that fsync.
+//!
+//! ## Replication over the same port
+//!
+//! A follower dials the *same* listen address and introduces itself
+//! with a [`KIND_REPL_ACK`](crate::proto::KIND_REPL_ACK) frame asking
+//! for a resync from its durable LSN. The serving thread marks that
+//! connection as the replication peer and ships
+//! [`Server::repl_next_frame`] output to it after every batch; acks
+//! flow back through the normal frame path. A dead or slow follower
+//! costs lag, never throughput ([`Replicator`](crate::replica)
+//! semantics).
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::proto::KIND_REPL_ACK;
+use crate::replica::{ack_frame, Follower, ReplError};
+use crate::server::Server;
+use crate::storage::Storage;
+use crate::transport::{connect, Conn, ListenAddr, Listener, StreamTransport, Transport};
+
+/// Tuning knobs for the socket tier.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Most frames folded into one group-commit batch.
+    pub batch_max: usize,
+    /// Bound of the shared reader→server channel (socket-level
+    /// backpressure kicks in beyond it).
+    pub ingest_capacity: usize,
+    /// Serving-thread wait for the first frame of a cycle.
+    pub poll: Duration,
+    /// Per-connection read timeout (how often readers notice shutdown).
+    pub read_timeout: Duration,
+    /// Most replication frames shipped per serving cycle.
+    pub repl_burst: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            batch_max: 128,
+            ingest_capacity: 1024,
+            poll: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(25),
+            repl_burst: 256,
+        }
+    }
+}
+
+/// Counters the serving thread publishes for observers (the bench
+/// harness polls replication lag through these without stopping the
+/// service).
+#[derive(Debug, Default)]
+struct Shared {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    repl_lag: AtomicU64,
+    repl_acked: AtomicU64,
+}
+
+enum Msg {
+    /// A connection was accepted; the payload is its writer handle.
+    Open(u64, Conn),
+    /// One whole frame arrived on connection `id`.
+    Frame(u64, Vec<u8>),
+    /// Connection `id` is gone.
+    Gone(u64),
+}
+
+/// A running service: listener + readers + one serving thread that
+/// owns the [`Server`]. [`Service::stop`] tears the threads down and
+/// hands the server back (with all its counters).
+pub struct Service<S: Storage + Send + 'static> {
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    addr: ListenAddr,
+    acceptor: JoinHandle<()>,
+    serving: JoinHandle<Server<S>>,
+}
+
+impl<S: Storage + Send + 'static> Service<S> {
+    /// Bind `addr` and start serving `server` on it.
+    pub fn start(
+        addr: &ListenAddr,
+        server: Server<S>,
+        cfg: ServiceConfig,
+    ) -> io::Result<Service<S>> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.ingest_capacity.max(1));
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            thread::spawn(move || accept_loop(listener, tx, shutdown, shared, cfg))
+        };
+        let serving = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            thread::spawn(move || serve_loop(server, rx, shutdown, shared, cfg))
+        };
+        Ok(Service {
+            shutdown,
+            shared,
+            addr: bound,
+            acceptor,
+            serving,
+        })
+    }
+
+    /// The bound address clients should dial (kernel-picked ports
+    /// resolved).
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Frames handled so far.
+    pub fn frames(&self) -> u64 {
+        self.shared.frames.load(Ordering::Relaxed)
+    }
+
+    /// Current replication lag (durable LSN − follower-acked LSN),
+    /// as of the last serving cycle.
+    pub fn repl_lag(&self) -> u64 {
+        self.shared.repl_lag.load(Ordering::Relaxed)
+    }
+
+    /// Highest LSN the follower has acked, as of the last cycle.
+    pub fn repl_acked(&self) -> u64 {
+        self.shared.repl_acked.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain, join every thread, and hand the server
+    /// back.
+    pub fn stop(self) -> Server<S> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join();
+        match self.serving.join() {
+            Ok(server) => server,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    tx: SyncSender<Msg>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+) {
+    let mut next_id = 0u64;
+    let mut readers = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let id = next_id;
+                next_id += 1;
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let setup = conn
+                    .set_read_timeout(Some(cfg.read_timeout))
+                    .and_then(|()| {
+                        let writer = conn.try_clone()?;
+                        Ok(writer)
+                    });
+                let writer = match setup {
+                    Ok(w) => w,
+                    Err(_) => continue, // connection died during setup
+                };
+                if tx.send(Msg::Open(id, writer)).is_err() {
+                    return; // serving thread is gone
+                }
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                readers.push(thread::spawn(move || read_loop(id, conn, tx, shutdown)));
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(2)),
+            Err(_) => break, // listener died
+        }
+    }
+    drop(tx);
+    for r in readers {
+        let _ = r.join();
+    }
+}
+
+fn read_loop(id: u64, conn: Conn, tx: SyncSender<Msg>, shutdown: Arc<AtomicBool>) {
+    let mut wire = StreamTransport::new(conn);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match wire.recv() {
+            Ok(Some(frame)) => {
+                // The bounded channel is the backpressure point: block
+                // here (stalling this connection's reads) rather than
+                // buffer without limit.
+                if tx.send(Msg::Frame(id, frame)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => continue, // read timeout: poll shutdown again
+            Err(_) => {
+                let _ = tx.try_send(Msg::Gone(id));
+                return;
+            }
+        }
+    }
+}
+
+fn serve_loop<S: Storage + Send>(
+    mut server: Server<S>,
+    rx: mpsc::Receiver<Msg>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+) -> Server<S> {
+    let mut writers: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut repl_conn: Option<u64> = None;
+    loop {
+        let mut msgs = Vec::new();
+        match rx.recv_timeout(cfg.poll) {
+            Ok(m) => msgs.push(m),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    // One last sweep so frames that raced the flag are
+                    // not silently dropped on the floor.
+                    while let Ok(m) = rx.try_recv() {
+                        msgs.push(m);
+                    }
+                    if msgs.is_empty() {
+                        break;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        while msgs.len() < cfg.batch_max.max(1) {
+            match rx.try_recv() {
+                Ok(m) => msgs.push(m),
+                Err(_) => break,
+            }
+        }
+
+        let mut ids = Vec::new();
+        let mut frames = Vec::new();
+        for m in msgs {
+            match m {
+                Msg::Open(id, writer) => {
+                    writers.insert(id, writer);
+                }
+                Msg::Gone(id) => {
+                    writers.remove(&id);
+                    if repl_conn == Some(id) {
+                        repl_conn = None;
+                    }
+                }
+                Msg::Frame(id, frame) => {
+                    // A follower introduces itself by acking: from then
+                    // on this connection receives the WAL stream.
+                    if frame.get(3) == Some(&KIND_REPL_ACK) {
+                        repl_conn = Some(id);
+                    }
+                    ids.push(id);
+                    frames.push(frame);
+                }
+            }
+        }
+
+        if !frames.is_empty() {
+            shared
+                .frames
+                .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            let responses = server.handle_batch(&frames);
+            for (id, resp) in ids.iter().zip(responses) {
+                let Some(bytes) = resp else { continue };
+                let dead = match writers.get_mut(id) {
+                    Some(w) => w.write_all(&bytes).and_then(|()| w.flush()).is_err(),
+                    None => false,
+                };
+                if dead {
+                    writers.remove(id);
+                    if repl_conn == Some(*id) {
+                        repl_conn = None;
+                    }
+                }
+            }
+        }
+
+        // Apply queued ingests every cycle — at least as fast as the
+        // batch admitted them, so a pure-ingest stream can never pin
+        // the admission queue at capacity (permanent Busy). Idle
+        // cycles catch up completely.
+        if frames.is_empty() {
+            server.drain(0);
+        } else {
+            server.drain(cfg.batch_max.max(1) * 2);
+        }
+
+        if let Some(rid) = repl_conn {
+            let mut shipped = 0;
+            while shipped < cfg.repl_burst {
+                let frame = match server.repl_next_frame() {
+                    Ok(Some(f)) => f,
+                    _ => break,
+                };
+                shipped += 1;
+                let dead = match writers.get_mut(&rid) {
+                    Some(w) => w.write_all(&frame).and_then(|()| w.flush()).is_err(),
+                    None => true,
+                };
+                if dead {
+                    writers.remove(&rid);
+                    repl_conn = None;
+                    break;
+                }
+            }
+        }
+        shared.repl_lag.store(server.repl_lag(), Ordering::Relaxed);
+        if let Some(repl) = server.replication() {
+            shared.repl_acked.store(repl.acked(), Ordering::Relaxed);
+        }
+    }
+    server
+}
+
+/// Run a follower against a live primary: dial `primary`, announce our
+/// durable position with a resync request, then persist + apply the
+/// stream, acking every frame. Returns the follower — ready for
+/// [`Follower::promote`] — when the primary's connection dies or
+/// `shutdown` is raised.
+pub fn run_follower<S: Storage>(
+    mut follower: Follower<S>,
+    primary: &ListenAddr,
+    shutdown: &AtomicBool,
+) -> Result<Follower<S>, ReplError> {
+    let mut wire = connect(primary, Some(Duration::from_millis(25)))?;
+    // Always open with a resync request: the primary rebuilds from
+    // storage and our LSN dedup discards anything we already hold.
+    if wire.send(&ack_frame(follower.durable_lsn(), true)).is_err() {
+        return Ok(follower);
+    }
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(follower);
+        }
+        match wire.recv() {
+            Ok(Some(frame)) => {
+                let ack = follower.handle(&frame)?;
+                if wire.send(&ack).is_err() {
+                    return Ok(follower); // primary gone: promotable
+                }
+            }
+            Ok(None) => continue,
+            Err(_) => return Ok(follower), // primary gone: promotable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::{Command, Response};
+    use crate::server::ServerConfig;
+    use crate::storage::SyncMemStorage;
+    use synchrel_monitor::online::WireEvent;
+
+    fn ingest(i: u64) -> Command {
+        Command::Ingest {
+            process: 0,
+            seq: i,
+            event: WireEvent::Internal,
+            labels: vec![],
+        }
+    }
+
+    #[test]
+    fn service_answers_clients_over_tcp() {
+        let server = Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        let svc = Service::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+
+        let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::new(wire, 7);
+        client.set_max_attempts(512);
+        for i in 0..20u64 {
+            assert_eq!(client.call(&ingest(i), || {}).unwrap(), Response::Ack);
+        }
+        let stats = match client.call(&Command::Stats, || {}).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.applied, 20);
+
+        let server = svc.stop();
+        assert_eq!(server.stats().wal_appends, 20);
+        assert_eq!(server.last_lsn(), 20);
+    }
+
+    #[test]
+    fn two_clients_interleave_without_colliding() {
+        let server = Server::recover(SyncMemStorage::new(), ServerConfig::new(2)).unwrap();
+        let svc = Service::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+
+        let mut handles = Vec::new();
+        for c in 1..=2u16 {
+            let addr = addr.clone();
+            handles.push(thread::spawn(move || {
+                let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+                let mut client = Client::with_id(wire, u64::from(c), c);
+                client.set_max_attempts(512);
+                for i in 0..15u64 {
+                    let cmd = Command::Ingest {
+                        process: usize::from(c) - 1,
+                        seq: i,
+                        event: WireEvent::Internal,
+                        labels: vec![],
+                    };
+                    assert_eq!(client.call(&cmd, || {}).unwrap(), Response::Ack);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let server = svc.stop();
+        assert_eq!(server.stats().wal_appends, 30);
+        assert_eq!(server.next_req_for(1), 15);
+        assert_eq!(server.next_req_for(2), 15);
+    }
+
+    #[test]
+    fn follower_tracks_a_live_service_and_promotes() {
+        let mut server = Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        server.enable_replication(64);
+        let svc = Service::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+
+        let stop_follower = Arc::new(AtomicBool::new(false));
+        let follower_thread = {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop_follower);
+            thread::spawn(move || {
+                let f = Follower::open(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+                run_follower(f, &addr, &stop).unwrap()
+            })
+        };
+
+        let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::new(wire, 3);
+        client.set_max_attempts(512);
+        for i in 0..25u64 {
+            assert_eq!(client.call(&ingest(i), || {}).unwrap(), Response::Ack);
+        }
+        // An unlogged read forces the primary through its lazy ingest
+        // queue so its monitor is comparable to the follower's.
+        client.call(&Command::Stats, || {}).unwrap();
+
+        // Wait (bounded) for the follower to ack everything.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while svc.repl_acked() < 25 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "follower never caught up: acked {}",
+                svc.repl_acked()
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.repl_lag(), 0);
+
+        // Kill the primary; the follower's wire dies and it returns.
+        let primary = svc.stop();
+        stop_follower.store(true, Ordering::SeqCst);
+        let follower = follower_thread.join().unwrap();
+        assert_eq!(follower.durable_lsn(), primary.last_lsn());
+
+        let promoted = follower.promote().unwrap();
+        let norm = |mut s: synchrel_monitor::MonitorStats| {
+            s.flush_nanos = 0;
+            s
+        };
+        assert_eq!(
+            norm(promoted.monitor().stats()),
+            norm(primary.monitor().stats())
+        );
+        assert_eq!(promoted.next_req(), 25);
+    }
+}

@@ -9,8 +9,10 @@
 //! +-------+---------+--------+----------+----------+-----------+----------+
 //! ```
 //!
-//! `kind` is 0 for a request ([`Command`] payload) and 1 for a response
-//! ([`Response`] payload); the CRC covers everything before it. Payloads
+//! `kind` is 0 for a request ([`Command`] payload), 1 for a response
+//! ([`Response`] payload), 2 for a primary→follower replication payload
+//! and 3 for the follower's ack ([`KIND_REPL`] / [`KIND_REPL_ACK`],
+//! used by [`crate::replica`]); the CRC covers everything before it. Payloads
 //! use the hand-rolled binary codec of [`synchrel_core::codec`] — one
 //! tag byte per variant, length-prefixed strings — shared with the WAL
 //! and monitor snapshots. The length prefix makes the framing
@@ -42,6 +44,40 @@ pub const VERSION: u8 = 1;
 pub const KIND_REQUEST: u8 = 0;
 /// Frame kind: response.
 pub const KIND_RESPONSE: u8 = 1;
+/// Frame kind: primary→follower replication payload. `req` carries the
+/// LSN the payload belongs to; the payload is a one-byte tag (0 = raw
+/// WAL record bytes, 1 = service snapshot bytes) followed by the bytes.
+pub const KIND_REPL: u8 = 2;
+/// Frame kind: follower→primary replication ack. `req` carries the
+/// follower's durable LSN; the payload is a one-byte tag (0 = plain
+/// ack, 1 = resync request: the follower saw a gap it cannot fill).
+pub const KIND_REPL_ACK: u8 = 3;
+
+/// Largest frame a stream decoder will accept. Frames above this are
+/// protocol violations (the cap exists so a hostile or corrupt length
+/// prefix cannot make a reader allocate unbounded memory before the
+/// CRC check ever runs). Snapshot replication frames are the largest
+/// legitimate traffic and stay far below this.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bits of a request id holding the per-client sequence number; the
+/// top 16 bits carry the client id. Client 0's ids are therefore plain
+/// sequence numbers — the original single-client numbering, unchanged
+/// on the wire and in the WAL.
+pub const REQ_SEQ_BITS: u32 = 48;
+/// Mask selecting the sequence part of a request id.
+pub const REQ_SEQ_MASK: u64 = (1 << REQ_SEQ_BITS) - 1;
+
+/// Compose a request id from a client id and its sequence number.
+pub fn make_req(client: u16, seq: u64) -> u64 {
+    debug_assert!(seq <= REQ_SEQ_MASK, "sequence number overflows 48 bits");
+    (u64::from(client) << REQ_SEQ_BITS) | (seq & REQ_SEQ_MASK)
+}
+
+/// Split a request id into `(client, seq)`.
+pub fn split_req(req: u64) -> (u64, u64) {
+    (req >> REQ_SEQ_BITS, req & REQ_SEQ_MASK)
+}
 
 /// A client request to the monitoring service.
 ///
@@ -388,7 +424,19 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Fixed header length: magic + version + kind + req + len.
-const HEADER_LEN: usize = 2 + 1 + 1 + 8 + 4;
+pub const HEADER_LEN: usize = 2 + 1 + 1 + 8 + 4;
+
+/// Total encoded length of a frame whose header starts at `bytes[0]`,
+/// if enough of the header is present to tell. Used by stream decoders
+/// to find frame boundaries; the header is *not* validated here beyond
+/// reading the length prefix.
+pub fn frame_len_hint(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    Some(HEADER_LEN + len + 4)
+}
 
 /// Encode a frame into its byte form.
 pub fn encode_frame(kind: u8, req: u64, payload: &[u8]) -> Vec<u8> {
@@ -416,7 +464,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, FrameError> {
         return Err(FrameError::BadVersion(bytes[2]));
     }
     let kind = bytes[3];
-    if kind != KIND_REQUEST && kind != KIND_RESPONSE {
+    if kind > KIND_REPL_ACK {
         return Err(FrameError::BadKind(kind));
     }
     let req = u64::from_le_bytes(bytes[4..12].try_into().unwrap());

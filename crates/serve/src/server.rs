@@ -33,7 +33,7 @@
 //! counters match. Mid-log corruption (CRC mismatch before the tail)
 //! refuses recovery instead of guessing.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::time::Instant;
 
@@ -42,15 +42,22 @@ use synchrel_monitor::online::OnlineMonitor;
 use synchrel_obs::{Histogram, MetricsRegistry};
 
 use crate::proto::{
-    decode_command, response_frame, Command, Endpoint, Frame, Response, KIND_REQUEST,
+    decode_command, decode_frame, response_frame, split_req, Command, Frame, Response,
+    KIND_REPL_ACK, KIND_REQUEST,
 };
+use crate::replica::{self, Replicator};
 use crate::storage::Storage;
+use crate::transport::Transport;
 use crate::wal::{self, crc32, WalError, WalRecord};
 
 /// Magic bytes opening a service snapshot.
 const SNAPSHOT_MAGIC: &[u8] = b"SSNP";
-/// Service snapshot format version.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Service snapshot format version. Version 2 added the per-client
+/// request-id watermark map (multi-client dedup); version-1 snapshots
+/// (single `next_req` cursor = client 0) still restore.
+const SNAPSHOT_VERSION: u8 = 2;
+/// The single-cursor snapshot layout this implementation still reads.
+const SNAPSHOT_VERSION_V1: u8 = 1;
 
 /// What a full ingest queue does to new ingests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -188,20 +195,22 @@ pub struct ServerStats {
     pub queue_high_water: u64,
 }
 
-/// The service: wraps an [`OnlineMonitor`] behind storage and a frame
-/// endpoint.
+/// The service: wraps an [`OnlineMonitor`] behind storage. The server
+/// owns no connection — callers feed it frames ([`Server::pump`] over
+/// any [`Transport`], or [`Server::handle_batch`] from a socket tier)
+/// and forward the response frames it returns.
 #[derive(Debug)]
 pub struct Server<S: Storage> {
     storage: S,
     monitor: OnlineMonitor,
     cfg: ServerConfig,
-    endpoint: Endpoint,
-    /// Lowest request id not yet consumed.
-    next_req: u64,
-    /// Response to the most recently consumed request, replayed to a
-    /// retry of the same id. (Volatile: after a crash, old ids get a
-    /// generic `Ack`.)
-    last_response: Option<(u64, Response)>,
+    /// Per-client dedup watermark: lowest sequence number not yet
+    /// consumed, keyed by the client id in the request's top bits.
+    watermarks: BTreeMap<u64, u64>,
+    /// Response to each client's most recently consumed request,
+    /// replayed to a retry of the same id. (Volatile: after a crash,
+    /// old ids get a generic `Ack`.)
+    last_responses: BTreeMap<u64, (u64, Response)>,
     /// Admitted ingests awaiting application.
     queue: VecDeque<WalRecord>,
     /// LSN of the last record ever logged (durable position).
@@ -214,29 +223,36 @@ pub struct Server<S: Storage> {
     /// Count of records logged this lifetime (crash-plan trigger).
     logged_live: u64,
     crashed: bool,
+    /// Group-commit mode: [`Server::handle_batch`] defers the fsync to
+    /// one `wal_sync` per batch instead of one per record.
+    defer_sync: bool,
+    /// Appended-but-unsynced bytes exist.
+    wal_dirty: bool,
+    /// Primary-side replication state, when enabled.
+    repl: Option<Replicator>,
+    /// Records appended this batch, released to the replicator only
+    /// after the batch fsync succeeds (the follower must never see a
+    /// record the primary could still lose).
+    repl_staged: Vec<(u64, Vec<u8>)>,
 }
 
 impl<S: Storage> Server<S> {
     /// Bring a server up from whatever `storage` holds: a fresh
     /// monitor for empty storage, otherwise snapshot + WAL replay.
-    pub fn recover(
-        mut storage: S,
-        cfg: ServerConfig,
-        endpoint: Endpoint,
-    ) -> Result<Server<S>, RecoverError> {
+    pub fn recover(mut storage: S, cfg: ServerConfig) -> Result<Server<S>, RecoverError> {
         let started = Instant::now();
         let mut stats = ServerStats::default();
 
         let snap = storage.snapshot_bytes()?;
         let had_state = snap.is_some();
-        let (mut monitor, applied_through, mut next_req, shed) = match snap {
+        let (mut monitor, applied_through, mut watermarks, shed) = match snap {
             Some(bytes) => decode_snapshot(&bytes).map_err(RecoverError::Snapshot)?,
             None => {
                 let mut m = OnlineMonitor::new(cfg.processes);
                 if cfg.pruning {
                     m.enable_pruning();
                 }
-                (m, 0, 0, 0)
+                (m, 0, BTreeMap::new(), 0)
             }
         };
         stats.shed = shed;
@@ -256,7 +272,9 @@ impl<S: Storage> Server<S> {
             apply_logged(&mut monitor, &rec.cmd, cfg.max_pending, &mut stats);
             stats.replayed += 1;
             last_lsn = rec.lsn;
-            next_req = next_req.max(rec.req + 1);
+            let (client, seq) = split_req(rec.req);
+            let wm = watermarks.entry(client).or_insert(0);
+            *wm = (*wm).max(seq + 1);
         }
         stats.recovered = had_state || had_wal;
         stats.recovery_micros = started.elapsed().as_micros() as u64;
@@ -271,9 +289,8 @@ impl<S: Storage> Server<S> {
             storage,
             monitor,
             cfg,
-            endpoint,
-            next_req,
-            last_response: None,
+            watermarks,
+            last_responses: BTreeMap::new(),
             queue: VecDeque::new(),
             last_lsn,
             since_snapshot: 0,
@@ -282,6 +299,10 @@ impl<S: Storage> Server<S> {
             crash: None,
             logged_live: 0,
             crashed: false,
+            defer_sync: false,
+            wal_dirty: false,
+            repl: None,
+            repl_staged: Vec::new(),
         })
     }
 
@@ -316,22 +337,35 @@ impl<S: Storage> Server<S> {
         self.queue.len()
     }
 
-    /// Lowest request id not yet consumed (a reconnecting client can
-    /// resume from here).
-    pub fn next_req(&self) -> u64 {
-        self.next_req
+    /// Lowest request id not yet consumed for `client` (a reconnecting
+    /// client can resume from here).
+    pub fn next_req_for(&self, client: u64) -> u64 {
+        self.watermarks.get(&client).copied().unwrap_or(0)
     }
 
-    /// Process every waiting request frame, then drain up to `budget`
-    /// queued ingests (0 = drain everything). Returns the number of
-    /// frames handled.
-    pub fn pump(&mut self, budget: usize) -> usize {
+    /// Client 0's watermark — the original single-client accessor,
+    /// unchanged for every caller that predates client ids.
+    pub fn next_req(&self) -> u64 {
+        self.next_req_for(0)
+    }
+
+    /// Durable log position: LSN of the last record ever logged.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// Process every frame waiting on `wire` (sending responses back),
+    /// then drain up to `budget` queued ingests (0 = drain everything).
+    /// Returns the number of frames handled.
+    pub fn pump<T: Transport + ?Sized>(&mut self, wire: &mut T, budget: usize) -> usize {
         let mut handled = 0;
         while !self.crashed {
-            let Some(bytes) = self.endpoint.recv() else {
+            let Some(bytes) = wire.recv().unwrap_or(None) else {
                 break;
             };
-            self.handle_frame(&bytes);
+            if let Some(resp) = self.handle_bytes(&bytes) {
+                let _ = wire.send(&resp);
+            }
             handled += 1;
         }
         if !self.crashed {
@@ -364,46 +398,97 @@ impl<S: Storage> Server<S> {
         self.drain(0);
     }
 
-    fn handle_frame(&mut self, bytes: &[u8]) {
-        let frame = match crate::proto::decode_frame(bytes) {
+    /// Handle one raw frame; `Some` is the encoded response frame to
+    /// send back, `None` means no response (bad frame, or a crash fired
+    /// mid-request). This is the single entry point shared by the
+    /// lockstep [`Server::pump`] and the threaded socket tier.
+    pub fn handle_bytes(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let frame = match decode_frame(bytes) {
             Ok(f) => f,
             Err(_) => {
                 self.stats.bad_frames += 1;
-                return;
+                return None;
             }
         };
+        if frame.kind == KIND_REPL_ACK {
+            self.repl_handle_ack(&frame);
+            return None;
+        }
         if frame.kind != KIND_REQUEST {
             self.stats.bad_frames += 1;
-            return;
+            return None;
         }
-        let Some(resp) = self.handle_request(&frame) else {
-            return; // crashed mid-request: no response
-        };
-        self.respond(frame.req, resp);
+        let resp = self.handle_request(&frame)?;
+        Some(response_frame(frame.req, &resp))
     }
 
-    fn respond(&mut self, req: u64, resp: Response) {
-        self.endpoint.send(response_frame(req, &resp));
+    /// Group commit: handle a batch of frames with **one** `wal_sync`
+    /// covering every record the batch appended, then return the
+    /// responses positionally. Ack-on-durable is preserved by
+    /// construction — no response leaves this function before the
+    /// batch fsync succeeded; if it fails (or a crash fires), every
+    /// response is suppressed and clients retry against recovery.
+    pub fn handle_batch(&mut self, frames: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        self.defer_sync = true;
+        let mut out: Vec<Option<Vec<u8>>> = Vec::with_capacity(frames.len());
+        for bytes in frames {
+            if self.crashed {
+                out.push(None);
+                continue;
+            }
+            out.push(self.handle_bytes(bytes));
+        }
+        self.defer_sync = false;
+        let durable = !self.crashed && self.flush_wal();
+        if !durable {
+            self.repl_staged.clear();
+            for slot in out.iter_mut() {
+                *slot = None;
+            }
+        }
+        out
+    }
+
+    /// Sync deferred appends; on success release the staged records to
+    /// the replicator. Returns false when the sync failed (the server
+    /// treats that as a crash).
+    fn flush_wal(&mut self) -> bool {
+        if self.wal_dirty {
+            if self.storage.wal_sync().is_err() {
+                self.crashed = true;
+                return false;
+            }
+            self.wal_dirty = false;
+        }
+        if let Some(repl) = self.repl.as_mut() {
+            for (lsn, bytes) in self.repl_staged.drain(..) {
+                repl.on_logged(lsn, &bytes);
+            }
+        } else {
+            self.repl_staged.clear();
+        }
+        true
     }
 
     fn handle_request(&mut self, frame: &Frame) -> Option<Response> {
         let req = frame.req;
-        if req < self.next_req {
+        let (client, seq) = split_req(req);
+        if seq < self.next_req_for(client) {
             // Retry of a consumed request: replay the cached response
             // if we still have it, otherwise a generic Ack (the effect
             // is durable; only the detailed payload is gone).
-            let resp = match &self.last_response {
-                Some((id, resp)) if *id == req => resp.clone(),
+            let resp = match self.last_responses.get(&client) {
+                Some((id, resp)) if *id == seq => resp.clone(),
                 _ => Response::Ack,
             };
             return Some(resp);
         }
-        // `req >= next_req` is fresh work even when it skips ahead: the
-        // client advances its id only after seeing a response, so a gap
-        // can only be a request whose effect was never durable (a read,
-        // or a snapshot's own id) answered by a lifetime that since
-        // crashed. Accepting the higher id keeps a reconnecting client
-        // in sync without a handshake.
+        // `seq >= watermark` is fresh work even when it skips ahead:
+        // the client advances its id only after seeing a response, so a
+        // gap can only be a request whose effect was never durable (a
+        // read, or a snapshot's own id) answered by a lifetime that
+        // since crashed. Accepting the higher id keeps a reconnecting
+        // client in sync without a handshake.
         let cmd = match decode_command(&frame.payload) {
             Ok(c) => c,
             Err(e) => {
@@ -418,8 +503,9 @@ impl<S: Storage> Server<S> {
     }
 
     fn consume(&mut self, req: u64, resp: &Response) {
-        self.next_req = req + 1;
-        self.last_response = Some((req, resp.clone()));
+        let (client, seq) = split_req(req);
+        self.watermarks.insert(client, seq + 1);
+        self.last_responses.insert(client, (seq, resp.clone()));
     }
 
     /// Execute a command under request id `req`. `None` means a crash
@@ -529,9 +615,17 @@ impl<S: Storage> Server<S> {
             }
         }
 
-        if self.storage.wal_append(&bytes).is_err() || self.storage.wal_sync().is_err() {
+        if self.storage.wal_append(&bytes).is_err() {
             // Treat an I/O failure exactly like a crash-before-ack:
             // the client will retry against a recovered server.
+            self.crashed = true;
+            return None;
+        }
+        if self.defer_sync {
+            // Group commit: the batch-level fsync in `handle_batch`
+            // makes this record durable before any response leaves.
+            self.wal_dirty = true;
+        } else if self.storage.wal_sync().is_err() {
             self.crashed = true;
             return None;
         }
@@ -539,6 +633,13 @@ impl<S: Storage> Server<S> {
         self.last_lsn += 1;
         self.logged_live += 1;
         self.since_snapshot += 1;
+        if self.repl.is_some() {
+            if self.defer_sync {
+                self.repl_staged.push((rec.lsn, bytes));
+            } else if let Some(repl) = self.repl.as_mut() {
+                repl.on_logged(rec.lsn, &bytes);
+            }
+        }
 
         if striking {
             match self.crash.unwrap().point {
@@ -576,14 +677,79 @@ impl<S: Storage> Server<S> {
     /// Drain, persist the full service state, and truncate the WAL.
     pub fn take_snapshot(&mut self) -> io::Result<()> {
         self.drain_all();
-        let bytes = encode_snapshot(&self.monitor, self.last_lsn, self.next_req, self.stats.shed);
+        let bytes = encode_snapshot(
+            &self.monitor,
+            self.last_lsn,
+            &self.watermarks,
+            self.stats.shed,
+        );
         self.storage.snapshot_replace(&bytes)?;
         // The LSN filter makes double-apply impossible even if this
         // truncation is lost to a crash.
         self.storage.wal_replace(&[])?;
         self.stats.snapshots += 1;
         self.since_snapshot = 0;
+        if let Some(repl) = self.repl.as_mut() {
+            // The snapshot supersedes every queued record (and repairs
+            // any gap the follower may have): ship it instead.
+            repl.on_snapshot(&bytes);
+        }
         Ok(())
+    }
+
+    /// Turn on primary-side replication with a bounded in-memory queue
+    /// of `cap` outgoing frames. A slow or dead follower overflows the
+    /// queue, which degrades to a resync-from-storage marker — it
+    /// never blocks command processing or acks.
+    pub fn enable_replication(&mut self, cap: usize) {
+        self.repl = Some(Replicator::new(cap));
+    }
+
+    /// Primary-side replication state, when enabled.
+    pub fn replication(&self) -> Option<&Replicator> {
+        self.repl.as_ref()
+    }
+
+    /// The next replication frame to ship to the follower, if any.
+    /// When the bounded queue overflowed (or the follower requested a
+    /// resync), this rebuilds the stream from storage: the current
+    /// snapshot, then every WAL record after it.
+    pub fn repl_next_frame(&mut self) -> Result<Option<Vec<u8>>, RecoverError> {
+        let Some(repl) = self.repl.as_mut() else {
+            return Ok(None);
+        };
+        if repl.needs_resync() {
+            let snap = self.storage.snapshot_bytes()?;
+            let wal_bytes = self.storage.wal_bytes()?;
+            let scan = wal::scan(&wal_bytes)?;
+            let mut frames = Vec::with_capacity(scan.records.len() + 1);
+            if let Some(s) = snap {
+                frames.push(replica::snapshot_frame(&s));
+            }
+            for rec in &scan.records {
+                frames.push(replica::record_frame(rec.lsn, &wal::encode_record(rec)));
+            }
+            repl.load_resync(frames);
+        }
+        Ok(self.repl.as_mut().and_then(Replicator::pop_frame))
+    }
+
+    /// Fold a follower ack frame into the replication state.
+    fn repl_handle_ack(&mut self, frame: &Frame) {
+        let Some(repl) = self.repl.as_mut() else {
+            self.stats.bad_frames += 1;
+            return;
+        };
+        repl.on_ack(frame.req, &frame.payload);
+    }
+
+    /// Durable records not yet acked by the follower (0 when
+    /// replication is off or fully caught up).
+    pub fn repl_lag(&self) -> u64 {
+        match &self.repl {
+            Some(r) => self.last_lsn.saturating_sub(r.acked()),
+            None => 0,
+        }
     }
 
     /// Export service + monitor counters into a metrics registry.
@@ -658,14 +824,36 @@ impl<S: Storage> Server<S> {
             "Wall-clock microseconds spent in recovery",
             &self.recovery_hist.snapshot(),
         );
+        if let Some(repl) = &self.repl {
+            reg.gauge(
+                "synchrel_serve_replication_lag",
+                "Durable records not yet acked by the follower",
+                self.repl_lag() as f64,
+            );
+            reg.gauge(
+                "synchrel_serve_replication_acked_lsn",
+                "Highest LSN the follower has acked as durable",
+                repl.acked() as f64,
+            );
+            reg.counter(
+                "synchrel_serve_replication_overflows_total",
+                "Times the bounded replication queue overflowed to a resync",
+                repl.overflows(),
+            );
+            reg.counter(
+                "synchrel_serve_replication_resyncs_total",
+                "Resync streams rebuilt from storage",
+                repl.resyncs(),
+            );
+        }
         self.monitor.export_metrics(reg);
     }
 }
 
 /// Apply one logged command to the monitor — the single code path
-/// shared by live draining and recovery replay, so both reach
-/// identical state.
-fn apply_logged(
+/// shared by live draining, recovery replay, and follower replication,
+/// so all three reach identical state.
+pub(crate) fn apply_logged(
     monitor: &mut OnlineMonitor,
     cmd: &Command,
     max_pending: usize,
@@ -708,7 +896,7 @@ fn apply_logged(
 }
 
 /// Apply a control command and build its response.
-fn control_response(monitor: &mut OnlineMonitor, cmd: &Command) -> Response {
+pub(crate) fn control_response(monitor: &mut OnlineMonitor, cmd: &Command) -> Response {
     match cmd {
         Command::Watch { name, rel, x, y } => {
             monitor.watch(name.clone(), *rel, x.clone(), y.clone());
@@ -732,18 +920,23 @@ fn control_response(monitor: &mut OnlineMonitor, cmd: &Command) -> Response {
 }
 
 /// Serialize the full service state: monitor snapshot plus the
-/// server-level durable cursors, CRC-framed.
-fn encode_snapshot(
+/// server-level durable cursors (per-client dedup watermarks since
+/// version 2), CRC-framed.
+pub(crate) fn encode_snapshot(
     monitor: &OnlineMonitor,
     applied_through: u64,
-    next_req: u64,
+    watermarks: &BTreeMap<u64, u64>,
     shed: u64,
 ) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_raw(SNAPSHOT_MAGIC);
     w.put_u8(SNAPSHOT_VERSION);
     w.put_u64(applied_through);
-    w.put_u64(next_req);
+    w.put_usize(watermarks.len());
+    for (client, next_seq) in watermarks {
+        w.put_u64(*client);
+        w.put_u64(*next_seq);
+    }
     w.put_u64(shed);
     w.put_bytes(&monitor.snapshot_bytes());
     let mut bytes = w.into_bytes();
@@ -752,8 +945,11 @@ fn encode_snapshot(
     bytes
 }
 
-/// Decode a service snapshot: `(monitor, applied_through, next_req, shed)`.
-fn decode_snapshot(bytes: &[u8]) -> Result<(OnlineMonitor, u64, u64, u64), String> {
+/// Decode a service snapshot (either version):
+/// `(monitor, applied_through, watermarks, shed)`.
+pub(crate) fn decode_snapshot(
+    bytes: &[u8],
+) -> Result<(OnlineMonitor, u64, BTreeMap<u64, u64>, u64), String> {
     if bytes.len() < 4 {
         return Err("snapshot truncated".into());
     }
@@ -768,16 +964,31 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(OnlineMonitor, u64, u64, u64), Strin
         return Err("bad snapshot magic".into());
     }
     let version = r.u8().map_err(|e| e.to_string())?;
-    if version != SNAPSHOT_VERSION {
-        return Err(format!("unsupported snapshot version {version}"));
-    }
     let applied_through = r.u64().map_err(|e| e.to_string())?;
-    let next_req = r.u64().map_err(|e| e.to_string())?;
+    let mut watermarks = BTreeMap::new();
+    match version {
+        SNAPSHOT_VERSION_V1 => {
+            // v1 carried one cursor: the lone pre-client-id client 0.
+            let next_req = r.u64().map_err(|e| e.to_string())?;
+            if next_req > 0 {
+                watermarks.insert(0, next_req);
+            }
+        }
+        SNAPSHOT_VERSION => {
+            let n = r.len_prefix().map_err(|e| e.to_string())?;
+            for _ in 0..n {
+                let client = r.u64().map_err(|e| e.to_string())?;
+                let next_seq = r.u64().map_err(|e| e.to_string())?;
+                watermarks.insert(client, next_seq);
+            }
+        }
+        other => return Err(format!("unsupported snapshot version {other}")),
+    }
     let shed = r.u64().map_err(|e| e.to_string())?;
     let monitor_bytes = r.bytes().map_err(|e| e.to_string())?;
     if !r.is_done() {
         return Err("trailing bytes in snapshot".into());
     }
     let monitor = OnlineMonitor::restore_bytes(monitor_bytes)?;
-    Ok((monitor, applied_through, next_req, shed))
+    Ok((monitor, applied_through, watermarks, shed))
 }

@@ -16,6 +16,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// WAL file name inside a [`DirStorage`] directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -114,6 +115,62 @@ impl Storage for MemStorage {
 
     fn syncs(&self) -> u64 {
         self.inner.borrow().syncs
+    }
+}
+
+/// [`MemStorage`]'s thread-safe twin: same clone-shared in-memory
+/// bytes, but behind `Arc<Mutex<_>>` so the replication and failover
+/// harnesses can hand one handle to a server thread and keep another
+/// for the promoted successor. No fault hooks — threaded tests kill
+/// whole servers, not individual writes.
+#[derive(Clone, Debug, Default)]
+pub struct SyncMemStorage {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl SyncMemStorage {
+    /// Fresh empty storage.
+    pub fn new() -> SyncMemStorage {
+        SyncMemStorage::default()
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> usize {
+        self.inner.lock().unwrap().wal.len()
+    }
+}
+
+impl Storage for SyncMemStorage {
+    fn wal_bytes(&self) -> io::Result<Vec<u8>> {
+        Ok(self.inner.lock().unwrap().wal.clone())
+    }
+
+    fn wal_append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.lock().unwrap().wal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn wal_sync(&mut self) -> io::Result<()> {
+        self.inner.lock().unwrap().syncs += 1;
+        Ok(())
+    }
+
+    fn wal_replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.lock().unwrap().wal = bytes.to_vec();
+        Ok(())
+    }
+
+    fn snapshot_bytes(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.inner.lock().unwrap().snapshot.clone())
+    }
+
+    fn snapshot_replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.lock().unwrap().snapshot = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn syncs(&self) -> u64 {
+        self.inner.lock().unwrap().syncs
     }
 }
 

@@ -241,7 +241,7 @@ mod tests {
                 },
             },
         ];
-        let bytes: Vec<u8> = records.iter().flat_map(|r| encode_record(r)).collect();
+        let bytes: Vec<u8> = records.iter().flat_map(encode_record).collect();
         #[rustfmt::skip]
         let golden: [u8; 92] = [
             // record 0: len=17, crc, payload = lsn 1 | req 0 | Poll(3)

@@ -1,0 +1,262 @@
+//! Seeded fuzz over the `"SR"` frame decoder: random byte soup,
+//! bit-flipped valid frames, truncations, corrupt CRCs, oversized
+//! lengths, and wrong magic must all surface as *clean errors* — never
+//! a panic, never a bogus decoded frame, never an attempt to buffer an
+//! attacker-chosen length. The same corpus is pushed through every
+//! decode surface: `decode_frame` on whole buffers, the incremental
+//! [`FrameBuffer`] under adversarial chunking, a live [`Server`] via
+//! `handle_bytes`, and a real TCP socket via [`StreamTransport`].
+
+use std::io::Write;
+use std::time::Duration;
+
+use synchrel_monitor::online::WireEvent;
+use synchrel_serve::proto::{
+    decode_frame, encode_frame, request_frame, Command, HEADER_LEN, KIND_REQUEST, MAX_FRAME_LEN,
+};
+use synchrel_serve::transport::{connect, FrameBuffer, Listener, StreamTransport, Transport};
+use synchrel_serve::{ListenAddr, Server, ServerConfig, SyncMemStorage};
+use synchrel_sim::fault::mix;
+
+const SALT_BYTES: u64 = 0xB17E;
+const SALT_LEN: u64 = 0x1E43;
+const SALT_FLIP: u64 = 0xF11B;
+const SALT_CUT: u64 = 0xC07;
+const SALT_CHUNK: u64 = 0xC4CC;
+
+/// Deterministic pseudo-random byte stream for one case.
+fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| mix(seed, i as u64, SALT_BYTES) as u8)
+        .collect()
+}
+
+/// A seed-derived valid frame (the mutation base).
+fn valid_frame(seed: u64) -> Vec<u8> {
+    match mix(seed, 0, SALT_LEN) % 3 {
+        0 => request_frame(
+            seed % 977,
+            &Command::Ingest {
+                process: 0,
+                seq: seed % 41,
+                event: WireEvent::Internal,
+                labels: vec![format!("l{}", seed % 7)],
+            },
+        ),
+        1 => request_frame(seed % 977, &Command::Stats),
+        _ => request_frame(
+            seed % 977,
+            &Command::Close {
+                label: "x".repeat((seed % 30) as usize),
+            },
+        ),
+    }
+}
+
+/// Push one buffer through the incremental decoder in seed-chosen
+/// chunk sizes; panics are the only failure, errors are expected.
+/// Returns the frames it yielded before (maybe) erroring.
+fn chunked_decode(seed: u64, bytes: &[u8]) -> (Vec<Vec<u8>>, bool) {
+    let mut fb = FrameBuffer::new();
+    let mut frames = Vec::new();
+    let mut fed = 0usize;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let step = 1 + (mix(seed, off as u64, SALT_CHUNK) % 97) as usize;
+        let end = (off + step).min(bytes.len());
+        fb.extend(&bytes[off..end]);
+        fed += end - off;
+        off = end;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(f)) => {
+                    // The decoder can never hand back more bytes than
+                    // it was ever fed (no over-read, no invention).
+                    assert!(f.len() <= fed, "frame larger than input");
+                    frames.push(f);
+                }
+                Ok(None) => break,
+                Err(_) => return (frames, true),
+            }
+        }
+        assert!(fb.pending() <= fed, "buffer grew beyond its input");
+    }
+    (frames, false)
+}
+
+#[test]
+fn random_byte_soup_never_panics_any_decoder() {
+    let mut errors = 0usize;
+    for case in 0..600u64 {
+        let seed = mix(0x50FA, case, SALT_BYTES);
+        let len = (mix(seed, 1, SALT_LEN) % 256) as usize;
+        let bytes = random_bytes(seed, len);
+
+        // Whole-buffer decode: Err or Ok, never a panic.
+        if decode_frame(&bytes).is_err() {
+            errors += 1;
+        }
+        // Incremental decode under adversarial chunking.
+        let (frames, _errored) = chunked_decode(seed, &bytes);
+        for f in frames {
+            // Anything the stream decoder cuts out must satisfy the
+            // whole-frame decoder too (magic/version/len agree) —
+            // though its CRC may still be garbage.
+            let _ = decode_frame(&f);
+        }
+    }
+    // Statistically certain: random soup essentially never spells a
+    // valid CRC-framed message. A zero here means the corpus is wrong.
+    assert!(errors > 500, "random soup decoded suspiciously often");
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    for case in 0..40u64 {
+        let seed = mix(0xF11D, case, SALT_FLIP);
+        let frame = valid_frame(seed);
+        assert!(decode_frame(&frame).is_ok(), "base frame must be valid");
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            // CRC-32 detects every 1-bit error; header checks catch
+            // the rest. No flip may decode as a (different) frame.
+            assert!(
+                decode_frame(&bad).is_err(),
+                "bit {bit} flipped in a {} byte frame went unnoticed",
+                frame.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncations_never_yield_a_frame() {
+    for case in 0..60u64 {
+        let seed = mix(0x7A6C, case, SALT_CUT);
+        let frame = valid_frame(seed);
+        for cut in 0..frame.len() {
+            let prefix = &frame[..cut];
+            assert!(
+                decode_frame(prefix).is_err() || cut == frame.len(),
+                "truncated frame decoded at cut {cut}"
+            );
+            // The stream decoder must wait for more bytes (or reject
+            // early), but never emit a frame from a strict prefix.
+            let (frames, _) = chunked_decode(seed, prefix);
+            assert!(frames.is_empty(), "frame materialised from a prefix");
+        }
+    }
+}
+
+#[test]
+fn corrupt_crc_and_wrong_magic_fail_fast() {
+    let frame = valid_frame(7);
+    // Damage only the trailing CRC: structure intact, checksum wrong.
+    let mut bad_crc = frame.clone();
+    let n = bad_crc.len();
+    bad_crc[n - 1] ^= 0xFF;
+    assert!(decode_frame(&bad_crc).is_err());
+
+    // Wrong magic must be rejected from the very first bytes — a
+    // desynchronised stream fails before a full header accumulates.
+    let mut fb = FrameBuffer::new();
+    fb.extend(b"X");
+    assert!(fb.next_frame().is_err(), "bad first byte not rejected");
+    let mut fb = FrameBuffer::new();
+    fb.extend(b"SQ");
+    assert!(fb.next_frame().is_err(), "bad second byte not rejected");
+}
+
+#[test]
+fn oversized_length_is_rejected_without_buffering() {
+    // A header advertising more than MAX_FRAME_LEN must be thrown out
+    // immediately — not held while the decoder waits for 4 GiB.
+    let mut hdr = encode_frame(KIND_REQUEST, 1, &[]);
+    hdr.truncate(HEADER_LEN);
+    let huge = (MAX_FRAME_LEN as u32) + 1;
+    hdr[12..16].copy_from_slice(&huge.to_le_bytes());
+    let mut fb = FrameBuffer::new();
+    fb.extend(&hdr);
+    assert!(fb.next_frame().is_err(), "oversized len accepted");
+    assert!(decode_frame(&hdr).is_err());
+}
+
+#[test]
+fn server_survives_the_whole_corpus() {
+    let mut server = Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+    let mut rejected = 0u64;
+    for case in 0..400u64 {
+        let seed = mix(0x5E4E, case, SALT_BYTES);
+        let bytes = match case % 4 {
+            0 => random_bytes(seed, (mix(seed, 2, SALT_LEN) % 128) as usize),
+            1 => {
+                let mut f = valid_frame(seed);
+                let bit = (mix(seed, 3, SALT_FLIP) as usize) % (f.len() * 8);
+                f[bit / 8] ^= 1 << (bit % 8);
+                f
+            }
+            2 => {
+                let f = valid_frame(seed);
+                let cut = (mix(seed, 4, SALT_CUT) as usize) % f.len();
+                f[..cut].to_vec()
+            }
+            _ => valid_frame(seed),
+        };
+        if server.handle_bytes(&bytes).is_none() && case % 4 != 3 {
+            rejected += 1;
+        }
+    }
+    assert_eq!(
+        server.stats().bad_frames,
+        rejected,
+        "every rejection must be counted"
+    );
+    assert!(rejected > 250, "corpus exercised too few rejections");
+}
+
+#[test]
+fn tcp_stream_rejects_garbage_and_survives_interleaved_frames() {
+    let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".into())).unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    for case in 0..24u64 {
+        let seed = mix(0x7C9, case, SALT_BYTES);
+        let mut attacker = connect(&addr, Some(Duration::from_millis(50))).unwrap();
+        let conn = listener.accept().unwrap().expect("connection");
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut victim = StreamTransport::new(conn);
+
+        // One clean frame first: the decoder must deliver it intact
+        // before the garbage desynchronises the stream.
+        let good = valid_frame(seed);
+        attacker.send(&good).unwrap();
+        let got = loop {
+            match victim.recv() {
+                Ok(Some(f)) => break f,
+                Ok(None) => continue,
+                Err(e) => panic!("valid frame rejected: {e}"),
+            }
+        };
+        assert_eq!(got, good, "frame mangled in transit");
+
+        // Now the garbage: the stream must die with an error — no
+        // panic, no fabricated frame, no unbounded buffering.
+        let garbage = random_bytes(seed, 64 + (seed % 512) as usize);
+        let mut raw = attacker.stream().try_clone().unwrap();
+        raw.write_all(&garbage).unwrap();
+        let verdict = loop {
+            match victim.recv() {
+                Ok(Some(f)) => {
+                    // Vanishingly unlikely, but if garbage spells a
+                    // whole frame it must at least be well-formed.
+                    decode_frame(&f).expect("stream emitted an undecodable frame");
+                }
+                Ok(None) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(!verdict.to_string().is_empty());
+    }
+}

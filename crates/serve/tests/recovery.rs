@@ -8,24 +8,37 @@ use synchrel_core::Relation;
 use synchrel_monitor::online::{Verdict, WireEvent};
 use synchrel_serve::proto::{decode_frame, decode_response, request_frame, KIND_RESPONSE};
 use synchrel_serve::{
-    duplex, Client, Command, CrashPlan, CrashPoint, Endpoint, MemStorage, OverloadPolicy,
-    RecoverError, Response, Server, ServerConfig,
+    duplex, Client, ClientError, Command, CrashPlan, CrashPoint, Endpoint, MemStorage,
+    OverloadPolicy, Pump, RecoverError, Response, Server, ServerConfig,
 };
 
-/// Send one request frame and pump the server; panic if no response.
-fn call(
-    server: &mut Server<MemStorage>,
-    client_end: &Endpoint,
-    req: u64,
-    cmd: &Command,
-) -> Response {
-    client_end.send(request_frame(req, cmd));
-    server.pump(0);
-    take_response(client_end, req).expect("server did not respond")
+/// Both ends of one in-process connection: the server no longer owns
+/// an endpoint, so tests hold the pair and pump explicitly.
+struct Wire {
+    client: Endpoint,
+    server: Endpoint,
 }
 
-fn take_response(client_end: &Endpoint, req: u64) -> Option<Response> {
-    while let Some(bytes) = client_end.recv() {
+impl Wire {
+    fn send(&self, bytes: Vec<u8>) {
+        self.client.send(bytes);
+    }
+}
+
+fn duplex_wire() -> Wire {
+    let (client, server) = duplex();
+    Wire { client, server }
+}
+
+/// Send one request frame and pump the server; panic if no response.
+fn call(server: &mut Server<MemStorage>, wire: &Wire, req: u64, cmd: &Command) -> Response {
+    wire.send(request_frame(req, cmd));
+    server.pump(&mut wire.server.clone(), 0);
+    take_response(wire, req).expect("server did not respond")
+}
+
+fn take_response(wire: &Wire, req: u64) -> Option<Response> {
+    while let Some(bytes) = wire.client.recv() {
         let frame = decode_frame(&bytes).ok()?;
         if frame.kind == KIND_RESPONSE && frame.req == req {
             return decode_response(&frame.payload).ok();
@@ -62,11 +75,11 @@ fn scenario() -> Vec<Command> {
     ]
 }
 
-fn fresh(cfg: ServerConfig) -> (Server<MemStorage>, Endpoint, MemStorage) {
-    let (client_end, server_end) = duplex();
+fn fresh(cfg: ServerConfig) -> (Server<MemStorage>, Wire, MemStorage) {
+    let wire = duplex_wire();
     let storage = MemStorage::new();
-    let server = Server::recover(storage.clone(), cfg, server_end).expect("fresh bring-up");
-    (server, client_end, storage)
+    let server = Server::recover(storage.clone(), cfg).expect("fresh bring-up");
+    (server, wire, storage)
 }
 
 #[test]
@@ -97,8 +110,8 @@ fn restart_without_snapshot_replays_the_wal() {
     }
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     assert!(server.stats().recovered);
     assert_eq!(server.stats().replayed, 5);
     let q = Command::Query {
@@ -124,16 +137,15 @@ fn kill_and_recover_at_every_crash_point() {
     ] {
         for nth in 1..=5 {
             let cfg = ServerConfig::new(2);
-            let (client_end, server_end) = duplex();
+            let mut wire = duplex_wire();
             let storage = MemStorage::new();
-            let mut server =
-                Server::recover(storage.clone(), cfg.clone(), server_end.clone()).unwrap();
+            let mut server = Server::recover(storage.clone(), cfg.clone()).unwrap();
             server.arm_crash(CrashPlan {
                 nth_logged: nth,
                 point,
             });
 
-            let mut client = Client::new(client_end, 0x5EED);
+            let mut client = Client::new(wire.client.clone(), 0x5EED);
             let mut crashed = 0u32;
             let mut cmds = scenario();
             cmds.push(Command::Query {
@@ -143,19 +155,31 @@ fn kill_and_recover_at_every_crash_point() {
             });
             let mut last = Response::Ack;
             for cmd in &cmds {
-                last = client
-                    .call(cmd, || {
+                last = loop {
+                    let attempt = client.call_ctl(cmd, || {
                         if server.is_crashed() {
-                            server_end.reset();
-                            crashed += 1;
-                            server =
-                                Server::recover(storage.clone(), cfg.clone(), server_end.clone())
-                                    .expect("recovery after planned crash");
-                        } else {
-                            server.pump(0);
+                            return Pump::Abort;
                         }
-                    })
-                    .unwrap_or_else(|e| panic!("{point:?} nth={nth}: {e}"));
+                        server.pump(&mut wire.server.clone(), 0);
+                        if server.is_crashed() {
+                            Pump::Abort
+                        } else {
+                            Pump::Continue
+                        }
+                    });
+                    match attempt {
+                        Ok(r) => break r,
+                        Err(ClientError::Aborted { .. }) => {
+                            // The wire dies with the process.
+                            crashed += 1;
+                            wire = duplex_wire();
+                            client.set_wire(wire.client.clone());
+                            server = Server::recover(storage.clone(), cfg.clone())
+                                .expect("recovery after planned crash");
+                        }
+                        Err(e) => panic!("{point:?} nth={nth}: {e}"),
+                    }
+                };
             }
             assert_eq!(crashed, 1, "{point:?} nth={nth}: crash did not fire");
             assert_eq!(
@@ -181,8 +205,8 @@ fn torn_tail_from_storage_hook_is_truncated() {
     drop(server);
     storage.truncate_wal_tail(3); // final record (Close y) loses its tail
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     assert_eq!(server.stats().torn_truncations, 1);
     assert_eq!(server.stats().replayed, 4);
 
@@ -213,8 +237,7 @@ fn corrupt_wal_middle_refuses_recovery() {
     drop(server);
     storage.corrupt_wal_byte(10); // payload byte of the first record
 
-    let (_, server_end) = duplex();
-    match Server::recover(storage, cfg, server_end) {
+    match Server::recover(storage, cfg) {
         Err(RecoverError::Wal(_)) => {}
         other => panic!("mid-log corruption must refuse recovery, got {other:?}"),
     }
@@ -234,8 +257,8 @@ fn snapshot_only_recovery_replays_nothing() {
     assert_eq!(storage.wal_len(), 0, "snapshot must truncate the WAL");
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     assert!(server.stats().recovered);
     assert_eq!(server.stats().replayed, 0);
     let q = Command::Query {
@@ -260,8 +283,8 @@ fn periodic_snapshot_plus_wal_suffix_recovers() {
     assert!(server.stats().snapshots >= 2);
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     // Only the records after the last periodic snapshot replay.
     assert_eq!(server.stats().replayed, 1);
     let q = Command::Query {
@@ -308,7 +331,7 @@ fn backpressure_returns_busy_without_consuming() {
     for req in 0..3 {
         wire.send(request_frame(req, &ingest(req)));
     }
-    server.pump(0);
+    server.pump(&mut wire.server.clone(), 0);
     assert_eq!(take_response(&wire, 0), Some(Response::Ack));
     assert_eq!(take_response(&wire, 1), Some(Response::Ack));
     assert_eq!(take_response(&wire, 2), Some(Response::Busy));
@@ -343,7 +366,7 @@ fn load_shedding_degrades_to_unknown_and_shed_total_is_durable() {
             },
         ));
     }
-    server.pump(0);
+    server.pump(&mut wire.server.clone(), 0);
     assert_eq!(take_response(&wire, 1), Some(Response::Ack));
     for req in 2..=4 {
         assert_eq!(take_response(&wire, req), Some(Response::Shed), "req {req}");
@@ -379,8 +402,7 @@ fn load_shedding_degrades_to_unknown_and_shed_total_is_durable() {
         Response::Ack
     );
     drop(server);
-    let (_, server_end) = duplex();
-    let server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let server = Server::recover(storage, cfg).expect("recovery");
     assert_eq!(server.stats().shed, 3);
 }
 
@@ -424,8 +446,8 @@ fn declare_complete_on_a_recovered_monitor_concedes_the_tail() {
     }
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     match call(
         &mut server,
         &wire,
@@ -482,8 +504,8 @@ fn pruned_snapshot_round_trips_verdicts_and_counters() {
     );
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     let mut after = match call(&mut server, &wire, 9, &Command::Stats) {
         Response::Stats(s) => s,
         other => panic!("{other:?}"),
@@ -508,8 +530,8 @@ fn recovered_server_acks_already_consumed_ids_generically() {
     }
     drop(server);
 
-    let (wire, server_end) = duplex();
-    let mut server = Server::recover(storage, cfg, server_end).expect("recovery");
+    let wire = duplex_wire();
+    let mut server = Server::recover(storage, cfg).expect("recovery");
     let appends_after_recovery = server.stats().wal_appends;
     assert_eq!(
         call(&mut server, &wire, 4, &Command::Close { label: "y".into() }),

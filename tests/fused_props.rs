@@ -153,7 +153,7 @@ fn check_workload(w: &Workload) -> Result<(), TestCaseError> {
 fn check_batched_shapes(exec: &Execution) -> Result<(), TestCaseError> {
     let procs = exec.num_processes();
     let take = |p: usize, lo: u32, n: u32| -> Vec<EventId> {
-        let avail = exec.app_len(ProcessId(p as u32)) as u32;
+        let avail = exec.app_len(ProcessId(p as u32));
         (0..n)
             .map(|k| EventId::new(p as u32, 1 + (lo + k) % avail.max(1)))
             .collect()
@@ -292,7 +292,7 @@ fn check_tiled_equivalence(w: &Workload) -> Result<(), TestCaseError> {
 fn check_tiled_degenerate_shapes(exec: &Execution) -> Result<(), TestCaseError> {
     let procs = exec.num_processes();
     let take = |p: usize, n: u32| -> Vec<EventId> {
-        let avail = exec.app_len(ProcessId(p as u32)) as u32;
+        let avail = exec.app_len(ProcessId(p as u32));
         (0..n)
             .map(|k| EventId::new(p as u32, 1 + k % avail.max(1)))
             .collect()
@@ -461,7 +461,10 @@ fn drive_shuffled(w: &Workload, shuffle_seed: u64) -> IncrementalDetector<'_> {
     // Close in a seeded permutation as well; closing is flag-only.
     let mut order: Vec<usize> = (0..w.events.len()).collect();
     for i in (1..order.len()).rev() {
-        order.swap(i, (mix(shuffle_seed, 43, i as u64) % (i as u64 + 1)) as usize);
+        order.swap(
+            i,
+            (mix(shuffle_seed, 43, i as u64) % (i as u64 + 1)) as usize,
+        );
     }
     for k in order {
         det.close(k);
@@ -511,7 +514,10 @@ fn check_incremental_order_determinism(
             prop_assert!(shuffled.pair_settled(x, y));
             prop_assert_eq!(
                 want.expect("complete intervals are non-empty"),
-                batch.pair(x, y).map_err(|e| TestCaseError::fail(e.to_string()))?.relations
+                batch
+                    .pair(x, y)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?
+                    .relations
             );
         }
     }

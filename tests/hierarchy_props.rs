@@ -13,9 +13,7 @@
 
 use proptest::prelude::*;
 
-use synchrel_core::{
-    implies, naive_relation, Detector, NonatomicEvent, ProxyRelation, Relation,
-};
+use synchrel_core::{implies, naive_relation, Detector, NonatomicEvent, ProxyRelation, Relation};
 use synchrel_sim::workload::{random_with_events, RandomConfig, Workload};
 
 #[test]
@@ -57,7 +55,12 @@ fn implies_matches_paper_lattice() {
     assert_eq!(closure(R::R4), vec![R::R4, R::R4p]);
     assert_eq!(closure(R::R4p), vec![R::R4, R::R4p]);
     // Nothing across the chains, in either direction.
-    for (a, b) in [(R::R2, R::R3p), (R::R2p, R::R3), (R::R3, R::R2), (R::R3p, R::R2p)] {
+    for (a, b) in [
+        (R::R2, R::R3p),
+        (R::R2p, R::R3),
+        (R::R3, R::R2),
+        (R::R3p, R::R2p),
+    ] {
         assert!(!implies(a, b), "{a} must not imply {b}");
     }
 }
