@@ -16,6 +16,7 @@
 //! | [`profiles`] | §1's claim: the relations exactly fill the hierarchy |
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
 //! | [`serve`] | socket-tier saturation: pipelined TCP ingest + group commit |
+//! | [`shard`] | sharded-monitor scaling: K-shard churn vs the unsharded reference |
 
 pub mod batch;
 pub mod figures;
@@ -27,6 +28,7 @@ pub mod profiles;
 pub mod scaling;
 pub mod serve;
 pub mod setup;
+pub mod shard;
 pub mod table1;
 pub mod table2;
 pub mod thm19;
@@ -100,6 +102,7 @@ pub fn run_all() -> String {
         ),
         ("E-Setup: one-time cost", setup::run(0xC0FFEE)),
         ("E-Serve: socket-tier saturation", serve::run()),
+        ("E-Shard: sharded-monitor scaling", shard::run(0xC0FFEE)),
     ] {
         out.push_str(&format!("\n=== {title} ===\n\n"));
         out.push_str(&body);

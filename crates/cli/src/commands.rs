@@ -13,9 +13,10 @@ use synchrel_monitor::{Checker, Spec};
 use synchrel_obs::{MetricsRegistry, SpanLog};
 use synchrel_serve::{
     case_commands, duplex, run_chaos_case, run_chaos_seeds, run_failover_case, run_failover_seeds,
-    run_follower, ChaosMismatch, Client, Command as ServeCommand, CrashPlan, CrashPoint,
-    DirStorage, Follower, ListenAddr, OverloadPolicy, Response as ServeResponse, Server,
-    ServerConfig, Service, ServiceConfig, Storage,
+    run_follower, run_shard_chaos_case, run_shard_chaos_seeds, ChaosMismatch, Client,
+    Command as ServeCommand, CrashPlan, CrashPoint, DirStorage, Follower, ListenAddr,
+    OverloadPolicy, Response as ServeResponse, Server, ServerConfig, Service, ServiceConfig,
+    Storage,
 };
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload;
@@ -97,12 +98,17 @@ commands:
                          recover a server from <dir> (snapshot + WAL
                          replay, torn tails truncated) and print the
                          recovery report with all watch verdicts
-  chaos [--seed S] [--cases N] [--case C]
+  chaos [--seed S] [--cases N] [--case C] [--shards K]
                          seeded kill/restart sweep: each case drives
                          the same command stream through a crash-free
                          and a crash-riddled server; any verdict or
                          counter divergence fails with a repro seed
-                         (exit 1). --case replays one exact case seed
+                         (exit 1). --case replays one exact case seed.
+                         --shards K runs the sweep against a K-shard
+                         ShardedServer instead: a seed-chosen shard
+                         crashes each time, all shards recover from
+                         their own WAL segments, and verdicts must
+                         match the unsharded server byte for byte
   failover [--seed S] [--cases N] [--case C]
                          seeded kill-the-primary sweep: replicate each
                          case to a follower, kill the primary at a
@@ -869,12 +875,23 @@ fn replay(a: &Args) -> Result<ExitCode, AnyError> {
 }
 
 fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
+    let shards: usize = a.num("shards", 0)?;
+    let tier = if shards > 0 {
+        format!("{shards}-shard ")
+    } else {
+        String::new()
+    };
     if let Some(v) = a.opt("case") {
         let seed = parse_seed("case", v)?;
-        return Ok(match run_chaos_case(seed) {
+        let run = if shards > 0 {
+            run_shard_chaos_case(seed, shards)
+        } else {
+            run_chaos_case(seed)
+        };
+        return Ok(match run {
             Ok(o) => {
                 println!(
-                    "chaos case {seed:#x}: OK ({} commands, {} crashes, {} recoveries, \
+                    "{tier}chaos case {seed:#x}: OK ({} commands, {} crashes, {} recoveries, \
                      {} retries{})",
                     o.commands,
                     o.crashes,
@@ -889,7 +906,7 @@ fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
                 ExitCode::SUCCESS
             }
             Err(m) => {
-                report_chaos_mismatch(&m);
+                report_chaos_mismatch(&m, shards);
                 ExitCode::from(1)
             }
         });
@@ -899,28 +916,38 @@ fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
         None => 0xC4A0_5EED,
     };
     let cases: u64 = a.num("cases", 200)?;
-    match run_chaos_seeds(seed, cases) {
+    let run = if shards > 0 {
+        run_shard_chaos_seeds(seed, cases, shards)
+    } else {
+        run_chaos_seeds(seed, cases)
+    };
+    match run {
         Ok(st) => {
             println!(
-                "chaos OK: {} cases ({} skipped), {} crashes fired, {} recoveries, \
+                "{tier}chaos OK: {} cases ({} skipped), {} crashes fired, {} recoveries, \
                  {} client retries, {} commands driven, zero divergences [base seed {seed:#x}]",
                 st.cases, st.skipped, st.crashes, st.recoveries, st.retries, st.commands
             );
             Ok(ExitCode::SUCCESS)
         }
         Err(m) => {
-            report_chaos_mismatch(&m);
+            report_chaos_mismatch(&m, shards);
             Ok(ExitCode::from(1))
         }
     }
 }
 
 /// Print a chaos divergence with its repro command.
-fn report_chaos_mismatch(m: &ChaosMismatch) {
+fn report_chaos_mismatch(m: &ChaosMismatch, shards: usize) {
     println!("chaos DIVERGENCE:");
     println!("  seed:    {:#x}", m.seed);
     println!("  detail:  {}", m.detail);
-    println!("reproduce: synchrel chaos --case {:#x}", m.seed);
+    let flag = if shards > 0 {
+        format!(" --shards {shards}")
+    } else {
+        String::new()
+    };
+    println!("reproduce: synchrel chaos --case {:#x}{flag}", m.seed);
 }
 
 fn failover(a: &Args) -> Result<ExitCode, AnyError> {

@@ -94,6 +94,7 @@ pub mod oracle;
 pub mod pastfuture;
 pub mod proxy_relations;
 pub mod relations;
+pub mod thm19;
 pub mod tile;
 pub mod timestamp;
 pub mod vclock;
@@ -117,6 +118,7 @@ pub use oracle::Oracle;
 pub use pastfuture::{causal_past, ccf, condensation, condense_into, CondensationKind};
 pub use proxy_relations::{naive_proxy, Proxy, ProxyRelation, ProxySummary, RelationSet};
 pub use relations::{naive as naive_relation, proxy_baseline, Relation};
+pub use thm19::{eval_now, CutSummary, Extreme};
 pub use tile::{RowSlabs, TilePartition, DEFAULT_TILE};
 pub use timestamp::{SummaryArena, Timestamps};
 pub use vclock::{ClockView, VectorClock};

@@ -1,0 +1,428 @@
+//! Theorem-19 cut summaries: the portable state of a relation test.
+//!
+//! The paper's Theorem 19 observes that testing any of the eight
+//! synchronization relations between nonatomic intervals `X` and `Y`
+//! needs only `min(|N_X|, |N_Y|)` timestamp components — the past cuts
+//! and per-node extremal member clocks of the *smaller* side, restricted
+//! to the other side's node set. That makes the per-interval state a
+//! **shippable summary**: a coordinator can resolve a cross-shard
+//! relation query by fetching two [`CutSummary`] values instead of any
+//! raw event state.
+//!
+//! A [`CutSummary`] maintains, incrementally per member event:
+//!
+//! * `∩⇓X` (`c1`): component-wise minimum of member clocks;
+//! * `∪⇓X` (`c2`): component-wise maximum of member clocks;
+//! * `lo` / `hi`: earliest / latest member per node (1-indexed position
+//!   plus that member's full clock).
+//!
+//! Crucially, summary construction is a **commutative monoid**:
+//! [`CutSummary::merge`] of summaries built from disjoint member
+//! subsets equals the summary built from the union. Since every process
+//! (node) is owned by exactly one shard, per-node extremes never
+//! straddle shards and the merge is exact — a sharded monitor merging
+//! per-shard summaries evaluates relations byte-identically to an
+//! unsharded one ([`eval_now`] is a pure function of the two
+//! summaries).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{CodecError, Reader, Writer};
+use crate::relations::Relation;
+use crate::vclock::VectorClock;
+
+/// Per-node extremal member data: 1-indexed position on the node and
+/// the member event's full vector clock.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extreme {
+    /// 1-indexed position of the member on its node.
+    pub pos: u32,
+    /// The member event's vector clock.
+    pub clock: VectorClock,
+}
+
+impl Extreme {
+    /// Append the binary form (`pos`, then the clock components).
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.pos);
+        w.put_u32s(self.clock.components());
+    }
+
+    /// Inverse of [`Extreme::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Extreme, CodecError> {
+        Ok(Extreme {
+            pos: r.u32()?,
+            clock: VectorClock::from_components(r.u32s()?),
+        })
+    }
+}
+
+fn put_extremes(w: &mut Writer, m: &BTreeMap<usize, Extreme>) {
+    w.put_usize(m.len());
+    for (&node, e) in m {
+        w.put_usize(node);
+        e.encode(w);
+    }
+}
+
+fn read_extremes(r: &mut Reader<'_>) -> Result<BTreeMap<usize, Extreme>, CodecError> {
+    let n = r.len_prefix()?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let node = r.usize()?;
+        m.insert(node, Extreme::decode(r)?);
+    }
+    Ok(m)
+}
+
+fn put_opt_clock(w: &mut Writer, c: &Option<VectorClock>) {
+    match c {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            w.put_u32s(c.components());
+        }
+    }
+}
+
+fn read_opt_clock(r: &mut Reader<'_>) -> Result<Option<VectorClock>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(VectorClock::from_components(r.u32s()?))),
+        _ => Err(CodecError::Malformed("option tag")),
+    }
+}
+
+/// Incrementally maintained Theorem-19 summary of one nonatomic
+/// interval: past cuts plus per-node extremal member clocks.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CutSummary {
+    /// No further members will arrive.
+    pub closed: bool,
+    /// Members folded in so far.
+    pub count: usize,
+    /// Earliest member per node.
+    pub lo: BTreeMap<usize, Extreme>,
+    /// Latest member per node.
+    pub hi: BTreeMap<usize, Extreme>,
+    /// `∩⇓X` timestamp: component-wise min of member clocks.
+    pub c1: Option<VectorClock>,
+    /// `∪⇓X` timestamp: component-wise max of member clocks.
+    pub c2: Option<VectorClock>,
+}
+
+impl CutSummary {
+    /// An empty, open summary.
+    pub fn new() -> CutSummary {
+        CutSummary::default()
+    }
+
+    /// Fold one member event into the summary: position `pos`
+    /// (1-indexed) on `node`, carrying `clock`.
+    pub fn add_member(&mut self, node: usize, pos: u32, clock: &VectorClock) {
+        self.count += 1;
+        match self.c1.as_mut() {
+            Some(c) => c.meet_assign(clock),
+            None => self.c1 = Some(clock.clone()),
+        }
+        match self.c2.as_mut() {
+            Some(c) => c.join_assign(clock),
+            None => self.c2 = Some(clock.clone()),
+        }
+        let e = Extreme {
+            pos,
+            clock: clock.clone(),
+        };
+        match self.lo.get(&node) {
+            Some(x) if x.pos <= pos => {}
+            _ => {
+                self.lo.insert(node, e.clone());
+            }
+        }
+        match self.hi.get(&node) {
+            Some(x) if x.pos >= pos => {}
+            _ => {
+                self.hi.insert(node, e);
+            }
+        }
+    }
+
+    /// No member has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The node set `N_X` observed so far.
+    pub fn nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lo.keys().copied()
+    }
+
+    /// Fold `other` into `self`.
+    ///
+    /// When the two summaries were built from **disjoint** member sets
+    /// whose nodes do not overlap (each node owned by one builder — the
+    /// sharding invariant), the result equals the summary of the union
+    /// of the members, exactly.
+    pub fn merge(&mut self, other: &CutSummary) {
+        self.closed |= other.closed;
+        self.count += other.count;
+        if let Some(oc1) = &other.c1 {
+            match self.c1.as_mut() {
+                Some(c) => c.meet_assign(oc1),
+                None => self.c1 = Some(oc1.clone()),
+            }
+        }
+        if let Some(oc2) = &other.c2 {
+            match self.c2.as_mut() {
+                Some(c) => c.join_assign(oc2),
+                None => self.c2 = Some(oc2.clone()),
+            }
+        }
+        for (&node, e) in &other.lo {
+            match self.lo.get(&node) {
+                Some(x) if x.pos <= e.pos => {}
+                _ => {
+                    self.lo.insert(node, e.clone());
+                }
+            }
+        }
+        for (&node, e) in &other.hi {
+            match self.hi.get(&node) {
+                Some(x) if x.pos >= e.pos => {}
+                _ => {
+                    self.hi.insert(node, e.clone());
+                }
+            }
+        }
+    }
+
+    /// The Theorem-19 projection: restrict every shipped clock to the
+    /// components in `nodes` (the *other* side's node set), zeroing the
+    /// rest. [`eval_now`] reads only those components, so evaluating
+    /// against a projected summary gives the same answer as against the
+    /// full one — this is what lets a coordinator ship
+    /// `min(|N_X|, |N_Y|)` components instead of full-width state.
+    pub fn project(&self, nodes: &[usize]) -> CutSummary {
+        let mask = |c: &VectorClock| {
+            let mut kept = vec![0u32; c.width()];
+            for &n in nodes {
+                if n < kept.len() {
+                    kept[n] = c[n];
+                }
+            }
+            VectorClock::from_components(kept)
+        };
+        let mask_extremes = |m: &BTreeMap<usize, Extreme>| {
+            m.iter()
+                .map(|(&node, e)| {
+                    (
+                        node,
+                        Extreme {
+                            pos: e.pos,
+                            clock: mask(&e.clock),
+                        },
+                    )
+                })
+                .collect()
+        };
+        CutSummary {
+            closed: self.closed,
+            count: self.count,
+            lo: mask_extremes(&self.lo),
+            hi: mask_extremes(&self.hi),
+            c1: self.c1.as_ref().map(&mask),
+            c2: self.c2.as_ref().map(&mask),
+        }
+    }
+
+    /// Append the binary form: `closed`, `count`, `lo`, `hi`, `c1`,
+    /// `c2` — the layout monitor snapshots have used since v1.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_bool(self.closed);
+        w.put_usize(self.count);
+        put_extremes(w, &self.lo);
+        put_extremes(w, &self.hi);
+        put_opt_clock(w, &self.c1);
+        put_opt_clock(w, &self.c2);
+    }
+
+    /// Inverse of [`CutSummary::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<CutSummary, CodecError> {
+        Ok(CutSummary {
+            closed: r.bool()?,
+            count: r.usize()?,
+            lo: read_extremes(r)?,
+            hi: read_extremes(r)?,
+            c1: read_opt_clock(r)?,
+            c2: read_opt_clock(r)?,
+        })
+    }
+}
+
+/// Does `rel(X, Y)` hold **for the members seen so far**?
+///
+/// Past-only evaluation conditions (exact for the current members,
+/// assuming disjoint intervals; `N` sets and extremes are the current
+/// ones):
+///
+/// | relation | condition |
+/// |----------|-----------|
+/// | R1, R1' | `∀i∈N_X : ∩⇓Y[i] ≥ hi_X[i]` |
+/// | R2      | `∀i∈N_X : ∪⇓Y[i] ≥ hi_X[i]` |
+/// | R2'     | `∃j∈N_Y ∀i∈N_X : T(y_j^max)[i] ≥ hi_X[i]` |
+/// | R3      | `∃i∈N_X : ∩⇓Y[i] ≥ lo_X[i]` |
+/// | R3'     | `∀j∈N_Y ∃i∈N_X : T(y_j^min)[i] ≥ lo_X[i]` |
+/// | R4, R4' | `∃i∈N_X : ∪⇓Y[i] ≥ lo_X[i]` |
+pub fn eval_now(rel: Relation, sx: &CutSummary, sy: &CutSummary) -> bool {
+    // Quantifier semantics on empty operands.
+    if sx.is_empty() || sy.is_empty() {
+        return match rel {
+            Relation::R1 | Relation::R1p => true, // vacuous ∀∀
+            Relation::R2 => sx.is_empty(),
+            Relation::R2p => sx.is_empty() && !sy.is_empty(),
+            Relation::R3 => !sx.is_empty() && sy.is_empty(),
+            Relation::R3p => sy.is_empty(),
+            Relation::R4 | Relation::R4p => false,
+        };
+    }
+    let c1y = sy.c1.as_ref().expect("non-empty");
+    let c2y = sy.c2.as_ref().expect("non-empty");
+    match rel {
+        Relation::R1 | Relation::R1p => sx.hi.iter().all(|(&i, e)| c1y[i] >= e.pos),
+        Relation::R2 => sx.hi.iter().all(|(&i, e)| c2y[i] >= e.pos),
+        Relation::R2p => sy
+            .hi
+            .values()
+            .any(|yc| sx.hi.iter().all(|(&i, e)| yc.clock[i] >= e.pos)),
+        Relation::R3 => sx.lo.iter().any(|(&i, e)| c1y[i] >= e.pos),
+        Relation::R3p => sy
+            .lo
+            .values()
+            .all(|yc| sx.lo.iter().any(|(&i, e)| yc.clock[i] >= e.pos)),
+        Relation::R4 | Relation::R4p => sx.lo.iter().any(|(&i, e)| c2y[i] >= e.pos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(v: &[u32]) -> VectorClock {
+        VectorClock::from_components(v.to_vec())
+    }
+
+    /// Split members across "shards" by node and merge: the result
+    /// must equal the summary built sequentially.
+    #[test]
+    fn merge_of_node_disjoint_parts_is_exact() {
+        let members = [
+            (0usize, 1u32, clock(&[1, 0, 0])),
+            (1, 1, clock(&[0, 1, 0])),
+            (0, 3, clock(&[3, 1, 0])),
+            (2, 2, clock(&[1, 1, 2])),
+            (1, 4, clock(&[2, 4, 1])),
+            (2, 5, clock(&[3, 4, 5])),
+        ];
+        let mut whole = CutSummary::new();
+        for (n, p, c) in &members {
+            whole.add_member(*n, *p, c);
+        }
+        // Shard by node % 2, then merge the two halves.
+        let mut parts = [CutSummary::new(), CutSummary::new()];
+        for (n, p, c) in &members {
+            parts[n % 2].add_member(*n, *p, c);
+        }
+        let mut merged = parts[0].clone();
+        merged.merge(&parts[1]);
+        assert_eq!(merged, whole);
+        // Merge is commutative.
+        let mut flipped = parts[1].clone();
+        flipped.merge(&parts[0]);
+        assert_eq!(flipped, whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = CutSummary::new();
+        s.add_member(0, 2, &clock(&[2, 1]));
+        let orig = s.clone();
+        s.merge(&CutSummary::new());
+        assert_eq!(s, orig);
+        let mut e = CutSummary::new();
+        e.merge(&orig);
+        assert_eq!(e, orig);
+    }
+
+    #[test]
+    fn projection_preserves_every_verdict() {
+        // Two intervals on disjoint nodes of a 4-process execution.
+        let mut sx = CutSummary::new();
+        sx.add_member(0, 1, &clock(&[1, 0, 0, 0]));
+        sx.add_member(1, 2, &clock(&[1, 2, 0, 0]));
+        sx.closed = true;
+        let mut sy = CutSummary::new();
+        sy.add_member(2, 3, &clock(&[1, 2, 3, 0]));
+        sy.add_member(3, 1, &clock(&[0, 0, 0, 1]));
+        sy.closed = true;
+
+        let nx: Vec<usize> = sx.nodes().collect();
+        let ny: Vec<usize> = sy.nodes().collect();
+        // Ship only what Theorem 19 says is needed: Y's clocks
+        // restricted to N_X (and vice versa).
+        let sy_shipped = sy.project(&nx);
+        let sx_shipped = sx.project(&ny);
+        for rel in Relation::ALL {
+            assert_eq!(
+                eval_now(rel, &sx, &sy_shipped),
+                eval_now(rel, &sx, &sy),
+                "{rel} X,Y under projection"
+            );
+            assert_eq!(
+                eval_now(rel, &sy, &sx_shipped),
+                eval_now(rel, &sy, &sx),
+                "{rel} Y,X under projection"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_operand_quantifiers() {
+        let empty = CutSummary::new();
+        let mut some = CutSummary::new();
+        some.add_member(0, 1, &clock(&[1]));
+        assert!(eval_now(Relation::R1, &empty, &some));
+        assert!(eval_now(Relation::R1, &empty, &empty));
+        assert!(eval_now(Relation::R2, &empty, &some));
+        assert!(!eval_now(Relation::R2, &some, &empty));
+        assert!(eval_now(Relation::R2p, &empty, &some));
+        assert!(!eval_now(Relation::R2p, &empty, &empty));
+        assert!(eval_now(Relation::R3, &some, &empty));
+        assert!(!eval_now(Relation::R3, &empty, &some));
+        assert!(eval_now(Relation::R3p, &some, &empty));
+        assert!(!eval_now(Relation::R4, &empty, &some));
+        assert!(!eval_now(Relation::R4p, &some, &empty));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut s = CutSummary::new();
+        s.add_member(0, 1, &clock(&[1, 0]));
+        s.add_member(1, 3, &clock(&[1, 3]));
+        s.closed = true;
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = CutSummary::decode(&mut r).unwrap();
+        assert!(r.is_done());
+        assert_eq!(back, s);
+        // Empty summary too.
+        let mut w = Writer::new();
+        CutSummary::new().encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = CutSummary::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back, CutSummary::new());
+    }
+}

@@ -30,7 +30,11 @@
 //! 8. the [`OnlineMonitor`] crashed mid-replay, restored from its
 //!    binary snapshot, and fed the rest of the stream (plus an
 //!    at-least-once overlap it must dedup) — recovery must land in the
-//!    same exact-equivalence class.
+//!    same exact-equivalence class;
+//! 9. the [`ShardedMonitor`] fed the same perturbed streams at
+//!    K ∈ {1, 2, 4} shards — every verdict (including the lossy,
+//!    degraded decay) must match the unsharded monitor exactly, and
+//!    the clean replays must additionally match the oracle.
 //!
 //! The seed layout reserves the low 8 bits as a **size code**
 //! (process/step/label counts and the fault bit) and the rest as
@@ -48,7 +52,8 @@ use synchrel_sim::fault::{mix, random_scripts, FaultPlan};
 use synchrel_sim::intervals::by_label;
 use synchrel_sim::{SimResult, Simulation};
 
-use crate::online::{OnlineMonitor, OnlineMsg, Verdict, WireEvent};
+use crate::online::{OnlineError, OnlineMonitor, OnlineMsg, Verdict, WireEvent};
+use crate::shard::ShardedMonitor;
 
 const SALT_SCRIPTS: u64 = 0x5C21;
 const SALT_FAULTS: u64 = 0xFA01;
@@ -232,6 +237,103 @@ pub fn shuffle<T>(items: &mut [T], seed: u64) {
     }
 }
 
+/// The wire-ingest surface shared by the unsharded monitor and the
+/// sharded facade, so one perturbed replay drives both and the
+/// differential stages compare like for like.
+trait WireSink {
+    fn ingest_report(
+        &mut self,
+        p: usize,
+        seq: u64,
+        ev: WireEvent,
+        labels: &[&str],
+    ) -> Result<crate::online::Ingest, OnlineError>;
+    fn declare_all_sent(&mut self, total: &[u64]) -> Result<u64, OnlineError>;
+    fn close_label(&mut self, label: &str);
+}
+
+impl WireSink for OnlineMonitor {
+    fn ingest_report(
+        &mut self,
+        p: usize,
+        seq: u64,
+        ev: WireEvent,
+        labels: &[&str],
+    ) -> Result<crate::online::Ingest, OnlineError> {
+        self.ingest(p, seq, ev, labels)
+    }
+    fn declare_all_sent(&mut self, total: &[u64]) -> Result<u64, OnlineError> {
+        self.declare_complete(total)
+    }
+    fn close_label(&mut self, label: &str) {
+        self.close(label);
+    }
+}
+
+impl WireSink for ShardedMonitor {
+    fn ingest_report(
+        &mut self,
+        p: usize,
+        seq: u64,
+        ev: WireEvent,
+        labels: &[&str],
+    ) -> Result<crate::online::Ingest, OnlineError> {
+        self.ingest(p, seq, ev, labels)
+    }
+    fn declare_all_sent(&mut self, total: &[u64]) -> Result<u64, OnlineError> {
+        self.declare_complete(total)
+    }
+    fn close_label(&mut self, label: &str) {
+        self.close(label);
+    }
+}
+
+/// Wire-API replay under a seed-derived perturbation into any
+/// [`WireSink`]. `drops` enables report loss (followed by
+/// [`OnlineMonitor::declare_complete`]).
+fn replay_perturbed_into<M: WireSink>(
+    mut mon: M,
+    result: &SimResult,
+    processes: usize,
+    labels: &[String],
+    seed: u64,
+    drops: bool,
+) -> Result<M, String> {
+    let mut reports = wire_reports(result);
+    let mut total = vec![0u64; processes];
+    for &(p, ..) in &reports {
+        total[p] += 1;
+    }
+    shuffle(&mut reports, seed);
+    for (i, (p, seq, ev, lab)) in reports.into_iter().enumerate() {
+        if drops && mix(seed, SALT_DROP, i as u64).is_multiple_of(10) {
+            continue;
+        }
+        let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+        mon.ingest_report(p, seq, ev.clone(), &refs)
+            .map_err(|e| e.to_string())?;
+        if mix(seed, SALT_DUP, i as u64).is_multiple_of(5) {
+            // A transport duplicate must be recognized and discarded.
+            match mon
+                .ingest_report(p, seq, ev, &refs)
+                .map_err(|e| e.to_string())?
+            {
+                crate::online::Ingest::Duplicate => {}
+                other => return Err(format!("duplicate report ingested as {other:?}")),
+            }
+        }
+    }
+    if drops {
+        // End-of-stream declaration: tail losses leave no gap evidence,
+        // so the monitor must be told how many reports were sent.
+        mon.declare_all_sent(&total).map_err(|e| e.to_string())?;
+    }
+    for l in labels {
+        mon.close_label(l);
+    }
+    Ok(mon)
+}
+
 /// Wire-API replay under a seed-derived perturbation. `drops` enables
 /// report loss (followed by [`OnlineMonitor::declare_lost`]).
 fn replay_perturbed(
@@ -241,37 +343,14 @@ fn replay_perturbed(
     seed: u64,
     drops: bool,
 ) -> Result<OnlineMonitor, String> {
-    let mut reports = wire_reports(result);
-    let mut total = vec![0u64; processes];
-    for &(p, ..) in &reports {
-        total[p] += 1;
-    }
-    shuffle(&mut reports, seed);
-    let mut mon = OnlineMonitor::new(processes);
-    for (i, (p, seq, ev, lab)) in reports.into_iter().enumerate() {
-        if drops && mix(seed, SALT_DROP, i as u64).is_multiple_of(10) {
-            continue;
-        }
-        let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
-        mon.ingest(p, seq, ev.clone(), &refs)
-            .map_err(|e| e.to_string())?;
-        if mix(seed, SALT_DUP, i as u64).is_multiple_of(5) {
-            // A transport duplicate must be recognized and discarded.
-            match mon.ingest(p, seq, ev, &refs).map_err(|e| e.to_string())? {
-                crate::online::Ingest::Duplicate => {}
-                other => return Err(format!("duplicate report ingested as {other:?}")),
-            }
-        }
-    }
-    if drops {
-        // End-of-stream declaration: tail losses leave no gap evidence,
-        // so the monitor must be told how many reports were sent.
-        mon.declare_complete(&total).map_err(|e| e.to_string())?;
-    }
-    for l in labels {
-        mon.close(l);
-    }
-    Ok(mon)
+    replay_perturbed_into(
+        OnlineMonitor::new(processes),
+        result,
+        processes,
+        labels,
+        seed,
+        drops,
+    )
 }
 
 /// Wire-API replay interrupted by a crash: a seed-derived prefix of the
@@ -605,6 +684,95 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Mismatch> {
                             mon.is_degraded()
                         ),
                     ));
+                }
+            }
+        }
+    }
+
+    // Sharded facade: the same perturbed streams at K ∈ {1, 2, 4}
+    // shards must match the unsharded monitor verdict-for-verdict —
+    // clean and lossy/declare_lost paths both (the lossy comparison
+    // pins the degraded decay, not just the exact table).
+    for k in [1usize, 2, 4] {
+        for drops in [false, true] {
+            let reference = replay_perturbed(&result, case.processes, &label_names, seed, drops)
+                .map_err(|e| mismatch(seed, format!("sharded reference replay failed: {e}")))?;
+            let sharded = replay_perturbed_into(
+                ShardedMonitor::new(case.processes, k),
+                &result,
+                case.processes,
+                &label_names,
+                seed,
+                drops,
+            )
+            .map_err(|e| mismatch(seed, format!("sharded(k={k}) replay failed: {e}")))?;
+            let stage = if drops { "sharded-lossy" } else { "sharded" };
+            if sharded.is_degraded() != reference.is_degraded()
+                || sharded.lost() != reference.lost()
+                || sharded.pending() != reference.pending()
+            {
+                return Err(mismatch(
+                    seed,
+                    format!(
+                        "{stage}(k={k}): health diverged — degraded {}/{}, lost {}/{}, \
+                         pending {}/{}",
+                        sharded.is_degraded(),
+                        reference.is_degraded(),
+                        sharded.lost(),
+                        reference.lost(),
+                        sharded.pending(),
+                        reference.pending()
+                    ),
+                ));
+            }
+            for (xl, _) in &named {
+                for (yl, _) in &named {
+                    if xl == yl {
+                        continue;
+                    }
+                    for rel in Relation::ALL {
+                        let want = reference.check(rel, xl, yl);
+                        let got = sharded.check(rel, xl, yl);
+                        if got != want {
+                            return Err(mismatch(
+                                seed,
+                                format!(
+                                    "{stage}(k={k}): {rel}({xl}, {yl}) = {got:?}, unsharded \
+                                     says {want:?}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            if !drops {
+                // Healthy sharded replays join the exact-equivalence
+                // class against the oracle too.
+                for xi in 0..named.len() {
+                    for yi in 0..named.len() {
+                        if xi == yi {
+                            continue;
+                        }
+                        let (xl, x) = &named[xi];
+                        let (yl, y) = &named[yi];
+                        for rel in Relation::ALL {
+                            let want = if oracle.relation(rel, x, y) {
+                                Verdict::Holds
+                            } else {
+                                Verdict::Violated
+                            };
+                            let got = sharded.check(rel, xl, yl);
+                            if got != want {
+                                return Err(mismatch(
+                                    seed,
+                                    format!(
+                                        "{stage}(k={k}): {rel}({xl}, {yl}) = {got:?}, oracle \
+                                         says {want:?}"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
                 }
             }
         }

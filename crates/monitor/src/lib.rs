@@ -21,6 +21,11 @@
 //! * [`predicate`] — conjunctive global-predicate detection over local
 //!   intervals (possibly-`∧φᵢ`), solved with the condensation cut
 //!   `∪⇓S` of the interval starts.
+//! * [`shard`] — the sharded monitor: consistent-hash partitioning of
+//!   processes and labels across K full-width monitors, with a
+//!   Theorem-19 coordinator merging per-shard summaries for
+//!   cross-shard relation queries — verdicts byte-identical to one
+//!   unsharded monitor.
 //! * [`differential`] — the randomized differential-conformance harness:
 //!   fault-injected simulations checked across every evaluator (naive
 //!   oracle, counted, fused, online) with single-seed reproduction and
@@ -31,13 +36,19 @@ pub mod differential;
 pub mod mutex;
 pub mod online;
 pub mod predicate;
+pub mod shard;
 pub mod spec;
 
 pub use checker::{CheckReport, Checker, ConditionReport};
 pub use differential::{run_case, shrink, DiffCase, Mismatch};
 pub use mutex::{MutexReport, MutexViolation};
 pub use online::{
-    Ingest, MonitorStats, OnlineError, OnlineMonitor, OnlineMsg, Verdict, WatchEvent, WireEvent,
+    Ingest, MonitorStats, OnlineError, OnlineMonitor, OnlineMsg, Verdict, WatchEvent, WatchSpec,
+    WireEvent,
 };
 pub use predicate::{possibly_overlap, LocalInterval, PossiblyReport};
+pub use shard::{
+    next_concession, prune_candidates, transfer_round, Coordinator, SettleEvent, ShardMap,
+    ShardedMonitor, TransferOp, WatchBook,
+};
 pub use spec::{Condition, Spec};

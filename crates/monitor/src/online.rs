@@ -61,6 +61,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use synchrel_core::codec::{CodecError, Reader, Writer};
+use synchrel_core::thm19::{self, CutSummary};
 use synchrel_core::{Relation, VectorClock};
 use synchrel_obs::MetricsRegistry;
 
@@ -80,72 +81,14 @@ fn read_clock(r: &mut Reader<'_>) -> Result<VectorClock, CodecError> {
     Ok(VectorClock::from_components(r.u32s()?))
 }
 
-fn put_extreme(w: &mut Writer, e: &Extreme) {
-    w.put_u32(e.pos);
-    put_clock(w, &e.clock);
-}
-
-fn read_extreme(r: &mut Reader<'_>) -> Result<Extreme, CodecError> {
-    Ok(Extreme {
-        pos: r.u32()?,
-        clock: read_clock(r)?,
-    })
-}
-
-fn put_extremes(w: &mut Writer, m: &BTreeMap<usize, Extreme>) {
-    w.put_usize(m.len());
-    for (&node, e) in m {
-        w.put_usize(node);
-        put_extreme(w, e);
-    }
-}
-
-fn read_extremes(r: &mut Reader<'_>) -> Result<BTreeMap<usize, Extreme>, CodecError> {
-    let n = r.len_prefix()?;
-    let mut m = BTreeMap::new();
-    for _ in 0..n {
-        let node = r.usize()?;
-        m.insert(node, read_extreme(r)?);
-    }
-    Ok(m)
-}
-
-fn put_opt_clock(w: &mut Writer, c: &Option<VectorClock>) {
-    match c {
-        None => w.put_u8(0),
-        Some(c) => {
-            w.put_u8(1);
-            put_clock(w, c);
-        }
-    }
-}
-
-fn read_opt_clock(r: &mut Reader<'_>) -> Result<Option<VectorClock>, CodecError> {
-    match r.u8()? {
-        0 => Ok(None),
-        1 => Ok(Some(read_clock(r)?)),
-        _ => Err(CodecError::Malformed("option tag")),
-    }
-}
-
 fn put_interval(w: &mut Writer, iv: &IntervalState) {
-    w.put_bool(iv.closed);
-    w.put_usize(iv.count);
-    put_extremes(w, &iv.lo);
-    put_extremes(w, &iv.hi);
-    put_opt_clock(w, &iv.c1);
-    put_opt_clock(w, &iv.c2);
+    // `CutSummary::encode` preserves the field order (`closed`,
+    // `count`, `lo`, `hi`, `c1`, `c2`) snapshots have always used.
+    iv.encode(w);
 }
 
 fn read_interval(r: &mut Reader<'_>) -> Result<IntervalState, CodecError> {
-    Ok(IntervalState {
-        closed: r.bool()?,
-        count: r.usize()?,
-        lo: read_extremes(r)?,
-        hi: read_extremes(r)?,
-        c1: read_opt_clock(r)?,
-        c2: read_opt_clock(r)?,
-    })
+    IntervalState::decode(r)
 }
 
 /// Handle to a message sent through the monitor.
@@ -287,62 +230,11 @@ pub enum Ingest {
     Duplicate,
 }
 
-/// Per-node extremal member data: 1-indexed position and the member's
-/// full clock.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-struct Extreme {
-    pos: u32,
-    clock: VectorClock,
-}
-
-/// Incrementally maintained state of one named interval.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-struct IntervalState {
-    closed: bool,
-    count: usize,
-    /// Earliest member per node.
-    lo: BTreeMap<usize, Extreme>,
-    /// Latest member per node.
-    hi: BTreeMap<usize, Extreme>,
-    /// `∩⇓X` timestamp: component-wise min of member clocks.
-    c1: Option<VectorClock>,
-    /// `∪⇓X` timestamp: component-wise max of member clocks.
-    c2: Option<VectorClock>,
-}
-
-impl IntervalState {
-    fn add(&mut self, node: usize, pos: u32, clock: &VectorClock) {
-        self.count += 1;
-        match self.c1.as_mut() {
-            Some(c) => c.meet_assign(clock),
-            None => self.c1 = Some(clock.clone()),
-        }
-        match self.c2.as_mut() {
-            Some(c) => c.join_assign(clock),
-            None => self.c2 = Some(clock.clone()),
-        }
-        let e = Extreme {
-            pos,
-            clock: clock.clone(),
-        };
-        match self.lo.get(&node) {
-            Some(x) if x.pos <= pos => {}
-            _ => {
-                self.lo.insert(node, e.clone());
-            }
-        }
-        match self.hi.get(&node) {
-            Some(x) if x.pos >= pos => {}
-            _ => {
-                self.hi.insert(node, e);
-            }
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-}
+/// Incrementally maintained state of one named interval — the
+/// Theorem-19 [`CutSummary`] from `synchrel-core`, which is also what
+/// a sharded deployment ships between shards (see
+/// [`crate::shard::ShardedMonitor`]).
+type IntervalState = CutSummary;
 
 /// A registered condition watch and its last reported verdict.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -519,6 +411,25 @@ impl MonitorStats {
             self.resident_intervals as f64,
         );
     }
+}
+
+/// A watch's public registration record, as returned by
+/// [`OnlineMonitor::watch_specs`] — what a sharded facade rebuilds its
+/// registry from after recovery.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchSpec {
+    /// The watch's name.
+    pub name: String,
+    /// The watched relation.
+    pub rel: Relation,
+    /// Label of the left interval.
+    pub x: String,
+    /// Label of the right interval.
+    pub y: String,
+    /// Last reported verdict.
+    pub last: Verdict,
+    /// The verdict is permanent.
+    pub settled: bool,
 }
 
 /// A verdict transition reported by [`OnlineMonitor::poll`].
@@ -927,7 +838,7 @@ impl OnlineMonitor {
             self.intervals
                 .entry(l.to_string())
                 .or_default()
-                .add(p, pos, &clock);
+                .add_member(p, pos, &clock);
             self.mark_label_dirty(l);
         }
     }
@@ -1164,6 +1075,160 @@ impl OnlineMonitor {
         self.lossy || self.pending() > 0
     }
 
+    // ---- shard-coordination surface ------------------------------------
+    //
+    // A sharded deployment runs one full-width monitor per shard, each
+    // ingesting only the wire reports of the processes it owns. Sends
+    // whose receivers live on another shard are carried across by a
+    // coordinator through the methods below; everything they do is a
+    // deterministic function of (already-durable) per-shard state, so
+    // each call can be logged in the receiving shard's WAL and replayed.
+
+    /// The applied clock of wire send `msg`, if this monitor has
+    /// applied the send — what a coordinator ships to the shard holding
+    /// the matching receive.
+    pub fn wire_send_clock(&self, msg: u64) -> Option<&VectorClock> {
+        self.wire_msgs.get(&msg)
+    }
+
+    /// Wire message ids of buffered **head-of-sequence** receives whose
+    /// send clock this monitor does not hold: the cross-shard transfer
+    /// requests a coordinator must answer. (Deeper buffered receives
+    /// surface on later calls, as learning unblocks their prefixes — a
+    /// coordinator loops to fixpoint.)
+    pub fn blocked_recv_msgs(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for p in 0..self.clocks.len() {
+            if let Some((&s, (ev, _))) = self.held[p].first_key_value() {
+                if s == self.next_seq[p] {
+                    if let WireEvent::Recv { msg } = ev {
+                        if !self.wire_msgs.contains_key(msg) {
+                            out.push(*msg);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Learn the applied clock of wire send `msg` from another shard's
+    /// monitor, then drain any receives it unblocks. A message already
+    /// known is a strict no-op (no drain, no counter movement), which
+    /// keeps at-least-once coordinator retries replay-deterministic.
+    /// Returns whether the clock was new.
+    pub fn learn_send(&mut self, msg: u64, clock: VectorClock) -> Result<bool, OnlineError> {
+        if self.wire_msgs.contains_key(&msg) {
+            return Ok(false);
+        }
+        self.wire_msgs.insert(msg, clock);
+        self.wire_drain()?;
+        Ok(true)
+    }
+
+    /// Buffered out-of-order reports held for process `p`.
+    pub fn pending_of(&self, p: usize) -> usize {
+        self.held.get(p).map_or(0, |h| h.len())
+    }
+
+    /// One [`OnlineMonitor::declare_lost`] iteration for process `p`,
+    /// followed by a drain: concede the gap in front of `p`'s earliest
+    /// held report, or — if that report is at the head of the sequence
+    /// but blocked (a receive whose send was lost) — apply it without
+    /// the causal join. No-op if nothing is held for `p`. Returns the
+    /// number of sequence slots conceded.
+    ///
+    /// A sharded `declare_lost` interleaves these per-process steps
+    /// across shards in ascending-process order with cross-shard
+    /// transfers between them, reproducing exactly the unsharded
+    /// concession order.
+    pub fn concede_step(&mut self, p: usize) -> Result<u64, OnlineError> {
+        self.check_process(p)?;
+        let Some((&s, _)) = self.held[p].first_key_value() else {
+            return Ok(0);
+        };
+        self.lossy = true;
+        let conceded = if s > self.next_seq[p] {
+            let c = s - self.next_seq[p];
+            self.next_seq[p] = s;
+            self.lost += c;
+            c
+        } else {
+            let (ev, labels) = self.held[p].remove(&s).expect("peeked");
+            self.wire_apply(p, &ev, &labels)?;
+            0
+        };
+        self.wire_drain()?;
+        Ok(conceded)
+    }
+
+    /// Force a watch's recorded verdict (used by a shard coordinator to
+    /// make a facade-settled verdict durable on the shard that owns the
+    /// watch). Returns whether the watch exists.
+    pub fn force_verdict(&mut self, name: &str, verdict: Verdict, settled: bool) -> bool {
+        match self.watches.iter_mut().find(|w| w.name == name) {
+            Some(w) => {
+                w.last = verdict;
+                w.settled = settled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unconditionally compact interval `label` into a tombstone (the
+    /// sharded facade decides retirement from *global* watch state, so
+    /// shard-local pruning stays disabled and this is driven
+    /// explicitly). Closing semantics match [`OnlineMonitor::prune`]:
+    /// the tombstone keeps the label's final length and reads as
+    /// closed. Returns whether anything changed.
+    pub fn retire(&mut self, label: &str) -> bool {
+        if self.retired.contains_key(label) {
+            return false;
+        }
+        let count = self.intervals.remove(label).map_or(0, |s| s.count);
+        self.retired.insert(label.to_string(), count);
+        self.stats.reclaimed += 1;
+        true
+    }
+
+    /// The Theorem-19 summary of an interval's members **on this
+    /// shard** — `None` for labels never recorded here (or retired).
+    /// Merging these across shards ([`CutSummary::merge`]) reconstructs
+    /// the unsharded interval state exactly, because every process is
+    /// owned by one shard.
+    pub fn interval_summary(&self, label: &str) -> Option<&CutSummary> {
+        self.intervals.get(label)
+    }
+
+    /// Labels of resident (non-retired) intervals, in order.
+    pub fn interval_labels(&self) -> impl Iterator<Item = &str> {
+        self.intervals.keys().map(String::as_str)
+    }
+
+    /// Labels retired to tombstones, with their final member counts.
+    pub fn retired_labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.retired.iter().map(|(l, &c)| (l.as_str(), c))
+    }
+
+    /// The registered watches, in registration order — what a facade
+    /// rebuilds its registry from after recovery.
+    pub fn watch_specs(&self) -> Vec<WatchSpec> {
+        self.watches
+            .iter()
+            .map(|w| WatchSpec {
+                name: w.name.clone(),
+                rel: w.rel,
+                x: w.x.clone(),
+                y: w.y.clone(),
+                last: w.last,
+                settled: w.settled,
+            })
+            .collect()
+    }
+
     /// Close an interval: no further events may join it, which lets
     /// pending verdicts settle. Closing an unknown name creates it
     /// empty and closed. With pruning enabled, closed intervals no
@@ -1252,33 +1317,7 @@ impl OnlineMonitor {
         let dy = IntervalState::default();
         let sx = self.intervals.get(x).unwrap_or(&dx);
         let sy = self.intervals.get(y).unwrap_or(&dy);
-        // Quantifier semantics on empty operands.
-        if sx.is_empty() || sy.is_empty() {
-            return match rel {
-                Relation::R1 | Relation::R1p => true, // vacuous ∀∀
-                Relation::R2 => sx.is_empty(),
-                Relation::R2p => sx.is_empty() && !sy.is_empty(),
-                Relation::R3 => !sx.is_empty() && sy.is_empty(),
-                Relation::R3p => sy.is_empty(),
-                Relation::R4 | Relation::R4p => false,
-            };
-        }
-        let c1y = sy.c1.as_ref().expect("non-empty");
-        let c2y = sy.c2.as_ref().expect("non-empty");
-        match rel {
-            Relation::R1 | Relation::R1p => sx.hi.iter().all(|(&i, e)| c1y[i] >= e.pos),
-            Relation::R2 => sx.hi.iter().all(|(&i, e)| c2y[i] >= e.pos),
-            Relation::R2p => sy
-                .hi
-                .values()
-                .any(|yc| sx.hi.iter().all(|(&i, e)| yc.clock[i] >= e.pos)),
-            Relation::R3 => sx.lo.iter().any(|(&i, e)| c1y[i] >= e.pos),
-            Relation::R3p => sy
-                .lo
-                .values()
-                .all(|yc| sx.lo.iter().any(|(&i, e)| yc.clock[i] >= e.pos)),
-            Relation::R4 | Relation::R4p => sx.lo.iter().any(|(&i, e)| c2y[i] >= e.pos),
-        }
+        thm19::eval_now(rel, sx, sy)
     }
 
     /// Register a named watch on `rel(x, y)`. Its verdict transitions

@@ -1,0 +1,1233 @@
+//! Sharded online monitoring: consistent-hash partitioning with a
+//! Theorem-19 cross-shard coordinator.
+//!
+//! One [`OnlineMonitor`] holds all clocks, buffers, and watches — the
+//! apply path that caps throughput. This module splits that state
+//! across `K` full-width monitors ("shards"), each ingesting only the
+//! wire reports of the **processes it owns** (a [`ShardMap`] routes
+//! process groups and interval labels to shards by consistent
+//! hashing). Three observations make the split exact rather than
+//! approximate:
+//!
+//! 1. **Per-node state never straddles shards.** Every process is
+//!    owned by exactly one shard, so an interval's per-node extremes
+//!    and per-member clocks partition cleanly; merging the per-shard
+//!    [`CutSummary`]s ([`CutSummary::merge`]) reconstructs the
+//!    unsharded interval state byte-identically.
+//! 2. **Theorem 19 bounds what must travel.** A cross-shard relation
+//!    query needs only the summary components of the operands — past
+//!    cuts plus extremal member clocks — not raw events. The
+//!    [`Coordinator`] fetches per-shard summaries and caches them
+//!    until the owning shard's frontier (applied-event count)
+//!    advances.
+//! 3. **Cross-shard causality is carried by send clocks.** A receive
+//!    whose matching send applied on another shard is unblocked by
+//!    shipping that send's applied clock
+//!    ([`OnlineMonitor::learn_send`]); [`transfer_round`] computes the
+//!    pending shipments and the facade loops them to a fixpoint, which
+//!    reproduces exactly the apply order an unsharded monitor's drain
+//!    would have used.
+//!
+//! [`ShardedMonitor`] is the in-process facade (same wire-API surface
+//! as [`OnlineMonitor`]); the serving tier builds the same facade over
+//! per-shard WAL-backed servers in `synchrel-serve`. The building
+//! blocks — [`ShardMap`], [`Coordinator`], [`WatchBook`],
+//! [`transfer_round`], [`next_concession`], [`prune_candidates`] — are
+//! public so both facades share one implementation of the protocol.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+
+use synchrel_core::thm19::{self, CutSummary};
+use synchrel_core::{Relation, VectorClock};
+use synchrel_obs::MetricsRegistry;
+use synchrel_sim::fault::mix;
+
+use crate::online::{
+    Ingest, MonitorStats, OnlineError, OnlineMonitor, Verdict, WatchEvent, WatchSpec, WireEvent,
+};
+
+const SALT_RING: u64 = 0x51A6;
+const SALT_GROUP: u64 = 0x56E0;
+const SALT_LABEL: u64 = 0x1ABE1;
+/// Virtual nodes per shard on the hash ring: enough that load spreads
+/// evenly at small `K`, few enough that the ring stays cache-resident.
+const VNODES: u64 = 32;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Consistent-hash routing of processes (via their group) and interval
+/// labels to shards.
+///
+/// The ring carries [`VNODES`] points per shard; adding shard `K+1`
+/// only inserts new points, so the assignment is **rebalance-stable**:
+/// growing the shard count moves roughly `1/(K+1)` of the keys and
+/// leaves the rest where they were. Explicit per-label overrides
+/// ([`ShardMap::reassign`]) support operational rebalancing.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: usize,
+    points: Vec<(u64, usize)>,
+    /// Shard owning each process (resolved at construction).
+    owner: Vec<usize>,
+    overrides: BTreeMap<String, usize>,
+}
+
+impl ShardMap {
+    /// A map routing `processes` processes (each its own group) across
+    /// `shards` shards.
+    pub fn new(shards: usize, processes: usize) -> ShardMap {
+        ShardMap::with_process_groups(shards, &(0..processes).collect::<Vec<_>>())
+    }
+
+    /// A map with explicit process groups: `groups[p]` names the group
+    /// of process `p`, and a whole group always lands on one shard —
+    /// how a deployment co-locates processes that message each other
+    /// heavily.
+    pub fn with_process_groups(shards: usize, groups: &[usize]) -> ShardMap {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VNODES as usize);
+        for s in 0..shards {
+            for v in 0..VNODES {
+                points.push((mix(s as u64, v, SALT_RING), s));
+            }
+        }
+        points.sort_unstable();
+        let mut map = ShardMap {
+            shards,
+            points,
+            owner: Vec::new(),
+            overrides: BTreeMap::new(),
+        };
+        map.owner = groups
+            .iter()
+            .map(|&g| map.lookup(mix(g as u64, 0, SALT_GROUP)))
+            .collect();
+        map
+    }
+
+    fn lookup(&self, h: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, s) = self.points[i % self.points.len()];
+        s
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of processes routed.
+    pub fn num_processes(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The shard owning process `p` (its group's ring position).
+    pub fn shard_of_process(&self, p: usize) -> usize {
+        self.owner[p]
+    }
+
+    /// The home shard of interval `label` — where a serving facade
+    /// anchors the label's watch bookkeeping. Overrides win over the
+    /// ring.
+    pub fn home_of(&self, label: &str) -> usize {
+        if let Some(&s) = self.overrides.get(label) {
+            return s;
+        }
+        // FNV-1a of short, similar strings clusters in the low bits;
+        // a splitmix finalizer spreads the keys around the ring.
+        self.lookup(mix(fnv1a(label.as_bytes()), 0, SALT_LABEL))
+    }
+
+    /// Pin `label`'s home to `shard` (operational rebalancing). The
+    /// routing of *event state* is untouched — summaries live with the
+    /// processes that produced them — so moving a label's home never
+    /// changes any verdict.
+    pub fn reassign(&mut self, label: &str, shard: usize) {
+        self.overrides
+            .insert(label.to_string(), shard % self.shards);
+    }
+}
+
+/// One pending cross-shard shipment: the applied clock of wire send
+/// `msg`, destined for shard `dst` whose head-of-sequence receive is
+/// blocked on it.
+#[derive(Clone, Debug)]
+pub struct TransferOp {
+    /// Shard whose receive is blocked.
+    pub dst: usize,
+    /// Wire message id.
+    pub msg: u64,
+    /// The send's applied clock on its origin shard.
+    pub clock: VectorClock,
+}
+
+/// Compute one round of cross-shard send-clock shipments: for every
+/// shard whose head-of-sequence receive is blocked on a message some
+/// *other* shard has applied the send of, emit a [`TransferOp`].
+/// Apply the ops ([`OnlineMonitor::learn_send`]) and call again; an
+/// empty round is the fixpoint.
+pub fn transfer_round(shards: &[&OnlineMonitor]) -> Vec<TransferOp> {
+    let mut ops = Vec::new();
+    for (dst, shard) in shards.iter().enumerate() {
+        for msg in shard.blocked_recv_msgs() {
+            for (src, other) in shards.iter().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                if let Some(clock) = other.wire_send_clock(msg) {
+                    ops.push(TransferOp {
+                        dst,
+                        msg,
+                        clock: clock.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// The next `declare_lost` concession a sharded facade must take:
+/// the lowest process (ascending, exactly the unsharded order) whose
+/// owning shard still buffers reports for it. Returns
+/// `(shard, process)`; `None` once nothing is held anywhere.
+pub fn next_concession(shards: &[&OnlineMonitor], map: &ShardMap) -> Option<(usize, usize)> {
+    (0..map.num_processes()).find_map(|p| {
+        let s = map.shard_of_process(p);
+        (shards[s].pending_of(p) > 0).then_some((s, p))
+    })
+}
+
+/// Labels a sharded facade should retire now: closed on their shards
+/// and referenced by no unsettled watch — the sharded equivalent of
+/// [`OnlineMonitor::prune`], decided from *global* watch state (which
+/// is why shard-local pruning stays disabled under a facade).
+pub fn prune_candidates(shards: &[&OnlineMonitor], book: &WatchBook) -> Vec<String> {
+    let referenced = book.referenced();
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for shard in shards {
+        for label in shard.interval_labels() {
+            if !seen.insert(label.to_string()) {
+                continue;
+            }
+            let closed = shards.iter().any(|s| s.is_closed(label));
+            if closed && !referenced.contains(label) {
+                out.push(label.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The cross-shard query coordinator: fetches per-shard Theorem-19
+/// summaries and caches each until the owning shard's frontier (its
+/// applied-event count) advances. Evaluation against merged summaries
+/// is byte-identical to the unsharded monitor's
+/// ([`CutSummary::merge`] exactness); an RPC deployment would ship
+/// [`CutSummary::project`]ed summaries — the cache works the same.
+#[derive(Debug, Default)]
+pub struct Coordinator {
+    /// (shard, label) → the summary fetched at that shard's frontier.
+    cache: RefCell<BTreeMap<(usize, String), CachedFetch>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+/// One cached per-shard summary fetch: valid while the owning shard's
+/// applied-event frontier still matches.
+#[derive(Clone, Debug)]
+struct CachedFetch {
+    frontier: u64,
+    summary: Option<CutSummary>,
+}
+
+impl Coordinator {
+    /// An empty coordinator.
+    pub fn new() -> Coordinator {
+        Coordinator::default()
+    }
+
+    /// Cache hits (a summary served without touching the shard).
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Cache misses (summaries fetched from a shard).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drop every cached summary of `label` (it closed, retired, or
+    /// was rebalanced — changes that do not advance any frontier).
+    pub fn invalidate(&self, label: &str) {
+        self.cache.borrow_mut().retain(|(_, l), _| l != label);
+    }
+
+    /// Drop the whole cache (recovery).
+    pub fn clear(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// The interval state of `label` merged across `shards`, exactly
+    /// equal to the unsharded [`OnlineMonitor`]'s interval state.
+    pub fn merged(&self, shards: &[&OnlineMonitor], label: &str) -> CutSummary {
+        let mut out = CutSummary::default();
+        let mut cache = self.cache.borrow_mut();
+        for (i, shard) in shards.iter().enumerate() {
+            let frontier = shard.stats().applied;
+            let key = (i, label.to_string());
+            let entry = match cache.get(&key) {
+                Some(c) if c.frontier == frontier => {
+                    self.hits.set(self.hits.get() + 1);
+                    c.summary.clone()
+                }
+                _ => {
+                    self.misses.set(self.misses.get() + 1);
+                    let fetched = shard.interval_summary(label).cloned();
+                    cache.insert(
+                        key,
+                        CachedFetch {
+                            frontier,
+                            summary: fetched.clone(),
+                        },
+                    );
+                    fetched
+                }
+            };
+            if let Some(s) = entry {
+                out.merge(&s);
+            }
+        }
+        out
+    }
+
+    /// The facade's [`OnlineMonitor::check_exact`]: merged-summary
+    /// evaluation with the same settle rules.
+    pub fn check_exact(
+        &self,
+        shards: &[&OnlineMonitor],
+        rel: Relation,
+        x: &str,
+        y: &str,
+    ) -> Verdict {
+        if shards.iter().any(|s| s.is_retired(x) || s.is_retired(y)) {
+            return Verdict::Unknown;
+        }
+        let sx = self.merged(shards, x);
+        let sy = self.merged(shards, y);
+        let now = thm19::eval_now(rel, &sx, &sy);
+        let (xc, yc) = (sx.closed, sy.closed);
+        match rel {
+            Relation::R1 | Relation::R1p => {
+                if !now {
+                    Verdict::Violated
+                } else if xc && yc {
+                    Verdict::Holds
+                } else {
+                    Verdict::Pending
+                }
+            }
+            Relation::R2 | Relation::R2p => {
+                if now && xc {
+                    Verdict::Holds
+                } else if !now && yc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+            Relation::R3 | Relation::R3p => {
+                if now && yc {
+                    Verdict::Holds
+                } else if !now && xc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+            Relation::R4 | Relation::R4p => {
+                if now {
+                    Verdict::Holds
+                } else if xc && yc {
+                    Verdict::Violated
+                } else {
+                    Verdict::Pending
+                }
+            }
+        }
+    }
+
+    /// The facade's [`OnlineMonitor::check`]: exact verdict decayed
+    /// for degradation (`degraded` is the *global* flag — any shard
+    /// lossy or buffering).
+    pub fn check(
+        &self,
+        shards: &[&OnlineMonitor],
+        degraded: bool,
+        rel: Relation,
+        x: &str,
+        y: &str,
+    ) -> Verdict {
+        let exact = self.check_exact(shards, rel, x, y);
+        if !degraded {
+            return exact;
+        }
+        match (rel, exact) {
+            (_, Verdict::Pending) => Verdict::Pending,
+            (Relation::R4 | Relation::R4p, Verdict::Holds) => Verdict::Holds,
+            _ => Verdict::Unknown,
+        }
+    }
+}
+
+/// A watch just settled by [`WatchBook::poll`] — a serving facade
+/// broadcasts these to its shards for durability.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SettleEvent {
+    /// The watch's name.
+    pub name: String,
+    /// The permanent verdict.
+    pub verdict: Verdict,
+}
+
+/// The facade-level watch registry: registration order, replace
+/// semantics, settle/freeze rules — exactly [`OnlineMonitor`]'s, but
+/// with evaluation delegated to a caller-supplied function (merged
+/// summaries in-process, logged coordinator commands in the serving
+/// tier).
+#[derive(Clone, Debug, Default)]
+pub struct WatchBook {
+    watches: Vec<WatchSpec>,
+}
+
+impl WatchBook {
+    /// An empty book.
+    pub fn new() -> WatchBook {
+        WatchBook::default()
+    }
+
+    /// Rebuild from recovered specs (shard watch lists after a
+    /// restart).
+    pub fn from_specs(specs: Vec<WatchSpec>) -> WatchBook {
+        WatchBook { watches: specs }
+    }
+
+    /// The registered specs, in registration order.
+    pub fn specs(&self) -> &[WatchSpec] {
+        &self.watches
+    }
+
+    /// Number of registered watches.
+    pub fn len(&self) -> usize {
+        self.watches.len()
+    }
+
+    /// Is the book empty?
+    pub fn is_empty(&self) -> bool {
+        self.watches.is_empty()
+    }
+
+    /// Register `rel(x, y)` under `name` — same idempotent replace
+    /// semantics as [`OnlineMonitor::watch`].
+    pub fn watch(&mut self, name: &str, rel: Relation, x: &str, y: &str) {
+        let w = WatchSpec {
+            name: name.to_string(),
+            rel,
+            x: x.to_string(),
+            y: y.to_string(),
+            last: Verdict::Pending,
+            settled: false,
+        };
+        if let Some(old) = self.watches.iter_mut().find(|o| o.name == w.name) {
+            let same = old.rel == w.rel && old.x == w.x && old.y == w.y;
+            if !same {
+                *old = w;
+            }
+        } else {
+            self.watches.push(w);
+        }
+    }
+
+    /// Force a watch's recorded verdict (recovery merge). Returns
+    /// whether the watch exists.
+    pub fn force(&mut self, name: &str, verdict: Verdict, settled: bool) -> bool {
+        match self.watches.iter_mut().find(|w| w.name == name) {
+            Some(w) => {
+                w.last = verdict;
+                w.settled = settled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Labels referenced by at least one unsettled watch — what blocks
+    /// pruning.
+    pub fn referenced(&self) -> BTreeSet<String> {
+        self.watches
+            .iter()
+            .filter(|w| !w.settled)
+            .flat_map(|w| [w.x.clone(), w.y.clone()])
+            .collect()
+    }
+
+    /// Current verdicts in registration order; settled watches report
+    /// their frozen verdict without re-evaluation.
+    pub fn verdicts(
+        &self,
+        mut eval: impl FnMut(Relation, &str, &str) -> Verdict,
+    ) -> Vec<(String, Verdict)> {
+        self.watches
+            .iter()
+            .map(|w| {
+                let v = if w.settled {
+                    w.last
+                } else {
+                    eval(w.rel, &w.x, &w.y)
+                };
+                (w.name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Re-evaluate every unsettled watch; returns the verdict
+    /// transitions (the [`OnlineMonitor::poll`] contract) and the
+    /// watches that just settled (for durability broadcasts).
+    ///
+    /// Re-checking *every* unsettled watch — rather than only dirty
+    /// ones — emits exactly the transitions the unsharded monitor
+    /// would: `check` is a pure function of interval state plus the
+    /// degradation flag, so a watch whose operands did not move cannot
+    /// have changed verdict.
+    pub fn poll(
+        &mut self,
+        mut eval: impl FnMut(Relation, &str, &str) -> Verdict,
+    ) -> (Vec<WatchEvent>, Vec<SettleEvent>) {
+        let mut events = Vec::new();
+        let mut settles = Vec::new();
+        for w in &mut self.watches {
+            if w.settled {
+                continue;
+            }
+            let v = eval(w.rel, &w.x, &w.y);
+            if matches!(v, Verdict::Holds | Verdict::Violated) {
+                w.settled = true;
+                settles.push(SettleEvent {
+                    name: w.name.clone(),
+                    verdict: v,
+                });
+            }
+            if v != w.last {
+                w.last = v;
+                events.push(WatchEvent {
+                    name: w.name.clone(),
+                    verdict: v,
+                });
+            }
+        }
+        (events, settles)
+    }
+}
+
+/// The in-process sharded monitor: `K` full-width [`OnlineMonitor`]s
+/// behind the [`OnlineMonitor`] wire-API surface, producing verdicts
+/// byte-identical to one unsharded monitor fed the same reports.
+#[derive(Debug)]
+pub struct ShardedMonitor {
+    map: ShardMap,
+    shards: Vec<OnlineMonitor>,
+    book: WatchBook,
+    coord: Coordinator,
+    prune_enabled: bool,
+    /// Facade-level `check` tallies (shard monitors never run `check`,
+    /// so their tallies stay zero).
+    tallies: [Cell<u64>; 4],
+}
+
+impl ShardedMonitor {
+    /// `processes` processes split across `shards` shards, one process
+    /// group each.
+    pub fn new(processes: usize, shards: usize) -> ShardedMonitor {
+        ShardedMonitor::with_map(ShardMap::new(shards, processes))
+    }
+
+    /// A sharded monitor over an explicit routing map.
+    pub fn with_map(map: ShardMap) -> ShardedMonitor {
+        let processes = map.num_processes();
+        let shards = (0..map.shards())
+            .map(|_| OnlineMonitor::new(processes))
+            .collect();
+        ShardedMonitor {
+            map,
+            shards,
+            book: WatchBook::new(),
+            coord: Coordinator::new(),
+            prune_enabled: false,
+            tallies: Default::default(),
+        }
+    }
+
+    /// Enable facade-level pruning (shard-local pruning stays off —
+    /// retirement is a global decision).
+    pub fn with_pruning(mut self) -> ShardedMonitor {
+        self.prune_enabled = true;
+        self
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.map.num_processes()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The coordinator (cache statistics).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coord
+    }
+
+    /// Shard `i`'s monitor, read-only.
+    pub fn shard(&self, i: usize) -> &OnlineMonitor {
+        &self.shards[i]
+    }
+
+    fn shard_refs(&self) -> Vec<&OnlineMonitor> {
+        self.shards.iter().collect()
+    }
+
+    fn total_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().applied).sum()
+    }
+
+    /// Run cross-shard send-clock transfers to a fixpoint.
+    fn transfer(&mut self) -> Result<(), OnlineError> {
+        loop {
+            let ops = transfer_round(&self.shard_refs());
+            if ops.is_empty() {
+                return Ok(());
+            }
+            for op in ops {
+                self.shards[op.dst].learn_send(op.msg, op.clock)?;
+            }
+        }
+    }
+
+    /// Ingest one sequence-numbered wire report — routed to the owning
+    /// shard, followed by cross-shard transfers if it applied.
+    /// Contract matches [`OnlineMonitor::ingest`]; `Applied(n)` counts
+    /// events applied across *all* shards (transfers included).
+    pub fn ingest(
+        &mut self,
+        p: usize,
+        seq: u64,
+        event: WireEvent,
+        labels: &[&str],
+    ) -> Result<Ingest, OnlineError> {
+        if p >= self.num_processes() {
+            return Err(OnlineError::UnknownProcess(p));
+        }
+        let owner = self.map.shard_of_process(p);
+        let before = self.total_applied();
+        match self.shards[owner].ingest(p, seq, event, labels)? {
+            Ingest::Applied(_) => {
+                self.transfer()?;
+                Ok(Ingest::Applied((self.total_applied() - before) as usize))
+            }
+            Ingest::Buffered => {
+                // A receive held at head-of-sequence may be waiting on
+                // a send another shard already applied — exactly the
+                // case the unsharded monitor applies immediately. Run
+                // transfers and report `Applied` if anything drained.
+                self.transfer()?;
+                let applied = self.total_applied() - before;
+                if applied > 0 {
+                    Ok(Ingest::Applied(applied as usize))
+                } else {
+                    Ok(Ingest::Buffered)
+                }
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Ingest a batch of wire reports with per-shard parallelism:
+    /// reports are partitioned by owning shard, each shard applies its
+    /// sub-batch on its own thread (shards share nothing during the
+    /// apply), and cross-shard transfers run once at the end. The
+    /// final state is identical to ingesting the batch sequentially —
+    /// a shard's apply path never reads another shard's state.
+    /// Returns the number of events applied.
+    pub fn ingest_batch_parallel(
+        &mut self,
+        reports: &[(usize, u64, WireEvent, Vec<String>)],
+    ) -> Result<usize, OnlineError> {
+        let k = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &(p, ..)) in reports.iter().enumerate() {
+            if p >= self.num_processes() {
+                return Err(OnlineError::UnknownProcess(p));
+            }
+            by_shard[self.map.shard_of_process(p)].push(i);
+        }
+        let before = self.total_applied();
+        let results: Vec<Result<(), OnlineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&by_shard)
+                .map(|(shard, idxs)| {
+                    scope.spawn(move || {
+                        for &i in idxs {
+                            let (p, seq, ev, labels) = &reports[i];
+                            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                            shard.ingest(*p, *seq, ev.clone(), &refs)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard apply thread panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        self.transfer()?;
+        Ok((self.total_applied() - before) as usize)
+    }
+
+    /// Retry buffered reports on every shard, including cross-shard
+    /// transfers. Returns how many events applied.
+    pub fn flush(&mut self) -> Result<usize, OnlineError> {
+        let before = self.total_applied();
+        for shard in &mut self.shards {
+            shard.flush()?;
+        }
+        self.transfer()?;
+        Ok((self.total_applied() - before) as usize)
+    }
+
+    /// Reports buffered out of order, across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.pending()).sum()
+    }
+
+    /// Wire sequence slots conceded as lost, across all shards.
+    pub fn lost(&self) -> u64 {
+        self.shards.iter().map(|s| s.lost()).sum()
+    }
+
+    /// Any shard degraded (buffered reports or conceded losses) —
+    /// exactly the unsharded flag, since held buffers and concessions
+    /// partition by owning shard.
+    pub fn is_degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.is_degraded())
+    }
+
+    /// [`OnlineMonitor::declare_lost`] across shards: per-process
+    /// concession steps in ascending process order, with transfer
+    /// fixpoints between steps — byte-identical concession decisions
+    /// to the unsharded monitor.
+    pub fn declare_lost(&mut self) -> Result<u64, OnlineError> {
+        let mut conceded = 0;
+        loop {
+            self.transfer()?;
+            let Some((s, p)) = next_concession(&self.shard_refs(), &self.map) else {
+                return Ok(conceded);
+            };
+            conceded += self.shards[s].concede_step(p)?;
+        }
+    }
+
+    /// [`OnlineMonitor::declare_complete`]: declare losses, then
+    /// concede missing tails — `total[p]` is routed to `p`'s owning
+    /// shard (other shards see a zero mask, since they never ingest
+    /// `p`'s reports).
+    pub fn declare_complete(&mut self, total: &[u64]) -> Result<u64, OnlineError> {
+        if total.len() != self.num_processes() {
+            return Err(OnlineError::UnknownProcess(total.len()));
+        }
+        let mut conceded = self.declare_lost()?;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let masked: Vec<u64> = total
+                .iter()
+                .enumerate()
+                .map(|(p, &t)| {
+                    if self.map.shard_of_process(p) == s {
+                        t
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            conceded += shard.declare_complete(&masked)?;
+        }
+        Ok(conceded)
+    }
+
+    /// Close an interval on every shard (members may live anywhere).
+    pub fn close(&mut self, label: &str) {
+        for shard in &mut self.shards {
+            shard.close(label);
+        }
+        self.coord.invalidate(label);
+        self.prune();
+    }
+
+    /// Is the interval closed (on any shard — closure is broadcast)?
+    pub fn is_closed(&self, label: &str) -> bool {
+        self.shards.iter().any(|s| s.is_closed(label))
+    }
+
+    /// Has the interval been retired to a tombstone?
+    pub fn is_retired(&self, label: &str) -> bool {
+        self.shards.iter().any(|s| s.is_retired(label))
+    }
+
+    /// Total member events of `label` across shards (tombstone counts
+    /// included).
+    pub fn interval_len(&self, label: &str) -> usize {
+        self.shards.iter().map(|s| s.interval_len(label)).sum()
+    }
+
+    /// The interval's state merged across shards — equal to the
+    /// unsharded monitor's interval state.
+    pub fn merged_summary(&self, label: &str) -> CutSummary {
+        self.coord.merged(&self.shard_refs(), label)
+    }
+
+    /// Facade pruning: retire closed intervals no unsettled watch
+    /// references, on every shard. Returns labels retired.
+    pub fn prune(&mut self) -> usize {
+        if !self.prune_enabled {
+            return 0;
+        }
+        let candidates = prune_candidates(&self.shard_refs(), &self.book);
+        for label in &candidates {
+            for shard in &mut self.shards {
+                shard.retire(label);
+            }
+            self.coord.invalidate(label);
+        }
+        candidates.len()
+    }
+
+    /// Register a named watch — [`OnlineMonitor::watch`] semantics.
+    pub fn watch(&mut self, name: &str, rel: Relation, x: &str, y: &str) {
+        self.book.watch(name, rel, x, y);
+    }
+
+    /// Current verdicts of all watches, in registration order.
+    pub fn verdicts(&self) -> Vec<(String, Verdict)> {
+        self.book.verdicts(|rel, x, y| self.check(rel, x, y))
+    }
+
+    /// Re-evaluate watches and report verdict transitions —
+    /// [`OnlineMonitor::poll`] contract.
+    pub fn poll(&mut self) -> Vec<WatchEvent> {
+        let shards = &self.shards;
+        let coord = &self.coord;
+        let tallies = &self.tallies;
+        let degraded = shards.iter().any(|s| s.is_degraded());
+        let refs: Vec<&OnlineMonitor> = shards.iter().collect();
+        let (events, _settles) = self.book.poll(|rel, x, y| {
+            let v = coord.check(&refs, degraded, rel, x, y);
+            let c = &tallies[v.code() as usize];
+            c.set(c.get() + 1);
+            v
+        });
+        self.prune();
+        events
+    }
+
+    /// The monotonicity-aware verdict for `rel(X, Y)`, decayed for
+    /// degradation — [`OnlineMonitor::check`] over merged summaries.
+    pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        let v = self
+            .coord
+            .check(&self.shard_refs(), self.is_degraded(), rel, x, y);
+        let c = &self.tallies[v.code() as usize];
+        c.set(c.get() + 1);
+        v
+    }
+
+    /// Exact (degradation-blind) verdict — [`OnlineMonitor::check_exact`].
+    pub fn check_exact(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        self.coord.check_exact(&self.shard_refs(), rel, x, y)
+    }
+
+    /// Move `label`'s home shard (consistent-hash override). Event
+    /// state stays with the processes that produced it, so settled and
+    /// future verdicts are unchanged — the rebalance property test
+    /// pins this down.
+    pub fn rebalance(&mut self, label: &str, shard: usize) {
+        self.map.reassign(label, shard);
+        self.coord.invalidate(label);
+    }
+
+    /// Aggregated operational counters: ingest-side counters summed
+    /// across shards, verdict tallies from the facade (shards never
+    /// run `check`), residency computed over the union of labels.
+    pub fn stats(&self) -> MonitorStats {
+        let mut out = MonitorStats::default();
+        let mut labels = BTreeSet::new();
+        for shard in &self.shards {
+            let s = shard.stats();
+            out.applied += s.applied;
+            out.buffered += s.buffered;
+            out.duplicates += s.duplicates;
+            out.flushes += s.flushes;
+            out.flush_nanos += s.flush_nanos;
+            out.max_pending += s.max_pending;
+            out.pending += s.pending;
+            out.lost += s.lost;
+            out.degraded |= s.degraded;
+            // Retirement is broadcast, so every shard counts the same
+            // labels; take the max rather than a K-fold sum.
+            out.intervals_reclaimed = out.intervals_reclaimed.max(s.intervals_reclaimed);
+            labels.extend(shard.interval_labels().map(str::to_string));
+        }
+        out.resident_intervals = labels.len() as u64;
+        out.holds = self.tallies[0].get();
+        out.violated = self.tallies[1].get();
+        out.pending_verdicts = self.tallies[2].get();
+        out.unknown = self.tallies[3].get();
+        out
+    }
+
+    /// Export aggregate counters plus per-shard gauges (labelled by
+    /// shard index) into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats().register(reg);
+        reg.gauge(
+            "synchrel_shard_count",
+            "Number of monitor shards",
+            self.shards.len() as f64,
+        );
+        reg.counter(
+            "synchrel_shard_coordinator_cache_hits_total",
+            "Cross-shard summary fetches served from the coordinator cache",
+            self.coord.cache_hits(),
+        );
+        reg.counter(
+            "synchrel_shard_coordinator_cache_misses_total",
+            "Cross-shard summary fetches that had to touch a shard",
+            self.coord.cache_misses(),
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = shard.stats();
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+            reg.counter_with(
+                "synchrel_shard_applied_total",
+                labels,
+                "Events applied per shard",
+                s.applied,
+            );
+            reg.gauge_with(
+                "synchrel_shard_buffer_depth",
+                labels,
+                "Reports buffered out of order per shard",
+                s.pending as f64,
+            );
+            reg.counter_with(
+                "synchrel_shard_lost_total",
+                labels,
+                "Wire sequence slots conceded per shard",
+                s.lost,
+            );
+            reg.gauge_with(
+                "synchrel_shard_resident_intervals",
+                labels,
+                "Interval states resident per shard",
+                s.resident_intervals as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::{shuffle, wire_reports, DiffCase};
+
+    /// Feed the same perturbed wire stream to an unsharded monitor and
+    /// a K-sharded one; their verdicts must agree exactly.
+    fn assert_sharded_matches(seed: u64, k: usize, drops: bool) {
+        let case = DiffCase::configure(seed, Some(false));
+        let result = case.simulate().expect("sim runs");
+        let labels = result.label_names();
+        if labels.len() < 2 {
+            return;
+        }
+        let mut reports = wire_reports(&result);
+        let mut total = vec![0u64; case.processes];
+        for &(p, ..) in &reports {
+            total[p] += 1;
+        }
+        shuffle(&mut reports, seed);
+
+        let mut mono = OnlineMonitor::new(case.processes);
+        let mut sharded = ShardedMonitor::new(case.processes, k);
+        for (name, rel) in [("w0", Relation::R1), ("w1", Relation::R4)] {
+            mono.watch(name, rel, &labels[0], &labels[1]);
+            sharded.watch(name, rel, &labels[0], &labels[1]);
+        }
+        for (i, (p, seq, ev, lab)) in reports.iter().enumerate() {
+            if drops && mix(seed, 0xD60F, i as u64).is_multiple_of(10) {
+                continue;
+            }
+            let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+            mono.ingest(*p, *seq, ev.clone(), &refs).unwrap();
+            sharded.ingest(*p, *seq, ev.clone(), &refs).unwrap();
+        }
+        if drops {
+            mono.declare_complete(&total).unwrap();
+            sharded.declare_complete(&total).unwrap();
+        }
+        for l in &labels {
+            mono.close(l);
+            sharded.close(l);
+        }
+        assert_eq!(
+            mono.poll(),
+            sharded.poll(),
+            "poll events seed {seed:#x} k {k}"
+        );
+        assert_eq!(
+            mono.verdicts(),
+            sharded.verdicts(),
+            "verdicts seed {seed:#x} k {k}"
+        );
+        for x in &labels {
+            for y in &labels {
+                if x == y {
+                    continue;
+                }
+                for rel in Relation::ALL {
+                    assert_eq!(
+                        mono.check(rel, x, y),
+                        sharded.check(rel, x, y),
+                        "check {rel}({x},{y}) seed {seed:#x} k {k}"
+                    );
+                }
+            }
+        }
+        assert_eq!(mono.is_degraded(), sharded.is_degraded());
+        assert_eq!(mono.lost(), sharded.lost());
+        assert_eq!(mono.pending(), sharded.pending());
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_clean() {
+        for i in 0..12u64 {
+            for k in [1, 2, 3, 4] {
+                assert_sharded_matches(mix(0x5AAD, i, 0xC0DE), k, false);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_lossy() {
+        for i in 0..12u64 {
+            for k in [1, 2, 4] {
+                assert_sharded_matches(mix(0x10_55, i, 0xC0DE), k, true);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_deterministic_and_covers() {
+        let a = ShardMap::new(4, 16);
+        let b = ShardMap::new(4, 16);
+        let mut used = BTreeSet::new();
+        for p in 0..16 {
+            assert_eq!(a.shard_of_process(p), b.shard_of_process(p));
+            used.insert(a.shard_of_process(p));
+        }
+        assert!(used.len() > 1, "every process landed on one shard");
+        assert_eq!(a.home_of("alpha"), b.home_of("alpha"));
+    }
+
+    #[test]
+    fn shard_map_growth_is_rebalance_stable() {
+        let before = ShardMap::new(4, 0);
+        let after = ShardMap::new(5, 0);
+        let labels: Vec<String> = (0..256).map(|i| format!("label-{i}")).collect();
+        let moved = labels
+            .iter()
+            .filter(|l| before.home_of(l) != after.home_of(l))
+            .count();
+        // Consistent hashing moves ~1/K of the keys on growth; half is
+        // a generous ceiling that a mod-K rehash (which moves ~all)
+        // blows through.
+        assert!(moved > 0, "growth moved nothing — ring is degenerate");
+        assert!(
+            moved < labels.len() / 2,
+            "growth moved {moved}/{} labels — not rebalance-stable",
+            labels.len()
+        );
+    }
+
+    #[test]
+    fn reassign_overrides_the_ring() {
+        let mut map = ShardMap::new(4, 4);
+        let home = map.home_of("hot-label");
+        let other = (home + 1) % 4;
+        map.reassign("hot-label", other);
+        assert_eq!(map.home_of("hot-label"), other);
+    }
+
+    /// The satellite property test: moving a label between shards
+    /// preserves settled verdicts (and everything else observable).
+    #[test]
+    fn rebalance_preserves_settled_verdicts() {
+        for i in 0..8u64 {
+            let seed = mix(0x2EBA, i, 0x1A7C);
+            let case = DiffCase::configure(seed, Some(false));
+            let result = case.simulate().expect("sim runs");
+            let labels = result.label_names();
+            if labels.len() < 2 {
+                continue;
+            }
+            let mut sharded = ShardedMonitor::new(case.processes, 4);
+            for (w, (x, y)) in [(0, (0, 1)), (1, (1, 0))] {
+                sharded.watch(&format!("w{w}"), Relation::R4, &labels[x], &labels[y]);
+            }
+            for (p, seq, ev, lab) in wire_reports(&result) {
+                let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+                sharded.ingest(p, seq, ev, &refs).unwrap();
+            }
+            for l in &labels {
+                sharded.close(l);
+            }
+            sharded.poll();
+            let before = sharded.verdicts();
+            let checks: Vec<_> = labels
+                .iter()
+                .flat_map(|x| {
+                    labels
+                        .iter()
+                        .filter(move |y| *y != x)
+                        .flat_map(move |y| Relation::ALL.map(|rel| (rel, x.clone(), y.clone())))
+                })
+                .map(|(rel, x, y)| (sharded.check(rel, &x, &y), rel, x, y))
+                .collect();
+            // Move every label's home to a different shard.
+            for (j, l) in labels.iter().enumerate() {
+                let home = sharded.map().home_of(l);
+                sharded.rebalance(l, (home + 1 + j) % 4);
+            }
+            assert_eq!(sharded.verdicts(), before, "verdicts moved, seed {seed:#x}");
+            for (want, rel, x, y) in checks {
+                assert_eq!(
+                    sharded.check(rel, &x, &y),
+                    want,
+                    "check {rel}({x},{y}) moved, seed {seed:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_apply_equals_sequential() {
+        for i in 0..6u64 {
+            let seed = mix(0xBA7C, i, 0x9A11);
+            let case = DiffCase::configure(seed, Some(false));
+            let result = case.simulate().expect("sim runs");
+            let labels = result.label_names();
+            if labels.is_empty() {
+                continue;
+            }
+            let reports = wire_reports(&result);
+            let mut seq = ShardedMonitor::new(case.processes, 4);
+            let mut par = ShardedMonitor::new(case.processes, 4);
+            for (p, s, ev, lab) in &reports {
+                let refs: Vec<&str> = lab.iter().map(String::as_str).collect();
+                seq.ingest(*p, *s, ev.clone(), &refs).unwrap();
+            }
+            par.ingest_batch_parallel(&reports).unwrap();
+            for l in &labels {
+                seq.close(l);
+                par.close(l);
+            }
+            for x in &labels {
+                for y in &labels {
+                    if x == y {
+                        continue;
+                    }
+                    for rel in Relation::ALL {
+                        assert_eq!(
+                            seq.check(rel, x, y),
+                            par.check(rel, x, y),
+                            "{rel}({x},{y}) seed {seed:#x}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(seq.stats().applied, par.stats().applied);
+        }
+    }
+
+    #[test]
+    fn coordinator_cache_hits_until_frontier_advances() {
+        let mut sharded = ShardedMonitor::new(2, 2);
+        sharded.ingest(0, 0, WireEvent::Internal, &["a"]).unwrap();
+        sharded.ingest(1, 0, WireEvent::Internal, &["b"]).unwrap();
+        let _ = sharded.check(Relation::R4, "a", "b");
+        let misses = sharded.coordinator().cache_misses();
+        let _ = sharded.check(Relation::R4, "a", "b");
+        assert_eq!(
+            sharded.coordinator().cache_misses(),
+            misses,
+            "second check re-fetched despite unchanged frontiers"
+        );
+        assert!(sharded.coordinator().cache_hits() > 0);
+        // Frontier advance invalidates.
+        sharded.ingest(0, 1, WireEvent::Internal, &["a"]).unwrap();
+        let _ = sharded.check(Relation::R4, "a", "b");
+        assert!(sharded.coordinator().cache_misses() > misses);
+    }
+
+    #[test]
+    fn facade_pruning_retires_on_every_shard() {
+        let mut sharded = ShardedMonitor::new(4, 2).with_pruning();
+        sharded.watch("w", Relation::R4, "a", "b");
+        for p in 0..4 {
+            sharded.ingest(p, 0, WireEvent::Internal, &["a"]).unwrap();
+            sharded.ingest(p, 1, WireEvent::Internal, &["b"]).unwrap();
+        }
+        sharded.close("a");
+        sharded.close("b");
+        let events = sharded.poll();
+        assert!(!events.is_empty(), "watch never settled");
+        assert!(sharded.is_retired("a") && sharded.is_retired("b"));
+        for i in 0..sharded.num_shards() {
+            assert!(sharded.shard(i).is_retired("a"));
+        }
+        // Tombstones keep closed/length semantics.
+        assert!(sharded.is_closed("a"));
+        assert_eq!(sharded.interval_len("a"), 4);
+        assert_eq!(sharded.check(Relation::R4, "a", "b"), Verdict::Unknown);
+    }
+}

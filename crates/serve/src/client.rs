@@ -70,6 +70,19 @@ pub enum Pump {
     Abort,
 }
 
+/// A client's retry accounting, carried across a resume so a failover
+/// does not silently zero the counters an operator is watching.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Retransmissions (frames beyond the first per command).
+    pub retries: u64,
+    /// Retries caused specifically by a `Busy` response (admission
+    /// backpressure), as opposed to silence.
+    pub busy_retries: u64,
+    /// Virtual ticks spent in backoff.
+    pub waited_virtual: u64,
+}
+
 /// The retrying client half of a connection.
 pub struct Client<T: Transport> {
     wire: T,
@@ -86,6 +99,8 @@ pub struct Client<T: Transport> {
     waited: u64,
     /// Total retransmissions (frames beyond the first per command).
     retries: u64,
+    /// Retries that were answered `Busy` (admission backpressure).
+    busy_retries: u64,
 }
 
 impl<T: Transport> Client<T> {
@@ -108,17 +123,42 @@ impl<T: Transport> Client<T> {
             max_attempts: 32,
             waited: 0,
             retries: 0,
+            busy_retries: 0,
         }
     }
 
     /// A client resuming against a recovered (or promoted) server,
     /// starting at its [`next_req`](crate::server::Server::next_req)
     /// watermark so fresh requests are not mistaken for replays of
-    /// consumed ids.
+    /// consumed ids. Counters start at zero — when the resumed client
+    /// replaces one whose history matters, use
+    /// [`Client::resuming_with`] so retry accounting is not silently
+    /// reset by the failover.
     pub fn resuming(wire: T, seed: u64, next_req: u64) -> Client<T> {
+        Client::resuming_with(wire, seed, next_req, ClientStats::default())
+    }
+
+    /// [`Client::resuming`], carrying the predecessor's counters
+    /// ([`Client::counters`]) forward — retries, busy-retries, and
+    /// backoff time keep accumulating across the failover instead of
+    /// resetting to zero.
+    pub fn resuming_with(wire: T, seed: u64, next_req: u64, carried: ClientStats) -> Client<T> {
         Client {
             next_seq: next_req,
+            retries: carried.retries,
+            busy_retries: carried.busy_retries,
+            waited: carried.waited_virtual,
             ..Client::new(wire, seed)
+        }
+    }
+
+    /// Snapshot of the retry accounting (to carry across a resume, or
+    /// to report).
+    pub fn counters(&self) -> ClientStats {
+        ClientStats {
+            retries: self.retries,
+            busy_retries: self.busy_retries,
+            waited_virtual: self.waited,
         }
     }
 
@@ -152,6 +192,13 @@ impl<T: Transport> Client<T> {
     /// Total retransmitted frames so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Retries caused by a `Busy` response so far (a subset of
+    /// [`Client::retries`] — the server admitted the connection but its
+    /// ingest queue was full).
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
     }
 
     /// Issue `cmd` and drive `pump` (the server's execution hook)
@@ -191,7 +238,10 @@ impl<T: Transport> Client<T> {
             }
             if let Some(resp) = self.take_response(req) {
                 match resp {
-                    Response::Busy => continue, // backpressure: retry
+                    Response::Busy => {
+                        self.busy_retries += 1;
+                        continue; // backpressure: retry
+                    }
                     resp => {
                         self.next_seq = seq + 1;
                         return Ok(resp);
@@ -223,5 +273,48 @@ impl<T: Transport> Client<T> {
             }
         }
         None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{duplex, response_frame};
+
+    #[test]
+    fn busy_responses_are_counted_and_survive_resume() {
+        let (client_end, server_end) = duplex();
+        let mut client = Client::new(client_end, 9);
+        let mut busy_left = 2u32;
+        let resp = client
+            .call(&Command::Verdicts, || {
+                while let Some(bytes) = server_end.recv() {
+                    let req = decode_frame(&bytes).unwrap().req;
+                    if busy_left > 0 {
+                        busy_left -= 1;
+                        server_end.send(response_frame(req, &Response::Busy));
+                    } else {
+                        server_end.send(response_frame(req, &Response::Verdicts(vec![])));
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Verdicts(vec![]));
+        assert_eq!(client.busy_retries(), 2);
+        assert_eq!(client.retries(), 2, "busy retries are retransmissions too");
+        assert!(client.waited_virtual() > 0);
+
+        // Resuming with carried counters keeps accumulating; the plain
+        // resume documents its fresh start.
+        let carried = client.counters();
+        let (c2, _keep) = duplex();
+        let resumed = Client::resuming_with(c2, 10, client.next_req(), carried);
+        assert_eq!(resumed.counters(), carried);
+        assert_eq!(resumed.next_req(), 1);
+        let (c3, _keep) = duplex();
+        assert_eq!(
+            Client::resuming(c3, 10, 1).counters(),
+            ClientStats::default()
+        );
     }
 }

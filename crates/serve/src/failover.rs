@@ -186,7 +186,10 @@ pub fn run_failover_case(seed: u64) -> Result<FailoverOutcome, FailoverMismatch>
                 outcome.replayed_suffix = (i as u64).saturating_sub(watermark);
                 primary = new_primary;
                 let (c, s) = duplex();
-                client = Client::resuming(c, mix(seed, SALT_CLIENT, 2), watermark);
+                // Carry the retry accounting across the promotion: the
+                // failover must not zero what the dead primary cost us.
+                let carried = client.counters();
+                client = Client::resuming_with(c, mix(seed, SALT_CLIENT, 2), watermark, carried);
                 server_end = s;
                 // Resume from the promoted watermark: commands below it
                 // are durable on the follower; the suffix (including

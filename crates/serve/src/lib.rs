@@ -33,6 +33,14 @@
 //!   primary dies.
 //! * [`net`] — the threaded service tier: a TCP/UDS listener with
 //!   thread-per-connection readers feeding one serving thread.
+//! * [`shard`] — the sharded serving tier: K servers (one WAL segment
+//!   and snapshot each) behind a [`ShardedServer`](shard::ShardedServer)
+//!   facade that routes ingests by consistent hash, broadcasts control
+//!   commands under client request ids, logs cross-shard coordination
+//!   as replayable per-shard commands, group-commits batches per shard
+//!   in parallel, and recovers all shards (optionally in parallel)
+//!   into byte-identical verdicts — proven by its own per-shard-crash
+//!   chaos sweep.
 //! * [`chaos`] — the seeded kill/restart sweep proving all of the
 //!   above: a reference run and a crash-riddled run must produce
 //!   identical verdicts and counters (over the duplex *and* over real
@@ -48,6 +56,7 @@ pub mod net;
 pub mod proto;
 pub mod replica;
 pub mod server;
+pub mod shard;
 pub mod storage;
 pub mod transport;
 pub mod wal;
@@ -56,14 +65,15 @@ pub use chaos::{
     case_commands, run_chaos_case, run_chaos_case_with, run_chaos_seeds, run_chaos_seeds_with,
     CaseCommands, ChaosMismatch, ChaosOutcome, ChaosStats,
 };
-pub use client::{Client, ClientError, Pump};
+pub use client::{Client, ClientError, ClientStats, Pump};
 pub use failover::{run_failover_case, run_failover_seeds, FailoverOutcome, FailoverStats};
-pub use net::{run_follower, Service, ServiceConfig};
+pub use net::{run_follower, Service, ServiceConfig, ServiceStats, ShardedService};
 pub use proto::{duplex, Command, Endpoint, Response};
 pub use replica::{pump_replication, Follower, FollowerStats, ReplError, Replicator};
 pub use server::{
     CrashPlan, CrashPoint, OverloadPolicy, RecoverError, Server, ServerConfig, ServerStats,
 };
+pub use shard::{run_shard_chaos_case, run_shard_chaos_seeds, ShardedServer, COORD_CLIENT};
 pub use storage::{DirStorage, MemStorage, Storage, SyncMemStorage};
 pub use transport::{
     connect, DuplexFactory, FrameBuffer, ListenAddr, Listener, StreamTransport, TcpLoopbackFactory,

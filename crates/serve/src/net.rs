@@ -28,6 +28,23 @@
 //! flow back through the normal frame path. A dead or slow follower
 //! costs lag, never throughput ([`Replicator`](crate::replica)
 //! semantics).
+//!
+//! ## Sharded serving
+//!
+//! [`ShardedService`] is the same tier in front of a
+//! [`ShardedServer`]: one listener, the same reader threads, one
+//! facade thread whose per-batch work fans out across the shards
+//! ([`ShardedServer::handle_batch`] group-commits each shard's
+//! sub-batch on its own thread). Replication in the sharded tier is
+//! per shard by construction — each shard ships its own WAL stream
+//! through [`ShardedServer::repl_next_frames`] — and is wired at the
+//! API level (a follower per shard over
+//! [`pump_replication`](crate::replica::pump_replication)) rather than
+//! multiplexed onto the facade's listen socket.
+//!
+//! Both tiers publish a [`ServiceStats`] snapshot and can export it
+//! (replication lag and the ingest-queue high-water mark included)
+//! through a [`MetricsRegistry`] in Prometheus or JSON form.
 
 use std::collections::BTreeMap;
 use std::io::{self, Write as _};
@@ -37,9 +54,12 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use synchrel_obs::MetricsRegistry;
+
 use crate::proto::KIND_REPL_ACK;
 use crate::replica::{ack_frame, Follower, ReplError};
 use crate::server::Server;
+use crate::shard::ShardedServer;
 use crate::storage::Storage;
 use crate::transport::{connect, Conn, ListenAddr, Listener, StreamTransport, Transport};
 
@@ -80,6 +100,69 @@ struct Shared {
     frames: AtomicU64,
     repl_lag: AtomicU64,
     repl_acked: AtomicU64,
+    queue_high_water: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            repl_lag: self.repl_lag.load(Ordering::Relaxed),
+            repl_acked: self.repl_acked.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the socket tier's counters, exportable
+/// through a [`MetricsRegistry`] (and from there as Prometheus text or
+/// JSON). Published by [`Service`] and [`ShardedService`] alike.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Frames handled since start.
+    pub frames: u64,
+    /// Replication lag (durable LSN − follower-acked LSN) as of the
+    /// last serving cycle; for a sharded service, the worst shard.
+    pub repl_lag: u64,
+    /// Highest follower-acked LSN as of the last serving cycle.
+    pub repl_acked: u64,
+    /// High-water mark of the server's ingest queue; for a sharded
+    /// service, the worst shard.
+    pub queue_high_water: u64,
+}
+
+impl ServiceStats {
+    /// Register every counter under `synchrel_service_*` names.
+    pub fn register(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "synchrel_service_connections_total",
+            "Connections accepted by the socket tier",
+            self.connections,
+        );
+        reg.counter(
+            "synchrel_service_frames_total",
+            "Frames handled by the socket tier",
+            self.frames,
+        );
+        reg.gauge(
+            "synchrel_service_repl_lag",
+            "Replication lag in WAL records (worst shard when sharded)",
+            self.repl_lag as f64,
+        );
+        reg.gauge(
+            "synchrel_service_repl_acked_lsn",
+            "Highest follower-acked LSN",
+            self.repl_acked as f64,
+        );
+        reg.gauge(
+            "synchrel_service_queue_high_water",
+            "Ingest-queue high-water mark (worst shard when sharded)",
+            self.queue_high_water as f64,
+        );
+    }
 }
 
 enum Msg {
@@ -163,6 +246,23 @@ impl<S: Storage + Send + 'static> Service<S> {
     /// Highest LSN the follower has acked, as of the last cycle.
     pub fn repl_acked(&self) -> u64 {
         self.shared.repl_acked.load(Ordering::Relaxed)
+    }
+
+    /// Ingest-queue high-water mark, as of the last cycle.
+    pub fn queue_high_water(&self) -> u64 {
+        self.shared.queue_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the tier's counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.snapshot()
+    }
+
+    /// Export the tier's counters into `reg` (render with
+    /// [`MetricsRegistry::render_prometheus`] or
+    /// [`MetricsRegistry::to_json`]).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats().register(reg);
     }
 
     /// Stop accepting, drain, join every thread, and hand the server
@@ -355,6 +455,171 @@ fn serve_loop<S: Storage + Send>(
         if let Some(repl) = server.replication() {
             shared.repl_acked.store(repl.acked(), Ordering::Relaxed);
         }
+        shared
+            .queue_high_water
+            .store(server.stats().queue_high_water, Ordering::Relaxed);
+    }
+    server
+}
+
+/// A running sharded service: listener + readers + one facade thread
+/// that owns a [`ShardedServer`] and fans each batch out across the
+/// shards ([`ShardedServer::handle_batch`] — group commit per shard in
+/// parallel). [`ShardedService::stop`] hands the facade back with
+/// every shard's counters intact.
+pub struct ShardedService<S: Storage + Send + 'static> {
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    addr: ListenAddr,
+    acceptor: JoinHandle<()>,
+    serving: JoinHandle<ShardedServer<S>>,
+}
+
+impl<S: Storage + Send + 'static> ShardedService<S> {
+    /// Bind `addr` and start serving `server` on it.
+    pub fn start(
+        addr: &ListenAddr,
+        server: ShardedServer<S>,
+        cfg: ServiceConfig,
+    ) -> io::Result<ShardedService<S>> {
+        let listener = Listener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.ingest_capacity.max(1));
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            thread::spawn(move || accept_loop(listener, tx, shutdown, shared, cfg))
+        };
+        let serving = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            thread::spawn(move || sharded_serve_loop(server, rx, shutdown, shared, cfg))
+        };
+        Ok(ShardedService {
+            shutdown,
+            shared,
+            addr: bound,
+            acceptor,
+            serving,
+        })
+    }
+
+    /// The bound address clients should dial.
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.addr
+    }
+
+    /// Snapshot of the tier's counters (`repl_lag` and
+    /// `queue_high_water` are worst-shard values).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.snapshot()
+    }
+
+    /// Export the tier's counters into `reg`.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.stats().register(reg);
+    }
+
+    /// Stop accepting, drain, join every thread, and hand the facade
+    /// back.
+    pub fn stop(self) -> ShardedServer<S> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join();
+        match self.serving.join() {
+            Ok(server) => server,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+}
+
+/// The sharded tier's serving loop: identical batching cadence to
+/// [`serve_loop`], but each batch fans out across the shards. WAL
+/// streams are per shard here, so the facade socket never carries
+/// replication frames — a `KIND_REPL_ACK` frame on this listener is
+/// simply ignored (no response), and followers attach per shard at the
+/// API level instead.
+fn sharded_serve_loop<S: Storage + Send>(
+    mut server: ShardedServer<S>,
+    rx: mpsc::Receiver<Msg>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+) -> ShardedServer<S> {
+    let mut writers: BTreeMap<u64, Conn> = BTreeMap::new();
+    loop {
+        let mut msgs = Vec::new();
+        match rx.recv_timeout(cfg.poll) {
+            Ok(m) => msgs.push(m),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    while let Ok(m) = rx.try_recv() {
+                        msgs.push(m);
+                    }
+                    if msgs.is_empty() {
+                        break;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        while msgs.len() < cfg.batch_max.max(1) {
+            match rx.try_recv() {
+                Ok(m) => msgs.push(m),
+                Err(_) => break,
+            }
+        }
+
+        let mut ids = Vec::new();
+        let mut frames = Vec::new();
+        for m in msgs {
+            match m {
+                Msg::Open(id, writer) => {
+                    writers.insert(id, writer);
+                }
+                Msg::Gone(id) => {
+                    writers.remove(&id);
+                }
+                Msg::Frame(id, frame) => {
+                    ids.push(id);
+                    frames.push(frame);
+                }
+            }
+        }
+
+        if !frames.is_empty() {
+            shared
+                .frames
+                .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            let responses = server.handle_batch(&frames);
+            for (id, resp) in ids.iter().zip(responses) {
+                let Some(bytes) = resp else { continue };
+                let dead = match writers.get_mut(id) {
+                    Some(w) => w.write_all(&bytes).and_then(|()| w.flush()).is_err(),
+                    None => false,
+                };
+                if dead {
+                    writers.remove(id);
+                }
+            }
+        }
+
+        if frames.is_empty() {
+            server.drain(0);
+        } else {
+            server.drain(cfg.batch_max.max(1) * 2);
+        }
+
+        shared.repl_lag.store(server.repl_lag(), Ordering::Relaxed);
+        shared
+            .queue_high_water
+            .store(server.server_stats().queue_high_water, Ordering::Relaxed);
     }
     server
 }
@@ -536,5 +801,90 @@ mod tests {
             norm(primary.monitor().stats())
         );
         assert_eq!(promoted.next_req(), 25);
+    }
+
+    #[test]
+    fn sharded_service_answers_clients_over_tcp() {
+        use synchrel_monitor::shard::ShardMap;
+
+        let map = ShardMap::new(2, 4);
+        let storages = vec![SyncMemStorage::new(), SyncMemStorage::new()];
+        let server = ShardedServer::recover(storages, &ServerConfig::new(4), map.clone()).unwrap();
+        let svc = ShardedService::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+
+        let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::new(wire, 11);
+        client.set_max_attempts(512);
+        for p in 0..4usize {
+            for i in 0..5u64 {
+                let cmd = Command::Ingest {
+                    process: p,
+                    seq: i,
+                    event: WireEvent::Internal,
+                    labels: vec![],
+                };
+                assert_eq!(client.call(&cmd, || {}).unwrap(), Response::Ack);
+            }
+        }
+        let stats = match client.call(&Command::Stats, || {}).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.applied, 20);
+
+        let mut reg = synchrel_obs::MetricsRegistry::new();
+        svc.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("synchrel_service_frames_total"));
+        assert!(text.contains("synchrel_service_queue_high_water"));
+        assert!(reg.to_json().contains("synchrel_service_repl_lag"));
+
+        let server = svc.stop();
+        // Every ingest landed in its owner shard's own WAL segment.
+        let per_shard: Vec<u64> = (0..2)
+            .map(|s| server.shard(s).stats().wal_appends)
+            .collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 20);
+        let owners: Vec<usize> = (0..4).map(|p| map.shard_of_process(p)).collect();
+        for (s, &got) in per_shard.iter().enumerate() {
+            let want = owners.iter().filter(|&&o| o == s).count() as u64 * 5;
+            assert_eq!(got, want, "shard {s} WAL segment size");
+        }
+    }
+
+    #[test]
+    fn service_exports_queue_high_water_metrics() {
+        let server = Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        let svc = Service::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+        let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::new(wire, 5);
+        client.set_max_attempts(512);
+        for i in 0..8u64 {
+            client.call(&ingest(i), || {}).unwrap();
+        }
+        client.call(&Command::Stats, || {}).unwrap();
+
+        let stats = svc.stats();
+        assert!(stats.frames >= 9);
+        assert!(stats.connections >= 1);
+        let mut reg = synchrel_obs::MetricsRegistry::new();
+        svc.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("synchrel_service_connections_total"));
+        assert!(text.contains("synchrel_service_repl_acked_lsn"));
+        assert!(reg.to_json().contains("synchrel_service_queue_high_water"));
+        drop(svc.stop());
     }
 }

@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use synchrel_core::codec::{CodecError, Reader, Writer};
-use synchrel_core::Relation;
+use synchrel_core::{Relation, VectorClock};
 use synchrel_monitor::online::{MonitorStats, Verdict, WatchEvent, WireEvent};
 
 use crate::wal::crc32;
@@ -138,6 +138,38 @@ pub enum Command {
     Stats,
     /// Force a snapshot now (durable, resets the WAL).
     TakeSnapshot,
+    /// Coordinator: teach this shard the applied clock of a wire send
+    /// another shard owns, unblocking a cross-shard receive. Issued by
+    /// the sharded facade, never by clients.
+    LearnSend {
+        /// Wire message id.
+        msg: u64,
+        /// The send's applied vector clock on its owning shard.
+        clock: VectorClock,
+    },
+    /// Coordinator: record a facade-level watch verdict on this shard
+    /// so recovery can rebuild settled watches without re-evaluating.
+    NoteVerdict {
+        /// Watch name.
+        name: String,
+        /// The verdict the facade computed.
+        verdict: Verdict,
+        /// Whether the verdict is permanent.
+        settled: bool,
+    },
+    /// Coordinator: retire an interval to a tombstone (facade-level
+    /// pruning — shard-local pruning is disabled under a facade).
+    Retire {
+        /// Interval label to retire.
+        label: String,
+    },
+    /// Coordinator: take one `declare_lost` concession step for a
+    /// process this shard owns. The facade interleaves these across
+    /// shards in the unsharded monitor's process order.
+    Concede {
+        /// Process to concede the next gap or blocked head for.
+        process: usize,
+    },
 }
 
 impl Command {
@@ -197,6 +229,29 @@ impl Command {
             Command::Verdicts => w.put_u8(7),
             Command::Stats => w.put_u8(8),
             Command::TakeSnapshot => w.put_u8(9),
+            Command::LearnSend { msg, clock } => {
+                w.put_u8(10);
+                w.put_u64(*msg);
+                w.put_u32s(clock.components());
+            }
+            Command::NoteVerdict {
+                name,
+                verdict,
+                settled,
+            } => {
+                w.put_u8(11);
+                w.put_str(name);
+                w.put_u8(verdict.code());
+                w.put_bool(*settled);
+            }
+            Command::Retire { label } => {
+                w.put_u8(12);
+                w.put_str(label);
+            }
+            Command::Concede { process } => {
+                w.put_u8(13);
+                w.put_usize(*process);
+            }
         }
     }
 
@@ -234,6 +289,19 @@ impl Command {
             7 => Ok(Command::Verdicts),
             8 => Ok(Command::Stats),
             9 => Ok(Command::TakeSnapshot),
+            10 => Ok(Command::LearnSend {
+                msg: r.u64()?,
+                clock: VectorClock::from_components(r.u32s()?),
+            }),
+            11 => Ok(Command::NoteVerdict {
+                name: r.string()?,
+                verdict: read_verdict(r)?,
+                settled: r.bool()?,
+            }),
+            12 => Ok(Command::Retire { label: r.string()? }),
+            13 => Ok(Command::Concede {
+                process: r.usize()?,
+            }),
             _ => Err(CodecError::Malformed("command tag")),
         }
     }
@@ -608,6 +676,17 @@ mod tests {
             Command::Verdicts,
             Command::Stats,
             Command::TakeSnapshot,
+            Command::LearnSend {
+                msg: 42,
+                clock: VectorClock::from_components(vec![1, 0, 7]),
+            },
+            Command::NoteVerdict {
+                name: "w".into(),
+                verdict: Verdict::Violated,
+                settled: true,
+            },
+            Command::Retire { label: "X".into() },
+            Command::Concede { process: 2 },
         ]
     }
 
@@ -708,6 +787,20 @@ mod tests {
         assert!(Command::DeclareLost.is_logged());
         assert!(Command::Close { label: "x".into() }.is_logged());
         assert!(Command::DeclareComplete { totals: vec![] }.is_logged());
+        // Coordinator commands mutate shard state and must replay.
+        assert!(Command::LearnSend {
+            msg: 0,
+            clock: VectorClock::from_components(vec![])
+        }
+        .is_logged());
+        assert!(Command::NoteVerdict {
+            name: "w".into(),
+            verdict: Verdict::Holds,
+            settled: true
+        }
+        .is_logged());
+        assert!(Command::Retire { label: "x".into() }.is_logged());
+        assert!(Command::Concede { process: 0 }.is_logged());
         assert!(!Command::TakeSnapshot.is_logged());
         assert!(!Command::Verdicts.is_logged());
         assert!(!Command::Stats.is_logged());

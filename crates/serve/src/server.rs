@@ -542,7 +542,11 @@ impl<S: Storage> Server<S> {
             | Command::Close { .. }
             | Command::Poll
             | Command::DeclareLost
-            | Command::DeclareComplete { .. } => {
+            | Command::DeclareComplete { .. }
+            | Command::LearnSend { .. }
+            | Command::NoteVerdict { .. }
+            | Command::Retire { .. }
+            | Command::Concede { .. } => {
                 // Control commands see fully-applied state and keep
                 // WAL order equal to apply order.
                 self.drain_all();
@@ -886,7 +890,11 @@ pub(crate) fn apply_logged(
         | Command::Close { .. }
         | Command::Poll
         | Command::DeclareLost
-        | Command::DeclareComplete { .. } => {
+        | Command::DeclareComplete { .. }
+        | Command::LearnSend { .. }
+        | Command::NoteVerdict { .. }
+        | Command::Retire { .. }
+        | Command::Concede { .. } => {
             let _ = control_response(monitor, cmd);
         }
         Command::Query { .. } | Command::Verdicts | Command::Stats | Command::TakeSnapshot => {
@@ -912,6 +920,29 @@ pub(crate) fn control_response(monitor: &mut OnlineMonitor, cmd: &Command) -> Re
             Err(e) => Response::Error(e.to_string()),
         },
         Command::DeclareComplete { totals } => match monitor.declare_complete(totals) {
+            Ok(n) => Response::Conceded(n),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Command::LearnSend { msg, clock } => match monitor.learn_send(*msg, clock.clone()) {
+            Ok(_) => Response::Ack,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Command::NoteVerdict {
+            name,
+            verdict,
+            settled,
+        } => {
+            // A miss is harmless: the facade broadcasts the watch
+            // first, but recovery may replay a NoteVerdict whose watch
+            // a later snapshot already folded in.
+            monitor.force_verdict(name, *verdict, *settled);
+            Response::Ack
+        }
+        Command::Retire { label } => {
+            monitor.retire(label);
+            Response::Ack
+        }
+        Command::Concede { process } => match monitor.concede_step(*process) {
             Ok(n) => Response::Conceded(n),
             Err(e) => Response::Error(e.to_string()),
         },

@@ -1,0 +1,1260 @@
+//! The sharded serving tier: K crash-recoverable [`Server`]s behind
+//! one facade, each with its **own WAL segment and snapshot**.
+//!
+//! ## Shape
+//!
+//! A [`ShardedServer`] owns K full-width [`Server`]s — one storage,
+//! WAL, snapshot cadence, and replication stream per shard — plus the
+//! routing [`ShardMap`], the facade [`WatchBook`], and the Theorem-19
+//! [`Coordinator`] from `synchrel_monitor::shard`. Client frames hit
+//! the facade; the facade turns them into *per-shard logged commands*:
+//!
+//! * `Ingest` forwards to the owning shard under the **client's own
+//!   request id**, so the shard's watermark deduplicates retries.
+//! * `Watch` / `Close` / `DeclareComplete` broadcast to every shard
+//!   under the client's id — each shard dedups independently, which is
+//!   what makes a crash mid-broadcast safe: the retry re-sends to all
+//!   K, consumed shards answer from cache, the rest execute.
+//! * Cross-shard coordination (send-clock transfers, loss concessions,
+//!   verdict settlements, retirements) is issued as the logged
+//!   commands `LearnSend` / `Concede` / `NoteVerdict` / `Retire` under
+//!   the reserved client id [`COORD_CLIENT`], with per-shard sequence
+//!   numbers restored from the shard watermarks at recovery.
+//!
+//! ## Why recovery is exact
+//!
+//! Every coordinator command is *re-derivable from shard state*: a
+//! transfer is issued only while the destination still blocks on the
+//! message, a concession only while slots are still pending, a
+//! retirement only while the label is still resident somewhere. After
+//! a crash the facade is rebuilt from the shard recoveries and simply
+//! re-runs the derivation — durable steps are skipped (the state they
+//! produced is already there), lost steps are re-issued. The joint
+//! shard state therefore walks the same trajectory as an uninterrupted
+//! run, and the sharded chaos harness demands byte-identical verdicts
+//! **and** per-shard monitor counters against both a never-crashing
+//! sharded reference and the unsharded server.
+//!
+//! ## Group commit per shard
+//!
+//! [`ShardedServer::handle_batch`] partitions a batch's ingest frames
+//! by owning shard and runs each shard's sub-batch on its own scoped
+//! thread via [`Server::handle_batch`] — one `wal_sync` per shard per
+//! batch, K fsyncs in flight at once. Control frames are applied by
+//! the facade afterwards, in arrival order.
+
+use std::collections::BTreeSet;
+use std::thread;
+
+use synchrel_core::Relation;
+use synchrel_monitor::online::{OnlineMonitor, Verdict, WatchSpec};
+use synchrel_monitor::shard::{
+    next_concession, prune_candidates, transfer_round, Coordinator, ShardMap, WatchBook,
+};
+use synchrel_monitor::MonitorStats;
+use synchrel_obs::MetricsRegistry;
+use synchrel_sim::fault::mix;
+
+use crate::chaos::{self, case_commands, ChaosMismatch, ChaosOutcome, ChaosStats};
+use crate::client::{Client, ClientError, Pump};
+use crate::proto::{
+    decode_command, decode_frame, decode_response, duplex, make_req, request_frame, response_frame,
+    Command, Response, KIND_REQUEST,
+};
+use crate::server::{CrashPlan, CrashPoint, RecoverError, Server, ServerConfig, ServerStats};
+use crate::storage::{MemStorage, Storage};
+use crate::transport::Transport;
+
+/// The client id reserved for facade-issued coordinator commands.
+/// Real clients draw ids well below it; the per-shard sequence
+/// counters continue from each shard's watermark after recovery.
+pub const COORD_CLIENT: u16 = 0xFFFF;
+
+const SALT_SHARD_CASE: u64 = 0x5CA5;
+const SALT_SHARD_CRASH: u64 = 0x5C4A;
+const SALT_SHARD_POINT: u64 = 0x5C90;
+const SALT_SHARD_TGT: u64 = 0x5C76;
+
+/// K [`Server`]s — one WAL segment and snapshot each — behind the
+/// single-server command surface.
+#[derive(Debug)]
+pub struct ShardedServer<S: Storage> {
+    map: ShardMap,
+    shards: Vec<Server<S>>,
+    book: WatchBook,
+    coord: Coordinator,
+    /// Next coordinator sequence number per shard (client
+    /// [`COORD_CLIENT`]), restored from the shard watermarks.
+    coord_seqs: Vec<u64>,
+    /// Facade-level pruning (shard-local pruning is always off:
+    /// retirement is a global decision, broadcast as `Retire`).
+    pruning: bool,
+}
+
+impl<S: Storage> ShardedServer<S> {
+    /// The per-shard config: everything the facade config says, except
+    /// that shard-local pruning and forced loss are disabled — both
+    /// are facade decisions (retirement must be global, and per-shard
+    /// `max_pending` would concede in shard-local rather than global
+    /// process order).
+    fn shard_config(cfg: &ServerConfig) -> ServerConfig {
+        assert_eq!(
+            cfg.max_pending, 0,
+            "sharded serving requires max_pending = 0; concessions go through the coordinator"
+        );
+        let mut c = cfg.clone();
+        c.pruning = false;
+        c
+    }
+
+    /// Recover every shard sequentially from its own storage and
+    /// rebuild the facade state from the recovered shards.
+    pub fn recover(
+        storages: Vec<S>,
+        cfg: &ServerConfig,
+        map: ShardMap,
+    ) -> Result<ShardedServer<S>, RecoverError> {
+        assert_eq!(storages.len(), map.shards(), "one storage per shard");
+        assert_eq!(cfg.processes, map.num_processes());
+        let sc = ShardedServer::<S>::shard_config(cfg);
+        let mut shards = Vec::with_capacity(storages.len());
+        for st in storages {
+            shards.push(Server::recover(st, sc.clone())?);
+        }
+        Ok(ShardedServer::assemble(map, shards, cfg.pruning))
+    }
+
+    /// Rebuild facade state (coordinator cursors, watch book) from
+    /// freshly recovered shards.
+    fn assemble(map: ShardMap, shards: Vec<Server<S>>, pruning: bool) -> ShardedServer<S> {
+        let coord_seqs = shards
+            .iter()
+            .map(|s| s.next_req_for(u64::from(COORD_CLIENT)))
+            .collect();
+        // Watches are broadcast in registration order, so every shard
+        // holds a prefix of the same list; the longest survives a
+        // crash mid-broadcast. Settlements are durable on any shard
+        // that consumed the NoteVerdict — merge them all in.
+        let mut specs: Vec<WatchSpec> = Vec::new();
+        for sh in &shards {
+            let s = sh.monitor().watch_specs();
+            if s.len() > specs.len() {
+                specs = s;
+            }
+        }
+        for sh in &shards {
+            for w in sh.monitor().watch_specs() {
+                if w.settled {
+                    if let Some(t) = specs.iter_mut().find(|t| t.name == w.name) {
+                        t.last = w.last;
+                        t.settled = true;
+                    }
+                }
+            }
+        }
+        ShardedServer {
+            map,
+            shards,
+            book: WatchBook::from_specs(specs),
+            coord: Coordinator::new(),
+            coord_seqs,
+            pruning,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Shard `i`, read-only.
+    pub fn shard(&self, i: usize) -> &Server<S> {
+        &self.shards[i]
+    }
+
+    /// Shard `i`, mutable — for per-shard replication wiring
+    /// ([`Server::enable_replication`], [`Server::repl_next_frame`])
+    /// and tests.
+    pub fn shard_mut(&mut self, i: usize) -> &mut Server<S> {
+        &mut self.shards[i]
+    }
+
+    /// The cross-shard coordinator (cache statistics).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coord
+    }
+
+    /// Registered facade watches.
+    pub fn watch_specs(&self) -> &[WatchSpec] {
+        self.book.specs()
+    }
+
+    /// Arm a deterministic crash on one shard (the sharded chaos
+    /// harness' per-shard crash points).
+    pub fn arm_crash(&mut self, shard: usize, plan: CrashPlan) {
+        self.shards[shard].arm_crash(plan);
+    }
+
+    /// Did any shard crash? A crashed shard makes the whole facade
+    /// unresponsive until recovery — exactly like the single server.
+    pub fn is_crashed(&self) -> bool {
+        self.shards.iter().any(Server::is_crashed)
+    }
+
+    /// Enable replication on every shard; each shard ships its own WAL
+    /// stream, so followers attach per shard.
+    pub fn enable_replication(&mut self, cap: usize) {
+        for sh in &mut self.shards {
+            sh.enable_replication(cap);
+        }
+    }
+
+    /// Replication frames ready to ship, tagged by shard: drains up to
+    /// `burst` frames per shard this call.
+    pub fn repl_next_frames(&mut self, burst: usize) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            for _ in 0..burst.max(1) {
+                match sh.repl_next_frame() {
+                    Ok(Some(f)) => out.push((i, f)),
+                    _ => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Worst replication lag across shards.
+    pub fn repl_lag(&self) -> u64 {
+        self.shards.iter().map(Server::repl_lag).max().unwrap_or(0)
+    }
+
+    fn monitor_refs(&self) -> Vec<&OnlineMonitor> {
+        self.shards.iter().map(Server::monitor).collect()
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.shards.iter().any(|s| s.monitor().is_degraded())
+    }
+
+    /// Forward one already-framed command to shard `s`. `None` means
+    /// the shard crashed mid-request (no response leaves a dead
+    /// process) — the caller must give up on the whole client frame.
+    fn forward(&mut self, s: usize, req: u64, cmd: &Command) -> Option<Response> {
+        let frame = request_frame(req, cmd);
+        let resp = self.shards[s].handle_bytes(&frame)?;
+        let frame = decode_frame(&resp).ok()?;
+        decode_response(&frame.payload).ok()
+    }
+
+    /// Issue one coordinator command to shard `s` under the next
+    /// [`COORD_CLIENT`] sequence number.
+    fn coord_send(&mut self, s: usize, cmd: &Command) -> Option<Response> {
+        let req = make_req(COORD_CLIENT, self.coord_seqs[s]);
+        let resp = self.forward(s, req, cmd)?;
+        self.coord_seqs[s] += 1;
+        Some(resp)
+    }
+
+    /// Broadcast a client command to every shard under the client's
+    /// own request id (each shard dedups retries independently).
+    fn broadcast(&mut self, req: u64, cmd: &Command) -> Option<()> {
+        for s in 0..self.shards.len() {
+            self.forward(s, req, cmd)?;
+        }
+        Some(())
+    }
+
+    /// Run cross-shard send-clock transfers to a fixpoint, as logged
+    /// `LearnSend` commands on the blocked shards.
+    fn transfer(&mut self) -> Option<()> {
+        loop {
+            let ops = transfer_round(&self.monitor_refs());
+            if ops.is_empty() {
+                return Some(());
+            }
+            for op in ops {
+                self.coord_send(
+                    op.dst,
+                    &Command::LearnSend {
+                        msg: op.msg,
+                        clock: op.clock,
+                    },
+                )?;
+            }
+        }
+    }
+
+    fn drain_shards(&mut self) {
+        for sh in &mut self.shards {
+            sh.drain(0);
+        }
+    }
+
+    /// Apply up to `budget` queued ingests per shard (0 = all), then
+    /// run the transfer fixpoint. The socket tier calls this every
+    /// cycle, mirroring [`Server::drain`].
+    pub fn drain(&mut self, budget: usize) -> usize {
+        let mut n = 0;
+        for sh in &mut self.shards {
+            n += sh.drain(budget);
+        }
+        // A crashed shard just leaves its transfers for recovery.
+        let _ = self.transfer();
+        n
+    }
+
+    /// The facade's `DeclareLost`: interleave concessions in global
+    /// lowest-process order with transfer fixpoints — the exact
+    /// unsharded concession order, as logged `Concede` commands.
+    fn declare_lost_all(&mut self) -> Option<u64> {
+        let mut conceded = 0;
+        loop {
+            self.transfer()?;
+            let next = next_concession(&self.monitor_refs(), &self.map);
+            let Some((shard, p)) = next else { break };
+            if let Response::Conceded(n) =
+                self.coord_send(shard, &Command::Concede { process: p })?
+            {
+                conceded += n;
+            }
+        }
+        Some(conceded)
+    }
+
+    /// Retire labels that are closed and unreferenced everywhere, as
+    /// `Retire` broadcasts.
+    fn prune_labels(&mut self) -> Option<()> {
+        if !self.pruning {
+            return Some(());
+        }
+        let candidates = prune_candidates(&self.monitor_refs(), &self.book);
+        for label in candidates {
+            let cmd = Command::Retire {
+                label: label.clone(),
+            };
+            for s in 0..self.shards.len() {
+                self.coord_send(s, &cmd)?;
+            }
+            self.coord.invalidate(&label);
+        }
+        Some(())
+    }
+
+    /// Evaluate `rel(x, y)` through the coordinator over the merged
+    /// shard summaries — the facade's [`OnlineMonitor::check`].
+    pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
+        self.coord
+            .check(&self.monitor_refs(), self.is_degraded(), rel, x, y)
+    }
+
+    /// Current watch verdicts in registration order.
+    pub fn verdicts(&self) -> Vec<(String, Verdict)> {
+        let refs = self.monitor_refs();
+        let degraded = self.is_degraded();
+        let coord = &self.coord;
+        self.book
+            .verdicts(|rel, x, y| coord.check(&refs, degraded, rel, x, y))
+    }
+
+    fn do_poll(&mut self) -> Option<Response> {
+        self.drain_shards();
+        self.transfer()?;
+        let degraded = self.is_degraded();
+        let (events, settles) = {
+            let refs: Vec<&OnlineMonitor> = self.shards.iter().map(Server::monitor).collect();
+            let coord = &self.coord;
+            self.book
+                .poll(|rel, x, y| coord.check(&refs, degraded, rel, x, y))
+        };
+        // Settlements become durable on every shard; recovery treats a
+        // watch as settled if *any* shard consumed the broadcast.
+        for s in settles {
+            let cmd = Command::NoteVerdict {
+                name: s.name,
+                verdict: s.verdict,
+                settled: true,
+            };
+            for shard in 0..self.shards.len() {
+                self.coord_send(shard, &cmd)?;
+            }
+        }
+        self.prune_labels()?;
+        Some(Response::Events(events))
+    }
+
+    /// Handle one raw client frame; `None` means no response (bad
+    /// frame, or a shard crashed mid-request). The single entry point
+    /// shared by [`ShardedServer::pump`] and the socket tier.
+    pub fn handle_bytes(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let frame = match decode_frame(bytes) {
+            Ok(f) => f,
+            Err(_) => return None,
+        };
+        if frame.kind != KIND_REQUEST {
+            return None;
+        }
+        let cmd = match decode_command(&frame.payload) {
+            Ok(c) => c,
+            Err(e) => {
+                return Some(response_frame(
+                    frame.req,
+                    &Response::Error(format!("malformed command: {e}")),
+                ))
+            }
+        };
+        let resp = self.execute(frame.req, &cmd)?;
+        Some(response_frame(frame.req, &resp))
+    }
+
+    /// Process every frame waiting on `wire` (sending responses back),
+    /// then drain up to `budget` queued ingests per shard.
+    pub fn pump<T: Transport + ?Sized>(&mut self, wire: &mut T, budget: usize) -> usize {
+        let mut handled = 0;
+        while !self.is_crashed() {
+            let Some(bytes) = wire.recv().unwrap_or(None) else {
+                break;
+            };
+            if let Some(resp) = self.handle_bytes(&bytes) {
+                let _ = wire.send(&resp);
+            }
+            handled += 1;
+        }
+        if !self.is_crashed() {
+            self.drain(budget);
+        }
+        handled
+    }
+
+    fn execute(&mut self, req: u64, cmd: &Command) -> Option<Response> {
+        match cmd {
+            Command::Ingest { process, .. } => {
+                // Routed, not broadcast: the owner shard's queue
+                // admission (Busy/Shed) and watermark dedup answer for
+                // the facade. An unknown process still routes (to
+                // shard 0) so the apply-side error accounting matches
+                // the single server.
+                let owner = if *process < self.map.num_processes() {
+                    self.map.shard_of_process(*process)
+                } else {
+                    0
+                };
+                self.forward(owner, req, cmd)
+            }
+            Command::Watch { name, rel, x, y } => {
+                self.broadcast(req, cmd)?;
+                self.book.watch(name, *rel, x, y);
+                Some(Response::Ack)
+            }
+            Command::Close { label } => {
+                self.drain_shards();
+                self.broadcast(req, cmd)?;
+                self.coord.invalidate(label);
+                self.prune_labels()?;
+                Some(Response::Ack)
+            }
+            Command::Poll => self.do_poll(),
+            Command::DeclareLost => {
+                self.drain_shards();
+                let n = self.declare_lost_all()?;
+                Some(Response::Conceded(n))
+            }
+            Command::DeclareComplete { totals } => {
+                if totals.len() != self.map.num_processes() {
+                    // Let shard 0 produce (and log) the canonical
+                    // error, like the single server would.
+                    return self.forward(0, req, cmd);
+                }
+                self.drain_shards();
+                let mut n = self.declare_lost_all()?;
+                for s in 0..self.shards.len() {
+                    // Each shard audits only the processes it owns;
+                    // foreign totals are masked to the zero reports it
+                    // actually saw.
+                    let masked: Vec<u64> = totals
+                        .iter()
+                        .enumerate()
+                        .map(|(p, &t)| {
+                            if self.map.shard_of_process(p) == s {
+                                t
+                            } else {
+                                0
+                            }
+                        })
+                        .collect();
+                    if let Response::Conceded(c) =
+                        self.forward(s, req, &Command::DeclareComplete { totals: masked })?
+                    {
+                        n += c;
+                    }
+                }
+                self.transfer()?;
+                Some(Response::Conceded(n))
+            }
+            Command::Query { rel, x, y } => {
+                self.drain_shards();
+                self.transfer()?;
+                Some(Response::Verdict(self.check(*rel, x, y)))
+            }
+            Command::Verdicts => {
+                self.drain_shards();
+                self.transfer()?;
+                Some(Response::Verdicts(self.verdicts()))
+            }
+            Command::Stats => {
+                self.drain_shards();
+                self.transfer()?;
+                Some(Response::Stats(self.monitor_stats()))
+            }
+            Command::TakeSnapshot => {
+                for sh in &mut self.shards {
+                    if let Err(e) = sh.take_snapshot() {
+                        return Some(Response::Error(format!("snapshot failed: {e}")));
+                    }
+                }
+                Some(Response::Ack)
+            }
+            Command::LearnSend { .. }
+            | Command::NoteVerdict { .. }
+            | Command::Retire { .. }
+            | Command::Concede { .. } => Some(Response::Error(
+                "coordinator-internal command refused from clients".into(),
+            )),
+        }
+    }
+
+    /// Aggregated monitor counters: ingest-side sums across shards,
+    /// residency over the union of labels, verdict tallies zero (the
+    /// facade's shards never run `check`, and facade-side tallies
+    /// would not survive recovery deterministically).
+    pub fn monitor_stats(&self) -> MonitorStats {
+        let mut out = MonitorStats::default();
+        let mut labels = BTreeSet::new();
+        for sh in &self.shards {
+            let s = sh.monitor().stats();
+            out.applied += s.applied;
+            out.buffered += s.buffered;
+            out.duplicates += s.duplicates;
+            out.flushes += s.flushes;
+            out.flush_nanos += s.flush_nanos;
+            out.max_pending += s.max_pending;
+            out.pending += s.pending;
+            out.lost += s.lost;
+            out.degraded |= s.degraded;
+            // Retirement is broadcast, so every shard counts the same
+            // labels; take the max rather than a K-fold sum.
+            out.intervals_reclaimed = out.intervals_reclaimed.max(s.intervals_reclaimed);
+            labels.extend(sh.monitor().interval_labels().map(str::to_string));
+        }
+        out.resident_intervals = labels.len() as u64;
+        out
+    }
+
+    /// Aggregated server counters: sums, with the queue high-water as
+    /// the per-shard max.
+    pub fn server_stats(&self) -> ServerStats {
+        let mut out = ServerStats::default();
+        for sh in &self.shards {
+            let s = sh.stats();
+            out.wal_appends += s.wal_appends;
+            out.replayed += s.replayed;
+            out.torn_truncations += s.torn_truncations;
+            out.snapshots += s.snapshots;
+            out.shed += s.shed;
+            out.busy += s.busy;
+            out.bad_frames += s.bad_frames;
+            out.forced_loss += s.forced_loss;
+            out.apply_errors += s.apply_errors;
+            out.recovered |= s.recovered;
+            out.recovery_micros += s.recovery_micros;
+            out.queue_high_water = out.queue_high_water.max(s.queue_high_water);
+        }
+        out
+    }
+
+    /// Export aggregate monitor counters plus per-shard serving gauges
+    /// into a metrics registry.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.monitor_stats().register(reg);
+        reg.gauge(
+            "synchrel_serve_shard_count",
+            "Number of serving shards",
+            self.shards.len() as f64,
+        );
+        reg.counter(
+            "synchrel_serve_coordinator_cache_hits_total",
+            "Cross-shard summary fetches served from the coordinator cache",
+            self.coord.cache_hits(),
+        );
+        reg.counter(
+            "synchrel_serve_coordinator_cache_misses_total",
+            "Cross-shard summary fetches that had to touch a shard",
+            self.coord.cache_misses(),
+        );
+        for (i, sh) in self.shards.iter().enumerate() {
+            let s = sh.stats();
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+            reg.counter_with(
+                "synchrel_serve_shard_wal_appends_total",
+                labels,
+                "WAL records appended per shard",
+                s.wal_appends,
+            );
+            reg.gauge_with(
+                "synchrel_serve_shard_queue_depth",
+                labels,
+                "Admitted ingests awaiting application per shard",
+                sh.queue_depth() as f64,
+            );
+            reg.gauge_with(
+                "synchrel_serve_shard_last_lsn",
+                labels,
+                "Durable log position per shard",
+                sh.last_lsn() as f64,
+            );
+            reg.gauge_with(
+                "synchrel_serve_shard_repl_lag",
+                labels,
+                "Replication lag per shard (0 when replication is off)",
+                sh.repl_lag() as f64,
+            );
+        }
+    }
+}
+
+impl<S: Storage + Send> ShardedServer<S> {
+    /// Recover every shard **in parallel** — one scoped thread per
+    /// shard storage — then join and rebuild the facade. Identical
+    /// result to [`ShardedServer::recover`]; the win is wall-clock
+    /// when K WAL segments replay at once.
+    pub fn recover_parallel(
+        storages: Vec<S>,
+        cfg: &ServerConfig,
+        map: ShardMap,
+    ) -> Result<ShardedServer<S>, RecoverError> {
+        assert_eq!(storages.len(), map.shards(), "one storage per shard");
+        assert_eq!(cfg.processes, map.num_processes());
+        let sc = ShardedServer::<S>::shard_config(cfg);
+        let results: Vec<Result<Server<S>, RecoverError>> = thread::scope(|scope| {
+            let handles: Vec<_> = storages
+                .into_iter()
+                .map(|st| {
+                    let sc = sc.clone();
+                    scope.spawn(move || Server::recover(st, sc))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard recovery thread panicked"))
+                .collect()
+        });
+        let shards = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedServer::assemble(map, shards, cfg.pruning))
+    }
+
+    /// Group commit per shard: partition the batch's ingest frames by
+    /// owning shard, run each shard's sub-batch through
+    /// [`Server::handle_batch`] on its own scoped thread (one
+    /// `wal_sync` per shard), then apply the remaining control frames
+    /// through the facade in arrival order. Responses come back
+    /// positionally, like the single server's batch API.
+    pub fn handle_batch(&mut self, frames: &[Vec<u8>]) -> Vec<Option<Vec<u8>>> {
+        let k = self.shards.len();
+        let mut shard_frames: Vec<Vec<Vec<u8>>> = vec![Vec::new(); k];
+        let mut shard_slots: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut control: Vec<usize> = Vec::new();
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; frames.len()];
+        for (i, bytes) in frames.iter().enumerate() {
+            match self.classify(bytes) {
+                Some(owner) => {
+                    shard_frames[owner].push(bytes.clone());
+                    shard_slots[owner].push(i);
+                }
+                None => control.push(i),
+            }
+        }
+
+        let live = shard_frames.iter().filter(|f| !f.is_empty()).count();
+        if live == 1 {
+            // One busy shard: skip the thread scaffolding.
+            let (s, frames_s) = shard_frames
+                .iter()
+                .enumerate()
+                .find(|(_, f)| !f.is_empty())
+                .expect("live == 1");
+            let resp = self.shards[s].handle_batch(frames_s);
+            for (slot, r) in shard_slots[s].iter().zip(resp) {
+                out[*slot] = r;
+            }
+        } else if live > 1 {
+            thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for ((shard, frames_s), slots) in
+                    self.shards.iter_mut().zip(&shard_frames).zip(&shard_slots)
+                {
+                    if frames_s.is_empty() {
+                        continue;
+                    }
+                    handles.push((slots, scope.spawn(move || shard.handle_batch(frames_s))));
+                }
+                for (slots, h) in handles {
+                    let resp = h.join().expect("shard batch thread panicked");
+                    for (slot, r) in slots.iter().zip(resp) {
+                        out[*slot] = r;
+                    }
+                }
+            });
+        }
+
+        for i in control {
+            out[i] = self.handle_bytes(&frames[i]);
+        }
+        out
+    }
+
+    /// `Some(owner)` when the frame is a well-formed ingest for a
+    /// known process; `None` routes it through the sequential facade
+    /// path.
+    fn classify(&self, bytes: &[u8]) -> Option<usize> {
+        let frame = decode_frame(bytes).ok()?;
+        if frame.kind != KIND_REQUEST {
+            return None;
+        }
+        match decode_command(&frame.payload).ok()? {
+            Command::Ingest { process, .. } if process < self.map.num_processes() => {
+                Some(self.map.shard_of_process(process))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The crash plan for the `k`-th lifetime of a sharded chaos run:
+/// which shard is struck, at which of its logged records, at which
+/// lifecycle point.
+fn shard_crash_plan(seed: u64, k: u64, shards: usize) -> (usize, CrashPlan) {
+    let target = (mix(seed, SALT_SHARD_TGT, k) % shards as u64) as usize;
+    let nth_logged = 1 + mix(seed, SALT_SHARD_CRASH, k) % 7;
+    let point = match mix(seed, SALT_SHARD_POINT, k) % 4 {
+        0 => CrashPoint::BeforeAppend,
+        1 => CrashPoint::TornAppend,
+        2 => CrashPoint::AfterAppend,
+        _ => CrashPoint::AfterApply,
+    };
+    (target, CrashPlan { nth_logged, point })
+}
+
+/// What one sharded run exposes for comparison.
+struct ShardRunResult {
+    probes: Vec<Response>,
+    /// Final monitor counters, per shard.
+    shard_stats: Vec<MonitorStats>,
+    crashes: u64,
+    recoveries: u64,
+    retries: u64,
+}
+
+/// Drive `cmds` then `probes` through a K-shard server over fresh
+/// per-shard [`MemStorage`], crashing `crashes` times at seed-derived
+/// per-shard points (0 = the reference run). Recovery rebuilds the
+/// whole facade from the K storages — in-memory facade state (watch
+/// book, coordinator cursors) must be reconstructible.
+fn drive_sharded(
+    seed: u64,
+    cfg: &ServerConfig,
+    shards: usize,
+    cmds: &[Command],
+    probes: &[Command],
+    crashes: u64,
+) -> Result<ShardRunResult, String> {
+    let storages: Vec<MemStorage> = (0..shards).map(|_| MemStorage::new()).collect();
+    let map = ShardMap::new(shards, cfg.processes);
+    let mut server = ShardedServer::recover(storages.clone(), cfg, map.clone())
+        .map_err(|e| format!("initial bring-up failed: {e}"))?;
+    if crashes > 0 {
+        let (t, plan) = shard_crash_plan(seed, 0, shards);
+        server.arm_crash(t, plan);
+    }
+
+    let (client_end, mut server_end) = duplex();
+    let mut client = Client::new(client_end, mix(seed, chaos::SALT_CLIENT, 0));
+    let mut fired = 0u64;
+    let mut recoveries = 0u64;
+    let mut aborts = 0u64;
+
+    let mut probe_responses = Vec::with_capacity(probes.len());
+    for (i, cmd) in cmds.iter().chain(probes.iter()).enumerate() {
+        let resp = loop {
+            let attempt = client.call_ctl(cmd, || {
+                if server.is_crashed() {
+                    return Pump::Abort;
+                }
+                server.pump(&mut server_end, 0);
+                if server.is_crashed() {
+                    Pump::Abort
+                } else {
+                    Pump::Continue
+                }
+            });
+            match attempt {
+                Ok(resp) => break resp,
+                Err(ClientError::Aborted { .. }) => {
+                    // One dead shard kills the whole facade process;
+                    // every shard recovers from its own storage and
+                    // the facade is rebuilt from the recoveries.
+                    fired += 1;
+                    aborts += 1;
+                    let (c, s) = duplex();
+                    client.set_wire(c);
+                    server_end = s;
+                    server = ShardedServer::recover(storages.clone(), cfg, map.clone())
+                        .map_err(|e| format!("recovery failed: {e}"))?;
+                    recoveries += 1;
+                    if recoveries < crashes {
+                        let (t, plan) = shard_crash_plan(seed, recoveries, shards);
+                        server.arm_crash(t, plan);
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        };
+        if i < cmds.len() {
+            match resp {
+                Response::Error(e) => return Err(format!("server refused {cmd:?}: {e}")),
+                Response::Busy | Response::Shed => {
+                    return Err(format!("unexpected overload response to {cmd:?}"))
+                }
+                _ => {}
+            }
+        } else {
+            probe_responses.push(resp);
+        }
+    }
+
+    let shard_stats = (0..shards)
+        .map(|i| server.shard(i).monitor().stats())
+        .collect();
+    Ok(ShardRunResult {
+        probes: probe_responses,
+        shard_stats,
+        crashes: fired,
+        recoveries,
+        retries: client.retries() + aborts,
+    })
+}
+
+fn fail(seed: u64, detail: impl Into<String>) -> ChaosMismatch {
+    ChaosMismatch {
+        seed,
+        detail: detail.into(),
+    }
+}
+
+fn norm_stats(mut s: MonitorStats) -> MonitorStats {
+    s.flush_nanos = 0;
+    s
+}
+
+/// Run one sharded chaos case at `shards` shards. Three gates:
+///
+/// 1. **Sharding is invisible**: every verdict probe (each `Query`,
+///    and `Verdicts`) of the never-crashing sharded run equals the
+///    unsharded server's, and the aggregate counters sharding
+///    preserves exactly (applied / duplicates / lost / pending /
+///    degradation / residency / reclamation) match.
+/// 2. **Recovery is exact**: the crash-riddled sharded run answers
+///    every probe — `Stats` included — identically to the sharded
+///    reference (wall-clock flush time excepted).
+/// 3. **Per shard**: final monitor counters of every shard match
+///    between the reference and the crashed run.
+pub fn run_shard_chaos_case(seed: u64, shards: usize) -> Result<ChaosOutcome, ChaosMismatch> {
+    assert!(shards > 0);
+    let Some(cc) = case_commands(seed)? else {
+        return Ok(ChaosOutcome {
+            skipped: true,
+            ..ChaosOutcome::default()
+        });
+    };
+    let cfg = chaos::case_config(seed, cc.processes);
+
+    let unsharded = chaos::drive(
+        seed,
+        &cfg,
+        &cc.cmds,
+        &cc.probes,
+        0,
+        &mut crate::transport::DuplexFactory,
+    )
+    .map_err(|e| fail(seed, format!("unsharded reference failed: {e}")))?;
+    let reference = drive_sharded(seed, &cfg, shards, &cc.cmds, &cc.probes, 0)
+        .map_err(|e| fail(seed, format!("sharded reference failed: {e}")))?;
+    let crashes = 1 + mix(seed, SALT_SHARD_CRASH, 99) % 3;
+    let crashed = drive_sharded(seed, &cfg, shards, &cc.cmds, &cc.probes, crashes)
+        .map_err(|e| fail(seed, format!("sharded chaos run failed: {e}")))?;
+
+    // Gate 1: verdict probes byte-identical to the unsharded server.
+    // The trailing Stats probe is compared on the fields sharding
+    // preserves exactly (verdict tallies live at different tiers, and
+    // flush/buffer bookkeeping is per-shard by construction).
+    let last = cc.probes.len() - 1;
+    for i in 0..last {
+        let want = chaos::normalize(unsharded.probes[i].clone());
+        let got = chaos::normalize(reference.probes[i].clone());
+        if want != got {
+            return Err(fail(
+                seed,
+                format!(
+                    "K={shards} sharded probe {i} ({:?}) diverged from unsharded: \
+                     unsharded {want:?}, sharded {got:?}",
+                    cc.probes[i]
+                ),
+            ));
+        }
+    }
+    match (&unsharded.probes[last], &reference.probes[last]) {
+        (Response::Stats(u), Response::Stats(s)) => {
+            let pairs = [
+                ("applied", u.applied, s.applied),
+                ("duplicates", u.duplicates, s.duplicates),
+                ("lost", u.lost, s.lost),
+                ("pending", u.pending, s.pending),
+                (
+                    "resident_intervals",
+                    u.resident_intervals,
+                    s.resident_intervals,
+                ),
+                (
+                    "intervals_reclaimed",
+                    u.intervals_reclaimed,
+                    s.intervals_reclaimed,
+                ),
+                ("degraded", u64::from(u.degraded), u64::from(s.degraded)),
+            ];
+            for (name, uv, sv) in pairs {
+                if uv != sv {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "K={shards} aggregate {name} diverged: unsharded {uv}, sharded {sv}"
+                        ),
+                    ));
+                }
+            }
+        }
+        (u, s) => {
+            return Err(fail(
+                seed,
+                format!("final probes are not Stats: unsharded {u:?}, sharded {s:?}"),
+            ))
+        }
+    }
+
+    // Gate 2: crash-riddled run equals the sharded reference on every
+    // probe, counters included.
+    for (i, (want, got)) in reference.probes.iter().zip(&crashed.probes).enumerate() {
+        let (want, got) = (
+            chaos::normalize(want.clone()),
+            chaos::normalize(got.clone()),
+        );
+        if want != got {
+            return Err(fail(
+                seed,
+                format!(
+                    "K={shards} probe {i} ({:?}) disagrees after {} crash(es): \
+                     reference {want:?}, recovered {got:?}",
+                    cc.probes[i], crashed.crashes
+                ),
+            ));
+        }
+    }
+
+    // Gate 3: every shard's final monitor counters survived recovery.
+    for s in 0..shards {
+        let want = norm_stats(reference.shard_stats[s].clone());
+        let got = norm_stats(crashed.shard_stats[s].clone());
+        if want != got {
+            return Err(fail(
+                seed,
+                format!(
+                    "shard {s}/{shards} counters diverged after {} crash(es): \
+                     reference {want:?}, recovered {got:?}",
+                    crashed.crashes
+                ),
+            ));
+        }
+    }
+
+    Ok(ChaosOutcome {
+        commands: (cc.cmds.len() + cc.probes.len()) as u64,
+        crashes: crashed.crashes,
+        recoveries: crashed.recoveries,
+        retries: crashed.retries,
+        skipped: false,
+    })
+}
+
+/// Run `cases` seed-derived sharded chaos cases from `base_seed` at
+/// `shards` shards.
+pub fn run_shard_chaos_seeds(
+    base_seed: u64,
+    cases: u64,
+    shards: usize,
+) -> Result<ChaosStats, ChaosMismatch> {
+    let mut stats = ChaosStats::default();
+    for i in 0..cases {
+        let seed = mix(base_seed, i, SALT_SHARD_CASE);
+        let o = run_shard_chaos_case(seed, shards)?;
+        stats.cases += 1;
+        stats.commands += o.commands;
+        stats.crashes += o.crashes;
+        stats.recoveries += o.recoveries;
+        stats.retries += o.retries;
+        stats.skipped += u64::from(o.skipped);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::{pump_replication, Follower};
+    use crate::storage::SyncMemStorage;
+    use synchrel_monitor::online::WireEvent;
+
+    fn call<S: Storage>(srv: &mut ShardedServer<S>, seq: &mut u64, cmd: &Command) -> Response {
+        let req = make_req(7, *seq);
+        *seq += 1;
+        let bytes = srv
+            .handle_bytes(&request_frame(req, cmd))
+            .expect("facade must answer");
+        decode_response(&decode_frame(&bytes).unwrap().payload).unwrap()
+    }
+
+    fn ingest(p: usize, seq: u64, event: WireEvent, labels: &[&str]) -> Command {
+        Command::Ingest {
+            process: p,
+            seq,
+            event,
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// A small cross-shard script over 4 processes: one message sent
+    /// from whatever process shard 0 owns, received on a process some
+    /// other shard owns.
+    fn cross_shard_script(map: &ShardMap) -> Vec<Command> {
+        let p0 = (0..map.num_processes())
+            .find(|&p| map.shard_of_process(p) == 0)
+            .expect("shard 0 owns a process");
+        let p1 = (0..map.num_processes())
+            .find(|&p| map.shard_of_process(p) != 0)
+            .unwrap_or(p0);
+        vec![
+            Command::Watch {
+                name: "w".into(),
+                rel: Relation::R1,
+                x: "A".into(),
+                y: "B".into(),
+            },
+            ingest(p0, 0, WireEvent::Internal, &["A"]),
+            ingest(p0, 1, WireEvent::Send { msg: 1 }, &["A"]),
+            ingest(p1, 0, WireEvent::Recv { msg: 1 }, &["B"]),
+            ingest(p1, 1, WireEvent::Internal, &["B"]),
+            Command::Poll,
+            Command::Close { label: "A".into() },
+            Command::Close { label: "B".into() },
+            Command::Poll,
+        ]
+    }
+
+    #[test]
+    fn sharded_chaos_sweep_k2_is_green() {
+        let stats = run_shard_chaos_seeds(0xB0A7, 8, 2).expect("sharded chaos sweep must agree");
+        assert_eq!(stats.cases, 8);
+        assert!(stats.crashes > 0, "no shard crash ever fired: {stats:?}");
+        assert!(stats.recoveries >= stats.crashes);
+        assert!(stats.retries > 0, "crashes fired but nothing retried");
+    }
+
+    #[test]
+    fn sharded_chaos_smoke_k4() {
+        let stats = run_shard_chaos_seeds(0x51AD, 4, 4).expect("K=4 sharded chaos must agree");
+        assert_eq!(stats.cases, 4);
+    }
+
+    #[test]
+    fn single_shard_facade_is_a_plain_server() {
+        // K=1 exercises the facade plumbing with no cross-shard ops.
+        let stats = run_shard_chaos_seeds(0xF00D, 4, 1).expect("K=1 must agree");
+        assert_eq!(stats.cases, 4);
+    }
+
+    #[test]
+    fn cross_shard_transfer_settles_watches() {
+        let map = ShardMap::new(2, 4);
+        let cfg = ServerConfig::new(4);
+        let storages = vec![SyncMemStorage::new(), SyncMemStorage::new()];
+        let mut srv = ShardedServer::recover(storages, &cfg, map.clone()).unwrap();
+        let mut seq = 0;
+        for cmd in cross_shard_script(&map) {
+            let resp = call(&mut srv, &mut seq, &cmd);
+            assert!(
+                !matches!(resp, Response::Error(_)),
+                "{cmd:?} refused: {resp:?}"
+            );
+        }
+        // Both intervals closed and every report applied: the verdict
+        // must have settled, and it must equal what a single-shard
+        // facade (no cross-shard transfers at all) concludes.
+        let mut single =
+            ShardedServer::recover(vec![SyncMemStorage::new()], &cfg, ShardMap::new(1, 4)).unwrap();
+        let mut sseq = 0;
+        for cmd in cross_shard_script(&map) {
+            call(&mut single, &mut sseq, &cmd);
+        }
+        let verdicts = srv.verdicts();
+        assert_eq!(verdicts, single.verdicts());
+        assert_eq!(verdicts.len(), 1);
+        assert!(
+            matches!(verdicts[0].1, Verdict::Holds | Verdict::Violated),
+            "closed intervals must settle the watch: {verdicts:?}"
+        );
+        // The settlement really went through the coordinator as logged
+        // commands on the shards.
+        let coord_reqs: u64 = (0..2)
+            .map(|s| srv.shard(s).next_req_for(u64::from(COORD_CLIENT)))
+            .sum();
+        assert!(coord_reqs > 0, "no coordinator command was ever logged");
+    }
+
+    #[test]
+    fn parallel_recovery_matches_sequential() {
+        let map = ShardMap::new(3, 4);
+        let cfg = ServerConfig::new(4);
+        let storages: Vec<SyncMemStorage> = (0..3).map(|_| SyncMemStorage::new()).collect();
+        let mut srv = ShardedServer::recover(storages.clone(), &cfg, map.clone()).unwrap();
+        let mut seq = 0;
+        for cmd in cross_shard_script(&map) {
+            call(&mut srv, &mut seq, &cmd);
+        }
+        drop(srv);
+
+        let seq_rec = ShardedServer::recover(storages.clone(), &cfg, map.clone()).unwrap();
+        let par_rec = ShardedServer::recover_parallel(storages, &cfg, map).unwrap();
+        assert_eq!(seq_rec.verdicts(), par_rec.verdicts());
+        assert_eq!(seq_rec.watch_specs(), par_rec.watch_specs());
+        for s in 0..3 {
+            assert_eq!(
+                norm_stats(seq_rec.shard(s).monitor().stats()),
+                norm_stats(par_rec.shard(s).monitor().stats()),
+                "shard {s} diverged between sequential and parallel recovery"
+            );
+            assert_eq!(seq_rec.coord_seqs[s], par_rec.coord_seqs[s]);
+        }
+    }
+
+    #[test]
+    fn batch_group_commits_once_per_shard() {
+        let map = ShardMap::new(2, 4);
+        let cfg = ServerConfig::new(4);
+        let storages = vec![SyncMemStorage::new(), SyncMemStorage::new()];
+        let mut srv = ShardedServer::recover(storages.clone(), &cfg, map.clone()).unwrap();
+
+        // Ingest frames for both shards from distinct clients, plus a
+        // trailing control frame.
+        let p0 = (0..4).find(|&p| map.shard_of_process(p) == 0).unwrap();
+        let p1 = (0..4).find(|&p| map.shard_of_process(p) != 0).unwrap();
+        let mut frames = Vec::new();
+        for i in 0..10u64 {
+            frames.push(request_frame(
+                make_req(1, i),
+                &ingest(p0, i, WireEvent::Internal, &[]),
+            ));
+            frames.push(request_frame(
+                make_req(2, i),
+                &ingest(p1, i, WireEvent::Internal, &[]),
+            ));
+        }
+        frames.push(request_frame(make_req(3, 0), &Command::Stats));
+
+        let syncs_before: Vec<u64> = storages.iter().map(|s| s.syncs()).collect();
+        let responses = srv.handle_batch(&frames);
+        assert!(responses.iter().all(Option::is_some));
+        for (i, st) in storages.iter().enumerate() {
+            assert_eq!(
+                st.syncs() - syncs_before[i],
+                1,
+                "shard {i} must group-commit its sub-batch with one fsync"
+            );
+        }
+        assert_eq!(srv.shard(0).stats().wal_appends, 10);
+        assert_eq!(srv.shard(1).stats().wal_appends, 10);
+        let Response::Stats(stats) = decode_response(
+            &decode_frame(responses.last().unwrap().as_ref().unwrap())
+                .unwrap()
+                .payload,
+        )
+        .unwrap() else {
+            panic!("expected stats response");
+        };
+        assert_eq!(stats.applied, 20);
+    }
+
+    #[test]
+    fn per_shard_replication_streams_converge() {
+        let map = ShardMap::new(2, 4);
+        let cfg = ServerConfig::new(4);
+        let storages = vec![SyncMemStorage::new(), SyncMemStorage::new()];
+        let mut srv = ShardedServer::recover(storages, &cfg, map.clone()).unwrap();
+        srv.enable_replication(1024);
+
+        let mut seq = 0;
+        for cmd in cross_shard_script(&map) {
+            call(&mut srv, &mut seq, &cmd);
+        }
+        call(&mut srv, &mut seq, &Command::Stats); // drain everything
+
+        // One follower per shard, each consuming its shard's tagged
+        // stream only.
+        let follower_cfg = {
+            let mut c = cfg.clone();
+            c.pruning = false;
+            c
+        };
+        for s in 0..2 {
+            let mut follower = Follower::open(SyncMemStorage::new(), follower_cfg.clone()).unwrap();
+            pump_replication(srv.shard_mut(s), &mut follower, 0).unwrap();
+            assert_eq!(follower.durable_lsn(), srv.shard(s).last_lsn());
+            assert_eq!(
+                norm_stats(follower.monitor().stats()),
+                norm_stats(srv.shard(s).monitor().stats()),
+                "shard {s} follower diverged from its primary shard"
+            );
+        }
+        assert_eq!(srv.repl_lag(), 0);
+    }
+
+    #[test]
+    fn export_metrics_has_per_shard_series() {
+        let map = ShardMap::new(2, 2);
+        let cfg = ServerConfig::new(2);
+        let srv = ShardedServer::recover(
+            vec![SyncMemStorage::new(), SyncMemStorage::new()],
+            &cfg,
+            map,
+        )
+        .unwrap();
+        let mut reg = MetricsRegistry::new();
+        srv.export_metrics(&mut reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("synchrel_serve_shard_count 2"));
+        assert!(text.contains("synchrel_serve_shard_wal_appends_total{shard=\"0\"}"));
+        assert!(text.contains("synchrel_serve_shard_last_lsn{shard=\"1\"}"));
+    }
+}

@@ -112,7 +112,13 @@ fn kill_promote_resume_over_real_sockets() {
     let promoted = follower.promote().unwrap();
     let svc2 = start_tcp(promoted);
     let wire2 = connect(svc2.local_addr(), Some(Duration::from_millis(10))).unwrap();
-    let mut client = Client::resuming(wire2, 22, client.next_req());
+    let carried = client.counters();
+    let mut client = Client::resuming_with(wire2, 22, client.next_req(), carried);
+    assert_eq!(
+        client.counters(),
+        carried,
+        "failover must not reset retry accounting"
+    );
     client.set_max_attempts(512);
     for i in 18..24u64 {
         assert_eq!(client.call(&ingest(0, i), || {}).unwrap(), Response::Ack);
