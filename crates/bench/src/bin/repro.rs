@@ -12,7 +12,7 @@ use synchrel_bench::experiments;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|incr|meter|scaling|profiles|setup|serve|shard]"
+        "usage: repro [all|table1|table2|fig1|fig2|fig3|thm19|thm20|problem4|pairs|batch|incr|meter|scaling|profiles|setup|serve|shard|nemesis]"
     );
     std::process::exit(2);
 }
@@ -39,6 +39,7 @@ fn main() {
         "setup" => experiments::setup::run(0xC0FFEE),
         "serve" => experiments::serve::run(),
         "shard" => experiments::shard::run(0xC0FFEE),
+        "nemesis" => experiments::nemesis::run(0xC0FFEE),
         _ => usage(),
     };
     let stdout = std::io::stdout();

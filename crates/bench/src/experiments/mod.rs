@@ -17,11 +17,13 @@
 //! | [`setup`] | §2.3 — one-time timestamp/summary cost amortization |
 //! | [`serve`] | socket-tier saturation: pipelined TCP ingest + group commit |
 //! | [`shard`] | sharded-monitor scaling: K-shard churn vs the unsharded reference |
+//! | [`nemesis`] | network-fault robustness: sound degradation + bounded unattended failover |
 
 pub mod batch;
 pub mod figures;
 pub mod incr;
 pub mod meter;
+pub mod nemesis;
 pub mod pairs;
 pub mod problem4;
 pub mod profiles;
@@ -103,6 +105,10 @@ pub fn run_all() -> String {
         ("E-Setup: one-time cost", setup::run(0xC0FFEE)),
         ("E-Serve: socket-tier saturation", serve::run()),
         ("E-Shard: sharded-monitor scaling", shard::run(0xC0FFEE)),
+        (
+            "E-Nemesis: network-fault robustness",
+            nemesis::run(0xC0FFEE),
+        ),
     ] {
         out.push_str(&format!("\n=== {title} ===\n\n"));
         out.push_str(&body);

@@ -1,0 +1,347 @@
+//! E-Nemesis — the network-fault robustness gate: the seeded nemesis
+//! sweep ([`synchrel_serve::nemesis`]) run at artifact size, written to
+//! `BENCH_nemesis.json`.
+//!
+//! Three facts gate `nemesis_ok` (grep'd by CI), across at least 100
+//! seeded schedules:
+//!
+//! * **Soundness under faults** — no watch ever reported a
+//!   `Holds`/`Violated` the fault-free reference does not; `Unknown`
+//!   was the only divergence while faults were active. Enforced inside
+//!   every case; one violation fails the sweep with its repro seed.
+//! * **Byte-equality after heal** — once partitions healed and the
+//!   buffered replay drained, every probe response and counter matched
+//!   the reference byte for byte.
+//! * **Bounded unattended failover** — on every kill-primary schedule
+//!   the lease clock detected the death without harness help, and the
+//!   p99 of detect→promote→resume latency stayed under the
+//!   lease-derived bound: `budget × 25 ms + slack`
+//!   (`SYNCHREL_NEMESIS_SLACK_MS`, default 1500 — the slack absorbs
+//!   promotion + resume wall time on loaded runners; the detection
+//!   ticks themselves are exact and additionally gated per case).
+
+use synchrel_obs::json::{array_of, ObjectWriter};
+use synchrel_serve::nemesis::{run_nemesis_seeds, NemesisScenario, NemesisStats, NemesisSweep};
+
+use crate::table::Table;
+
+/// Environment knob resizing the sweep (`repro -- nemesis`).
+pub const CASES_ENV: &str = "SYNCHREL_NEMESIS_CASES";
+
+/// Environment knob for the wall-clock slack (ms) added to the
+/// lease-derived latency bound on constrained runners.
+pub const SLACK_ENV: &str = "SYNCHREL_NEMESIS_SLACK_MS";
+
+/// The follower's silent-poll interval: one lease tick is one 25 ms
+/// read-timeout expiry (`net.rs`), so a budget of B ticks bounds
+/// detection at `B × 25` ms.
+pub const LEASE_POLL_MS: u64 = 25;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Sweep size: [`CASES_ENV`] when set, otherwise 120 (the acceptance
+/// floor is 100).
+pub fn cases() -> u64 {
+    env_u64(CASES_ENV, 120)
+}
+
+/// Latency slack in ms: [`SLACK_ENV`] when set, otherwise 1500.
+pub fn slack_ms() -> u64 {
+    env_u64(SLACK_ENV, 1500)
+}
+
+/// One kill-primary schedule's detect→promote→resume accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct KillRow {
+    /// Lease budget the detector drew (ticks).
+    pub lease_budget: u64,
+    /// Silent ticks spent before detection (== budget: the lease is
+    /// spent in full, there is no early tell).
+    pub detect_ticks: u64,
+    /// Wall-clock microseconds the promotion took.
+    pub promote_micros: u64,
+    /// Wall-clock microseconds to the first post-promotion response.
+    pub resume_micros: u64,
+}
+
+impl KillRow {
+    /// Detect→promote→resume latency in ms: exact detection ticks at
+    /// the poll interval, plus measured promotion + resume wall time.
+    pub fn latency_ms(&self) -> f64 {
+        (self.detect_ticks * LEASE_POLL_MS) as f64
+            + (self.promote_micros + self.resume_micros) as f64 / 1000.0
+    }
+
+    /// The lease-derived bound this schedule must meet.
+    pub fn bound_ms(&self, slack: u64) -> f64 {
+        (self.lease_budget * LEASE_POLL_MS + slack) as f64
+    }
+
+    fn to_json(self, slack: u64) -> String {
+        ObjectWriter::new()
+            .u64_field("lease_budget", self.lease_budget)
+            .u64_field("detect_ticks", self.detect_ticks)
+            .u64_field("promote_micros", self.promote_micros)
+            .u64_field("resume_micros", self.resume_micros)
+            .f64_field("latency_ms", self.latency_ms())
+            .f64_field("bound_ms", self.bound_ms(slack))
+            .finish()
+    }
+}
+
+/// What one nemesis sweep measures.
+#[derive(Clone, Debug)]
+pub struct NemesisMeasurement {
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Cases requested.
+    pub cases: u64,
+    /// Aggregates (populated through the last clean case on failure).
+    pub stats: NemesisStats,
+    /// One row per non-skipped kill-primary schedule.
+    pub kill_rows: Vec<KillRow>,
+    /// `None` when every case reconverged; otherwise the repro seed
+    /// and detail of the first divergence.
+    pub divergence: Option<(u64, String)>,
+}
+
+impl NemesisMeasurement {
+    /// p99 (nearest-rank) of `latency/bound` across kill schedules.
+    pub fn p99_ratio(&self, slack: u64) -> f64 {
+        let mut ratios: Vec<f64> = self
+            .kill_rows
+            .iter()
+            .map(|r| r.latency_ms() / r.bound_ms(slack).max(1e-9))
+            .collect();
+        if ratios.is_empty() {
+            return f64::INFINITY;
+        }
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((ratios.len() as f64 * 0.99).ceil() as usize).clamp(1, ratios.len());
+        ratios[rank - 1]
+    }
+
+    /// Did the sweep exercise every fault family it claims to gate?
+    pub fn coverage_ok(&self) -> bool {
+        let f = self.stats.faults;
+        self.stats.transport_cases > 0
+            && self.stats.partition_cases > 0
+            && self.stats.kill_cases > 0
+            && f.dropped > 0
+            && f.duplicated > 0
+            && f.delayed > 0
+            && f.split > 0
+            && self.stats.decayed_checks > 0
+            && self.stats.promotions > 0
+    }
+
+    /// Every kill-primary schedule inside its lease-derived bound.
+    pub fn latency_ok(&self, slack: u64) -> bool {
+        !self.kill_rows.is_empty() && self.p99_ratio(slack) <= 1.0
+    }
+
+    /// The CI gate: zero divergences, full fault coverage, bounded
+    /// unattended failover, at the acceptance sweep size.
+    pub fn ok(&self, slack: u64) -> bool {
+        self.divergence.is_none()
+            && self.stats.cases == self.cases
+            && self.cases >= 100
+            && self.coverage_ok()
+            && self.latency_ok(slack)
+    }
+}
+
+/// Run the sweep and collect the kill-schedule latency rows.
+pub fn measure(seed: u64, cases: u64) -> NemesisMeasurement {
+    match run_nemesis_seeds(seed, cases) {
+        Ok(NemesisSweep { stats, outcomes }) => NemesisMeasurement {
+            seed,
+            cases,
+            stats,
+            kill_rows: outcomes
+                .iter()
+                .filter(|o| o.scenario == NemesisScenario::KillPrimary && !o.skipped)
+                .map(|o| KillRow {
+                    lease_budget: o.lease_budget,
+                    detect_ticks: o.detect_ticks,
+                    promote_micros: o.promote_micros,
+                    resume_micros: o.resume_micros,
+                })
+                .collect(),
+            divergence: None,
+        },
+        Err(m) => NemesisMeasurement {
+            seed,
+            cases,
+            stats: NemesisStats::default(),
+            kill_rows: Vec::new(),
+            divergence: Some((m.seed, m.detail)),
+        },
+    }
+}
+
+/// Render the `BENCH_nemesis.json` document.
+pub fn report_json(m: &NemesisMeasurement, slack: u64) -> String {
+    let s = m.stats;
+    let f = s.faults;
+    let mut w = ObjectWriter::new();
+    w.str_field("schema", "synchrel/BENCH_nemesis/v1")
+        .str_field("git_rev", &super::git_rev())
+        .bool_field("dirty", super::git_dirty())
+        .u64_field("base_seed", m.seed)
+        .u64_field("cases", m.cases)
+        .u64_field("skipped", s.skipped)
+        .u64_field("commands", s.commands)
+        .u64_field("transport_cases", s.transport_cases)
+        .u64_field("partition_cases", s.partition_cases)
+        .u64_field("kill_cases", s.kill_cases)
+        .u64_field("faults_dropped", f.dropped)
+        .u64_field("faults_duplicated", f.duplicated)
+        .u64_field("faults_delayed", f.delayed)
+        .u64_field("faults_split", f.split)
+        .u64_field("faults_resets", f.resets)
+        .u64_field("faults_severed", f.severed)
+        .u64_field("crashes_composed", s.crashes)
+        .u64_field("decayed_checks", s.decayed_checks)
+        .u64_field("buffered_peak", s.buffered_peak)
+        .u64_field("stalled_retries", s.stalled_retries)
+        .u64_field("promotions", s.promotions)
+        .u64_field("detect_ticks", s.detect_ticks)
+        .u64_field("lease_budget_max", s.lease_budget_max)
+        .u64_field("lease_poll_ms", LEASE_POLL_MS)
+        .u64_field("slack_ms", slack)
+        .raw_field(
+            "kill_rows",
+            &array_of(m.kill_rows.iter().map(|r| r.to_json(slack))),
+        )
+        .f64_field("p99_latency_ratio", m.p99_ratio(slack))
+        .bool_field("zero_divergences", m.divergence.is_none())
+        .bool_field("coverage_ok", m.coverage_ok())
+        .bool_field("latency_ok", m.latency_ok(slack))
+        .bool_field("nemesis_ok", m.ok(slack));
+    if let Some((seed, detail)) = &m.divergence {
+        w.u64_field("divergence_seed", *seed)
+            .str_field("divergence_detail", detail);
+    }
+    w.finish()
+}
+
+/// Measure, render the report table, and (when `json_path` is given)
+/// write the JSON document.
+pub fn run_to(seed: u64, json_path: Option<&str>, cases: u64) -> String {
+    let m = measure(seed, cases);
+    let slack = slack_ms();
+    let s = m.stats;
+
+    let mut t = Table::new(["scenario", "cases", "coverage"]);
+    t.row([
+        "transport".to_string(),
+        s.transport_cases.to_string(),
+        format!(
+            "{} dropped, {} duplicated, {} delayed, {} split, {} resets, {} severed; \
+             {} crashes composed",
+            s.faults.dropped,
+            s.faults.duplicated,
+            s.faults.delayed,
+            s.faults.split,
+            s.faults.resets,
+            s.faults.severed,
+            s.crashes
+        ),
+    ]);
+    t.row([
+        "partition".to_string(),
+        s.partition_cases.to_string(),
+        format!(
+            "{} checks decayed to Unknown, {} buffered peak, {} stalled retries",
+            s.decayed_checks, s.buffered_peak, s.stalled_retries
+        ),
+    ]);
+    t.row([
+        "kill-primary".to_string(),
+        s.kill_cases.to_string(),
+        format!(
+            "{} lease-driven promotions, {} detect ticks, max budget {}",
+            s.promotions, s.detect_ticks, s.lease_budget_max
+        ),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\n{} cases ({} skipped), p99 detect->promote->resume at {:.3} of the \
+         lease bound ({} ms/tick + {} ms slack): {}\n",
+        s.cases,
+        s.skipped,
+        m.p99_ratio(slack),
+        LEASE_POLL_MS,
+        slack,
+        if m.ok(slack) { "PASS" } else { "FAIL" }
+    ));
+    if let Some((seed, detail)) = &m.divergence {
+        out.push_str(&format!(
+            "DIVERGENCE at seed {seed:#x}: {detail}\n\
+             reproduce: synchrel nemesis --case {seed:#x}\n"
+        ));
+    }
+    if let Some(path) = json_path {
+        match std::fs::write(path, report_json(&m, slack)) {
+            Ok(()) => out.push_str(&format!("wrote {path}\n")),
+            Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+        }
+    }
+    out
+}
+
+/// Default entry point: the acceptance-sized sweep, written to
+/// `BENCH_nemesis.json` at the repository root.
+pub fn run(seed: u64) -> String {
+    run_to(
+        seed,
+        Some(
+            super::bench_artifact("BENCH_nemesis.json")
+                .to_str()
+                .unwrap(),
+        ),
+        cases(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchrel_obs::json::is_valid;
+
+    #[test]
+    fn small_sweep_converges_with_coverage() {
+        let m = measure(0x4E0D5EED, 24);
+        assert!(m.divergence.is_none(), "{:?}", m.divergence);
+        assert!(m.coverage_ok(), "thin coverage: {:?}", m.stats);
+        assert!(!m.kill_rows.is_empty());
+        for r in &m.kill_rows {
+            assert_eq!(r.detect_ticks, r.lease_budget);
+            assert!(r.latency_ms() <= r.bound_ms(1500));
+        }
+        // 24 < 100: the acceptance gate must refuse a thin sweep even
+        // when everything inside it passed.
+        assert!(m.latency_ok(1500));
+        assert!(!m.ok(1500));
+    }
+
+    #[test]
+    fn report_is_valid_json() {
+        let m = measure(0x4E0D5EED, 12);
+        let json = report_json(&m, 1500);
+        assert!(json.starts_with("{\"schema\":\"synchrel/BENCH_nemesis/v1\""));
+        assert!(json.contains("\"zero_divergences\":true"), "{json}");
+        assert!(is_valid(&json), "{json}");
+        // Zero slack makes the bound equal the exact detection time;
+        // promotion + resume wall time must then push past it.
+        let strict = report_json(&m, 0);
+        assert!(strict.contains("\"latency_ok\":false"), "{strict}");
+        assert!(strict.contains("\"nemesis_ok\":false"), "{strict}");
+    }
+}

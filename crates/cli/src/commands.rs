@@ -12,11 +12,12 @@ use synchrel_monitor::predicate::{possibly_overlap, LocalInterval};
 use synchrel_monitor::{Checker, Spec};
 use synchrel_obs::{MetricsRegistry, SpanLog};
 use synchrel_serve::{
-    case_commands, duplex, run_chaos_case, run_chaos_seeds, run_failover_case, run_failover_seeds,
-    run_follower, run_shard_chaos_case, run_shard_chaos_seeds, ChaosMismatch, Client,
-    Command as ServeCommand, CrashPlan, CrashPoint, DirStorage, Follower, ListenAddr,
-    OverloadPolicy, Response as ServeResponse, Server, ServerConfig, Service, ServiceConfig,
-    Storage,
+    case_commands, duplex, run_chaos_case, run_chaos_case_with, run_chaos_seeds,
+    run_chaos_seeds_with, run_failover_case, run_failover_seeds, run_follower, run_nemesis_case,
+    run_nemesis_failover_case, run_nemesis_failover_seeds, run_nemesis_seeds, run_shard_chaos_case,
+    run_shard_chaos_seeds, ChaosMismatch, Client, Command as ServeCommand, CrashPlan, CrashPoint,
+    DirStorage, Follower, ListenAddr, NemesisFactory, OverloadPolicy, Response as ServeResponse,
+    Server, ServerConfig, Service, ServiceConfig, Storage,
 };
 use synchrel_sim::format::TraceFile;
 use synchrel_sim::workload;
@@ -98,7 +99,7 @@ commands:
                          recover a server from <dir> (snapshot + WAL
                          replay, torn tails truncated) and print the
                          recovery report with all watch verdicts
-  chaos [--seed S] [--cases N] [--case C] [--shards K]
+  chaos [--seed S] [--cases N] [--case C] [--shards K] [--nemesis-seed NS]
                          seeded kill/restart sweep: each case drives
                          the same command stream through a crash-free
                          and a crash-riddled server; any verdict or
@@ -108,14 +109,31 @@ commands:
                          ShardedServer instead: a seed-chosen shard
                          crashes each time, all shards recover from
                          their own WAL segments, and verdicts must
-                         match the unsharded server byte for byte
-  failover [--seed S] [--cases N] [--case C]
+                         match the unsharded server byte for byte.
+                         --nemesis-seed additionally runs the whole
+                         sweep over a NemesisTransport-wrapped wire
+                         (drops, delays, duplicates, partial writes,
+                         resets, partitions)
+  failover [--seed S] [--cases N] [--case C] [--nemesis-seed NS]
                          seeded kill-the-primary sweep: replicate each
                          case to a follower, kill the primary at a
                          seed-chosen LSN, promote, resume the client,
                          and demand verdicts identical to an
                          uninterrupted run (exit 1 on divergence).
-                         --case replays one exact case seed
+                         --case replays one exact case seed.
+                         --nemesis-seed runs the kill under an active
+                         network nemesis, with a seeded-jitter lease
+                         clock — not the harness — detecting the death
+  nemesis [--seed S] [--cases N] [--case C]
+                         seeded network-nemesis sweep: each case seed
+                         draws a scenario — wire faults under the chaos
+                         workload, a sharded run with one shard cut and
+                         healed (verdicts may only degrade to Unknown,
+                         never flip), or a kill-the-primary with
+                         lease-driven self-promotion — and must
+                         reconverge byte-identically to its fault-free
+                         reference (exit 1 on divergence). --case
+                         replays one exact case seed
   relations              list the eight relations and their conditions
 ";
 
@@ -141,6 +159,7 @@ pub fn dispatch(argv: &[String]) -> Result<ExitCode, AnyError> {
         "replay" => replay(&rest),
         "chaos" => chaos(&rest),
         "failover" => failover(&rest),
+        "nemesis" => nemesis(&rest),
         "relations" => {
             relations_table();
             Ok(ExitCode::SUCCESS)
@@ -876,8 +895,21 @@ fn replay(a: &Args) -> Result<ExitCode, AnyError> {
 
 fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
     let shards: usize = a.num("shards", 0)?;
+    let nemesis_seed = match a.opt("nemesis-seed") {
+        Some(v) => Some(parse_seed("nemesis-seed", v)?),
+        None => None,
+    };
+    if shards > 0 && nemesis_seed.is_some() {
+        return Err(Box::new(ArgError::Unknown(
+            "--nemesis-seed composes with the unsharded sweep; \
+             shard partitions live in `synchrel nemesis`"
+                .into(),
+        )));
+    }
     let tier = if shards > 0 {
         format!("{shards}-shard ")
+    } else if let Some(ns) = nemesis_seed {
+        format!("nemesis({ns:#x}) ")
     } else {
         String::new()
     };
@@ -885,6 +917,8 @@ fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
         let seed = parse_seed("case", v)?;
         let run = if shards > 0 {
             run_shard_chaos_case(seed, shards)
+        } else if let Some(ns) = nemesis_seed {
+            run_chaos_case_with(seed, &mut NemesisFactory::duplex(ns))
         } else {
             run_chaos_case(seed)
         };
@@ -918,6 +952,8 @@ fn chaos(a: &Args) -> Result<ExitCode, AnyError> {
     let cases: u64 = a.num("cases", 200)?;
     let run = if shards > 0 {
         run_shard_chaos_seeds(seed, cases, shards)
+    } else if let Some(ns) = nemesis_seed {
+        run_chaos_seeds_with(seed, cases, &mut NemesisFactory::duplex(ns))
     } else {
         run_chaos_seeds(seed, cases)
     };
@@ -951,8 +987,41 @@ fn report_chaos_mismatch(m: &ChaosMismatch, shards: usize) {
 }
 
 fn failover(a: &Args) -> Result<ExitCode, AnyError> {
+    let nemesis_seed = match a.opt("nemesis-seed") {
+        Some(v) => Some(parse_seed("nemesis-seed", v)?),
+        None => None,
+    };
     if let Some(v) = a.opt("case") {
         let seed = parse_seed("case", v)?;
+        if let Some(ns) = nemesis_seed {
+            return Ok(match run_nemesis_failover_case(seed, ns) {
+                Ok(o) => {
+                    println!(
+                        "nemesis failover case {seed:#x}: OK ({} commands, kill at LSN {}, \
+                         lag {}, lease budget {} detected in {} ticks, promoted in {}us, \
+                         resumed in {}us, {} wire faults{})",
+                        o.base.commands,
+                        o.base.kill_lsn,
+                        o.base.lag_at_kill,
+                        o.lease_budget,
+                        o.detect_ticks,
+                        o.promote_micros,
+                        o.resume_micros,
+                        o.faults.total(),
+                        if o.base.skipped {
+                            "; degenerate, skipped"
+                        } else {
+                            ""
+                        }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(m) => {
+                    report_failover_mismatch(&m);
+                    ExitCode::from(1)
+                }
+            });
+        }
         return Ok(match run_failover_case(seed) {
             Ok(o) => {
                 println!(
@@ -982,6 +1051,32 @@ fn failover(a: &Args) -> Result<ExitCode, AnyError> {
         None => 0xFA11_BACC,
     };
     let cases: u64 = a.num("cases", 200)?;
+    if let Some(ns) = nemesis_seed {
+        return Ok(match run_nemesis_failover_seeds(seed, ns, cases) {
+            Ok(st) => {
+                println!(
+                    "nemesis failover OK: {} cases ({} skipped), {} lease-driven promotions \
+                     ({} with real lag, max lag {}), {} detection ticks (max lease budget {}), \
+                     {} wire faults injected, {} commands driven, zero divergences \
+                     [base seed {seed:#x}, nemesis seed {ns:#x}]",
+                    st.base.cases,
+                    st.base.skipped,
+                    st.base.promotions,
+                    st.base.lagged_promotions,
+                    st.base.lag_max,
+                    st.detect_ticks,
+                    st.lease_budget_max,
+                    st.faults.total(),
+                    st.base.commands,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(m) => {
+                report_failover_mismatch(&m);
+                ExitCode::from(1)
+            }
+        });
+    }
     match run_failover_seeds(seed, cases) {
         Ok(st) => {
             println!(
@@ -1011,6 +1106,89 @@ fn report_failover_mismatch(m: &synchrel_serve::failover::FailoverMismatch) {
     println!("  seed:    {:#x}", m.seed);
     println!("  detail:  {}", m.detail);
     println!("reproduce: synchrel failover --case {:#x}", m.seed);
+}
+
+fn nemesis(a: &Args) -> Result<ExitCode, AnyError> {
+    if let Some(v) = a.opt("case") {
+        let seed = parse_seed("case", v)?;
+        return Ok(match run_nemesis_case(seed) {
+            Ok(o) => {
+                println!(
+                    "nemesis case {seed:#x}: OK ({:?}, {} commands, {} wire faults, \
+                     {} crashes, {} decayed checks, {} buffered peak, {} stalls, \
+                     {} detect ticks / {} lease budget{})",
+                    o.scenario,
+                    o.commands,
+                    o.faults.total(),
+                    o.crashes,
+                    o.decayed_checks,
+                    o.buffered_peak,
+                    o.stalled_retries,
+                    o.detect_ticks,
+                    o.lease_budget,
+                    if o.skipped {
+                        "; degenerate, skipped"
+                    } else {
+                        ""
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(m) => {
+                report_nemesis_mismatch(&m);
+                ExitCode::from(1)
+            }
+        });
+    }
+    let seed = match a.opt("seed") {
+        Some(v) => parse_seed("seed", v)?,
+        None => 0x4E0D_5EED,
+    };
+    let cases: u64 = a.num("cases", 120)?;
+    match run_nemesis_seeds(seed, cases) {
+        Ok(sweep) => {
+            let s = sweep.stats;
+            let f = s.faults;
+            println!(
+                "nemesis OK: {} cases ({} skipped) — {} transport / {} partition / {} \
+                 kill-primary — faults: {} dropped, {} duplicated, {} delayed, {} split, \
+                 {} resets, {} severed; {} crashes composed; {} checks decayed to Unknown, \
+                 {} buffered peak, {} stalls; {} lease-driven promotions in {} ticks \
+                 (max budget {}); zero divergences [base seed {seed:#x}]",
+                s.cases,
+                s.skipped,
+                s.transport_cases,
+                s.partition_cases,
+                s.kill_cases,
+                f.dropped,
+                f.duplicated,
+                f.delayed,
+                f.split,
+                f.resets,
+                f.severed,
+                s.crashes,
+                s.decayed_checks,
+                s.buffered_peak,
+                s.stalled_retries,
+                s.promotions,
+                s.detect_ticks,
+                s.lease_budget_max,
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(m) => {
+            report_nemesis_mismatch(&m);
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+/// Print a nemesis divergence with its repro command.
+fn report_nemesis_mismatch(m: &synchrel_serve::NemesisMismatch) {
+    println!("nemesis DIVERGENCE:");
+    println!("  seed:    {:#x}", m.seed);
+    println!("  detail:  {}", m.detail);
+    println!("reproduce: synchrel nemesis --case {:#x}", m.seed);
 }
 
 fn relations_table() {

@@ -175,11 +175,26 @@ pub struct TransferOp {
 /// Apply the ops ([`OnlineMonitor::learn_send`]) and call again; an
 /// empty round is the fixpoint.
 pub fn transfer_round(shards: &[&OnlineMonitor]) -> Vec<TransferOp> {
+    transfer_round_masked(shards, &vec![true; shards.len()])
+}
+
+/// [`transfer_round`] under a reachability mask: a shard marked
+/// unreachable (network-partitioned from the facade) neither receives
+/// transfers nor serves as a clock source this round. Deferring, not
+/// dropping — when the partition heals the ordinary fixpoint re-runs
+/// over the full shard set and ships everything that was masked, which
+/// is what makes post-heal state independent of when the partition
+/// held.
+pub fn transfer_round_masked(shards: &[&OnlineMonitor], reachable: &[bool]) -> Vec<TransferOp> {
+    assert_eq!(shards.len(), reachable.len(), "one mask bit per shard");
     let mut ops = Vec::new();
     for (dst, shard) in shards.iter().enumerate() {
+        if !reachable[dst] {
+            continue;
+        }
         for msg in shard.blocked_recv_msgs() {
             for (src, other) in shards.iter().enumerate() {
-                if src == dst {
+                if src == dst || !reachable[src] {
                     continue;
                 }
                 if let Some(clock) = other.wire_send_clock(msg) {

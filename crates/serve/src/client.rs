@@ -19,12 +19,14 @@
 //! [`Client::waited_virtual`] instead of sleeping, which keeps the
 //! chaos harness deterministic and fast.
 
+use std::time::Duration;
+
 use synchrel_sim::Backoff;
 
 use crate::proto::{
     decode_frame, decode_response, make_req, request_frame, Command, Response, KIND_RESPONSE,
 };
-use crate::transport::Transport;
+use crate::transport::{connect, Conn, ListenAddr, StreamTransport, Transport};
 
 /// What a [`Client::call`] attempt may end in.
 #[derive(Debug)]
@@ -276,6 +278,165 @@ impl<T: Transport> Client<T> {
     }
 }
 
+/// A client that survives primary death on its own: it holds an
+/// **endpoint list** and rotates through it whenever the active
+/// connection stops answering, pacing reconnect attempts with the same
+/// seeded equal-jitter [`Backoff`] the per-request retry loop uses.
+/// The request-id sequence and retry counters are carried across every
+/// reconnect ([`Client::resuming_with`] semantics), so a failover can
+/// never replay a consumed id — the server treats `seq >= watermark`
+/// as fresh work even when the promoted follower's watermark trails —
+/// and never silently zeroes the accounting an operator is watching.
+///
+/// Unlike the lockstep [`Client`], this type owns real socket
+/// connections, so its reconnect backoff sleeps wall-clock milliseconds
+/// (capped) in addition to accumulating virtual ticks.
+pub struct FailoverClient {
+    endpoints: Vec<ListenAddr>,
+    active: usize,
+    read_timeout: Duration,
+    seed: u64,
+    client_id: u16,
+    next_seq: u64,
+    stats: ClientStats,
+    max_attempts: u32,
+    rounds: u32,
+    failovers: u64,
+    inner: Option<Client<StreamTransport<Conn>>>,
+}
+
+impl FailoverClient {
+    /// A failover client for `endpoints` (tried in order, wrapping).
+    pub fn new(endpoints: Vec<ListenAddr>, seed: u64, client_id: u16) -> FailoverClient {
+        assert!(!endpoints.is_empty(), "need at least one endpoint");
+        FailoverClient {
+            endpoints,
+            active: 0,
+            read_timeout: Duration::from_millis(10),
+            seed,
+            client_id,
+            next_seq: 0,
+            stats: ClientStats::default(),
+            max_attempts: 64,
+            rounds: 8,
+            failovers: 0,
+            inner: None,
+        }
+    }
+
+    /// Per-connection retry budget before rotating to the next
+    /// endpoint.
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        self.max_attempts = attempts;
+        if let Some(c) = self.inner.as_mut() {
+            c.set_max_attempts(attempts);
+        }
+    }
+
+    /// Full passes over the endpoint list before one call gives up.
+    pub fn set_rounds(&mut self, rounds: u32) {
+        self.rounds = rounds;
+    }
+
+    /// Per-connection socket read timeout.
+    pub fn set_read_timeout(&mut self, timeout: Duration) {
+        self.read_timeout = timeout;
+    }
+
+    /// Endpoint rotations so far (how often the client gave up on a
+    /// connection and moved to the next endpoint).
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The endpoint the client currently favours.
+    pub fn active_endpoint(&self) -> &ListenAddr {
+        &self.endpoints[self.active]
+    }
+
+    /// Next request id to be issued (sequence part) — survives every
+    /// failover.
+    pub fn next_req(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Retry accounting, accumulated across all connections.
+    pub fn counters(&self) -> ClientStats {
+        self.stats
+    }
+
+    fn rotate(&mut self) {
+        self.inner = None;
+        self.active = (self.active + 1) % self.endpoints.len();
+        self.failovers += 1;
+    }
+
+    /// Dial the active endpoint, walking the list until one accepts.
+    /// Returns false when every endpoint refused this pass.
+    fn connect_active(&mut self) -> bool {
+        for _ in 0..self.endpoints.len() {
+            match connect(&self.endpoints[self.active], Some(self.read_timeout)) {
+                Ok(wire) => {
+                    let mut c = Client::with_id(
+                        wire,
+                        self.seed ^ self.failovers.rotate_left(17),
+                        self.client_id,
+                    );
+                    c.next_seq = self.next_seq;
+                    c.retries = self.stats.retries;
+                    c.busy_retries = self.stats.busy_retries;
+                    c.waited = self.stats.waited_virtual;
+                    c.set_max_attempts(self.max_attempts);
+                    self.inner = Some(c);
+                    return true;
+                }
+                Err(_) => self.rotate(),
+            }
+        }
+        false
+    }
+
+    /// Issue `cmd`, failing over between endpoints until a response
+    /// arrives or the round budget is spent.
+    pub fn call(&mut self, cmd: &Command) -> Result<Response, ClientError> {
+        let budget = self.rounds.max(1) * self.endpoints.len() as u32;
+        let mut backoff = Backoff::new(self.seed ^ 0xFA11, 1, 64);
+        let mut last = ClientError::Exhausted {
+            req: make_req(self.client_id, self.next_seq),
+            attempts: 0,
+        };
+        for _ in 0..budget.max(1) {
+            if self.inner.is_none() && !self.connect_active() {
+                // Every endpoint refused (a standby may still be
+                // promoting): pause before the next pass.
+                let d = backoff.next_delay();
+                self.stats.waited_virtual += d;
+                std::thread::sleep(Duration::from_millis(d.min(50)));
+                continue;
+            }
+            let Some(client) = self.inner.as_mut() else {
+                continue;
+            };
+            match client.call(cmd, || {}) {
+                Ok(resp) => {
+                    self.next_seq = client.next_seq;
+                    self.stats = client.counters();
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.stats = client.counters();
+                    last = e;
+                    self.rotate();
+                    let d = backoff.next_delay();
+                    self.stats.waited_virtual += d;
+                    std::thread::sleep(Duration::from_millis(d.min(50)));
+                }
+            }
+        }
+        Err(last)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +477,50 @@ mod tests {
             Client::resuming(c3, 10, 1).counters(),
             ClientStats::default()
         );
+    }
+
+    #[test]
+    fn failover_client_rotates_endpoints_and_keeps_its_sequence() {
+        use crate::net::{Service, ServiceConfig};
+        use crate::server::{Server, ServerConfig};
+        use crate::storage::SyncMemStorage;
+        use synchrel_monitor::online::WireEvent;
+
+        let mk = || Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        let bind = || ListenAddr::Tcp("127.0.0.1:0".into());
+        let a = Service::start(&bind(), mk(), ServiceConfig::default()).unwrap();
+        let b = Service::start(&bind(), mk(), ServiceConfig::default()).unwrap();
+        let ingest = |i| Command::Ingest {
+            process: 0,
+            seq: i,
+            event: WireEvent::Internal,
+            labels: vec![],
+        };
+
+        let mut client = FailoverClient::new(
+            vec![a.local_addr().clone(), b.local_addr().clone()],
+            0xFA11,
+            3,
+        );
+        client.set_max_attempts(16);
+        for i in 0..5u64 {
+            assert_eq!(client.call(&ingest(i)).unwrap(), Response::Ack);
+        }
+        assert_eq!(client.next_req(), 5);
+        assert_eq!(client.failovers(), 0);
+
+        // The primary dies. Nothing tells the client: its retries go
+        // silent, it rotates to b, and the id sequence continues — b
+        // treats the mid-stream seq 5 as fresh work, not a replay.
+        drop(a.stop());
+        for i in 5..8u64 {
+            assert_eq!(client.call(&ingest(i)).unwrap(), Response::Ack);
+        }
+        assert!(client.failovers() >= 1);
+        assert_eq!(client.next_req(), 8);
+
+        let survivor = b.stop();
+        assert_eq!(survivor.next_req_for(3), 8);
+        assert_eq!(survivor.stats().wal_appends, 3);
     }
 }

@@ -22,15 +22,18 @@
 //! allowed to be anything the seed produces; a changed answer is not.
 //! Any mismatch reports the one `u64` seed that reproduces it.
 
-use synchrel_sim::fault::mix;
+use std::sync::Arc;
+use std::time::Instant;
+
+use synchrel_sim::fault::{mix, NemesisPlan};
 
 use crate::chaos::{case_commands, case_config, drive, normalize, CaseCommands, SALT_CLIENT};
 use crate::client::{Client, ClientError, Pump};
 use crate::proto::{duplex, Response};
-use crate::replica::{pump_replication, Follower};
+use crate::replica::{pump_replication, Follower, LeaseClock};
 use crate::server::Server;
 use crate::storage::MemStorage;
-use crate::transport::DuplexFactory;
+use crate::transport::{DuplexFactory, NemesisCounts, NemesisSink, NemesisTransport};
 
 pub use crate::chaos::ChaosMismatch as FailoverMismatch;
 
@@ -252,6 +255,265 @@ pub fn run_failover_seeds(base_seed: u64, cases: u64) -> Result<FailoverStats, F
     Ok(stats)
 }
 
+const SALT_NLEASE: u64 = 0xF1EA;
+
+/// Coverage of one kill-the-primary case run under network nemesis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NemesisFailoverOutcome {
+    /// The plain failover coverage (kill point, lag, replayed suffix).
+    pub base: FailoverOutcome,
+    /// Lease budget (ticks) drawn for the failure detector.
+    pub lease_budget: u64,
+    /// Silent poll ticks spent before the lease declared the primary
+    /// dead — by construction the detector's honest latency.
+    pub detect_ticks: u64,
+    /// Wall-clock microseconds [`Follower::promote`] took.
+    pub promote_micros: u64,
+    /// Wall-clock microseconds from promotion to the first response the
+    /// resumed client got out of the new primary.
+    pub resume_micros: u64,
+    /// Network faults injected across the client links.
+    pub faults: NemesisCounts,
+}
+
+/// [`run_failover_case`], with the client↔primary link (and the
+/// post-promotion takeover link) running under the seeded nemesis and
+/// the kill detected by a seeded-jitter [`LeaseClock`] instead of the
+/// harness: the case only passes if, despite drops, delays, duplicates,
+/// partial writes, and resets on the wire, the lease-driven
+/// detect→promote→resume path reconverges on byte-identical probe
+/// responses — and detection never overspends the lease budget.
+pub fn run_nemesis_failover_case(
+    seed: u64,
+    nemesis_seed: u64,
+) -> Result<NemesisFailoverOutcome, FailoverMismatch> {
+    let Some(CaseCommands {
+        cmds,
+        probes,
+        processes,
+    }) = case_commands(seed)?
+    else {
+        return Ok(NemesisFailoverOutcome {
+            base: FailoverOutcome {
+                skipped: true,
+                ..FailoverOutcome::default()
+            },
+            ..NemesisFailoverOutcome::default()
+        });
+    };
+
+    let cfg = case_config(seed, processes);
+    let reference = drive(seed, &cfg, &cmds, &probes, 0, &mut DuplexFactory)
+        .map_err(|e| fail(seed, format!("reference run failed: {e}")))?;
+
+    let wal_appends = reference.server_stats.wal_appends.max(1);
+    let kill_lsn = 1 + mix(seed, SALT_KILL, 0) % wal_appends;
+    let repl_cap = 1 + (mix(seed, SALT_RCAP, 0) % 64) as usize;
+    let pump_every = 1 + mix(seed, SALT_PUMP, 0) % 5;
+    let pump_max = 1 + (mix(seed, SALT_PUMP, 1) % 8) as usize;
+
+    let plan = NemesisPlan::from_seed(nemesis_seed);
+    let sink = Arc::new(NemesisSink::default());
+    // Client→primary is direction 0, primary→client direction 1; the
+    // takeover link after promotion gets directions 2/3 of the same
+    // plan, so the resumed suffix is not a fault-free free ride.
+    let (client_end, server_end) = duplex();
+    let client_end = NemesisTransport::with_sink(client_end, plan.clone(), 0, Arc::clone(&sink));
+    let mut server_end =
+        NemesisTransport::with_sink(server_end, plan.clone(), 1, Arc::clone(&sink));
+
+    let mut primary = Server::recover(MemStorage::new(), cfg.clone())
+        .map_err(|e| fail(seed, format!("primary bring-up failed: {e}")))?;
+    primary.enable_replication(repl_cap);
+    let mut follower = Some(
+        Follower::open(MemStorage::new(), cfg.clone())
+            .map_err(|e| fail(seed, format!("follower bring-up failed: {e}")))?,
+    );
+    let mut client = Client::new(client_end, mix(seed, SALT_CLIENT, 1));
+    // Drops and partition windows can eat whole backoff ladders.
+    client.set_max_attempts(4096);
+
+    let mut outcome = NemesisFailoverOutcome {
+        base: FailoverOutcome {
+            commands: (cmds.len() + probes.len()) as u64,
+            kill_lsn,
+            ..FailoverOutcome::default()
+        },
+        ..NemesisFailoverOutcome::default()
+    };
+    let mut promoted = false;
+    let mut ticks = 0u64;
+    let mut probe_responses = Vec::with_capacity(probes.len());
+    let mut i = 0usize;
+    let total = cmds.len() + probes.len();
+    let mut resume_clock: Option<Instant> = None;
+    while i < total {
+        let cmd = if i < cmds.len() {
+            &cmds[i]
+        } else {
+            &probes[i - cmds.len()]
+        };
+        let attempt = client.call_ctl(cmd, || {
+            if !promoted && primary.last_lsn() >= kill_lsn {
+                return Pump::Abort; // the kill strikes here
+            }
+            primary.pump(&mut server_end, 0);
+            if !promoted {
+                ticks += 1;
+                if ticks.is_multiple_of(pump_every) {
+                    if let Some(f) = follower.as_mut() {
+                        let _ = pump_replication(&mut primary, f, pump_max);
+                    }
+                }
+                if primary.last_lsn() >= kill_lsn {
+                    return Pump::Abort;
+                }
+            }
+            Pump::Continue
+        });
+        match attempt {
+            Ok(resp) => {
+                if let Some(t0) = resume_clock.take() {
+                    outcome.resume_micros = t0.elapsed().as_micros() as u64;
+                }
+                if i < cmds.len() {
+                    match resp {
+                        Response::Error(e) => {
+                            return Err(fail(seed, format!("server refused {cmd:?}: {e}")))
+                        }
+                        Response::Busy | Response::Shed => {
+                            return Err(fail(seed, format!("unexpected overload on {cmd:?}")))
+                        }
+                        _ => {}
+                    }
+                } else {
+                    probe_responses.push(resp);
+                }
+                i += 1;
+            }
+            Err(ClientError::Aborted { .. }) if !promoted => {
+                // The primary went silent. Unlike the plain failover
+                // sweep, nobody tells the follower: its lease clock has
+                // to run dry first, and the ticks it spends are the
+                // detection latency we gate on.
+                let mut lease = LeaseClock::new(
+                    mix(seed, nemesis_seed, SALT_NLEASE),
+                    4 + mix(seed, SALT_NLEASE, 1) % 8,
+                    mix(seed, SALT_NLEASE, 2) % 8,
+                );
+                outcome.lease_budget = lease.budget();
+                loop {
+                    outcome.detect_ticks += 1;
+                    if lease.tick() {
+                        break;
+                    }
+                }
+                let f = follower.take().expect("follower present before the kill");
+                outcome.base.lag_at_kill = primary.last_lsn().saturating_sub(f.durable_lsn());
+                let promote_clock = Instant::now();
+                let new_primary = f
+                    .promote()
+                    .map_err(|e| fail(seed, format!("promotion failed: {e}")))?;
+                outcome.promote_micros = promote_clock.elapsed().as_micros() as u64;
+                let watermark = new_primary.next_req();
+                outcome.base.resumed_from = watermark;
+                outcome.base.replayed_suffix = (i as u64).saturating_sub(watermark);
+                primary = new_primary;
+                let (c, s) = duplex();
+                let c = NemesisTransport::with_sink(c, plan.clone(), 2, Arc::clone(&sink));
+                let s = NemesisTransport::with_sink(s, plan.clone(), 3, Arc::clone(&sink));
+                let carried = client.counters();
+                client = Client::resuming_with(c, mix(seed, SALT_CLIENT, 2), watermark, carried);
+                client.set_max_attempts(4096);
+                server_end = s;
+                i = watermark as usize;
+                promoted = true;
+                resume_clock = Some(Instant::now());
+            }
+            Err(e) => return Err(fail(seed, e.to_string())),
+        }
+    }
+    if !promoted {
+        return Err(fail(
+            seed,
+            format!("kill at LSN {kill_lsn} never fired (last_lsn ended early)"),
+        ));
+    }
+
+    for (idx, (want, got)) in reference.probes.iter().zip(&probe_responses).enumerate() {
+        let (want, got) = (normalize(want.clone()), normalize(got.clone()));
+        if want != got {
+            return Err(fail(
+                seed,
+                format!(
+                    "probe {idx} disagrees after lease-driven promotion at LSN {kill_lsn}: \
+                     reference {want:?}, promoted {got:?}",
+                ),
+            ));
+        }
+    }
+    if probe_responses.len() != reference.probes.len() {
+        return Err(fail(seed, "probe counts diverged between runs"));
+    }
+    if outcome.detect_ticks > outcome.lease_budget {
+        return Err(fail(
+            seed,
+            format!(
+                "detection overspent the lease: {} ticks against a budget of {}",
+                outcome.detect_ticks, outcome.lease_budget
+            ),
+        ));
+    }
+    // The transports still hold their counts; drop them so the sink
+    // sees every edge before we read the totals.
+    drop(client);
+    drop(server_end);
+    outcome.faults = sink.totals();
+    Ok(outcome)
+}
+
+/// Aggregate coverage of a nemesis failover sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NemesisFailoverStats {
+    /// The plain failover aggregates.
+    pub base: FailoverStats,
+    /// Total network faults injected across all cases.
+    pub faults: NemesisCounts,
+    /// Largest lease budget drawn by any case.
+    pub lease_budget_max: u64,
+    /// Total detection ticks spent across promotions.
+    pub detect_ticks: u64,
+}
+
+/// Run `cases` nemesis failover cases: case `i` pairs the execution
+/// seed `mix(base_seed, i, SALT_FCASE)` with the nemesis plan seed
+/// `mix(nemesis_seed, i, SALT_FCASE)`.
+pub fn run_nemesis_failover_seeds(
+    base_seed: u64,
+    nemesis_seed: u64,
+    cases: u64,
+) -> Result<NemesisFailoverStats, FailoverMismatch> {
+    let mut stats = NemesisFailoverStats::default();
+    for i in 0..cases {
+        let seed = mix(base_seed, i, SALT_FCASE);
+        let o = run_nemesis_failover_case(seed, mix(nemesis_seed, i, SALT_FCASE))?;
+        stats.base.cases += 1;
+        stats.base.commands += o.base.commands;
+        stats.base.skipped += u64::from(o.base.skipped);
+        if !o.base.skipped {
+            stats.base.promotions += 1;
+            stats.base.lag_total += o.base.lag_at_kill;
+            stats.base.lag_max = stats.base.lag_max.max(o.base.lag_at_kill);
+            stats.base.replayed_suffix += o.base.replayed_suffix;
+            stats.base.lagged_promotions += u64::from(o.base.lag_at_kill > 0);
+            stats.lease_budget_max = stats.lease_budget_max.max(o.lease_budget);
+            stats.detect_ticks += o.detect_ticks;
+        }
+        stats.faults.absorb(o.faults);
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +530,20 @@ mod tests {
             "every kill caught the follower fully caught up: {stats:?}"
         );
         assert!(stats.replayed_suffix > 0, "no command was ever re-issued");
+    }
+
+    #[test]
+    fn nemesis_failover_sweep_small_is_green() {
+        let stats = run_nemesis_failover_seeds(0xFA11BACC, 0x4E0D0001, 8)
+            .expect("nemesis failover sweep must agree");
+        assert_eq!(stats.base.cases, 8);
+        assert!(stats.base.promotions > 0, "no promotion ever happened");
+        assert!(
+            stats.faults.any(),
+            "the nemesis never injected a fault: {stats:?}"
+        );
+        assert!(stats.detect_ticks > 0, "lease detection never ticked");
+        assert!(stats.lease_budget_max >= 4);
     }
 
     #[test]

@@ -48,10 +48,17 @@
 //! * [`failover`] — the seeded kill-the-primary sweep: crash at a
 //!   chosen LSN, promote the follower, resume the client, and demand
 //!   byte-identical verdicts against an uninterrupted reference.
+//! * [`nemesis`] — the seeded network-nemesis sweep: wire faults
+//!   (drops, delays, duplicates, partial writes, resets, partitions)
+//!   injected via [`NemesisTransport`](transport::NemesisTransport),
+//!   sound `Unknown` degradation of a cut shard with byte-identical
+//!   post-heal reconvergence, and lease-driven (no harness trigger)
+//!   primary failure detection with self-promotion.
 
 pub mod chaos;
 pub mod client;
 pub mod failover;
+pub mod nemesis;
 pub mod net;
 pub mod proto;
 pub mod replica;
@@ -65,18 +72,28 @@ pub use chaos::{
     case_commands, run_chaos_case, run_chaos_case_with, run_chaos_seeds, run_chaos_seeds_with,
     CaseCommands, ChaosMismatch, ChaosOutcome, ChaosStats,
 };
-pub use client::{Client, ClientError, ClientStats, Pump};
-pub use failover::{run_failover_case, run_failover_seeds, FailoverOutcome, FailoverStats};
-pub use net::{run_follower, Service, ServiceConfig, ServiceStats, ShardedService};
+pub use client::{Client, ClientError, ClientStats, FailoverClient, Pump};
+pub use failover::{
+    run_failover_case, run_failover_seeds, run_nemesis_failover_case, run_nemesis_failover_seeds,
+    FailoverOutcome, FailoverStats, NemesisFailoverOutcome, NemesisFailoverStats,
+};
+pub use nemesis::{
+    run_nemesis_case, run_nemesis_seeds, NemesisMismatch, NemesisOutcome, NemesisScenario,
+    NemesisStats, NemesisSweep,
+};
+pub use net::{
+    run_follower, run_follower_with_lease, run_standby, FollowerExit, Service, ServiceConfig,
+    ServiceStats, ShardedService, StandbyOutcome,
+};
 pub use proto::{duplex, Command, Endpoint, Response};
-pub use replica::{pump_replication, Follower, FollowerStats, ReplError, Replicator};
+pub use replica::{pump_replication, Follower, FollowerStats, LeaseClock, ReplError, Replicator};
 pub use server::{
     CrashPlan, CrashPoint, OverloadPolicy, RecoverError, Server, ServerConfig, ServerStats,
 };
 pub use shard::{run_shard_chaos_case, run_shard_chaos_seeds, ShardedServer, COORD_CLIENT};
 pub use storage::{DirStorage, MemStorage, Storage, SyncMemStorage};
 pub use transport::{
-    connect, DuplexFactory, FrameBuffer, ListenAddr, Listener, StreamTransport, TcpLoopbackFactory,
-    Transport, WireFactory,
+    connect, DuplexFactory, FrameBuffer, ListenAddr, Listener, NemesisCounts, NemesisFactory,
+    NemesisSink, NemesisTransport, StreamTransport, TcpLoopbackFactory, Transport, WireFactory,
 };
 pub use wal::{WalError, WalRecord};

@@ -56,8 +56,8 @@ use std::time::Duration;
 
 use synchrel_obs::MetricsRegistry;
 
-use crate::proto::KIND_REPL_ACK;
-use crate::replica::{ack_frame, Follower, ReplError};
+use crate::proto::{heartbeat_frame, KIND_REPL_ACK};
+use crate::replica::{ack_frame, Follower, LeaseClock, ReplError};
 use crate::server::Server;
 use crate::shard::ShardedServer;
 use crate::storage::Storage;
@@ -451,6 +451,21 @@ fn serve_loop<S: Storage + Send>(
                 }
             }
         }
+        // Heartbeat every cycle — even an idle one — so the follower's
+        // lease keeps refreshing while no WAL traffic flows. A silent
+        // primary is indistinguishable from a dead one; this is what
+        // makes the distinction observable.
+        if let Some(rid) = repl_conn {
+            let beat = heartbeat_frame(server.last_lsn());
+            let dead = match writers.get_mut(&rid) {
+                Some(w) => w.write_all(&beat).and_then(|()| w.flush()).is_err(),
+                None => true,
+            };
+            if dead {
+                writers.remove(&rid);
+                repl_conn = None;
+            }
+        }
         shared.repl_lag.store(server.repl_lag(), Ordering::Relaxed);
         if let Some(repl) = server.replication() {
             shared.repl_acked.store(repl.acked(), Ordering::Relaxed);
@@ -646,7 +661,13 @@ pub fn run_follower<S: Storage>(
         }
         match wire.recv() {
             Ok(Some(frame)) => {
-                let ack = follower.handle(&frame)?;
+                // Stream corruption from the peer drops the connection
+                // (promotable); only local storage failures are fatal.
+                let ack = match follower.handle(&frame) {
+                    Ok(ack) => ack,
+                    Err(e) if frame_shaped(&e) => return Ok(follower),
+                    Err(e) => return Err(e),
+                };
                 if wire.send(&ack).is_err() {
                     return Ok(follower); // primary gone: promotable
                 }
@@ -655,6 +676,115 @@ pub fn run_follower<S: Storage>(
             Err(_) => return Ok(follower), // primary gone: promotable
         }
     }
+}
+
+/// Errors caused by what the peer put on the wire, as opposed to local
+/// storage failures. The connection-level response is to drop the peer
+/// and stay alive — a reset or garbage mid-frame must never take down
+/// the follower thread.
+fn frame_shaped(e: &ReplError) -> bool {
+    matches!(
+        e,
+        ReplError::Frame(_) | ReplError::NotRepl(_) | ReplError::BadRecord | ReplError::Snapshot(_)
+    )
+}
+
+/// Why [`run_follower_with_lease`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FollowerExit {
+    /// `shutdown` was raised; the follower should stay a follower.
+    Shutdown,
+    /// The connection to the primary died outright (dial failed, wire
+    /// error, or an undecodable stream). Promotable.
+    PrimaryDead,
+    /// The primary held the connection but went silent for the whole
+    /// lease budget. Promotable — this is the partition/hang detector.
+    LeaseExpired,
+}
+
+/// [`run_follower`] with a failure detector: every silent read-timeout
+/// poll spends one [`LeaseClock`] tick, and any primary frame —
+/// records, snapshots, and heartbeats alike — refreshes the lease.
+/// Returns the follower with the exit reason; `PrimaryDead` and
+/// `LeaseExpired` both mean "promotable", and the caller can bound the
+/// detection latency by `lease.budget()` read-timeout intervals.
+pub fn run_follower_with_lease<S: Storage>(
+    mut follower: Follower<S>,
+    primary: &ListenAddr,
+    lease: &mut LeaseClock,
+    shutdown: &AtomicBool,
+) -> Result<(Follower<S>, FollowerExit), ReplError> {
+    let mut wire = match connect(primary, Some(Duration::from_millis(25))) {
+        Ok(w) => w,
+        Err(_) => return Ok((follower, FollowerExit::PrimaryDead)),
+    };
+    if wire.send(&ack_frame(follower.durable_lsn(), true)).is_err() {
+        return Ok((follower, FollowerExit::PrimaryDead));
+    }
+    lease.observe();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok((follower, FollowerExit::Shutdown));
+        }
+        match wire.recv() {
+            Ok(Some(frame)) => {
+                lease.observe();
+                match follower.handle(&frame) {
+                    Ok(ack) => {
+                        if wire.send(&ack).is_err() {
+                            return Ok((follower, FollowerExit::PrimaryDead));
+                        }
+                    }
+                    Err(e) if frame_shaped(&e) => {
+                        return Ok((follower, FollowerExit::PrimaryDead));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(None) => {
+                if lease.tick() {
+                    return Ok((follower, FollowerExit::LeaseExpired));
+                }
+            }
+            Err(_) => return Ok((follower, FollowerExit::PrimaryDead)),
+        }
+    }
+}
+
+/// Outcome of [`run_standby`].
+pub enum StandbyOutcome<S: Storage + Send + 'static> {
+    /// The lease expired or the primary's wire died: the standby
+    /// promoted itself and is now serving on the takeover address.
+    Promoted(Service<S>),
+    /// `shutdown` was raised first; the follower comes back intact.
+    Stopped(Box<Follower<S>>),
+}
+
+/// A fully unattended warm standby: replicate from `primary` until the
+/// seeded lease runs out (or the wire dies), then promote **without any
+/// external trigger** and start serving on `takeover`. Detection is the
+/// follower's own [`LeaseClock`], promotion is [`Follower::promote`]
+/// (recovery over the replica's durable prefix), and resumption is an
+/// ordinary [`Service::start`] — no harness, no operator.
+pub fn run_standby<S: Storage + Send + 'static>(
+    follower: Follower<S>,
+    primary: &ListenAddr,
+    takeover: &ListenAddr,
+    cfg: ServiceConfig,
+    mut lease: LeaseClock,
+    shutdown: &AtomicBool,
+) -> Result<StandbyOutcome<S>, String> {
+    let (follower, exit) = run_follower_with_lease(follower, primary, &mut lease, shutdown)
+        .map_err(|e| format!("standby replication failed: {e}"))?;
+    if exit == FollowerExit::Shutdown {
+        return Ok(StandbyOutcome::Stopped(Box::new(follower)));
+    }
+    let server = follower
+        .promote()
+        .map_err(|e| format!("promotion failed: {e:?}"))?;
+    let svc =
+        Service::start(takeover, server, cfg).map_err(|e| format!("takeover bind failed: {e}"))?;
+    Ok(StandbyOutcome::Promoted(svc))
 }
 
 #[cfg(test)]
@@ -856,6 +986,128 @@ mod tests {
             let want = owners.iter().filter(|&&o| o == s).count() as u64 * 5;
             assert_eq!(got, want, "shard {s} WAL segment size");
         }
+    }
+
+    #[test]
+    fn standby_self_promotes_and_serves_without_harness_trigger() {
+        let mut server = Server::recover(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        server.enable_replication(64);
+        let svc = Service::start(
+            &ListenAddr::Tcp("127.0.0.1:0".into()),
+            server,
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let addr = svc.local_addr().clone();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let standby = {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let f = Follower::open(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+                let lease = LeaseClock::new(0x5EED, 8, 4);
+                run_standby(
+                    f,
+                    &addr,
+                    &ListenAddr::Tcp("127.0.0.1:0".into()),
+                    ServiceConfig::default(),
+                    lease,
+                    &stop,
+                )
+                .unwrap()
+            })
+        };
+
+        let wire = connect(&addr, Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::new(wire, 9);
+        client.set_max_attempts(512);
+        for i in 0..12u64 {
+            assert_eq!(client.call(&ingest(i), || {}).unwrap(), Response::Ack);
+        }
+        client.call(&Command::Stats, || {}).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while svc.repl_acked() < 12 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "standby never caught up: acked {}",
+                svc.repl_acked()
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+
+        // Kill the primary. Nobody tells the standby: its wire dies (or
+        // its lease runs out) and it promotes entirely on its own.
+        let primary = svc.stop();
+        let outcome = standby.join().unwrap();
+        let StandbyOutcome::Promoted(svc2) = outcome else {
+            panic!("standby did not promote");
+        };
+
+        // The promoted server holds everything the primary acked, and
+        // keeps serving: a client continues the same process stream.
+        // A fresh client id: the promoted server still holds the old
+        // client's dedup watermark, which is exactly what lets the
+        // *same* client resume — here we just want new traffic.
+        let wire = connect(svc2.local_addr(), Some(Duration::from_millis(10))).unwrap();
+        let mut client = Client::with_id(wire, 10, 2);
+        client.set_max_attempts(512);
+        for i in 12..15u64 {
+            assert_eq!(client.call(&ingest(i), || {}).unwrap(), Response::Ack);
+        }
+        let stats = match client.call(&Command::Stats, || {}).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.applied, 15);
+        let promoted = svc2.stop();
+        assert_eq!(promoted.last_lsn(), primary.last_lsn() + 3);
+    }
+
+    #[test]
+    fn lease_expires_against_a_silent_primary() {
+        // A primary that accepts the connection and then hangs forever:
+        // wire-death detection never fires, only the lease can.
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let hold = Arc::clone(&hold);
+            thread::spawn(move || {
+                let conn = loop {
+                    match listener.accept() {
+                        Ok(Some(c)) => break c,
+                        Ok(None) => thread::sleep(Duration::from_millis(2)),
+                        Err(e) => panic!("accept failed: {e}"),
+                    }
+                };
+                while !hold.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                drop(conn);
+            })
+        };
+
+        let follower = Follower::open(SyncMemStorage::new(), ServerConfig::new(1)).unwrap();
+        let mut lease = LeaseClock::new(0x5EED, 4, 4);
+        let budget = lease.budget();
+        assert!((4..=8).contains(&budget));
+        let stop = AtomicBool::new(false);
+        let started = std::time::Instant::now();
+        let (_follower, exit) =
+            run_follower_with_lease(follower, &addr, &mut lease, &stop).unwrap();
+        assert_eq!(exit, FollowerExit::LeaseExpired);
+        // Detection latency is bounded by the lease budget in 25ms
+        // read-timeout ticks (plus scheduling slack).
+        let bound = Duration::from_millis(25 * budget + 500);
+        assert!(
+            started.elapsed() < bound,
+            "detection took {:?}, bound {:?}",
+            started.elapsed(),
+            bound
+        );
+        hold.store(true, Ordering::SeqCst);
+        acceptor.join().unwrap();
     }
 
     #[test]

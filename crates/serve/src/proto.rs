@@ -52,6 +52,12 @@ pub const KIND_REPL: u8 = 2;
 /// follower's durable LSN; the payload is a one-byte tag (0 = plain
 /// ack, 1 = resync request: the follower saw a gap it cannot fill).
 pub const KIND_REPL_ACK: u8 = 3;
+/// Frame kind: primary→follower liveness heartbeat. `req` carries the
+/// primary's last LSN; the payload is empty. A follower's lease clock
+/// resets on *any* primary frame — heartbeats exist so an idle primary
+/// still proves liveness between replication records (see
+/// [`crate::replica::LeaseClock`]).
+pub const KIND_HEARTBEAT: u8 = 4;
 
 /// Largest frame a stream decoder will accept. Frames above this are
 /// protocol violations (the cap exists so a hostile or corrupt length
@@ -532,7 +538,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, FrameError> {
         return Err(FrameError::BadVersion(bytes[2]));
     }
     let kind = bytes[3];
-    if kind > KIND_REPL_ACK {
+    if kind > KIND_HEARTBEAT {
         return Err(FrameError::BadKind(kind));
     }
     let req = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
@@ -564,6 +570,12 @@ pub fn response_frame(req: u64, resp: &Response) -> Vec<u8> {
     let mut w = Writer::new();
     resp.encode(&mut w);
     encode_frame(KIND_RESPONSE, req, &w.into_bytes())
+}
+
+/// Encode a primary→follower liveness heartbeat carrying the primary's
+/// last LSN.
+pub fn heartbeat_frame(last_lsn: u64) -> Vec<u8> {
+    encode_frame(KIND_HEARTBEAT, last_lsn, &[])
 }
 
 /// Decode a frame's payload as a [`Command`], requiring full consumption.

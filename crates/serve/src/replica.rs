@@ -41,8 +41,11 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use synchrel_monitor::online::OnlineMonitor;
+use synchrel_sim::fault::mix;
 
-use crate::proto::{decode_frame, encode_frame, split_req, FrameError, KIND_REPL, KIND_REPL_ACK};
+use crate::proto::{
+    decode_frame, encode_frame, split_req, FrameError, KIND_HEARTBEAT, KIND_REPL, KIND_REPL_ACK,
+};
 use crate::server::{
     apply_logged, decode_snapshot, RecoverError, Server, ServerConfig, ServerStats,
 };
@@ -79,6 +82,87 @@ pub fn snapshot_frame(snapshot_bytes: &[u8]) -> Vec<u8> {
 pub fn ack_frame(durable_lsn: u64, resync: bool) -> Vec<u8> {
     let tag = if resync { ACK_RESYNC } else { ACK_OK };
     encode_frame(KIND_REPL_ACK, durable_lsn, &[tag])
+}
+
+const SALT_LEASE: u64 = 0x1EA5;
+
+/// The follower's failure detector: a primary lease measured in silent
+/// poll intervals ("ticks"), with **seeded jitter** on the budget so a
+/// fleet of standbys does not promote in lockstep — and so a
+/// deterministic harness can derive the exact detection bound from the
+/// seed.
+///
+/// Any frame from the primary (replication record, snapshot, or
+/// [`KIND_HEARTBEAT`]) refreshes the lease via [`LeaseClock::observe`];
+/// every poll interval that passes without one spends a tick. When the
+/// budget is spent the primary is presumed dead and the follower may
+/// promote itself — the safety argument is in `DESIGN.md` §18: a
+/// wrongly-suspected primary costs availability of the *old* primary's
+/// unreplicated suffix, never consistency, because promotion recovers a
+/// consistent acknowledged-prefix cut and clients re-issue the suffix
+/// through dedup.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseClock {
+    budget: u64,
+    left: u64,
+    expiries: u64,
+}
+
+impl LeaseClock {
+    /// A lease of `base` ticks plus seeded jitter in `0..=jitter`.
+    pub fn new(seed: u64, base: u64, jitter: u64) -> LeaseClock {
+        let budget = base.max(1)
+            + if jitter == 0 {
+                0
+            } else {
+                mix(seed, SALT_LEASE, 0) % (jitter + 1)
+            };
+        LeaseClock {
+            budget,
+            left: budget,
+            expiries: 0,
+        }
+    }
+
+    /// The full lease budget in ticks (base + drawn jitter) — the
+    /// detection-latency bound a harness checks promotions against.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The primary showed life: refresh the lease.
+    pub fn observe(&mut self) {
+        self.left = self.budget;
+    }
+
+    /// One silent poll interval passed. Returns `true` exactly when
+    /// this tick spends the last of the lease.
+    pub fn tick(&mut self) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        if self.left == 0 {
+            self.expiries += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Has the lease fully expired?
+    pub fn expired(&self) -> bool {
+        self.left == 0
+    }
+
+    /// Ticks left before expiry.
+    pub fn remaining(&self) -> u64 {
+        self.left
+    }
+
+    /// Times the lease ran out.
+    pub fn expiries(&self) -> u64 {
+        self.expiries
+    }
 }
 
 /// Primary-side replication state: a bounded queue of outgoing frames
@@ -315,9 +399,14 @@ impl<S: Storage> Follower<S> {
     }
 
     /// Handle one replication frame; returns the ack frame to send
-    /// back to the primary.
+    /// back to the primary. Heartbeats are liveness-only: they ack the
+    /// current durable LSN without touching storage (the caller's
+    /// [`LeaseClock`] is refreshed by the frame's arrival, not here).
     pub fn handle(&mut self, frame_bytes: &[u8]) -> Result<Vec<u8>, ReplError> {
         let frame = decode_frame(frame_bytes).map_err(ReplError::Frame)?;
+        if frame.kind == KIND_HEARTBEAT {
+            return Ok(ack_frame(self.durable, false));
+        }
         if frame.kind != KIND_REPL {
             return Err(ReplError::NotRepl(frame.kind));
         }

@@ -49,7 +49,7 @@ use std::thread;
 use synchrel_core::Relation;
 use synchrel_monitor::online::{OnlineMonitor, Verdict, WatchSpec};
 use synchrel_monitor::shard::{
-    next_concession, prune_candidates, transfer_round, Coordinator, ShardMap, WatchBook,
+    next_concession, prune_candidates, transfer_round_masked, Coordinator, ShardMap, WatchBook,
 };
 use synchrel_monitor::MonitorStats;
 use synchrel_obs::MetricsRegistry;
@@ -75,6 +75,16 @@ const SALT_SHARD_CRASH: u64 = 0x5C4A;
 const SALT_SHARD_POINT: u64 = 0x5C90;
 const SALT_SHARD_TGT: u64 = 0x5C76;
 
+/// A command held back from a partitioned shard, replayed in issue
+/// order on heal. Client broadcasts keep their original request id so
+/// the shard's watermark dedups replays of a retried broadcast;
+/// coordinator commands draw their sequence number at replay time.
+#[derive(Clone, Debug)]
+enum PendingCmd {
+    Client(u64, Command),
+    Coord(Command),
+}
+
 /// K [`Server`]s — one WAL segment and snapshot each — behind the
 /// single-server command surface.
 #[derive(Debug)]
@@ -89,6 +99,14 @@ pub struct ShardedServer<S: Storage> {
     /// Facade-level pruning (shard-local pruning is always off:
     /// retirement is a global decision, broadcast as `Retire`).
     pruning: bool,
+    /// Logical partition state per shard: `true` = unreachable from
+    /// the facade. Ingests for it go silent (the client retries),
+    /// broadcasts and coordinator commands buffer into `pending`, and
+    /// verdicts degrade soundly (see [`ShardedServer::check`]).
+    partitioned: Vec<bool>,
+    /// Commands buffered for replay on [`ShardedServer::heal`], per
+    /// shard, in issue order.
+    pending: Vec<Vec<PendingCmd>>,
 }
 
 impl<S: Storage> ShardedServer<S> {
@@ -152,6 +170,7 @@ impl<S: Storage> ShardedServer<S> {
                 }
             }
         }
+        let k = shards.len();
         ShardedServer {
             map,
             shards,
@@ -159,6 +178,8 @@ impl<S: Storage> ShardedServer<S> {
             coord: Coordinator::new(),
             coord_seqs,
             pruning,
+            partitioned: vec![false; k],
+            pending: vec![Vec::new(); k],
         }
     }
 
@@ -242,6 +263,63 @@ impl<S: Storage> ShardedServer<S> {
         self.shards.iter().any(|s| s.monitor().is_degraded())
     }
 
+    /// Sever shard `s` from the facade: its ingests go silent (clients
+    /// retry against the heal), broadcasts and coordinator commands
+    /// buffer for replay, cross-shard transfers mask it out, and every
+    /// unsettled watch degrades to `Unknown` unless a monotone `R4`
+    /// `Holds` can still be proven from the reachable subset.
+    pub fn partition(&mut self, s: usize) {
+        self.partitioned[s] = true;
+    }
+
+    /// Reconnect shard `s` and replay everything buffered against it —
+    /// in issue order, under the original request ids for client
+    /// broadcasts — then run the transfer fixpoint so cross-shard
+    /// knowledge frozen by the partition flows. `None` only if a shard
+    /// crashed mid-replay (the buffered suffix stays queued for the
+    /// next heal attempt after recovery).
+    pub fn heal(&mut self, s: usize) -> Option<()> {
+        if !self.partitioned[s] {
+            return Some(());
+        }
+        self.partitioned[s] = false;
+        let mut queued = std::mem::take(&mut self.pending[s]);
+        for (replayed, p) in queued.iter().enumerate() {
+            let sent = match p {
+                PendingCmd::Client(req, cmd) => self.forward(s, *req, cmd).map(|_| ()),
+                PendingCmd::Coord(cmd) => self.coord_send(s, cmd).map(|_| ()),
+            };
+            if sent.is_none() {
+                queued.drain(..replayed);
+                self.pending[s] = queued;
+                self.partitioned[s] = true;
+                return None;
+            }
+        }
+        self.transfer()?;
+        // Catch up on poll-work the partition deferred: settlement and
+        // label retirement were skipped while any shard was cut, and the
+        // stream may never poll again — without this, a healed facade
+        // would keep labels resident that the fault-free reference has
+        // already retired, and live queries would answer differently.
+        self.settle_and_prune()?;
+        Some(())
+    }
+
+    /// Is shard `s` currently severed from the facade?
+    pub fn is_partitioned(&self, s: usize) -> bool {
+        self.partitioned[s]
+    }
+
+    fn any_partitioned(&self) -> bool {
+        self.partitioned.iter().any(|&p| p)
+    }
+
+    /// Commands currently buffered against a partitioned shard.
+    pub fn partition_pending(&self, s: usize) -> usize {
+        self.pending[s].len()
+    }
+
     /// Forward one already-framed command to shard `s`. `None` means
     /// the shard crashed mid-request (no response leaves a dead
     /// process) — the caller must give up on the whole client frame.
@@ -261,20 +339,40 @@ impl<S: Storage> ShardedServer<S> {
         Some(resp)
     }
 
+    /// Issue one coordinator command to shard `s`, buffering it when
+    /// the shard is partitioned (replayed on heal; the answer is a
+    /// provisional `Ack`).
+    fn coord_send_buffered(&mut self, s: usize, cmd: &Command) -> Option<Response> {
+        if self.partitioned[s] {
+            self.pending[s].push(PendingCmd::Coord(cmd.clone()));
+            return Some(Response::Ack);
+        }
+        self.coord_send(s, cmd)
+    }
+
     /// Broadcast a client command to every shard under the client's
-    /// own request id (each shard dedups retries independently).
+    /// own request id (each shard dedups retries independently). A
+    /// partitioned shard gets its copy buffered — replays of a retried
+    /// broadcast are deduped by the original request id on heal.
     fn broadcast(&mut self, req: u64, cmd: &Command) -> Option<()> {
         for s in 0..self.shards.len() {
-            self.forward(s, req, cmd)?;
+            if self.partitioned[s] {
+                self.pending[s].push(PendingCmd::Client(req, cmd.clone()));
+            } else {
+                self.forward(s, req, cmd)?;
+            }
         }
         Some(())
     }
 
     /// Run cross-shard send-clock transfers to a fixpoint, as logged
-    /// `LearnSend` commands on the blocked shards.
+    /// `LearnSend` commands on the blocked shards. Partitioned shards
+    /// are masked out — deferred, not dropped: the heal re-runs the
+    /// fixpoint over the full shard set.
     fn transfer(&mut self) -> Option<()> {
         loop {
-            let ops = transfer_round(&self.monitor_refs());
+            let reachable: Vec<bool> = self.partitioned.iter().map(|&p| !p).collect();
+            let ops = transfer_round_masked(&self.monitor_refs(), &reachable);
             if ops.is_empty() {
                 return Some(());
             }
@@ -328,9 +426,12 @@ impl<S: Storage> ShardedServer<S> {
     }
 
     /// Retire labels that are closed and unreferenced everywhere, as
-    /// `Retire` broadcasts.
+    /// `Retire` broadcasts. Deferred entirely while a partition holds:
+    /// the candidate set would be computed from a stale view of the
+    /// severed shard, and retirement is cheap to postpone — the next
+    /// `Close`/`Poll` after the heal retires everything eligible.
     fn prune_labels(&mut self) -> Option<()> {
-        if !self.pruning {
+        if !self.pruning || self.any_partitioned() {
             return Some(());
         }
         let candidates = prune_candidates(&self.monitor_refs(), &self.book);
@@ -348,29 +449,61 @@ impl<S: Storage> ShardedServer<S> {
 
     /// Evaluate `rel(x, y)` through the coordinator over the merged
     /// shard summaries — the facade's [`OnlineMonitor::check`].
+    ///
+    /// While any shard is partitioned the evaluation runs over a
+    /// *subset* of the system's state (the severed shard contributes
+    /// only what it had already applied), so the verdict is decayed
+    /// like loss degradation — and one notch further: `Pending` also
+    /// reads `Unknown`, because a subset view can say `Pending` where
+    /// the full view has already settled. The only definite verdict
+    /// that may leave a partitioned facade is an `R4`/`R4p` `Holds`,
+    /// which is existentially monotone: provable on a subset implies
+    /// provable on the whole.
     pub fn check(&self, rel: Relation, x: &str, y: &str) -> Verdict {
-        self.coord
-            .check(&self.monitor_refs(), self.is_degraded(), rel, x, y)
+        let refs = self.monitor_refs();
+        let cut = self.any_partitioned();
+        let v = self
+            .coord
+            .check(&refs, self.is_degraded() || cut, rel, x, y);
+        if cut && v == Verdict::Pending {
+            return Verdict::Unknown;
+        }
+        v
     }
 
     /// Current watch verdicts in registration order.
     pub fn verdicts(&self) -> Vec<(String, Verdict)> {
-        let refs = self.monitor_refs();
-        let degraded = self.is_degraded();
-        let coord = &self.coord;
-        self.book
-            .verdicts(|rel, x, y| coord.check(&refs, degraded, rel, x, y))
+        self.book.verdicts(|rel, x, y| self.check(rel, x, y))
     }
 
     fn do_poll(&mut self) -> Option<Response> {
         self.drain_shards();
         self.transfer()?;
-        let degraded = self.is_degraded();
+        let events = self.settle_and_prune()?;
+        Some(Response::Events(events))
+    }
+
+    /// The deferred tail of a `Poll`: settle definite watch verdicts
+    /// (as durable `NoteVerdict` broadcasts) and retire prunable
+    /// labels. [`ShardedServer::heal`] runs this too — a partition
+    /// defers settlement and retirement, and the stream may never poll
+    /// again after the heal, so the heal itself must catch the facade
+    /// up or live queries would answer from a residency state the
+    /// fault-free reference no longer has.
+    fn settle_and_prune(&mut self) -> Option<Vec<synchrel_monitor::WatchEvent>> {
         let (events, settles) = {
             let refs: Vec<&OnlineMonitor> = self.shards.iter().map(Server::monitor).collect();
+            let degraded = self.is_degraded() || self.partitioned.iter().any(|&p| p);
+            let cut = self.partitioned.iter().any(|&p| p);
             let coord = &self.coord;
-            self.book
-                .poll(|rel, x, y| coord.check(&refs, degraded, rel, x, y))
+            self.book.poll(|rel, x, y| {
+                let v = coord.check(&refs, degraded, rel, x, y);
+                if cut && v == Verdict::Pending {
+                    Verdict::Unknown
+                } else {
+                    v
+                }
+            })
         };
         // Settlements become durable on every shard; recovery treats a
         // watch as settled if *any* shard consumed the broadcast.
@@ -381,11 +514,11 @@ impl<S: Storage> ShardedServer<S> {
                 settled: true,
             };
             for shard in 0..self.shards.len() {
-                self.coord_send(shard, &cmd)?;
+                self.coord_send_buffered(shard, &cmd)?;
             }
         }
         self.prune_labels()?;
-        Some(Response::Events(events))
+        Some(events)
     }
 
     /// Handle one raw client frame; `None` means no response (bad
@@ -444,6 +577,13 @@ impl<S: Storage> ShardedServer<S> {
                 } else {
                     0
                 };
+                if self.partitioned[owner] {
+                    // An unreachable owner answers with silence, never
+                    // a fabricated ack: the client's retry loop is the
+                    // buffer, and the dedup watermark makes the
+                    // eventual post-heal retry exactly-once.
+                    return None;
+                }
                 self.forward(owner, req, cmd)
             }
             Command::Watch { name, rel, x, y } => {
@@ -460,11 +600,20 @@ impl<S: Storage> ShardedServer<S> {
             }
             Command::Poll => self.do_poll(),
             Command::DeclareLost => {
+                if self.any_partitioned() {
+                    // Concessions must fire in global process order,
+                    // which a severed shard cannot join; stall (the
+                    // client retries) rather than concede out of order.
+                    return None;
+                }
                 self.drain_shards();
                 let n = self.declare_lost_all()?;
                 Some(Response::Conceded(n))
             }
             Command::DeclareComplete { totals } => {
+                if self.any_partitioned() {
+                    return None;
+                }
                 if totals.len() != self.map.num_processes() {
                     // Let shard 0 produce (and log) the canonical
                     // error, like the single server would.
@@ -512,6 +661,10 @@ impl<S: Storage> ShardedServer<S> {
                 Some(Response::Stats(self.monitor_stats()))
             }
             Command::TakeSnapshot => {
+                if self.any_partitioned() {
+                    // An operator snapshot covers all K shards or none.
+                    return None;
+                }
                 for sh in &mut self.shards {
                     if let Err(e) = sh.take_snapshot() {
                         return Some(Response::Error(format!("snapshot failed: {e}")));
@@ -728,7 +881,10 @@ impl<S: Storage + Send> ShardedServer<S> {
         }
         match decode_command(&frame.payload).ok()? {
             Command::Ingest { process, .. } if process < self.map.num_processes() => {
-                Some(self.map.shard_of_process(process))
+                let owner = self.map.shard_of_process(process);
+                // A partitioned owner takes the sequential facade path,
+                // which answers with silence.
+                (!self.partitioned[owner]).then_some(owner)
             }
             _ => None,
         }
@@ -1131,6 +1287,135 @@ mod tests {
             .map(|s| srv.shard(s).next_req_for(u64::from(COORD_CLIENT)))
             .sum();
         assert!(coord_reqs > 0, "no coordinator command was ever logged");
+    }
+
+    #[test]
+    fn partitioned_shard_degrades_to_unknown_and_heals_clean() {
+        let map = ShardMap::new(2, 4);
+        let cfg = ServerConfig::new(4);
+        let mk = || vec![SyncMemStorage::new(), SyncMemStorage::new()];
+        let p0 = (0..4).find(|&p| map.shard_of_process(p) == 0).unwrap();
+        let p1 = (0..4).find(|&p| map.shard_of_process(p) != 0).unwrap();
+        let cut = map.shard_of_process(p1);
+
+        // A two-client workload, tagged (client, cmd). Client 7 stalls
+        // mid-partition on its severed ingests (a lockstep client
+        // never skips ahead of an unanswered id); client 8's traffic —
+        // including a broadcast that must buffer — keeps flowing.
+        let watch = |name: &str, rel, x: &str, y: &str| Command::Watch {
+            name: name.into(),
+            rel,
+            x: x.into(),
+            y: y.into(),
+        };
+        let pre: Vec<(u16, Command)> = vec![
+            (7, watch("w", Relation::R1, "A", "B")),
+            (7, ingest(p0, 0, WireEvent::Internal, &["A"])),
+            (7, ingest(p0, 1, WireEvent::Send { msg: 1 }, &["A"])),
+        ];
+        let stalled: Vec<(u16, Command)> = vec![
+            (7, ingest(p1, 0, WireEvent::Recv { msg: 1 }, &["B"])),
+            (7, ingest(p1, 1, WireEvent::Internal, &["B"])),
+        ];
+        let mid: Vec<(u16, Command)> = vec![
+            (8, watch("w4", Relation::R4, "A", "B")),
+            (8, ingest(p0, 2, WireEvent::Internal, &["A"])),
+            (8, Command::Poll),
+        ];
+        let post: Vec<(u16, Command)> = vec![
+            (7, Command::Close { label: "A".into() }),
+            (7, Command::Close { label: "B".into() }),
+            (7, Command::Poll),
+        ];
+
+        // Reference: everything in nominal order, never partitioned.
+        let mut reference = ShardedServer::recover(mk(), &cfg, map.clone()).unwrap();
+        let mut rseqs = std::collections::BTreeMap::<u16, u64>::new();
+        let mut rcall = |srv: &mut ShardedServer<SyncMemStorage>, c: u16, cmd: &Command| {
+            let s = rseqs.entry(c).or_insert(0);
+            let req = make_req(c, *s);
+            *s += 1;
+            let bytes = srv
+                .handle_bytes(&request_frame(req, cmd))
+                .expect("reference must answer");
+            srv.drain(0); // the socket tier drains (and transfers) every cycle
+            decode_response(&decode_frame(&bytes).unwrap().payload).unwrap()
+        };
+        for (c, cmd) in pre.iter().chain(&stalled).chain(&mid).chain(&post) {
+            rcall(&mut reference, *c, cmd);
+        }
+        let want = reference.verdicts();
+
+        // Partitioned run.
+        let mut srv = ShardedServer::recover(mk(), &cfg, map.clone()).unwrap();
+        let mut seqs = std::collections::BTreeMap::<u16, u64>::new();
+        let mut issue =
+            |srv: &mut ShardedServer<SyncMemStorage>, c: u16, cmd: &Command| -> Option<Response> {
+                let s = seqs.entry(c).or_insert(0);
+                let req = make_req(c, *s);
+                let out = srv
+                    .handle_bytes(&request_frame(req, cmd))
+                    .map(|bytes| decode_response(&decode_frame(&bytes).unwrap().payload).unwrap());
+                srv.drain(0); // the socket tier drains (and transfers) every cycle
+                if out.is_some() {
+                    *s += 1;
+                }
+                out
+            };
+        let soundness = |srv: &ShardedServer<SyncMemStorage>, want: &[(String, Verdict)]| {
+            // Gate (a): while the partition holds, no watch may report
+            // a True/False the fault-free reference does not — Unknown
+            // is the only permitted divergence.
+            for (name, v) in srv.verdicts() {
+                if matches!(v, Verdict::Holds | Verdict::Violated) {
+                    let rv = want.iter().find(|(n, _)| n == &name).map(|(_, v)| *v);
+                    assert_eq!(rv, Some(v), "unsound mid-partition verdict for {name}");
+                }
+            }
+        };
+        for (c, cmd) in &pre {
+            assert!(issue(&mut srv, *c, cmd).is_some());
+        }
+        srv.partition(cut);
+        // Client 7 goes silent on its next command and stays blocked
+        // (a lockstep client retries the same id, never skipping ahead)
+        // — model two retry attempts of the head-of-line ingest.
+        let blocked_req = make_req(7, 3);
+        for _ in 0..2 {
+            assert!(
+                srv.handle_bytes(&request_frame(blocked_req, &stalled[0].1))
+                    .is_none(),
+                "severed ingest must not be answered"
+            );
+            soundness(&srv, &want);
+        }
+        for (c, cmd) in &mid {
+            assert!(issue(&mut srv, *c, cmd).is_some(), "{cmd:?} went silent");
+            soundness(&srv, &want);
+        }
+        assert!(
+            srv.partition_pending(cut) > 0,
+            "no command was buffered against the severed shard"
+        );
+
+        // Heal, then client 7 resumes its stalled sequence and the
+        // common post-fault suffix runs in both worlds.
+        srv.heal(cut).expect("heal replay must land");
+        for (c, cmd) in stalled.iter().chain(&post) {
+            assert!(issue(&mut srv, *c, cmd).is_some(), "{cmd:?} still silent");
+        }
+
+        // Gate (b): post-heal verdicts and counters byte-identical to
+        // the fault-free reference.
+        assert_eq!(srv.verdicts(), want);
+        let (r, h) = (reference.monitor_stats(), srv.monitor_stats());
+        assert_eq!(r.applied, h.applied);
+        assert_eq!(r.duplicates, h.duplicates);
+        assert_eq!(r.lost, h.lost);
+        assert_eq!(r.pending, h.pending);
+        assert_eq!(r.resident_intervals, h.resident_intervals);
+        assert_eq!(r.intervals_reclaimed, h.intervals_reclaimed);
+        assert_eq!(r.degraded, h.degraded);
     }
 
     #[test]

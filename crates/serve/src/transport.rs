@@ -29,9 +29,10 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use synchrel_sim::fault::FrameFaults;
+use synchrel_sim::fault::{mix, FrameFaults, NemesisPlan};
 
 use crate::proto::{
     frame_len_hint, Endpoint, FrameError, HEADER_LEN, MAGIC, MAX_FRAME_LEN, VERSION,
@@ -185,6 +186,13 @@ impl FrameBuffer {
         self.buf.len()
     }
 
+    /// Discard everything buffered — what a reconnect after an abrupt
+    /// reset does: a partial frame whose tail died with the old
+    /// connection must not desynchronise the new one.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
     /// Try to cut one whole frame off the front of the buffer.
     /// `Ok(None)` = need more bytes; `Err` = the stream is not speaking
     /// this protocol (desynchronised; the connection must be dropped).
@@ -205,7 +213,12 @@ impl FrameBuffer {
         if self.buf[2] != VERSION {
             return Err(fatal(FrameError::BadVersion(self.buf[2])));
         }
-        let total = frame_len_hint(&self.buf).expect("header present");
+        // A full header is present here, but stay connection-fatal
+        // rather than panicking if the hint ever disagrees: this runs
+        // on reader threads fed by remote bytes.
+        let Some(total) = frame_len_hint(&self.buf) else {
+            return Err(fatal(FrameError::Truncated));
+        };
         if total > HEADER_LEN + MAX_FRAME_LEN + 4 {
             return Err(fatal(FrameError::Truncated));
         }
@@ -516,10 +529,316 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 }
 
+/// What a [`NemesisTransport`] did to the frames it carried.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NemesisCounts {
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back (and thus possibly reordered).
+    pub delayed: u64,
+    /// Frames delivered as byte-granular chunks.
+    pub split: u64,
+    /// Abrupt connection resets (frame plus all in-flight data lost).
+    pub resets: u64,
+    /// Frames swallowed by an active partition window.
+    pub severed: u64,
+}
+
+impl NemesisCounts {
+    /// Did the nemesis interfere at all?
+    pub fn any(&self) -> bool {
+        *self != NemesisCounts::default()
+    }
+
+    /// Every fault injected, of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.split + self.resets + self.severed
+    }
+
+    /// Fold another edge's counts into this one.
+    pub fn absorb(&mut self, other: NemesisCounts) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.split += other.split;
+        self.resets += other.resets;
+        self.severed += other.severed;
+    }
+}
+
+/// A shared fault-count accumulator: every [`NemesisTransport`] built
+/// [`with_sink`](NemesisTransport::with_sink) folds its counts in when
+/// dropped, so a sweep can prove its faults actually fired even though
+/// the transports themselves are moved into clients and servers and
+/// consumed there. Read [`totals`](NemesisSink::totals) only after the
+/// transports are gone (a run's locals drop when it returns).
+#[derive(Debug, Default)]
+pub struct NemesisSink {
+    totals: Mutex<NemesisCounts>,
+}
+
+impl NemesisSink {
+    /// Everything nemesis transports feeding this sink did before they
+    /// were dropped.
+    pub fn totals(&self) -> NemesisCounts {
+        *self.totals.lock().unwrap()
+    }
+}
+
+/// A [`Transport`] decorated with the full seeded network nemesis:
+/// frame drops, delays (reorders), duplicates, byte-granular partial
+/// writes, abrupt resets, and directed/symmetric partition windows —
+/// every decision a pure function of `(plan seed, edge, frame index)`
+/// via [`NemesisPlan`], so a faulty run replays byte-identically from
+/// its seed regardless of thread interleaving.
+///
+/// Both ends of a link must be wrapped (see [`NemesisFactory`]): split
+/// frames travel as raw byte chunks through the inner transport and
+/// are reassembled by the peer's [`FrameBuffer`]. Over a byte-stream
+/// transport the chunks concatenate natively, so a nemesis-wrapped
+/// client also composes with an unwrapped socket server.
+///
+/// Every plan has a fault **horizon**: past it the edge is fault-free
+/// and held frames flush as the endpoint keeps pumping, which is what
+/// lets unmodified harnesses drive a faulted run to the same final
+/// probes as a clean one.
+#[derive(Debug)]
+pub struct NemesisTransport<T: Transport> {
+    inner: T,
+    plan: NemesisPlan,
+    edge: u64,
+    /// Frames offered to `send` so far — the per-edge fate index.
+    sent: u64,
+    /// Logical clock advanced by every send/recv call; held frames
+    /// release when it passes their slot.
+    ticks: u64,
+    /// Held frames: `(release_tick, fate_index, bytes)`.
+    held: Vec<(u64, u64, Vec<u8>)>,
+    /// Reassembles byte chunks produced by the peer's nemesis.
+    frames: FrameBuffer,
+    counts: NemesisCounts,
+    sink: Option<Arc<NemesisSink>>,
+}
+
+impl<T: Transport> NemesisTransport<T> {
+    /// Wrap `inner` as direction `edge` (directions `2k`/`2k+1` form
+    /// link pair `k` for partition purposes) under `plan`.
+    pub fn new(inner: T, plan: NemesisPlan, edge: u64) -> NemesisTransport<T> {
+        NemesisTransport {
+            inner,
+            plan,
+            edge,
+            sent: 0,
+            ticks: 0,
+            held: Vec::new(),
+            frames: FrameBuffer::new(),
+            counts: NemesisCounts::default(),
+            sink: None,
+        }
+    }
+
+    /// [`NemesisTransport::new`], folding this edge's final counts into
+    /// `sink` when the transport is dropped.
+    pub fn with_sink(
+        inner: T,
+        plan: NemesisPlan,
+        edge: u64,
+        sink: Arc<NemesisSink>,
+    ) -> NemesisTransport<T> {
+        let mut t = NemesisTransport::new(inner, plan, edge);
+        t.sink = Some(sink);
+        t
+    }
+
+    /// What the nemesis has done on this edge so far.
+    pub fn counts(&self) -> NemesisCounts {
+        self.counts
+    }
+
+    /// Stop injecting and flush everything held — explicit heal for
+    /// tests; harnesses normally rely on the plan's horizon instead.
+    pub fn heal(&mut self) -> io::Result<()> {
+        self.plan.horizon = 0;
+        let held = std::mem::take(&mut self.held);
+        for (_, idx, bytes) in held {
+            self.put(&bytes, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Deliver `bytes` toward the peer, possibly as byte-granular
+    /// chunks (seeded boundaries; all chunks leave back-to-back so a
+    /// frame is never stranded half-sent).
+    fn put(&mut self, bytes: &[u8], index: u64) -> io::Result<()> {
+        if !self.plan.splits(self.edge, index) || bytes.len() < 2 {
+            return self.inner.send(bytes);
+        }
+        self.counts.split += 1;
+        let chunks = 2 + mix(self.plan.seed, 0x5B17 ^ self.edge, index) as usize % 3;
+        let mut rest = bytes;
+        for c in 0..chunks {
+            if rest.len() < 2 || c == chunks - 1 {
+                break;
+            }
+            let cut = 1 + mix(self.plan.seed, 0x5B18 ^ self.edge, index ^ (c as u64) << 32)
+                as usize
+                % (rest.len() - 1);
+            let (head, tail) = rest.split_at(cut);
+            self.inner.send(head)?;
+            rest = tail;
+        }
+        self.inner.send(rest)
+    }
+
+    /// Release every held frame whose slot has passed, oldest slot
+    /// first (ties by original send order).
+    fn flush_due(&mut self) -> io::Result<()> {
+        if self.held.is_empty() {
+            return Ok(());
+        }
+        self.held.sort_by_key(|&(release, idx, _)| (release, idx));
+        while let Some(&(release, _, _)) = self.held.first() {
+            if release > self.ticks {
+                break;
+            }
+            let (_, idx, bytes) = self.held.remove(0);
+            self.put(&bytes, idx)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Drop for NemesisTransport<T> {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.sink {
+            sink.totals.lock().unwrap().absorb(self.counts);
+        }
+    }
+}
+
+impl<T: Transport> Transport for NemesisTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        let i = self.sent;
+        self.sent += 1;
+        self.ticks += 1;
+        if self.plan.resets(self.edge, i) {
+            // Abrupt reset: the frame and everything in flight on this
+            // direction is lost; the link itself comes back (retries
+            // model the reconnect).
+            self.counts.resets += 1;
+            self.held.clear();
+            return Ok(());
+        }
+        if self.plan.severed(self.edge, i) {
+            self.counts.severed += 1;
+        } else if self.plan.drops(self.edge, i) {
+            self.counts.dropped += 1;
+        } else {
+            let delay = self.plan.delay(self.edge, i);
+            if delay > 0 {
+                self.counts.delayed += 1;
+                self.held.push((self.ticks + delay, i, frame.to_vec()));
+            } else {
+                self.put(frame, i)?;
+            }
+            if self.plan.duplicates(self.edge, i) {
+                self.counts.duplicated += 1;
+                self.held.push((self.ticks + delay + 1, i, frame.to_vec()));
+            }
+        }
+        self.flush_due()
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.ticks += 1;
+        self.flush_due()?;
+        loop {
+            if let Some(frame) = self.frames.next_frame()? {
+                return Ok(Some(frame));
+            }
+            match self.inner.recv()? {
+                Some(chunk) => self.frames.extend(&chunk),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Wraps any [`WireFactory`] so every pair it hands out carries the
+/// seeded nemesis on both directions — the drop-in way to run the
+/// chaos, failover, and sharded harnesses under network faults with no
+/// harness changes. Pair `p` gets directions `2p` (client→server) and
+/// `2p + 1` (server→client).
+#[derive(Debug)]
+pub struct NemesisFactory<F: WireFactory> {
+    inner: F,
+    plan: NemesisPlan,
+    pairs: u64,
+    sink: Arc<NemesisSink>,
+}
+
+impl NemesisFactory<DuplexFactory> {
+    /// Nemesis over the in-process duplex, with the standard plan
+    /// derived from `seed`.
+    pub fn duplex(seed: u64) -> NemesisFactory<DuplexFactory> {
+        NemesisFactory::new(DuplexFactory, NemesisPlan::from_seed(seed))
+    }
+}
+
+impl<F: WireFactory> NemesisFactory<F> {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: F, plan: NemesisPlan) -> NemesisFactory<F> {
+        NemesisFactory {
+            inner,
+            plan,
+            pairs: 0,
+            sink: Arc::new(NemesisSink::default()),
+        }
+    }
+
+    /// Total faults injected across every edge this factory handed
+    /// out. Edges flush their counts on drop, so read this only after
+    /// the run's transports have been torn down.
+    pub fn totals(&self) -> NemesisCounts {
+        self.sink.totals()
+    }
+}
+
+impl<F: WireFactory> WireFactory for NemesisFactory<F> {
+    fn pair(&mut self) -> Result<WirePair, String> {
+        let (c, s) = self.inner.pair()?;
+        let p = self.pairs;
+        self.pairs += 1;
+        Ok((
+            Box::new(NemesisTransport::with_sink(
+                c,
+                self.plan.clone(),
+                2 * p,
+                Arc::clone(&self.sink),
+            )),
+            Box::new(NemesisTransport::with_sink(
+                s,
+                self.plan.clone(),
+                2 * p + 1,
+                Arc::clone(&self.sink),
+            )),
+        ))
+    }
+
+    fn max_attempts(&self) -> u32 {
+        // A partition window can swallow a whole backoff ladder of
+        // retries; give clients enough patience to outlast the plan's
+        // fault horizon.
+        self.inner.max_attempts().max(1024)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{decode_frame, duplex, request_frame, Command};
+    use crate::proto::{decode_frame, duplex, heartbeat_frame, request_frame, Command};
     use std::net::TcpListener;
 
     #[test]
@@ -572,6 +891,161 @@ mod tests {
         let mut fb = FrameBuffer::new();
         fb.extend(b"X");
         assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn frame_buffer_splits_every_frame_kind_at_every_byte() {
+        // A mixed stream — requests of different sizes, a liveness
+        // heartbeat in the middle — cut at every single byte boundary.
+        // Each split must decode to exactly the whole-frame sequence:
+        // the nemesis produces arbitrary chunkings of exactly this
+        // stream, so any boundary sensitivity here is a live bug there.
+        let frames = [
+            request_frame(1, &Command::Poll),
+            heartbeat_frame(7),
+            request_frame(2, &Command::Verdicts),
+            heartbeat_frame(u64::MAX),
+            request_frame(3, &Command::Stats),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let drain = |fb: &mut FrameBuffer, out: &mut Vec<Vec<u8>>| {
+            while let Some(f) = fb.next_frame().unwrap() {
+                out.push(f);
+            }
+        };
+        for cut in 0..=stream.len() {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            fb.extend(&stream[..cut]);
+            drain(&mut fb, &mut got);
+            fb.extend(&stream[cut..]);
+            drain(&mut fb, &mut got);
+            assert_eq!(got, frames.to_vec(), "cut at {cut}");
+            assert_eq!(fb.pending(), 0, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reset_discards_partial_frames_cleanly() {
+        let frame = request_frame(5, &Command::Poll);
+        // A reconnect after losing the tail of a frame: reset() must
+        // leave the buffer able to decode fresh frames at any loss
+        // point, including mid-header and mid-crc.
+        for cut in 1..frame.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&frame[..cut]);
+            fb.reset();
+            assert_eq!(fb.pending(), 0, "cut at {cut}");
+            fb.extend(&frame);
+            assert_eq!(
+                fb.next_frame().unwrap(),
+                Some(frame.clone()),
+                "cut at {cut}"
+            );
+        }
+        // Without the reset the orphaned tail desynchronises the
+        // stream: pick a loss point whose continuation is not magic.
+        let cut = (1..frame.len())
+            .find(|&c| frame[c] != MAGIC[0])
+            .expect("some tail byte differs from magic");
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame[cut..]);
+        fb.extend(&frame);
+        assert!(fb.next_frame().is_err(), "orphan tail must desynchronise");
+    }
+
+    #[test]
+    fn frame_buffer_decodes_interleaved_duplicates_in_arrival_order() {
+        let a = request_frame(8, &Command::Poll);
+        let b = heartbeat_frame(3);
+        let stream: Vec<u8> = [&a, &a, &b, &a]
+            .iter()
+            .flat_map(|f| f.iter())
+            .copied()
+            .collect();
+        // Duplicated frames arriving interleaved with others — and cut
+        // anywhere — come out exactly as sent, duplicates included (the
+        // request-id layer dedupes; the framing layer must not).
+        for cut in 0..=stream.len() {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            for part in [&stream[..cut], &stream[cut..]] {
+                fb.extend(part);
+                while let Some(f) = fb.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, vec![a.clone(), a.clone(), b.clone(), a.clone()]);
+        }
+    }
+
+    /// Drive one nemesis link (client edge 0 → server edge 1) to
+    /// quiescence: send every frame, then keep pumping both ends so
+    /// held frames release, collecting everything the server decodes.
+    fn pump_nemesis_link(seed: u64, frames: &[Vec<u8>]) -> (Vec<Vec<u8>>, NemesisCounts) {
+        let (c, s) = duplex();
+        let plan = NemesisPlan::from_seed(seed);
+        let mut nc = NemesisTransport::new(c, plan.clone(), 0);
+        let mut ns = NemesisTransport::new(s, plan, 1);
+        let mut got = Vec::new();
+        for f in frames {
+            nc.send(f).unwrap();
+            while let Some(f) = ns.recv().unwrap() {
+                got.push(f);
+            }
+        }
+        // Quiesce: ticks only advance on send/recv, so keep pumping
+        // until both directions have drained their held queues.
+        for _ in 0..4 * frames.len() + 64 {
+            nc.recv().unwrap();
+            while let Some(f) = ns.recv().unwrap() {
+                got.push(f);
+            }
+        }
+        (got, nc.counts())
+    }
+
+    #[test]
+    fn nemesis_link_is_deterministic_and_delivers_past_the_horizon() {
+        let seed = 0x4E3E_5157;
+        let plan = NemesisPlan::from_seed(seed);
+        let frames: Vec<Vec<u8>> = (0..plan.horizon + 32)
+            .map(|i| request_frame(i, &Command::Poll))
+            .collect();
+        let (got1, counts1) = pump_nemesis_link(seed, &frames);
+        let (got2, counts2) = pump_nemesis_link(seed, &frames);
+        // Byte-identical replay from the seed, independent of wall time.
+        assert_eq!(got1, got2);
+        assert_eq!(counts1, counts2);
+        assert!(counts1.any(), "plan injected nothing: {counts1:?}");
+        // Nothing invented, nothing corrupted: every delivered frame is
+        // one of the sent frames.
+        for f in &got1 {
+            assert!(frames.contains(f), "corrupted frame came out");
+        }
+        // Every frame past the fault horizon arrives: the fault-free
+        // tail is what lets harnesses drive a faulted run to the same
+        // final probes as a clean one.
+        for f in &frames[plan.horizon as usize..] {
+            assert!(got1.contains(f), "post-horizon frame lost");
+        }
+    }
+
+    #[test]
+    fn nemesis_heal_flushes_held_frames() {
+        let (c, s) = duplex();
+        // A huge max_delay: the first send is held far in the future,
+        // so nothing arrives until the explicit heal flushes it.
+        let mut plan = NemesisPlan::quiet(1);
+        plan.max_delay = 1 << 40;
+        plan.horizon = 1 << 20;
+        let mut nc = NemesisTransport::new(c, plan, 0);
+        let mut ns = NemesisTransport::new(s, NemesisPlan::quiet(0), 1);
+        let frame = request_frame(11, &Command::Poll);
+        nc.send(&frame).unwrap();
+        assert_eq!(ns.recv().unwrap(), None, "delayed frame leaked early");
+        nc.heal().unwrap();
+        assert_eq!(ns.recv().unwrap(), Some(frame));
     }
 
     #[test]
